@@ -1,0 +1,474 @@
+// Package cpsrisk holds the top-level experiment harness: one benchmark
+// per table and figure of the paper's evaluation (see DESIGN.md for the
+// experiment index) plus scalability sweeps for the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+package cpsrisk
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/cegar"
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/dynamics"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/hierarchy"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/mitigation"
+	"cpsrisk/internal/optimize"
+	"cpsrisk/internal/plant"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/report"
+	"cpsrisk/internal/risk"
+	"cpsrisk/internal/rough"
+	"cpsrisk/internal/sensitivity"
+	"cpsrisk/internal/solver"
+	"cpsrisk/internal/sysmodel"
+	"cpsrisk/internal/watertank"
+)
+
+// BenchmarkTableI_RiskMatrix regenerates paper Table I (experiment T1).
+func BenchmarkTableI_RiskMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := report.TableI()
+		if !strings.Contains(out, "VH") {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTableII_CaseStudy regenerates paper Table II (experiment T2)
+// through both analysis paths.
+func BenchmarkTableII_CaseStudy(b *testing.B) {
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := watertank.PaperTableII(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("asp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := watertank.PaperTableII(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig1_PipelineEndToEnd runs the full Fig. 1 pipeline on the case
+// study (experiment F1), including CEGAR validation and optimization.
+func BenchmarkFig1_PipelineEndToEnd(b *testing.B) {
+	types := watertank.Types()
+	cfg := core.Config{
+		Model:          watertank.Model(),
+		Types:          types,
+		Behaviors:      watertank.Behaviors(types),
+		KB:             kb.MustDefaultKB(),
+		Requirements:   watertank.Requirements(),
+		ExtraMutations: watertank.PaperCandidates(),
+		MaxCardinality: -1,
+		Optimize:       true,
+		Budget:         -1,
+		Oracle:         cegar.NewPlantOracle(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(a.Analysis.Hazards()) == 0 {
+			b.Fatal("no hazards")
+		}
+	}
+}
+
+// BenchmarkFig2_RiskAttributeTree sweeps the O-RA attribute tree
+// derivation over all leaf combinations (experiment F2).
+func BenchmarkFig2_RiskAttributeTree(b *testing.B) {
+	s := qual.FiveLevel()
+	for i := 0; i < b.N; i++ {
+		var checksum int
+		for cf := s.Min(); cf <= s.Max(); cf++ {
+			for tc := s.Min(); tc <= s.Max(); tc++ {
+				for rs := s.Min(); rs <= s.Max(); rs++ {
+					d := risk.Derive(risk.Attributes{
+						ContactFrequency:    cf,
+						ProbabilityOfAction: qual.Medium,
+						ThreatCapability:    tc,
+						ResistanceStrength:  rs,
+						PrimaryLoss:         qual.High,
+					})
+					checksum += int(d.Risk)
+				}
+			}
+		}
+		if checksum == 0 {
+			b.Fatal("degenerate sweep")
+		}
+	}
+}
+
+// BenchmarkFig3_HierarchicalEvaluation runs the three evaluation focuses
+// of the Fig. 3 matrix on the hierarchical case study (experiment F3).
+func BenchmarkFig3_HierarchicalEvaluation(b *testing.B) {
+	k := kb.MustDefaultKB()
+	types := watertank.Types()
+	for i := 0; i < b.N; i++ {
+		// Focus 1: topology propagation on the abstract model.
+		m := watertank.HierarchicalModel()
+		tank, _ := m.Component(plant.CompTank)
+		tank.SetAttr(hierarchy.CriticalityAttr, "VH")
+		topo, err := hierarchy.Topology(m, []string{plant.CompEWS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Refine the hot composites, then focus 2: detailed EPA.
+		for _, id := range hierarchy.RefinementPlan(m, topo) {
+			if err := m.RefineComponent(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng, err := epa.NewEngine(m, watertank.Behaviors(types))
+		if err != nil {
+			b.Fatal(err)
+		}
+		muts, err := faults.Candidates(m, types, k, faults.AllSources())
+		if err != nil {
+			b.Fatal(err)
+		}
+		analysis, err := hazard.Analyze(eng, muts, 1, watertank.Requirements())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Focus 3: mitigation plan.
+		problem := &optimize.Problem{Budget: -1}
+		for _, mi := range mitigation.Relevant(k, muts) {
+			problem.Options = append(problem.Options, optimize.Option{ID: mi.ID, Cost: mi.Cost})
+		}
+		problem.Scenarios = mitigation.PrepareLosses(k, analysis, muts)
+		if _, _, err := problem.MultiPhase(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_AssetRefinement measures the Fig. 4 asset refinement
+// operation itself (experiment F4).
+func BenchmarkFig4_AssetRefinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := watertank.HierarchicalModel()
+		if err := m.RefineComponent(plant.CompEWS); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Validate(watertank.Types()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX1_Sensitivity runs the §V-A sensitivity analysis (experiment
+// X1) over the full five-factor FAIR tree.
+func BenchmarkX1_Sensitivity(b *testing.B) {
+	all := []qual.Level{qual.VeryLow, qual.Low, qual.Medium, qual.High, qual.VeryHigh}
+	factors := []sensitivity.Factor{
+		{Name: "LM", Levels: all},
+		{Name: "LEF", Levels: all},
+	}
+	base := sensitivity.Assignment{"LM": qual.Medium, "LEF": qual.Medium}
+	out := func(a sensitivity.Assignment) qual.Level { return risk.ORARisk(a["LM"], a["LEF"]) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sensitivity.Analyze(base, factors, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sensitivity.Tornado(res)) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkX2_ScenarioRanking scores and ranks the full case-study
+// scenario space (experiment X2).
+func BenchmarkX2_ScenarioRanking(b *testing.B) {
+	eng, err := watertank.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	analysis, err := hazard.Analyze(eng, watertank.PaperCandidates(), -1, watertank.Requirements())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := analysis.Ranked(); len(got) != 16 {
+			b.Fatal("bad ranking")
+		}
+	}
+}
+
+// BenchmarkX3_RoughSets approximates, reduces, and classifies the risk
+// decision table (experiment X3).
+func BenchmarkX3_RoughSets(b *testing.B) {
+	s := qual.FiveLevel()
+	var objects []rough.Object
+	for lm := s.Min(); lm <= s.Max(); lm++ {
+		for lef := s.Min(); lef <= s.Max(); lef++ {
+			objects = append(objects, rough.Object{
+				ID:       "c" + s.Label(lm) + "_" + s.Label(lef),
+				Values:   map[string]string{"LM": s.Label(lm), "LEF": s.Label(lef)},
+				Decision: s.Label(risk.ORARisk(lm, lef)),
+			})
+		}
+	}
+	tbl, err := rough.NewTable([]string{"LM", "LEF"}, objects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ap := tbl.ApproximateDecision([]string{"LEF"}, "VH")
+		if len(ap.Lower) != 0 {
+			b.Fatal("unexpected certainty")
+		}
+		if len(tbl.Reducts()) != 1 {
+			b.Fatal("bad reducts")
+		}
+	}
+}
+
+// BenchmarkX4_CEGARLoop runs the two-level abstraction refinement loop
+// with the plant oracle (experiment X4).
+func BenchmarkX4_CEGARLoop(b *testing.B) {
+	types := watertank.Types()
+	coarse, err := epa.NewEngine(watertank.Model(), epa.NewBehaviorLibrary(types))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fine, err := watertank.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []cegar.Level{
+		{Name: "coarse", Engine: coarse,
+			Mutations: watertank.PaperCandidates(), Requirements: watertank.Requirements()},
+		{Name: "fine", Engine: fine,
+			Mutations: watertank.PaperCandidates(), Requirements: watertank.Requirements()},
+	}
+	oracle := cegar.NewPlantOracle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cegar.Run(levels, oracle, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations != 2 {
+			b.Fatal("unexpected iterations")
+		}
+	}
+}
+
+// BenchmarkX5_MitigationOptimization solves the §IV-D cost-benefit
+// problem exactly and greedily (experiment X5).
+func BenchmarkX5_MitigationOptimization(b *testing.B) {
+	k := kb.MustDefaultKB()
+	eng, err := watertank.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	muts := watertank.PaperCandidates()
+	analysis, err := hazard.Analyze(eng, muts, -1, watertank.Requirements())
+	if err != nil {
+		b.Fatal(err)
+	}
+	problem := &optimize.Problem{Budget: -1}
+	for _, m := range mitigation.Relevant(k, muts) {
+		problem.Options = append(problem.Options, optimize.Option{ID: m.ID, Cost: m.Cost + m.MaintenanceCost})
+	}
+	problem.Scenarios = mitigation.PrepareLosses(k, analysis, muts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := problem.Optimal(); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := problem.MultiPhase(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkS1_SolverScaling solves growing EPA encodings exhaustively
+// (experiment S1): chains of n guarded nodes, full scenario choice.
+func BenchmarkS1_SolverScaling(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
+			eng, muts := epaChain(b, n)
+			prog, err := eng.EncodeASP()
+			if err != nil {
+				b.Fatal(err)
+			}
+			faults.EncodeChoice(prog, muts, -1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := solver.SolveProgram(prog, solver.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Models) != 1<<uint(n) {
+					b.Fatalf("models = %d", len(res.Models))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkS2_EPAScaling runs the native fixpoint on growing chains
+// (experiment S2).
+func BenchmarkS2_EPAScaling(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
+			eng, muts := epaChain(b, n)
+			sc := epa.Scenario{muts[0].Activation}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkS3_ScenarioSpace enumerates k-of-n scenario spaces and checks
+// the combinatorial growth (experiment S3).
+func BenchmarkS3_ScenarioSpace(b *testing.B) {
+	_, muts := epaChain(b, 18)
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			want := faults.SpaceSize(len(muts), k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := faults.Enumerate(muts, k); len(got) != want {
+					b.Fatal("size mismatch")
+				}
+			}
+		})
+	}
+}
+
+// epaChain builds a linear n-node model with one fault mode per node.
+func epaChain(b *testing.B, n int) (*epa.Engine, []faults.Mutation) {
+	b.Helper()
+	types := sysmodel.NewTypeLibrary()
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "node",
+		Ports: []sysmodel.PortSpec{
+			{Name: "in", Dir: sysmodel.In, Flow: sysmodel.SignalFlow},
+			{Name: "out", Dir: sysmodel.Out, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "corrupt", Likelihood: "L"}},
+	})
+	m := sysmodel.NewModel("chain")
+	for i := 0; i < n; i++ {
+		m.MustAddComponent(&sysmodel.Component{ID: fmt.Sprintf("n%d", i), Type: "node"})
+	}
+	for i := 0; i+1 < n; i++ {
+		m.Connect(fmt.Sprintf("n%d", i), "out", fmt.Sprintf("n%d", i+1), "in", sysmodel.SignalFlow)
+	}
+	lib := epa.NewBehaviorLibrary(types)
+	lib.MustRegister(&epa.TypeBehavior{
+		Type:      "node",
+		Effects:   []epa.FaultEffect{{Fault: "corrupt", Port: "out", Emit: epa.StateOf(epa.ErrValue)}},
+		Transfers: epa.IdentityTransfers("in", "out"),
+	})
+	eng, err := epa.NewEngine(m, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	muts, err := faults.Candidates(m, types, nil, faults.Options{IncludeSpontaneous: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, muts
+}
+
+// BenchmarkAblation_Abstraction contrasts the two abstraction levels of
+// the behaviour model (DESIGN.md ablation): the conservative default
+// behaviours against the detailed case-study behaviours, measuring both
+// runtime and the hazard over-approximation each produces.
+func BenchmarkAblation_Abstraction(b *testing.B) {
+	types := watertank.Types()
+	coarseEng, err := epa.NewEngine(watertank.Model(), epa.NewBehaviorLibrary(types))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fineEng, err := watertank.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		eng  *epa.Engine
+	}{
+		{"coarse-default-behaviors", coarseEng},
+		{"fine-detailed-behaviors", fineEng},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var hazards int
+			for i := 0; i < b.N; i++ {
+				analysis, err := hazard.Analyze(tc.eng, watertank.PaperCandidates(), -1, watertank.Requirements())
+				if err != nil {
+					b.Fatal(err)
+				}
+				hazards = len(analysis.Hazards())
+			}
+			b.ReportMetric(float64(hazards), "hazards")
+		})
+	}
+}
+
+// BenchmarkAblation_MaxCardinality sweeps the scenario-cardinality bound:
+// the analysis cost grows with the scenario space while the hazard set
+// saturates (monotone analyses find every singleton-rooted hazard early).
+func BenchmarkAblation_MaxCardinality(b *testing.B) {
+	eng, err := watertank.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var hazards int
+			for i := 0; i < b.N; i++ {
+				analysis, err := hazard.Analyze(eng, watertank.PaperCandidates(), k, watertank.Requirements())
+				if err != nil {
+					b.Fatal(err)
+				}
+				hazards = len(analysis.Hazards())
+			}
+			b.ReportMetric(float64(hazards), "hazards")
+		})
+	}
+}
+
+// BenchmarkX6_DynamicTrajectory solves the Listing 2-style dynamic
+// qualitative model of the tank over a 20-step horizon (experiment X6).
+func BenchmarkX6_DynamicTrajectory(b *testing.B) {
+	sys := dynamics.WaterTank()
+	inj := []dynamics.Injection{{Key: dynamics.KeyF4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := sys.Run(20, inj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !dynamics.Overflowed(tr) {
+			b.Fatal("no overflow")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation as text:
+//
+//	-table1  O-RA risk matrix (paper Table I)
+//	-table2  case-study analysis results (paper Table II)
+//	-fig1    pipeline stage walk-through (paper Fig. 1)
+//	-fig2    O-RA risk-attribute derivations (paper Fig. 2)
+//	-fig3    hierarchical evaluation matrix (paper Fig. 3)
+//	-fig4    case-study model and asset refinement (paper Fig. 4)
+//	-all     everything (default when no flag is given)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cpsrisk/internal/cegar"
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hierarchy"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/plant"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/report"
+	"cpsrisk/internal/risk"
+	"cpsrisk/internal/watertank"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	t1 := fs.Bool("table1", false, "Table I")
+	t2 := fs.Bool("table2", false, "Table II")
+	f1 := fs.Bool("fig1", false, "Fig. 1 pipeline")
+	f2 := fs.Bool("fig2", false, "Fig. 2 risk attributes")
+	f3 := fs.Bool("fig3", false, "Fig. 3 hierarchy matrix")
+	f4 := fs.Bool("fig4", false, "Fig. 4 asset refinement")
+	all := fs.Bool("all", false, "everything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !(*t1 || *t2 || *f1 || *f2 || *f3 || *f4) {
+		*all = true
+	}
+	type section struct {
+		enabled bool
+		title   string
+		render  func() (string, error)
+	}
+	sections := []section{
+		{*t1 || *all, "Table I — O-RA risk matrix",
+			func() (string, error) { return report.TableI(), nil }},
+		{*t2 || *all, "Table II — case-study analysis results",
+			func() (string, error) { return watertank.PaperTableII(false) }},
+		{*f1 || *all, "Fig. 1 — experimental framework pipeline", fig1},
+		{*f2 || *all, "Fig. 2 — O-RA risk-attribute derivations", fig2},
+		{*f3 || *all, "Fig. 3 — hierarchical evaluation matrix",
+			func() (string, error) { return hierarchy.RenderMatrix(), nil }},
+		{*f4 || *all, "Fig. 4 — case-study model & asset refinement", fig4},
+	}
+	for _, s := range sections {
+		if !s.enabled {
+			continue
+		}
+		out, err := s.render()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.title, err)
+		}
+		fmt.Printf("== %s ==\n%s\n", s.title, out)
+	}
+	return nil
+}
+
+// fig1 walks the Fig. 1 pipeline on the case study and reports what each
+// stage produced.
+func fig1() (string, error) {
+	types := watertank.Types()
+	a, err := core.Run(core.Config{
+		Model:           watertank.Model(),
+		Types:           types,
+		Behaviors:       watertank.Behaviors(types),
+		KB:              kb.MustDefaultKB(),
+		Requirements:    watertank.Requirements(),
+		ExtraMutations:  watertank.PaperCandidates(),
+		MutationSources: faults.Options{},
+		MaxCardinality:  -1,
+		Optimize:        true,
+		Budget:          -1,
+		Oracle:          cegar.NewPlantOracle(),
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "1. System model:            %d components, %d connections\n",
+		a.ModelStats.Components, a.ModelStats.Connections)
+	fmt.Fprintf(&sb, "2. Candidate mutations:     %d candidates (%d analyzed)\n",
+		len(a.Candidates), len(a.Analyzed))
+	fmt.Fprintf(&sb, "3. Reasoning:               %d scenarios evaluated\n",
+		len(a.Analysis.Scenarios))
+	fmt.Fprintf(&sb, "4. Hazard identification:   %d hazardous scenarios\n",
+		len(a.Analysis.Hazards()))
+	fmt.Fprintf(&sb, "5. Model refinement (CEGAR): %d confirmed, %d spurious, %d undetermined\n",
+		len(a.Refinement.Confirmed()), len(a.Refinement.Spurious()),
+		len(a.Refinement.Undetermined()))
+	top := a.Ranked[0]
+	fmt.Fprintf(&sb, "6. Risk analysis:           top scenario %s risk %s\n",
+		top.Scenario.Key(), qual.FiveLevel().Label(top.Risk.Risk))
+	fmt.Fprintf(&sb, "7. Mitigation strategy:     select {%s}, cost %d, residual loss %d\n",
+		strings.Join(a.Plan.Selected, ","), a.Plan.Cost, a.Plan.ResidualLoss)
+	return sb.String(), nil
+}
+
+// fig2 renders the attribute-tree derivation for three archetype threat
+// profiles.
+func fig2() (string, error) {
+	var sb strings.Builder
+	profiles := []struct {
+		name string
+		attr risk.Attributes
+	}{
+		{"exposed weak asset", risk.Attributes{
+			ContactFrequency: qual.High, ProbabilityOfAction: qual.High,
+			ThreatCapability: qual.High, ResistanceStrength: qual.Low,
+			PrimaryLoss: qual.High}},
+		{"hardened asset", risk.Attributes{
+			ContactFrequency: qual.High, ProbabilityOfAction: qual.Medium,
+			ThreatCapability: qual.Medium, ResistanceStrength: qual.VeryHigh,
+			PrimaryLoss: qual.High}},
+		{"internal low-value asset", risk.Attributes{
+			ContactFrequency: qual.VeryLow, ProbabilityOfAction: qual.Low,
+			ThreatCapability: qual.Medium, ResistanceStrength: qual.Medium,
+			PrimaryLoss: qual.Low}},
+	}
+	for _, p := range profiles {
+		fmt.Fprintf(&sb, "-- %s --\n%s\n", p.name, report.Derivation(risk.Derive(p.attr)))
+	}
+	return sb.String(), nil
+}
+
+// fig4 shows the case-study model before and after the Engineering
+// Workstation refinement, plus the topology view of the refined chain.
+func fig4() (string, error) {
+	var sb strings.Builder
+	m := watertank.HierarchicalModel()
+	before := m.Stats()
+	fmt.Fprintf(&sb, "abstract model: %d components (%d composite, depth %d), %d connections\n",
+		before.Components, before.Composites, before.Depth, before.Connections)
+	tank, _ := m.Component(plant.CompTank)
+	tank.SetAttr(hierarchy.CriticalityAttr, "VH")
+	topo, err := hierarchy.Topology(m, []string{plant.CompEWS})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "topology from %s reaches critical: %s\n",
+		plant.CompEWS, strings.Join(topo[0].Critical, ","))
+	plan := hierarchy.RefinementPlan(m, topo)
+	fmt.Fprintf(&sb, "refinement plan: %s\n", strings.Join(plan, ","))
+	for _, id := range plan {
+		if err := m.RefineComponent(id); err != nil {
+			return "", err
+		}
+	}
+	after := m.Stats()
+	fmt.Fprintf(&sb, "refined model:  %d components (%d composite, depth %d), %d connections\n",
+		after.Components, after.Composites, after.Depth, after.Connections)
+	topo2, err := hierarchy.Topology(m, []string{"ews.email_client"})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "attack flow: email client -> ... -> %s (%d assets affected)\n",
+		plant.CompTank, len(topo2[0].Affected))
+	return sb.String(), nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunAll(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleSections(t *testing.T) {
+	for _, flag := range []string{"-table1", "-table2", "-fig1", "-fig2", "-fig3", "-fig4"} {
+		if err := run([]string{flag}); err != nil {
+			t.Fatalf("%s: %v", flag, err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,102 @@
+// Command genmodels regenerates the sample JSON inputs under models/.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cpsrisk/internal/sysmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "genmodels:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	types := sysmodel.NewTypeLibrary()
+	sig := func(n string, d sysmodel.PortDir) sysmodel.PortSpec {
+		return sysmodel.PortSpec{Name: n, Dir: d, Flow: sysmodel.SignalFlow}
+	}
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "workstation", Layer: "application",
+		Ports: []sysmodel.PortSpec{sig("net", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "M", AttackOnly: true},
+			{Name: "crash", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "scada_server", Layer: "technology",
+		Ports: []sysmodel.PortSpec{
+			sig("fromit", sysmodel.In), sig("toplc", sysmodel.Out), sig("tohmi", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "L", AttackOnly: true},
+			{Name: "crash", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "plc", Layer: "technology",
+		Ports: []sysmodel.PortSpec{sig("in", sysmodel.In), sig("cmd", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "L", AttackOnly: true},
+			{Name: "bad_command", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "hmi", Layer: "application",
+		Ports: []sysmodel.PortSpec{sig("in", sysmodel.In)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "no_signal", Likelihood: "L"},
+			{Name: "compromised", Likelihood: "L", AttackOnly: true},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "actuator", Layer: "physical",
+		Ports: []sysmodel.PortSpec{sig("cmd", sysmodel.In)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "bad_command", Likelihood: "VL"},
+			{Name: "jam", Likelihood: "L"},
+		},
+	})
+
+	m := sysmodel.NewModel("sme-plant")
+	add := func(id, typ string, attrs map[string]string) {
+		m.MustAddComponent(&sysmodel.Component{ID: id, Type: typ, Attrs: attrs})
+	}
+	add("office_ws", "workstation", map[string]string{"exposure": "public", "version": "10"})
+	add("scada", "scada_server", map[string]string{"version": "5.0"})
+	add("plc1", "plc", map[string]string{"version": "fw2.3"})
+	add("panel", "hmi", nil)
+	add("press", "actuator", map[string]string{"criticality": "VH"})
+	s := sysmodel.SignalFlow
+	m.Connect("office_ws", "net", "scada", "fromit", s)
+	m.Connect("scada", "toplc", "plc1", "in", s)
+	m.Connect("scada", "tohmi", "panel", "in", s)
+	m.Connect("plc1", "cmd", "press", "cmd", s)
+	m.AddRequirement(sysmodel.Requirement{
+		ID: "R1", Description: "the press must stay error free",
+		Formula: "G !comp_err(press)", Severity: "VH",
+	})
+	if err := m.Validate(types); err != nil {
+		return err
+	}
+
+	tf, err := os.Create("models/types.json")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := types.WriteJSON(tf); err != nil {
+		return err
+	}
+	mf, err := os.Create("models/sme-plant.json")
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	return m.WriteJSON(mf)
+}

@@ -1,0 +1,185 @@
+// Command riskassess runs the full assessment pipeline on a system model
+// loaded from JSON: candidate-mutation generation from the built-in
+// security knowledge base, exhaustive hazard identification against the
+// model's LTLf requirements (interpreted as topology-criticality checks
+// when no behaviour library exists), risk ranking, and mitigation
+// optimization.
+//
+// Usage:
+//
+//	riskassess -model model.json -types types.json [-maxcard 2] [-asp]
+//	           [-optimize] [-budget N] [-mitigations M-0917,M-0949]
+//
+// Requirements in the model file carry LTLf formulas for documentation;
+// the generic violation condition used here flags a requirement when any
+// component marked criticality H/VH exhibits any error mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/report"
+	"cpsrisk/internal/sysmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "riskassess:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("riskassess", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "system model JSON (required)")
+	typesPath := fs.String("types", "", "component-type library JSON (required)")
+	maxCard := fs.Int("maxcard", 2, "maximum simultaneous activations (-1 = unbounded)")
+	useASP := fs.Bool("asp", false, "use the ASP engine for hazard identification")
+	doOpt := fs.Bool("optimize", false, "run mitigation cost-benefit optimization")
+	budget := fs.Int("budget", -1, "mitigation budget (-1 = unlimited)")
+	mitigations := fs.String("mitigations", "", "comma-separated active mitigation IDs")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON summary instead of text")
+	dotPath := fs.String("dot", "", "also write the model as GraphViz DOT to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *typesPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-model and -types are required")
+	}
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	types, err := loadTypes(*typesPath)
+	if err != nil {
+		return err
+	}
+	reqs, err := genericRequirements(model)
+	if err != nil {
+		return err
+	}
+	active := map[string]bool{}
+	if *mitigations != "" {
+		for _, id := range strings.Split(*mitigations, ",") {
+			active[strings.TrimSpace(id)] = true
+		}
+	}
+
+	a, err := core.Run(core.Config{
+		Model:             model,
+		Types:             types,
+		KB:                kb.MustDefaultKB(),
+		Requirements:      reqs,
+		MutationSources:   faults.AllSources(),
+		ActiveMitigations: active,
+		MaxCardinality:    *maxCard,
+		UseASP:            *useASP,
+		Optimize:          *doOpt,
+		Budget:            *budget,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := model.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return a.WriteJSON(os.Stdout)
+	}
+	fmt.Print(a.Render())
+	fmt.Println()
+	fmt.Println("== Risk-prioritized scenarios ==")
+	limit := a.Ranked
+	if len(limit) > 20 {
+		limit = limit[:20]
+	}
+	fmt.Println(report.Ranked(limit))
+	return nil
+}
+
+func loadModel(path string) (*sysmodel.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sysmodel.ReadJSON(f)
+}
+
+func loadTypes(path string) (*sysmodel.TypeLibrary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sysmodel.ReadTypesJSON(f)
+}
+
+// genericRequirements derives one hazard requirement per model
+// requirement: violated when any critical component (criticality H/VH)
+// exhibits any error mode. Models without explicit requirements get a
+// default integrity requirement over the critical assets.
+func genericRequirements(m *sysmodel.Model) ([]hazard.Requirement, error) {
+	var criticalConds []hazard.Condition
+	for _, c := range m.Components {
+		switch c.Attr("criticality") {
+		case "H", "VH":
+			for _, mode := range epa.AllModes {
+				criticalConds = append(criticalConds, hazard.Comp(c.ID, mode))
+			}
+		}
+	}
+	if len(criticalConds) == 0 {
+		return nil, fmt.Errorf("no component carries criticality H/VH; annotate the model")
+	}
+	cond := hazard.Any(criticalConds...)
+	if len(m.Requirements) == 0 {
+		return []hazard.Requirement{{
+			ID:          "RC",
+			Description: "critical assets must stay error free",
+			Severity:    qual.High,
+			Condition:   cond,
+		}}, nil
+	}
+	five := qual.FiveLevel()
+	out := make([]hazard.Requirement, 0, len(m.Requirements))
+	for _, r := range m.Requirements {
+		sev := qual.High
+		if r.Severity != "" {
+			l, err := five.Parse(r.Severity)
+			if err != nil {
+				return nil, fmt.Errorf("requirement %s: %w", r.ID, err)
+			}
+			sev = l
+		}
+		out = append(out, hazard.Requirement{
+			ID:          r.ID,
+			Description: r.Description,
+			Severity:    sev,
+			Condition:   cond,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunOnSampleModel(t *testing.T) {
+	err := run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-optimize",
+		"-maxcard", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithMitigations(t *testing.T) {
+	err := run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-mitigations", "M-0917,M-0949,M-0932",
+		"-maxcard", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	if err := run([]string{"-model", "nope.json", "-types", "nope.json"}); err == nil {
+		t.Fatal("expected file error")
+	}
+}
+
+func TestRunJSONAndDot(t *testing.T) {
+	dot := t.TempDir() + "/model.dot"
+	err := run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "1",
+		"-json",
+		"-dot", dot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Errorf("dot output = %q", data)
+	}
+}

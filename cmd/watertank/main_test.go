@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunASPBudget(t *testing.T) {
+	if err := run([]string{"-asp", "-budget", "40", "-nocegar"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

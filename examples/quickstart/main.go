@@ -1,0 +1,96 @@
+// Quickstart: model a three-component IT/OT chain, declare a requirement,
+// and run the assessment pipeline — the smallest end-to-end use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/report"
+	"cpsrisk/internal/sysmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Component types: a sensor feeding a controller driving a pump.
+	types := sysmodel.NewTypeLibrary()
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "sensor",
+		Ports: []sysmodel.PortSpec{
+			{Name: "reading", Dir: sysmodel.Out, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "no_signal", Likelihood: "L"}},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "controller",
+		Ports: []sysmodel.PortSpec{
+			{Name: "in", Dir: sysmodel.In, Flow: sysmodel.SignalFlow},
+			{Name: "out", Dir: sysmodel.Out, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "crash", Likelihood: "VL"}},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "pump",
+		Ports: []sysmodel.PortSpec{
+			{Name: "cmd", Dir: sysmodel.In, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "stuck", Likelihood: "L"}},
+	})
+
+	// 2. System model: sensor -> controller -> pump.
+	m := sysmodel.NewModel("quickstart")
+	m.MustAddComponent(&sysmodel.Component{ID: "s1", Type: "sensor"})
+	m.MustAddComponent(&sysmodel.Component{ID: "c1", Type: "controller"})
+	m.MustAddComponent(&sysmodel.Component{ID: "p1", Type: "pump"})
+	m.Connect("s1", "reading", "c1", "in", sysmodel.SignalFlow)
+	m.Connect("c1", "out", "p1", "cmd", sysmodel.SignalFlow)
+
+	// 3. Requirement: the pump must never receive erroneous or missing
+	// commands (conservative default behaviours propagate everything).
+	reqs := []hazard.Requirement{{
+		ID:          "R1",
+		Description: "pump command integrity",
+		Severity:    qual.High,
+		Condition: hazard.Any(
+			hazard.Port("p1", "cmd", epa.ErrValue),
+			hazard.Port("p1", "cmd", epa.ErrOmission),
+			hazard.Fault("p1", "stuck"),
+		),
+	}}
+
+	// 4. Run the pipeline: spontaneous fault modes, scenarios up to two
+	// simultaneous faults.
+	a, err := core.Run(core.Config{
+		Model:           m,
+		Types:           types,
+		Requirements:    reqs,
+		MutationSources: faults.Options{IncludeSpontaneous: true},
+		MaxCardinality:  2,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("candidates: %d, scenarios: %d, hazardous: %d\n\n",
+		len(a.Candidates), len(a.Analysis.Scenarios), len(a.Analysis.Hazards()))
+	fmt.Println(report.Ranked(a.Ranked))
+
+	// 5. Minimal cut sets: the smallest fault combinations violating R1.
+	fmt.Println("minimal cuts for R1:")
+	for _, cut := range a.Analysis.MinimalCuts("R1") {
+		fmt.Printf("  %s\n", cut.Scenario.Key())
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Smefactory models the paper's target user: an SME bottling plant with a
+// small IT estate (office workstation, SCADA server, historian) driving an
+// OT line (PLCs, HMI, filler and capper equipment). It derives the
+// candidate attack surface from the built-in knowledge base, builds the
+// attack graph (entry points, compromisable assets, cheapest attack to the
+// physical process), runs exhaustive hazard identification, and sweeps the
+// mitigation budget to produce the staged consolidation plan the paper
+// motivates (§IV-D: "if a company has a limited budget let's first deal
+// with the most potential and severe risk").
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cpsrisk/internal/attack"
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/report"
+	"cpsrisk/internal/sysmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smefactory:", err)
+		os.Exit(1)
+	}
+}
+
+// buildTypes declares component types named to match the knowledge base's
+// technique/vulnerability applicability (workstation, scada_server,
+// historian, plc, hmi) plus the physical line equipment.
+func buildTypes() *sysmodel.TypeLibrary {
+	types := sysmodel.NewTypeLibrary()
+	sig := func(n string, d sysmodel.PortDir) sysmodel.PortSpec {
+		return sysmodel.PortSpec{Name: n, Dir: d, Flow: sysmodel.SignalFlow}
+	}
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "workstation", Layer: "application",
+		Ports: []sysmodel.PortSpec{sig("net", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "M", AttackOnly: true}, {Name: "crash", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "scada_server", Layer: "technology",
+		Ports: []sysmodel.PortSpec{
+			sig("fromit", sysmodel.In), sig("toplc1", sysmodel.Out),
+			sig("toplc2", sysmodel.Out), sig("tohist", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "L", AttackOnly: true}, {Name: "crash", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "historian", Layer: "technology",
+		Ports: []sysmodel.PortSpec{sig("in", sysmodel.In)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "L", AttackOnly: true}, {Name: "crash", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "plc", Layer: "technology",
+		Ports: []sysmodel.PortSpec{
+			sig("in", sysmodel.In), sig("cmd", sysmodel.Out), sig("alarm", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "L", AttackOnly: true},
+			{Name: "bad_command", Likelihood: "VL"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "hmi", Layer: "application",
+		Ports: []sysmodel.PortSpec{sig("alarm", sysmodel.In), sig("view", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "no_signal", Likelihood: "L"}, {Name: "compromised", Likelihood: "L", AttackOnly: true},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "line_equipment", Layer: "physical",
+		Ports: []sysmodel.PortSpec{sig("cmd", sysmodel.In)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "bad_command", Likelihood: "VL"}, {Name: "jam", Likelihood: "L"},
+		},
+	})
+	return types
+}
+
+func buildModel() *sysmodel.Model {
+	m := sysmodel.NewModel("sme-bottling-plant")
+	add := func(id, typ string, attrs map[string]string) {
+		m.MustAddComponent(&sysmodel.Component{ID: id, Type: typ, Attrs: attrs})
+	}
+	add("office_ws", "workstation", map[string]string{"exposure": "public", "version": "10"})
+	add("scada", "scada_server", map[string]string{"version": "5.0"})
+	add("hist", "historian", nil)
+	add("plc_filler", "plc", map[string]string{"version": "fw2.3"})
+	add("plc_capper", "plc", map[string]string{"version": "fw2.4"})
+	add("panel", "hmi", nil)
+	add("filler", "line_equipment", map[string]string{"criticality": "VH"})
+	add("capper", "line_equipment", map[string]string{"criticality": "H"})
+
+	s := sysmodel.SignalFlow
+	m.Connect("office_ws", "net", "scada", "fromit", s)
+	m.Connect("scada", "toplc1", "plc_filler", "in", s)
+	m.Connect("scada", "toplc2", "plc_capper", "in", s)
+	m.Connect("scada", "tohist", "hist", "in", s)
+	m.Connect("plc_filler", "cmd", "filler", "cmd", s)
+	m.Connect("plc_capper", "cmd", "capper", "cmd", s)
+	m.Connect("plc_filler", "alarm", "panel", "alarm", s)
+	return m
+}
+
+// behaviors: compromised components emit attacker traffic; PLCs convert
+// compromised or bad inputs into wrong commands; equipment reacts to
+// command errors.
+func buildBehaviors(types *sysmodel.TypeLibrary) *epa.BehaviorLibrary {
+	lib := epa.NewBehaviorLibrary(types)
+	comp := epa.StateOf(epa.ErrCompromise)
+	val := epa.StateOf(epa.ErrValue)
+	om := epa.StateOf(epa.ErrOmission)
+
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: "workstation",
+		Effects: []epa.FaultEffect{
+			{Fault: "compromised", Emit: comp},
+			{Fault: "crash", Emit: om},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: "scada_server",
+		Effects: []epa.FaultEffect{
+			{Fault: "compromised", Emit: comp},
+			{Fault: "crash", Emit: om},
+		},
+		Transfers: append(
+			fanout("fromit", comp, []string{"toplc1", "toplc2", "tohist"}, comp),
+			fanout("fromit", om, []string{"toplc1", "toplc2"}, om)...),
+	})
+	lib.MustRegister(&epa.TypeBehavior{Type: "historian",
+		Effects: []epa.FaultEffect{{Fault: "compromised", Emit: comp}, {Fault: "crash", Emit: om}}})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: "plc",
+		Effects: []epa.FaultEffect{
+			{Fault: "compromised", Emit: comp},
+			{Fault: "bad_command", Port: "cmd", Emit: val},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "in", Match: comp, To: "cmd", Emit: epa.StateOf(epa.ErrValue, epa.ErrCompromise)},
+			{From: "in", Match: om, To: "cmd", Emit: om},
+			{From: "in", Match: comp, To: "alarm", Emit: om},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: "hmi",
+		Effects: []epa.FaultEffect{
+			{Fault: "no_signal", Port: "view", Emit: om},
+			{Fault: "compromised", Port: "view", Emit: om},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "alarm", Match: om, To: "view", Emit: om},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{Type: "line_equipment",
+		Effects: []epa.FaultEffect{{Fault: "jam", Emit: val}}})
+	return lib
+}
+
+func fanout(from string, match epa.ErrState, tos []string, emit epa.ErrState) []epa.TransferRule {
+	var out []epa.TransferRule
+	for _, to := range tos {
+		out = append(out, epa.TransferRule{From: from, Match: match, To: to, Emit: emit})
+	}
+	return out
+}
+
+func requirements() []hazard.Requirement {
+	badCmd := func(comp string) hazard.Condition {
+		return hazard.Any(
+			hazard.Port(comp, "cmd", epa.ErrValue),
+			hazard.Port(comp, "cmd", epa.ErrCompromise),
+			hazard.Fault(comp, "jam"),
+		)
+	}
+	return []hazard.Requirement{
+		{ID: "RQ1", Description: "the filler must not receive wrong commands",
+			Severity: qual.VeryHigh, Condition: badCmd("filler")},
+		{ID: "RQ2", Description: "the capper must not receive wrong commands",
+			Severity: qual.High, Condition: badCmd("capper")},
+		{ID: "RQ3", Description: "line alarms must reach the operator",
+			Severity:  qual.Medium,
+			Condition: hazard.Port("panel", "view", epa.ErrOmission)},
+	}
+}
+
+func run() error {
+	types := buildTypes()
+	m := buildModel()
+	k := kb.MustDefaultKB()
+
+	// Attack surface: graph over the KB.
+	g, err := attack.Build(m, types, k, attack.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compromisable assets: %s\n", strings.Join(g.Compromisable(), ", "))
+	if atk, ok := g.CheapestAttack("filler", "bad_command"); ok {
+		fmt.Printf("cheapest attack on the filler (cost %d):\n", atk.Cost)
+		for _, s := range atk.Steps {
+			fmt.Printf("  %s (%s)\n", s, s.Technique.Name)
+		}
+	}
+	fmt.Println()
+
+	// Full pipeline with optimization, unlimited budget first.
+	base := core.Config{
+		Model:           m,
+		Types:           types,
+		Behaviors:       buildBehaviors(types),
+		KB:              k,
+		Requirements:    requirements(),
+		MutationSources: faults.AllSources(),
+		MaxCardinality:  1,
+		Optimize:        true,
+		Budget:          -1,
+	}
+	a, err := core.Run(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("candidates: %d   scenarios: %d   hazardous: %d\n\n",
+		len(a.Candidates), len(a.Analysis.Scenarios), len(a.Analysis.Hazards()))
+	top := a.Ranked
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	fmt.Println(report.Ranked(top))
+
+	// Budget sweep: the multi-phase consolidation strategy.
+	fmt.Println("budget sweep (total = mitigation cost + residual loss):")
+	for _, budget := range []int{0, 40, 80, 160, 320, -1} {
+		cfg := base
+		cfg.Budget = budget
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", budget)
+		if budget < 0 {
+			label = "unlimited"
+		}
+		fmt.Printf("  budget %-9s -> select [%s] cost=%d residual=%d total=%d\n",
+			label, strings.Join(res.Plan.Selected, ","), res.Plan.Cost,
+			res.Plan.ResidualLoss, res.Plan.Total)
+	}
+
+	// The staged plan at the unlimited budget.
+	fmt.Println("\nstaged consolidation plan:")
+	fmt.Println(report.Plan(a.Phases, a.Plan))
+	return nil
+}

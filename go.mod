@@ -1,0 +1,3 @@
+module cpsrisk
+
+go 1.22

@@ -1,0 +1,416 @@
+// Package archimate implements the high-level engineering modeling surface
+// of the framework (paper §II-C): a TOGAF/ArchiMate-flavored language of
+// layered elements and relationships with security annotations, and the
+// lowering of such models into the sysmodel component-port-connection
+// representation the reasoner consumes. It plays the role ArchiMate plays
+// in the paper: "a common language and toolkit between the analyst and the
+// engineers".
+package archimate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cpsrisk/internal/sysmodel"
+)
+
+// Layer is an ArchiMate layer.
+type Layer string
+
+// ArchiMate layers used for IT/OT modeling.
+const (
+	Business    Layer = "business"
+	Application Layer = "application"
+	Technology  Layer = "technology"
+	Physical    Layer = "physical"
+)
+
+// ElementType classifies an element within its layer.
+type ElementType string
+
+// Element types (the IT/OT-relevant subset of the ArchiMate vocabulary).
+const (
+	BusinessProcess      ElementType = "business-process"
+	BusinessActor        ElementType = "business-actor"
+	ApplicationComponent ElementType = "application-component"
+	ApplicationService   ElementType = "application-service"
+	Node                 ElementType = "node"
+	Device               ElementType = "device"
+	SystemSoftware       ElementType = "system-software"
+	CommunicationNetwork ElementType = "communication-network"
+	Equipment            ElementType = "equipment"
+	Facility             ElementType = "facility"
+	Material             ElementType = "material"
+)
+
+// layerOf gives the home layer of each element type.
+var layerOf = map[ElementType]Layer{
+	BusinessProcess:      Business,
+	BusinessActor:        Business,
+	ApplicationComponent: Application,
+	ApplicationService:   Application,
+	Node:                 Technology,
+	Device:               Technology,
+	SystemSoftware:       Technology,
+	CommunicationNetwork: Technology,
+	Equipment:            Physical,
+	Facility:             Physical,
+	Material:             Physical,
+}
+
+// RelationType classifies a relationship.
+type RelationType string
+
+// Relationship types. Flow carries data (lowered to a signal connection);
+// Association with the "quantity" property carries a conserved physical
+// quantity (lowered to a quantity connection); Composition nests an
+// element inside a composite; Assignment/Serving/Realization are
+// structural annotations preserved as metadata.
+const (
+	Flow        RelationType = "flow"
+	Association RelationType = "association"
+	Composition RelationType = "composition"
+	Assignment  RelationType = "assignment"
+	Serving     RelationType = "serving"
+	Realization RelationType = "realization"
+)
+
+// Element is an ArchiMate element with security properties (per the Open
+// Group "risk and security modeling" overlay, paper ref [8]).
+type Element struct {
+	ID    string      `json:"id"`
+	Name  string      `json:"name,omitempty"`
+	Type  ElementType `json:"type"`
+	Layer Layer       `json:"layer,omitempty"` // defaults from Type
+	// Props carries annotations, e.g. exposure=public, version=2.3,
+	// criticality=H, componentType=<sysmodel type override>.
+	Props map[string]string `json:"props,omitempty"`
+}
+
+// Relation links two elements.
+type Relation struct {
+	Type  RelationType `json:"type"`
+	From  string       `json:"from"`
+	To    string       `json:"to"`
+	Label string       `json:"label,omitempty"`
+	// Props: quantity=true marks an association as a physical shared
+	// quantity.
+	Props map[string]string `json:"props,omitempty"`
+}
+
+// Model is an ArchiMate view of the system.
+type Model struct {
+	Name      string                 `json:"name"`
+	Elements  []Element              `json:"elements"`
+	Relations []Relation             `json:"relations"`
+	Reqs      []sysmodel.Requirement `json:"requirements,omitempty"`
+}
+
+// AddElement appends an element.
+func (m *Model) AddElement(e Element) { m.Elements = append(m.Elements, e) }
+
+// AddRelation appends a relation.
+func (m *Model) AddRelation(r Relation) { m.Relations = append(m.Relations, r) }
+
+// Validate checks element uniqueness, known types, and relation endpoint
+// resolution.
+func (m *Model) Validate() error {
+	ids := map[string]bool{}
+	for _, e := range m.Elements {
+		if e.ID == "" {
+			return fmt.Errorf("archimate: element with empty ID")
+		}
+		if ids[e.ID] {
+			return fmt.Errorf("archimate: duplicate element ID %q", e.ID)
+		}
+		ids[e.ID] = true
+		if _, ok := layerOf[e.Type]; !ok {
+			return fmt.Errorf("archimate: element %q has unknown type %q", e.ID, e.Type)
+		}
+	}
+	for i, r := range m.Relations {
+		if !ids[r.From] {
+			return fmt.Errorf("archimate: relation %d references unknown element %q", i, r.From)
+		}
+		if !ids[r.To] {
+			return fmt.Errorf("archimate: relation %d references unknown element %q", i, r.To)
+		}
+		switch r.Type {
+		case Flow, Association, Composition, Assignment, Serving, Realization:
+		default:
+			return fmt.Errorf("archimate: relation %d has unknown type %q", i, r.Type)
+		}
+	}
+	return nil
+}
+
+// ElementLayer resolves the effective layer of an element.
+func (e *Element) ElementLayer() Layer {
+	if e.Layer != "" {
+		return e.Layer
+	}
+	return layerOf[e.Type]
+}
+
+// Lower transforms the ArchiMate model into a sysmodel.Model plus the
+// generated component-type library. Each element becomes a component whose
+// sysmodel type is the element type (or the componentType property
+// override); ports are synthesized per connection:
+//
+//   - Flow relation a -> b: port "out<i>" (signal out) on a, "in<i>"
+//     (signal in) on b, signal connection.
+//   - Association with quantity property: inout quantity ports and a
+//     quantity connection.
+//   - Composition parent -> child: the child (with its connections inside
+//     the parent's sub-model) nests under the parent composite. Only one
+//     level of composition per parent is synthesized here; deeper nesting
+//     comes from repeated composition relations.
+//
+// Assignment/Serving/Realization relations become component attributes
+// ("assignedTo", "serves", "realizes") preserved for deployment-aspect
+// reasoning.
+func (m *Model) Lower() (*sysmodel.Model, *sysmodel.TypeLibrary, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Partition elements into composite children and the rest.
+	parentOf := map[string]string{}
+	for _, r := range m.Relations {
+		if r.Type == Composition {
+			if prev, dup := parentOf[r.To]; dup && prev != r.From {
+				return nil, nil, fmt.Errorf("archimate: element %q composed into both %q and %q",
+					r.To, prev, r.From)
+			}
+			parentOf[r.To] = r.From
+		}
+	}
+	// Reject composition cycles.
+	for id := range parentOf {
+		seen := map[string]bool{}
+		for cur := id; cur != ""; cur = parentOf[cur] {
+			if seen[cur] {
+				return nil, nil, fmt.Errorf("archimate: composition cycle through %q", cur)
+			}
+			seen[cur] = true
+		}
+	}
+
+	lw := &lowerer{
+		lib:      sysmodel.NewTypeLibrary(),
+		models:   map[string]*sysmodel.Model{},
+		elements: map[string]Element{},
+		parentOf: parentOf,
+		portN:    map[string]int{},
+	}
+	root := sysmodel.NewModel(m.Name)
+	lw.models[""] = root
+
+	for _, e := range m.Elements {
+		lw.elements[e.ID] = e
+	}
+	// Create components in their owning (sub)model.
+	for _, e := range m.Elements {
+		owner := lw.modelFor(parentOf[e.ID])
+		comp := &sysmodel.Component{
+			ID:    e.ID,
+			Name:  e.Name,
+			Type:  lw.typeName(e),
+			Layer: string(e.ElementLayer()),
+		}
+		for k, v := range e.Props {
+			comp.SetAttr(k, v)
+		}
+		if err := owner.AddComponent(comp); err != nil {
+			return nil, nil, err
+		}
+		lw.ensureType(e)
+	}
+	// Attach sub-models to their composite parents.
+	for childParent, parent := range parentOf {
+		_ = childParent
+		parentComp, err := lw.componentOf(parent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if parentComp.Sub == nil {
+			parentComp.Sub = lw.models[parent]
+		}
+	}
+	// Lower relations.
+	for _, r := range m.Relations {
+		if err := lw.lowerRelation(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	root.Requirements = append(root.Requirements, m.Reqs...)
+	if err := root.Validate(lw.lib); err != nil {
+		return nil, nil, fmt.Errorf("archimate: lowered model invalid: %w", err)
+	}
+	return root, lw.lib, nil
+}
+
+type lowerer struct {
+	lib      *sysmodel.TypeLibrary
+	models   map[string]*sysmodel.Model // parent element ID ("" = root) -> model
+	elements map[string]Element
+	parentOf map[string]string
+	portN    map[string]int // element ID -> port counter
+}
+
+func (lw *lowerer) modelFor(parent string) *sysmodel.Model {
+	if m, ok := lw.models[parent]; ok {
+		return m
+	}
+	m := sysmodel.NewModel(parent + "-sub")
+	lw.models[parent] = m
+	return m
+}
+
+func (lw *lowerer) componentOf(id string) (*sysmodel.Component, error) {
+	owner := lw.models[lw.parentOf[id]]
+	if owner == nil {
+		return nil, fmt.Errorf("archimate: no model for parent of %q", id)
+	}
+	c, ok := owner.Component(id)
+	if !ok {
+		return nil, fmt.Errorf("archimate: lowered component %q missing", id)
+	}
+	return c, nil
+}
+
+func (lw *lowerer) typeName(e Element) string {
+	if t := e.Props["componentType"]; t != "" {
+		return "am:" + t
+	}
+	return "am:" + string(e.Type)
+}
+
+func (lw *lowerer) ensureType(e Element) {
+	name := lw.typeName(e)
+	if _, ok := lw.lib.Get(name); ok {
+		return
+	}
+	lw.lib.MustAdd(&sysmodel.ComponentType{
+		Name:  name,
+		Layer: string(e.ElementLayer()),
+	})
+}
+
+// addPort appends a fresh port to the element's component type. Types are
+// shared between elements of the same kind, so ports accumulate on the
+// shared type; every instance legally exposes the union (unused ports are
+// simply never connected).
+func (lw *lowerer) addPort(elemID string, dir sysmodel.PortDir, flow sysmodel.FlowKind) (string, error) {
+	e := lw.elements[elemID]
+	ctName := lw.typeName(e)
+	ct, ok := lw.lib.Get(ctName)
+	if !ok {
+		return "", fmt.Errorf("archimate: missing type %q", ctName)
+	}
+	lw.portN[elemID]++
+	port := fmt.Sprintf("%s%d_%s", dirPrefix(dir), lw.portN[elemID], elemID)
+	if _, dup := ct.Port(port); !dup {
+		ct.Ports = append(ct.Ports, sysmodel.PortSpec{Name: port, Dir: dir, Flow: flow})
+	}
+	return port, nil
+}
+
+func dirPrefix(d sysmodel.PortDir) string {
+	switch d {
+	case sysmodel.In:
+		return "in"
+	case sysmodel.Out:
+		return "out"
+	default:
+		return "io"
+	}
+}
+
+func (lw *lowerer) lowerRelation(r Relation) error {
+	switch r.Type {
+	case Composition:
+		return nil // handled structurally
+	case Assignment, Serving, Realization:
+		from, err := lw.componentOf(r.From)
+		if err != nil {
+			return err
+		}
+		from.SetAttr(attrFor(r.Type), r.To)
+		return nil
+	case Flow, Association:
+	default:
+		return fmt.Errorf("archimate: unsupported relation %q", r.Type)
+	}
+	// Connections must stay within one (sub)model level.
+	pf, pt := lw.parentOf[r.From], lw.parentOf[r.To]
+	if pf != pt {
+		return fmt.Errorf("archimate: relation %s->%s crosses composite boundary (%q vs %q); "+
+			"model boundary ports explicitly in sysmodel instead", r.From, r.To, pf, pt)
+	}
+	owner := lw.models[pf]
+	flow := sysmodel.SignalFlow
+	dirFrom, dirTo := sysmodel.Out, sysmodel.In
+	if r.Type == Association {
+		if r.Props["quantity"] != "true" {
+			// Plain associations are metadata only.
+			from, err := lw.componentOf(r.From)
+			if err != nil {
+				return err
+			}
+			from.SetAttr("associatedWith", r.To)
+			return nil
+		}
+		flow = sysmodel.QuantityFlow
+		dirFrom, dirTo = sysmodel.InOut, sysmodel.InOut
+	}
+	fromPort, err := lw.addPort(r.From, dirFrom, flow)
+	if err != nil {
+		return err
+	}
+	toPort, err := lw.addPort(r.To, dirTo, flow)
+	if err != nil {
+		return err
+	}
+	owner.Connections = append(owner.Connections, sysmodel.Connection{
+		From:  sysmodel.PortRef{Component: r.From, Port: fromPort},
+		To:    sysmodel.PortRef{Component: r.To, Port: toPort},
+		Flow:  flow,
+		Label: r.Label,
+	})
+	return nil
+}
+
+func attrFor(rt RelationType) string {
+	switch rt {
+	case Assignment:
+		return "assignedTo"
+	case Serving:
+		return "serves"
+	case Realization:
+		return "realizes"
+	default:
+		return string(rt)
+	}
+}
+
+// WriteJSON serializes the ArchiMate model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON deserializes an ArchiMate model.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("archimate: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

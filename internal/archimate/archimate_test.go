@@ -1,0 +1,239 @@
+package archimate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/sysmodel"
+)
+
+// paperStyleModel builds an ArchiMate view resembling the paper's case
+// study: an engineering workstation (application) controls valve equipment
+// through a PLC node; the valve shares a physical quantity with a tank.
+func paperStyleModel() *Model {
+	m := &Model{Name: "water-tank-view"}
+	m.AddElement(Element{ID: "ews", Name: "Engineering Workstation", Type: ApplicationComponent,
+		Props: map[string]string{"exposure": "public", "version": "1.2"}})
+	m.AddElement(Element{ID: "plc", Name: "Valve Controller PLC", Type: Device})
+	m.AddElement(Element{ID: "valve", Name: "Input Valve", Type: Equipment})
+	m.AddElement(Element{ID: "tank", Name: "Water Tank", Type: Equipment})
+	m.AddRelation(Relation{Type: Flow, From: "ews", To: "plc", Label: "reconfigure"})
+	m.AddRelation(Relation{Type: Flow, From: "plc", To: "valve", Label: "command"})
+	m.AddRelation(Relation{Type: Association, From: "valve", To: "tank",
+		Props: map[string]string{"quantity": "true"}})
+	m.Reqs = append(m.Reqs, sysmodel.Requirement{ID: "R1", Formula: "G !state(tank,overflow)", Severity: "H"})
+	return m
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := paperStyleModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"empty id", func(m *Model) { m.Elements[0].ID = "" }},
+		{"dup id", func(m *Model) { m.AddElement(Element{ID: "ews", Type: Device}) }},
+		{"bad type", func(m *Model) { m.Elements[0].Type = "spaceship" }},
+		{"dangling from", func(m *Model) { m.Relations[0].From = "ghost" }},
+		{"dangling to", func(m *Model) { m.Relations[0].To = "ghost" }},
+		{"bad relation", func(m *Model) { m.Relations[0].Type = "teleport" }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := paperStyleModel()
+			tt.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestLayerDefaults(t *testing.T) {
+	e := Element{ID: "x", Type: Equipment}
+	if e.ElementLayer() != Physical {
+		t.Errorf("layer = %v", e.ElementLayer())
+	}
+	e.Layer = Technology
+	if e.ElementLayer() != Technology {
+		t.Errorf("override layer = %v", e.ElementLayer())
+	}
+}
+
+func TestLowerBasic(t *testing.T) {
+	sm, lib, err := paperStyleModel().Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Validate(lib); err != nil {
+		t.Fatalf("lowered model invalid: %v", err)
+	}
+	if len(sm.Components) != 4 {
+		t.Fatalf("components = %d", len(sm.Components))
+	}
+	ews, ok := sm.Component("ews")
+	if !ok {
+		t.Fatal("ews missing")
+	}
+	if ews.Attr("exposure") != "public" || ews.Layer != "application" {
+		t.Errorf("ews = %+v", ews)
+	}
+	// Flow connections are directed signal; association is quantity.
+	var signals, quantities int
+	for _, c := range sm.Connections {
+		switch c.Flow {
+		case sysmodel.SignalFlow:
+			signals++
+		case sysmodel.QuantityFlow:
+			quantities++
+		}
+	}
+	if signals != 2 || quantities != 1 {
+		t.Errorf("signals=%d quantities=%d", signals, quantities)
+	}
+	// Propagation graph: ews reaches the tank (the IT-to-OT path the paper
+	// is about).
+	g := sm.BuildGraph()
+	path := g.ShortestPath("ews", "tank")
+	if len(path) != 4 {
+		t.Errorf("ews->tank path = %v", path)
+	}
+	if len(sm.Requirements) != 1 || sm.Requirements[0].ID != "R1" {
+		t.Errorf("requirements = %v", sm.Requirements)
+	}
+}
+
+func TestLowerComposition(t *testing.T) {
+	m := &Model{Name: "hier"}
+	m.AddElement(Element{ID: "ews", Type: ApplicationComponent})
+	m.AddElement(Element{ID: "email", Type: ApplicationService})
+	m.AddElement(Element{ID: "browser", Type: ApplicationService})
+	m.AddRelation(Relation{Type: Composition, From: "ews", To: "email"})
+	m.AddRelation(Relation{Type: Composition, From: "ews", To: "browser"})
+	m.AddRelation(Relation{Type: Flow, From: "email", To: "browser", Label: "open link"})
+
+	sm, lib, err := m.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	ews, ok := sm.Component("ews")
+	if !ok || !ews.IsComposite() {
+		t.Fatalf("ews not composite: %+v", ews)
+	}
+	if _, ok := ews.Sub.Component("email"); !ok {
+		t.Error("inner email missing")
+	}
+	if len(ews.Sub.Connections) != 1 {
+		t.Errorf("inner connections = %v", ews.Sub.Connections)
+	}
+	st := sm.Stats()
+	if st.Composites != 1 || st.Depth != 1 || st.Components != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLowerCompositionErrors(t *testing.T) {
+	m := &Model{Name: "bad"}
+	m.AddElement(Element{ID: "a", Type: Node})
+	m.AddElement(Element{ID: "b", Type: Node})
+	m.AddRelation(Relation{Type: Composition, From: "a", To: "b"})
+	m.AddRelation(Relation{Type: Composition, From: "b", To: "a"})
+	if _, _, err := m.Lower(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("composition cycle error = %v", err)
+	}
+
+	m2 := &Model{Name: "twoparents"}
+	m2.AddElement(Element{ID: "a", Type: Node})
+	m2.AddElement(Element{ID: "b", Type: Node})
+	m2.AddElement(Element{ID: "c", Type: Node})
+	m2.AddRelation(Relation{Type: Composition, From: "a", To: "c"})
+	m2.AddRelation(Relation{Type: Composition, From: "b", To: "c"})
+	if _, _, err := m2.Lower(); err == nil || !strings.Contains(err.Error(), "composed into both") {
+		t.Errorf("two-parent error = %v", err)
+	}
+
+	m3 := &Model{Name: "crossing"}
+	m3.AddElement(Element{ID: "a", Type: Node})
+	m3.AddElement(Element{ID: "b", Type: Node})
+	m3.AddElement(Element{ID: "inner", Type: SystemSoftware})
+	m3.AddRelation(Relation{Type: Composition, From: "a", To: "inner"})
+	m3.AddRelation(Relation{Type: Flow, From: "inner", To: "b"})
+	if _, _, err := m3.Lower(); err == nil || !strings.Contains(err.Error(), "boundary") {
+		t.Errorf("boundary error = %v", err)
+	}
+}
+
+func TestLowerStructuralRelations(t *testing.T) {
+	m := &Model{Name: "deploy"}
+	m.AddElement(Element{ID: "scada", Type: ApplicationComponent})
+	m.AddElement(Element{ID: "server", Type: Node})
+	m.AddRelation(Relation{Type: Assignment, From: "scada", To: "server"})
+	m.AddRelation(Relation{Type: Association, From: "scada", To: "server"})
+	sm, _, err := m.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := sm.Component("scada")
+	if c.Attr("assignedTo") != "server" {
+		t.Errorf("assignedTo = %q", c.Attr("assignedTo"))
+	}
+	if c.Attr("associatedWith") != "server" {
+		t.Errorf("associatedWith = %q", c.Attr("associatedWith"))
+	}
+	if len(sm.Connections) != 0 {
+		t.Errorf("structural relations must not create connections: %v", sm.Connections)
+	}
+}
+
+func TestComponentTypeOverride(t *testing.T) {
+	m := &Model{Name: "override"}
+	m.AddElement(Element{ID: "v1", Type: Equipment,
+		Props: map[string]string{"componentType": "valve"}})
+	sm, lib, err := m.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := sm.Component("v1")
+	if c.Type != "am:valve" {
+		t.Errorf("type = %q", c.Type)
+	}
+	if _, ok := lib.Get("am:valve"); !ok {
+		t.Error("override type not registered")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := paperStyleModel()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Elements) != len(m.Elements) || len(m2.Relations) != len(m.Relations) {
+		t.Error("round trip lost elements")
+	}
+	if _, _, err := m2.Lower(); err != nil {
+		t.Fatalf("round-tripped model fails to lower: %v", err)
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","elements":[{"id":"a","type":"nope"}]}`)); err == nil {
+		t.Error("bad element type must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"bogus":true}`)); err == nil {
+		t.Error("unknown field must fail")
+	}
+}

@@ -1,0 +1,332 @@
+// Package attack implements scenario identification from the cybersecurity
+// perspective (paper §IV-A): building the logical attack-scenario space
+// over the topological model. Assets × applicable techniques form an
+// attack graph; entry steps need public exposure, lateral steps need an
+// already compromised neighbor; impact steps activate component fault
+// modes. The graph yields the compromisable-asset set, attack paths,
+// cheapest attacks (the "attack cost" optimization input of §IV-D), and
+// the attacker-induced candidate mutations.
+package attack
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/sysmodel"
+)
+
+// FaultCompromised is the fault mode marking attacker control; techniques
+// activating it extend the attacker's foothold, all others are impacts.
+const FaultCompromised = "compromised"
+
+// Step is one attack-graph edge: a technique applied to an asset, entered
+// either from outside (From == "") or from a compromised neighbor.
+type Step struct {
+	Asset     string
+	Technique *kb.Technique
+	// From is the compromised neighbor enabling an adjacent technique, or
+	// "" for an entry step on a publicly exposed asset.
+	From string
+	// Cost is the numeric attacker effort (1..5 from the technique's
+	// qualitative AttackCost).
+	Cost int
+}
+
+// String implements fmt.Stringer.
+func (s Step) String() string {
+	from := "internet"
+	if s.From != "" {
+		from = s.From
+	}
+	return fmt.Sprintf("%s -[%s]-> %s", from, s.Technique.ID, s.Asset)
+}
+
+// Graph is the attack-scenario space of a model.
+type Graph struct {
+	model *sysmodel.Model
+	// entries[asset] lists entry steps on the asset.
+	entries map[string][]Step
+	// lateral[neighbor] lists steps enabled by that neighbor being
+	// compromised.
+	lateral map[string][]Step
+	// adjacency is the undirected connectivity used for lateral movement.
+	adjacency map[string][]string
+}
+
+// Options configures graph construction.
+type Options struct {
+	// ActiveMitigations marks deployed mitigations by ID: a technique is
+	// blocked when any of its listed mitigations is active (the paper's
+	// blocking semantics — M1 blocks the spearphishing link step).
+	ActiveMitigations map[string]bool
+}
+
+// Build constructs the attack graph of a flat model against the KB.
+func Build(m *sysmodel.Model, lib *sysmodel.TypeLibrary, k *kb.KB, opt Options) (*Graph, error) {
+	if comps := m.Composites(); len(comps) > 0 {
+		return nil, fmt.Errorf("attack: model has unresolved composites %v", comps)
+	}
+	g := &Graph{
+		model:     m,
+		entries:   map[string][]Step{},
+		lateral:   map[string][]Step{},
+		adjacency: map[string][]string{},
+	}
+	for _, conn := range m.Connections {
+		a, b := conn.From.Component, conn.To.Component
+		g.adjacency[a] = appendUnique(g.adjacency[a], b)
+		g.adjacency[b] = appendUnique(g.adjacency[b], a)
+	}
+	blocked := func(t *kb.Technique) bool {
+		for _, mid := range t.Mitigations {
+			if opt.ActiveMitigations[mid] {
+				return true
+			}
+		}
+		return false
+	}
+	five := qual.FiveLevel()
+	for _, c := range m.Components {
+		if _, ok := lib.Get(c.Type); !ok {
+			return nil, fmt.Errorf("attack: component %q has unknown type %q", c.ID, c.Type)
+		}
+		for _, t := range k.TechniquesFor(c.Type) {
+			if t.FaultMode == "" || blocked(t) {
+				continue
+			}
+			cost := 3
+			if t.AttackCost != "" {
+				l, err := five.Parse(t.AttackCost)
+				if err != nil {
+					return nil, fmt.Errorf("attack: technique %s: %w", t.ID, err)
+				}
+				cost = int(l) + 1
+			}
+			switch t.RequiresExposure {
+			case "public":
+				if c.Attr("exposure") == "public" {
+					g.entries[c.ID] = append(g.entries[c.ID],
+						Step{Asset: c.ID, Technique: t, Cost: cost})
+				}
+			case "adjacent", "":
+				for _, nb := range g.adjacency[c.ID] {
+					g.lateral[nb] = append(g.lateral[nb],
+						Step{Asset: c.ID, Technique: t, From: nb, Cost: cost})
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Compromisable returns the assets the attacker can take control of
+// (fixpoint over entry + lateral compromise steps), sorted.
+func (g *Graph) Compromisable() []string {
+	set := map[string]bool{}
+	var queue []string
+	push := func(asset string) {
+		if !set[asset] {
+			set[asset] = true
+			queue = append(queue, asset)
+		}
+	}
+	for asset, steps := range g.entries {
+		for _, s := range steps {
+			if s.Technique.FaultMode == FaultCompromised {
+				push(asset)
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, s := range g.lateral[cur] {
+			if s.Technique.FaultMode == FaultCompromised {
+				push(s.Asset)
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InducedMutations returns the fault activations the attacker can achieve:
+// "compromised" on every compromisable asset plus every impact technique's
+// fault mode on assets adjacent to a compromisable one (or publicly
+// entered). Likelihoods come from the enabling technique. This is the
+// attack contribution to the candidate-mutation set of §IV-A.
+func (g *Graph) InducedMutations() []epa.Activation {
+	comp := map[string]bool{}
+	for _, a := range g.Compromisable() {
+		comp[a] = true
+	}
+	set := map[epa.Activation]bool{}
+	for asset := range comp {
+		set[epa.Activation{Component: asset, Fault: FaultCompromised}] = true
+	}
+	for asset, steps := range g.entries {
+		for _, s := range steps {
+			set[epa.Activation{Component: asset, Fault: s.Technique.FaultMode}] = true
+		}
+	}
+	for neighbor, steps := range g.lateral {
+		if !comp[neighbor] {
+			continue
+		}
+		for _, s := range steps {
+			set[epa.Activation{Component: s.Asset, Fault: s.Technique.FaultMode}] = true
+		}
+	}
+	out := make([]epa.Activation, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Fault < out[j].Fault
+	})
+	return out
+}
+
+// Attack is a priced attack path ending in a goal step.
+type Attack struct {
+	Steps []Step
+	Cost  int
+}
+
+// CheapestAttack finds the minimum-cost attack achieving the fault mode on
+// the target asset (Dijkstra over compromised assets; the final step may
+// be an impact technique). It returns false when the goal is unreachable.
+func (g *Graph) CheapestAttack(target, faultMode string) (Attack, bool) {
+	dist := map[string]int{}
+	prev := map[string]Step{}
+	pq := &stepHeap{}
+	heap.Init(pq)
+
+	relax := func(asset string, cost int, via Step) {
+		if d, ok := dist[asset]; ok && d <= cost {
+			return
+		}
+		dist[asset] = cost
+		prev[asset] = via
+		heap.Push(pq, stepHeapItem{asset: asset, cost: cost})
+	}
+	for asset, steps := range g.entries {
+		for _, s := range steps {
+			if s.Technique.FaultMode == FaultCompromised {
+				relax(asset, s.Cost, s)
+			}
+		}
+	}
+	best := Attack{}
+	found := false
+	consider := func(base int, goal Step) {
+		total := base + goal.Cost
+		if found && total >= best.Cost {
+			return
+		}
+		var steps []Step
+		cur := goal.From
+		for cur != "" {
+			s := prev[cur]
+			steps = append(steps, s)
+			cur = s.From
+		}
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		steps = append(steps, goal)
+		best = Attack{Steps: steps, Cost: total}
+		found = true
+	}
+	// Direct entry impacts on the target.
+	for _, s := range g.entries[target] {
+		if s.Technique.FaultMode == faultMode {
+			consider(0, Step{Asset: s.Asset, Technique: s.Technique, Cost: s.Cost})
+		}
+	}
+	settled := map[string]bool{}
+	for pq.Len() > 0 {
+		st, _ := heap.Pop(pq).(stepHeapItem)
+		if settled[st.asset] || st.cost != dist[st.asset] {
+			continue
+		}
+		settled[st.asset] = true
+		// Goal checks from this foothold.
+		for _, s := range g.lateral[st.asset] {
+			if s.Asset == target && s.Technique.FaultMode == faultMode {
+				consider(st.cost, s)
+			}
+			if s.Technique.FaultMode == FaultCompromised {
+				relax(s.Asset, st.cost+s.Cost, s)
+			}
+		}
+		if st.asset == target && faultMode == FaultCompromised {
+			// The relax chain already reached the goal.
+			var steps []Step
+			cur := target
+			for cur != "" {
+				s := prev[cur]
+				steps = append(steps, s)
+				cur = s.From
+			}
+			for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+				steps[i], steps[j] = steps[j], steps[i]
+			}
+			if !found || st.cost < best.Cost {
+				best = Attack{Steps: steps, Cost: st.cost}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+type stepHeapItem struct {
+	asset string
+	cost  int
+}
+
+type stepHeap []stepHeapItem
+
+func (h stepHeap) Len() int           { return len(h) }
+func (h stepHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h stepHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *stepHeap) Push(x interface{}) {
+	item, ok := x.(stepHeapItem)
+	if !ok {
+		return
+	}
+	*h = append(*h, item)
+}
+
+// Pop implements heap.Interface.
+func (h *stepHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,228 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/sysmodel"
+)
+
+// setup builds the case-study-shaped IT/OT chain:
+// ews (public workstation) -- plc -- hmi, with the plc driving a valve.
+func setup(t testing.TB) (*sysmodel.Model, *sysmodel.TypeLibrary, *kb.KB) {
+	t.Helper()
+	lib := sysmodel.NewTypeLibrary()
+	port := func(n string, d sysmodel.PortDir) sysmodel.PortSpec {
+		return sysmodel.PortSpec{Name: n, Dir: d, Flow: sysmodel.SignalFlow}
+	}
+	lib.MustAdd(&sysmodel.ComponentType{Name: "workstation",
+		Ports:      []sysmodel.PortSpec{port("net", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "compromised"}}})
+	lib.MustAdd(&sysmodel.ComponentType{Name: "plc",
+		Ports: []sysmodel.PortSpec{port("in", sysmodel.In), port("cmd", sysmodel.Out), port("tohmi", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised"}, {Name: "bad_command"}}})
+	lib.MustAdd(&sysmodel.ComponentType{Name: "hmi",
+		Ports:      []sysmodel.PortSpec{port("in", sysmodel.In)},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "no_signal"}, {Name: "compromised"}}})
+	lib.MustAdd(&sysmodel.ComponentType{Name: "valve",
+		Ports:      []sysmodel.PortSpec{port("cmd", sysmodel.In)},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "bad_command"}}})
+
+	m := sysmodel.NewModel("itot")
+	m.MustAddComponent(&sysmodel.Component{ID: "ews", Type: "workstation",
+		Attrs: map[string]string{"exposure": "public"}})
+	m.MustAddComponent(&sysmodel.Component{ID: "plc1", Type: "plc"})
+	m.MustAddComponent(&sysmodel.Component{ID: "panel", Type: "hmi"})
+	m.MustAddComponent(&sysmodel.Component{ID: "v1", Type: "valve"})
+	m.Connect("ews", "net", "plc1", "in", sysmodel.SignalFlow)
+	m.Connect("plc1", "cmd", "v1", "cmd", sysmodel.SignalFlow)
+	m.Connect("plc1", "tohmi", "panel", "in", sysmodel.SignalFlow)
+	return m, lib, kb.MustDefaultKB()
+}
+
+func TestCompromisable(t *testing.T) {
+	m, lib, k := setup(t)
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Compromisable()
+	// ews enters via spearphishing (public); plc1 via T-0866 from ews;
+	// panel via remote services from plc1. The valve has no "compromised"
+	// fault mode technique, so it is not a foothold.
+	want := []string{"ews", "panel", "plc1"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("compromisable = %v, want %v", got, want)
+	}
+}
+
+func TestCompromisableBlockedWithoutEntry(t *testing.T) {
+	m, lib, k := setup(t)
+	c, _ := m.Component("ews")
+	c.SetAttr("exposure", "internal")
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Compromisable(); len(got) != 0 {
+		t.Fatalf("no public asset -> nothing compromisable, got %v", got)
+	}
+}
+
+func TestMitigationBlocksEntry(t *testing.T) {
+	m, lib, k := setup(t)
+	// Block every entry technique on the workstation: user training
+	// (T-1566), endpoint security + patching (T-1189), MFA + access
+	// management (T-1078).
+	g, err := Build(m, lib, k, Options{ActiveMitigations: map[string]bool{
+		"M-0917": true, "M-0949": true, "M-0932": true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Compromisable(); len(got) != 0 {
+		t.Fatalf("all entries mitigated, got %v", got)
+	}
+}
+
+func TestInducedMutations(t *testing.T) {
+	m, lib, k := setup(t)
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := g.InducedMutations()
+	has := func(comp, fault string) bool {
+		for _, a := range muts {
+			if a.Component == comp && a.Fault == fault {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("ews", "compromised") {
+		t.Error("ews compromise missing")
+	}
+	if !has("v1", "bad_command") {
+		t.Error("valve impact missing (reachable from compromised plc1)")
+	}
+	if !has("panel", "no_signal") {
+		t.Error("hmi DoS missing")
+	}
+	if has("v1", "compromised") {
+		t.Error("valve cannot be a foothold")
+	}
+}
+
+func TestInducedMutationsShrinkWithMitigations(t *testing.T) {
+	m, lib, k := setup(t)
+	open, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, err := Build(m, lib, k, Options{ActiveMitigations: map[string]bool{
+		"M-0930": true, // network segmentation blocks T-0866 etc.
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hardened.InducedMutations()) >= len(open.InducedMutations()) {
+		t.Errorf("mitigations must shrink the induced set: %d vs %d",
+			len(hardened.InducedMutations()), len(open.InducedMutations()))
+	}
+}
+
+func TestCheapestAttack(t *testing.T) {
+	m, lib, k := setup(t)
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, ok := g.CheapestAttack("v1", "bad_command")
+	if !ok {
+		t.Fatal("no attack found to the valve")
+	}
+	if len(atk.Steps) < 2 {
+		t.Fatalf("attack = %+v", atk)
+	}
+	// The path must start with an entry and end on the valve.
+	if atk.Steps[0].From != "" {
+		t.Errorf("first step not an entry: %v", atk.Steps[0])
+	}
+	last := atk.Steps[len(atk.Steps)-1]
+	if last.Asset != "v1" || last.Technique.FaultMode != "bad_command" {
+		t.Errorf("last step = %v", last)
+	}
+	// Cost equals the sum of step costs.
+	sum := 0
+	for _, s := range atk.Steps {
+		sum += s.Cost
+	}
+	if sum != atk.Cost {
+		t.Errorf("cost %d != sum %d", atk.Cost, sum)
+	}
+	// Each step chains from the previous asset.
+	for i := 1; i < len(atk.Steps); i++ {
+		if atk.Steps[i].From != atk.Steps[i-1].Asset {
+			t.Errorf("broken chain at %d: %v -> %v", i, atk.Steps[i-1], atk.Steps[i])
+		}
+	}
+}
+
+func TestCheapestAttackCompromiseGoal(t *testing.T) {
+	m, lib, k := setup(t)
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, ok := g.CheapestAttack("ews", "compromised")
+	if !ok {
+		t.Fatal("ews must be attackable")
+	}
+	deeper, ok := g.CheapestAttack("panel", "compromised")
+	if !ok {
+		t.Fatal("panel must be attackable")
+	}
+	if direct.Cost >= deeper.Cost {
+		t.Errorf("deeper target must cost more: %d vs %d", direct.Cost, deeper.Cost)
+	}
+}
+
+func TestCheapestAttackUnreachable(t *testing.T) {
+	m, lib, k := setup(t)
+	c, _ := m.Component("ews")
+	c.SetAttr("exposure", "internal")
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.CheapestAttack("v1", "bad_command"); ok {
+		t.Error("attack must be impossible without an entry point")
+	}
+}
+
+func TestBuildRejectsComposite(t *testing.T) {
+	m, lib, k := setup(t)
+	inner := sysmodel.NewModel("inner")
+	inner.MustAddComponent(&sysmodel.Component{ID: "i", Type: "hmi"})
+	m.MustAddComponent(&sysmodel.Component{ID: "box", Type: "hmi", Sub: inner})
+	if _, err := Build(m, lib, k, Options{}); err == nil {
+		t.Error("composite model must be rejected")
+	}
+}
+
+func BenchmarkBuildAndCheapest(b *testing.B) {
+	m, lib, k := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := Build(m, lib, k, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := g.CheapestAttack("v1", "bad_command"); !ok {
+			b.Fatal("unreachable")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"sort"
+)
+
+// Goal is an attacker objective: achieving a fault mode on a target asset
+// with the defender's loss if it succeeds (numeric, from the risk layer's
+// loss weights).
+type Goal struct {
+	Target string
+	Fault  string
+	Loss   int
+}
+
+// RatedAttack pairs a goal with its cheapest attack and the
+// loss-per-cost efficiency the paper's §IV-D calls the "most efficient
+// attack" metric.
+type RatedAttack struct {
+	Goal   Goal
+	Attack Attack
+	// Efficiency is Loss divided by attack cost (0 for unreachable
+	// goals, which are excluded from the ranking).
+	Efficiency float64
+}
+
+// MostEfficientAttacks rates every reachable goal by loss/cost and
+// returns them ranked best-for-the-attacker first (ties by lower cost,
+// then target for determinism). The head of the list is the attack a
+// rational adversary prefers — and therefore the defender's first
+// mitigation priority.
+func (g *Graph) MostEfficientAttacks(goals []Goal) []RatedAttack {
+	out := make([]RatedAttack, 0, len(goals))
+	for _, goal := range goals {
+		atk, ok := g.CheapestAttack(goal.Target, goal.Fault)
+		if !ok || atk.Cost <= 0 {
+			continue
+		}
+		out = append(out, RatedAttack{
+			Goal:       goal,
+			Attack:     atk,
+			Efficiency: float64(goal.Loss) / float64(atk.Cost),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Efficiency != b.Efficiency {
+			return a.Efficiency > b.Efficiency
+		}
+		if a.Attack.Cost != b.Attack.Cost {
+			return a.Attack.Cost < b.Attack.Cost
+		}
+		return a.Goal.Target < b.Goal.Target
+	})
+	return out
+}

@@ -1,0 +1,52 @@
+package attack
+
+import (
+	"testing"
+)
+
+func TestMostEfficientAttacks(t *testing.T) {
+	m, lib, k := setup(t)
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals := []Goal{
+		{Target: "v1", Fault: "bad_command", Loss: 1000},   // deep but valuable
+		{Target: "panel", Fault: "no_signal", Loss: 50},    // shallower, low loss
+		{Target: "ews", Fault: "compromised", Loss: 100},   // entry-level
+		{Target: "v1", Fault: "compromised", Loss: 999999}, // unreachable goal
+	}
+	rated := g.MostEfficientAttacks(goals)
+	if len(rated) != 3 {
+		t.Fatalf("rated = %d (unreachable goal must be dropped)", len(rated))
+	}
+	// Ranked by efficiency descending.
+	for i := 1; i < len(rated); i++ {
+		if rated[i-1].Efficiency < rated[i].Efficiency {
+			t.Fatalf("ranking broken at %d: %v", i, rated)
+		}
+	}
+	// Every rated attack's efficiency is loss/cost of its own attack.
+	for _, r := range rated {
+		if want := float64(r.Goal.Loss) / float64(r.Attack.Cost); r.Efficiency != want {
+			t.Errorf("efficiency %v != %v for %v", r.Efficiency, want, r.Goal)
+		}
+	}
+	// The high-loss physical goal dominates the low-loss shallow one.
+	if rated[len(rated)-1].Goal.Target == "v1" && rated[len(rated)-1].Goal.Loss == 1000 {
+		t.Errorf("valuable deep goal ranked last: %v", rated)
+	}
+}
+
+func TestMostEfficientAttacksEmpty(t *testing.T) {
+	m, lib, k := setup(t)
+	c, _ := m.Component("ews")
+	c.SetAttr("exposure", "internal")
+	g, err := Build(m, lib, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MostEfficientAttacks([]Goal{{Target: "v1", Fault: "bad_command", Loss: 100}}); len(got) != 0 {
+		t.Errorf("no entry points -> no attacks, got %v", got)
+	}
+}

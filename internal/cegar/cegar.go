@@ -1,0 +1,231 @@
+// Package cegar implements the CEGAR-styled model refinement of the
+// framework (paper Fig. 1, step 5): the shortlist of potentially
+// successful attacks from the abstract qualitative analysis may contain
+// spurious solutions due to over-abstraction (but no hazard is
+// overlooked); each abstract counterexample is validated against a
+// concrete oracle, spurious ones trigger refinement to the next, more
+// precise abstraction level and re-analysis, until the remaining findings
+// are confirmed or marked for expert review.
+package cegar
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/plant"
+)
+
+// Finding is one abstract counterexample: a scenario flagged as violating
+// a requirement.
+type Finding struct {
+	Scenario epa.Scenario
+	ReqID    string
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string { return f.Scenario.Key() + " violates " + f.ReqID }
+
+// Verdict classifies a finding after oracle validation.
+type Verdict int
+
+// Verdicts.
+const (
+	// Confirmed: the concrete oracle reproduced the violation.
+	Confirmed Verdict = iota + 1
+	// Spurious: the oracle refuted the violation at this abstraction.
+	Spurious
+	// Undetermined: the oracle cannot decide (e.g. the scenario is not
+	// concretely representable); the paper routes these to expert review.
+	Undetermined
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Confirmed:
+		return "confirmed"
+	case Spurious:
+		return "spurious"
+	case Undetermined:
+		return "undetermined"
+	default:
+		return "unknown-verdict"
+	}
+}
+
+// Oracle validates an abstract counterexample concretely.
+type Oracle interface {
+	// Check returns the verdict for a finding.
+	Check(f Finding) (Verdict, error)
+}
+
+// Level is one abstraction level of the analysis: an EPA engine (model +
+// behaviour precision), its candidate mutations, and the requirement
+// conditions at that precision. Levels are ordered coarse to fine.
+type Level struct {
+	Name         string
+	Engine       *epa.Engine
+	Mutations    []faults.Mutation
+	Requirements []hazard.Requirement
+}
+
+// Judged is a finding with its verdict and the level that produced it.
+type Judged struct {
+	Finding Finding
+	Verdict Verdict
+	Level   string
+}
+
+// Result is the loop outcome.
+type Result struct {
+	// Findings holds the final classification of every finding of the
+	// finest analyzed level.
+	Findings []Judged
+	// Iterations counts analyzed levels.
+	Iterations int
+	// PerLevelFindings records how many findings each level produced
+	// (shrinking counts show the refinement working).
+	PerLevelFindings []int
+}
+
+// Confirmed lists confirmed findings.
+func (r *Result) Confirmed() []Judged { return r.filter(Confirmed) }
+
+// Spurious lists spurious findings.
+func (r *Result) Spurious() []Judged { return r.filter(Spurious) }
+
+// Undetermined lists findings needing expert review.
+func (r *Result) Undetermined() []Judged { return r.filter(Undetermined) }
+
+func (r *Result) filter(v Verdict) []Judged {
+	var out []Judged
+	for _, j := range r.Findings {
+		if j.Verdict == v {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Run executes the refinement loop: analyze the coarsest level; validate
+// its findings; while any finding is spurious and a finer level exists,
+// move to the next level and re-analyze. The final level's findings are
+// returned with their verdicts. maxCard bounds scenario cardinality.
+func Run(levels []Level, oracle Oracle, maxCard int) (*Result, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cegar: no abstraction levels")
+	}
+	res := &Result{}
+	for li, level := range levels {
+		res.Iterations++
+		analysis, err := hazard.Analyze(level.Engine, level.Mutations, maxCard, level.Requirements)
+		if err != nil {
+			return nil, fmt.Errorf("cegar: level %q: %w", level.Name, err)
+		}
+		var judged []Judged
+		anySpurious := false
+		for _, s := range analysis.Hazards() {
+			for _, reqID := range s.Violated {
+				f := Finding{Scenario: s.Scenario, ReqID: reqID}
+				verdict, err := oracle.Check(f)
+				if err != nil {
+					return nil, fmt.Errorf("cegar: oracle on %s: %w", f, err)
+				}
+				if verdict == Spurious {
+					anySpurious = true
+				}
+				judged = append(judged, Judged{Finding: f, Verdict: verdict, Level: level.Name})
+			}
+		}
+		res.PerLevelFindings = append(res.PerLevelFindings, len(judged))
+		res.Findings = judged
+		if !anySpurious || li == len(levels)-1 {
+			return res, nil
+		}
+		// Spurious findings remain: refine (continue with the next finer
+		// level) and re-analyze.
+	}
+	return res, nil
+}
+
+// PlantOracle validates water-tank findings by simulating the concrete
+// plant. Because the qualitative analysis abstracts from timing, the
+// oracle probes several injection instants (including mid-fill, where
+// sensor blindness bites) and confirms the finding if any probe violates
+// the requirement. Scenarios the plant cannot represent are Undetermined
+// (expert review).
+type PlantOracle struct {
+	Config plant.Config
+}
+
+// NewPlantOracle builds an oracle over the default plant configuration.
+func NewPlantOracle() *PlantOracle { return &PlantOracle{Config: plant.DefaultConfig()} }
+
+var _ Oracle = (*PlantOracle)(nil)
+
+// Check implements Oracle.
+func (o *PlantOracle) Check(f Finding) (Verdict, error) {
+	baseInjs, err := plant.InjectionsFromScenario(f.Scenario)
+	if err != nil {
+		return Undetermined, nil //nolint:nilerr // unrepresentable -> expert review
+	}
+	probes, err := o.probeSteps()
+	if err != nil {
+		return Undetermined, err
+	}
+	for _, at := range probes {
+		injs := make([]plant.Injection, len(baseInjs))
+		copy(injs, baseInjs)
+		for i := range injs {
+			injs[i].AtStep = at
+		}
+		tr, err := plant.Simulate(o.Config, injs)
+		if err != nil {
+			return Undetermined, err
+		}
+		violated := false
+		switch f.ReqID {
+		case "R1":
+			violated = tr.Overflowed()
+		case "R2":
+			violated = tr.Overflowed() && !tr.AlertedAfterOverflow()
+		default:
+			return Undetermined, nil
+		}
+		if violated {
+			return Confirmed, nil
+		}
+	}
+	return Spurious, nil
+}
+
+// probeSteps picks injection instants: at start, during the first filling
+// phase, and during the first draining phase of the nominal run.
+func (o *PlantOracle) probeSteps() ([]int, error) {
+	nominal, err := plant.Simulate(o.Config, nil)
+	if err != nil {
+		return nil, err
+	}
+	steps := []int{0}
+	fill, drain := -1, -1
+	for _, s := range nominal.Steps {
+		if fill < 0 && s.InFlow > 0 {
+			fill = s.T + 1
+		}
+		if drain < 0 && s.OutFlow > 0 {
+			drain = s.T + 1
+		}
+		if fill >= 0 && drain >= 0 {
+			break
+		}
+	}
+	if fill >= 0 {
+		steps = append(steps, fill)
+	}
+	if drain >= 0 {
+		steps = append(steps, drain)
+	}
+	return steps, nil
+}

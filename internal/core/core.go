@@ -1,0 +1,218 @@
+// Package core wires the framework's pipeline (paper Fig. 1) into one
+// assessment API: system model -> candidate system mutations -> reasoning
+// (native EPA fixpoint or the ASP encoding) -> hazard identification ->
+// optional CEGAR-styled refinement -> qualitative risk analysis ->
+// mitigation solution space -> cost-benefit optimization.
+package core
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/attack"
+	"cpsrisk/internal/cegar"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/mitigation"
+	"cpsrisk/internal/optimize"
+	"cpsrisk/internal/sysmodel"
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Model is the merged system model; composites are refined before
+	// analysis (the original is not modified).
+	Model *sysmodel.Model
+	// Types is the component-type library.
+	Types *sysmodel.TypeLibrary
+	// Behaviors is the EPA behaviour library; nil uses conservative
+	// defaults for every type.
+	Behaviors *epa.BehaviorLibrary
+	// KB injects attack-induced candidates; nil analyzes spontaneous
+	// faults only.
+	KB *kb.KB
+	// Requirements are the violation conditions checked per scenario.
+	Requirements []hazard.Requirement
+	// MutationSources selects candidate generation inputs; zero value with
+	// a non-empty ExtraMutations analyzes exactly those.
+	MutationSources faults.Options
+	// ExtraMutations are hand-specified candidates merged into the set.
+	ExtraMutations []faults.Mutation
+	// ActiveMitigations filters blocked candidates before analysis
+	// (paper Listing 1 semantics).
+	ActiveMitigations map[string]bool
+	// MaxCardinality bounds scenario size (negative = unbounded).
+	MaxCardinality int
+	// UseASP routes hazard identification through the embedded formal
+	// method instead of the native fixpoint engine.
+	UseASP bool
+	// Optimize runs the mitigation cost-benefit step.
+	Optimize bool
+	// Budget caps mitigation spending (negative = unlimited); only used
+	// when Optimize is set.
+	Budget int
+	// Oracle enables CEGAR validation of the findings when non-nil,
+	// classifying hazards as confirmed/spurious/undetermined.
+	Oracle cegar.Oracle
+}
+
+// Assessment is the pipeline output.
+type Assessment struct {
+	// ModelStats describes the analyzed (flattened) model.
+	ModelStats sysmodel.Stats
+	// Candidates is the full candidate-mutation set before mitigation
+	// filtering; Analyzed is the set actually analyzed.
+	Candidates []faults.Mutation
+	Analyzed   []faults.Mutation
+	// Compromisable lists the assets an attacker can take over (attack
+	// graph over the KB); nil without a KB.
+	Compromisable []string
+	// Analysis holds the exhaustive scenario results.
+	Analysis *hazard.Analysis
+	// Ranked is the risk-prioritized scenario list.
+	Ranked []hazard.ScenarioResult
+	// RelevantMitigations spans the mitigation solution space.
+	RelevantMitigations []*kb.Mitigation
+	// Plan and Phases are the optimization outputs (Optimize only).
+	Plan   optimize.Plan
+	Phases []optimize.Phase
+	// Refinement is the CEGAR outcome (Oracle only).
+	Refinement *cegar.Result
+}
+
+// Run executes the pipeline.
+func Run(cfg Config) (*Assessment, error) {
+	if cfg.Model == nil || cfg.Types == nil {
+		return nil, fmt.Errorf("core: model and type library are required")
+	}
+	if len(cfg.Requirements) == 0 {
+		return nil, fmt.Errorf("core: at least one requirement is required")
+	}
+	model := cfg.Model.Clone()
+	if err := model.RefineAll(); err != nil {
+		return nil, fmt.Errorf("core: refine: %w", err)
+	}
+	if err := model.Validate(cfg.Types); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	behaviors := cfg.Behaviors
+	if behaviors == nil {
+		behaviors = epa.NewBehaviorLibrary(cfg.Types)
+	}
+	out := &Assessment{ModelStats: model.Stats()}
+
+	// Step 2: candidate system mutations.
+	muts, err := faults.Candidates(model, cfg.Types, cfg.KB, cfg.MutationSources)
+	if err != nil {
+		return nil, err
+	}
+	muts = mergeMutations(muts, cfg.ExtraMutations)
+	out.Candidates = muts
+
+	if cfg.KB != nil {
+		g, err := attack.Build(model, cfg.Types, cfg.KB, attack.Options{
+			ActiveMitigations: cfg.ActiveMitigations,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Compromisable = g.Compromisable()
+	}
+
+	analyzed := muts
+	if cfg.KB != nil && len(cfg.ActiveMitigations) > 0 {
+		analyzed = mitigation.Filter(cfg.KB, muts, cfg.ActiveMitigations)
+	}
+	out.Analyzed = analyzed
+
+	// Steps 3-4: reasoning and hazard identification.
+	eng, err := epa.NewEngine(model, behaviors)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.UseASP {
+		out.Analysis, err = hazard.AnalyzeASP(eng, analyzed, cfg.MaxCardinality, cfg.Requirements)
+	} else {
+		out.Analysis, err = hazard.Analyze(eng, analyzed, cfg.MaxCardinality, cfg.Requirements)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Ranked = out.Analysis.Ranked()
+
+	// Step 5: CEGAR-styled validation (single-level loop against the
+	// configured oracle; multi-level refinement is driven via the cegar
+	// package directly).
+	if cfg.Oracle != nil {
+		out.Refinement, err = cegar.Run([]cegar.Level{{
+			Name:         "assessment",
+			Engine:       eng,
+			Mutations:    analyzed,
+			Requirements: cfg.Requirements,
+		}}, cfg.Oracle, cfg.MaxCardinality)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Steps 6-7: mitigation space and cost-benefit optimization.
+	if cfg.KB != nil {
+		out.RelevantMitigations = mitigation.Relevant(cfg.KB, muts)
+		if cfg.Optimize {
+			problem := &optimize.Problem{Budget: cfg.Budget}
+			for _, m := range out.RelevantMitigations {
+				problem.Options = append(problem.Options, optimize.Option{
+					ID: m.ID, Cost: m.Cost + m.MaintenanceCost,
+				})
+			}
+			problem.Scenarios = mitigation.PrepareLosses(cfg.KB, out.Analysis, muts)
+			out.Plan, err = problem.Optimal()
+			if err != nil {
+				return nil, err
+			}
+			out.Phases, _, err = problem.MultiPhase()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeMutations unions the extra candidates into the generated set,
+// merging sources and keeping the maximum likelihood per activation.
+func mergeMutations(base, extra []faults.Mutation) []faults.Mutation {
+	if len(extra) == 0 {
+		return base
+	}
+	idx := map[epa.Activation]int{}
+	out := append([]faults.Mutation(nil), base...)
+	for i, m := range out {
+		idx[m.Activation] = i
+	}
+	for _, m := range extra {
+		if i, ok := idx[m.Activation]; ok {
+			out[i].Sources = mergeSources(out[i].Sources, m.Sources)
+			if m.Likelihood > out[i].Likelihood {
+				out[i].Likelihood = m.Likelihood
+			}
+			continue
+		}
+		idx[m.Activation] = len(out)
+		out = append(out, m)
+	}
+	return out
+}
+
+func mergeSources(a, b []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range append(append([]string(nil), a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

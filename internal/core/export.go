@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+)
+
+// Summary is the machine-readable projection of an Assessment for
+// downstream tooling (dashboards, ticketing): plain data, no interfaces.
+type Summary struct {
+	Model struct {
+		Components  int `json:"components"`
+		Connections int `json:"connections"`
+	} `json:"model"`
+	Candidates    []CandidateSummary `json:"candidates"`
+	Compromisable []string           `json:"compromisable,omitempty"`
+	Scenarios     []ScenarioSummary  `json:"scenarios"`
+	Plan          *PlanSummary       `json:"plan,omitempty"`
+	Refinement    *CEGARSummary      `json:"refinement,omitempty"`
+}
+
+// CandidateSummary is one candidate mutation.
+type CandidateSummary struct {
+	Component  string   `json:"component"`
+	Fault      string   `json:"fault"`
+	Likelihood string   `json:"likelihood"`
+	Sources    []string `json:"sources"`
+}
+
+// ScenarioSummary is one analyzed scenario with its risk verdict.
+type ScenarioSummary struct {
+	ID          string   `json:"id"`
+	Activations []string `json:"activations"`
+	Violated    []string `json:"violated,omitempty"`
+	Likelihood  string   `json:"likelihood"`
+	Severity    string   `json:"severity"`
+	Risk        string   `json:"risk"`
+	Treatment   string   `json:"treatment"`
+}
+
+// PlanSummary is the optimization outcome.
+type PlanSummary struct {
+	Selected     []string `json:"selected"`
+	Cost         int      `json:"cost"`
+	ResidualLoss int      `json:"residualLoss"`
+	Total        int      `json:"total"`
+	Blocked      []string `json:"blocked,omitempty"`
+}
+
+// CEGARSummary is the validation outcome.
+type CEGARSummary struct {
+	Confirmed    []string `json:"confirmed,omitempty"`
+	Spurious     []string `json:"spurious,omitempty"`
+	Undetermined []string `json:"undetermined,omitempty"`
+}
+
+// Summarize projects the assessment into plain data, scenarios in ranked
+// order.
+func (a *Assessment) Summarize() *Summary {
+	s := qual.FiveLevel()
+	out := &Summary{}
+	out.Model.Components = a.ModelStats.Components
+	out.Model.Connections = a.ModelStats.Connections
+	for _, m := range a.Candidates {
+		out.Candidates = append(out.Candidates, CandidateSummary{
+			Component:  m.Component,
+			Fault:      m.Fault,
+			Likelihood: s.Label(m.Likelihood),
+			Sources:    m.Sources,
+		})
+	}
+	out.Compromisable = a.Compromisable
+	for _, sc := range a.Ranked {
+		row := ScenarioSummary{
+			ID:         sc.ID,
+			Violated:   sc.Violated,
+			Likelihood: s.Label(sc.Risk.Likelihood),
+			Severity:   s.Label(sc.Risk.Severity),
+			Risk:       s.Label(sc.Risk.Risk),
+			Treatment:  risk.TreatmentFor(sc.Risk.Risk).String(),
+		}
+		for _, act := range sc.Scenario {
+			row.Activations = append(row.Activations, act.String())
+		}
+		out.Scenarios = append(out.Scenarios, row)
+	}
+	if len(a.Plan.Selected) > 0 || a.Plan.Total > 0 {
+		out.Plan = &PlanSummary{
+			Selected:     a.Plan.Selected,
+			Cost:         a.Plan.Cost,
+			ResidualLoss: a.Plan.ResidualLoss,
+			Total:        a.Plan.Total,
+			Blocked:      a.Plan.Blocked,
+		}
+	}
+	if a.Refinement != nil {
+		c := &CEGARSummary{}
+		for _, j := range a.Refinement.Confirmed() {
+			c.Confirmed = append(c.Confirmed, j.Finding.String())
+		}
+		for _, j := range a.Refinement.Spurious() {
+			c.Spurious = append(c.Spurious, j.Finding.String())
+		}
+		for _, j := range a.Refinement.Undetermined() {
+			c.Undetermined = append(c.Undetermined, j.Finding.String())
+		}
+		out.Refinement = c
+	}
+	return out
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (a *Assessment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Summarize())
+}

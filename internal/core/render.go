@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+)
+
+// Render produces a complete, SME-readable report of the assessment:
+// model summary, candidate surface, attack reachability, scenario
+// prioritization with treatment advice, CEGAR verdicts, and the
+// mitigation plan. This is the deliverable the paper's tool hands to a
+// manager of average IT skills (§II-A).
+func (a *Assessment) Render() string {
+	var sb strings.Builder
+	s := qual.FiveLevel()
+
+	fmt.Fprintf(&sb, "SYSTEM\n  %d components, %d connections",
+		a.ModelStats.Components, a.ModelStats.Connections)
+	if a.ModelStats.Composites > 0 {
+		fmt.Fprintf(&sb, " (%d composite, depth %d)", a.ModelStats.Composites, a.ModelStats.Depth)
+	}
+	sb.WriteString("\n\n")
+
+	fmt.Fprintf(&sb, "ATTACK & FAULT SURFACE\n")
+	fmt.Fprintf(&sb, "  %d candidate mutations (%d analyzed after mitigation filtering)\n",
+		len(a.Candidates), len(a.Analyzed))
+	for _, m := range a.Candidates {
+		fmt.Fprintf(&sb, "    %-40s likelihood %-2s via %s\n",
+			m.Activation.String(), s.Label(m.Likelihood), strings.Join(m.Sources, ", "))
+	}
+	if len(a.Compromisable) > 0 {
+		fmt.Fprintf(&sb, "  attacker foothold possible on: %s\n", strings.Join(a.Compromisable, ", "))
+	}
+	sb.WriteString("\n")
+
+	hazards := a.Analysis.Hazards()
+	fmt.Fprintf(&sb, "HAZARD IDENTIFICATION\n  %d scenarios analyzed, %d hazardous\n\n",
+		len(a.Analysis.Scenarios), len(hazards))
+
+	fmt.Fprintf(&sb, "PRIORITIZED FINDINGS\n")
+	shown := 0
+	for _, sc := range a.Ranked {
+		if !sc.IsHazardous() {
+			continue
+		}
+		shown++
+		if shown > 10 {
+			fmt.Fprintf(&sb, "  ... and %d more hazardous scenarios\n", len(hazards)-10)
+			break
+		}
+		fmt.Fprintf(&sb, "  %2d. %-55s %s\n", shown, sc.Scenario.Key(), risk.Explain(sc.Risk))
+	}
+	sb.WriteString("\n")
+
+	if a.Refinement != nil {
+		fmt.Fprintf(&sb, "VALIDATION (CEGAR against the concrete model)\n")
+		fmt.Fprintf(&sb, "  confirmed %d, spurious %d, needs expert review %d\n",
+			len(a.Refinement.Confirmed()), len(a.Refinement.Spurious()),
+			len(a.Refinement.Undetermined()))
+		for _, j := range a.Refinement.Spurious() {
+			fmt.Fprintf(&sb, "    spurious: %s\n", j.Finding)
+		}
+		for _, j := range a.Refinement.Undetermined() {
+			fmt.Fprintf(&sb, "    review:   %s\n", j.Finding)
+		}
+		sb.WriteString("\n")
+	}
+
+	if len(a.RelevantMitigations) > 0 {
+		fmt.Fprintf(&sb, "MITIGATION SOLUTION SPACE\n")
+		for _, m := range a.RelevantMitigations {
+			fmt.Fprintf(&sb, "  %-8s %-35s cost %d (+%d/period)\n",
+				m.ID, m.Name, m.Cost, m.MaintenanceCost)
+		}
+		sb.WriteString("\n")
+	}
+	if len(a.Plan.Selected) > 0 || a.Plan.ResidualLoss > 0 {
+		fmt.Fprintf(&sb, "RECOMMENDED PLAN\n")
+		for i, p := range a.Phases {
+			fmt.Fprintf(&sb, "  phase %d: deploy %s (cost %d, removes %d loss)\n",
+				i+1, p.MitigationID, p.Cost, p.LossReduction)
+		}
+		fmt.Fprintf(&sb, "  optimal selection: {%s}  cost %d  residual loss %d  total %d\n",
+			strings.Join(a.Plan.Selected, ", "), a.Plan.Cost, a.Plan.ResidualLoss, a.Plan.Total)
+		if len(a.Plan.Blocked) > 0 {
+			fmt.Fprintf(&sb, "  blocked scenarios: %s\n", strings.Join(a.Plan.Blocked, ", "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/cegar"
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/watertank"
+)
+
+func TestAssessmentRender(t *testing.T) {
+	types := watertank.Types()
+	a, err := core.Run(core.Config{
+		Model:          watertank.Model(),
+		Types:          types,
+		Behaviors:      watertank.Behaviors(types),
+		KB:             kb.MustDefaultKB(),
+		Requirements:   watertank.Requirements(),
+		ExtraMutations: watertank.PaperCandidates(),
+		MaxCardinality: -1,
+		Optimize:       true,
+		Budget:         -1,
+		Oracle:         cegar.NewPlantOracle(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, want := range []string{
+		"SYSTEM", "ATTACK & FAULT SURFACE", "HAZARD IDENTIFICATION",
+		"PRIORITIZED FINDINGS", "VALIDATION", "MITIGATION SOLUTION SPACE",
+		"RECOMMENDED PLAN",
+		"ews:compromised",   // the top finding
+		"spurious",          // CEGAR classification appears
+		"optimal selection", // plan summary
+		"mitigate",          // treatment advice wording
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assessment report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAssessmentRenderMinimal(t *testing.T) {
+	// Without KB, oracle, or optimization the report must still render
+	// its core sections and omit the optional ones.
+	types := watertank.Types()
+	a, err := core.Run(core.Config{
+		Model:          watertank.Model(),
+		Types:          types,
+		Behaviors:      watertank.Behaviors(types),
+		Requirements:   watertank.Requirements(),
+		ExtraMutations: watertank.PaperCandidates(),
+		MaxCardinality: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	if strings.Contains(out, "VALIDATION") || strings.Contains(out, "MITIGATION SOLUTION SPACE") {
+		t.Errorf("optional sections rendered without inputs:\n%s", out)
+	}
+	if !strings.Contains(out, "HAZARD IDENTIFICATION") {
+		t.Errorf("core section missing:\n%s", out)
+	}
+}
+
+func TestAssessmentSummaryJSON(t *testing.T) {
+	types := watertank.Types()
+	a, err := core.Run(core.Config{
+		Model:          watertank.Model(),
+		Types:          types,
+		Behaviors:      watertank.Behaviors(types),
+		KB:             kb.MustDefaultKB(),
+		Requirements:   watertank.Requirements(),
+		ExtraMutations: watertank.PaperCandidates(),
+		MaxCardinality: -1,
+		Optimize:       true,
+		Budget:         -1,
+		Oracle:         cegar.NewPlantOracle(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s core.Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if s.Model.Components != 9 || len(s.Candidates) != 4 || len(s.Scenarios) != 16 {
+		t.Errorf("summary shape: %+v", s.Model)
+	}
+	if s.Plan == nil || len(s.Plan.Selected) == 0 {
+		t.Errorf("plan missing: %+v", s.Plan)
+	}
+	if s.Refinement == nil || len(s.Refinement.Confirmed) == 0 {
+		t.Error("refinement missing")
+	}
+	// The top-ranked scenario carries the treatment recommendation.
+	top := s.Scenarios[0]
+	if top.Risk != "H" || top.Treatment != "mitigate" {
+		t.Errorf("top scenario = %+v", top)
+	}
+}

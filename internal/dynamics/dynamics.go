@@ -1,0 +1,292 @@
+// Package dynamics implements stateful qualitative models — the temporal
+// side of the framework's reasoning (paper §II-C: Telingo "capturing the
+// dynamic behavior of the qualitative model", and Listing 2's fault
+// model "the state of a component does not change when the stuck_at_x
+// fault mode is active"). A System declares qualitative state variables
+// over finite domains and guarded update rules; it compiles to an ASP
+// program over a bounded horizon with frame-rule inertia, fault-guarded
+// updates, and functional-consistency constraints. Deterministic systems
+// yield exactly one trajectory per fault injection, extractable as an
+// LTLf trace for requirement checking with the temporal package.
+package dynamics
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/solver"
+	"cpsrisk/internal/temporal"
+)
+
+// Domain is a finite qualitative value domain.
+type Domain struct {
+	Name   string
+	Values []string
+}
+
+// Var is a qualitative state variable.
+type Var struct {
+	Name   string
+	Domain string
+	// Init is the value at step 0.
+	Init string
+}
+
+// Cond is a rule guard over the current step: a variable equals (or does
+// not equal) a value.
+type Cond struct {
+	Var string
+	Val string
+	Neg bool
+}
+
+// Rule assigns Target := Next at step T+1 when every condition holds at
+// step T and the fault guards admit it. Unguarded variables keep their
+// value by inertia (the frame rule). A stuck-at fault is modeled by
+// putting UnlessFault on the normal update rules of the component — with
+// the fault active no rule assigns the variable, and inertia freezes it,
+// which is exactly the paper's Listing 2 semantics.
+type Rule struct {
+	Target string
+	Next   string
+	When   []Cond
+	// WhenFaults fires the rule only while every listed fault is active
+	// ("component:fault" keys).
+	WhenFaults []string
+	// UnlessFaults suppresses the rule while any listed fault is active.
+	UnlessFaults []string
+}
+
+// Injection activates a fault from a step onward.
+type Injection struct {
+	Key    string // "component:fault"
+	AtStep int
+}
+
+// System is a qualitative transition system.
+type System struct {
+	Domains []Domain
+	Vars    []Var
+	Rules   []Rule
+}
+
+// Validate checks referential consistency.
+func (s *System) Validate() error {
+	domains := map[string]map[string]bool{}
+	for _, d := range s.Domains {
+		if d.Name == "" || len(d.Values) == 0 {
+			return fmt.Errorf("dynamics: domain %q is empty", d.Name)
+		}
+		if _, dup := domains[d.Name]; dup {
+			return fmt.Errorf("dynamics: duplicate domain %q", d.Name)
+		}
+		vals := map[string]bool{}
+		for _, v := range d.Values {
+			if vals[v] {
+				return fmt.Errorf("dynamics: domain %q has duplicate value %q", d.Name, v)
+			}
+			vals[v] = true
+		}
+		domains[d.Name] = vals
+	}
+	vars := map[string]string{}
+	for _, v := range s.Vars {
+		if _, dup := vars[v.Name]; dup {
+			return fmt.Errorf("dynamics: duplicate variable %q", v.Name)
+		}
+		dom, ok := domains[v.Domain]
+		if !ok {
+			return fmt.Errorf("dynamics: variable %q has unknown domain %q", v.Name, v.Domain)
+		}
+		if !dom[v.Init] {
+			return fmt.Errorf("dynamics: variable %q init %q outside domain %q", v.Name, v.Init, v.Domain)
+		}
+		vars[v.Name] = v.Domain
+	}
+	for i, r := range s.Rules {
+		dom, ok := vars[r.Target]
+		if !ok {
+			return fmt.Errorf("dynamics: rule %d targets unknown variable %q", i, r.Target)
+		}
+		if !domains[dom][r.Next] {
+			return fmt.Errorf("dynamics: rule %d assigns %q outside domain of %q", i, r.Next, r.Target)
+		}
+		for _, c := range r.When {
+			cdom, ok := vars[c.Var]
+			if !ok {
+				return fmt.Errorf("dynamics: rule %d conditions on unknown variable %q", i, c.Var)
+			}
+			if !domains[cdom][c.Val] {
+				return fmt.Errorf("dynamics: rule %d condition value %q outside domain of %q", i, c.Val, c.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// HoldsAtom builds holds(var, val, t).
+func HoldsAtom(variable, value string, t logic.Term) logic.Atom {
+	return logic.A("holds", logic.Sym(variable), logic.Sym(value), t)
+}
+
+// ActiveAtom builds dyn_active(key, t) — the fault-activity atom at a step.
+func ActiveAtom(key string, t logic.Term) logic.Atom {
+	return logic.A("dyn_active", logic.Sym(key), t)
+}
+
+// Encode compiles the system over the horizon (steps 0..horizon-1):
+//
+//	holds(V, init, 0).
+//	rule_i fired: assigned(V, T+1) plus holds(V, next, T+1)
+//	inertia:      holds(V, X, T+1) :- holds(V, X, T), step(T), not assigned(V, T+1).
+//	consistency:  :- holds(V, X1, T), holds(V, X2, T), X1 != X2  (per variable)
+//
+// Injections become dyn_active facts per step. The program is
+// deterministic (one answer set) when at most one rule per variable fires
+// at each step; conflicting simultaneous assignments make it UNSAT, which
+// Run reports as a modeling error rather than silently picking one.
+func (s *System) Encode(horizon int, injections []Injection) (*logic.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("dynamics: horizon %d < 1", horizon)
+	}
+	prog := &logic.Program{}
+	sym := logic.Sym
+	varT := logic.Var("T")
+
+	// step(T) holds for transitions (0..horizon-2); time(T) for states.
+	prog.AddFact(logic.A("time", logic.Interval{Lo: logic.Num(0), Hi: logic.Num(horizon - 1)}))
+	if horizon >= 2 {
+		prog.AddFact(logic.A("step", logic.Interval{Lo: logic.Num(0), Hi: logic.Num(horizon - 2)}))
+	}
+	for _, v := range s.Vars {
+		prog.AddFact(HoldsAtom(v.Name, v.Init, logic.Num(0)))
+	}
+	for _, inj := range injections {
+		if inj.AtStep < 0 || inj.AtStep >= horizon {
+			return nil, fmt.Errorf("dynamics: injection %q at step %d outside horizon %d",
+				inj.Key, inj.AtStep, horizon)
+		}
+		if inj.AtStep <= horizon-1 {
+			prog.AddFact(ActiveAtom(inj.Key,
+				logic.Interval{Lo: logic.Num(inj.AtStep), Hi: logic.Num(horizon - 1)}))
+		}
+	}
+
+	tPlus1 := logic.BinOp{Op: logic.OpAdd, Left: varT, Right: logic.Num(1)}
+	for _, r := range s.Rules {
+		body := []logic.BodyElem{logic.Pos(logic.A("step", varT))}
+		for _, c := range r.When {
+			lit := HoldsAtom(c.Var, c.Val, varT)
+			if c.Neg {
+				body = append(body, logic.Not(lit))
+			} else {
+				body = append(body, logic.Pos(lit))
+			}
+		}
+		for _, f := range r.WhenFaults {
+			body = append(body, logic.Pos(ActiveAtom(f, varT)))
+		}
+		for _, f := range r.UnlessFaults {
+			body = append(body, logic.Not(ActiveAtom(f, varT)))
+		}
+		prog.AddRule(logic.NormalRule(HoldsAtom(r.Target, r.Next, tPlus1), body...))
+		prog.AddRule(logic.NormalRule(
+			logic.A("assigned", sym(r.Target), tPlus1), body...))
+	}
+	// Inertia (the frame rule, Listing 2's shape).
+	frame, err := logic.Parse(`
+		holds(V, X, T+1) :- holds(V, X, T), step(T), not assigned(V, T+1).
+		:- holds(V, X1, T), holds(V, X2, T), X1 != X2.
+	`)
+	if err != nil {
+		return nil, err
+	}
+	prog.Extend(frame)
+	return prog, nil
+}
+
+// Trajectory is the solved evolution of the system.
+type Trajectory struct {
+	Horizon int
+	// Values[t][var] is the variable's value at step t.
+	Values []map[string]string
+}
+
+// Run encodes, solves, and extracts the (unique) trajectory.
+func (s *System) Run(horizon int, injections []Injection) (*Trajectory, error) {
+	prog, err := s.Encode(horizon, injections)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{MaxModels: 2})
+	if err != nil {
+		return nil, err
+	}
+	switch len(res.Models) {
+	case 0:
+		return nil, fmt.Errorf("dynamics: inconsistent model (conflicting simultaneous assignments)")
+	case 1:
+	default:
+		return nil, fmt.Errorf("dynamics: nondeterministic model (%d trajectories)", len(res.Models))
+	}
+	m := res.Models[0]
+	tr := &Trajectory{Horizon: horizon, Values: make([]map[string]string, horizon)}
+	for t := 0; t < horizon; t++ {
+		tr.Values[t] = map[string]string{}
+	}
+	for _, v := range s.Vars {
+		dom := s.domainOf(v.Domain)
+		for t := 0; t < horizon; t++ {
+			for _, val := range dom {
+				if m.Contains(HoldsAtom(v.Name, val, logic.Num(t)).Key()) {
+					tr.Values[t][v.Name] = val
+					break
+				}
+			}
+			if tr.Values[t][v.Name] == "" {
+				return nil, fmt.Errorf("dynamics: variable %q has no value at step %d", v.Name, t)
+			}
+		}
+	}
+	return tr, nil
+}
+
+func (s *System) domainOf(name string) []string {
+	for _, d := range s.Domains {
+		if d.Name == name {
+			return d.Values
+		}
+	}
+	return nil
+}
+
+// Value returns the value of a variable at a step ("" when out of range).
+func (tr *Trajectory) Value(t int, variable string) string {
+	if t < 0 || t >= len(tr.Values) {
+		return ""
+	}
+	return tr.Values[t][variable]
+}
+
+// PropTrace renders the trajectory as an LTLf trace whose states carry
+// holds(var,val) propositions — the bridge to requirement checking.
+func (tr *Trajectory) PropTrace() temporal.Trace {
+	out := make(temporal.Trace, len(tr.Values))
+	for t, vals := range tr.Values {
+		st := temporal.State{}
+		names := make([]string, 0, len(vals))
+		for name := range vals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st[logic.A("holds", logic.Sym(name), logic.Sym(vals[name])).Key()] = true
+		}
+		out[t] = st
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package dynamics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/plant"
+	"cpsrisk/internal/temporal"
+)
+
+// toggle is a minimal two-state system: a lamp that flips every step
+// unless frozen by a stuck fault (Listing 2 shape).
+func toggle() *System {
+	return &System{
+		Domains: []Domain{{Name: "onoff", Values: []string{"on", "off"}}},
+		Vars:    []Var{{Name: "lamp", Domain: "onoff", Init: "off"}},
+		Rules: []Rule{
+			{Target: "lamp", Next: "on", When: []Cond{{Var: "lamp", Val: "off"}},
+				UnlessFaults: []string{"lamp:stuck"}},
+			{Target: "lamp", Next: "off", When: []Cond{{Var: "lamp", Val: "on"}},
+				UnlessFaults: []string{"lamp:stuck"}},
+		},
+	}
+}
+
+func TestToggleNominal(t *testing.T) {
+	tr, err := toggle().Run(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"off", "on", "off", "on", "off", "on"}
+	for i, w := range want {
+		if got := tr.Value(i, "lamp"); got != w {
+			t.Errorf("step %d: lamp = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestListing2FrameRule: with the stuck fault active the state freezes —
+// the paper's Listing 2 semantics realized by inertia plus suppression.
+func TestListing2FrameRule(t *testing.T) {
+	tr, err := toggle().Run(6, []Injection{{Key: "lamp:stuck", AtStep: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"off", "on", "off", "off", "off", "off"}
+	for i, w := range want {
+		if got := tr.Value(i, "lamp"); got != w {
+			t.Errorf("step %d: lamp = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+	}{
+		{"empty domain", func(s *System) { s.Domains = append(s.Domains, Domain{Name: "d"}) }},
+		{"dup domain", func(s *System) { s.Domains = append(s.Domains, s.Domains[0]) }},
+		{"dup value", func(s *System) { s.Domains[0].Values = []string{"on", "on"} }},
+		{"bad var domain", func(s *System) { s.Vars[0].Domain = "ghost" }},
+		{"bad init", func(s *System) { s.Vars[0].Init = "blue" }},
+		{"dup var", func(s *System) { s.Vars = append(s.Vars, s.Vars[0]) }},
+		{"bad target", func(s *System) { s.Rules[0].Target = "ghost" }},
+		{"bad next", func(s *System) { s.Rules[0].Next = "blue" }},
+		{"bad cond var", func(s *System) { s.Rules[0].When[0].Var = "ghost" }},
+		{"bad cond val", func(s *System) { s.Rules[0].When[0].Val = "blue" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := toggle()
+			tc.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := toggle()
+	if _, err := s.Encode(0, nil); err == nil {
+		t.Error("horizon 0 must fail")
+	}
+	if _, err := s.Encode(4, []Injection{{Key: "lamp:stuck", AtStep: 9}}); err == nil {
+		t.Error("out-of-horizon injection must fail")
+	}
+	if _, err := s.Encode(4, []Injection{{Key: "lamp:stuck", AtStep: -1}}); err == nil {
+		t.Error("negative injection step must fail")
+	}
+}
+
+func TestConflictingAssignmentsDetected(t *testing.T) {
+	s := toggle()
+	// A second rule forcing "off" while the first forces "on".
+	s.Rules = append(s.Rules, Rule{
+		Target: "lamp", Next: "off", When: []Cond{{Var: "lamp", Val: "off"}},
+	})
+	if _, err := s.Run(3, nil); err == nil ||
+		!strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("err = %v, want inconsistency", err)
+	}
+}
+
+func TestPropTrace(t *testing.T) {
+	tr, err := toggle().Run(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tr.PropTrace()
+	f := temporal.MustParseFormula("holds(lamp,off) & X holds(lamp,on)")
+	if !temporal.Eval(f, trace) {
+		t.Errorf("trace formula failed on %v", trace)
+	}
+	alternates := temporal.MustParseFormula(
+		"G (holds(lamp,off) -> WX holds(lamp,on))")
+	if !temporal.Eval(alternates, trace) {
+		t.Error("alternation property failed")
+	}
+}
+
+func TestWaterTankNominalSafe(t *testing.T) {
+	tr, err := WaterTank().Run(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Overflowed(tr) {
+		t.Fatalf("nominal trajectory overflows: %v", tr.Values)
+	}
+	if Alerted(tr) {
+		t.Fatal("nominal trajectory must not alert")
+	}
+}
+
+func TestWaterTankF4Attack(t *testing.T) {
+	tr, err := WaterTank().Run(16, []Injection{{Key: KeyF4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Overflowed(tr) {
+		t.Fatalf("F4 must overflow: %v", tr.Values)
+	}
+	if Alerted(tr) {
+		t.Fatal("F4 must suppress the alert")
+	}
+}
+
+// TestWaterTankMatchesPlant cross-checks the dynamic qualitative model
+// against the concrete plant simulator on all 16 combinations of F1..F4:
+// the refined abstraction level agrees with the concrete verdicts,
+// closing the CEGAR hierarchy (static EPA over-approximates per Table II;
+// the dynamic model is exact on this fault set).
+func TestWaterTankMatchesPlant(t *testing.T) {
+	injKeys := []string{KeyF1, KeyF2, KeyF3, KeyF4}
+	plantInj := []plant.Injection{
+		{Component: plant.CompInValve, Fault: plant.FaultStuckOpen},
+		{Component: plant.CompOutValve, Fault: plant.FaultStuckClosed},
+		{Component: plant.CompHMI, Fault: plant.FaultNoSignal},
+		{Component: plant.CompEWS, Fault: plant.FaultCompromised},
+	}
+	sys := WaterTank()
+	cfg := plant.DefaultConfig()
+	for mask := 0; mask < 16; mask++ {
+		var dynInj []Injection
+		var simInj []plant.Injection
+		for i := 0; i < 4; i++ {
+			if mask>>uint(i)&1 == 1 {
+				dynInj = append(dynInj, Injection{Key: injKeys[i]})
+				simInj = append(simInj, plantInj[i])
+			}
+		}
+		tr, err := sys.Run(20, dynInj)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		sim, err := plant.Simulate(cfg, simInj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dynR1 := Overflowed(tr)
+		simR1 := sim.Overflowed()
+		if dynR1 != simR1 {
+			t.Errorf("mask %04b: overflow dyn=%v plant=%v\n%v", mask, dynR1, simR1, tr.Values)
+		}
+		dynR2 := dynR1 && !Alerted(tr)
+		simR2 := simR1 && !sim.AlertedAfterOverflow()
+		if dynR2 != simR2 {
+			t.Errorf("mask %04b: silent-overflow dyn=%v plant=%v", mask, dynR2, simR2)
+		}
+	}
+}
+
+// Requirements as LTLf over the trajectory trace.
+func TestWaterTankTemporalRequirements(t *testing.T) {
+	r1 := temporal.MustParseFormula("G !holds(level,overflow)")
+	r2 := temporal.MustParseFormula("G (holds(level,overflow) -> F holds(alert,on))")
+
+	safe, err := WaterTank().Run(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.Eval(r1, safe.PropTrace()) || !temporal.Eval(r2, safe.PropTrace()) {
+		t.Error("nominal trajectory must satisfy R1 and R2")
+	}
+	attack, err := WaterTank().Run(16, []Injection{{Key: KeyF4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temporal.Eval(r1, attack.PropTrace()) {
+		t.Error("R1 must fail under F4")
+	}
+	if temporal.Eval(r2, attack.PropTrace()) {
+		t.Error("R2 must fail under F4")
+	}
+	// F1+F2 overflows but alerts: R1 fails, R2 holds.
+	noisy, err := WaterTank().Run(16, []Injection{{Key: KeyF1}, {Key: KeyF2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temporal.Eval(r1, noisy.PropTrace()) {
+		t.Error("R1 must fail under F1+F2")
+	}
+	if !temporal.Eval(r2, noisy.PropTrace()) {
+		t.Error("R2 must hold under F1+F2 (alert delivered)")
+	}
+}
+
+func TestInjectionTimingMidRun(t *testing.T) {
+	// F4 injected late: the prefix stays nominal.
+	tr, err := WaterTank().Run(16, []Injection{{Key: KeyF4, AtStep: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= 8; s++ {
+		if tr.Value(s, VarLevel) == "overflow" {
+			t.Fatalf("overflow before injection at step %d", s)
+		}
+	}
+	if !Overflowed(tr) {
+		t.Fatal("late F4 must still overflow")
+	}
+}
+
+func BenchmarkWaterTankTrajectory(b *testing.B) {
+	sys := WaterTank()
+	inj := []Injection{{Key: KeyF4}}
+	for i := 0; i < b.N; i++ {
+		tr, err := sys.Run(20, inj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !Overflowed(tr) {
+			b.Fatal("no overflow")
+		}
+	}
+}
+
+func BenchmarkDynamicsHorizonScaling(b *testing.B) {
+	sys := WaterTank()
+	for _, h := range []int{10, 40, 160} {
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Run(h, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

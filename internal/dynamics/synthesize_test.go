@@ -1,0 +1,157 @@
+package dynamics
+
+import (
+	"testing"
+
+	"cpsrisk/internal/temporal"
+)
+
+var (
+	reqR1 = temporal.MustParseFormula("G !holds(level,overflow)")
+	reqR2 = temporal.MustParseFormula("G (holds(level,overflow) -> F holds(alert,on))")
+)
+
+// Synthesize finds the single-fault attack violating R1: the compromised
+// workstation — and the replayed schedule indeed overflows.
+func TestSynthesizeFindsF4Attack(t *testing.T) {
+	sys := WaterTank()
+	schedule, ok, err := Synthesize(sys, 10,
+		[]string{KeyF1, KeyF2, KeyF3, KeyF4}, 1, reqR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no attack found")
+	}
+	if len(schedule) != 1 || schedule[0].Key != KeyF4 {
+		t.Fatalf("schedule = %v, want a single F4 injection", schedule)
+	}
+	// Replay: the schedule reproduces the violation.
+	tr, err := sys.Run(10, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Overflowed(tr) {
+		t.Fatal("synthesized schedule does not replay")
+	}
+	if temporal.Eval(reqR1, tr.PropTrace()) {
+		t.Fatal("replayed trace satisfies the requirement it should violate")
+	}
+}
+
+// Without F4, violating R1 takes the F1+F2 pair: with maxActive 1 no
+// schedule exists (bounded safety proof); with 2 the pair is found.
+func TestSynthesizeNeedsThePair(t *testing.T) {
+	sys := WaterTank()
+	candidates := []string{KeyF1, KeyF2, KeyF3}
+
+	_, ok, err := Synthesize(sys, 12, candidates, 1, reqR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no single physical fault should overflow the controlled tank")
+	}
+
+	schedule, ok, err := Synthesize(sys, 12, candidates, 2, reqR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("F1+F2 attack not found")
+	}
+	keys := map[string]bool{}
+	for _, inj := range schedule {
+		keys[inj.Key] = true
+	}
+	if !keys[KeyF1] || !keys[KeyF2] || len(schedule) != 2 {
+		t.Fatalf("schedule = %v, want F1+F2", schedule)
+	}
+	// Replay.
+	tr, err := sys.Run(12, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Overflowed(tr) {
+		t.Fatal("pair schedule does not replay")
+	}
+}
+
+// Silent overflow (R2) additionally needs the HMI silenced (or F4): with
+// only F1+F2 allowed, R2 stays satisfiable; allowing three faults finds
+// F1+F2+F3.
+func TestSynthesizeSilentOverflow(t *testing.T) {
+	sys := WaterTank()
+	_, ok, err := Synthesize(sys, 12, []string{KeyF1, KeyF2}, 2, reqR2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("F1+F2 alone alerts, R2 must hold")
+	}
+	schedule, ok, err := Synthesize(sys, 12, []string{KeyF1, KeyF2, KeyF3}, 3, reqR2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("silent-overflow attack not found")
+	}
+	keys := map[string]bool{}
+	for _, inj := range schedule {
+		keys[inj.Key] = true
+	}
+	if !keys[KeyF3] {
+		t.Fatalf("schedule %v must silence the HMI", schedule)
+	}
+	tr, err := sys.Run(12, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temporal.Eval(reqR2, tr.PropTrace()) {
+		t.Fatal("replayed schedule does not violate R2")
+	}
+}
+
+// The optimizer prefers the smallest schedule: with F4 available and
+// maxActive unbounded, the minimum attack is still the single F4.
+func TestSynthesizeMinimizesSchedule(t *testing.T) {
+	sys := WaterTank()
+	schedule, ok, err := Synthesize(sys, 10,
+		[]string{KeyF1, KeyF2, KeyF3, KeyF4}, -1, reqR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(schedule) != 1 {
+		t.Fatalf("schedule = %v ok=%v, want minimal single-fault attack", schedule, ok)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	sys := WaterTank()
+	if _, _, err := Synthesize(sys, 10, nil, 1, reqR1); err == nil {
+		t.Error("no candidates must fail")
+	}
+	if _, _, err := Synthesize(sys, 0, []string{KeyF4}, 1, reqR1); err == nil {
+		t.Error("bad horizon must fail")
+	}
+}
+
+func TestScheduleKey(t *testing.T) {
+	s := Schedule{{Key: KeyF2, AtStep: 3}, {Key: KeyF1, AtStep: 0}}
+	want := "{" + KeyF1 + "@0," + KeyF2 + "@3}"
+	if s.Key() != want {
+		t.Errorf("Key = %q, want %q", s.Key(), want)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	sys := WaterTank()
+	cands := []string{KeyF1, KeyF2, KeyF3, KeyF4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := Synthesize(sys, 10, cands, 2, reqR1)
+		if err != nil || !ok {
+			b.Fatalf("err=%v ok=%v", err, ok)
+		}
+	}
+}

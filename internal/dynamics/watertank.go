@@ -1,0 +1,141 @@
+package dynamics
+
+import "cpsrisk/internal/plant"
+
+// Fault keys of the water-tank dynamic model, matching the paper's F1..F4.
+var (
+	// KeyF1 is the input valve stuck open.
+	KeyF1 = plant.CompInValve + ":" + plant.FaultStuckOpen
+	// KeyF2 is the output valve stuck closed.
+	KeyF2 = plant.CompOutValve + ":" + plant.FaultStuckClosed
+	// KeyF3 is the HMI losing the alert.
+	KeyF3 = plant.CompHMI + ":" + plant.FaultNoSignal
+	// KeyF4 is the compromised engineering workstation.
+	KeyF4 = plant.CompEWS + ":" + plant.FaultCompromised
+)
+
+// Variable and value names of the water-tank dynamic model.
+const (
+	VarLevel = "level"
+	VarMode  = "mode"
+	VarAlert = "alert"
+
+	ModeFill  = "fill"
+	ModeDrain = "drain"
+	AlertOff  = "off"
+	AlertOn   = "on"
+)
+
+// LevelValues is the qualitative level domain, lowest first.
+var LevelValues = []string{"empty", "low", "normal", "high", "overflow"}
+
+// WaterTank builds the dynamic qualitative model of the §VII case study —
+// the third, most precise abstraction level of the CEGAR hierarchy. Its
+// verdicts coincide with the concrete plant simulator on every F1..F4
+// combination (cross-checked in the tests), while the static qualitative
+// EPA reproduces the paper's over-approximating Table II. Level dynamics:
+//
+//	mode flips to fill at low/empty and to drain at high/overflow
+//	  (the hysteresis controller);
+//	the level rises while filling (drain capacity exceeds fill capacity,
+//	  so it falls whenever draining succeeds);
+//	in drain mode the level falls unless draining is blocked (F2 stuck
+//	  closed, or F4 forcing the output closed); it rises there only when
+//	  water is forced in while draining is blocked (F4, or F1 together
+//	  with F2) — Listing 2's frame rule keeps it otherwise;
+//	the alert latches on at overflow unless the HMI is silenced (F3) or
+//	  managed by the attacker (F4).
+func WaterTank() *System {
+	s := &System{
+		Domains: []Domain{
+			{Name: "level5", Values: LevelValues},
+			{Name: "mode2", Values: []string{ModeFill, ModeDrain}},
+			{Name: "alert2", Values: []string{AlertOff, AlertOn}},
+		},
+		Vars: []Var{
+			{Name: VarLevel, Domain: "level5", Init: "normal"},
+			{Name: VarMode, Domain: "mode2", Init: ModeDrain},
+			{Name: VarAlert, Domain: "alert2", Init: AlertOff},
+		},
+	}
+	at := func(val string) Cond { return Cond{Var: VarLevel, Val: val} }
+	mode := func(val string) Cond { return Cond{Var: VarMode, Val: val} }
+
+	// Hysteresis mode switching.
+	s.Rules = append(s.Rules,
+		Rule{Target: VarMode, Next: ModeFill, When: []Cond{at("empty")}},
+		Rule{Target: VarMode, Next: ModeFill, When: []Cond{at("low")}},
+		Rule{Target: VarMode, Next: ModeDrain, When: []Cond{at("high")}},
+		Rule{Target: VarMode, Next: ModeDrain, When: []Cond{at("overflow")}},
+	)
+	// Level physics, instanced per adjacent level pair.
+	for i := 0; i+1 < len(LevelValues); i++ {
+		lo, hi := LevelValues[i], LevelValues[i+1]
+		// Filling raises the level one region per step, but the hysteresis
+		// margin stops it at "high": the controller flips to drain before
+		// the overflow region (the plant's 0.7 high mark vs 1.0 capacity).
+		// Only forced inflow with blocked draining reaches overflow.
+		if hi != "overflow" {
+			s.Rules = append(s.Rules, Rule{
+				Target: VarLevel, Next: hi,
+				When: []Cond{at(lo), mode(ModeFill)},
+			})
+		}
+		// Forced inflow with blocked outflow raises it even while the
+		// controller tries to drain.
+		s.Rules = append(s.Rules,
+			Rule{Target: VarLevel, Next: hi,
+				When:       []Cond{at(lo), mode(ModeDrain)},
+				WhenFaults: []string{KeyF4}},
+			Rule{Target: VarLevel, Next: hi,
+				When:         []Cond{at(lo), mode(ModeDrain)},
+				WhenFaults:   []string{KeyF1, KeyF2},
+				UnlessFaults: []string{KeyF4}},
+		)
+		// Draining lowers it unless the output path is blocked.
+		s.Rules = append(s.Rules, Rule{
+			Target: VarLevel, Next: lo,
+			When:         []Cond{at(hi), mode(ModeDrain)},
+			UnlessFaults: []string{KeyF2, KeyF4},
+		})
+	}
+	// Alert latches at overflow unless silenced; it also fires as soon as
+	// overflow becomes imminent (high level with forced inflow and blocked
+	// draining), mirroring the plant's same-step alerting — without this,
+	// a one-step alert delay lets bounded-horizon attack synthesis place
+	// the overflow on the final step and report a spurious R2 violation.
+	s.Rules = append(s.Rules,
+		Rule{
+			Target: VarAlert, Next: AlertOn,
+			When:         []Cond{at("overflow")},
+			UnlessFaults: []string{KeyF3, KeyF4},
+		},
+		Rule{
+			Target: VarAlert, Next: AlertOn,
+			When:         []Cond{at("high"), mode(ModeDrain)},
+			WhenFaults:   []string{KeyF1, KeyF2},
+			UnlessFaults: []string{KeyF3, KeyF4},
+		},
+	)
+	return s
+}
+
+// Overflowed reports whether the trajectory reaches the overflow level.
+func Overflowed(tr *Trajectory) bool {
+	for t := 0; t < tr.Horizon; t++ {
+		if tr.Value(t, VarLevel) == "overflow" {
+			return true
+		}
+	}
+	return false
+}
+
+// Alerted reports whether the alert ever latches on.
+func Alerted(tr *Trajectory) bool {
+	for t := 0; t < tr.Horizon; t++ {
+		if tr.Value(t, VarAlert) == AlertOn {
+			return true
+		}
+	}
+	return false
+}

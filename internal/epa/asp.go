@@ -1,0 +1,110 @@
+package epa
+
+import (
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/sysmodel"
+)
+
+// ASP encoding predicates:
+//
+//	comp(C).                          component instances
+//	conn(C1,P1,C2,P2).                directed propagation edges
+//	fault_effect(C,F,P,M).            local fault impacts
+//	transfer(C,PI,MI,PO,MO).          unguarded transfer pairs
+//	transfer_when(C,PI,MI,PO,MO,F).   fires only with active(C,F)
+//	transfer_unless(C,PI,MI,PO,MO,F). suppressed by active(C,F)
+//	active(C,F).                      scenario input (facts or choices)
+//	err(C,P,M).                       derived port error states
+//	comp_err(C,M).                    derived component error states
+//
+// The encoding interprets exactly the same behaviour data as the native
+// engine; TestASPAgreesWithNative cross-checks the two.
+
+// ActiveAtom builds active(C, F).
+func ActiveAtom(component, fault string) logic.Atom {
+	return logic.A("active", logic.Sym(component), logic.Sym(fault))
+}
+
+// ErrAtom builds err(C, P, M).
+func ErrAtom(component, port string, m ErrMode) logic.Atom {
+	return logic.A("err", logic.Sym(component), logic.Sym(port), logic.Sym(m.String()))
+}
+
+// CompErrAtom builds comp_err(C, M).
+func CompErrAtom(component string, m ErrMode) logic.Atom {
+	return logic.A("comp_err", logic.Sym(component), logic.Sym(m.String()))
+}
+
+// EncodeASP renders the model structure, behaviour, and propagation
+// dynamics as a logic program. Scenario activations (or scenario-space
+// choice rules) are layered on top by the caller.
+func (e *Engine) EncodeASP() (*logic.Program, error) {
+	prog := &logic.Program{}
+	sym := logic.Sym
+
+	for _, c := range e.model.Components {
+		prog.AddFact(logic.A("comp", sym(c.ID)))
+	}
+	for _, conn := range e.model.Connections {
+		prog.AddFact(logic.A("conn",
+			sym(conn.From.Component), sym(conn.From.Port),
+			sym(conn.To.Component), sym(conn.To.Port)))
+		if conn.Flow == sysmodel.QuantityFlow {
+			prog.AddFact(logic.A("conn",
+				sym(conn.To.Component), sym(conn.To.Port),
+				sym(conn.From.Component), sym(conn.From.Port)))
+		}
+	}
+	for _, c := range e.model.Components {
+		b := e.behaviors[c.ID]
+		ct, _ := e.lib.Types().Get(c.Type)
+		for _, eff := range b.Effects {
+			for _, pk := range e.effectPorts(c, ct, eff) {
+				for _, m := range eff.Emit.Modes() {
+					prog.AddFact(logic.A("fault_effect",
+						sym(c.ID), sym(eff.Fault), sym(pk.Port), sym(m.String())))
+				}
+			}
+		}
+		for _, tr := range b.Transfers {
+			for _, mi := range tr.Match.Modes() {
+				for _, mo := range tr.Emit.Modes() {
+					switch {
+					case tr.WhenFault != "":
+						prog.AddFact(logic.A("transfer_when",
+							sym(c.ID), sym(tr.From), sym(mi.String()),
+							sym(tr.To), sym(mo.String()), sym(tr.WhenFault)))
+					case tr.UnlessFault != "":
+						prog.AddFact(logic.A("transfer_unless",
+							sym(c.ID), sym(tr.From), sym(mi.String()),
+							sym(tr.To), sym(mo.String()), sym(tr.UnlessFault)))
+					default:
+						prog.AddFact(logic.A("transfer",
+							sym(c.ID), sym(tr.From), sym(mi.String()),
+							sym(tr.To), sym(mo.String())))
+					}
+				}
+			}
+		}
+	}
+	dyn, err := logic.Parse(`
+		err(C, P, M) :- active(C, F), fault_effect(C, F, P, M).
+		err(C2, P2, M) :- conn(C1, P1, C2, P2), err(C1, P1, M).
+		err(C, PO, MO) :- transfer(C, PI, MI, PO, MO), err(C, PI, MI).
+		err(C, PO, MO) :- transfer_when(C, PI, MI, PO, MO, F), err(C, PI, MI), active(C, F).
+		err(C, PO, MO) :- transfer_unless(C, PI, MI, PO, MO, F), err(C, PI, MI), not active(C, F).
+		comp_err(C, M) :- err(C, P, M).
+	`)
+	if err != nil {
+		return nil, err
+	}
+	prog.Extend(dyn)
+	return prog, nil
+}
+
+// EncodeScenario appends the activation facts of a concrete scenario.
+func EncodeScenario(prog *logic.Program, s Scenario) {
+	for _, a := range s {
+		prog.AddFact(ActiveAtom(a.Component, a.Fault))
+	}
+}

@@ -1,0 +1,209 @@
+package epa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpsrisk/internal/sysmodel"
+)
+
+// FaultEffect is the local impact of an active fault mode: the component
+// emits the given error modes on one of its ports (paper §IV-A step 2 and
+// Listing 2: the fault model).
+type FaultEffect struct {
+	// Fault is the fault-mode name (must exist on the component type).
+	Fault string
+	// Port is the affected port ("" = every out/inout port).
+	Port string
+	// Emit is the error state injected on the port.
+	Emit ErrState
+}
+
+// TransferRule describes intra-component error propagation declaratively:
+// when any mode of Match is present on the From port, the modes of Emit
+// appear on the To port. Optional fault guards make propagation
+// fault-dependent (a crashed controller stops propagating commands but
+// emits omissions, etc.). Declarative rules keep the native engine and the
+// ASP encoding semantically identical, and are monotone by construction.
+type TransferRule struct {
+	From  string
+	Match ErrState
+	To    string
+	Emit  ErrState
+	// WhenFault fires the rule only while the fault is active on the
+	// component instance.
+	WhenFault string
+	// UnlessFault suppresses the rule while the fault is active.
+	UnlessFault string
+}
+
+// TypeBehavior is the EPA behaviour of one component type.
+type TypeBehavior struct {
+	Type      string
+	Effects   []FaultEffect
+	Transfers []TransferRule
+}
+
+// BehaviorLibrary maps component types to behaviours. Types without an
+// entry get DefaultBehavior (identity propagation from every input to
+// every output).
+type BehaviorLibrary struct {
+	types *sysmodel.TypeLibrary
+	byTyp map[string]*TypeBehavior
+}
+
+// NewBehaviorLibrary creates a behaviour library over a type library.
+func NewBehaviorLibrary(types *sysmodel.TypeLibrary) *BehaviorLibrary {
+	return &BehaviorLibrary{types: types, byTyp: map[string]*TypeBehavior{}}
+}
+
+// Register installs a behaviour; the component type must exist and every
+// referenced port and fault must be declared on it.
+func (l *BehaviorLibrary) Register(b *TypeBehavior) error {
+	ct, ok := l.types.Get(b.Type)
+	if !ok {
+		return fmt.Errorf("epa: behavior for unknown type %q", b.Type)
+	}
+	if _, dup := l.byTyp[b.Type]; dup {
+		return fmt.Errorf("epa: duplicate behavior for type %q", b.Type)
+	}
+	for _, e := range b.Effects {
+		if _, ok := ct.FaultMode(e.Fault); !ok {
+			return fmt.Errorf("epa: behavior %q effect references unknown fault %q", b.Type, e.Fault)
+		}
+		if e.Port != "" {
+			if _, ok := ct.Port(e.Port); !ok {
+				return fmt.Errorf("epa: behavior %q effect references unknown port %q", b.Type, e.Port)
+			}
+		}
+	}
+	for _, tr := range b.Transfers {
+		for _, port := range []string{tr.From, tr.To} {
+			if _, ok := ct.Port(port); !ok {
+				return fmt.Errorf("epa: behavior %q transfer references unknown port %q", b.Type, port)
+			}
+		}
+		for _, f := range []string{tr.WhenFault, tr.UnlessFault} {
+			if f != "" {
+				if _, ok := ct.FaultMode(f); !ok {
+					return fmt.Errorf("epa: behavior %q transfer references unknown fault %q", b.Type, f)
+				}
+			}
+		}
+		if tr.Match == OK || tr.Emit == OK {
+			return fmt.Errorf("epa: behavior %q has a transfer with empty match or emit", b.Type)
+		}
+	}
+	l.byTyp[b.Type] = b
+	return nil
+}
+
+// MustRegister panics on error; for static behaviour libraries.
+func (l *BehaviorLibrary) MustRegister(b *TypeBehavior) {
+	if err := l.Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// For returns the behaviour of a component type, synthesizing
+// DefaultBehavior when none was registered.
+func (l *BehaviorLibrary) For(typeName string) (*TypeBehavior, error) {
+	if b, ok := l.byTyp[typeName]; ok {
+		return b, nil
+	}
+	ct, ok := l.types.Get(typeName)
+	if !ok {
+		return nil, fmt.Errorf("epa: unknown component type %q", typeName)
+	}
+	return DefaultBehavior(ct), nil
+}
+
+// Types returns the underlying type library.
+func (l *BehaviorLibrary) Types() *sysmodel.TypeLibrary { return l.types }
+
+// DefaultBehavior is the conservative default: every error mode on any
+// input (in/inout) port propagates unchanged to every output (out/inout)
+// port, and every declared fault mode emits the full error state on all
+// outputs. Over-approximate, never unsound — the "no hazardous attack is
+// overlooked" default of the paper's abstraction discipline.
+func DefaultBehavior(ct *sysmodel.ComponentType) *TypeBehavior {
+	b := &TypeBehavior{Type: ct.Name}
+	var ins, outs []string
+	for _, p := range ct.Ports {
+		switch p.Dir {
+		case sysmodel.In:
+			ins = append(ins, p.Name)
+		case sysmodel.Out:
+			outs = append(outs, p.Name)
+		case sysmodel.InOut:
+			ins = append(ins, p.Name)
+			outs = append(outs, p.Name)
+		}
+	}
+	for _, in := range ins {
+		for _, out := range outs {
+			if in == out {
+				continue
+			}
+			for _, m := range AllModes {
+				b.Transfers = append(b.Transfers, TransferRule{
+					From: in, Match: StateOf(m), To: out, Emit: StateOf(m),
+				})
+			}
+		}
+	}
+	for _, fm := range ct.FaultModes {
+		b.Effects = append(b.Effects, FaultEffect{Fault: fm.Name, Emit: AnyError})
+	}
+	return b
+}
+
+// IdentityTransfers builds per-mode identity transfer rules from one port
+// to another — the common building block for custom behaviours.
+func IdentityTransfers(from, to string) []TransferRule {
+	out := make([]TransferRule, 0, len(AllModes))
+	for _, m := range AllModes {
+		out = append(out, TransferRule{From: from, Match: StateOf(m), To: to, Emit: StateOf(m)})
+	}
+	return out
+}
+
+// Activation is one active fault mode on a component instance.
+type Activation struct {
+	Component string `json:"component"`
+	Fault     string `json:"fault"`
+}
+
+// String implements fmt.Stringer.
+func (a Activation) String() string { return a.Component + ":" + a.Fault }
+
+// Scenario is a set of simultaneous activations (the paper's "combination
+// of fault modes", §IV-A).
+type Scenario []Activation
+
+// Has reports whether the scenario activates the fault on the component.
+func (s Scenario) Has(component, fault string) bool {
+	for _, a := range s {
+		if a.Component == component && a.Fault == fault {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Key returns a canonical identity string for the scenario.
+func (s Scenario) Key() string { return s.String() }

@@ -1,0 +1,284 @@
+package epa
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/sysmodel"
+)
+
+// PortKey addresses one port of one component instance.
+type PortKey struct {
+	Component string
+	Port      string
+}
+
+// String implements fmt.Stringer.
+func (k PortKey) String() string { return k.Component + "." + k.Port }
+
+// Cause explains how an error mode arrived at a port: through a fault
+// activation, a connection from another port, or an intra-component
+// transfer.
+type Cause struct {
+	Kind string // "fault", "connection", "transfer"
+	// Fault is set for fault causes.
+	Fault Activation
+	// From is set for connection and transfer causes: the upstream port
+	// and the mode that triggered the rule.
+	From     PortKey
+	FromMode ErrMode
+}
+
+// Result is the outcome of one EPA run.
+type Result struct {
+	ports  map[PortKey]ErrState
+	causes map[causeKey]Cause
+	model  *sysmodel.Model
+}
+
+type causeKey struct {
+	port PortKey
+	mode ErrMode
+}
+
+// PortState returns the error state of a port.
+func (r *Result) PortState(component, port string) ErrState {
+	return r.ports[PortKey{Component: component, Port: port}]
+}
+
+// ComponentState returns the union of the component's port states.
+func (r *Result) ComponentState(component string) ErrState {
+	var s ErrState
+	for k, st := range r.ports {
+		if k.Component == component {
+			s = s.Union(st)
+		}
+	}
+	return s
+}
+
+// Affected lists components with a non-OK state, sorted.
+func (r *Result) Affected() []string {
+	set := map[string]bool{}
+	for k, st := range r.ports {
+		if !st.IsOK() {
+			set[k.Component] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathStep is one hop of an error-propagation path.
+type PathStep struct {
+	Port  PortKey
+	Mode  ErrMode
+	Cause Cause
+}
+
+// Path reconstructs the propagation path that brought mode to the port:
+// from the originating fault activation down to the queried port (the
+// paper's "components' error propagation path", §II-C). Returns nil when
+// the mode is absent.
+func (r *Result) Path(component, port string, mode ErrMode) []PathStep {
+	key := causeKey{port: PortKey{Component: component, Port: port}, mode: mode}
+	var rev []PathStep
+	for guard := 0; guard < 4*len(r.ports)+4; guard++ {
+		cause, ok := r.causes[key]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, PathStep{Port: key.port, Mode: key.mode, Cause: cause})
+		if cause.Kind == "fault" {
+			// Reached the origin.
+			out := make([]PathStep, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out
+		}
+		key = causeKey{port: cause.From, mode: cause.FromMode}
+	}
+	return nil // defensive: cyclic provenance cannot happen (first-cause wins)
+}
+
+// Engine runs EPA over a flattened model.
+type Engine struct {
+	model *sysmodel.Model
+	lib   *BehaviorLibrary
+
+	ports     []PortKey
+	behaviors map[string]*TypeBehavior // component ID -> behaviour
+	// incoming[p] lists source ports feeding p.
+	incoming map[PortKey][]PortKey
+}
+
+// NewEngine prepares an engine; the model must be flat (no composites —
+// call RefineAll first for hierarchical models) and valid against the
+// library's types.
+func NewEngine(model *sysmodel.Model, lib *BehaviorLibrary) (*Engine, error) {
+	if comps := model.Composites(); len(comps) > 0 {
+		return nil, fmt.Errorf("epa: model has unresolved composites %v (refine first)", comps)
+	}
+	if err := model.Validate(lib.Types()); err != nil {
+		return nil, fmt.Errorf("epa: %w", err)
+	}
+	e := &Engine{
+		model:     model,
+		lib:       lib,
+		behaviors: make(map[string]*TypeBehavior, len(model.Components)),
+		incoming:  map[PortKey][]PortKey{},
+	}
+	for _, c := range model.Components {
+		b, err := lib.For(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		e.behaviors[c.ID] = b
+		ct, _ := lib.Types().Get(c.Type)
+		for _, p := range ct.Ports {
+			e.ports = append(e.ports, PortKey{Component: c.ID, Port: p.Name})
+		}
+	}
+	sort.Slice(e.ports, func(i, j int) bool {
+		if e.ports[i].Component != e.ports[j].Component {
+			return e.ports[i].Component < e.ports[j].Component
+		}
+		return e.ports[i].Port < e.ports[j].Port
+	})
+	for _, conn := range model.Connections {
+		from := PortKey{Component: conn.From.Component, Port: conn.From.Port}
+		to := PortKey{Component: conn.To.Component, Port: conn.To.Port}
+		e.incoming[to] = append(e.incoming[to], from)
+		if conn.Flow == sysmodel.QuantityFlow {
+			e.incoming[from] = append(e.incoming[from], to)
+		}
+	}
+	return e, nil
+}
+
+// Model returns the analyzed model.
+func (e *Engine) Model() *sysmodel.Model { return e.model }
+
+// Run computes the propagation fixpoint for a scenario. Unknown
+// activations (component or fault not in the model/type) are an error —
+// scenario construction bugs must not silently under-approximate.
+func (e *Engine) Run(scenario Scenario) (*Result, error) {
+	res := &Result{
+		ports:  make(map[PortKey]ErrState, len(e.ports)),
+		causes: map[causeKey]Cause{},
+		model:  e.model,
+	}
+	// Seed: fault effects.
+	for _, act := range scenario {
+		comp, ok := e.model.Component(act.Component)
+		if !ok {
+			return nil, fmt.Errorf("epa: scenario activates unknown component %q", act.Component)
+		}
+		ct, _ := e.lib.Types().Get(comp.Type)
+		if _, ok := ct.FaultMode(act.Fault); !ok {
+			return nil, fmt.Errorf("epa: scenario activates unknown fault %q on %q (type %q)",
+				act.Fault, act.Component, comp.Type)
+		}
+		b := e.behaviors[act.Component]
+		for _, eff := range b.Effects {
+			if eff.Fault != act.Fault {
+				continue
+			}
+			ports := e.effectPorts(comp, ct, eff)
+			for _, p := range ports {
+				res.add(p, eff.Emit, Cause{Kind: "fault", Fault: act})
+			}
+		}
+	}
+	// Fixpoint: alternate connection propagation and intra-component
+	// transfers until stable. The state space is finite and grows
+	// monotonically, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		// Connections.
+		for to, sources := range e.incoming {
+			for _, from := range sources {
+				st := res.ports[from]
+				if st.IsOK() {
+					continue
+				}
+				for _, m := range st.Modes() {
+					if res.add(to, StateOf(m), Cause{Kind: "connection", From: from, FromMode: m}) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Transfers.
+		for _, c := range e.model.Components {
+			b := e.behaviors[c.ID]
+			for _, tr := range b.Transfers {
+				if tr.WhenFault != "" && !scenario.Has(c.ID, tr.WhenFault) {
+					continue
+				}
+				if tr.UnlessFault != "" && scenario.Has(c.ID, tr.UnlessFault) {
+					continue
+				}
+				from := PortKey{Component: c.ID, Port: tr.From}
+				inState := res.ports[from]
+				if !inState.Intersects(tr.Match) {
+					continue
+				}
+				trigger := firstCommonMode(inState, tr.Match)
+				to := PortKey{Component: c.ID, Port: tr.To}
+				if res.add(to, tr.Emit, Cause{Kind: "transfer", From: from, FromMode: trigger}) {
+					changed = true
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func firstCommonMode(a, b ErrState) ErrMode {
+	for _, m := range AllModes {
+		if a.Has(m) && b.Has(m) {
+			return m
+		}
+	}
+	return 0
+}
+
+// effectPorts resolves the ports an effect touches ("" = all out/inout).
+func (e *Engine) effectPorts(comp *sysmodel.Component, ct *sysmodel.ComponentType, eff FaultEffect) []PortKey {
+	if eff.Port != "" {
+		return []PortKey{{Component: comp.ID, Port: eff.Port}}
+	}
+	var out []PortKey
+	for _, p := range ct.Ports {
+		if p.Dir == sysmodel.Out || p.Dir == sysmodel.InOut {
+			out = append(out, PortKey{Component: comp.ID, Port: p.Name})
+		}
+	}
+	return out
+}
+
+// add merges the state into the port, recording first causes per new mode.
+// It reports whether anything changed.
+func (r *Result) add(p PortKey, st ErrState, cause Cause) bool {
+	old := r.ports[p]
+	merged := old.Union(st)
+	if merged == old {
+		return false
+	}
+	r.ports[p] = merged
+	for _, m := range st.Modes() {
+		key := causeKey{port: p, mode: m}
+		if !old.Has(m) {
+			if _, dup := r.causes[key]; !dup {
+				r.causes[key] = cause
+			}
+		}
+	}
+	return true
+}

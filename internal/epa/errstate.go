@@ -1,0 +1,138 @@
+// Package epa implements qualitative Error Propagation Analysis — the
+// embedded analytical core of the framework (paper §II, ref [4]). Error
+// states are sets of qualitative error modes (a powerset lattice, so the
+// propagation fixpoint is monotone and cycle-safe); component behaviour is
+// declarative transfer-rule data interpreted identically by the fast
+// native fixpoint engine and by the generated ASP encoding used for
+// exhaustive scenario analysis.
+package epa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrMode is a single qualitative error mode.
+type ErrMode uint8
+
+// Error modes. The four-mode alphabet covers the failure pathology the
+// paper's case study needs: wrong values/commands, missing signals, late
+// signals, and attacker-controlled components (the security-specific mode
+// bridging vulnerabilities to dependability, §IV).
+const (
+	// ErrValue is a wrong value or command on a flow.
+	ErrValue ErrMode = 1 << iota
+	// ErrOmission is a missing signal or flow.
+	ErrOmission
+	// ErrTiming is a late signal.
+	ErrTiming
+	// ErrCompromise marks attacker-controlled content.
+	ErrCompromise
+)
+
+// AllModes lists every error mode.
+var AllModes = []ErrMode{ErrValue, ErrOmission, ErrTiming, ErrCompromise}
+
+// modeNames maps modes to their ASP-friendly names.
+var modeNames = map[ErrMode]string{
+	ErrValue:      "value_err",
+	ErrOmission:   "omission",
+	ErrTiming:     "late",
+	ErrCompromise: "compromised",
+}
+
+// String implements fmt.Stringer.
+func (m ErrMode) String() string {
+	if n, ok := modeNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode parses a mode name.
+func ParseMode(name string) (ErrMode, error) {
+	for m, n := range modeNames {
+		if n == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("epa: unknown error mode %q", name)
+}
+
+// ErrState is a set of error modes; 0 is the error-free state.
+type ErrState uint8
+
+// OK is the error-free state.
+const OK ErrState = 0
+
+// StateOf builds a state from modes.
+func StateOf(modes ...ErrMode) ErrState {
+	var s ErrState
+	for _, m := range modes {
+		s |= ErrState(m)
+	}
+	return s
+}
+
+// AnyError is the state containing every mode.
+var AnyError = StateOf(AllModes...)
+
+// Has reports whether the state contains the mode.
+func (s ErrState) Has(m ErrMode) bool { return s&ErrState(m) != 0 }
+
+// Union merges two states (the lattice join).
+func (s ErrState) Union(o ErrState) ErrState { return s | o }
+
+// Intersects reports whether the states share a mode.
+func (s ErrState) Intersects(o ErrState) bool { return s&o != 0 }
+
+// IsOK reports the error-free state.
+func (s ErrState) IsOK() bool { return s == OK }
+
+// Modes lists the contained modes in declaration order.
+func (s ErrState) Modes() []ErrMode {
+	var out []ErrMode
+	for _, m := range AllModes {
+		if s.Has(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s ErrState) String() string {
+	if s.IsOK() {
+		return "ok"
+	}
+	parts := make([]string, 0, 4)
+	for _, m := range s.Modes() {
+		parts = append(parts, m.String())
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseState parses "ok" or a "+"-joined mode list.
+func ParseState(text string) (ErrState, error) {
+	if text == "ok" || text == "" {
+		return OK, nil
+	}
+	var s ErrState
+	for _, part := range strings.Split(text, "+") {
+		m, err := ParseMode(strings.TrimSpace(part))
+		if err != nil {
+			return 0, err
+		}
+		s |= ErrState(m)
+	}
+	return s, nil
+}
+
+// Leq reports lattice order: s is at most o (s ⊆ o).
+func (s ErrState) Leq(o ErrState) bool { return s&^o == 0 }
+
+// SortModes orders a mode slice canonically.
+func SortModes(ms []ErrMode) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+}

@@ -1,0 +1,241 @@
+// Package faults implements step 2 of the framework pipeline (paper
+// Fig. 1): extending the system model with a set of candidate mutations —
+// fault modes from the component-type library plus attack-induced faults
+// injected from the security knowledge bases — and enumerating the
+// scenario space (all relevant combinations of activations, §IV-A).
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/sysmodel"
+)
+
+// Mutation is one candidate system mutation: an activatable fault mode on
+// a component instance, with its provenance and qualitative likelihood.
+type Mutation struct {
+	epa.Activation
+	// Sources lists where the candidate came from: "fault_mode" for
+	// spontaneous faults declared on the type, or KB vulnerability /
+	// technique IDs for attack-induced ones.
+	Sources []string
+	// Likelihood is the qualitative activation frequency (the maximum
+	// over sources when several inject the same fault).
+	Likelihood qual.Level
+}
+
+// Options controls candidate generation.
+type Options struct {
+	// IncludeSpontaneous adds the type library's declared fault modes.
+	IncludeSpontaneous bool
+	// IncludeVulnerabilities adds KB vulnerabilities matching component
+	// type and version.
+	IncludeVulnerabilities bool
+	// IncludeTechniques adds KB techniques matching component type and
+	// exposure.
+	IncludeTechniques bool
+}
+
+// AllSources enables every mutation source.
+func AllSources() Options {
+	return Options{IncludeSpontaneous: true, IncludeVulnerabilities: true, IncludeTechniques: true}
+}
+
+// DefaultLikelihood is assumed when a fault mode declares none.
+const DefaultLikelihood = qual.Low
+
+// Candidates computes the candidate mutation set of a model. The model
+// must be flat; components must have types in lib. Component attributes
+// drive KB matching: "version" filters vulnerabilities, "exposure"
+// ("public"/"internal") gates techniques requiring public exposure.
+// Techniques requiring "adjacent" exposure are included as candidates —
+// whether an adjacent compromise exists is scenario-dependent and handled
+// by the attack-graph layer.
+func Candidates(m *sysmodel.Model, lib *sysmodel.TypeLibrary, k *kb.KB, opt Options) ([]Mutation, error) {
+	if comps := m.Composites(); len(comps) > 0 {
+		return nil, fmt.Errorf("faults: model has unresolved composites %v", comps)
+	}
+	five := qual.FiveLevel()
+	byKey := map[epa.Activation]*Mutation{}
+	var order []epa.Activation
+
+	add := func(act epa.Activation, source string, likelihood qual.Level) {
+		mut, ok := byKey[act]
+		if !ok {
+			mut = &Mutation{Activation: act, Likelihood: likelihood}
+			byKey[act] = mut
+			order = append(order, act)
+		}
+		mut.Sources = append(mut.Sources, source)
+		if likelihood > mut.Likelihood {
+			mut.Likelihood = likelihood
+		}
+	}
+
+	for _, c := range m.Components {
+		ct, ok := lib.Get(c.Type)
+		if !ok {
+			return nil, fmt.Errorf("faults: component %q has unknown type %q", c.ID, c.Type)
+		}
+		if opt.IncludeSpontaneous {
+			for _, fm := range ct.FaultModes {
+				if fm.AttackOnly {
+					continue
+				}
+				likelihood := DefaultLikelihood
+				if fm.Likelihood != "" {
+					l, err := five.Parse(fm.Likelihood)
+					if err != nil {
+						return nil, fmt.Errorf("faults: type %q fault %q: %w", ct.Name, fm.Name, err)
+					}
+					likelihood = l
+				}
+				add(epa.Activation{Component: c.ID, Fault: fm.Name}, "fault_mode", likelihood)
+			}
+		}
+		if opt.IncludeVulnerabilities && k != nil {
+			for _, v := range k.VulnsFor(c.Type, c.Attr("version")) {
+				if _, declared := ct.FaultMode(v.FaultMode); !declared {
+					return nil, fmt.Errorf("faults: vulnerability %s injects fault %q not declared on type %q",
+						v.ID, v.FaultMode, ct.Name)
+				}
+				score, err := v.Score()
+				if err != nil {
+					return nil, err
+				}
+				add(epa.Activation{Component: c.ID, Fault: v.FaultMode}, v.ID, kb.QualLevel(score))
+			}
+		}
+		if opt.IncludeTechniques && k != nil {
+			for _, tq := range k.TechniquesFor(c.Type) {
+				if tq.FaultMode == "" {
+					continue
+				}
+				if _, declared := ct.FaultMode(tq.FaultMode); !declared {
+					continue // technique not meaningful for this type
+				}
+				if tq.RequiresExposure == "public" && c.Attr("exposure") != "public" {
+					continue
+				}
+				likelihood := DefaultLikelihood
+				if tq.Likelihood != "" {
+					l, err := five.Parse(tq.Likelihood)
+					if err != nil {
+						return nil, err
+					}
+					likelihood = l
+				}
+				add(epa.Activation{Component: c.ID, Fault: tq.FaultMode}, tq.ID, likelihood)
+			}
+		}
+	}
+
+	out := make([]Mutation, 0, len(order))
+	for _, act := range order {
+		mut := byKey[act]
+		sort.Strings(mut.Sources)
+		out = append(out, *mut)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Fault < out[j].Fault
+	})
+	return out, nil
+}
+
+// LikelihoodIndex maps activations to their likelihood for risk scoring.
+func LikelihoodIndex(muts []Mutation) map[epa.Activation]qual.Level {
+	out := make(map[epa.Activation]qual.Level, len(muts))
+	for _, m := range muts {
+		out[m.Activation] = m.Likelihood
+	}
+	return out
+}
+
+// SpaceSize returns the number of scenarios with at most maxCard
+// activations out of n candidates: sum of C(n, i) for i = 0..maxCard.
+// maxCard < 0 means unbounded (2^n). Returns -1 on overflow.
+func SpaceSize(n, maxCard int) int {
+	if maxCard < 0 || maxCard > n {
+		maxCard = n
+	}
+	total := 0
+	c := 1 // C(n, 0)
+	for i := 0; i <= maxCard; i++ {
+		total += c
+		if total < 0 {
+			return -1
+		}
+		if i < n {
+			next := c * (n - i) / (i + 1)
+			if next < 0 {
+				return -1
+			}
+			c = next
+		}
+	}
+	return total
+}
+
+// Enumerate yields every scenario (combination of candidate activations)
+// with cardinality at most maxCard (negative = unbounded), in
+// deterministic order: by cardinality, then lexicographically by candidate
+// index. The empty scenario comes first — the paper's Table II includes
+// the fault-free row S1.
+func Enumerate(muts []Mutation, maxCard int) []epa.Scenario {
+	n := len(muts)
+	if maxCard < 0 || maxCard > n {
+		maxCard = n
+	}
+	var out []epa.Scenario
+	idx := make([]int, 0, maxCard)
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		sc := make(epa.Scenario, len(idx))
+		for i, j := range idx {
+			sc[i] = muts[j].Activation
+		}
+		out = append(out, sc)
+		if remaining == 0 {
+			return
+		}
+		for j := start; j < n; j++ {
+			idx = append(idx, j)
+			rec(j+1, remaining-1)
+			idx = idx[:len(idx)-1]
+		}
+	}
+	rec(0, maxCard)
+	// Order by cardinality then lexicographic candidate order.
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+// EncodeChoice adds the scenario space to an ASP program as candidate
+// facts plus a cardinality-bounded choice over activations:
+//
+//	candidate(C, F).
+//	{ active(C, F) : candidate(C, F) } maxCard.
+//
+// Exhaustive hazard identification then enumerates the space as answer
+// sets (paper Fig. 1 step 4).
+func EncodeChoice(prog *logic.Program, muts []Mutation, maxCard int) {
+	for _, m := range muts {
+		prog.AddFact(logic.A("candidate", logic.Sym(m.Component), logic.Sym(m.Fault)))
+	}
+	upper := maxCard
+	if upper < 0 || upper > len(muts) {
+		upper = logic.Unbounded
+	}
+	prog.AddRule(logic.ChoiceRule(logic.Unbounded, upper, []logic.ChoiceElem{{
+		Atom: logic.A("active", logic.Var("C"), logic.Var("F")),
+		Cond: []logic.Literal{logic.Pos(logic.A("candidate", logic.Var("C"), logic.Var("F")))},
+	}}))
+}

@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/solver"
+	"cpsrisk/internal/sysmodel"
+)
+
+func testSetup(t testing.TB) (*sysmodel.Model, *sysmodel.TypeLibrary, *kb.KB) {
+	t.Helper()
+	lib := sysmodel.NewTypeLibrary()
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: "workstation",
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "compromised", Likelihood: "M"},
+			{Name: "crash", Likelihood: "VL"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: "hmi",
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "no_signal", Likelihood: "L"},
+		},
+	})
+	m := sysmodel.NewModel("test")
+	m.MustAddComponent(&sysmodel.Component{ID: "ews", Type: "workstation",
+		Attrs: map[string]string{"exposure": "public", "version": "10"}})
+	m.MustAddComponent(&sysmodel.Component{ID: "panel", Type: "hmi"})
+	return m, lib, kb.MustDefaultKB()
+}
+
+func TestCandidatesSpontaneousOnly(t *testing.T) {
+	m, lib, _ := testSetup(t)
+	muts, err := Candidates(m, lib, nil, Options{IncludeSpontaneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 3 {
+		t.Fatalf("mutations = %v", muts)
+	}
+	// Sorted by component then fault.
+	if muts[0].Component != "ews" || muts[0].Fault != "compromised" {
+		t.Errorf("first = %+v", muts[0])
+	}
+	if muts[0].Likelihood != qual.Medium {
+		t.Errorf("likelihood = %v", muts[0].Likelihood)
+	}
+	if muts[2].Component != "panel" || muts[2].Likelihood != qual.Low {
+		t.Errorf("panel = %+v", muts[2])
+	}
+}
+
+func TestCandidatesWithKB(t *testing.T) {
+	m, lib, k := testSetup(t)
+	muts, err := Candidates(m, lib, k, AllSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The public workstation picks up spearphishing (T-1566) etc., merged
+	// into the existing "compromised" candidate with sources recorded.
+	var ews *Mutation
+	for i := range muts {
+		if muts[i].Component == "ews" && muts[i].Fault == "compromised" {
+			ews = &muts[i]
+		}
+	}
+	if ews == nil {
+		t.Fatal("ews compromised candidate missing")
+	}
+	hasTechnique := false
+	hasVuln := false
+	for _, s := range ews.Sources {
+		if s == "T-1566" {
+			hasTechnique = true
+		}
+		if s == "V-2023-0104" {
+			hasVuln = true
+		}
+	}
+	if !hasTechnique || !hasVuln {
+		t.Errorf("ews sources = %v", ews.Sources)
+	}
+	// Likelihood is the max over sources: the critical (9.8) default-
+	// credential vulnerability maps to VH, dominating spearphishing's H.
+	if ews.Likelihood != qual.VeryHigh {
+		t.Errorf("merged likelihood = %v", ews.Likelihood)
+	}
+}
+
+func TestCandidatesExposureGating(t *testing.T) {
+	m, lib, k := testSetup(t)
+	comp, _ := m.Component("ews")
+	comp.SetAttr("exposure", "internal")
+	muts, err := Candidates(m, lib, k, Options{IncludeTechniques: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mu := range muts {
+		for _, s := range mu.Sources {
+			if s == "T-1566" {
+				t.Errorf("public-only technique on internal asset: %+v", mu)
+			}
+		}
+	}
+}
+
+func TestCandidatesUndeclaredVulnFaultFails(t *testing.T) {
+	lib := sysmodel.NewTypeLibrary()
+	lib.MustAdd(&sysmodel.ComponentType{Name: "plc"}) // no fault modes declared
+	m := sysmodel.NewModel("x")
+	m.MustAddComponent(&sysmodel.Component{ID: "p", Type: "plc",
+		Attrs: map[string]string{"version": "fw2.3"}})
+	k := kb.MustDefaultKB()
+	if _, err := Candidates(m, lib, k, Options{IncludeVulnerabilities: true}); err == nil {
+		t.Error("vulnerability with undeclared fault mode must fail loudly")
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	tests := []struct{ n, maxCard, want int }{
+		{4, 0, 1},
+		{4, 1, 5},
+		{4, 2, 11},
+		{4, 4, 16},
+		{4, -1, 16},
+		{4, 9, 16},
+		{0, -1, 1},
+		{7, 3, 1 + 7 + 21 + 35},
+	}
+	for _, tt := range tests {
+		if got := SpaceSize(tt.n, tt.maxCard); got != tt.want {
+			t.Errorf("SpaceSize(%d,%d) = %d, want %d", tt.n, tt.maxCard, got, tt.want)
+		}
+	}
+}
+
+func TestEnumerateMatchesSpaceSize(t *testing.T) {
+	m, lib, _ := testSetup(t)
+	muts, err := Candidates(m, lib, nil, Options{IncludeSpontaneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxCard := range []int{0, 1, 2, -1} {
+		scenarios := Enumerate(muts, maxCard)
+		want := SpaceSize(len(muts), maxCard)
+		if len(scenarios) != want {
+			t.Errorf("maxCard=%d: enumerated %d, want %d", maxCard, len(scenarios), want)
+		}
+		// No duplicates; first is empty; cardinality respected and sorted.
+		seen := map[string]bool{}
+		for i, sc := range scenarios {
+			key := sc.Key()
+			if seen[key] {
+				t.Fatalf("duplicate scenario %s", key)
+			}
+			seen[key] = true
+			if maxCard >= 0 && len(sc) > maxCard {
+				t.Fatalf("scenario %s exceeds cardinality", key)
+			}
+			if i == 0 && len(sc) != 0 {
+				t.Fatal("first scenario must be empty")
+			}
+			if i > 0 && len(sc) < len(scenarios[i-1]) {
+				t.Fatal("scenarios not ordered by cardinality")
+			}
+		}
+	}
+}
+
+func TestLikelihoodIndex(t *testing.T) {
+	m, lib, _ := testSetup(t)
+	muts, _ := Candidates(m, lib, nil, Options{IncludeSpontaneous: true})
+	idx := LikelihoodIndex(muts)
+	if idx[epa.Activation{Component: "ews", Fault: "compromised"}] != qual.Medium {
+		t.Errorf("index = %v", idx)
+	}
+}
+
+// EncodeChoice must make the solver enumerate exactly the scenario space.
+func TestEncodeChoiceEnumeratesSpace(t *testing.T) {
+	m, lib, _ := testSetup(t)
+	muts, _ := Candidates(m, lib, nil, Options{IncludeSpontaneous: true})
+	for _, maxCard := range []int{1, 2, -1} {
+		p := &logic.Program{}
+		EncodeChoice(p, muts, maxCard)
+		res, err := solver.SolveProgram(p, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SpaceSize(len(muts), maxCard)
+		if len(res.Models) != want {
+			t.Errorf("maxCard=%d: ASP models = %d, want %d", maxCard, len(res.Models), want)
+		}
+	}
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	muts := make([]Mutation, 16)
+	for i := range muts {
+		muts[i] = Mutation{Activation: epa.Activation{
+			Component: fmt.Sprintf("c%d", i), Fault: "f"}}
+	}
+	for _, card := range []int{2, 3} {
+		b.Run(fmt.Sprintf("n=16,k=%d", card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := Enumerate(muts, card); len(got) != SpaceSize(16, card) {
+					b.Fatal("size mismatch")
+				}
+			}
+		})
+	}
+}

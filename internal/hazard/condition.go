@@ -1,0 +1,231 @@
+// Package hazard implements hazard identification (paper Fig. 1 step 4):
+// exhaustive analysis of the candidate attack scenarios against the system
+// requirements, producing the violation vectors of the paper's Table II.
+// Requirement-violation conditions are declarative boolean combinations
+// over EPA error states and fault activations, evaluated identically by
+// the native engine and by the generated ASP encoding.
+package hazard
+
+import (
+	"fmt"
+	"strings"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/logic"
+)
+
+// Condition is a requirement-violation condition over an EPA outcome.
+type Condition interface {
+	fmt.Stringer
+	isCondition()
+}
+
+// CompErr holds when the component exhibits the error mode on any port.
+type CompErr struct {
+	Component string
+	Mode      epa.ErrMode
+}
+
+// PortErr holds when the specific port exhibits the error mode.
+type PortErr struct {
+	Component string
+	Port      string
+	Mode      epa.ErrMode
+}
+
+// ActiveFault holds when the scenario activates the fault.
+type ActiveFault struct {
+	Component string
+	Fault     string
+}
+
+// AndCond is conjunction; OrCond disjunction; NotCond negation.
+type (
+	// AndCond holds when all children hold.
+	AndCond struct{ Subs []Condition }
+	// OrCond holds when any child holds.
+	OrCond struct{ Subs []Condition }
+	// NotCond holds when the child does not.
+	NotCond struct{ Sub Condition }
+)
+
+func (CompErr) isCondition()     {}
+func (PortErr) isCondition()     {}
+func (ActiveFault) isCondition() {}
+func (AndCond) isCondition()     {}
+func (OrCond) isCondition()      {}
+func (NotCond) isCondition()     {}
+
+// Comp builds a CompErr condition.
+func Comp(component string, mode epa.ErrMode) Condition {
+	return CompErr{Component: component, Mode: mode}
+}
+
+// Port builds a PortErr condition.
+func Port(component, port string, mode epa.ErrMode) Condition {
+	return PortErr{Component: component, Port: port, Mode: mode}
+}
+
+// Fault builds an ActiveFault condition.
+func Fault(component, fault string) Condition {
+	return ActiveFault{Component: component, Fault: fault}
+}
+
+// All builds a conjunction.
+func All(subs ...Condition) Condition { return AndCond{Subs: subs} }
+
+// Any builds a disjunction.
+func Any(subs ...Condition) Condition { return OrCond{Subs: subs} }
+
+// Not builds a negation.
+func Not(sub Condition) Condition { return NotCond{Sub: sub} }
+
+// String implementations.
+
+// String implements fmt.Stringer.
+func (c CompErr) String() string { return fmt.Sprintf("err(%s,%s)", c.Component, c.Mode) }
+
+// String implements fmt.Stringer.
+func (c PortErr) String() string {
+	return fmt.Sprintf("err(%s.%s,%s)", c.Component, c.Port, c.Mode)
+}
+
+// String implements fmt.Stringer.
+func (c ActiveFault) String() string { return fmt.Sprintf("active(%s,%s)", c.Component, c.Fault) }
+
+// String implements fmt.Stringer.
+func (c AndCond) String() string { return join(c.Subs, " & ") }
+
+// String implements fmt.Stringer.
+func (c OrCond) String() string { return join(c.Subs, " | ") }
+
+// String implements fmt.Stringer.
+func (c NotCond) String() string { return "!(" + c.Sub.String() + ")" }
+
+func join(subs []Condition, sep string) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Eval evaluates the condition over a scenario and its EPA result.
+func Eval(c Condition, sc epa.Scenario, res *epa.Result) bool {
+	switch cc := c.(type) {
+	case CompErr:
+		return res.ComponentState(cc.Component).Has(cc.Mode)
+	case PortErr:
+		return res.PortState(cc.Component, cc.Port).Has(cc.Mode)
+	case ActiveFault:
+		return sc.Has(cc.Component, cc.Fault)
+	case AndCond:
+		for _, s := range cc.Subs {
+			if !Eval(s, sc, res) {
+				return false
+			}
+		}
+		return true
+	case OrCond:
+		for _, s := range cc.Subs {
+			if Eval(s, sc, res) {
+				return true
+			}
+		}
+		return false
+	case NotCond:
+		return !Eval(cc.Sub, sc, res)
+	default:
+		return false
+	}
+}
+
+// compiler assigns aux predicates to condition nodes for the ASP encoding.
+type compiler struct {
+	prog    *logic.Program
+	counter int
+	prefix  string
+}
+
+// EncodeViolation compiles "violated(reqID) holds iff the condition holds"
+// into ASP rules over the EPA encoding's err/comp_err/active atoms. The
+// compilation is stratified: negation only applies to fully defined
+// auxiliary predicates.
+func EncodeViolation(prog *logic.Program, reqID string, c Condition) error {
+	comp := &compiler{prog: prog, prefix: "vc_" + sanitize(reqID)}
+	root, err := comp.compile(c)
+	if err != nil {
+		return err
+	}
+	prog.AddRule(logic.NormalRule(
+		logic.A("violated", logic.Sym(reqID)),
+		logic.Pos(logic.A(root)),
+	))
+	return nil
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r - 'A' + 'a')
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// compile returns a propositional predicate equivalent to the condition.
+func (cp *compiler) compile(c Condition) (string, error) {
+	cp.counter++
+	pred := fmt.Sprintf("%s_%d", cp.prefix, cp.counter)
+	head := logic.A(pred)
+	switch cc := c.(type) {
+	case CompErr:
+		cp.prog.AddRule(logic.NormalRule(head,
+			logic.Pos(epa.CompErrAtom(cc.Component, cc.Mode))))
+	case PortErr:
+		cp.prog.AddRule(logic.NormalRule(head,
+			logic.Pos(epa.ErrAtom(cc.Component, cc.Port, cc.Mode))))
+	case ActiveFault:
+		cp.prog.AddRule(logic.NormalRule(head,
+			logic.Pos(epa.ActiveAtom(cc.Component, cc.Fault))))
+	case AndCond:
+		if len(cc.Subs) == 0 {
+			return "", fmt.Errorf("hazard: empty conjunction")
+		}
+		body := make([]logic.BodyElem, 0, len(cc.Subs))
+		for _, s := range cc.Subs {
+			sub, err := cp.compile(s)
+			if err != nil {
+				return "", err
+			}
+			body = append(body, logic.Pos(logic.A(sub)))
+		}
+		cp.prog.AddRule(logic.NormalRule(head, body...))
+	case OrCond:
+		if len(cc.Subs) == 0 {
+			return "", fmt.Errorf("hazard: empty disjunction")
+		}
+		for _, s := range cc.Subs {
+			sub, err := cp.compile(s)
+			if err != nil {
+				return "", err
+			}
+			cp.prog.AddRule(logic.NormalRule(head, logic.Pos(logic.A(sub))))
+		}
+	case NotCond:
+		sub, err := cp.compile(cc.Sub)
+		if err != nil {
+			return "", err
+		}
+		cp.prog.AddRule(logic.NormalRule(head, logic.Not(logic.A(sub))))
+	default:
+		return "", fmt.Errorf("hazard: cannot encode condition %T", c)
+	}
+	return pred, nil
+}

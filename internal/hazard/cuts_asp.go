@@ -1,0 +1,82 @@
+package hazard
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/solver"
+)
+
+// MinimalCutsASP enumerates the minimal fault combinations violating one
+// requirement through the embedded formal method: the EPA encoding plus
+// the scenario choice, an integrity constraint demanding the violation,
+// and cardinality `#minimize` over the activations. Each optimization
+// round yields minimum-cardinality cuts; blocking each found cut (as a
+// conjunction) and re-solving climbs the cardinality levels until no
+// violating scenario remains, which enumerates exactly the minimal cuts —
+// the qualitative analogue of FTA minimal cut sets computed by the
+// reasoner itself (§III-A, §IV-D "the engine selects the active faults").
+//
+// maxRounds bounds the iteration defensively; the space of minimal cuts
+// over n candidates is finite, so the loop always terminates on its own.
+func MinimalCutsASP(eng *epa.Engine, muts []faults.Mutation, req Requirement, maxRounds int) ([]epa.Scenario, error) {
+	if err := validateReqs([]Requirement{req}); err != nil {
+		return nil, err
+	}
+	base, err := eng.EncodeASP()
+	if err != nil {
+		return nil, err
+	}
+	faults.EncodeChoice(base, muts, -1)
+	if err := EncodeViolation(base, req.ID, req.Condition); err != nil {
+		return nil, err
+	}
+	base.AddRule(logic.Constraint(logic.Not(logic.A("violated", logic.Sym(req.ID)))))
+	base.AddMinimize(logic.MinimizeElem{
+		Weight:   logic.Num(1),
+		Priority: 1,
+		Tuple:    []logic.Term{logic.Func("cut", logic.Var("C"), logic.Var("F"))},
+		Cond: []logic.BodyElem{
+			logic.Pos(logic.A("active", logic.Var("C"), logic.Var("F"))),
+		},
+	})
+
+	var cuts []epa.Scenario
+	if maxRounds <= 0 {
+		maxRounds = 1 << len(muts)
+	}
+	for round := 0; round < maxRounds; round++ {
+		prog := &logic.Program{}
+		prog.Extend(base)
+		// Block supersets of every found cut.
+		for _, cut := range cuts {
+			body := make([]logic.BodyElem, 0, len(cut))
+			for _, a := range cut {
+				body = append(body, logic.Pos(epa.ActiveAtom(a.Component, a.Fault)))
+			}
+			prog.AddRule(logic.Constraint(body...))
+		}
+		res, err := solver.SolveProgram(prog, solver.Options{Optimize: true})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Models) == 0 {
+			return cuts, nil // space exhausted
+		}
+		// All optimal models of this round share the minimum cardinality:
+		// each is a minimal cut (no proper subset violates, or it would
+		// have been optimal in an earlier round or this one).
+		for _, m := range res.Models {
+			var cut epa.Scenario
+			for _, mu := range muts {
+				if m.Contains(epa.ActiveAtom(mu.Component, mu.Fault).Key()) {
+					cut = append(cut, mu.Activation)
+				}
+			}
+			cuts = append(cuts, cut)
+		}
+	}
+	return nil, fmt.Errorf("hazard: minimal-cut enumeration exceeded %d rounds", maxRounds)
+}

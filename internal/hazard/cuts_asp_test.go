@@ -1,0 +1,80 @@
+package hazard
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/epa"
+)
+
+func cutKeys(cuts []epa.Scenario) []string {
+	out := make([]string, 0, len(cuts))
+	for _, c := range cuts {
+		out = append(out, c.Key())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The ASP minimal-cut enumeration matches the native subset-based
+// computation on the guarded-chain model, for every requirement.
+func TestMinimalCutsASPAgreesWithNative(t *testing.T) {
+	eng, muts, reqs := setup(t)
+	analysis, err := Analyze(eng, muts, -1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		native := analysis.MinimalCuts(req.ID)
+		var nativeScenarios []epa.Scenario
+		for _, n := range native {
+			nativeScenarios = append(nativeScenarios, n.Scenario)
+		}
+		asp, err := MinimalCutsASP(eng, muts, req, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", req.ID, err)
+		}
+		got, want := cutKeys(asp), cutKeys(nativeScenarios)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Errorf("%s: ASP cuts %v != native %v", req.ID, got, want)
+		}
+	}
+}
+
+func TestMinimalCutsASPNoViolation(t *testing.T) {
+	eng, muts, _ := setup(t)
+	impossible := Requirement{
+		ID: "RX", Severity: 0,
+		Condition: All(Fault("src", "corrupt"), Not(Fault("src", "corrupt"))),
+	}
+	cuts, err := MinimalCutsASP(eng, muts, impossible, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 0 {
+		t.Errorf("unsatisfiable condition yielded cuts: %v", cuts)
+	}
+}
+
+func TestMinimalCutsASPValidation(t *testing.T) {
+	eng, muts, _ := setup(t)
+	if _, err := MinimalCutsASP(eng, muts, Requirement{ID: ""}, 0); err == nil {
+		t.Error("empty requirement must fail")
+	}
+	// A tiny round budget must be reported, not silently truncated.
+	reqs := []Requirement{{ID: "R1", Condition: Comp("sink", epa.ErrValue)}}
+	if _, err := MinimalCutsASP(eng, muts, reqs[0], 1); err == nil {
+		t.Error("exceeding maxRounds must error (two cardinality levels exist)")
+	}
+}
+
+func BenchmarkMinimalCutsASP(b *testing.B) {
+	eng, muts, reqs := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimalCutsASP(eng, muts, reqs[0], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package hazard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+	"cpsrisk/internal/solver"
+)
+
+// Requirement pairs a system requirement with its qualitative violation
+// condition over the EPA outcome.
+type Requirement struct {
+	ID          string
+	Description string
+	Severity    qual.Level
+	Condition   Condition
+}
+
+// ScenarioResult is the violation vector of one analyzed scenario — one
+// row of the paper's Table II.
+type ScenarioResult struct {
+	// ID is S<n> in enumeration order (S1 = fault-free).
+	ID       string
+	Scenario epa.Scenario
+	// Violated lists the IDs of violated requirements, sorted.
+	Violated []string
+	// Risk is the qualitative scenario risk.
+	Risk risk.ScenarioRisk
+}
+
+// IsHazardous reports whether any requirement is violated.
+func (s ScenarioResult) IsHazardous() bool { return len(s.Violated) > 0 }
+
+// Violates reports whether the given requirement is violated.
+func (s ScenarioResult) Violates(reqID string) bool {
+	for _, v := range s.Violated {
+		if v == reqID {
+			return true
+		}
+	}
+	return false
+}
+
+// Analysis is the outcome of exhaustive hazard identification.
+type Analysis struct {
+	Requirements []Requirement
+	Scenarios    []ScenarioResult
+}
+
+// Analyze enumerates the scenario space (cardinality <= maxCard, negative
+// = unbounded) and evaluates every requirement on every scenario with the
+// native EPA engine, scoring scenario risk from the mutation likelihoods
+// and requirement severities.
+func Analyze(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement) (*Analysis, error) {
+	if err := validateReqs(reqs); err != nil {
+		return nil, err
+	}
+	likelihoods := faults.LikelihoodIndex(muts)
+	scenarios := faults.Enumerate(muts, maxCard)
+	out := &Analysis{Requirements: reqs}
+	for i, sc := range scenarios {
+		res, err := eng.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		sr := ScenarioResult{
+			ID:       fmt.Sprintf("S%d", i+1),
+			Scenario: sc,
+		}
+		var severities []qual.Level
+		for _, r := range reqs {
+			if Eval(r.Condition, sc, res) {
+				sr.Violated = append(sr.Violated, r.ID)
+				severities = append(severities, r.Severity)
+			}
+		}
+		sort.Strings(sr.Violated)
+		sr.Risk = risk.ScoreScenario(risk.ScenarioInput{
+			ID:                 sr.ID,
+			FaultLikelihoods:   scenarioLikelihoods(sc, likelihoods),
+			ViolatedSeverities: severities,
+		})
+		out.Scenarios = append(out.Scenarios, sr)
+	}
+	return out, nil
+}
+
+func validateReqs(reqs []Requirement) error {
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		if r.ID == "" {
+			return fmt.Errorf("hazard: requirement with empty ID")
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("hazard: duplicate requirement %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Condition == nil {
+			return fmt.Errorf("hazard: requirement %q has no condition", r.ID)
+		}
+	}
+	return nil
+}
+
+func scenarioLikelihoods(sc epa.Scenario, idx map[epa.Activation]qual.Level) []qual.Level {
+	out := make([]qual.Level, 0, len(sc))
+	for _, a := range sc {
+		if l, ok := idx[a]; ok {
+			out = append(out, l)
+		} else {
+			out = append(out, faults.DefaultLikelihood)
+		}
+	}
+	return out
+}
+
+// AnalyzeASP performs the same exhaustive analysis through the embedded
+// formal method: the EPA encoding plus the scenario-space choice plus the
+// compiled violation rules, solved for all answer sets. Scenario IDs are
+// assigned after sorting models into the native enumeration order so the
+// two paths are directly comparable.
+func AnalyzeASP(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement) (*Analysis, error) {
+	if err := validateReqs(reqs); err != nil {
+		return nil, err
+	}
+	prog, err := eng.EncodeASP()
+	if err != nil {
+		return nil, err
+	}
+	faults.EncodeChoice(prog, muts, maxCard)
+	for _, r := range reqs {
+		if err := EncodeViolation(prog, r.ID, r.Condition); err != nil {
+			return nil, err
+		}
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	likelihoods := faults.LikelihoodIndex(muts)
+	sevByID := map[string]qual.Level{}
+	for _, r := range reqs {
+		sevByID[r.ID] = r.Severity
+	}
+
+	results := make([]ScenarioResult, 0, len(res.Models))
+	for _, m := range res.Models {
+		sc := scenarioFromModel(&m, muts)
+		sr := ScenarioResult{Scenario: sc}
+		for _, r := range reqs {
+			if m.Contains(logic.A("violated", logic.Sym(r.ID)).Key()) {
+				sr.Violated = append(sr.Violated, r.ID)
+			}
+		}
+		sort.Strings(sr.Violated)
+		results = append(results, sr)
+	}
+	// Deterministic order: by cardinality, then by scenario key.
+	sort.Slice(results, func(i, j int) bool {
+		if len(results[i].Scenario) != len(results[j].Scenario) {
+			return len(results[i].Scenario) < len(results[j].Scenario)
+		}
+		return results[i].Scenario.Key() < results[j].Scenario.Key()
+	})
+	for i := range results {
+		results[i].ID = fmt.Sprintf("S%d", i+1)
+		var severities []qual.Level
+		for _, v := range results[i].Violated {
+			severities = append(severities, sevByID[v])
+		}
+		results[i].Risk = risk.ScoreScenario(risk.ScenarioInput{
+			ID:                 results[i].ID,
+			FaultLikelihoods:   scenarioLikelihoods(results[i].Scenario, likelihoods),
+			ViolatedSeverities: severities,
+		})
+	}
+	return &Analysis{Requirements: reqs, Scenarios: results}, nil
+}
+
+func scenarioFromModel(m *solver.Model, muts []faults.Mutation) epa.Scenario {
+	var sc epa.Scenario
+	for _, mu := range muts {
+		if m.Contains(epa.ActiveAtom(mu.Component, mu.Fault).Key()) {
+			sc = append(sc, mu.Activation)
+		}
+	}
+	return sc
+}
+
+// Hazards returns the hazardous scenarios (at least one violation).
+func (a *Analysis) Hazards() []ScenarioResult {
+	var out []ScenarioResult
+	for _, s := range a.Scenarios {
+		if s.IsHazardous() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByScenario finds the result for a scenario key.
+func (a *Analysis) ByScenario(sc epa.Scenario) (ScenarioResult, bool) {
+	key := sc.Key()
+	for _, s := range a.Scenarios {
+		if s.Scenario.Key() == key {
+			return s, true
+		}
+	}
+	return ScenarioResult{}, false
+}
+
+// Ranked returns the scenarios ordered by risk (paper §IV: prioritize by
+// severity and potential impact).
+func (a *Analysis) Ranked() []ScenarioResult {
+	risks := make([]risk.ScenarioRisk, len(a.Scenarios))
+	byID := make(map[string]ScenarioResult, len(a.Scenarios))
+	for i, s := range a.Scenarios {
+		risks[i] = s.Risk
+		byID[s.ID] = s
+	}
+	ranked := risk.Rank(risks)
+	out := make([]ScenarioResult, len(ranked))
+	for i, r := range ranked {
+		out[i] = byID[r.ID]
+	}
+	return out
+}
+
+// MinimalCuts returns, per requirement, the minimal hazardous scenarios:
+// those violating the requirement such that no proper sub-scenario in the
+// analysis also violates it (the qualitative analogue of FTA minimal cut
+// sets, §III-A).
+func (a *Analysis) MinimalCuts(reqID string) []ScenarioResult {
+	var violating []ScenarioResult
+	for _, s := range a.Scenarios {
+		if s.Violates(reqID) {
+			violating = append(violating, s)
+		}
+	}
+	var out []ScenarioResult
+	for _, s := range violating {
+		minimal := true
+		for _, other := range violating {
+			if len(other.Scenario) < len(s.Scenario) && isSubScenario(other.Scenario, s.Scenario) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func isSubScenario(sub, super epa.Scenario) bool {
+	for _, a := range sub {
+		if !super.Has(a.Component, a.Fault) {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a compact textual overview.
+func (a *Analysis) Summary() string {
+	var sb strings.Builder
+	hazards := a.Hazards()
+	fmt.Fprintf(&sb, "%d scenarios analyzed, %d hazardous\n", len(a.Scenarios), len(hazards))
+	for _, r := range a.Requirements {
+		n := 0
+		for _, s := range a.Scenarios {
+			if s.Violates(r.ID) {
+				n++
+			}
+		}
+		fmt.Fprintf(&sb, "  %s violated in %d scenarios\n", r.ID, n)
+	}
+	return sb.String()
+}

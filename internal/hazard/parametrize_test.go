@@ -1,0 +1,65 @@
+package hazard
+
+import (
+	"testing"
+
+	"cpsrisk/internal/qual"
+)
+
+func TestParametrizationSensitivity(t *testing.T) {
+	eng, muts, reqs := setup(t)
+	results, err := ParametrizationSensitivity(eng, muts, -1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(muts) {
+		t.Fatalf("results = %d, want %d", len(results), len(muts))
+	}
+	// The sink:corrupt likelihood drives the nominal top scenario
+	// ({sink:corrupt} alone violates R1 at the highest joint likelihood
+	// once raised); the analysis must flag at least one estimate as
+	// ranking-critical and report zero displacement for immaterial ones.
+	anySensitive := false
+	for _, r := range results {
+		if r.TopChanged || r.RankDisplacement > 0 {
+			anySensitive = true
+		}
+		if r.RankDisplacement < 0 {
+			t.Fatalf("negative displacement: %+v", r)
+		}
+	}
+	if !anySensitive {
+		t.Error("expected at least one ranking-critical likelihood estimate")
+	}
+}
+
+func TestParametrizationSensitivityStableUnderIrrelevantFactor(t *testing.T) {
+	eng, muts, reqs := setup(t)
+	// Make every mutation maximally likely: saturation blocks the upward
+	// perturbation, and a single downward step cannot reorder equal-risk
+	// peers deterministically ranked by ID... the check here is weaker:
+	// the function runs and reports consistent displacements.
+	for i := range muts {
+		muts[i].Likelihood = qual.VeryHigh
+	}
+	results, err := ParametrizationSensitivity(eng, muts, 1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.RankDisplacement > len(muts)+1 {
+			t.Fatalf("displacement out of range: %+v", r)
+		}
+	}
+}
+
+func TestParametrizationSensitivityEmpty(t *testing.T) {
+	eng, _, reqs := setup(t)
+	results, err := ParametrizationSensitivity(eng, nil, -1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v", results)
+	}
+}

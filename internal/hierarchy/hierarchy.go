@@ -1,0 +1,207 @@
+// Package hierarchy implements the hierarchical evaluation of the
+// framework (paper §VI, Fig. 3): asset refinement levels crossed with
+// threat refinement levels, the three evaluation focuses (topology-based
+// propagation, detailed propagation analysis, mitigation plan), and the
+// topology-based preliminary analysis used when detailed component
+// information is unavailable.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/report"
+	"cpsrisk/internal/sysmodel"
+)
+
+// AssetLevel is the asset refinement level (Fig. 3, vertical axis).
+type AssetLevel int
+
+// Asset levels.
+const (
+	// AssetAbstract keeps composite assets opaque ("main assets in broad
+	// terms").
+	AssetAbstract AssetLevel = iota + 1
+	// AssetRefined flattens composites into their internal components.
+	AssetRefined
+)
+
+// String implements fmt.Stringer.
+func (l AssetLevel) String() string {
+	switch l {
+	case AssetAbstract:
+		return "abstract-assets"
+	case AssetRefined:
+		return "refined-assets"
+	default:
+		return "unknown-asset-level"
+	}
+}
+
+// ThreatLevel is the threat refinement level (Fig. 3, horizontal axis).
+type ThreatLevel int
+
+// Threat levels (paper §VI: three threat refinement levels).
+const (
+	// ThreatAspects covers high-level aspects: reliability, availability,
+	// timeliness.
+	ThreatAspects ThreatLevel = iota + 1
+	// ThreatFaults identifies specific faults and vulnerabilities.
+	ThreatFaults
+	// ThreatMitigations introduces mitigation mechanisms.
+	ThreatMitigations
+)
+
+// String implements fmt.Stringer.
+func (l ThreatLevel) String() string {
+	switch l {
+	case ThreatAspects:
+		return "high-level-aspects"
+	case ThreatFaults:
+		return "specific-faults"
+	case ThreatMitigations:
+		return "mitigations"
+	default:
+		return "unknown-threat-level"
+	}
+}
+
+// Focus is an evaluation focus (paper §VI's three key focuses).
+type Focus int
+
+// Evaluation focuses.
+const (
+	// TopologyPropagation: preliminary analysis over main assets and
+	// high-level aspects.
+	TopologyPropagation Focus = iota + 1
+	// DetailedPropagation: qualitative EPA with component behaviour.
+	DetailedPropagation
+	// MitigationPlan: mitigation selection with cost metrics.
+	MitigationPlan
+)
+
+// String implements fmt.Stringer.
+func (f Focus) String() string {
+	switch f {
+	case TopologyPropagation:
+		return "topology-based-propagation"
+	case DetailedPropagation:
+		return "detailed-propagation-analysis"
+	case MitigationPlan:
+		return "mitigation-plan"
+	default:
+		return "unknown-focus"
+	}
+}
+
+// FocusFor maps a cell of the Fig. 3 matrix to its evaluation focus:
+// abstract assets with high-level threats call for topology propagation;
+// refined threats (specific faults) call for detailed EPA; the mitigation
+// threat level always drives mitigation planning.
+func FocusFor(asset AssetLevel, threat ThreatLevel) Focus {
+	switch threat {
+	case ThreatMitigations:
+		return MitigationPlan
+	case ThreatFaults:
+		return DetailedPropagation
+	default:
+		if asset == AssetRefined {
+			return DetailedPropagation
+		}
+		return TopologyPropagation
+	}
+}
+
+// MatrixCell describes one cell of the Fig. 3 evaluation matrix.
+type MatrixCell struct {
+	Asset  AssetLevel
+	Threat ThreatLevel
+	Focus  Focus
+}
+
+// Matrix enumerates the full Fig. 3 matrix, assets outermost.
+func Matrix() []MatrixCell {
+	var out []MatrixCell
+	for _, a := range []AssetLevel{AssetAbstract, AssetRefined} {
+		for _, t := range []ThreatLevel{ThreatAspects, ThreatFaults, ThreatMitigations} {
+			out = append(out, MatrixCell{Asset: a, Threat: t, Focus: FocusFor(a, t)})
+		}
+	}
+	return out
+}
+
+// CriticalityAttr is the component attribute marking asset criticality
+// (qualitative VL..VH); assets at High or above are treated as critical in
+// the topology analysis.
+const CriticalityAttr = "criticality"
+
+// TopologyResult is the preliminary impact of one fault/attack seed: the
+// reachable components and the critical ones among them (paper §VI focus
+// 1: "useful for early system development or initial risk assessments").
+type TopologyResult struct {
+	Seed     string
+	Affected []string
+	Critical []string
+}
+
+// Topology performs topology-based propagation analysis: for each seed
+// component, everything reachable in the propagation graph is potentially
+// affected; components marked critical and reached are the preliminary
+// hazards. No behaviour knowledge is needed.
+func Topology(m *sysmodel.Model, seeds []string) ([]TopologyResult, error) {
+	g := m.BuildGraph()
+	critical := map[string]bool{}
+	for _, c := range m.Components {
+		switch c.Attr(CriticalityAttr) {
+		case "H", "VH", "h", "vh":
+			critical[c.ID] = true
+		}
+	}
+	out := make([]TopologyResult, 0, len(seeds))
+	for _, seed := range seeds {
+		if _, ok := m.Component(seed); !ok {
+			return nil, fmt.Errorf("hierarchy: unknown seed component %q", seed)
+		}
+		affected := g.Reachable(seed)
+		res := TopologyResult{Seed: seed, Affected: affected}
+		for _, a := range affected {
+			if critical[a] {
+				res.Critical = append(res.Critical, a)
+			}
+		}
+		sort.Strings(res.Critical)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RefinementPlan lists the composite assets worth refining: those whose
+// abstract analysis reached critical components (the paper's "drill down
+// from the critical points").
+func RefinementPlan(m *sysmodel.Model, topo []TopologyResult) []string {
+	hot := map[string]bool{}
+	for _, r := range topo {
+		if len(r.Critical) > 0 {
+			hot[r.Seed] = true
+		}
+	}
+	var out []string
+	for _, c := range m.Components {
+		if c.IsComposite() && hot[c.ID] {
+			out = append(out, c.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderMatrix renders the Fig. 3 evaluation matrix as a text table.
+func RenderMatrix() string {
+	var rows [][]string
+	for _, cell := range Matrix() {
+		rows = append(rows, []string{
+			cell.Asset.String(), cell.Threat.String(), cell.Focus.String(),
+		})
+	}
+	return report.Table([]string{"Asset level", "Threat level", "Evaluation focus"}, rows)
+}

@@ -1,0 +1,169 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/plant"
+	"cpsrisk/internal/sysmodel"
+	"cpsrisk/internal/watertank"
+)
+
+func TestFocusForMatrix(t *testing.T) {
+	tests := []struct {
+		asset  AssetLevel
+		threat ThreatLevel
+		want   Focus
+	}{
+		{AssetAbstract, ThreatAspects, TopologyPropagation},
+		{AssetAbstract, ThreatFaults, DetailedPropagation},
+		{AssetAbstract, ThreatMitigations, MitigationPlan},
+		{AssetRefined, ThreatAspects, DetailedPropagation},
+		{AssetRefined, ThreatFaults, DetailedPropagation},
+		{AssetRefined, ThreatMitigations, MitigationPlan},
+	}
+	for _, tt := range tests {
+		if got := FocusFor(tt.asset, tt.threat); got != tt.want {
+			t.Errorf("FocusFor(%v,%v) = %v, want %v", tt.asset, tt.threat, got, tt.want)
+		}
+	}
+}
+
+func TestMatrixComplete(t *testing.T) {
+	cells := Matrix()
+	if len(cells) != 6 {
+		t.Fatalf("matrix cells = %d", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		key := c.Asset.String() + "/" + c.Threat.String()
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if c.Focus != FocusFor(c.Asset, c.Threat) {
+			t.Errorf("cell %s focus mismatch", key)
+		}
+	}
+}
+
+func TestTopologyOnCaseStudy(t *testing.T) {
+	m := watertank.Model()
+	tank, _ := m.Component(plant.CompTank)
+	tank.SetAttr(CriticalityAttr, "VH")
+	hmi, _ := m.Component(plant.CompHMI)
+	hmi.SetAttr(CriticalityAttr, "H")
+
+	results, err := Topology(m, []string{plant.CompEWS, plant.CompHMI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workstation reaches the tank through the control chain: a
+	// preliminary hazard even without behaviour knowledge.
+	ews := results[0]
+	if ews.Seed != plant.CompEWS {
+		t.Fatalf("order broken: %+v", ews)
+	}
+	found := false
+	for _, c := range ews.Critical {
+		if c == plant.CompTank {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ews topology must reach the tank: %+v", ews)
+	}
+	// The HMI is a sink: it reaches only itself.
+	hmiRes := results[1]
+	if len(hmiRes.Affected) != 1 || hmiRes.Affected[0] != plant.CompHMI {
+		t.Errorf("hmi reach = %v", hmiRes.Affected)
+	}
+}
+
+func TestTopologyUnknownSeed(t *testing.T) {
+	m := watertank.Model()
+	if _, err := Topology(m, []string{"ghost"}); err == nil {
+		t.Error("unknown seed must fail")
+	}
+}
+
+func TestRefinementPlan(t *testing.T) {
+	m := watertank.HierarchicalModel()
+	tank, _ := m.Component(plant.CompTank)
+	tank.SetAttr(CriticalityAttr, "VH")
+	topo, err := Topology(m, []string{plant.CompEWS, plant.CompHMI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := RefinementPlan(m, topo)
+	if len(plan) != 1 || plan[0] != plant.CompEWS {
+		t.Fatalf("refinement plan = %v", plan)
+	}
+	// Non-composite hot seeds are not refinable.
+	flat := watertank.Model()
+	tank2, _ := flat.Component(plant.CompTank)
+	tank2.SetAttr(CriticalityAttr, "VH")
+	topo2, err := Topology(flat, []string{plant.CompEWS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RefinementPlan(flat, topo2); len(got) != 0 {
+		t.Errorf("flat plan = %v", got)
+	}
+}
+
+// The §VI iteration: abstract topology finds the hot composite, refining
+// it yields a strictly more detailed model on which detailed analysis
+// still works (validated in the watertank package).
+func TestIterativeRefinementWorkflow(t *testing.T) {
+	m := watertank.HierarchicalModel()
+	tank, _ := m.Component(plant.CompTank)
+	tank.SetAttr(CriticalityAttr, "VH")
+	topo, err := Topology(m, []string{plant.CompEWS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	for _, id := range RefinementPlan(m, topo) {
+		if err := m.RefineComponent(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := m.Stats()
+	// Refinement dissolves the composite shell: one fewer component in
+	// total (the shell), zero composites, zero depth.
+	if after.Composites != 0 || after.Depth != 0 || after.Components != before.Components-1 {
+		t.Errorf("refinement stats: before=%+v after=%+v", before, after)
+	}
+	if err := m.Validate(watertank.Types()); err != nil {
+		t.Fatalf("refined model invalid: %v", err)
+	}
+	// The refined inner chain is now visible to topology analysis.
+	topo2, err := Topology(m, []string{"ews.email_client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(topo2[0].Affected, ","), plant.CompTank) {
+		t.Errorf("inner seed must reach the tank: %v", topo2[0].Affected)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if AssetAbstract.String() == AssetRefined.String() {
+		t.Error("asset level strings collide")
+	}
+	if ThreatAspects.String() == "" || TopologyPropagation.String() == "" {
+		t.Error("empty stringer")
+	}
+	_ = sysmodel.SignalFlow
+}
+
+func TestRenderMatrix(t *testing.T) {
+	out := RenderMatrix()
+	for _, want := range []string{"abstract-assets", "refined-assets",
+		"topology-based-propagation", "mitigation-plan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package kb implements the security knowledge bases the framework injects
+// into the system model (paper Fig. 1, step 2; §IV-A): weakness,
+// vulnerability, attack-pattern, technique/tactic, and mitigation catalogs
+// shaped after CWE, CVE/CVSS, CAPEC, and MITRE ATT&CK (ICS), plus a
+// complete CVSS v3.1 base-score implementation. The catalog entries
+// shipped in DefaultKB are a curated synthetic subset (the live databases
+// are not reachable from an offline build); the schema, cross-references,
+// and scoring are faithful.
+package kb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cpsrisk/internal/qual"
+)
+
+// CVSS31 holds the eight base metrics of a CVSS v3.1 vector.
+type CVSS31 struct {
+	AttackVector       string // N, A, L, P
+	AttackComplexity   string // L, H
+	PrivilegesRequired string // N, L, H
+	UserInteraction    string // N, R
+	Scope              string // U, C
+	Confidentiality    string // H, L, N
+	Integrity          string // H, L, N
+	Availability       string // H, L, N
+}
+
+// ParseCVSS31 parses a vector string like
+// "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H". All eight base metrics
+// are required.
+func ParseCVSS31(vector string) (CVSS31, error) {
+	var v CVSS31
+	parts := strings.Split(vector, "/")
+	if len(parts) == 0 || (parts[0] != "CVSS:3.1" && parts[0] != "CVSS:3.0") {
+		return v, fmt.Errorf("kb: vector %q must start with CVSS:3.1", vector)
+	}
+	seen := map[string]bool{}
+	for _, p := range parts[1:] {
+		kv := strings.SplitN(p, ":", 2)
+		if len(kv) != 2 {
+			return v, fmt.Errorf("kb: malformed metric %q in %q", p, vector)
+		}
+		key, val := kv[0], kv[1]
+		if seen[key] {
+			return v, fmt.Errorf("kb: duplicate metric %q in %q", key, vector)
+		}
+		seen[key] = true
+		var ok bool
+		switch key {
+		case "AV":
+			ok = oneOf(val, "N", "A", "L", "P")
+			v.AttackVector = val
+		case "AC":
+			ok = oneOf(val, "L", "H")
+			v.AttackComplexity = val
+		case "PR":
+			ok = oneOf(val, "N", "L", "H")
+			v.PrivilegesRequired = val
+		case "UI":
+			ok = oneOf(val, "N", "R")
+			v.UserInteraction = val
+		case "S":
+			ok = oneOf(val, "U", "C")
+			v.Scope = val
+		case "C":
+			ok = oneOf(val, "H", "L", "N")
+			v.Confidentiality = val
+		case "I":
+			ok = oneOf(val, "H", "L", "N")
+			v.Integrity = val
+		case "A":
+			ok = oneOf(val, "H", "L", "N")
+			v.Availability = val
+		default:
+			return v, fmt.Errorf("kb: unknown metric %q in %q", key, vector)
+		}
+		if !ok {
+			return v, fmt.Errorf("kb: invalid value %q for metric %q in %q", val, key, vector)
+		}
+	}
+	for _, required := range []struct{ name, val string }{
+		{"AV", v.AttackVector}, {"AC", v.AttackComplexity},
+		{"PR", v.PrivilegesRequired}, {"UI", v.UserInteraction},
+		{"S", v.Scope}, {"C", v.Confidentiality},
+		{"I", v.Integrity}, {"A", v.Availability},
+	} {
+		if required.val == "" {
+			return v, fmt.Errorf("kb: vector %q missing metric %s", vector, required.name)
+		}
+	}
+	return v, nil
+}
+
+func oneOf(v string, allowed ...string) bool {
+	for _, a := range allowed {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Vector renders the canonical vector string.
+func (v CVSS31) Vector() string {
+	return fmt.Sprintf("CVSS:3.1/AV:%s/AC:%s/PR:%s/UI:%s/S:%s/C:%s/I:%s/A:%s",
+		v.AttackVector, v.AttackComplexity, v.PrivilegesRequired, v.UserInteraction,
+		v.Scope, v.Confidentiality, v.Integrity, v.Availability)
+}
+
+// BaseScore computes the CVSS v3.1 base score per the FIRST specification
+// (paper ref [12]).
+func (v CVSS31) BaseScore() float64 {
+	iss := 1 - (1-ciaWeight(v.Confidentiality))*(1-ciaWeight(v.Integrity))*(1-ciaWeight(v.Availability))
+	var impact float64
+	if v.Scope == "U" {
+		impact = 6.42 * iss
+	} else {
+		impact = 7.52*(iss-0.029) - 3.25*math.Pow(iss-0.02, 15)
+	}
+	exploitability := 8.22 * avWeight(v.AttackVector) * acWeight(v.AttackComplexity) *
+		prWeight(v.PrivilegesRequired, v.Scope) * uiWeight(v.UserInteraction)
+	if impact <= 0 {
+		return 0
+	}
+	var score float64
+	if v.Scope == "U" {
+		score = math.Min(impact+exploitability, 10)
+	} else {
+		score = math.Min(1.08*(impact+exploitability), 10)
+	}
+	return roundup1(score)
+}
+
+// roundup1 is the CVSS "Roundup" function: the smallest number with one
+// decimal place that is >= its input, implemented with integer arithmetic
+// to avoid floating-point artifacts as the spec prescribes.
+func roundup1(x float64) float64 {
+	intInput := math.Round(x * 100000)
+	if math.Mod(intInput, 10000) == 0 {
+		return intInput / 100000
+	}
+	return (math.Floor(intInput/10000) + 1) / 10
+}
+
+func ciaWeight(m string) float64 {
+	switch m {
+	case "H":
+		return 0.56
+	case "L":
+		return 0.22
+	default: // N
+		return 0
+	}
+}
+
+func avWeight(m string) float64 {
+	switch m {
+	case "N":
+		return 0.85
+	case "A":
+		return 0.62
+	case "L":
+		return 0.55
+	default: // P
+		return 0.2
+	}
+}
+
+func acWeight(m string) float64 {
+	if m == "L" {
+		return 0.77
+	}
+	return 0.44 // H
+}
+
+func prWeight(m, scope string) float64 {
+	switch m {
+	case "N":
+		return 0.85
+	case "L":
+		if scope == "C" {
+			return 0.68
+		}
+		return 0.62
+	default: // H
+		if scope == "C" {
+			return 0.5
+		}
+		return 0.27
+	}
+}
+
+func uiWeight(m string) float64 {
+	if m == "N" {
+		return 0.85
+	}
+	return 0.62 // R
+}
+
+// Severity buckets a base score into the CVSS qualitative rating scale.
+func Severity(score float64) string {
+	switch {
+	case score <= 0:
+		return "None"
+	case score < 4.0:
+		return "Low"
+	case score < 7.0:
+		return "Medium"
+	case score < 9.0:
+		return "High"
+	default:
+		return "Critical"
+	}
+}
+
+// QualLevel maps a base score onto the framework's five-point O-RA scale
+// (VL..VH), the bridge between CVSS scoring and qualitative risk
+// quantization (§IV-B).
+func QualLevel(score float64) qual.Level {
+	switch {
+	case score <= 0:
+		return qual.VeryLow
+	case score < 4.0:
+		return qual.Low
+	case score < 7.0:
+		return qual.Medium
+	case score < 9.0:
+		return qual.High
+	default:
+		return qual.VeryHigh
+	}
+}

@@ -1,0 +1,189 @@
+package kb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Temporal and environmental CVSS v3.1 metric groups. The base group
+// feeds the preliminary assessment; the temporal group lets an analyst
+// account for exploit maturity and remediation state, and the
+// environmental group re-scores a vulnerability for the concrete system
+// (modified base metrics plus the C/I/A requirements of the asset) — the
+// per-deployment tailoring the paper's hierarchical refinement calls for
+// when component versions become known (§VI).
+
+// Temporal holds the CVSS v3.1 temporal metrics. Zero values ("X", Not
+// Defined) leave the base score unchanged.
+type Temporal struct {
+	ExploitCodeMaturity string // X, H, F, P, U
+	RemediationLevel    string // X, U, W, T, O
+	ReportConfidence    string // X, C, R, U
+}
+
+// ParseTemporal parses "E:P/RL:O/RC:C" fragments (any subset, any order).
+func ParseTemporal(s string) (Temporal, error) {
+	var t Temporal
+	if s == "" {
+		return t, nil
+	}
+	for _, part := range strings.Split(s, "/") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return t, fmt.Errorf("kb: malformed temporal metric %q", part)
+		}
+		switch kv[0] {
+		case "E":
+			if !oneOf(kv[1], "X", "H", "F", "P", "U") {
+				return t, fmt.Errorf("kb: invalid E value %q", kv[1])
+			}
+			t.ExploitCodeMaturity = kv[1]
+		case "RL":
+			if !oneOf(kv[1], "X", "U", "W", "T", "O") {
+				return t, fmt.Errorf("kb: invalid RL value %q", kv[1])
+			}
+			t.RemediationLevel = kv[1]
+		case "RC":
+			if !oneOf(kv[1], "X", "C", "R", "U") {
+				return t, fmt.Errorf("kb: invalid RC value %q", kv[1])
+			}
+			t.ReportConfidence = kv[1]
+		default:
+			return t, fmt.Errorf("kb: unknown temporal metric %q", kv[0])
+		}
+	}
+	return t, nil
+}
+
+func exploitMaturityWeight(m string) float64 {
+	switch m {
+	case "H", "X", "":
+		return 1.0
+	case "F":
+		return 0.97
+	case "P":
+		return 0.94
+	default: // U
+		return 0.91
+	}
+}
+
+func remediationWeight(m string) float64 {
+	switch m {
+	case "U", "X", "":
+		return 1.0
+	case "W":
+		return 0.97
+	case "T":
+		return 0.96
+	default: // O
+		return 0.95
+	}
+}
+
+func reportConfidenceWeight(m string) float64 {
+	switch m {
+	case "C", "X", "":
+		return 1.0
+	case "R":
+		return 0.96
+	default: // U
+		return 0.92
+	}
+}
+
+// TemporalScore computes the temporal score from a base score:
+// Roundup(base × E × RL × RC).
+func TemporalScore(base float64, t Temporal) float64 {
+	return roundup1(base *
+		exploitMaturityWeight(t.ExploitCodeMaturity) *
+		remediationWeight(t.RemediationLevel) *
+		reportConfidenceWeight(t.ReportConfidence))
+}
+
+// Environmental holds the CVSS v3.1 environmental metric group: security
+// requirements of the asset plus modified base metrics ("X" or "" keeps
+// the corresponding base metric).
+type Environmental struct {
+	ConfidentialityReq string // X, H, M, L
+	IntegrityReq       string // X, H, M, L
+	AvailabilityReq    string // X, H, M, L
+
+	ModifiedAttackVector       string
+	ModifiedAttackComplexity   string
+	ModifiedPrivilegesRequired string
+	ModifiedUserInteraction    string
+	ModifiedScope              string
+	ModifiedConfidentiality    string
+	ModifiedIntegrity          string
+	ModifiedAvailability       string
+}
+
+func requirementWeight(m string) float64 {
+	switch m {
+	case "H":
+		return 1.5
+	case "L":
+		return 0.5
+	default: // M, X, ""
+		return 1.0
+	}
+}
+
+func pick(modified, base string) string {
+	if modified == "" || modified == "X" {
+		return base
+	}
+	return modified
+}
+
+// EnvironmentalScore computes the full environmental score of a base
+// vector under the environment (including the temporal factors, per the
+// v3.1 specification).
+func (v CVSS31) EnvironmentalScore(env Environmental, t Temporal) (float64, error) {
+	m := CVSS31{
+		AttackVector:       pick(env.ModifiedAttackVector, v.AttackVector),
+		AttackComplexity:   pick(env.ModifiedAttackComplexity, v.AttackComplexity),
+		PrivilegesRequired: pick(env.ModifiedPrivilegesRequired, v.PrivilegesRequired),
+		UserInteraction:    pick(env.ModifiedUserInteraction, v.UserInteraction),
+		Scope:              pick(env.ModifiedScope, v.Scope),
+		Confidentiality:    pick(env.ModifiedConfidentiality, v.Confidentiality),
+		Integrity:          pick(env.ModifiedIntegrity, v.Integrity),
+		Availability:       pick(env.ModifiedAvailability, v.Availability),
+	}
+	if _, err := ParseCVSS31(m.Vector()); err != nil {
+		return 0, fmt.Errorf("kb: modified metrics invalid: %w", err)
+	}
+	for _, r := range []string{env.ConfidentialityReq, env.IntegrityReq, env.AvailabilityReq} {
+		if r != "" && !oneOf(r, "X", "H", "M", "L") {
+			return 0, fmt.Errorf("kb: invalid security requirement %q", r)
+		}
+	}
+	miss := math.Min(1-
+		(1-requirementWeight(env.ConfidentialityReq)*ciaWeight(m.Confidentiality))*
+			(1-requirementWeight(env.IntegrityReq)*ciaWeight(m.Integrity))*
+			(1-requirementWeight(env.AvailabilityReq)*ciaWeight(m.Availability)),
+		0.915)
+	var modifiedImpact float64
+	if m.Scope == "U" {
+		modifiedImpact = 6.42 * miss
+	} else {
+		modifiedImpact = 7.52*(miss-0.029) - 3.25*math.Pow(miss*0.9731-0.02, 13)
+	}
+	modifiedExploitability := 8.22 * avWeight(m.AttackVector) * acWeight(m.AttackComplexity) *
+		prWeight(m.PrivilegesRequired, m.Scope) * uiWeight(m.UserInteraction)
+	if modifiedImpact <= 0 {
+		return 0, nil
+	}
+	tFactor := exploitMaturityWeight(t.ExploitCodeMaturity) *
+		remediationWeight(t.RemediationLevel) *
+		reportConfidenceWeight(t.ReportConfidence)
+	var score float64
+	if m.Scope == "U" {
+		score = roundup1(roundup1(math.Min(modifiedImpact+modifiedExploitability, 10)) * tFactor)
+	} else {
+		score = roundup1(roundup1(math.Min(1.08*(modifiedImpact+modifiedExploitability), 10)) * tFactor)
+	}
+	return score, nil
+}

@@ -1,0 +1,151 @@
+package kb
+
+import "testing"
+
+func mustVec(t *testing.T, s string) CVSS31 {
+	t.Helper()
+	v, err := ParseCVSS31(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestTemporalScoreReference(t *testing.T) {
+	// Reference values cross-checked with the FIRST v3.1 calculator.
+	base98 := mustVec(t, "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+	tests := []struct {
+		tmp  string
+		want float64
+	}{
+		{"", 9.8},
+		{"E:X/RL:X/RC:X", 9.8},
+		{"E:U/RL:O/RC:U", 7.8}, // 9.8*0.91*0.95*0.92 = 7.797... -> 7.8
+		{"E:P/RL:T/RC:R", 8.5},
+		{"E:F/RL:W/RC:C", 9.3},
+	}
+	for _, tt := range tests {
+		tmp, err := ParseTemporal(tt.tmp)
+		if err != nil {
+			t.Fatalf("ParseTemporal(%q): %v", tt.tmp, err)
+		}
+		if got := TemporalScore(base98.BaseScore(), tmp); got != tt.want {
+			t.Errorf("TemporalScore(%q) = %v, want %v", tt.tmp, got, tt.want)
+		}
+	}
+}
+
+func TestParseTemporalErrors(t *testing.T) {
+	for _, bad := range []string{"E", "E:Z", "RL:Q", "RC:Z", "Q:H"} {
+		if _, err := ParseTemporal(bad); err == nil {
+			t.Errorf("ParseTemporal(%q) expected error", bad)
+		}
+	}
+}
+
+func TestTemporalNeverRaisesScore(t *testing.T) {
+	base := mustVec(t, "CVSS:3.1/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N").BaseScore()
+	for _, e := range []string{"X", "H", "F", "P", "U"} {
+		for _, rl := range []string{"X", "U", "W", "T", "O"} {
+			for _, rc := range []string{"X", "C", "R", "U"} {
+				tmp := Temporal{ExploitCodeMaturity: e, RemediationLevel: rl, ReportConfidence: rc}
+				if got := TemporalScore(base, tmp); got > base {
+					t.Fatalf("temporal raised the score: %v > %v at %+v", got, base, tmp)
+				}
+			}
+		}
+	}
+}
+
+func TestEnvironmentalScoreReference(t *testing.T) {
+	// Cross-checked with the FIRST v3.1 calculator.
+	base := mustVec(t, "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+	// No modifications: environmental == base.
+	got, err := base.EnvironmentalScore(Environmental{}, Temporal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9.8 {
+		t.Errorf("neutral environmental = %v, want 9.8", got)
+	}
+
+	// Low requirements everywhere pull the score down: CR:L/IR:L/AR:L on
+	// the 9.8 vector. MISS = 1-(1-0.5*0.56)^3 = 0.626752, ModifiedImpact =
+	// 4.0238, ModifiedExploitability = 3.887 -> Roundup(7.911) = 8.0.
+	got, err = base.EnvironmentalScore(Environmental{
+		ConfidentialityReq: "L", IntegrityReq: "L", AvailabilityReq: "L",
+	}, Temporal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8.0 {
+		t.Errorf("low-requirement environmental = %v, want 8.0", got)
+	}
+
+	// Modified AV physical cripples exploitability: MAV:P -> 6.8.
+	got, err = base.EnvironmentalScore(Environmental{ModifiedAttackVector: "P"}, Temporal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6.8 {
+		t.Errorf("MAV:P environmental = %v, want 6.8", got)
+	}
+
+	// Zeroing every modified impact kills the score.
+	got, err = base.EnvironmentalScore(Environmental{
+		ModifiedConfidentiality: "N", ModifiedIntegrity: "N", ModifiedAvailability: "N",
+	}, Temporal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("no-impact environmental = %v, want 0", got)
+	}
+}
+
+func TestEnvironmentalWithTemporal(t *testing.T) {
+	base := mustVec(t, "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+	tmp, err := ParseTemporal("E:U/RL:O/RC:U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.EnvironmentalScore(Environmental{}, tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same as the pure temporal score when nothing is modified.
+	if want := TemporalScore(base.BaseScore(), tmp); got != want {
+		t.Errorf("environmental-with-temporal = %v, want %v", got, want)
+	}
+}
+
+func TestEnvironmentalValidation(t *testing.T) {
+	base := mustVec(t, "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+	if _, err := base.EnvironmentalScore(Environmental{ModifiedAttackVector: "Z"}, Temporal{}); err == nil {
+		t.Error("invalid modified metric must fail")
+	}
+	if _, err := base.EnvironmentalScore(Environmental{ConfidentialityReq: "Z"}, Temporal{}); err == nil {
+		t.Error("invalid requirement must fail")
+	}
+}
+
+func TestEnvironmentalRangeSweep(t *testing.T) {
+	base := mustVec(t, "CVSS:3.1/AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:L")
+	reqs := []string{"X", "L", "M", "H"}
+	for _, cr := range reqs {
+		for _, ir := range reqs {
+			for _, ar := range reqs {
+				got, err := base.EnvironmentalScore(Environmental{
+					ConfidentialityReq: cr, IntegrityReq: ir, AvailabilityReq: ar,
+				}, Temporal{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got < 0 || got > 10 || roundup1(got) != got {
+					t.Fatalf("out-of-range env score %v at CR:%s IR:%s AR:%s", got, cr, ir, ar)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package kb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cpsrisk/internal/qual"
+)
+
+// Reference scores cross-checked against the FIRST CVSS v3.1 calculator.
+func TestBaseScoreReferenceVectors(t *testing.T) {
+	tests := []struct {
+		vector string
+		want   float64
+	}{
+		// Fully critical network RCE (e.g. Log4Shell-class).
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+		// Classic 9.8 critical.
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},
+		// Heartbleed.
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5},
+		// Stored XSS-style.
+		{"CVSS:3.1/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N", 5.4},
+		// Local privilege escalation.
+		{"CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8},
+		// Physical, hard, no impact on integrity/availability.
+		{"CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6},
+		// No impact at all.
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+		// Scope-changed, no impact: still zero.
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N", 0.0},
+		// Adjacent DoS (typical ICS alarm flood).
+		{"CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 6.5},
+		// Scope-changed low-priv.
+		{"CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H", 9.9},
+		// Requires user interaction, unchanged scope.
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H", 8.8},
+		// High complexity remote.
+		{"CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.1},
+	}
+	for _, tt := range tests {
+		v, err := ParseCVSS31(tt.vector)
+		if err != nil {
+			t.Errorf("ParseCVSS31(%q): %v", tt.vector, err)
+			continue
+		}
+		if got := v.BaseScore(); got != tt.want {
+			t.Errorf("BaseScore(%q) = %.1f, want %.1f", tt.vector, got, tt.want)
+		}
+	}
+}
+
+func TestParseCVSSErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CVSS:2.0/AV:N",
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H",          // missing A
+		"CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",      // bad AV
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/Z:1",  // unknown metric
+		"CVSS:3.1/AV:N/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // duplicate
+		"CVSS:3.1/AVN",
+	}
+	for _, vec := range bad {
+		if _, err := ParseCVSS31(vec); err == nil {
+			t.Errorf("ParseCVSS31(%q) expected error", vec)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	src := "CVSS:3.1/AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N"
+	v, err := ParseCVSS31(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Vector() != src {
+		t.Errorf("round trip = %q", v.Vector())
+	}
+}
+
+func TestRoundup1(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{4.00, 4.0},
+		{4.02, 4.1},
+		{4.07, 4.1},
+		{4.10, 4.1},
+		{0, 0},
+		{9.99999, 10.0},
+		// The spec's own regression case: 8.6 * 1.08 floating artifact.
+		{8.6 * 1.08, 9.3},
+	}
+	for _, tt := range tests {
+		if got := roundup1(tt.in); got != tt.want {
+			t.Errorf("roundup1(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSeverityBuckets(t *testing.T) {
+	tests := []struct {
+		score float64
+		want  string
+		level qual.Level
+	}{
+		{0, "None", qual.VeryLow},
+		{0.1, "Low", qual.Low},
+		{3.9, "Low", qual.Low},
+		{4.0, "Medium", qual.Medium},
+		{6.9, "Medium", qual.Medium},
+		{7.0, "High", qual.High},
+		{8.9, "High", qual.High},
+		{9.0, "Critical", qual.VeryHigh},
+		{10.0, "Critical", qual.VeryHigh},
+	}
+	for _, tt := range tests {
+		if got := Severity(tt.score); got != tt.want {
+			t.Errorf("Severity(%v) = %q, want %q", tt.score, got, tt.want)
+		}
+		if got := QualLevel(tt.score); got != tt.level {
+			t.Errorf("QualLevel(%v) = %v, want %v", tt.score, got, tt.level)
+		}
+	}
+}
+
+// Property: every valid metric combination yields a score in [0,10] with
+// one decimal, and zero exactly when all three impacts are None.
+func TestBaseScoreRangeProperty(t *testing.T) {
+	avs := []string{"N", "A", "L", "P"}
+	acs := []string{"L", "H"}
+	prs := []string{"N", "L", "H"}
+	uis := []string{"N", "R"}
+	ss := []string{"U", "C"}
+	cia := []string{"H", "L", "N"}
+	count := 0
+	for _, av := range avs {
+		for _, ac := range acs {
+			for _, pr := range prs {
+				for _, ui := range uis {
+					for _, s := range ss {
+						for _, c := range cia {
+							for _, i := range cia {
+								for _, a := range cia {
+									v := CVSS31{av, ac, pr, ui, s, c, i, a}
+									score := v.BaseScore()
+									count++
+									if score < 0 || score > 10 {
+										t.Fatalf("score out of range: %v -> %v", v.Vector(), score)
+									}
+									if r := roundup1(score); r != score {
+										t.Fatalf("score not 1-decimal: %v -> %v", v.Vector(), score)
+									}
+									noImpact := c == "N" && i == "N" && a == "N"
+									if noImpact != (score == 0) {
+										t.Fatalf("zero-score rule violated: %v -> %v", v.Vector(), score)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if count != 4*2*3*2*2*27 {
+		t.Fatalf("combinations covered = %d", count)
+	}
+}
+
+// Property: raising any impact metric never lowers the score.
+func TestBaseScoreMonotoneInImpact(t *testing.T) {
+	levels := []string{"N", "L", "H"}
+	rank := map[string]int{"N": 0, "L": 1, "H": 2}
+	f := func(avI, acI, prI, uiI, sI uint8, c1, i1, a1, c2, i2, a2 uint8) bool {
+		base := CVSS31{
+			AttackVector:       []string{"N", "A", "L", "P"}[avI%4],
+			AttackComplexity:   []string{"L", "H"}[acI%2],
+			PrivilegesRequired: []string{"N", "L", "H"}[prI%3],
+			UserInteraction:    []string{"N", "R"}[uiI%2],
+			Scope:              []string{"U", "C"}[sI%2],
+		}
+		va, vb := base, base
+		va.Confidentiality, va.Integrity, va.Availability = levels[c1%3], levels[i1%3], levels[a1%3]
+		vb.Confidentiality, vb.Integrity, vb.Availability = levels[c2%3], levels[i2%3], levels[a2%3]
+		aLeq := rank[va.Confidentiality] <= rank[vb.Confidentiality] &&
+			rank[va.Integrity] <= rank[vb.Integrity] &&
+			rank[va.Availability] <= rank[vb.Availability]
+		if !aLeq {
+			return true
+		}
+		return va.BaseScore() <= vb.BaseScore()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

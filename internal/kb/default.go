@@ -1,0 +1,278 @@
+package kb
+
+import "fmt"
+
+// DefaultKB returns the built-in curated knowledge base. The entries are a
+// synthetic, self-consistent subset shaped after the public catalogs the
+// paper uses (CWE / CVE+CVSS / CAPEC / MITRE ATT&CK for ICS): IDs follow
+// the same numbering style (W-79 ~ CWE-79, T-0866 ~ ATT&CK ICS T0866), and
+// the water-tank case study's attack chain (spearphishing link -> drive-by
+// malware -> infected engineering workstation -> actuator reconfiguration)
+// is fully represented, together with the paper's mitigations M1 "User
+// Training" and M2 "Endpoint Security".
+func DefaultKB() (*KB, error) {
+	k := New()
+
+	weaknesses := []*Weakness{
+		{ID: "W-79", Name: "Improper Neutralization of Input During Web Page Generation",
+			Patterns: []string{"P-591"}},
+		{ID: "W-94", Name: "Improper Control of Generation of Code",
+			Patterns: []string{"P-242"}},
+		{ID: "W-287", Name: "Improper Authentication",
+			Patterns: []string{"P-114"}},
+		{ID: "W-306", Name: "Missing Authentication for Critical Function",
+			Patterns: []string{"P-114"}},
+		{ID: "W-319", Name: "Cleartext Transmission of Sensitive Information",
+			Patterns: []string{"P-158"}},
+		{ID: "W-400", Name: "Uncontrolled Resource Consumption",
+			Patterns: []string{"P-125"}},
+		{ID: "W-494", Name: "Download of Code Without Integrity Check",
+			Patterns: []string{"P-185"}},
+		{ID: "W-502", Name: "Deserialization of Untrusted Data",
+			Patterns: []string{"P-586"}},
+		{ID: "W-787", Name: "Out-of-bounds Write",
+			Patterns: []string{"P-100"}},
+		{ID: "W-1188", Name: "Insecure Default Initialization of Resource",
+			Patterns: []string{"P-114"}},
+	}
+
+	tactics := []*Tactic{
+		{ID: "TA-01", Name: "Initial Access"},
+		{ID: "TA-02", Name: "Execution"},
+		{ID: "TA-03", Name: "Persistence"},
+		{ID: "TA-04", Name: "Lateral Movement"},
+		{ID: "TA-05", Name: "Inhibit Response Function"},
+		{ID: "TA-06", Name: "Impair Process Control"},
+		{ID: "TA-07", Name: "Impact"},
+		{ID: "TA-08", Name: "Collection"},
+	}
+
+	mitigations := []*Mitigation{
+		{ID: "M-0917", Name: "User Training", Cost: 20, MaintenanceCost: 5,
+			Description: "Train users to recognize spearphishing and social engineering."},
+		{ID: "M-0949", Name: "Endpoint Security", Cost: 45, MaintenanceCost: 10,
+			Description: "Antivirus/anti-malware and endpoint detection on workstations."},
+		{ID: "M-0930", Name: "Network Segmentation", Cost: 80, MaintenanceCost: 15,
+			Description: "Segment IT and OT networks; restrict lateral movement."},
+		{ID: "M-0932", Name: "Multi-factor Authentication", Cost: 35, MaintenanceCost: 8,
+			Description: "Require MFA for remote and engineering access."},
+		{ID: "M-0951", Name: "Update Software", Cost: 25, MaintenanceCost: 12,
+			Description: "Patch management for known vulnerabilities."},
+		{ID: "M-0945", Name: "Code Signing", Cost: 40, MaintenanceCost: 6,
+			Description: "Verify firmware and software integrity before installation."},
+		{ID: "M-0807", Name: "Network Allowlists", Cost: 30, MaintenanceCost: 7,
+			Description: "Allowlist communication peers of control devices."},
+		{ID: "M-0810", Name: "Out-of-Band Communications Channel", Cost: 55, MaintenanceCost: 9,
+			Description: "Redundant alarm channel independent of the primary HMI path."},
+		{ID: "M-0815", Name: "Watchdog Timers", Cost: 15, MaintenanceCost: 3,
+			Description: "Hardware watchdogs reset hung controllers."},
+		{ID: "M-0801", Name: "Access Management", Cost: 28, MaintenanceCost: 6,
+			Description: "Role-based access control on engineering functions."},
+	}
+
+	techniques := []*Technique{
+		{ID: "T-1566", Name: "Spearphishing Link", TacticID: "TA-01",
+			ComponentTypes:   []string{"email_client", "workstation"},
+			RequiresExposure: "public", FaultMode: "compromised",
+			Mitigations: []string{"M-0917"},
+			AttackCost:  "L", Likelihood: "H",
+			Description: "User opens a link in a spam e-mail (paper §VII scenario)."},
+		{ID: "T-1189", Name: "Drive-by Compromise", TacticID: "TA-01",
+			ComponentTypes:   []string{"browser", "workstation"},
+			RequiresExposure: "public", FaultMode: "compromised",
+			Mitigations: []string{"M-0949", "M-0951"},
+			AttackCost:  "M", Likelihood: "M",
+			Description: "Malware downloaded from a malicious website infects the computer."},
+		{ID: "T-0866", Name: "Exploitation of Remote Services", TacticID: "TA-04",
+			ComponentTypes:   []string{"workstation", "scada_server", "historian", "controller", "plc"},
+			RequiresExposure: "adjacent", FaultMode: "compromised",
+			Mitigations: []string{"M-0930", "M-0951"},
+			AttackCost:  "M", Likelihood: "M",
+			Description: "Exploit a service reachable from an already compromised neighbor."},
+		{ID: "T-0886", Name: "Remote Services", TacticID: "TA-04",
+			ComponentTypes:   []string{"workstation", "scada_server", "hmi"},
+			RequiresExposure: "adjacent", FaultMode: "compromised",
+			Mitigations: []string{"M-0932", "M-0801"},
+			AttackCost:  "L", Likelihood: "M",
+			Description: "Abuse legitimate remote-access services with stolen credentials."},
+		{ID: "T-0831", Name: "Manipulation of Control", TacticID: "TA-06",
+			ComponentTypes:   []string{"plc", "controller", "valve_controller"},
+			RequiresExposure: "adjacent", FaultMode: "bad_command",
+			Mitigations: []string{"M-0807", "M-0945"},
+			AttackCost:  "H", Likelihood: "L",
+			Description: "Send forged control commands to actuator controllers."},
+		{ID: "T-0855", Name: "Unauthorized Command Message", TacticID: "TA-06",
+			ComponentTypes:   []string{"plc", "controller", "valve_controller", "valve"},
+			RequiresExposure: "adjacent", FaultMode: "bad_command",
+			Mitigations: []string{"M-0807", "M-0930"},
+			AttackCost:  "M", Likelihood: "M",
+			Description: "Directly reconfigure input/output valve actuators (case-study F4 effect)."},
+		{ID: "T-0814", Name: "Denial of Service", TacticID: "TA-05",
+			ComponentTypes:   []string{"hmi", "scada_server", "historian"},
+			RequiresExposure: "adjacent", FaultMode: "no_signal",
+			Mitigations: []string{"M-0815", "M-0930"},
+			AttackCost:  "L", Likelihood: "M",
+			Description: "Exhaust the HMI/server so that operator alerts are lost."},
+		{ID: "T-0878", Name: "Alarm Suppression", TacticID: "TA-05",
+			ComponentTypes:   []string{"hmi"},
+			RequiresExposure: "adjacent", FaultMode: "no_signal",
+			Mitigations: []string{"M-0810"},
+			AttackCost:  "H", Likelihood: "L",
+			Description: "Suppress alarms so the operator never sees the violation."},
+		{ID: "T-0817", Name: "Drive-by Leading to Persistence", TacticID: "TA-03",
+			ComponentTypes:   []string{"workstation", "os"},
+			RequiresExposure: "adjacent", FaultMode: "compromised",
+			Mitigations: []string{"M-0949"},
+			AttackCost:  "M", Likelihood: "L",
+			Description: "Install persistent implant on the engineering OS."},
+		{ID: "T-0846", Name: "Remote System Discovery", TacticID: "TA-08",
+			RequiresExposure: "adjacent", FaultMode: "",
+			Mitigations: []string{"M-0930"},
+			AttackCost:  "VL", Likelihood: "H",
+			Description: "Enumerate reachable OT assets from a compromised host."},
+		{ID: "T-0883", Name: "Internet Accessible Device", TacticID: "TA-01",
+			ComponentTypes:   []string{"plc", "hmi", "controller"},
+			RequiresExposure: "public", FaultMode: "compromised",
+			Mitigations: []string{"M-0930", "M-0807"},
+			AttackCost:  "L", Likelihood: "M",
+			Description: "Directly reach an exposed control device from the Internet."},
+		{ID: "T-0826", Name: "Loss of Availability", TacticID: "TA-07",
+			ComponentTypes:   []string{"scada_server", "historian"},
+			RequiresExposure: "adjacent", FaultMode: "crash",
+			Mitigations: []string{"M-0815"},
+			AttackCost:  "M", Likelihood: "L",
+			Description: "Crash supervisory services."},
+		{ID: "T-1078", Name: "Valid Accounts", TacticID: "TA-01",
+			ComponentTypes:   []string{"workstation", "scada_server"},
+			RequiresExposure: "public", FaultMode: "compromised",
+			Mitigations: []string{"M-0932", "M-0801"},
+			AttackCost:  "M", Likelihood: "M",
+			Description: "Log in with stolen or default credentials."},
+		{ID: "T-0873", Name: "Project File Infection", TacticID: "TA-02",
+			ComponentTypes:   []string{"workstation", "plc"},
+			RequiresExposure: "adjacent", FaultMode: "bad_command",
+			Mitigations: []string{"M-0945"},
+			AttackCost:  "H", Likelihood: "VL",
+			Description: "Tamper with controller project files on the engineering host."},
+	}
+
+	patterns := []*AttackPattern{
+		{ID: "P-98", Name: "Phishing", Techniques: []string{"T-1566"}, Severity: "H"},
+		{ID: "P-100", Name: "Overflow Buffers", Techniques: []string{"T-0866"}, Severity: "VH"},
+		{ID: "P-114", Name: "Authentication Abuse", Techniques: []string{"T-1078", "T-0886"}, Severity: "H"},
+		{ID: "P-125", Name: "Flooding", Techniques: []string{"T-0814"}, Severity: "M"},
+		{ID: "P-158", Name: "Sniffing Network Traffic", Techniques: []string{"T-0846"}, Severity: "L"},
+		{ID: "P-185", Name: "Malicious Software Download", Techniques: []string{"T-1189"}, Severity: "H"},
+		{ID: "P-242", Name: "Code Injection", Techniques: []string{"T-0873"}, Severity: "VH"},
+		{ID: "P-586", Name: "Object Injection", Techniques: []string{"T-0866"}, Severity: "H"},
+		{ID: "P-591", Name: "Reflected XSS", Techniques: []string{"T-1189"}, Severity: "M"},
+	}
+
+	vulns := []*Vulnerability{
+		{ID: "V-2023-0101", ComponentType: "email_client", Versions: []string{"1.0", "1.1"},
+			WeaknessID: "W-79", FaultMode: "compromised",
+			Mitigations: []string{"M-0951", "M-0917"},
+			Vector:      "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:N",
+			Description: "HTML e-mail rendering allows script execution."},
+		{ID: "V-2023-0102", ComponentType: "browser", Versions: []string{"11.2"},
+			WeaknessID: "W-494", FaultMode: "compromised",
+			Mitigations: []string{"M-0951", "M-0949"},
+			Vector:      "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H",
+			Description: "Drive-by download without integrity check."},
+		{ID: "V-2023-0103", ComponentType: "os", Versions: nil,
+			WeaknessID: "W-787", FaultMode: "compromised",
+			Mitigations: []string{"M-0951"},
+			Vector:      "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+			Description: "Local privilege escalation via heap overflow."},
+		{ID: "V-2023-0104", ComponentType: "workstation", Versions: nil,
+			WeaknessID: "W-287", FaultMode: "compromised",
+			Mitigations: []string{"M-0801", "M-0932"},
+			Vector:      "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+			Description: "Remote management interface with default credentials."},
+		{ID: "V-2023-0105", ComponentType: "plc", Versions: []string{"fw2.3"},
+			WeaknessID: "W-306", FaultMode: "bad_command",
+			Mitigations: []string{"M-0951", "M-0807"},
+			Vector:      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:C/C:N/I:H/A:H",
+			Description: "Unauthenticated write of actuator setpoints."},
+		{ID: "V-2023-0106", ComponentType: "valve_controller", Versions: nil,
+			WeaknessID: "W-306", FaultMode: "bad_command",
+			Mitigations: []string{"M-0807"},
+			Vector:      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:N",
+			Description: "Unauthenticated valve reconfiguration protocol."},
+		{ID: "V-2023-0107", ComponentType: "hmi", Versions: nil,
+			WeaknessID: "W-400", FaultMode: "no_signal",
+			Mitigations: []string{"M-0810"},
+			Vector:      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H",
+			Description: "Alarm queue exhaustion silences operator alerts."},
+		{ID: "V-2023-0108", ComponentType: "scada_server", Versions: []string{"5.0"},
+			WeaknessID: "W-502", FaultMode: "crash",
+			Mitigations: []string{"M-0951"},
+			Vector:      "CVSS:3.1/AV:N/AC:H/PR:L/UI:N/S:U/C:H/I:H/A:H",
+			Description: "Unsafe deserialization in tag import."},
+		{ID: "V-2023-0109", ComponentType: "historian", Versions: nil,
+			WeaknessID: "W-319", FaultMode: "compromised",
+			Mitigations: []string{"M-0930"},
+			Vector:      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N",
+			Description: "Cleartext historian protocol leaks process data."},
+		{ID: "V-2023-0110", ComponentType: "plc", Versions: []string{"fw2.3", "fw2.4"},
+			WeaknessID: "W-1188", FaultMode: "compromised",
+			Mitigations: []string{"M-0951", "M-0807"},
+			Vector:      "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+			Description: "Debug service enabled by default, reachable over the network."},
+		{ID: "V-2023-0111", ComponentType: "sensor", Versions: nil,
+			WeaknessID: "W-306", FaultMode: "no_signal",
+			Mitigations: []string{"M-0807"},
+			Vector:      "CVSS:3.1/AV:A/AC:H/PR:N/UI:N/S:U/C:N/I:L/A:H",
+			Description: "Sensor bus allows unauthenticated suppression frames."},
+		{ID: "V-2023-0112", ComponentType: "workstation", Versions: []string{"10"},
+			WeaknessID: "W-94", FaultMode: "compromised",
+			Mitigations: []string{"M-0949", "M-0917"},
+			Vector:      "CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H",
+			Description: "Macro execution in engineering documents."},
+	}
+
+	for _, w := range weaknesses {
+		if err := k.AddWeakness(w); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range tactics {
+		if err := k.AddTactic(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range mitigations {
+		if err := k.AddMitigation(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range techniques {
+		if err := k.AddTechnique(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range patterns {
+		if err := k.AddPattern(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range vulns {
+		if err := k.AddVulnerability(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("kb: default catalog inconsistent: %w", err)
+	}
+	return k, nil
+}
+
+// MustDefaultKB panics if the built-in catalog is inconsistent. The
+// catalog is static, so this is a programming error, caught by tests.
+func MustDefaultKB() *KB {
+	k, err := DefaultKB()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

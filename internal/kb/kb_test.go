@@ -1,0 +1,201 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultKBConsistent(t *testing.T) {
+	k, err := DefaultKB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := k.Counts()
+	if counts.Weaknesses < 10 || counts.Vulnerabilities < 12 ||
+		counts.Techniques < 14 || counts.Mitigations < 10 ||
+		counts.Tactics < 8 || counts.Patterns < 8 {
+		t.Errorf("catalog too small: %+v", counts)
+	}
+}
+
+func TestDefaultKBPaperChain(t *testing.T) {
+	// The paper's §VII attack chain must be representable end-to-end:
+	// spearphishing link (user training mitigates) and drive-by malware
+	// (endpoint security mitigates).
+	k := MustDefaultKB()
+	spear, ok := k.Technique("T-1566")
+	if !ok {
+		t.Fatal("T-1566 missing")
+	}
+	ms := k.MitigationsFor(spear.ID)
+	if len(ms) != 1 || ms[0].Name != "User Training" {
+		t.Errorf("spearphishing mitigations = %v", ms)
+	}
+	driveBy, ok := k.Technique("T-1189")
+	if !ok {
+		t.Fatal("T-1189 missing")
+	}
+	found := false
+	for _, m := range k.MitigationsFor(driveBy.ID) {
+		if m.Name == "Endpoint Security" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("drive-by must be mitigated by endpoint security")
+	}
+	// Exploitation of Remote Services exists (paper names it explicitly).
+	if _, ok := k.Technique("T-0866"); !ok {
+		t.Error("T-0866 Exploitation of Remote Services missing")
+	}
+}
+
+func TestVulnsForVersionFiltering(t *testing.T) {
+	k := MustDefaultKB()
+	all := k.VulnsFor("plc", "fw2.3")
+	if len(all) != 2 {
+		t.Fatalf("plc fw2.3 vulns = %d", len(all))
+	}
+	newer := k.VulnsFor("plc", "fw9.9")
+	if len(newer) != 0 {
+		t.Fatalf("plc fw9.9 vulns = %v", newer)
+	}
+	anyVersion := k.VulnsFor("hmi", "whatever")
+	if len(anyVersion) != 1 {
+		t.Fatalf("hmi vulns = %d", len(anyVersion))
+	}
+	if got := k.VulnsFor("toaster", "1"); got != nil {
+		t.Errorf("unknown type vulns = %v", got)
+	}
+}
+
+func TestTechniquesForIncludesUniversal(t *testing.T) {
+	k := MustDefaultKB()
+	// T-0846 has no component types: applicable anywhere.
+	ts := k.TechniquesFor("tank")
+	found := false
+	for _, tq := range ts {
+		if tq.ID == "T-0846" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("universal technique missing from TechniquesFor")
+	}
+	hmiTechs := k.TechniquesFor("hmi")
+	var ids []string
+	for _, tq := range hmiTechs {
+		ids = append(ids, tq.ID)
+	}
+	joined := strings.Join(ids, ",")
+	for _, want := range []string{"T-0814", "T-0878", "T-0883"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("hmi techniques missing %s: %v", want, ids)
+		}
+	}
+}
+
+func TestVulnerabilityScores(t *testing.T) {
+	k := MustDefaultKB()
+	v, _ := k.Vulnerability("V-2023-0104")
+	score, err := v.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 9.8 {
+		t.Errorf("V-2023-0104 score = %v, want 9.8", score)
+	}
+	if Severity(score) != "Critical" {
+		t.Errorf("severity = %s", Severity(score))
+	}
+}
+
+func TestKBValidationCatchesDangling(t *testing.T) {
+	k := New()
+	if err := k.AddTactic(&Tactic{ID: "TA-1", Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTechnique(&Technique{ID: "T-1", Name: "t", TacticID: "TA-1",
+		Mitigations: []string{"M-none"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "unknown mitigation") {
+		t.Errorf("validate = %v", err)
+	}
+}
+
+func TestKBValidationBadLabels(t *testing.T) {
+	k := New()
+	if err := k.AddTactic(&Tactic{ID: "TA-1", Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTechnique(&Technique{ID: "T-1", Name: "t", TacticID: "TA-1",
+		AttackCost: "HUGE"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err == nil {
+		t.Error("bad qualitative label must fail validation")
+	}
+}
+
+func TestKBAddErrors(t *testing.T) {
+	k := New()
+	if err := k.AddVulnerability(&Vulnerability{ID: "V-1", Vector: "garbage",
+		ComponentType: "x", FaultMode: "f"}); err == nil {
+		t.Error("bad vector must fail")
+	}
+	if err := k.AddVulnerability(&Vulnerability{ID: "V-1",
+		Vector:        "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+		ComponentType: "", FaultMode: "f"}); err == nil {
+		t.Error("missing component type must fail")
+	}
+	if err := k.AddMitigation(&Mitigation{ID: "M-1", Cost: -5}); err == nil {
+		t.Error("negative cost must fail")
+	}
+	ok := &Mitigation{ID: "M-1", Cost: 5}
+	if err := k.AddMitigation(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddMitigation(ok); err == nil {
+		t.Error("duplicate mitigation must fail")
+	}
+}
+
+func TestMitigationsSorted(t *testing.T) {
+	k := MustDefaultKB()
+	ms := k.Mitigations()
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].ID >= ms[i].ID {
+			t.Fatalf("mitigations not sorted at %d: %s >= %s", i, ms[i-1].ID, ms[i].ID)
+		}
+	}
+	ts := k.Techniques()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].ID >= ts[i].ID {
+			t.Fatalf("techniques not sorted at %d", i)
+		}
+	}
+}
+
+func BenchmarkCVSSBaseScore(b *testing.B) {
+	v, err := ParseCVSS31("CVSS:3.1/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.BaseScore() != 5.4 {
+			b.Fatal("wrong score")
+		}
+	}
+}
+
+func BenchmarkKBQueries(b *testing.B) {
+	k := MustDefaultKB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.VulnsFor("plc", "fw2.3")
+		_ = k.TechniquesFor("workstation")
+		_ = k.MitigationsFor("T-1566")
+	}
+}

@@ -1,0 +1,388 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/qual"
+)
+
+// Weakness is a CWE-like entry: a class of software/hardware weakness.
+type Weakness struct {
+	ID          string `json:"id"` // e.g. "W-79"
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Patterns lists attack-pattern IDs that exploit this weakness.
+	Patterns []string `json:"patterns,omitempty"`
+}
+
+// Vulnerability is a CVE-like entry: a concrete vulnerability in a
+// component type (optionally version-specific, §VI: "many databases of
+// known vulnerabilities are version-specific").
+type Vulnerability struct {
+	ID          string `json:"id"` // e.g. "V-2023-0001"
+	Description string `json:"description,omitempty"`
+	// WeaknessID links to the underlying weakness class.
+	WeaknessID string `json:"weakness,omitempty"`
+	// Vector is the CVSS v3.1 vector string.
+	Vector string `json:"vector"`
+	// ComponentType restricts applicability to a sysmodel component type.
+	ComponentType string `json:"componentType"`
+	// Versions lists affected versions; empty = all versions.
+	Versions []string `json:"versions,omitempty"`
+	// FaultMode is the local fault mode an exploit activates in the
+	// component (the vulnerability -> fault bridge of §IV).
+	FaultMode string `json:"faultMode"`
+	// Mitigations lists mitigation IDs that prevent exploitation (e.g.
+	// patching for version-specific vulnerabilities).
+	Mitigations []string `json:"mitigations,omitempty"`
+}
+
+// Score parses the vector and computes the base score.
+func (v *Vulnerability) Score() (float64, error) {
+	c, err := ParseCVSS31(v.Vector)
+	if err != nil {
+		return 0, fmt.Errorf("vulnerability %s: %w", v.ID, err)
+	}
+	return c.BaseScore(), nil
+}
+
+// AffectsVersion reports whether the vulnerability applies to the version.
+func (v *Vulnerability) AffectsVersion(version string) bool {
+	if len(v.Versions) == 0 {
+		return true
+	}
+	for _, ver := range v.Versions {
+		if ver == version {
+			return true
+		}
+	}
+	return false
+}
+
+// AttackPattern is a CAPEC-like entry: a reusable exploitation approach.
+type AttackPattern struct {
+	ID          string `json:"id"` // e.g. "P-98"
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Techniques lists ATT&CK-like technique IDs realizing the pattern.
+	Techniques []string `json:"techniques,omitempty"`
+	// Severity is the qualitative impact label (VL..VH).
+	Severity string `json:"severity,omitempty"`
+}
+
+// Tactic is an ATT&CK-like tactic (the attacker's "why").
+type Tactic struct {
+	ID   string `json:"id"` // e.g. "TA-01"
+	Name string `json:"name"`
+}
+
+// Technique is an ATT&CK-like technique: how an attacker achieves a
+// tactic against a class of assets.
+type Technique struct {
+	ID          string `json:"id"` // e.g. "T-0866"
+	Name        string `json:"name"`
+	TacticID    string `json:"tactic"`
+	Description string `json:"description,omitempty"`
+	// ComponentTypes lists the sysmodel component types the technique
+	// applies to; empty = any.
+	ComponentTypes []string `json:"componentTypes,omitempty"`
+	// RequiresExposure: "" (any), "public" (needs an externally reachable
+	// asset), "adjacent" (needs a compromised neighbor).
+	RequiresExposure string `json:"requiresExposure,omitempty"`
+	// FaultMode is the component fault mode a successful application
+	// activates.
+	FaultMode string `json:"faultMode,omitempty"`
+	// Mitigations lists mitigation IDs that block the technique.
+	Mitigations []string `json:"mitigations,omitempty"`
+	// AttackCost is the qualitative attacker effort (VL..VH) — the
+	// "attack cost" input of the §IV-D optimization tasks.
+	AttackCost string `json:"attackCost,omitempty"`
+	// Likelihood is the qualitative threat-event frequency (VL..VH).
+	Likelihood string `json:"likelihood,omitempty"`
+}
+
+// Mitigation is an ATT&CK-mitigation-like entry with cost metrics for the
+// cost-benefit optimization (§IV-D).
+type Mitigation struct {
+	ID          string `json:"id"` // e.g. "M-0917"
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Cost is the implementation cost in abstract budget units.
+	Cost int `json:"cost"`
+	// MaintenanceCost is the recurring cost per period (total cost of
+	// ownership includes the maintenance of the protection, §IV-D).
+	MaintenanceCost int `json:"maintenanceCost,omitempty"`
+}
+
+// KB is the indexed knowledge base.
+type KB struct {
+	weaknesses  map[string]*Weakness
+	vulns       map[string]*Vulnerability
+	patterns    map[string]*AttackPattern
+	tactics     map[string]*Tactic
+	techniques  map[string]*Technique
+	mitigations map[string]*Mitigation
+
+	vulnsByType map[string][]*Vulnerability
+	techsByType map[string][]*Technique
+	anyTypeTech []*Technique
+}
+
+// New creates an empty knowledge base.
+func New() *KB {
+	return &KB{
+		weaknesses:  map[string]*Weakness{},
+		vulns:       map[string]*Vulnerability{},
+		patterns:    map[string]*AttackPattern{},
+		tactics:     map[string]*Tactic{},
+		techniques:  map[string]*Technique{},
+		mitigations: map[string]*Mitigation{},
+		vulnsByType: map[string][]*Vulnerability{},
+		techsByType: map[string][]*Technique{},
+	}
+}
+
+// AddWeakness registers a weakness.
+func (k *KB) AddWeakness(w *Weakness) error {
+	if w.ID == "" {
+		return fmt.Errorf("kb: weakness with empty ID")
+	}
+	if _, dup := k.weaknesses[w.ID]; dup {
+		return fmt.Errorf("kb: duplicate weakness %q", w.ID)
+	}
+	k.weaknesses[w.ID] = w
+	return nil
+}
+
+// AddVulnerability registers a vulnerability; its vector must parse.
+func (k *KB) AddVulnerability(v *Vulnerability) error {
+	if v.ID == "" {
+		return fmt.Errorf("kb: vulnerability with empty ID")
+	}
+	if _, dup := k.vulns[v.ID]; dup {
+		return fmt.Errorf("kb: duplicate vulnerability %q", v.ID)
+	}
+	if _, err := ParseCVSS31(v.Vector); err != nil {
+		return err
+	}
+	if v.ComponentType == "" {
+		return fmt.Errorf("kb: vulnerability %q without component type", v.ID)
+	}
+	if v.FaultMode == "" {
+		return fmt.Errorf("kb: vulnerability %q without fault mode", v.ID)
+	}
+	k.vulns[v.ID] = v
+	k.vulnsByType[v.ComponentType] = append(k.vulnsByType[v.ComponentType], v)
+	return nil
+}
+
+// AddPattern registers an attack pattern.
+func (k *KB) AddPattern(p *AttackPattern) error {
+	if p.ID == "" {
+		return fmt.Errorf("kb: pattern with empty ID")
+	}
+	if _, dup := k.patterns[p.ID]; dup {
+		return fmt.Errorf("kb: duplicate pattern %q", p.ID)
+	}
+	k.patterns[p.ID] = p
+	return nil
+}
+
+// AddTactic registers a tactic.
+func (k *KB) AddTactic(t *Tactic) error {
+	if t.ID == "" {
+		return fmt.Errorf("kb: tactic with empty ID")
+	}
+	if _, dup := k.tactics[t.ID]; dup {
+		return fmt.Errorf("kb: duplicate tactic %q", t.ID)
+	}
+	k.tactics[t.ID] = t
+	return nil
+}
+
+// AddTechnique registers a technique.
+func (k *KB) AddTechnique(t *Technique) error {
+	if t.ID == "" {
+		return fmt.Errorf("kb: technique with empty ID")
+	}
+	if _, dup := k.techniques[t.ID]; dup {
+		return fmt.Errorf("kb: duplicate technique %q", t.ID)
+	}
+	k.techniques[t.ID] = t
+	if len(t.ComponentTypes) == 0 {
+		k.anyTypeTech = append(k.anyTypeTech, t)
+	}
+	for _, ct := range t.ComponentTypes {
+		k.techsByType[ct] = append(k.techsByType[ct], t)
+	}
+	return nil
+}
+
+// AddMitigation registers a mitigation.
+func (k *KB) AddMitigation(m *Mitigation) error {
+	if m.ID == "" {
+		return fmt.Errorf("kb: mitigation with empty ID")
+	}
+	if _, dup := k.mitigations[m.ID]; dup {
+		return fmt.Errorf("kb: duplicate mitigation %q", m.ID)
+	}
+	if m.Cost < 0 || m.MaintenanceCost < 0 {
+		return fmt.Errorf("kb: mitigation %q has negative cost", m.ID)
+	}
+	k.mitigations[m.ID] = m
+	return nil
+}
+
+// Weakness looks up a weakness.
+func (k *KB) Weakness(id string) (*Weakness, bool) { w, ok := k.weaknesses[id]; return w, ok }
+
+// Vulnerability looks up a vulnerability.
+func (k *KB) Vulnerability(id string) (*Vulnerability, bool) { v, ok := k.vulns[id]; return v, ok }
+
+// Pattern looks up an attack pattern.
+func (k *KB) Pattern(id string) (*AttackPattern, bool) { p, ok := k.patterns[id]; return p, ok }
+
+// Tactic looks up a tactic.
+func (k *KB) Tactic(id string) (*Tactic, bool) { t, ok := k.tactics[id]; return t, ok }
+
+// Technique looks up a technique.
+func (k *KB) Technique(id string) (*Technique, bool) { t, ok := k.techniques[id]; return t, ok }
+
+// Mitigation looks up a mitigation.
+func (k *KB) Mitigation(id string) (*Mitigation, bool) { m, ok := k.mitigations[id]; return m, ok }
+
+// VulnsFor returns the vulnerabilities applicable to a component type and
+// version, sorted by ID.
+func (k *KB) VulnsFor(componentType, version string) []*Vulnerability {
+	var out []*Vulnerability
+	for _, v := range k.vulnsByType[componentType] {
+		if v.AffectsVersion(version) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TechniquesFor returns the techniques applicable to a component type,
+// sorted by ID.
+func (k *KB) TechniquesFor(componentType string) []*Technique {
+	out := append([]*Technique(nil), k.techsByType[componentType]...)
+	out = append(out, k.anyTypeTech...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MitigationsFor returns the mitigations that block the technique, sorted
+// by ID.
+func (k *KB) MitigationsFor(techniqueID string) []*Mitigation {
+	t, ok := k.techniques[techniqueID]
+	if !ok {
+		return nil
+	}
+	out := make([]*Mitigation, 0, len(t.Mitigations))
+	for _, id := range t.Mitigations {
+		if m, ok := k.mitigations[id]; ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Mitigations returns all mitigations sorted by ID.
+func (k *KB) Mitigations() []*Mitigation {
+	out := make([]*Mitigation, 0, len(k.mitigations))
+	for _, m := range k.mitigations {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Techniques returns all techniques sorted by ID.
+func (k *KB) Techniques() []*Technique {
+	out := make([]*Technique, 0, len(k.techniques))
+	for _, t := range k.techniques {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Validate checks referential integrity across the catalogs: vulnerability
+// weaknesses, weakness patterns, pattern techniques, technique tactics and
+// mitigations must all resolve, and qualitative labels must parse.
+func (k *KB) Validate() error {
+	five := qual.FiveLevel()
+	for id, v := range k.vulns {
+		if v.WeaknessID != "" {
+			if _, ok := k.weaknesses[v.WeaknessID]; !ok {
+				return fmt.Errorf("kb: vulnerability %s references unknown weakness %q", id, v.WeaknessID)
+			}
+		}
+		for _, m := range v.Mitigations {
+			if _, ok := k.mitigations[m]; !ok {
+				return fmt.Errorf("kb: vulnerability %s references unknown mitigation %q", id, m)
+			}
+		}
+	}
+	for id, w := range k.weaknesses {
+		for _, p := range w.Patterns {
+			if _, ok := k.patterns[p]; !ok {
+				return fmt.Errorf("kb: weakness %s references unknown pattern %q", id, p)
+			}
+		}
+	}
+	for id, p := range k.patterns {
+		for _, t := range p.Techniques {
+			if _, ok := k.techniques[t]; !ok {
+				return fmt.Errorf("kb: pattern %s references unknown technique %q", id, t)
+			}
+		}
+		if p.Severity != "" {
+			if _, err := five.Parse(p.Severity); err != nil {
+				return fmt.Errorf("kb: pattern %s: %w", id, err)
+			}
+		}
+	}
+	for id, t := range k.techniques {
+		if _, ok := k.tactics[t.TacticID]; !ok {
+			return fmt.Errorf("kb: technique %s references unknown tactic %q", id, t.TacticID)
+		}
+		for _, m := range t.Mitigations {
+			if _, ok := k.mitigations[m]; !ok {
+				return fmt.Errorf("kb: technique %s references unknown mitigation %q", id, m)
+			}
+		}
+		for _, label := range []string{t.AttackCost, t.Likelihood} {
+			if label != "" {
+				if _, err := five.Parse(label); err != nil {
+					return fmt.Errorf("kb: technique %s: %w", id, err)
+				}
+			}
+		}
+		if t.RequiresExposure != "" && t.RequiresExposure != "public" && t.RequiresExposure != "adjacent" {
+			return fmt.Errorf("kb: technique %s has invalid exposure %q", id, t.RequiresExposure)
+		}
+	}
+	return nil
+}
+
+// Counts summarizes catalog sizes.
+type Counts struct {
+	Weaknesses, Vulnerabilities, Patterns, Tactics, Techniques, Mitigations int
+}
+
+// Counts returns catalog sizes.
+func (k *KB) Counts() Counts {
+	return Counts{
+		Weaknesses:      len(k.weaknesses),
+		Vulnerabilities: len(k.vulns),
+		Patterns:        len(k.patterns),
+		Tactics:         len(k.tactics),
+		Techniques:      len(k.techniques),
+		Mitigations:     len(k.mitigations),
+	}
+}

@@ -1,0 +1,41 @@
+package logic
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// render back into parseable text with a stable fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(1).",
+		"a :- not b. b :- not a.",
+		"{ active(F) : candidate(F) } 2.",
+		"1 { q(R,C) : col(C) } 1 :- row(R).",
+		"cost(C1) :- cost(C), C1 = C * 2 + 1.",
+		"#minimize { W@1,F : active(F), weight(F,W) }.",
+		":~ pick(a). [3@1, a]",
+		`label(x, "quoted \"string\"").`,
+		"time(0..5). last(T) :- time(T), not time(T+1).",
+		"% comment only",
+		"p :- q, r, not s, X < 3.",
+		"#show p/1.",
+		"p(-3). q(1-2).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := prog.String()
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("rendered program fails to re-parse: %v\noriginal: %q\nrendered: %q",
+				err, src, text)
+		}
+		if prog2.String() != text {
+			t.Fatalf("rendering not a fixpoint:\nfirst:  %q\nsecond: %q", text, prog2.String())
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF       tokenKind = iota + 1
+	tokIdent               // lowercase identifier
+	tokVariable            // Uppercase or _ identifier
+	tokNumber              // integer
+	tokString              // "quoted"
+	tokLParen              // (
+	tokRParen              // )
+	tokLBrace              // {
+	tokRBrace              // }
+	tokLBracket            // [
+	tokRBracket            // ]
+	tokComma               // ,
+	tokSemicolon           // ;
+	tokColon               // :
+	tokDot                 // .
+	tokDotDot              // ..
+	tokIf                  // :-
+	tokWeakIf              // :~
+	tokNot                 // not
+	tokEq                  // =
+	tokNeq                 // != or <>
+	tokLt                  // <
+	tokLeq                 // <=
+	tokGt                  // >
+	tokGeq                 // >=
+	tokPlus                // +
+	tokMinus               // -
+	tokStar                // *
+	tokSlash               // /
+	tokBackslash           // \
+	tokAt                  // @
+	tokDirective           // #minimize, #show, ...
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// SyntaxError reports a lexical or parse error with position info.
+type SyntaxError struct {
+	Line    int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("logic: syntax error at line %d: %s", e.Line, e.Message)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Message: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '%':
+			// Comment to end of line.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: start, line: lx.line}, nil
+	}
+	c := lx.src[lx.pos]
+	mk := func(kind tokenKind, text string) token {
+		return token{kind: kind, text: text, pos: start, line: lx.line}
+	}
+	switch {
+	case c == '(':
+		lx.pos++
+		return mk(tokLParen, "("), nil
+	case c == ')':
+		lx.pos++
+		return mk(tokRParen, ")"), nil
+	case c == '{':
+		lx.pos++
+		return mk(tokLBrace, "{"), nil
+	case c == '}':
+		lx.pos++
+		return mk(tokRBrace, "}"), nil
+	case c == '[':
+		lx.pos++
+		return mk(tokLBracket, "["), nil
+	case c == ']':
+		lx.pos++
+		return mk(tokRBracket, "]"), nil
+	case c == ',':
+		lx.pos++
+		return mk(tokComma, ","), nil
+	case c == ';':
+		lx.pos++
+		return mk(tokSemicolon, ";"), nil
+	case c == '@':
+		lx.pos++
+		return mk(tokAt, "@"), nil
+	case c == '+':
+		lx.pos++
+		return mk(tokPlus, "+"), nil
+	case c == '-':
+		lx.pos++
+		return mk(tokMinus, "-"), nil
+	case c == '*':
+		lx.pos++
+		return mk(tokStar, "*"), nil
+	case c == '/':
+		lx.pos++
+		return mk(tokSlash, "/"), nil
+	case c == '\\':
+		lx.pos++
+		return mk(tokBackslash, "\\"), nil
+	case c == '.':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '.' {
+			lx.pos += 2
+			return mk(tokDotDot, ".."), nil
+		}
+		lx.pos++
+		return mk(tokDot, "."), nil
+	case c == ':':
+		if lx.pos+1 < len(lx.src) {
+			switch lx.src[lx.pos+1] {
+			case '-':
+				lx.pos += 2
+				return mk(tokIf, ":-"), nil
+			case '~':
+				lx.pos += 2
+				return mk(tokWeakIf, ":~"), nil
+			}
+		}
+		lx.pos++
+		return mk(tokColon, ":"), nil
+	case c == '=':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+		} else {
+			lx.pos++
+		}
+		return mk(tokEq, "="), nil
+	case c == '!':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokNeq, "!="), nil
+		}
+		return token{}, lx.errorf("unexpected character %q", c)
+	case c == '<':
+		if lx.pos+1 < len(lx.src) {
+			switch lx.src[lx.pos+1] {
+			case '=':
+				lx.pos += 2
+				return mk(tokLeq, "<="), nil
+			case '>':
+				lx.pos += 2
+				return mk(tokNeq, "<>"), nil
+			}
+		}
+		lx.pos++
+		return mk(tokLt, "<"), nil
+	case c == '>':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokGeq, ">="), nil
+		}
+		lx.pos++
+		return mk(tokGt, ">"), nil
+	case c == '"':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			ch := lx.src[lx.pos]
+			if ch == '\\' && lx.pos+1 < len(lx.src) {
+				lx.pos++
+				ch = lx.src[lx.pos]
+				switch ch {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				}
+			}
+			if ch == '\n' {
+				lx.line++
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errorf("unterminated string")
+		}
+		lx.pos++ // closing quote
+		return mk(tokString, sb.String()), nil
+	case c == '#':
+		lx.pos++
+		word := lx.readIdentTail()
+		return mk(tokDirective, "#"+word), nil
+	case c >= '0' && c <= '9':
+		word := lx.readIdentTail()
+		n, err := strconv.Atoi(word)
+		if err != nil {
+			return token{}, lx.errorf("invalid number %q", word)
+		}
+		t := mk(tokNumber, word)
+		t.num = n
+		return t, nil
+	case c == '_' || c >= 'A' && c <= 'Z':
+		word := lx.readIdentTail()
+		return mk(tokVariable, word), nil
+	case c >= 'a' && c <= 'z':
+		word := lx.readIdentTail()
+		if word == "not" {
+			return mk(tokNot, word), nil
+		}
+		return mk(tokIdent, word), nil
+	default:
+		// Identifiers are ASCII; anything else (including non-ASCII
+		// bytes) is rejected so the lexer always makes progress.
+		return token{}, lx.errorf("unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) readIdentTail() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '_' || c >= '0' && c <= '9' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	return lx.src[start:lx.pos]
+}

@@ -1,0 +1,588 @@
+package logic
+
+import (
+	"fmt"
+)
+
+// Parse parses a program in the clingo-like surface syntax:
+//
+//	component(tank).                                % fact
+//	level(tank, 0..4).                              % interval fact
+//	state(C, err) :- fault(C), not mitigated(C).    % normal rule
+//	:- overflow, not alerted.                       % integrity constraint
+//	{ active(F) : candidate(F) }.                   % choice rule
+//	1 { color(N,C) : col(C) } 1 :- node(N).         % bounded choice
+//	cost(C1) :- cost0(C), C1 = C + 10.              % arithmetic assignment
+//	#minimize { W@1,F : active(F), weight(F,W) }.   % optimization
+//	:~ active(F), weight(F,W). [W@1, F]             % weak constraint
+//
+// Directives other than #minimize are accepted and ignored (#show, #const
+// is not supported and reports an error to avoid silent misbehaviour).
+func Parse(src string) (*Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		if err := p.parseStatement(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.CheckSafety(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse panics on parse errors; for tests and static encodings.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.line, Message: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.tok.kind != kind {
+		return p.errorf("expected %s, got %q", what, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseStatement(prog *Program) error {
+	switch p.tok.kind {
+	case tokDirective:
+		return p.parseDirective(prog)
+	case tokWeakIf:
+		return p.parseWeakConstraint(prog)
+	default:
+		return p.parseRule(prog)
+	}
+}
+
+func (p *parser) parseDirective(prog *Program) error {
+	name := p.tok.text
+	switch name {
+	case "#minimize", "#maximize":
+		maximize := name == "#maximize"
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expect(tokLBrace, "{"); err != nil {
+			return err
+		}
+		for {
+			elem, err := p.parseMinimizeElem(maximize)
+			if err != nil {
+				return err
+			}
+			prog.AddMinimize(elem)
+			if p.tok.kind != tokSemicolon {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if err := p.expect(tokRBrace, "}"); err != nil {
+			return err
+		}
+		return p.expect(tokDot, ".")
+	case "#show":
+		// Accepted and ignored: everything is shown.
+		for p.tok.kind != tokDot && p.tok.kind != tokEOF {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		return p.expect(tokDot, ".")
+	default:
+		return p.errorf("unsupported directive %s", name)
+	}
+}
+
+// parseMinimizeElem parses "Weight[@Prio][,Tuple...] : cond,...".
+func (p *parser) parseMinimizeElem(maximize bool) (MinimizeElem, error) {
+	w, err := p.parseTerm()
+	if err != nil {
+		return MinimizeElem{}, err
+	}
+	if maximize {
+		w = BinOp{Op: OpSub, Left: Num(0), Right: w}
+	}
+	elem := MinimizeElem{Weight: w}
+	if p.tok.kind == tokAt {
+		if err := p.advance(); err != nil {
+			return MinimizeElem{}, err
+		}
+		if p.tok.kind != tokNumber {
+			return MinimizeElem{}, p.errorf("expected priority number after @")
+		}
+		elem.Priority = p.tok.num
+		if err := p.advance(); err != nil {
+			return MinimizeElem{}, err
+		}
+	}
+	for p.tok.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return MinimizeElem{}, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return MinimizeElem{}, err
+		}
+		elem.Tuple = append(elem.Tuple, t)
+	}
+	if p.tok.kind == tokColon {
+		if err := p.advance(); err != nil {
+			return MinimizeElem{}, err
+		}
+		body, err := p.parseBody()
+		if err != nil {
+			return MinimizeElem{}, err
+		}
+		elem.Cond = body
+	}
+	return elem, nil
+}
+
+// parseWeakConstraint parses ":~ body. [Weight@Prio, Tuple...]" as sugar for
+// a #minimize element.
+func (p *parser) parseWeakConstraint(prog *Program) error {
+	if err := p.advance(); err != nil { // consume :~
+		return err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(tokDot, "."); err != nil {
+		return err
+	}
+	if err := p.expect(tokLBracket, "["); err != nil {
+		return err
+	}
+	w, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	elem := MinimizeElem{Weight: w, Cond: body}
+	if p.tok.kind == tokAt {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokNumber {
+			return p.errorf("expected priority number after @")
+		}
+		elem.Priority = p.tok.num
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	for p.tok.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		elem.Tuple = append(elem.Tuple, t)
+	}
+	if err := p.expect(tokRBracket, "]"); err != nil {
+		return err
+	}
+	prog.AddMinimize(elem)
+	return nil
+}
+
+func (p *parser) parseRule(prog *Program) error {
+	var rule Rule
+	switch p.tok.kind {
+	case tokIf:
+		// Integrity constraint: :- body.
+	case tokLBrace, tokNumber:
+		// Possible choice head (a bare number can only start a choice bound
+		// here since rule heads are atoms).
+		choice, err := p.parseChoiceHead()
+		if err != nil {
+			return err
+		}
+		rule = choice
+	default:
+		head, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		rule.Head = &head
+	}
+	if p.tok.kind == tokIf {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		body, err := p.parseBody()
+		if err != nil {
+			return err
+		}
+		rule.Body = body
+	}
+	if err := p.expect(tokDot, "."); err != nil {
+		return err
+	}
+	prog.AddRule(rule)
+	return nil
+}
+
+func (p *parser) parseChoiceHead() (Rule, error) {
+	rule := Rule{Choice: true, Lower: Unbounded, Upper: Unbounded}
+	if p.tok.kind == tokNumber {
+		rule.Lower = p.tok.num
+		if err := p.advance(); err != nil {
+			return Rule{}, err
+		}
+	}
+	if err := p.expect(tokLBrace, "{"); err != nil {
+		return Rule{}, err
+	}
+	for {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return Rule{}, err
+		}
+		elem := ChoiceElem{Atom: atom}
+		if p.tok.kind == tokColon {
+			if err := p.advance(); err != nil {
+				return Rule{}, err
+			}
+			for {
+				lit, err := p.parseLiteral()
+				if err != nil {
+					return Rule{}, err
+				}
+				elem.Cond = append(elem.Cond, lit)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return Rule{}, err
+				}
+			}
+		}
+		rule.Elems = append(rule.Elems, elem)
+		if p.tok.kind != tokSemicolon {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return Rule{}, err
+		}
+	}
+	if err := p.expect(tokRBrace, "}"); err != nil {
+		return Rule{}, err
+	}
+	if p.tok.kind == tokNumber {
+		rule.Upper = p.tok.num
+		if err := p.advance(); err != nil {
+			return Rule{}, err
+		}
+	}
+	return rule, nil
+}
+
+func (p *parser) parseBody() ([]BodyElem, error) {
+	var body []BodyElem
+	for {
+		elem, err := p.parseBodyElem()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, elem)
+		if p.tok.kind != tokComma {
+			return body, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseBodyElem() (BodyElem, error) {
+	if p.tok.kind == tokNot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return Not(atom), nil
+	}
+	// Could be an atom or a comparison starting with a term. Parse a term
+	// first; if a comparison operator follows, build a Comparison, else the
+	// term must be usable as an atom.
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := comparisonOp(p.tok.kind); ok {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return Comparison{Op: op, Left: t, Right: rhs}, nil
+	}
+	atom, err := termToAtom(t)
+	if err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	return Pos(atom), nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	neg := false
+	if p.tok.kind == tokNot {
+		neg = true
+		if err := p.advance(); err != nil {
+			return Literal{}, err
+		}
+	}
+	atom, err := p.parseAtom()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Atom: atom, Negated: neg}, nil
+}
+
+func comparisonOp(k tokenKind) (CompareOp, bool) {
+	switch k {
+	case tokEq:
+		return CmpEq, true
+	case tokNeq:
+		return CmpNeq, true
+	case tokLt:
+		return CmpLt, true
+	case tokLeq:
+		return CmpLeq, true
+	case tokGt:
+		return CmpGt, true
+	case tokGeq:
+		return CmpGeq, true
+	default:
+		return 0, false
+	}
+}
+
+func termToAtom(t Term) (Atom, error) {
+	switch tt := t.(type) {
+	case Symbol:
+		return Atom{Pred: tt.Name}, nil
+	case Compound:
+		return Atom{Pred: tt.Functor, Args: tt.Args}, nil
+	default:
+		return Atom{}, fmt.Errorf("logic: %s cannot be used as an atom", t)
+	}
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	if p.tok.kind != tokIdent {
+		return Atom{}, p.errorf("expected predicate name, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		return Atom{Pred: name}, nil
+	}
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return Atom{}, err
+		}
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: name, Args: args}, nil
+}
+
+// Term grammar with precedence: addExpr := mulExpr (('+'|'-') mulExpr)*;
+// mulExpr := primary (('*'|'/'|'\') primary)*; plus ".." intervals at the
+// loosest level.
+func (p *parser) parseTerm() (Term, error) {
+	t, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokDotDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Interval{Lo: t, Hi: hi}, nil
+	}
+	return t, nil
+}
+
+func (p *parser) parseAddExpr() (Term, error) {
+	left, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := OpAdd
+		if p.tok.kind == tokMinus {
+			op = OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMulExpr() (Term, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar || p.tok.kind == tokSlash || p.tok.kind == tokBackslash {
+		var op ArithOp
+		switch p.tok.kind {
+		case tokStar:
+			op = OpMul
+		case tokSlash:
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Term, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n := p.tok.num
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Num(n), nil
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := t.(Number); ok {
+			return Num(-n.Value), nil
+		}
+		return BinOp{Op: OpSub, Left: Num(0), Right: t}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Sym(s), nil
+	case tokVariable:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Var(name), nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return Sym(name), nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var args []Term
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return Compound{Functor: name, Args: args}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return t, nil
+	default:
+		return nil, p.errorf("expected term, got %q", p.tok.text)
+	}
+}

@@ -1,0 +1,291 @@
+package logic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseFactsAndRules(t *testing.T) {
+	prog, err := Parse(`
+		% the paper's Listing 1 fault-activation rule
+		potential_fault(C, F) :-
+			component(C), fault(F),
+			mitigation(F, M),
+			not active_mitigation(C, M).
+
+		component(workstation).
+		fault(infected).
+		mitigation(infected, endpoint_security).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rule count = %d", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	if r.Head == nil || r.Head.Pred != "potential_fault" {
+		t.Fatalf("head = %v", r.Head)
+	}
+	if len(r.Body) != 4 {
+		t.Fatalf("body len = %d", len(r.Body))
+	}
+	last, ok := r.Body[3].(Literal)
+	if !ok || !last.Negated || last.Atom.Pred != "active_mitigation" {
+		t.Errorf("negated literal parse: %v", r.Body[3])
+	}
+}
+
+func TestParsePaperListing2(t *testing.T) {
+	prog, err := Parse(`
+		component_state(C, X) :-
+			prev_component_state(C, X),
+			active_fault(C, stuck_at_x).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Rules[0]
+	if got := r.String(); got != "component_state(C,X) :- prev_component_state(C,X), active_fault(C,stuck_at_x)." {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	prog, err := Parse(`:- overflow, not alerted.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Rules[0].IsConstraint() {
+		t.Error("expected constraint")
+	}
+	if len(prog.Rules[0].Body) != 2 {
+		t.Errorf("body len = %d", len(prog.Rules[0].Body))
+	}
+}
+
+func TestParseChoice(t *testing.T) {
+	prog, err := Parse(`
+		candidate(f1). candidate(f2).
+		{ active(F) : candidate(F) }.
+		1 { pick(a); pick(b) } 1.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice := prog.Rules[2]
+	if !choice.Choice || choice.Lower != Unbounded || choice.Upper != Unbounded {
+		t.Errorf("unbounded choice = %+v", choice)
+	}
+	if len(choice.Elems) != 1 || len(choice.Elems[0].Cond) != 1 {
+		t.Errorf("choice elems = %v", choice.Elems)
+	}
+	bounded := prog.Rules[3]
+	if bounded.Lower != 1 || bounded.Upper != 1 || len(bounded.Elems) != 2 {
+		t.Errorf("bounded choice = %+v", bounded)
+	}
+}
+
+func TestParseChoiceWithBody(t *testing.T) {
+	prog, err := Parse(`
+		node(n1). col(red). col(blue).
+		1 { color(N,C) : col(C) } 1 :- node(N).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Rules[3]
+	if !r.Choice || r.Lower != 1 || r.Upper != 1 || len(r.Body) != 1 {
+		t.Errorf("choice rule = %+v", r)
+	}
+}
+
+func TestParseIntervalFact(t *testing.T) {
+	prog, err := Parse(`time(0..5).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := prog.Rules[0].Head.Args[0]
+	iv, ok := arg.(Interval)
+	if !ok {
+		t.Fatalf("arg = %T", arg)
+	}
+	if iv.String() != "0..5" {
+		t.Errorf("interval = %s", iv)
+	}
+}
+
+func TestParseArithmeticAndComparison(t *testing.T) {
+	prog, err := Parse(`
+		base(5).
+		total(T) :- base(B), T = B * 2 + 1.
+		big(B) :- base(B), B >= 4.
+		diff(B) :- base(B), B != 3.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := prog.Rules[1].Body[1].(Comparison)
+	if !ok || cmp.Op != CmpEq {
+		t.Fatalf("assignment parse: %v", prog.Rules[1].Body[1])
+	}
+	// precedence: B*2+1 == ((B*2)+1)
+	if got := cmp.Right.String(); got != "((B*2)+1)" {
+		t.Errorf("precedence = %q", got)
+	}
+}
+
+func TestParseMinimize(t *testing.T) {
+	prog, err := Parse(`
+		weight(f1, 3). weight(f2, 5).
+		{ active(F) : weight(F, W) }.
+		#minimize { W@1,F : active(F), weight(F,W) }.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Minimize) != 1 {
+		t.Fatalf("minimize count = %d", len(prog.Minimize))
+	}
+	m := prog.Minimize[0]
+	if m.Priority != 1 || len(m.Tuple) != 1 || len(m.Cond) != 2 {
+		t.Errorf("minimize elem = %+v", m)
+	}
+}
+
+func TestParseWeakConstraint(t *testing.T) {
+	prog, err := Parse(`
+		weight(f1, 3).
+		{ active(F) : weight(F, W) }.
+		:~ active(F), weight(F,W). [W@1, F]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Minimize) != 1 {
+		t.Fatalf("minimize count = %d", len(prog.Minimize))
+	}
+	m := prog.Minimize[0]
+	if m.Weight.String() != "W" || m.Priority != 1 || len(m.Tuple) != 1 {
+		t.Errorf("weak constraint = %+v", m)
+	}
+}
+
+func TestParseMaximizeDesugarsToNegatedMinimize(t *testing.T) {
+	prog, err := Parse(`
+		value(a, 2).
+		{ pick(X) : value(X, V) }.
+		#maximize { V,X : pick(X), value(X,V) }.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := prog.Minimize[0].Weight.(BinOp)
+	if !ok || w.Op != OpSub {
+		t.Errorf("maximize must negate the weight, got %v", prog.Minimize[0].Weight)
+	}
+}
+
+func TestParseStringsAndComments(t *testing.T) {
+	prog, err := Parse(`
+		% leading comment
+		label(c1, "Engineering Workstation"). % trailing comment
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := prog.Rules[0].Head.Args[1]
+	s, ok := arg.(Symbol)
+	if !ok || s.Name != "Engineering Workstation" {
+		t.Errorf("string arg = %v", arg)
+	}
+}
+
+func TestParseShowIgnored(t *testing.T) {
+	prog, err := Parse(`
+		p(1).
+		#show p/1.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Errorf("rules = %d", len(prog.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"missing dot", `p(1)`},
+		{"unterminated string", `p("abc`},
+		{"bad char", `p(1) ? q.`},
+		{"unsafe head var", `p(X) :- q.`},
+		{"unsafe negated var", `p :- not q(X).`},
+		{"unsupported directive", `#const n = 3.`},
+		{"lone bang", "p :- a ! b."},
+		{"unsafe comparison", `p :- q, X < 3.`},
+		{"empty", `p :- .`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) expected error", tt.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("p(1).\nq(2).\nbroken(")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+}
+
+func TestSafetyAssignmentChains(t *testing.T) {
+	// Y is bound through X which is bound through a positive literal.
+	_, err := Parse(`q(1). p(Y) :- q(X), Y = X + 1.`)
+	if err != nil {
+		t.Errorf("chained assignment should be safe: %v", err)
+	}
+	// Circular assignments are unsafe.
+	_, err = Parse(`p(X) :- X = Y, Y = X.`)
+	if err == nil {
+		t.Error("circular assignment must be unsafe")
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	src := `
+		component(tank). component(valve).
+		fault(stuck).
+		state(C, err) :- component(C), fault(stuck), not ok(C).
+		{ active(F) : fault(F) }.
+		:- state(tank, err).
+		#minimize { 1@1,F : active(F) }.
+	`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", text, err)
+	}
+	if prog2.String() != text {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", text, prog2.String())
+	}
+	if !strings.Contains(text, "#minimize") {
+		t.Error("minimize lost in rendering")
+	}
+}

@@ -1,0 +1,335 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ChoiceElem is a conditional head element of a choice rule,
+// "atom : cond1, cond2" — the atom is a candidate when the (positive)
+// conditions hold.
+type ChoiceElem struct {
+	Atom Atom
+	Cond []Literal
+}
+
+// String implements fmt.Stringer.
+func (e ChoiceElem) String() string {
+	if len(e.Cond) == 0 {
+		return e.Atom.String()
+	}
+	parts := make([]string, len(e.Cond))
+	for i, c := range e.Cond {
+		parts[i] = c.String()
+	}
+	return e.Atom.String() + " : " + strings.Join(parts, ", ")
+}
+
+// Unbounded marks a missing cardinality bound on a choice rule.
+const Unbounded = -1
+
+// Rule is an ASP rule. The zero Head with Choice=false is an integrity
+// constraint; a single head atom is a normal rule; Choice=true makes the
+// head a cardinality-bounded choice over Elems.
+type Rule struct {
+	Head   *Atom        // normal rule head; nil for constraints and choices
+	Choice bool         // head is a choice
+	Elems  []ChoiceElem // choice elements
+	Lower  int          // choice lower bound (Unbounded if none)
+	Upper  int          // choice upper bound (Unbounded if none)
+	Body   []BodyElem
+}
+
+// Fact constructs a fact rule.
+func Fact(a Atom) Rule { h := a; return Rule{Head: &h} }
+
+// NormalRule constructs head :- body.
+func NormalRule(head Atom, body ...BodyElem) Rule {
+	h := head
+	return Rule{Head: &h, Body: body}
+}
+
+// Constraint constructs :- body.
+func Constraint(body ...BodyElem) Rule { return Rule{Body: body} }
+
+// ChoiceRule constructs lower { elems } upper :- body.
+func ChoiceRule(lower, upper int, elems []ChoiceElem, body ...BodyElem) Rule {
+	return Rule{Choice: true, Elems: elems, Lower: lower, Upper: upper, Body: body}
+}
+
+// IsFact reports whether the rule is a ground or range fact (normal rule
+// with an empty body).
+func (r Rule) IsFact() bool { return r.Head != nil && !r.Choice && len(r.Body) == 0 }
+
+// IsConstraint reports whether the rule is an integrity constraint.
+func (r Rule) IsConstraint() bool { return r.Head == nil && !r.Choice }
+
+// Vars collects all variables of the rule.
+func (r Rule) Vars() []string {
+	var vs []string
+	if r.Head != nil {
+		vs = r.Head.Vars(vs)
+	}
+	for _, e := range r.Elems {
+		vs = e.Atom.Vars(vs)
+		for _, c := range e.Cond {
+			vs = c.Atom.Vars(vs)
+		}
+	}
+	for _, b := range r.Body {
+		switch be := b.(type) {
+		case Literal:
+			vs = be.Atom.Vars(vs)
+		case Comparison:
+			vs = be.Vars(vs)
+		}
+	}
+	return vs
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	var sb strings.Builder
+	switch {
+	case r.Choice:
+		if r.Lower != Unbounded {
+			sb.WriteString(strconv.Itoa(r.Lower))
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("{ ")
+		for i, e := range r.Elems {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteString(" }")
+		if r.Upper != Unbounded {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.Itoa(r.Upper))
+		}
+	case r.Head != nil:
+		sb.WriteString(r.Head.String())
+	}
+	if len(r.Body) > 0 {
+		sb.WriteString(" :- ")
+		for i, b := range r.Body {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(b.String())
+		}
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}
+
+// MinimizeElem is one weighted element of a #minimize statement (or an
+// equivalent weak constraint): weight@priority with an identifying tuple,
+// counted once per distinct ground tuple whose condition holds.
+type MinimizeElem struct {
+	Weight   Term
+	Priority int
+	Tuple    []Term
+	Cond     []BodyElem
+}
+
+// Vars collects all variables of the element.
+func (m MinimizeElem) Vars() []string {
+	vs := m.Weight.Vars(nil)
+	for _, t := range m.Tuple {
+		vs = t.Vars(vs)
+	}
+	for _, b := range m.Cond {
+		switch be := b.(type) {
+		case Literal:
+			vs = be.Atom.Vars(vs)
+		case Comparison:
+			vs = be.Vars(vs)
+		}
+	}
+	return vs
+}
+
+// String implements fmt.Stringer.
+func (m MinimizeElem) String() string {
+	var sb strings.Builder
+	sb.WriteString(m.Weight.String())
+	sb.WriteString("@")
+	sb.WriteString(strconv.Itoa(m.Priority))
+	for _, t := range m.Tuple {
+		sb.WriteByte(',')
+		sb.WriteString(t.String())
+	}
+	if len(m.Cond) > 0 {
+		sb.WriteString(" : ")
+		for i, b := range m.Cond {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(b.String())
+		}
+	}
+	return sb.String()
+}
+
+// Program is a collection of rules and optimization statements.
+type Program struct {
+	Rules    []Rule
+	Minimize []MinimizeElem
+}
+
+// AddRule appends a rule.
+func (p *Program) AddRule(r Rule) { p.Rules = append(p.Rules, r) }
+
+// AddFact appends a fact.
+func (p *Program) AddFact(a Atom) { p.Rules = append(p.Rules, Fact(a)) }
+
+// AddMinimize appends a minimize element.
+func (p *Program) AddMinimize(m MinimizeElem) { p.Minimize = append(p.Minimize, m) }
+
+// Extend appends all rules and minimize elements of q.
+func (p *Program) Extend(q *Program) {
+	p.Rules = append(p.Rules, q.Rules...)
+	p.Minimize = append(p.Minimize, q.Minimize...)
+}
+
+// String renders the program in parseable surface syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	if len(p.Minimize) > 0 {
+		sb.WriteString("#minimize { ")
+		for i, m := range p.Minimize {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(m.String())
+		}
+		sb.WriteString(" }.\n")
+	}
+	return sb.String()
+}
+
+// CheckSafety verifies rule safety: every variable of a rule must occur in
+// a positive body literal (choice-element condition variables may instead
+// be bound by the element's own positive conditions; comparison assignment
+// X = expr binds X when expr's variables are safe). Unsafe rules cannot be
+// grounded.
+func (p *Program) CheckSafety() error {
+	for i, r := range p.Rules {
+		if err := checkRuleSafety(r); err != nil {
+			return fmt.Errorf("rule %d (%s): %w", i, r, err)
+		}
+	}
+	for i, m := range p.Minimize {
+		safe := map[string]bool{}
+		for _, b := range m.Cond {
+			if lit, ok := b.(Literal); ok && !lit.Negated {
+				for _, v := range lit.Atom.Vars(nil) {
+					safe[v] = true
+				}
+			}
+		}
+		bindAssignments(m.Cond, safe)
+		for _, v := range m.Vars() {
+			if !safe[v] {
+				return fmt.Errorf("minimize element %d (%s): unsafe variable %s", i, m, v)
+			}
+		}
+	}
+	return nil
+}
+
+func checkRuleSafety(r Rule) error {
+	safe := map[string]bool{}
+	for _, b := range r.Body {
+		if lit, ok := b.(Literal); ok && !lit.Negated {
+			for _, v := range lit.Atom.Vars(nil) {
+				safe[v] = true
+			}
+		}
+	}
+	bindAssignments(r.Body, safe)
+
+	var need []string
+	if r.Head != nil {
+		need = r.Head.Vars(need)
+	}
+	for _, b := range r.Body {
+		switch be := b.(type) {
+		case Literal:
+			need = be.Atom.Vars(need)
+		case Comparison:
+			need = be.Vars(need)
+		}
+	}
+	for _, v := range need {
+		if !safe[v] {
+			return fmt.Errorf("unsafe variable %s", v)
+		}
+	}
+	// Choice elements: atom vars must be safe via body or the element's own
+	// positive conditions.
+	for _, e := range r.Elems {
+		local := map[string]bool{}
+		for k := range safe {
+			local[k] = true
+		}
+		for _, c := range e.Cond {
+			if !c.Negated {
+				for _, v := range c.Atom.Vars(nil) {
+					local[v] = true
+				}
+			}
+		}
+		for _, v := range e.Atom.Vars(nil) {
+			if !local[v] {
+				return fmt.Errorf("unsafe variable %s in choice element %s", v, e)
+			}
+		}
+		for _, c := range e.Cond {
+			for _, v := range c.Atom.Vars(nil) {
+				if !local[v] {
+					return fmt.Errorf("unsafe variable %s in choice condition %s", v, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// bindAssignments iteratively marks variables bound through `V = expr` (or
+// `expr = V`) comparisons whose other side is already safe.
+func bindAssignments(body []BodyElem, safe map[string]bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, b := range body {
+			cmp, ok := b.(Comparison)
+			if !ok || cmp.Op != CmpEq {
+				continue
+			}
+			if v, ok := cmp.Left.(Variable); ok && !safe[v.Name] && allSafe(cmp.Right, safe) {
+				safe[v.Name] = true
+				changed = true
+			}
+			if v, ok := cmp.Right.(Variable); ok && !safe[v.Name] && allSafe(cmp.Left, safe) {
+				safe[v.Name] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func allSafe(t Term, safe map[string]bool) bool {
+	for _, v := range t.Vars(nil) {
+		if !safe[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,417 @@
+// Package logic implements the data model and surface syntax of the
+// framework's embedded formal method: an Answer Set Programming (ASP)
+// language in the fragment the paper's listings use (facts, normal rules
+// with default negation, integrity constraints, choice rules with
+// cardinality bounds, comparisons with arithmetic, and #minimize /
+// weak-constraint optimization). It is the substitute for clingo's input
+// language; stable-model computation lives in package solver.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Term is a first-order term: a symbolic constant, an integer, a variable,
+// a compound term f(t1,...,tn), an integer interval lo..hi (facts only), or
+// an arithmetic expression.
+type Term interface {
+	fmt.Stringer
+	// Ground reports whether the term contains no variables.
+	Ground() bool
+	// Vars appends the variables occurring in the term to dst.
+	Vars(dst []string) []string
+	// Substitute applies a binding; unbound variables remain.
+	Substitute(b Bindings) Term
+	isTerm()
+}
+
+// Bindings maps variable names to ground terms.
+type Bindings map[string]Term
+
+// Clone copies the bindings.
+func (b Bindings) Clone() Bindings {
+	out := make(Bindings, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Symbol is a symbolic constant (lowercase identifier or quoted string).
+type Symbol struct{ Name string }
+
+// Number is an integer constant.
+type Number struct{ Value int }
+
+// Variable is a logic variable (identifier starting with uppercase or _).
+type Variable struct{ Name string }
+
+// Compound is a function term f(t1,...,tn) with n >= 1.
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+// Interval is an inclusive integer range lo..hi, allowed only in fact
+// arguments where it expands to one fact per member.
+type Interval struct{ Lo, Hi Term }
+
+// ArithOp is an arithmetic operator for expression terms.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String implements fmt.Stringer.
+func (o ArithOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "\\"
+	default:
+		return "?op"
+	}
+}
+
+// BinOp is an arithmetic expression term; it must evaluate to an integer
+// once its operands are ground.
+type BinOp struct {
+	Op          ArithOp
+	Left, Right Term
+}
+
+func (Symbol) isTerm()   {}
+func (Number) isTerm()   {}
+func (Variable) isTerm() {}
+func (Compound) isTerm() {}
+func (Interval) isTerm() {}
+func (BinOp) isTerm()    {}
+
+// Ground implementations.
+
+// Ground reports whether the term contains no variables.
+func (Symbol) Ground() bool { return true }
+
+// Ground reports whether the term contains no variables.
+func (Number) Ground() bool { return true }
+
+// Ground reports whether the term contains no variables.
+func (Variable) Ground() bool { return false }
+
+// Ground reports whether the term contains no variables.
+func (c Compound) Ground() bool {
+	for _, a := range c.Args {
+		if !a.Ground() {
+			return false
+		}
+	}
+	return true
+}
+
+// Ground reports whether the term contains no variables.
+func (i Interval) Ground() bool { return i.Lo.Ground() && i.Hi.Ground() }
+
+// Ground reports whether the term contains no variables.
+func (b BinOp) Ground() bool { return b.Left.Ground() && b.Right.Ground() }
+
+// Vars implementations.
+
+// Vars appends variables to dst.
+func (Symbol) Vars(dst []string) []string { return dst }
+
+// Vars appends variables to dst.
+func (Number) Vars(dst []string) []string { return dst }
+
+// Vars appends variables to dst.
+func (v Variable) Vars(dst []string) []string { return append(dst, v.Name) }
+
+// Vars appends variables to dst.
+func (c Compound) Vars(dst []string) []string {
+	for _, a := range c.Args {
+		dst = a.Vars(dst)
+	}
+	return dst
+}
+
+// Vars appends variables to dst.
+func (i Interval) Vars(dst []string) []string { return i.Hi.Vars(i.Lo.Vars(dst)) }
+
+// Vars appends variables to dst.
+func (b BinOp) Vars(dst []string) []string { return b.Right.Vars(b.Left.Vars(dst)) }
+
+// Substitute implementations.
+
+// Substitute applies a binding.
+func (s Symbol) Substitute(Bindings) Term { return s }
+
+// Substitute applies a binding.
+func (n Number) Substitute(Bindings) Term { return n }
+
+// Substitute applies a binding.
+func (v Variable) Substitute(b Bindings) Term {
+	if t, ok := b[v.Name]; ok {
+		return t
+	}
+	return v
+}
+
+// Substitute applies a binding.
+func (c Compound) Substitute(b Bindings) Term {
+	args := make([]Term, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.Substitute(b)
+	}
+	return Compound{Functor: c.Functor, Args: args}
+}
+
+// Substitute applies a binding.
+func (i Interval) Substitute(b Bindings) Term {
+	return Interval{Lo: i.Lo.Substitute(b), Hi: i.Hi.Substitute(b)}
+}
+
+// Substitute applies a binding.
+func (op BinOp) Substitute(b Bindings) Term {
+	return BinOp{Op: op.Op, Left: op.Left.Substitute(b), Right: op.Right.Substitute(b)}
+}
+
+// String implementations.
+
+// String implements fmt.Stringer.
+func (s Symbol) String() string {
+	if needsQuotes(s.Name) {
+		return quoteSymbol(s.Name)
+	}
+	return s.Name
+}
+
+// quoteSymbol quotes a symbol using exactly the escapes the lexer decodes
+// (backslash, quote, newline, tab); all other bytes pass through raw so
+// rendering and parsing are mutual inverses.
+func quoteSymbol(name string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func needsQuotes(name string) bool {
+	if name == "" {
+		return true
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			if i == 0 && (r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (n Number) String() string { return strconv.Itoa(n.Value) }
+
+// String implements fmt.Stringer.
+func (v Variable) String() string { return v.Name }
+
+// String implements fmt.Stringer.
+func (c Compound) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.Functor)
+	sb.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (i Interval) String() string { return i.Lo.String() + ".." + i.Hi.String() }
+
+// String implements fmt.Stringer.
+func (b BinOp) String() string {
+	return "(" + b.Left.String() + b.Op.String() + b.Right.String() + ")"
+}
+
+// Sym is a convenience constructor for Symbol.
+func Sym(name string) Symbol { return Symbol{Name: name} }
+
+// Num is a convenience constructor for Number.
+func Num(v int) Number { return Number{Value: v} }
+
+// Var is a convenience constructor for Variable.
+func Var(name string) Variable { return Variable{Name: name} }
+
+// Func is a convenience constructor for Compound.
+func Func(functor string, args ...Term) Compound {
+	return Compound{Functor: functor, Args: args}
+}
+
+// Eval evaluates a ground term to a fully evaluated term: arithmetic
+// sub-expressions are reduced to Numbers. It fails on unbound variables,
+// intervals, non-integer arithmetic operands, and division by zero.
+func Eval(t Term) (Term, error) {
+	switch tt := t.(type) {
+	case Symbol, Number:
+		return t, nil
+	case Variable:
+		return nil, fmt.Errorf("logic: unbound variable %s in evaluation", tt.Name)
+	case Compound:
+		args := make([]Term, len(tt.Args))
+		for i, a := range tt.Args {
+			ea, err := Eval(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ea
+		}
+		return Compound{Functor: tt.Functor, Args: args}, nil
+	case Interval:
+		return nil, fmt.Errorf("logic: interval %s outside fact position", tt)
+	case BinOp:
+		l, err := EvalInt(tt.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalInt(tt.Right)
+		if err != nil {
+			return nil, err
+		}
+		switch tt.Op {
+		case OpAdd:
+			return Number{Value: l + r}, nil
+		case OpSub:
+			return Number{Value: l - r}, nil
+		case OpMul:
+			return Number{Value: l * r}, nil
+		case OpDiv:
+			if r == 0 {
+				return nil, fmt.Errorf("logic: division by zero in %s", tt)
+			}
+			return Number{Value: l / r}, nil
+		case OpMod:
+			if r == 0 {
+				return nil, fmt.Errorf("logic: modulo by zero in %s", tt)
+			}
+			return Number{Value: l % r}, nil
+		default:
+			return nil, fmt.Errorf("logic: unknown operator in %s", tt)
+		}
+	default:
+		return nil, fmt.Errorf("logic: unknown term type %T", t)
+	}
+}
+
+// EvalInt evaluates a ground term that must reduce to an integer.
+func EvalInt(t Term) (int, error) {
+	e, err := Eval(t)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := e.(Number)
+	if !ok {
+		return 0, fmt.Errorf("logic: term %s is not an integer", e)
+	}
+	return n.Value, nil
+}
+
+// Compare defines a total order over evaluated ground terms:
+// numbers < symbols < compounds; numbers by value, symbols by name,
+// compounds by functor, then arity, then args. Used for deterministic
+// output ordering and term equality in answer sets.
+func Compare(a, b Term) int {
+	ra, rb := termRank(a), termRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ta := a.(type) {
+	case Number:
+		tb, ok := b.(Number)
+		if !ok {
+			return -1
+		}
+		return ta.Value - tb.Value
+	case Symbol:
+		tb, ok := b.(Symbol)
+		if !ok {
+			return -1
+		}
+		return strings.Compare(ta.Name, tb.Name)
+	case Compound:
+		tb, ok := b.(Compound)
+		if !ok {
+			return -1
+		}
+		if c := strings.Compare(ta.Functor, tb.Functor); c != 0 {
+			return c
+		}
+		if c := len(ta.Args) - len(tb.Args); c != 0 {
+			return c
+		}
+		for i := range ta.Args {
+			if c := Compare(ta.Args[i], tb.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	default:
+		// Non-evaluated terms compare by their textual form; stable if odd.
+		return strings.Compare(a.String(), b.String())
+	}
+}
+
+func termRank(t Term) int {
+	switch t.(type) {
+	case Number:
+		return 0
+	case Symbol:
+		return 1
+	case Compound:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SortTerms sorts terms by Compare.
+func SortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return Compare(ts[i], ts[j]) < 0 })
+}

@@ -1,0 +1,70 @@
+package mitigation
+
+import (
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/logic"
+)
+
+// EncodeASP renders the paper's Listing 1 fault-activation semantics as a
+// logic program: a candidate fault stays potential while any of its
+// sources lacks an active blocking mitigation.
+//
+//	candidate(C, F).
+//	mit_source(C, F, S).              % one per provenance source
+//	source_blocker(S, M).             % mitigations blocking a source
+//	active_mitigation(M).             % the analyst's selection
+//	source_blocked(C, F, S) :- mit_source(C, F, S),
+//	    source_blocker(S, M), active_mitigation(M).
+//	potential_fault(C, F) :- mit_source(C, F, S),
+//	    not source_blocked(C, F, S).
+//
+// Layering `{ active(C,F) : potential_fault(C,F) } k.` on top restricts
+// the exhaustive scenario search to unmitigated candidates — the ASP
+// counterpart of Filter.
+func EncodeASP(prog *logic.Program, k *kb.KB, muts []faults.Mutation, selected map[string]bool) error {
+	sym := logic.Sym
+	rules, err := logic.Parse(`
+		source_blocked(C, F, S) :- mit_source(C, F, S),
+			source_blocker(S, M), active_mitigation(M).
+		potential_fault(C, F) :- mit_source(C, F, S),
+			not source_blocked(C, F, S).
+	`)
+	if err != nil {
+		return err
+	}
+	prog.Extend(rules)
+	declaredBlocker := map[string]bool{}
+	for _, mut := range muts {
+		prog.AddFact(logic.A("candidate", sym(mut.Component), sym(mut.Fault)))
+		for _, source := range mut.Sources {
+			prog.AddFact(logic.A("mit_source", sym(mut.Component), sym(mut.Fault), sym(source)))
+			for _, m := range SourceBlockers(k, source) {
+				key := source + "|" + m
+				if !declaredBlocker[key] {
+					declaredBlocker[key] = true
+					prog.AddFact(logic.A("source_blocker", sym(source), sym(m)))
+				}
+			}
+		}
+	}
+	for m, on := range selected {
+		if on {
+			prog.AddFact(logic.A("active_mitigation", sym(m)))
+		}
+	}
+	return nil
+}
+
+// EncodePotentialChoice adds the scenario-space choice over potential
+// faults (used after EncodeASP instead of faults.EncodeChoice).
+func EncodePotentialChoice(prog *logic.Program, maxCard int) {
+	upper := maxCard
+	if upper < 0 {
+		upper = logic.Unbounded
+	}
+	prog.AddRule(logic.ChoiceRule(logic.Unbounded, upper, []logic.ChoiceElem{{
+		Atom: logic.A("active", logic.Var("C"), logic.Var("F")),
+		Cond: []logic.Literal{logic.Pos(logic.A("potential_fault", logic.Var("C"), logic.Var("F")))},
+	}}))
+}

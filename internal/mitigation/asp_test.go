@@ -1,0 +1,98 @@
+package mitigation_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/kb"
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/mitigation"
+	"cpsrisk/internal/solver"
+	"cpsrisk/internal/watertank"
+)
+
+// potentialFaultsViaASP solves the Listing 1 encoding and extracts the
+// potential_fault atoms.
+func potentialFaultsViaASP(t *testing.T, k *kb.KB, muts []faults.Mutation, selected map[string]bool) []string {
+	t.Helper()
+	prog := &logic.Program{}
+	if err := mitigation.EncodeASP(prog, k, muts, selected); err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 1 {
+		t.Fatalf("deterministic program has %d models", len(res.Models))
+	}
+	var out []string
+	for _, a := range res.Models[0].WithPredicate("potential_fault") {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestListing1ASPAgreesWithFilter: the ASP semantics of the paper's
+// Listing 1 and the native Filter agree on the case-study candidates for
+// every subset of the relevant mitigations.
+func TestListing1ASPAgreesWithFilter(t *testing.T) {
+	k := kb.MustDefaultKB()
+	muts := watertank.PaperCandidates()
+	relevant := mitigation.Relevant(k, muts)
+	n := len(relevant)
+	if n == 0 || n > 6 {
+		t.Fatalf("relevant mitigations = %d", n)
+	}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		selected := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				selected[relevant[i].ID] = true
+			}
+		}
+		var native []string
+		for _, mut := range mitigation.Filter(k, muts, selected) {
+			native = append(native, logic.A("potential_fault",
+				logic.Sym(mut.Component), logic.Sym(mut.Fault)).Key())
+		}
+		sort.Strings(native)
+		asp := potentialFaultsViaASP(t, k, muts, selected)
+		if strings.Join(native, "|") != strings.Join(asp, "|") {
+			t.Fatalf("mask %b: native %v vs asp %v", mask, native, asp)
+		}
+	}
+}
+
+// The combined encoding restricts the exhaustive scenario search exactly
+// like filtering the candidates natively.
+func TestPotentialChoiceScenarioCount(t *testing.T) {
+	k := kb.MustDefaultKB()
+	muts := watertank.PaperCandidates()
+	selected := map[string]bool{"M-0917": true, "M-0949": true} // blocks F4
+
+	prog := &logic.Program{}
+	if err := mitigation.EncodeASP(prog, k, muts, selected); err != nil {
+		t.Fatal(err)
+	}
+	mitigation.EncodePotentialChoice(prog, -1)
+	res, err := solver.SolveProgram(prog, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := mitigation.Filter(k, muts, selected)
+	want := faults.SpaceSize(len(remaining), -1)
+	if len(res.Models) != want {
+		t.Fatalf("ASP scenarios = %d, want %d", len(res.Models), want)
+	}
+	for _, m := range res.Models {
+		for _, a := range m.WithPredicate("active") {
+			if !strings.HasPrefix(a, "active_mitigation") && strings.Contains(a, "ews") {
+				t.Fatalf("mitigated F4 activated: %v", m.Atoms)
+			}
+		}
+	}
+}

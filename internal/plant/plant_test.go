@@ -1,0 +1,272 @@
+package plant
+
+import (
+	"testing"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/temporal"
+)
+
+func run(t *testing.T, injections ...Injection) *Trace {
+	t.Helper()
+	tr, err := Simulate(DefaultConfig(), injections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNominalRunIsSafe(t *testing.T) {
+	tr := run(t)
+	if tr.Overflowed() {
+		t.Fatal("nominal run must not overflow")
+	}
+	// The hysteresis controller keeps the level within [low-eps, high+eps].
+	cfg := tr.Config
+	for _, s := range tr.Steps {
+		if s.Level < 0 || s.Level > cfg.Capacity {
+			t.Fatalf("level %v outside tank at t=%d", s.Level, s.T)
+		}
+	}
+	final := tr.SettledLevel()
+	if final <= cfg.LowMark/2 || final >= cfg.AlertMark {
+		t.Errorf("settled level = %v, expected inside control band", final)
+	}
+}
+
+// F1: input valve stuck open. The output valve can out-drain the input
+// (OutFlowMax > InFlowMax), so the controller still avoids overflow —
+// matching paper Table II row S3 (R1 not violated under F1 alone).
+func TestF1StuckOpenAloneIsControlled(t *testing.T) {
+	tr := run(t, Injection{Component: CompInValve, Fault: FaultStuckOpen})
+	if tr.Overflowed() {
+		t.Fatal("F1 alone should be compensated by the output valve")
+	}
+}
+
+// F2 alone: the healthy controller closes the input valve in time, so the
+// tank does NOT physically overflow. The paper's Table II flags S4 (F2) as
+// an R1 violation at the qualitative level — this run is the concrete
+// evidence that the flag is an over-approximation artifact of the kind the
+// paper's §VI spurious-solution discussion anticipates, and exactly what
+// the CEGAR loop checks against.
+func TestF2AloneCompensatedConcretely(t *testing.T) {
+	tr := run(t, Injection{Component: CompOutValve, Fault: FaultStuckClosed})
+	if tr.Overflowed() {
+		t.Fatal("F2 alone should be compensated by closing the input valve")
+	}
+}
+
+// F1+F2: both valves stuck against the controller -> the tank can only
+// fill -> overflow with the alert still delivered (R1 violated, R2 holds).
+func TestF1F2OverflowsWithAlert(t *testing.T) {
+	tr := run(t,
+		Injection{Component: CompInValve, Fault: FaultStuckOpen},
+		Injection{Component: CompOutValve, Fault: FaultStuckClosed},
+	)
+	if !tr.Overflowed() {
+		t.Fatal("F1+F2 must overflow the tank")
+	}
+	if !tr.AlertedAfterOverflow() {
+		t.Fatal("alert must be delivered when HMI is healthy")
+	}
+}
+
+// F1+F2+F3: overflow with a dead HMI -> no alert (both requirements
+// violated — the paper's most severe physical combination shape).
+func TestSilentOverflow(t *testing.T) {
+	tr := run(t,
+		Injection{Component: CompInValve, Fault: FaultStuckOpen},
+		Injection{Component: CompOutValve, Fault: FaultStuckClosed},
+		Injection{Component: CompHMI, Fault: FaultNoSignal},
+	)
+	if !tr.Overflowed() {
+		t.Fatal("F1+F2+F3 must overflow")
+	}
+	if tr.AlertedAfterOverflow() {
+		t.Fatal("dead HMI must lose the alert")
+	}
+}
+
+// A sensor that dies during the filling phase freezes the controller in
+// the "fill" posture -> overflow. Timing-dependent concrete hazard.
+func TestSensorLossDuringFillOverflows(t *testing.T) {
+	// Find a step where the nominal run is filling (inflow > 0).
+	nominal := run(t)
+	fillStep := -1
+	for _, s := range nominal.Steps {
+		if s.InFlow > 0 {
+			fillStep = s.T
+			break
+		}
+	}
+	if fillStep < 0 {
+		t.Fatal("nominal run never fills")
+	}
+	tr := run(t, Injection{Component: CompLevelSensor, Fault: FaultNoSignal, AtStep: fillStep + 1})
+	if !tr.Overflowed() {
+		t.Fatal("sensor loss during fill must overflow")
+	}
+}
+
+// F4: compromised engineering workstation reconfigures both actuators and
+// silences the HMI (Table II row S2: both requirements violated).
+func TestF4CompromisedWorkstation(t *testing.T) {
+	tr := run(t, Injection{Component: CompEWS, Fault: FaultCompromised})
+	if !tr.Overflowed() {
+		t.Fatal("compromised workstation must cause overflow")
+	}
+	if tr.AlertedAfterOverflow() {
+		t.Fatal("compromised workstation must suppress the alert")
+	}
+}
+
+// Sensor loss alone: the controller holds the last command; from the
+// steady posture the tank drains empty but never overflows.
+func TestSensorLossAloneNoOverflow(t *testing.T) {
+	tr := run(t, Injection{Component: CompLevelSensor, Fault: FaultNoSignal})
+	if tr.Overflowed() {
+		t.Fatal("sensor loss alone must not overflow")
+	}
+}
+
+func TestInjectionTiming(t *testing.T) {
+	tr := run(t,
+		Injection{Component: CompInValve, Fault: FaultStuckOpen, AtStep: 150},
+		Injection{Component: CompOutValve, Fault: FaultStuckClosed, AtStep: 150},
+	)
+	// Overflow cannot happen before the injections become active.
+	for _, s := range tr.Steps[:150] {
+		if s.Overflow {
+			t.Fatalf("overflow before injection at t=%d", s.T)
+		}
+	}
+	if !tr.Overflowed() {
+		t.Fatal("late stuck valves must still overflow eventually")
+	}
+}
+
+func TestRequirementsOverPropTrace(t *testing.T) {
+	r1 := temporal.MustParseFormula("G !state(tank,overflow)")
+	r2 := temporal.MustParseFormula("G (state(tank,overflow) -> F alerted(operator))")
+
+	safe := run(t)
+	if !temporal.Eval(r1, safe.PropTrace()) || !temporal.Eval(r2, safe.PropTrace()) {
+		t.Error("nominal trace must satisfy R1 and R2")
+	}
+	overflowAlert := run(t,
+		Injection{Component: CompInValve, Fault: FaultStuckOpen},
+		Injection{Component: CompOutValve, Fault: FaultStuckClosed})
+	if temporal.Eval(r1, overflowAlert.PropTrace()) {
+		t.Error("R1 must fail on overflow")
+	}
+	if !temporal.Eval(r2, overflowAlert.PropTrace()) {
+		t.Error("R2 must hold when alert delivered")
+	}
+	silent := run(t,
+		Injection{Component: CompInValve, Fault: FaultStuckOpen},
+		Injection{Component: CompOutValve, Fault: FaultStuckClosed},
+		Injection{Component: CompHMI, Fault: FaultNoSignal})
+	if temporal.Eval(r2, silent.PropTrace()) {
+		t.Error("R2 must fail on silent overflow")
+	}
+}
+
+func TestQualitativeAbstraction(t *testing.T) {
+	tr := run(t,
+		Injection{Component: CompInValve, Fault: FaultStuckOpen},
+		Injection{Component: CompOutValve, Fault: FaultStuckClosed})
+	states := tr.QualTrace()
+	if len(states) < 2 {
+		t.Fatalf("qualitative trace too short: %v", states)
+	}
+	space := LevelSpace(tr.Config)
+	last := states[len(states)-1]
+	if space.Scale().Label(last.Magnitude) != "overflow" {
+		t.Errorf("final qualitative state = %s", last.LabelIn(space.Scale()))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Area = 0 },
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.DT = -1 },
+		func(c *Config) { c.LowMark = 0.95 },
+		func(c *Config) { c.AlertMark = 2.0 },
+		func(c *Config) { c.InitialLevel = -0.1 },
+		func(c *Config) { c.InFlowMax = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Simulate(cfg, nil); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestInjectionValidation(t *testing.T) {
+	bad := []Injection{
+		{Component: "ghost", Fault: FaultNoSignal},
+		{Component: CompTank, Fault: "leak"},
+		{Component: CompHMI, Fault: FaultStuckOpen},
+		{Component: CompInValve, Fault: FaultStuckOpen, AtStep: -1},
+	}
+	for i, inj := range bad {
+		if _, err := Simulate(DefaultConfig(), []Injection{inj}); err == nil {
+			t.Errorf("case %d: expected injection error", i)
+		}
+	}
+}
+
+func TestInjectionsFromScenario(t *testing.T) {
+	injs, err := InjectionsFromScenario(epa.Scenario{
+		{Component: CompOutValve, Fault: FaultStuckClosed},
+		{Component: CompHMI, Fault: FaultNoSignal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) != 2 {
+		t.Fatalf("injections = %v", injs)
+	}
+	if _, err := InjectionsFromScenario(epa.Scenario{
+		{Component: "abstract_asset", Fault: "whatever"},
+	}); err == nil {
+		t.Error("unrepresentable scenario must error")
+	}
+}
+
+func TestMassBalanceInvariant(t *testing.T) {
+	// Water level change each step equals (qin - qout) * dt / area, within
+	// clamping at the boundaries.
+	tr := run(t, Injection{Component: CompOutValve, Fault: FaultStuckClosed})
+	cfg := tr.Config
+	prev := cfg.InitialLevel
+	for _, s := range tr.Steps {
+		expected := prev + (s.InFlow-s.OutFlow)*cfg.DT/cfg.Area
+		if expected > cfg.Capacity {
+			expected = cfg.Capacity
+		}
+		if expected < 0 {
+			expected = 0
+		}
+		if diff := s.Level - expected; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("mass balance broken at t=%d: %v vs %v", s.T, s.Level, expected)
+		}
+		prev = s.Level
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Steps = 1000
+	injs := []Injection{{Component: CompOutValve, Fault: FaultStuckClosed, AtStep: 300}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, injs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

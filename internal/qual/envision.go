@@ -1,0 +1,144 @@
+package qual
+
+import "sort"
+
+// Envisionment is the qualitative state graph of a single quantity: every
+// state reachable from the initial states under the continuity-respecting
+// successor relation. It is the classic "envisioning" of qualitative
+// process theory (paper refs [3][6]) — the exhaustive behaviour summary a
+// preliminary analysis explores instead of numeric simulation.
+type Envisionment struct {
+	scale *Scale
+	succ  map[State][]State
+	init  []State
+}
+
+// Envision computes the reachable qualitative state graph from the
+// initial states over the scale.
+func Envision(s *Scale, init []State) *Envisionment {
+	e := &Envisionment{scale: s, succ: map[State][]State{}, init: append([]State(nil), init...)}
+	queue := append([]State(nil), init...)
+	seen := map[State]bool{}
+	for _, st := range init {
+		seen[st] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		succs := cur.Successors(s)
+		e.succ[cur] = succs
+		for _, nxt := range succs {
+			if !seen[nxt] {
+				seen[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	return e
+}
+
+// States returns every reachable state, sorted by magnitude then trend.
+func (e *Envisionment) States() []State {
+	out := make([]State, 0, len(e.succ))
+	for st := range e.succ {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Magnitude != out[j].Magnitude {
+			return out[i].Magnitude < out[j].Magnitude
+		}
+		return out[i].Trend < out[j].Trend
+	})
+	return out
+}
+
+// Successors returns the successor states of st (nil if unreachable).
+func (e *Envisionment) Successors(st State) []State {
+	return append([]State(nil), e.succ[st]...)
+}
+
+// Reachable reports whether any state with the given magnitude is
+// reachable — the qualitative "can the level reach overflow?" question.
+func (e *Envisionment) Reachable(magnitude Level) bool {
+	for st := range e.succ {
+		if st.Magnitude == magnitude {
+			return true
+		}
+	}
+	return false
+}
+
+// PathTo returns a shortest qualitative behaviour (state sequence) from
+// an initial state to any state with the target magnitude, or nil when
+// unreachable. The path is the abstract counterexample an analyst reads.
+func (e *Envisionment) PathTo(magnitude Level) []State {
+	type node struct {
+		st   State
+		prev int
+	}
+	var nodes []node
+	index := map[State]int{}
+	for _, st := range e.init {
+		if _, ok := index[st]; !ok {
+			index[st] = len(nodes)
+			nodes = append(nodes, node{st: st, prev: -1})
+		}
+	}
+	for head := 0; head < len(nodes); head++ {
+		cur := nodes[head]
+		if cur.st.Magnitude == magnitude {
+			var rev []State
+			for i := head; i >= 0; i = nodes[i].prev {
+				rev = append(rev, nodes[i].st)
+			}
+			out := make([]State, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out
+		}
+		for _, nxt := range e.succ[cur.st] {
+			if _, ok := index[nxt]; !ok {
+				index[nxt] = len(nodes)
+				nodes = append(nodes, node{st: nxt, prev: head})
+			}
+		}
+	}
+	return nil
+}
+
+// Constrain removes states not satisfying keep (and their edges),
+// returning a new envisionment over the surviving subgraph re-rooted at
+// the surviving initial states. It models qualitative background
+// knowledge, e.g. "the controller never lets the trend stay + above the
+// high mark".
+func (e *Envisionment) Constrain(keep func(State) bool) *Envisionment {
+	out := &Envisionment{scale: e.scale, succ: map[State][]State{}}
+	for _, st := range e.init {
+		if keep(st) {
+			out.init = append(out.init, st)
+		}
+	}
+	// Recompute reachability under the filter.
+	queue := append([]State(nil), out.init...)
+	seen := map[State]bool{}
+	for _, st := range out.init {
+		seen[st] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var kept []State
+		for _, nxt := range e.succ[cur] {
+			if keep(nxt) {
+				kept = append(kept, nxt)
+				if !seen[nxt] {
+					seen[nxt] = true
+					queue = append(queue, nxt)
+				}
+			}
+		}
+		out.succ[cur] = kept
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package qual
+
+import "testing"
+
+func TestEnvisionReachability(t *testing.T) {
+	s := FiveLevel()
+	// From a steady middle state, everything is eventually reachable.
+	e := Envision(s, []State{{Magnitude: Medium, Trend: SignZero}})
+	if !e.Reachable(VeryHigh) || !e.Reachable(VeryLow) {
+		t.Error("extremes must be reachable from a steady middle state")
+	}
+	// 5 magnitudes x 3 definite trends (unknown not generated from definite
+	// trends) = 15 states.
+	if got := len(e.States()); got != 15 {
+		t.Errorf("states = %d, want 15", got)
+	}
+}
+
+func TestEnvisionPathContinuity(t *testing.T) {
+	s := FiveLevel()
+	e := Envision(s, []State{{Magnitude: VeryLow, Trend: SignPos}})
+	path := e.PathTo(VeryHigh)
+	if path == nil {
+		t.Fatal("no path to overflow")
+	}
+	if path[0] != (State{Magnitude: VeryLow, Trend: SignPos}) {
+		t.Errorf("path start = %v", path[0])
+	}
+	for i := 1; i < len(path); i++ {
+		prev, cur := path[i-1], path[i]
+		// Magnitude moves at most one region per step.
+		if d := s.Distance(prev.Magnitude, cur.Magnitude); d > 1 {
+			t.Errorf("magnitude jump at %d: %v -> %v", i, prev, cur)
+		}
+		// Trend sign changes pass through zero.
+		if prev.Trend == SignPos && cur.Trend == SignNeg ||
+			prev.Trend == SignNeg && cur.Trend == SignPos {
+			t.Errorf("trend discontinuity at %d: %v -> %v", i, prev, cur)
+		}
+	}
+	// The shortest rising path is monotone: 5 magnitudes = at least 5
+	// states.
+	if len(path) < 5 {
+		t.Errorf("path too short: %v", path)
+	}
+}
+
+func TestEnvisionPathUnreachable(t *testing.T) {
+	s := FiveLevel()
+	// A constrained envisionment that forbids leaving the bottom region.
+	e := Envision(s, []State{{Magnitude: VeryLow, Trend: SignZero}}).
+		Constrain(func(st State) bool { return st.Magnitude == VeryLow })
+	if e.PathTo(VeryHigh) != nil {
+		t.Error("constrained envisionment must not reach the top")
+	}
+	if !e.Reachable(VeryLow) {
+		t.Error("bottom region must remain")
+	}
+}
+
+// The controller-knowledge constraint of the case study: above the high
+// mark the trend cannot stay positive (the output valve drains). Overflow
+// becomes unreachable — the qualitative counterpart of the healthy
+// control loop.
+func TestEnvisionControlledTankSafe(t *testing.T) {
+	space := MustQuantitySpace("level",
+		[]float64{0.1, 0.3, 0.7, 0.9},
+		[]string{"empty", "low", "normal", "high", "overflow"})
+	s := space.Scale()
+	high := s.MustParse("high")
+	overflow := s.MustParse("overflow")
+	start := State{Magnitude: s.MustParse("normal"), Trend: SignZero}
+
+	uncontrolled := Envision(s, []State{start})
+	if !uncontrolled.Reachable(overflow) {
+		t.Fatal("uncontrolled tank must be able to overflow")
+	}
+	controlled := uncontrolled.Constrain(func(st State) bool {
+		// The controller forbids a rising level at or above "high".
+		return !(st.Magnitude >= high && st.Trend == SignPos)
+	})
+	if controlled.Reachable(overflow) {
+		t.Error("controlled tank must not overflow qualitatively")
+	}
+	if !controlled.Reachable(s.MustParse("empty")) {
+		t.Error("draining must stay possible")
+	}
+}
+
+func TestConstrainDropsInitialStates(t *testing.T) {
+	s := FiveLevel()
+	e := Envision(s, []State{{Magnitude: Medium, Trend: SignZero}}).
+		Constrain(func(st State) bool { return st.Magnitude != Medium })
+	if len(e.States()) != 0 {
+		t.Errorf("filtered-out init must yield an empty envisionment, got %v", e.States())
+	}
+}
+
+func BenchmarkEnvision(b *testing.B) {
+	labels := make([]string, 12)
+	for i := range labels {
+		labels[i] = string(rune('a' + i))
+	}
+	s := MustScale("wide", labels...)
+	init := []State{{Magnitude: 0, Trend: SignPos}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Envision(s, init)
+		if !e.Reachable(s.Max()) {
+			b.Fatal("unreachable")
+		}
+	}
+}

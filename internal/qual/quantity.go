@@ -1,0 +1,132 @@
+package qual
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// QuantitySpace partitions a continuous physical domain into ordered
+// qualitative regions separated by landmarks (paper §II-B: "partitions
+// continuous domains into different clusters of identical or similar
+// behavior along landmarks").
+//
+// With landmarks l1 < l2 < ... < ln the space has n+1 regions:
+//
+//	region 0: (-inf, l1)
+//	region i: [li, l(i+1))
+//	region n: [ln, +inf)
+//
+// Each region carries a label; the labels form the induced Scale.
+type QuantitySpace struct {
+	name      string
+	landmarks []float64
+	scale     *Scale
+}
+
+// NewQuantitySpace builds a quantity space. len(labels) must be
+// len(landmarks)+1 and landmarks must be strictly increasing and finite.
+func NewQuantitySpace(name string, landmarks []float64, labels []string) (*QuantitySpace, error) {
+	if len(labels) != len(landmarks)+1 {
+		return nil, fmt.Errorf("qual: space %q needs %d labels for %d landmarks, got %d",
+			name, len(landmarks)+1, len(landmarks), len(labels))
+	}
+	for i, lm := range landmarks {
+		if math.IsNaN(lm) || math.IsInf(lm, 0) {
+			return nil, fmt.Errorf("qual: space %q landmark %d is not finite", name, i)
+		}
+		if i > 0 && landmarks[i-1] >= lm {
+			return nil, fmt.Errorf("qual: space %q landmarks not strictly increasing at %d (%v >= %v)",
+				name, i, landmarks[i-1], lm)
+		}
+	}
+	scale, err := NewScale(name, labels...)
+	if err != nil {
+		return nil, err
+	}
+	lms := make([]float64, len(landmarks))
+	copy(lms, landmarks)
+	return &QuantitySpace{name: name, landmarks: lms, scale: scale}, nil
+}
+
+// MustQuantitySpace panics on error; for package-level well-known spaces.
+func MustQuantitySpace(name string, landmarks []float64, labels []string) *QuantitySpace {
+	qs, err := NewQuantitySpace(name, landmarks, labels)
+	if err != nil {
+		panic(err)
+	}
+	return qs
+}
+
+// Name returns the space name.
+func (q *QuantitySpace) Name() string { return q.name }
+
+// Scale returns the induced ordered scale of region labels.
+func (q *QuantitySpace) Scale() *Scale { return q.scale }
+
+// Landmarks returns a copy of the landmark values.
+func (q *QuantitySpace) Landmarks() []float64 {
+	out := make([]float64, len(q.landmarks))
+	copy(out, q.landmarks)
+	return out
+}
+
+// Abstract maps a continuous value to its qualitative region level.
+// NaN abstracts to the lowest region (callers should validate inputs; EPA
+// treats unknown readings through explicit error states, not NaN).
+func (q *QuantitySpace) Abstract(v float64) Level {
+	// sort.SearchFloat64s returns the number of landmarks <= v for the
+	// predicate below, which is exactly the region index.
+	i := sort.Search(len(q.landmarks), func(i int) bool { return v < q.landmarks[i] })
+	return Level(i)
+}
+
+// AbstractSeries abstracts a sampled waveform into a qualitative level
+// sequence, the discrete temporal behaviour the paper's reasoner consumes.
+func (q *QuantitySpace) AbstractSeries(vs []float64) []Level {
+	out := make([]Level, len(vs))
+	for i, v := range vs {
+		out[i] = q.Abstract(v)
+	}
+	return out
+}
+
+// Representative returns a numeric value inside region l, used when
+// concretizing a qualitative counterexample for simulation-based validation
+// (CEGAR refinement). For unbounded end regions it extrapolates by the width
+// of the nearest bounded region (or 1.0 when no width is available).
+func (q *QuantitySpace) Representative(l Level) float64 {
+	n := len(q.landmarks)
+	if n == 0 {
+		return 0
+	}
+	l = q.scale.Clamp(l)
+	switch {
+	case l == 0:
+		return q.landmarks[0] - q.regionWidth()
+	case int(l) == n:
+		return q.landmarks[n-1] + q.regionWidth()
+	default:
+		return (q.landmarks[l-1] + q.landmarks[l]) / 2
+	}
+}
+
+func (q *QuantitySpace) regionWidth() float64 {
+	if len(q.landmarks) < 2 {
+		return 1.0
+	}
+	return (q.landmarks[len(q.landmarks)-1] - q.landmarks[0]) / float64(len(q.landmarks)-1)
+}
+
+// String implements fmt.Stringer.
+func (q *QuantitySpace) String() string {
+	parts := make([]string, 0, 2*len(q.landmarks)+1)
+	for i, label := range q.scale.labels {
+		parts = append(parts, label)
+		if i < len(q.landmarks) {
+			parts = append(parts, fmt.Sprintf("|%g|", q.landmarks[i]))
+		}
+	}
+	return fmt.Sprintf("%s[%s]", q.name, strings.Join(parts, " "))
+}

@@ -1,0 +1,125 @@
+package qual
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func tankSpace(t *testing.T) *QuantitySpace {
+	t.Helper()
+	qs, err := NewQuantitySpace("level",
+		[]float64{0.1, 0.3, 0.7, 0.9},
+		[]string{"empty", "low", "normal", "high", "overflow"})
+	if err != nil {
+		t.Fatalf("NewQuantitySpace: %v", err)
+	}
+	return qs
+}
+
+func TestQuantitySpaceValidation(t *testing.T) {
+	tests := []struct {
+		name      string
+		landmarks []float64
+		labels    []string
+		wantErr   bool
+	}{
+		{"ok", []float64{1, 2}, []string{"a", "b", "c"}, false},
+		{"label count mismatch", []float64{1, 2}, []string{"a", "b"}, true},
+		{"non-increasing", []float64{2, 1}, []string{"a", "b", "c"}, true},
+		{"equal landmarks", []float64{1, 1}, []string{"a", "b", "c"}, true},
+		{"nan landmark", []float64{math.NaN()}, []string{"a", "b"}, true},
+		{"inf landmark", []float64{math.Inf(1)}, []string{"a", "b"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewQuantitySpace("q", tt.landmarks, tt.labels)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAbstract(t *testing.T) {
+	qs := tankSpace(t)
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{-1.0, "empty"},
+		{0.0, "empty"},
+		{0.0999, "empty"},
+		{0.1, "low"}, // landmarks belong to the upper region
+		{0.2, "low"},
+		{0.3, "normal"},
+		{0.5, "normal"},
+		{0.7, "high"},
+		{0.89, "high"},
+		{0.9, "overflow"},
+		{5.0, "overflow"},
+	}
+	for _, tt := range tests {
+		if got := qs.Scale().Label(qs.Abstract(tt.v)); got != tt.want {
+			t.Errorf("Abstract(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+// Property: abstraction is monotone.
+func TestAbstractMonotone(t *testing.T) {
+	qs := tankSpace(t)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return qs.Abstract(a) <= qs.Abstract(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Representative(l) abstracts back to l (round trip through the
+// concretization used by CEGAR).
+func TestRepresentativeRoundTrip(t *testing.T) {
+	qs := tankSpace(t)
+	s := qs.Scale()
+	for l := s.Min(); l <= s.Max(); l++ {
+		v := qs.Representative(l)
+		if got := qs.Abstract(v); got != l {
+			t.Errorf("Abstract(Representative(%d)=%v) = %d", l, v, got)
+		}
+	}
+}
+
+func TestAbstractSeries(t *testing.T) {
+	qs := tankSpace(t)
+	levels := qs.AbstractSeries([]float64{0.05, 0.2, 0.5, 0.8, 0.95})
+	want := []string{"empty", "low", "normal", "high", "overflow"}
+	for i, l := range levels {
+		if qs.Scale().Label(l) != want[i] {
+			t.Errorf("series[%d] = %q, want %q", i, qs.Scale().Label(l), want[i])
+		}
+	}
+}
+
+func TestQuantitySpaceString(t *testing.T) {
+	qs := tankSpace(t)
+	want := "level[empty |0.1| low |0.3| normal |0.7| high |0.9| overflow]"
+	if got := qs.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestLandmarksIsCopy(t *testing.T) {
+	qs := tankSpace(t)
+	lms := qs.Landmarks()
+	lms[0] = 999
+	if qs.Abstract(0.05) != 0 {
+		t.Error("Landmarks() must return a copy")
+	}
+}

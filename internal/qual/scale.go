@@ -1,0 +1,190 @@
+// Package qual implements the qualitative-modeling substrate of the
+// framework: ordered categorical scales, quantity spaces with landmarks,
+// sign algebra, and qualitative states (magnitude + trend).
+//
+// Qualitative modeling partitions continuous domains into clusters of
+// identical or similar behaviour along landmarks and represents them by a
+// discrete model at the granularity of clusters (paper §II-B). It is the
+// "lingua franca" shared by the IT and OT parts of the system model and by
+// the risk-evaluation machinery (O-RA categories VL..VH).
+package qual
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Level is an index into an ordered Scale. Levels are ordinal: comparisons
+// are meaningful, arithmetic only through the saturating Scale operations.
+type Level int
+
+// Scale is an immutable ordered categorical scale, e.g. the five-point
+// O-RA scale VL < L < M < H < VH, or a workload scale
+// low < medium < high < overloaded.
+type Scale struct {
+	name   string
+	labels []string
+	index  map[string]Level
+}
+
+// ErrUnknownLabel is returned when a label is not a member of the scale.
+var ErrUnknownLabel = errors.New("qual: unknown scale label")
+
+// NewScale builds a scale from ordered labels (lowest first). Labels must be
+// unique and non-empty.
+func NewScale(name string, labels ...string) (*Scale, error) {
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("qual: scale %q needs at least 2 labels, got %d", name, len(labels))
+	}
+	index := make(map[string]Level, len(labels))
+	copied := make([]string, len(labels))
+	for i, l := range labels {
+		if l == "" {
+			return nil, fmt.Errorf("qual: scale %q has empty label at position %d", name, i)
+		}
+		if _, dup := index[l]; dup {
+			return nil, fmt.Errorf("qual: scale %q has duplicate label %q", name, l)
+		}
+		index[l] = Level(i)
+		copied[i] = l
+	}
+	return &Scale{name: name, labels: copied, index: index}, nil
+}
+
+// MustScale is like NewScale but panics on error. Intended for package-level
+// construction of well-known scales.
+func MustScale(name string, labels ...string) *Scale {
+	s, err := NewScale(name, labels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FiveLevel returns the canonical O-RA five-point scale VL<L<M<H<VH used
+// throughout the paper's risk quantization (§IV-B, Table I).
+func FiveLevel() *Scale { return _fiveLevel }
+
+var _fiveLevel = MustScale("o-ra", "VL", "L", "M", "H", "VH")
+
+// Canonical level constants for the five-point O-RA scale.
+const (
+	VeryLow  Level = 0
+	Low      Level = 1
+	Medium   Level = 2
+	High     Level = 3
+	VeryHigh Level = 4
+)
+
+// Name returns the scale's name.
+func (s *Scale) Name() string { return s.name }
+
+// Size returns the number of levels.
+func (s *Scale) Size() int { return len(s.labels) }
+
+// Min returns the lowest level (always 0).
+func (s *Scale) Min() Level { return 0 }
+
+// Max returns the highest level.
+func (s *Scale) Max() Level { return Level(len(s.labels) - 1) }
+
+// Valid reports whether l is a level of this scale.
+func (s *Scale) Valid(l Level) bool { return l >= 0 && int(l) < len(s.labels) }
+
+// Label returns the label of level l, or "?" if out of range.
+func (s *Scale) Label(l Level) string {
+	if !s.Valid(l) {
+		return "?"
+	}
+	return s.labels[l]
+}
+
+// Labels returns a copy of the ordered labels.
+func (s *Scale) Labels() []string {
+	out := make([]string, len(s.labels))
+	copy(out, s.labels)
+	return out
+}
+
+// Parse maps a label to its level. Matching is case-sensitive first, then
+// case-insensitive as a convenience for hand-written models.
+func (s *Scale) Parse(label string) (Level, error) {
+	if l, ok := s.index[label]; ok {
+		return l, nil
+	}
+	for i, candidate := range s.labels {
+		if strings.EqualFold(candidate, label) {
+			return Level(i), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q not in scale %q", ErrUnknownLabel, label, s.name)
+}
+
+// MustParse is Parse that panics; for tests and literals.
+func (s *Scale) MustParse(label string) Level {
+	l, err := s.Parse(label)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Clamp saturates l into the scale's range.
+func (s *Scale) Clamp(l Level) Level {
+	if l < 0 {
+		return 0
+	}
+	if l > s.Max() {
+		return s.Max()
+	}
+	return l
+}
+
+// Add performs saturating ordinal addition of a signed step: the result of
+// moving n levels up (or down for negative n) from l, clamped to the scale.
+func (s *Scale) Add(l Level, n int) Level { return s.Clamp(l + Level(n)) }
+
+// MaxOf returns the maximum of the given levels (clamped). At least one
+// level must be supplied.
+func (s *Scale) MaxOf(first Level, rest ...Level) Level {
+	m := s.Clamp(first)
+	for _, l := range rest {
+		if c := s.Clamp(l); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MinOf returns the minimum of the given levels (clamped).
+func (s *Scale) MinOf(first Level, rest ...Level) Level {
+	m := s.Clamp(first)
+	for _, l := range rest {
+		if c := s.Clamp(l); c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Mean returns the rounded midpoint of two levels — the standard qualitative
+// combination when two ordinal factors contribute symmetrically.
+func (s *Scale) Mean(a, b Level) Level {
+	a, b = s.Clamp(a), s.Clamp(b)
+	return (a + b + 1) / 2 // round toward the higher level (conservative)
+}
+
+// Distance returns |a-b| in levels.
+func (s *Scale) Distance(a, b Level) int {
+	d := int(s.Clamp(a)) - int(s.Clamp(b))
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// String implements fmt.Stringer.
+func (s *Scale) String() string {
+	return fmt.Sprintf("%s(%s)", s.name, strings.Join(s.labels, "<"))
+}

@@ -1,0 +1,190 @@
+package qual
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewScaleValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		labels  []string
+		wantErr bool
+	}{
+		{"ok two", []string{"lo", "hi"}, false},
+		{"ok five", []string{"VL", "L", "M", "H", "VH"}, false},
+		{"too few", []string{"only"}, true},
+		{"empty", nil, true},
+		{"duplicate", []string{"a", "b", "a"}, true},
+		{"empty label", []string{"a", ""}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewScale("s", tt.labels...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewScale(%v) err=%v, wantErr=%v", tt.labels, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestScaleParse(t *testing.T) {
+	s := FiveLevel()
+	tests := []struct {
+		label string
+		want  Level
+		ok    bool
+	}{
+		{"VL", VeryLow, true},
+		{"L", Low, true},
+		{"M", Medium, true},
+		{"H", High, true},
+		{"VH", VeryHigh, true},
+		{"vh", VeryHigh, true}, // case-insensitive fallback
+		{"m", Medium, true},
+		{"nope", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := s.Parse(tt.label)
+		if tt.ok {
+			if err != nil {
+				t.Errorf("Parse(%q) unexpected error: %v", tt.label, err)
+				continue
+			}
+			if got != tt.want {
+				t.Errorf("Parse(%q) = %v, want %v", tt.label, got, tt.want)
+			}
+		} else if err == nil {
+			t.Errorf("Parse(%q) expected error", tt.label)
+		} else if !errors.Is(err, ErrUnknownLabel) {
+			t.Errorf("Parse(%q) error %v is not ErrUnknownLabel", tt.label, err)
+		}
+	}
+}
+
+func TestScaleLabelRoundTrip(t *testing.T) {
+	s := FiveLevel()
+	for l := s.Min(); l <= s.Max(); l++ {
+		got, err := s.Parse(s.Label(l))
+		if err != nil {
+			t.Fatalf("round trip at %d: %v", l, err)
+		}
+		if got != l {
+			t.Errorf("round trip: Parse(Label(%d)) = %d", l, got)
+		}
+	}
+	if s.Label(Level(99)) != "?" {
+		t.Errorf("out-of-range label should be ?")
+	}
+	if s.Label(Level(-1)) != "?" {
+		t.Errorf("negative label should be ?")
+	}
+}
+
+func TestScaleClampAdd(t *testing.T) {
+	s := FiveLevel()
+	tests := []struct {
+		start Level
+		step  int
+		want  Level
+	}{
+		{Medium, 0, Medium},
+		{Medium, 1, High},
+		{Medium, -1, Low},
+		{Medium, 10, VeryHigh},
+		{Medium, -10, VeryLow},
+		{VeryHigh, 1, VeryHigh},
+		{VeryLow, -1, VeryLow},
+	}
+	for _, tt := range tests {
+		if got := s.Add(tt.start, tt.step); got != tt.want {
+			t.Errorf("Add(%v,%d) = %v, want %v", tt.start, tt.step, got, tt.want)
+		}
+	}
+}
+
+func TestScaleMaxMinMean(t *testing.T) {
+	s := FiveLevel()
+	if got := s.MaxOf(Low, High, Medium); got != High {
+		t.Errorf("MaxOf = %v", got)
+	}
+	if got := s.MinOf(Low, High, Medium); got != Low {
+		t.Errorf("MinOf = %v", got)
+	}
+	if got := s.MaxOf(Medium); got != Medium {
+		t.Errorf("MaxOf single = %v", got)
+	}
+	// Mean rounds up (conservative toward higher risk).
+	if got := s.Mean(Low, Medium); got != Medium {
+		t.Errorf("Mean(L,M) = %v, want M", got)
+	}
+	if got := s.Mean(VeryLow, VeryHigh); got != Medium {
+		t.Errorf("Mean(VL,VH) = %v, want M", got)
+	}
+	if got := s.Mean(High, High); got != High {
+		t.Errorf("Mean(H,H) = %v, want H", got)
+	}
+}
+
+func TestScaleDistance(t *testing.T) {
+	s := FiveLevel()
+	if d := s.Distance(VeryLow, VeryHigh); d != 4 {
+		t.Errorf("Distance = %d", d)
+	}
+	if d := s.Distance(High, High); d != 0 {
+		t.Errorf("Distance same = %d", d)
+	}
+	if d := s.Distance(High, Low); d != 2 {
+		t.Errorf("Distance(H,L) = %d", d)
+	}
+}
+
+// Property: Add saturates within bounds and is monotone in the step.
+func TestScaleAddProperties(t *testing.T) {
+	s := FiveLevel()
+	f := func(start int8, a, b int8) bool {
+		l := Level(start)
+		ra, rb := s.Add(l, int(a)), s.Add(l, int(b))
+		if !s.Valid(ra) || !s.Valid(rb) {
+			return false
+		}
+		if a <= b && ra > rb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxOf/MinOf bound each operand.
+func TestScaleMaxMinProperties(t *testing.T) {
+	s := FiveLevel()
+	f := func(a, b, c int8) bool {
+		la, lb, lc := s.Clamp(Level(a)), s.Clamp(Level(b)), s.Clamp(Level(c))
+		mx := s.MaxOf(la, lb, lc)
+		mn := s.MinOf(la, lb, lc)
+		return mn <= la && mn <= lb && mn <= lc && mx >= la && mx >= lb && mx >= lc && mn <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if got := FiveLevel().String(); got != "o-ra(VL<L<M<H<VH)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLabelsIsCopy(t *testing.T) {
+	s := FiveLevel()
+	labels := s.Labels()
+	labels[0] = "corrupted"
+	if s.Label(0) != "VL" {
+		t.Error("Labels() must return a copy")
+	}
+}

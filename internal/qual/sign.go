@@ -1,0 +1,107 @@
+package qual
+
+import "fmt"
+
+// Sign is the three-valued sign algebra of qualitative physics plus the
+// "unknown" value that qualitative arithmetic produces when the result is
+// ambiguous (e.g. plus + minus).
+type Sign int
+
+// Sign values. Unknown is deliberately the zero value so that uninitialized
+// qualitative influences are conservative (anything is possible).
+const (
+	SignUnknown Sign = iota
+	SignNeg
+	SignZero
+	SignPos
+)
+
+// String implements fmt.Stringer.
+func (s Sign) String() string {
+	switch s {
+	case SignNeg:
+		return "-"
+	case SignZero:
+		return "0"
+	case SignPos:
+		return "+"
+	default:
+		return "?"
+	}
+}
+
+// SignOf abstracts a float to its sign.
+func SignOf(v float64) Sign {
+	switch {
+	case v < 0:
+		return SignNeg
+	case v > 0:
+		return SignPos
+	default:
+		return SignZero
+	}
+}
+
+// AddSign is qualitative addition: results are exact except pos+neg which is
+// unknown. Unknown is absorbing unless the other operand is zero-identity.
+func AddSign(a, b Sign) Sign {
+	switch {
+	case a == SignZero:
+		return b
+	case b == SignZero:
+		return a
+	case a == SignUnknown || b == SignUnknown:
+		return SignUnknown
+	case a == b:
+		return a
+	default: // pos + neg
+		return SignUnknown
+	}
+}
+
+// MulSign is qualitative multiplication; exact for the sign algebra, with
+// zero annihilating even unknown (0 * x = 0).
+func MulSign(a, b Sign) Sign {
+	if a == SignZero || b == SignZero {
+		return SignZero
+	}
+	if a == SignUnknown || b == SignUnknown {
+		return SignUnknown
+	}
+	if a == b {
+		return SignPos
+	}
+	return SignNeg
+}
+
+// NegSign negates a sign.
+func NegSign(a Sign) Sign {
+	switch a {
+	case SignNeg:
+		return SignPos
+	case SignPos:
+		return SignNeg
+	default:
+		return a
+	}
+}
+
+// Refines reports whether a is at least as precise as b: every sign refines
+// unknown, and each definite sign refines itself.
+func (s Sign) Refines(b Sign) bool { return b == SignUnknown || s == b }
+
+// ParseSign parses "-", "0", "+", "?".
+func ParseSign(text string) (Sign, error) {
+	switch text {
+	case "-":
+		return SignNeg, nil
+	case "0":
+		return SignZero, nil
+	case "+":
+		return SignPos, nil
+	case "?":
+		return SignUnknown, nil
+	default:
+		return SignUnknown, fmt.Errorf("qual: invalid sign %q", text)
+	}
+}

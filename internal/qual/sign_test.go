@@ -1,0 +1,108 @@
+package qual
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allSigns() []Sign { return []Sign{SignUnknown, SignNeg, SignZero, SignPos} }
+
+func TestAddSignTable(t *testing.T) {
+	tests := []struct {
+		a, b, want Sign
+	}{
+		{SignPos, SignPos, SignPos},
+		{SignNeg, SignNeg, SignNeg},
+		{SignPos, SignNeg, SignUnknown},
+		{SignNeg, SignPos, SignUnknown},
+		{SignZero, SignPos, SignPos},
+		{SignPos, SignZero, SignPos},
+		{SignZero, SignZero, SignZero},
+		{SignZero, SignNeg, SignNeg},
+		{SignUnknown, SignPos, SignUnknown},
+		{SignUnknown, SignZero, SignUnknown},
+		{SignUnknown, SignUnknown, SignUnknown},
+	}
+	for _, tt := range tests {
+		if got := AddSign(tt.a, tt.b); got != tt.want {
+			t.Errorf("AddSign(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulSignTable(t *testing.T) {
+	tests := []struct {
+		a, b, want Sign
+	}{
+		{SignPos, SignPos, SignPos},
+		{SignNeg, SignNeg, SignPos},
+		{SignPos, SignNeg, SignNeg},
+		{SignZero, SignUnknown, SignZero},
+		{SignUnknown, SignZero, SignZero},
+		{SignUnknown, SignPos, SignUnknown},
+		{SignZero, SignPos, SignZero},
+	}
+	for _, tt := range tests {
+		if got := MulSign(tt.a, tt.b); got != tt.want {
+			t.Errorf("MulSign(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Soundness property: the qualitative operations over-approximate the
+// concrete ones — for all floats x,y: SignOf(x op y) refines qualOp(SignOf).
+func TestSignSoundness(t *testing.T) {
+	add := func(x, y float64) bool {
+		got := SignOf(x + y)
+		abs := AddSign(SignOf(x), SignOf(y))
+		return got.Refines(abs)
+	}
+	mul := func(x, y float64) bool {
+		// Guard against float overflow to ±Inf changing sign semantics;
+		// Inf keeps its sign so the property still holds, but NaN (0*Inf)
+		// does not arise from finite x,y here.
+		got := SignOf(x * y)
+		abs := MulSign(SignOf(x), SignOf(y))
+		return got.Refines(abs)
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Errorf("add soundness: %v", err)
+	}
+	if err := quick.Check(mul, nil); err != nil {
+		t.Errorf("mul soundness: %v", err)
+	}
+}
+
+func TestSignAlgebraLaws(t *testing.T) {
+	for _, a := range allSigns() {
+		if got := NegSign(NegSign(a)); got != a {
+			t.Errorf("double negation of %v = %v", a, got)
+		}
+		if got := AddSign(a, SignZero); got != a {
+			t.Errorf("zero identity: %v + 0 = %v", a, got)
+		}
+		for _, b := range allSigns() {
+			if AddSign(a, b) != AddSign(b, a) {
+				t.Errorf("AddSign not commutative at (%v,%v)", a, b)
+			}
+			if MulSign(a, b) != MulSign(b, a) {
+				t.Errorf("MulSign not commutative at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestParseSign(t *testing.T) {
+	for _, s := range allSigns() {
+		got, err := ParseSign(s.String())
+		if err != nil {
+			t.Fatalf("ParseSign(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("round trip %v = %v", s, got)
+		}
+	}
+	if _, err := ParseSign("++"); err == nil {
+		t.Error("expected error for invalid sign")
+	}
+}

@@ -1,0 +1,106 @@
+package qual
+
+import "fmt"
+
+// State is a qualitative state in the sense of qualitative process theory:
+// a magnitude (region of a quantity space) together with a trend (sign of
+// the derivative). A water level can be, e.g., {high, +} — in the "high"
+// region and rising — which is exactly the information a preliminary hazard
+// analysis needs ("the tank is high and filling" ⇒ overflow is reachable).
+type State struct {
+	Magnitude Level
+	Trend     Sign
+}
+
+// NewState constructs a qualitative state.
+func NewState(m Level, d Sign) State { return State{Magnitude: m, Trend: d} }
+
+// String renders like "high/+".
+func (st State) String() string { return fmt.Sprintf("%d/%s", st.Magnitude, st.Trend) }
+
+// LabelIn renders the state with the labels of a scale, e.g. "high/+".
+func (st State) LabelIn(s *Scale) string {
+	return fmt.Sprintf("%s/%s", s.Label(st.Magnitude), st.Trend)
+}
+
+// Successors enumerates the qualitative states reachable in one qualitative
+// time step under continuity: the magnitude may stay or move one region in
+// the direction of the trend; the trend itself may change arbitrarily only
+// through zero (continuity of the derivative). This is the transition
+// relation qualitative simulation explores.
+func (st State) Successors(s *Scale) []State {
+	mags := []Level{st.Magnitude}
+	switch st.Trend {
+	case SignPos:
+		if st.Magnitude < s.Max() {
+			mags = append(mags, st.Magnitude+1)
+		}
+	case SignNeg:
+		if st.Magnitude > 0 {
+			mags = append(mags, st.Magnitude-1)
+		}
+	case SignUnknown:
+		if st.Magnitude < s.Max() {
+			mags = append(mags, st.Magnitude+1)
+		}
+		if st.Magnitude > 0 {
+			mags = append(mags, st.Magnitude-1)
+		}
+	}
+	trends := trendSuccessors(st.Trend)
+	out := make([]State, 0, len(mags)*len(trends))
+	for _, m := range mags {
+		for _, d := range trends {
+			out = append(out, State{Magnitude: m, Trend: d})
+		}
+	}
+	return out
+}
+
+func trendSuccessors(d Sign) []Sign {
+	switch d {
+	case SignPos:
+		return []Sign{SignPos, SignZero}
+	case SignNeg:
+		return []Sign{SignNeg, SignZero}
+	case SignZero:
+		return []Sign{SignZero, SignPos, SignNeg}
+	default:
+		return []Sign{SignUnknown, SignPos, SignZero, SignNeg}
+	}
+}
+
+// AbstractPair abstracts a (value, derivative) sample into a qualitative
+// state over the given quantity space.
+func AbstractPair(q *QuantitySpace, value, derivative float64) State {
+	return State{Magnitude: q.Abstract(value), Trend: SignOf(derivative)}
+}
+
+// AbstractTrace abstracts a sampled waveform into a deduplicated qualitative
+// state sequence: consecutive samples mapping to the same qualitative state
+// collapse into one (qualitative behaviours are sequences of distinct
+// states). Derivatives are estimated by forward differences with deadband
+// eps to suppress sampling noise.
+func AbstractTrace(q *QuantitySpace, vs []float64, eps float64) []State {
+	if len(vs) == 0 {
+		return nil
+	}
+	states := make([]State, 0, 8)
+	for i := range vs {
+		var d float64
+		switch {
+		case i+1 < len(vs):
+			d = vs[i+1] - vs[i]
+		case i > 0:
+			d = vs[i] - vs[i-1]
+		}
+		if d > -eps && d < eps {
+			d = 0
+		}
+		st := AbstractPair(q, vs[i], d)
+		if len(states) == 0 || states[len(states)-1] != st {
+			states = append(states, st)
+		}
+	}
+	return states
+}

@@ -1,0 +1,121 @@
+package qual
+
+import (
+	"testing"
+)
+
+func TestStateSuccessorsContinuity(t *testing.T) {
+	s := FiveLevel()
+
+	// Rising from a middle region: may stay or move exactly one region up;
+	// trend may stay + or pass through 0 — never jump to -.
+	for _, succ := range (State{Magnitude: Medium, Trend: SignPos}).Successors(s) {
+		if succ.Magnitude != Medium && succ.Magnitude != High {
+			t.Errorf("rising successor jumped to magnitude %v", succ.Magnitude)
+		}
+		if succ.Trend == SignNeg {
+			t.Errorf("trend jumped from + to - without passing 0")
+		}
+	}
+
+	// At the top with a rising trend: magnitude saturates.
+	for _, succ := range (State{Magnitude: VeryHigh, Trend: SignPos}).Successors(s) {
+		if succ.Magnitude != VeryHigh {
+			t.Errorf("saturated state moved to %v", succ.Magnitude)
+		}
+	}
+
+	// Steady state: magnitude must not move.
+	for _, succ := range (State{Magnitude: Medium, Trend: SignZero}).Successors(s) {
+		if succ.Magnitude != Medium {
+			t.Errorf("steady state moved magnitude to %v", succ.Magnitude)
+		}
+	}
+}
+
+func TestStateSuccessorsUnknownTrendIsSuperset(t *testing.T) {
+	s := FiveLevel()
+	unk := map[State]bool{}
+	for _, succ := range (State{Magnitude: Medium, Trend: SignUnknown}).Successors(s) {
+		unk[succ] = true
+	}
+	for _, d := range []Sign{SignPos, SignNeg, SignZero} {
+		for _, succ := range (State{Magnitude: Medium, Trend: d}).Successors(s) {
+			// every definite-trend successor with matching/zero trend reachable
+			// from unknown must appear when its trend is itself reachable
+			if succ.Trend == SignUnknown {
+				continue
+			}
+			if !unk[succ] && succ.Trend != SignNeg && succ.Trend != SignPos && succ.Trend != SignZero {
+				t.Errorf("unknown-trend successors miss %v", succ)
+			}
+		}
+	}
+	// unknown must at least contain stay-put with every trend
+	for _, d := range []Sign{SignUnknown, SignPos, SignZero, SignNeg} {
+		if !unk[State{Magnitude: Medium, Trend: d}] {
+			t.Errorf("unknown-trend successors miss stay-put with trend %v", d)
+		}
+	}
+}
+
+func TestAbstractTraceCollapsesAndTracksTrend(t *testing.T) {
+	qs := MustQuantitySpace("level",
+		[]float64{0.1, 0.3, 0.7, 0.9},
+		[]string{"empty", "low", "normal", "high", "overflow"})
+
+	// A filling tank sampled finely: many samples, few qualitative states.
+	vs := make([]float64, 0, 101)
+	for i := 0; i <= 100; i++ {
+		vs = append(vs, float64(i)/100.0)
+	}
+	states := AbstractTrace(qs, vs, 1e-9)
+	if len(states) < 5 {
+		t.Fatalf("expected at least 5 qualitative states, got %d: %v", len(states), states)
+	}
+	// All intermediate states must be rising.
+	for i, st := range states {
+		if i < len(states)-1 && st.Trend != SignPos {
+			t.Errorf("state %d of filling trace has trend %v", i, st.Trend)
+		}
+	}
+	// Magnitudes must be non-decreasing and cover empty..overflow.
+	if states[0].Magnitude != 0 {
+		t.Errorf("trace must start empty, got %v", states[0].Magnitude)
+	}
+	if states[len(states)-1].Magnitude != qs.Scale().Max() {
+		t.Errorf("trace must end at overflow, got %v", states[len(states)-1].Magnitude)
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].Magnitude < states[i-1].Magnitude {
+			t.Errorf("magnitude decreased in filling trace at %d", i)
+		}
+	}
+}
+
+func TestAbstractTraceDeadband(t *testing.T) {
+	qs := MustQuantitySpace("x", []float64{1}, []string{"lo", "hi"})
+	// Tiny oscillation below eps must abstract to a single steady state.
+	states := AbstractTrace(qs, []float64{0.5, 0.5000001, 0.4999999, 0.5}, 1e-3)
+	if len(states) != 1 {
+		t.Fatalf("expected 1 state, got %d: %v", len(states), states)
+	}
+	if states[0].Trend != SignZero {
+		t.Errorf("expected steady trend, got %v", states[0].Trend)
+	}
+}
+
+func TestAbstractTraceEmpty(t *testing.T) {
+	qs := MustQuantitySpace("x", []float64{1}, []string{"lo", "hi"})
+	if got := AbstractTrace(qs, nil, 0.1); got != nil {
+		t.Errorf("empty trace should abstract to nil, got %v", got)
+	}
+}
+
+func TestStateLabelIn(t *testing.T) {
+	s := FiveLevel()
+	st := State{Magnitude: High, Trend: SignPos}
+	if got := st.LabelIn(s); got != "H/+" {
+		t.Errorf("LabelIn = %q", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package report renders analysis results as aligned text tables — the
+// framework's substitute for the paper's Jupyter result inspection. It
+// regenerates the paper's Table I (O-RA risk matrix) and Table II
+// (case-study violation vectors) layouts, plus ranked-scenario, risk-
+// derivation, hierarchical-matrix, and mitigation-plan views.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/optimize"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+)
+
+// Table renders rows under headers with padded columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", w-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// TableI renders the O-RA risk matrix in the paper's orientation: rows LM
+// from VH down to VL, columns LEF from VL to VH.
+func TableI() string {
+	s := qual.FiveLevel()
+	headers := []string{"LM\\LEF"}
+	for lef := s.Min(); lef <= s.Max(); lef++ {
+		headers = append(headers, s.Label(lef))
+	}
+	var rows [][]string
+	for lm := s.Max(); ; lm-- {
+		row := []string{s.Label(lm)}
+		for lef := s.Min(); lef <= s.Max(); lef++ {
+			row = append(row, s.Label(risk.ORARisk(lm, lef)))
+		}
+		rows = append(rows, row)
+		if lm == s.Min() {
+			break
+		}
+	}
+	return Table(headers, rows)
+}
+
+// TableIIRow selects one analysis scenario for the Table II layout.
+type TableIIRow struct {
+	Label string
+	// Scenario selects the row's fault combination.
+	Scenario epa.Scenario
+	// MitigationsActive renders the mitigation columns as Active.
+	MitigationsActive bool
+}
+
+// TableII renders the paper's Table II layout: fault-mode columns (one
+// per labeled candidate, "*" when active), mitigation columns
+// (Active/blank), and one Violated/"-" column per requirement.
+func TableII(a *hazard.Analysis, faultLabels []string, faultActs []epa.Activation,
+	mitigationLabels []string, rows []TableIIRow) (string, error) {
+	if len(faultLabels) != len(faultActs) {
+		return "", fmt.Errorf("report: %d fault labels for %d activations",
+			len(faultLabels), len(faultActs))
+	}
+	headers := []string{"Scenario"}
+	headers = append(headers, faultLabels...)
+	headers = append(headers, mitigationLabels...)
+	for _, r := range a.Requirements {
+		headers = append(headers, r.ID)
+	}
+	var out [][]string
+	for _, row := range rows {
+		res, ok := a.ByScenario(row.Scenario)
+		if !ok {
+			return "", fmt.Errorf("report: scenario %s not in analysis", row.Scenario)
+		}
+		cells := []string{row.Label}
+		for _, act := range faultActs {
+			if row.Scenario.Has(act.Component, act.Fault) {
+				cells = append(cells, "*")
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		for range mitigationLabels {
+			if row.MitigationsActive {
+				cells = append(cells, "Active")
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		for _, r := range a.Requirements {
+			if res.Violates(r.ID) {
+				cells = append(cells, "Violated")
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		out = append(out, cells)
+	}
+	return Table(headers, out), nil
+}
+
+// Ranked renders the prioritized scenario list.
+func Ranked(scenarios []hazard.ScenarioResult) string {
+	s := qual.FiveLevel()
+	headers := []string{"Rank", "Scenario", "Faults", "Violated", "Likelihood", "Severity", "Risk"}
+	var rows [][]string
+	for i, sc := range scenarios {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			sc.ID,
+			sc.Scenario.Key(),
+			strings.Join(sc.Violated, ","),
+			s.Label(sc.Risk.Likelihood),
+			s.Label(sc.Risk.Severity),
+			s.Label(sc.Risk.Risk),
+		})
+	}
+	return Table(headers, rows)
+}
+
+// Derivation renders a Fig. 2-style risk-attribute derivation.
+func Derivation(d risk.Derivation) string {
+	s := qual.FiveLevel()
+	rows := [][]string{
+		{"Contact Frequency", s.Label(d.Input.ContactFrequency)},
+		{"Probability of Action", s.Label(d.Input.ProbabilityOfAction)},
+		{"Threat Event Frequency", s.Label(d.ThreatEventFrequency)},
+		{"Threat Capability", s.Label(d.Input.ThreatCapability)},
+		{"Resistance Strength", s.Label(d.Input.ResistanceStrength)},
+		{"Vulnerability", s.Label(d.Vulnerability)},
+		{"Loss Event Frequency", s.Label(d.LossEventFrequency)},
+		{"Primary Loss", s.Label(d.Input.PrimaryLoss)},
+		{"Secondary Risk", s.Label(d.SecondaryRisk)},
+		{"Loss Magnitude", s.Label(d.LossMagnitude)},
+		{"Risk", s.Label(d.Risk)},
+	}
+	return Table([]string{"Attribute", "Level"}, rows)
+}
+
+// Plan renders a mitigation plan with its phases.
+func Plan(phases []optimize.Phase, plan optimize.Plan) string {
+	var rows [][]string
+	for i, p := range phases {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), p.MitigationID,
+			fmt.Sprintf("%d", p.Cost), fmt.Sprintf("%d", p.LossReduction),
+		})
+	}
+	out := Table([]string{"Phase", "Mitigation", "Cost", "Loss reduction"}, rows)
+	out += fmt.Sprintf("\nSelected: %s\nCost: %d  Residual loss: %d  Total: %d\nBlocked scenarios: %s\n",
+		strings.Join(plan.Selected, ", "), plan.Cost, plan.ResidualLoss, plan.Total,
+		strings.Join(plan.Blocked, ", "))
+	return out
+}

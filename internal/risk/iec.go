@@ -1,0 +1,120 @@
+package risk
+
+import "fmt"
+
+// IEC 61508 qualitative hazard analysis (paper §IV-B): six categories of
+// likelihood of occurrence and four of consequence combined into a risk
+// class matrix.
+
+// Likelihood is an IEC 61508 likelihood-of-occurrence category.
+type Likelihood int
+
+// Likelihood categories, most frequent first.
+const (
+	Frequent Likelihood = iota + 1
+	Probable
+	Occasional
+	Remote
+	Improbable
+	Incredible
+)
+
+// String implements fmt.Stringer.
+func (l Likelihood) String() string {
+	switch l {
+	case Frequent:
+		return "frequent"
+	case Probable:
+		return "probable"
+	case Occasional:
+		return "occasional"
+	case Remote:
+		return "remote"
+	case Improbable:
+		return "improbable"
+	case Incredible:
+		return "incredible"
+	default:
+		return "unknown-likelihood"
+	}
+}
+
+// Consequence is an IEC 61508 consequence category.
+type Consequence int
+
+// Consequence categories, most severe first.
+const (
+	Catastrophic Consequence = iota + 1
+	Critical
+	Marginal
+	Negligible
+)
+
+// String implements fmt.Stringer.
+func (c Consequence) String() string {
+	switch c {
+	case Catastrophic:
+		return "catastrophic"
+	case Critical:
+		return "critical"
+	case Marginal:
+		return "marginal"
+	case Negligible:
+		return "negligible"
+	default:
+		return "unknown-consequence"
+	}
+}
+
+// Class is an IEC 61508 risk class: I (intolerable) .. IV (negligible).
+type Class int
+
+// Risk classes.
+const (
+	ClassI Class = iota + 1
+	ClassII
+	ClassIII
+	ClassIV
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassI:
+		return "I"
+	case ClassII:
+		return "II"
+	case ClassIII:
+		return "III"
+	case ClassIV:
+		return "IV"
+	default:
+		return "?"
+	}
+}
+
+// iecMatrix rows are likelihood (Frequent..Incredible), columns are
+// consequence (Catastrophic..Negligible) — the standard's example
+// risk-class matrix.
+var iecMatrix = [6][4]Class{
+	/* frequent   */ {ClassI, ClassI, ClassI, ClassII},
+	/* probable   */ {ClassI, ClassI, ClassII, ClassIII},
+	/* occasional */ {ClassI, ClassII, ClassIII, ClassIII},
+	/* remote     */ {ClassII, ClassIII, ClassIII, ClassIV},
+	/* improbable */ {ClassIII, ClassIII, ClassIV, ClassIV},
+	/* incredible */ {ClassIV, ClassIV, ClassIV, ClassIV},
+}
+
+// IECClass evaluates the IEC 61508 risk-class matrix.
+func IECClass(l Likelihood, c Consequence) (Class, error) {
+	if l < Frequent || l > Incredible {
+		return 0, fmt.Errorf("risk: invalid likelihood %d", int(l))
+	}
+	if c < Catastrophic || c > Negligible {
+		return 0, fmt.Errorf("risk: invalid consequence %d", int(c))
+	}
+	return iecMatrix[l-Frequent][c-Catastrophic], nil
+}
+
+// IECMatrix returns a copy of the risk-class matrix.
+func IECMatrix() [6][4]Class { return iecMatrix }

@@ -1,0 +1,113 @@
+// Package risk implements the qualitative risk quantization of the
+// framework (paper §IV-B): the Open FAIR O-RA 5×5 risk matrix (paper
+// Table I), the O-RA risk-attribute derivation tree (paper Fig. 2), the
+// IEC 61508 qualitative hazard matrix, and scenario risk scoring /
+// prioritization used on the hazard-identification output.
+package risk
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/qual"
+)
+
+// oraMatrix is paper Table I verbatim: rows indexed by Loss Magnitude
+// (VL..VH), columns by Loss Event Frequency (VL..VH).
+var oraMatrix = [5][5]qual.Level{
+	// LEF:      VL             L              M              H              VH
+	/* LM VL */ {qual.VeryLow, qual.VeryLow, qual.VeryLow, qual.Low, qual.Medium},
+	/* LM L  */ {qual.VeryLow, qual.VeryLow, qual.Low, qual.Medium, qual.High},
+	/* LM M  */ {qual.VeryLow, qual.Low, qual.Medium, qual.High, qual.VeryHigh},
+	/* LM H  */ {qual.Low, qual.Medium, qual.High, qual.VeryHigh, qual.VeryHigh},
+	/* LM VH */ {qual.Medium, qual.High, qual.VeryHigh, qual.VeryHigh, qual.VeryHigh},
+}
+
+// ORARisk evaluates the O-RA risk matrix (paper Table I): the qualitative
+// risk of a Loss Magnitude / Loss Event Frequency pair.
+func ORARisk(lm, lef qual.Level) qual.Level {
+	s := qual.FiveLevel()
+	return oraMatrix[s.Clamp(lm)][s.Clamp(lef)]
+}
+
+// Matrix returns a copy of the O-RA matrix, LM-major. Used by the Table I
+// regeneration harness.
+func Matrix() [5][5]qual.Level { return oraMatrix }
+
+// Attributes are the leaf inputs of the O-RA risk-attribute tree (paper
+// Fig. 2). Each is a level on the five-point scale.
+type Attributes struct {
+	// ContactFrequency: how often threat agents touch the asset.
+	ContactFrequency qual.Level
+	// ProbabilityOfAction: how likely contact turns into an attempt.
+	ProbabilityOfAction qual.Level
+	// ThreatCapability: attacker skill and resources.
+	ThreatCapability qual.Level
+	// ResistanceStrength: the asset's ability to resist the attempt.
+	ResistanceStrength qual.Level
+	// PrimaryLoss: direct loss magnitude of the event.
+	PrimaryLoss qual.Level
+	// SecondaryLossEventFrequency and SecondaryLossMagnitude capture the
+	// secondary-stakeholder branch of the tree.
+	SecondaryLossEventFrequency qual.Level
+	SecondaryLossMagnitude      qual.Level
+}
+
+// Derivation records the full derivation of a risk value through the
+// attribute tree — every intermediate node, for the explainability the
+// paper requires of SME-facing results (§II-A).
+type Derivation struct {
+	Input Attributes
+
+	ThreatEventFrequency qual.Level // TEF = contact × action
+	Vulnerability        qual.Level // V = capability vs resistance
+	LossEventFrequency   qual.Level // LEF = TEF × V
+	SecondaryRisk        qual.Level // from the secondary branch
+	LossMagnitude        qual.Level // LM = primary ⊔ secondary
+	Risk                 qual.Level // Table I (LM, LEF)
+}
+
+// Derive evaluates the O-RA attribute tree (Fig. 2):
+//
+//	TEF  = combine(ContactFrequency, ProbabilityOfAction)
+//	V    = susceptibility(ThreatCapability vs ResistanceStrength)
+//	LEF  = combine(TEF, V)
+//	SecR = combine(SecondaryLM, SecondaryLEF)
+//	LM   = max(PrimaryLoss, SecR)
+//	Risk = Table I (LM, LEF)
+//
+// "combine" is the Table I matrix reused as the generic qualitative
+// AND-combination of a magnitude-like and a frequency-like factor.
+func Derive(a Attributes) Derivation {
+	d := Derivation{Input: a}
+	d.ThreatEventFrequency = ORARisk(a.ProbabilityOfAction, a.ContactFrequency)
+	d.Vulnerability = Susceptibility(a.ThreatCapability, a.ResistanceStrength)
+	d.LossEventFrequency = ORARisk(d.Vulnerability, d.ThreatEventFrequency)
+	d.SecondaryRisk = ORARisk(a.SecondaryLossMagnitude, a.SecondaryLossEventFrequency)
+	d.LossMagnitude = qual.FiveLevel().MaxOf(a.PrimaryLoss, d.SecondaryRisk)
+	d.Risk = ORARisk(d.LossMagnitude, d.LossEventFrequency)
+	return d
+}
+
+// Susceptibility maps the threat-capability / resistance-strength duel to
+// a vulnerability level: equal strength is Medium; each level of attacker
+// advantage raises it one step, each level of defender advantage lowers it.
+func Susceptibility(threatCapability, resistanceStrength qual.Level) qual.Level {
+	s := qual.FiveLevel()
+	diff := int(s.Clamp(threatCapability)) - int(s.Clamp(resistanceStrength))
+	return s.Add(qual.Medium, diff)
+}
+
+// String renders the derivation as an explanation chain.
+func (d Derivation) String() string {
+	s := qual.FiveLevel()
+	return fmt.Sprintf(
+		"TEF(%s×%s)=%s  V(%s vs %s)=%s  LEF=%s  SecRisk=%s  LM=%s  Risk=%s",
+		s.Label(d.Input.ContactFrequency), s.Label(d.Input.ProbabilityOfAction),
+		s.Label(d.ThreatEventFrequency),
+		s.Label(d.Input.ThreatCapability), s.Label(d.Input.ResistanceStrength),
+		s.Label(d.Vulnerability),
+		s.Label(d.LossEventFrequency),
+		s.Label(d.SecondaryRisk),
+		s.Label(d.LossMagnitude),
+		s.Label(d.Risk))
+}

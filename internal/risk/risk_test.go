@@ -1,0 +1,408 @@
+package risk
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cpsrisk/internal/qual"
+)
+
+// TestTableIMatchesPaper checks every cell of the O-RA matrix against the
+// paper's Table I.
+func TestTableIMatchesPaper(t *testing.T) {
+	s := qual.FiveLevel()
+	// Rows: LM from VH down to VL as printed in the paper; columns LEF
+	// VL..VH.
+	paper := map[string][5]string{
+		"VH": {"M", "H", "VH", "VH", "VH"},
+		"H":  {"L", "M", "H", "VH", "VH"},
+		"M":  {"VL", "L", "M", "H", "VH"},
+		"L":  {"VL", "VL", "L", "M", "H"},
+		"VL": {"VL", "VL", "VL", "L", "M"},
+	}
+	for lmLabel, row := range paper {
+		lm := s.MustParse(lmLabel)
+		for lefIdx, want := range row {
+			got := ORARisk(lm, qual.Level(lefIdx))
+			if s.Label(got) != want {
+				t.Errorf("Risk(LM=%s, LEF=%s) = %s, want %s",
+					lmLabel, s.Label(qual.Level(lefIdx)), s.Label(got), want)
+			}
+		}
+	}
+}
+
+// The matrix coincides with the closed form clamp(LM+LEF-2); assert it so
+// the table cannot silently drift.
+func TestTableIClosedForm(t *testing.T) {
+	s := qual.FiveLevel()
+	for lm := s.Min(); lm <= s.Max(); lm++ {
+		for lef := s.Min(); lef <= s.Max(); lef++ {
+			want := s.Clamp(lm + lef - 2)
+			if got := ORARisk(lm, lef); got != want {
+				t.Errorf("closed form mismatch at (%v,%v): %v vs %v", lm, lef, got, want)
+			}
+		}
+	}
+}
+
+// Monotonicity: raising LM or LEF never lowers the risk.
+func TestORAMonotone(t *testing.T) {
+	f := func(lm1, lef1, lm2, lef2 uint8) bool {
+		s := qual.FiveLevel()
+		a1, b1 := s.Clamp(qual.Level(lm1%5)), s.Clamp(qual.Level(lef1%5))
+		a2, b2 := s.Clamp(qual.Level(lm2%5)), s.Clamp(qual.Level(lef2%5))
+		if a1 <= a2 && b1 <= b2 {
+			return ORARisk(a1, b1) <= ORARisk(a2, b2)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The exact sensitivity example of paper §V-A: with LEF=L, LM ∈ {VL,L}
+// both give Risk=VL (insensitive); LM ranging L..VH changes the output.
+func TestPaperSectionVAExample(t *testing.T) {
+	s := qual.FiveLevel()
+	lef := qual.Low
+	if ORARisk(qual.VeryLow, lef) != qual.VeryLow || ORARisk(qual.Low, lef) != qual.VeryLow {
+		t.Error("paper example: Risk must stay VL for LM in {VL, L} at LEF=L")
+	}
+	seen := map[qual.Level]bool{}
+	for lm := qual.Low; lm <= qual.VeryHigh; lm++ {
+		seen[ORARisk(lm, lef)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("paper example: Risk must vary when LM ranges L..VH, got %v", seen)
+	}
+	_ = s
+}
+
+func TestSusceptibility(t *testing.T) {
+	tests := []struct {
+		tcap, rs, want qual.Level
+	}{
+		{qual.Medium, qual.Medium, qual.Medium},
+		{qual.VeryHigh, qual.VeryLow, qual.VeryHigh},
+		{qual.VeryLow, qual.VeryHigh, qual.VeryLow},
+		{qual.High, qual.Medium, qual.High},
+		{qual.Medium, qual.High, qual.Low},
+	}
+	for _, tt := range tests {
+		if got := Susceptibility(tt.tcap, tt.rs); got != tt.want {
+			t.Errorf("Susceptibility(%v,%v) = %v, want %v", tt.tcap, tt.rs, got, tt.want)
+		}
+	}
+}
+
+func TestDeriveTree(t *testing.T) {
+	// A public asset frequently contacted by capable attackers with weak
+	// resistance and high primary loss must derive a high risk.
+	hot := Derive(Attributes{
+		ContactFrequency:    qual.High,
+		ProbabilityOfAction: qual.High,
+		ThreatCapability:    qual.High,
+		ResistanceStrength:  qual.Low,
+		PrimaryLoss:         qual.High,
+	})
+	if hot.Risk < qual.High {
+		t.Errorf("hot asset risk = %v (%s)", hot.Risk, hot)
+	}
+	// A cold asset: rare contact, strong resistance, negligible loss.
+	cold := Derive(Attributes{
+		ContactFrequency:    qual.VeryLow,
+		ProbabilityOfAction: qual.VeryLow,
+		ThreatCapability:    qual.Low,
+		ResistanceStrength:  qual.VeryHigh,
+		PrimaryLoss:         qual.VeryLow,
+	})
+	if cold.Risk != qual.VeryLow {
+		t.Errorf("cold asset risk = %v (%s)", cold.Risk, cold)
+	}
+	// Secondary losses can dominate the loss magnitude.
+	sec := Derive(Attributes{
+		ContactFrequency:            qual.High,
+		ProbabilityOfAction:         qual.High,
+		ThreatCapability:            qual.High,
+		ResistanceStrength:          qual.Low,
+		PrimaryLoss:                 qual.VeryLow,
+		SecondaryLossEventFrequency: qual.VeryHigh,
+		SecondaryLossMagnitude:      qual.VeryHigh,
+	})
+	if sec.LossMagnitude < qual.High {
+		t.Errorf("secondary branch ignored: %s", sec)
+	}
+}
+
+// Derivation consistency: the tree is monotone in every leaf except
+// ResistanceStrength (anti-monotone).
+func TestDeriveMonotoneInLeaves(t *testing.T) {
+	base := Attributes{
+		ContactFrequency:            qual.Medium,
+		ProbabilityOfAction:         qual.Medium,
+		ThreatCapability:            qual.Medium,
+		ResistanceStrength:          qual.Medium,
+		PrimaryLoss:                 qual.Medium,
+		SecondaryLossEventFrequency: qual.Low,
+		SecondaryLossMagnitude:      qual.Low,
+	}
+	raise := []struct {
+		name  string
+		bump  func(*Attributes)
+		lower bool // expect risk to not increase
+	}{
+		{"contact", func(a *Attributes) { a.ContactFrequency = qual.VeryHigh }, false},
+		{"action", func(a *Attributes) { a.ProbabilityOfAction = qual.VeryHigh }, false},
+		{"capability", func(a *Attributes) { a.ThreatCapability = qual.VeryHigh }, false},
+		{"resistance", func(a *Attributes) { a.ResistanceStrength = qual.VeryHigh }, true},
+		{"primary", func(a *Attributes) { a.PrimaryLoss = qual.VeryHigh }, false},
+		{"secondary", func(a *Attributes) {
+			a.SecondaryLossMagnitude = qual.VeryHigh
+			a.SecondaryLossEventFrequency = qual.VeryHigh
+		}, false},
+	}
+	baseRisk := Derive(base).Risk
+	for _, tt := range raise {
+		a := base
+		tt.bump(&a)
+		got := Derive(a).Risk
+		if tt.lower && got > baseRisk {
+			t.Errorf("%s: raising resistance increased risk %v -> %v", tt.name, baseRisk, got)
+		}
+		if !tt.lower && got < baseRisk {
+			t.Errorf("%s: raising leaf decreased risk %v -> %v", tt.name, baseRisk, got)
+		}
+	}
+}
+
+func TestIECMatrix(t *testing.T) {
+	tests := []struct {
+		l    Likelihood
+		c    Consequence
+		want Class
+	}{
+		{Frequent, Catastrophic, ClassI},
+		{Frequent, Negligible, ClassII},
+		{Probable, Marginal, ClassII},
+		{Occasional, Critical, ClassII},
+		{Remote, Catastrophic, ClassII},
+		{Remote, Negligible, ClassIV},
+		{Improbable, Catastrophic, ClassIII},
+		{Incredible, Catastrophic, ClassIV},
+		{Incredible, Negligible, ClassIV},
+	}
+	for _, tt := range tests {
+		got, err := IECClass(tt.l, tt.c)
+		if err != nil {
+			t.Fatalf("IECClass(%v,%v): %v", tt.l, tt.c, err)
+		}
+		if got != tt.want {
+			t.Errorf("IECClass(%v,%v) = %v, want %v", tt.l, tt.c, got, tt.want)
+		}
+	}
+	if _, err := IECClass(Likelihood(0), Catastrophic); err == nil {
+		t.Error("invalid likelihood must fail")
+	}
+	if _, err := IECClass(Frequent, Consequence(9)); err == nil {
+		t.Error("invalid consequence must fail")
+	}
+}
+
+// IEC matrix monotonicity: more likely or more severe never lowers the
+// class (classes ordered I worst .. IV best).
+func TestIECMonotone(t *testing.T) {
+	for l := Frequent; l <= Incredible; l++ {
+		for c := Catastrophic; c <= Negligible; c++ {
+			here, _ := IECClass(l, c)
+			if l < Incredible {
+				lower, _ := IECClass(l+1, c)
+				if lower < here {
+					t.Errorf("less likely got worse class at (%v,%v)", l, c)
+				}
+			}
+			if c < Negligible {
+				lighter, _ := IECClass(l, c+1)
+				if lighter < here {
+					t.Errorf("lighter consequence got worse class at (%v,%v)", l, c)
+				}
+			}
+		}
+	}
+}
+
+func TestScoreScenario(t *testing.T) {
+	// Single likely fault violating a high-severity requirement.
+	one := ScoreScenario(ScenarioInput{
+		ID:                 "S4",
+		FaultLikelihoods:   []qual.Level{qual.Medium},
+		ViolatedSeverities: []qual.Level{qual.High},
+	})
+	if one.Likelihood != qual.Medium || one.Severity != qual.High {
+		t.Errorf("one = %+v", one)
+	}
+	if one.Risk != ORARisk(qual.High, qual.Medium) {
+		t.Errorf("risk = %v", one.Risk)
+	}
+	// No violations: VL risk.
+	clean := ScoreScenario(ScenarioInput{ID: "S1",
+		FaultLikelihoods: []qual.Level{qual.High}})
+	if clean.Risk != qual.VeryLow {
+		t.Errorf("clean risk = %v", clean.Risk)
+	}
+	// Simultaneity discount: two faults at M -> joint likelihood L.
+	two := ScoreScenario(ScenarioInput{
+		ID:                 "S5",
+		FaultLikelihoods:   []qual.Level{qual.Medium, qual.Medium},
+		ViolatedSeverities: []qual.Level{qual.High, qual.High},
+	})
+	if two.Likelihood != qual.Low {
+		t.Errorf("joint likelihood = %v", two.Likelihood)
+	}
+}
+
+// The §VII claim: S5 (F2+F3) and S7 (F1+F2+F3) violate the same
+// requirements, but the simultaneous occurrence of all three faults is
+// less probable, so S5 outranks S7.
+func TestS5OutranksS7(t *testing.T) {
+	sev := []qual.Level{qual.High, qual.High} // R1, R2 both violated
+	s5 := ScoreScenario(ScenarioInput{ID: "S5",
+		FaultLikelihoods:   []qual.Level{qual.Medium, qual.Medium},
+		ViolatedSeverities: sev})
+	s7 := ScoreScenario(ScenarioInput{ID: "S7",
+		FaultLikelihoods:   []qual.Level{qual.Medium, qual.Medium, qual.Medium},
+		ViolatedSeverities: sev})
+	if s5.Likelihood <= s7.Likelihood {
+		t.Errorf("S5 likelihood %v must exceed S7 %v", s5.Likelihood, s7.Likelihood)
+	}
+	ranked := Rank([]ScenarioRisk{s7, s5})
+	if ranked[0].ID != "S5" {
+		t.Errorf("ranking = %v", []string{ranked[0].ID, ranked[1].ID})
+	}
+	// Even when the joint likelihood saturates at VL (all physical faults
+	// rated L, as in the case study), the ranking still prefers the
+	// scenario with fewer simultaneous faults.
+	s5sat := ScoreScenario(ScenarioInput{ID: "S5",
+		FaultLikelihoods:   []qual.Level{qual.Low, qual.Low},
+		ViolatedSeverities: sev})
+	s7sat := ScoreScenario(ScenarioInput{ID: "S7",
+		FaultLikelihoods:   []qual.Level{qual.Low, qual.Low, qual.Low},
+		ViolatedSeverities: sev})
+	rankedSat := Rank([]ScenarioRisk{s7sat, s5sat})
+	if rankedSat[0].ID != "S5" {
+		t.Errorf("saturated ranking = %v", []string{rankedSat[0].ID, rankedSat[1].ID})
+	}
+}
+
+func TestRankDeterministicAndComplete(t *testing.T) {
+	in := []ScenarioRisk{
+		{ID: "b", Risk: qual.Medium, Severity: qual.Medium, Likelihood: qual.Medium, Faults: 2},
+		{ID: "a", Risk: qual.Medium, Severity: qual.Medium, Likelihood: qual.Medium, Faults: 2},
+		{ID: "c", Risk: qual.VeryHigh, Severity: qual.VeryHigh, Likelihood: qual.High, Faults: 1},
+		{ID: "d", Risk: qual.Medium, Severity: qual.High, Likelihood: qual.Low, Faults: 1},
+	}
+	got := Rank(in)
+	if len(got) != 4 {
+		t.Fatalf("rank dropped items: %v", got)
+	}
+	order := []string{got[0].ID, got[1].ID, got[2].ID, got[3].ID}
+	want := []string{"c", "d", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Input must be untouched.
+	if in[0].ID != "b" {
+		t.Error("Rank mutated its input")
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	a := Attributes{
+		ContactFrequency:    qual.High,
+		ProbabilityOfAction: qual.Medium,
+		ThreatCapability:    qual.High,
+		ResistanceStrength:  qual.Medium,
+		PrimaryLoss:         qual.High,
+	}
+	for i := 0; i < b.N; i++ {
+		if Derive(a).Risk > qual.VeryHigh {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func TestIECStringers(t *testing.T) {
+	wantL := map[Likelihood]string{
+		Frequent: "frequent", Probable: "probable", Occasional: "occasional",
+		Remote: "remote", Improbable: "improbable", Incredible: "incredible",
+	}
+	for l, want := range wantL {
+		if l.String() != want {
+			t.Errorf("Likelihood(%d) = %q, want %q", int(l), l.String(), want)
+		}
+	}
+	wantC := map[Consequence]string{
+		Catastrophic: "catastrophic", Critical: "critical",
+		Marginal: "marginal", Negligible: "negligible",
+	}
+	for c, want := range wantC {
+		if c.String() != want {
+			t.Errorf("Consequence(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	wantCl := map[Class]string{ClassI: "I", ClassII: "II", ClassIII: "III", ClassIV: "IV"}
+	for cl, want := range wantCl {
+		if cl.String() != want {
+			t.Errorf("Class(%d) = %q, want %q", int(cl), cl.String(), want)
+		}
+	}
+	for _, bad := range []string{Likelihood(0).String(), Consequence(0).String(), Class(0).String()} {
+		if !strings.Contains(bad, "unknown") && bad != "?" {
+			t.Errorf("zero-value stringer = %q", bad)
+		}
+	}
+}
+
+func TestMatrixAccessorsAgree(t *testing.T) {
+	m := Matrix()
+	s := qual.FiveLevel()
+	for lm := s.Min(); lm <= s.Max(); lm++ {
+		for lef := s.Min(); lef <= s.Max(); lef++ {
+			if m[lm][lef] != ORARisk(lm, lef) {
+				t.Fatalf("Matrix()[%d][%d] disagrees with ORARisk", lm, lef)
+			}
+		}
+	}
+	iec := IECMatrix()
+	for l := Frequent; l <= Incredible; l++ {
+		for c := Catastrophic; c <= Negligible; c++ {
+			got, err := IECClass(l, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iec[l-Frequent][c-Catastrophic] != got {
+				t.Fatalf("IECMatrix()[%v][%v] disagrees with IECClass", l, c)
+			}
+		}
+	}
+}
+
+func TestDerivationString(t *testing.T) {
+	d := Derive(Attributes{
+		ContactFrequency:    qual.High,
+		ProbabilityOfAction: qual.Medium,
+		ThreatCapability:    qual.High,
+		ResistanceStrength:  qual.Low,
+		PrimaryLoss:         qual.High,
+	})
+	out := d.String()
+	for _, want := range []string{"TEF", "LEF", "LM=", "Risk="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derivation string %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package risk
+
+import (
+	"strconv"
+
+	"cpsrisk/internal/qual"
+)
+
+// Treatment is the SME-facing recommendation derived from a qualitative
+// risk level (§II-A: results must be interpretable by managers of average
+// skills; §IV: "limited resources and time can be allocated more
+// efficiently").
+type Treatment int
+
+// Treatments, from most to least urgent.
+const (
+	// TreatImmediately: intolerable risk; stop or fix before operation.
+	TreatImmediately Treatment = iota + 1
+	// TreatMitigate: plan and fund mitigation in the current cycle.
+	TreatMitigate
+	// TreatPlan: schedule mitigation; monitor in the meantime.
+	TreatPlan
+	// TreatAccept: document and accept.
+	TreatAccept
+)
+
+// String implements fmt.Stringer.
+func (t Treatment) String() string {
+	switch t {
+	case TreatImmediately:
+		return "treat-immediately"
+	case TreatMitigate:
+		return "mitigate"
+	case TreatPlan:
+		return "plan"
+	case TreatAccept:
+		return "accept"
+	default:
+		return "unknown-treatment"
+	}
+}
+
+// TreatmentFor maps a qualitative risk level to its recommendation.
+func TreatmentFor(risk qual.Level) Treatment {
+	switch {
+	case risk >= qual.VeryHigh:
+		return TreatImmediately
+	case risk >= qual.High:
+		return TreatMitigate
+	case risk >= qual.Medium:
+		return TreatPlan
+	default:
+		return TreatAccept
+	}
+}
+
+// Explain renders a one-line human rationale for a scored scenario — the
+// explainability requirement of §II-A.
+func Explain(sr ScenarioRisk) string {
+	s := qual.FiveLevel()
+	switch {
+	case sr.Violations == 0:
+		return "no requirement violated; risk " + s.Label(sr.Risk)
+	default:
+		return "violates " + strconv.Itoa(sr.Violations) + " requirement(s) at severity " +
+			s.Label(sr.Severity) + " with likelihood " + s.Label(sr.Likelihood) +
+			" -> risk " + s.Label(sr.Risk) + ", " + TreatmentFor(sr.Risk).String()
+	}
+}

@@ -1,0 +1,64 @@
+package risk
+
+import (
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/qual"
+)
+
+func TestTreatmentFor(t *testing.T) {
+	tests := []struct {
+		risk qual.Level
+		want Treatment
+	}{
+		{qual.VeryHigh, TreatImmediately},
+		{qual.High, TreatMitigate},
+		{qual.Medium, TreatPlan},
+		{qual.Low, TreatAccept},
+		{qual.VeryLow, TreatAccept},
+	}
+	for _, tt := range tests {
+		if got := TreatmentFor(tt.risk); got != tt.want {
+			t.Errorf("TreatmentFor(%v) = %v, want %v", tt.risk, got, tt.want)
+		}
+	}
+}
+
+func TestTreatmentMonotone(t *testing.T) {
+	prev := TreatAccept
+	for l := qual.VeryLow; l <= qual.VeryHigh; l++ {
+		cur := TreatmentFor(l)
+		if cur > prev {
+			t.Fatalf("treatment urgency decreased at %v", l)
+		}
+		prev = cur
+	}
+}
+
+func TestExplain(t *testing.T) {
+	clean := Explain(ScenarioRisk{ID: "S1", Risk: qual.VeryLow})
+	if !strings.Contains(clean, "no requirement violated") {
+		t.Errorf("clean = %q", clean)
+	}
+	hot := Explain(ScenarioRisk{
+		ID: "S2", Violations: 2, Severity: qual.High,
+		Likelihood: qual.Medium, Risk: qual.High,
+	})
+	for _, want := range []string{"2 requirement(s)", "severity H", "likelihood M", "risk H", "mitigate"} {
+		if !strings.Contains(hot, want) {
+			t.Errorf("explanation %q missing %q", hot, want)
+		}
+	}
+}
+
+func TestTreatmentStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tr := range []Treatment{TreatImmediately, TreatMitigate, TreatPlan, TreatAccept} {
+		s := tr.String()
+		if s == "" || s == "unknown-treatment" || seen[s] {
+			t.Errorf("bad treatment string %q", s)
+		}
+		seen[s] = true
+	}
+}

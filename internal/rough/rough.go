@@ -1,0 +1,349 @@
+// Package rough implements Rough Set Theory (paper §V-A, refs [29][30]):
+// information/decision tables, indiscernibility partitions, lower/upper
+// approximations with positive/boundary/negative regions, attribute
+// dependency, reducts and core, and certain/possible decision rules. The
+// framework uses it to reason with imprecise or incomplete risk-factor
+// knowledge and to filter spurious solutions by examining the boundary
+// region.
+package rough
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Object is one row of an information system.
+type Object struct {
+	ID string
+	// Values maps condition-attribute names to categorical values.
+	Values map[string]string
+	// Decision is the decision-attribute value (classification target).
+	Decision string
+}
+
+// Table is a decision table: objects over condition attributes with a
+// decision attribute.
+type Table struct {
+	Attributes []string
+	Objects    []Object
+}
+
+// NewTable builds a table and validates that every object defines every
+// attribute and IDs are unique.
+func NewTable(attributes []string, objects []Object) (*Table, error) {
+	if len(attributes) == 0 {
+		return nil, fmt.Errorf("rough: no attributes")
+	}
+	seen := map[string]bool{}
+	for _, a := range attributes {
+		if seen[a] {
+			return nil, fmt.Errorf("rough: duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	ids := map[string]bool{}
+	for i, o := range objects {
+		if o.ID == "" {
+			return nil, fmt.Errorf("rough: object %d has empty ID", i)
+		}
+		if ids[o.ID] {
+			return nil, fmt.Errorf("rough: duplicate object ID %q", o.ID)
+		}
+		ids[o.ID] = true
+		for _, a := range attributes {
+			if _, ok := o.Values[a]; !ok {
+				return nil, fmt.Errorf("rough: object %q missing attribute %q", o.ID, a)
+			}
+		}
+	}
+	attrs := append([]string(nil), attributes...)
+	objs := append([]Object(nil), objects...)
+	return &Table{Attributes: attrs, Objects: objs}, nil
+}
+
+// signature renders an object's projection onto attrs.
+func (t *Table) signature(o Object, attrs []string) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a + "=" + o.Values[a]
+	}
+	return strings.Join(parts, "|")
+}
+
+// Partition returns the indiscernibility classes (as index sets) induced
+// by the attribute subset, in first-occurrence order.
+func (t *Table) Partition(attrs []string) [][]int {
+	groups := map[string][]int{}
+	var order []string
+	for i, o := range t.Objects {
+		sig := t.signature(o, attrs)
+		if _, ok := groups[sig]; !ok {
+			order = append(order, sig)
+		}
+		groups[sig] = append(groups[sig], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, sig := range order {
+		out = append(out, groups[sig])
+	}
+	return out
+}
+
+// Approximation is the rough approximation of a target concept.
+type Approximation struct {
+	// Lower (positive region): objects certainly in the concept.
+	Lower []string
+	// Upper: objects possibly in the concept.
+	Upper []string
+	// Boundary = Upper \ Lower: undecidable with the given attributes.
+	Boundary []string
+	// Negative: objects certainly outside.
+	Negative []string
+}
+
+// Approximate computes the rough approximation of the concept defined by
+// member, using the indiscernibility of attrs.
+func (t *Table) Approximate(attrs []string, member func(Object) bool) Approximation {
+	var ap Approximation
+	for _, class := range t.Partition(attrs) {
+		all, any := true, false
+		for _, i := range class {
+			if member(t.Objects[i]) {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		for _, i := range class {
+			id := t.Objects[i].ID
+			switch {
+			case all:
+				ap.Lower = append(ap.Lower, id)
+				ap.Upper = append(ap.Upper, id)
+			case any:
+				ap.Upper = append(ap.Upper, id)
+				ap.Boundary = append(ap.Boundary, id)
+			default:
+				ap.Negative = append(ap.Negative, id)
+			}
+		}
+	}
+	sort.Strings(ap.Lower)
+	sort.Strings(ap.Upper)
+	sort.Strings(ap.Boundary)
+	sort.Strings(ap.Negative)
+	return ap
+}
+
+// ApproximateDecision approximates the concept "Decision == value".
+func (t *Table) ApproximateDecision(attrs []string, value string) Approximation {
+	return t.Approximate(attrs, func(o Object) bool { return o.Decision == value })
+}
+
+// Accuracy is |Lower| / |Upper| (1.0 for crisp concepts, 0 when nothing is
+// certain).
+func (ap Approximation) Accuracy() float64 {
+	if len(ap.Upper) == 0 {
+		return 1.0
+	}
+	return float64(len(ap.Lower)) / float64(len(ap.Upper))
+}
+
+// Dependency returns gamma(attrs -> Decision): the fraction of objects in
+// the positive region of the decision (i.e., classified with certainty).
+func (t *Table) Dependency(attrs []string) float64 {
+	if len(t.Objects) == 0 {
+		return 1.0
+	}
+	positive := 0
+	for _, class := range t.Partition(attrs) {
+		dec := t.Objects[class[0]].Decision
+		consistent := true
+		for _, i := range class[1:] {
+			if t.Objects[i].Decision != dec {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			positive += len(class)
+		}
+	}
+	return float64(positive) / float64(len(t.Objects))
+}
+
+// Reducts returns all minimal attribute subsets with the same dependency
+// degree as the full attribute set, in size order then lexicographic.
+// Exhaustive (2^n) — attribute counts in risk tables are small.
+func (t *Table) Reducts() [][]string {
+	full := t.Dependency(t.Attributes)
+	n := len(t.Attributes)
+	var candidates [][]string
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var attrs []string
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				attrs = append(attrs, t.Attributes[i])
+			}
+		}
+		if t.Dependency(attrs) == full {
+			candidates = append(candidates, attrs)
+		}
+	}
+	// Keep minimal ones.
+	var reducts [][]string
+	for _, c := range candidates {
+		minimal := true
+		for _, other := range candidates {
+			if len(other) < len(c) && subset(other, c) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			reducts = append(reducts, c)
+		}
+	}
+	sort.Slice(reducts, func(i, j int) bool {
+		if len(reducts[i]) != len(reducts[j]) {
+			return len(reducts[i]) < len(reducts[j])
+		}
+		return strings.Join(reducts[i], ",") < strings.Join(reducts[j], ",")
+	})
+	return reducts
+}
+
+func subset(a, b []string) bool {
+	set := map[string]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Core returns the intersection of all reducts: the indispensable
+// attributes.
+func (t *Table) Core() []string {
+	reducts := t.Reducts()
+	if len(reducts) == 0 {
+		return nil
+	}
+	count := map[string]int{}
+	for _, r := range reducts {
+		for _, a := range r {
+			count[a]++
+		}
+	}
+	var core []string
+	for a, c := range count {
+		if c == len(reducts) {
+			core = append(core, a)
+		}
+	}
+	sort.Strings(core)
+	return core
+}
+
+// Rule is an induced decision rule.
+type Rule struct {
+	// Conditions maps attributes to required values.
+	Conditions map[string]string
+	Decision   string
+	// Certain rules come from lower approximations; possible rules from
+	// boundary regions.
+	Certain bool
+	// Support counts matching objects.
+	Support int
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	keys := make([]string, 0, len(r.Conditions))
+	for k := range r.Conditions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + r.Conditions[k]
+	}
+	kind := "certain"
+	if !r.Certain {
+		kind = "possible"
+	}
+	return fmt.Sprintf("if %s then %s (%s, support %d)",
+		strings.Join(parts, " & "), r.Decision, kind, r.Support)
+}
+
+// DecisionRules induces rules over the given attributes: one certain rule
+// per consistent indiscernibility class and one possible rule per
+// (inconsistent class, decision) pair.
+func (t *Table) DecisionRules(attrs []string) []Rule {
+	var rules []Rule
+	for _, class := range t.Partition(attrs) {
+		conds := map[string]string{}
+		for _, a := range attrs {
+			conds[a] = t.Objects[class[0]].Values[a]
+		}
+		decisions := map[string]int{}
+		var order []string
+		for _, i := range class {
+			d := t.Objects[i].Decision
+			if _, ok := decisions[d]; !ok {
+				order = append(order, d)
+			}
+			decisions[d]++
+		}
+		certain := len(decisions) == 1
+		for _, d := range order {
+			rules = append(rules, Rule{
+				Conditions: conds,
+				Decision:   d,
+				Certain:    certain,
+				Support:    decisions[d],
+			})
+		}
+	}
+	return rules
+}
+
+// Classify applies the induced rules to an observation: it returns the
+// possible decisions (certain first) and whether the classification is
+// certain. Unknown observations return no decisions.
+func (t *Table) Classify(attrs []string, obs map[string]string) (decisions []string, certain bool) {
+	rules := t.DecisionRules(attrs)
+	seen := map[string]bool{}
+	certain = true
+	for _, r := range rules {
+		match := true
+		for a, v := range r.Conditions {
+			if obs[a] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if !r.Certain {
+			certain = false
+		}
+		if !seen[r.Decision] {
+			seen[r.Decision] = true
+			decisions = append(decisions, r.Decision)
+		}
+	}
+	if len(decisions) == 0 {
+		return nil, false
+	}
+	if len(decisions) > 1 {
+		certain = false
+	}
+	return decisions, certain
+}

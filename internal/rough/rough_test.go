@@ -1,0 +1,286 @@
+package rough
+
+import (
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+)
+
+// toyTable is the classic flu example: objects with symptoms and a
+// decision, containing one inconsistent pair (o3/o4).
+func toyTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable([]string{"headache", "temp"}, []Object{
+		{ID: "o1", Values: map[string]string{"headache": "yes", "temp": "high"}, Decision: "flu"},
+		{ID: "o2", Values: map[string]string{"headache": "yes", "temp": "high"}, Decision: "flu"},
+		{ID: "o3", Values: map[string]string{"headache": "no", "temp": "high"}, Decision: "flu"},
+		{ID: "o4", Values: map[string]string{"headache": "no", "temp": "high"}, Decision: "none"},
+		{ID: "o5", Values: map[string]string{"headache": "no", "temp": "normal"}, Decision: "none"},
+		{ID: "o6", Values: map[string]string{"headache": "yes", "temp": "normal"}, Decision: "none"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(nil, nil); err == nil {
+		t.Error("no attributes must fail")
+	}
+	if _, err := NewTable([]string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if _, err := NewTable([]string{"a"}, []Object{{ID: "", Values: map[string]string{"a": "1"}}}); err == nil {
+		t.Error("empty ID must fail")
+	}
+	if _, err := NewTable([]string{"a"}, []Object{
+		{ID: "x", Values: map[string]string{"a": "1"}},
+		{ID: "x", Values: map[string]string{"a": "2"}},
+	}); err == nil {
+		t.Error("duplicate ID must fail")
+	}
+	if _, err := NewTable([]string{"a"}, []Object{{ID: "x", Values: map[string]string{}}}); err == nil {
+		t.Error("missing value must fail")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	tbl := toyTable(t)
+	classes := tbl.Partition([]string{"headache", "temp"})
+	if len(classes) != 4 {
+		t.Fatalf("classes = %d, want 4", len(classes))
+	}
+	byTemp := tbl.Partition([]string{"temp"})
+	if len(byTemp) != 2 {
+		t.Fatalf("temp classes = %d, want 2", len(byTemp))
+	}
+}
+
+func TestApproximationRegions(t *testing.T) {
+	tbl := toyTable(t)
+	ap := tbl.ApproximateDecision(tbl.Attributes, "flu")
+	// o1,o2 certainly flu; o3,o4 boundary (same signature, different
+	// decision); o5,o6 certainly not.
+	assertIDs(t, "lower", ap.Lower, "o1", "o2")
+	assertIDs(t, "upper", ap.Upper, "o1", "o2", "o3", "o4")
+	assertIDs(t, "boundary", ap.Boundary, "o3", "o4")
+	assertIDs(t, "negative", ap.Negative, "o5", "o6")
+	if acc := ap.Accuracy(); acc != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+}
+
+func assertIDs(t *testing.T, what string, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+}
+
+// Invariants: lower ⊆ upper; regions partition the universe; crisp tables
+// have empty boundary.
+func TestApproximationInvariants(t *testing.T) {
+	tbl := toyTable(t)
+	for _, dec := range []string{"flu", "none"} {
+		ap := tbl.ApproximateDecision(tbl.Attributes, dec)
+		lowerSet := map[string]bool{}
+		for _, id := range ap.Lower {
+			lowerSet[id] = true
+		}
+		upperSet := map[string]bool{}
+		for _, id := range ap.Upper {
+			upperSet[id] = true
+		}
+		for id := range lowerSet {
+			if !upperSet[id] {
+				t.Fatalf("lower not subset of upper for %q", dec)
+			}
+		}
+		if len(ap.Upper)+len(ap.Negative) != len(tbl.Objects) {
+			t.Fatalf("upper+negative != universe for %q", dec)
+		}
+		if len(ap.Boundary) != len(ap.Upper)-len(ap.Lower) {
+			t.Fatalf("boundary size mismatch for %q", dec)
+		}
+	}
+	// Crisp: remove the inconsistent pair.
+	crisp, err := NewTable([]string{"a"}, []Object{
+		{ID: "x", Values: map[string]string{"a": "1"}, Decision: "p"},
+		{ID: "y", Values: map[string]string{"a": "2"}, Decision: "q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := crisp.ApproximateDecision(crisp.Attributes, "p")
+	if len(ap.Boundary) != 0 || ap.Accuracy() != 1.0 {
+		t.Errorf("crisp table approximation = %+v", ap)
+	}
+}
+
+func TestDependencyAndReducts(t *testing.T) {
+	tbl := toyTable(t)
+	full := tbl.Dependency(tbl.Attributes)
+	// 4 of 6 objects are in consistent classes.
+	if full != 4.0/6.0 {
+		t.Errorf("dependency = %v", full)
+	}
+	// temp alone loses consistency entirely for the high class.
+	tempOnly := tbl.Dependency([]string{"temp"})
+	if tempOnly >= full {
+		t.Errorf("temp-only dependency %v must be below full %v", tempOnly, full)
+	}
+	reducts := tbl.Reducts()
+	if len(reducts) != 1 || strings.Join(reducts[0], ",") != "headache,temp" {
+		t.Errorf("reducts = %v", reducts)
+	}
+	core := tbl.Core()
+	if strings.Join(core, ",") != "headache,temp" {
+		t.Errorf("core = %v", core)
+	}
+}
+
+func TestReductsDropRedundantAttribute(t *testing.T) {
+	// "noise" is irrelevant: every reduct excludes it.
+	tbl, err := NewTable([]string{"key", "noise"}, []Object{
+		{ID: "a", Values: map[string]string{"key": "1", "noise": "x"}, Decision: "p"},
+		{ID: "b", Values: map[string]string{"key": "2", "noise": "x"}, Decision: "q"},
+		{ID: "c", Values: map[string]string{"key": "1", "noise": "y"}, Decision: "p"},
+		{ID: "d", Values: map[string]string{"key": "2", "noise": "y"}, Decision: "q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reducts := tbl.Reducts()
+	if len(reducts) != 1 || len(reducts[0]) != 1 || reducts[0][0] != "key" {
+		t.Errorf("reducts = %v", reducts)
+	}
+	if core := tbl.Core(); len(core) != 1 || core[0] != "key" {
+		t.Errorf("core = %v", core)
+	}
+}
+
+func TestDecisionRules(t *testing.T) {
+	tbl := toyTable(t)
+	rules := tbl.DecisionRules(tbl.Attributes)
+	var certain, possible int
+	for _, r := range rules {
+		if r.Certain {
+			certain++
+		} else {
+			possible++
+		}
+	}
+	// 3 consistent classes -> 3 certain rules; 1 inconsistent class with 2
+	// decisions -> 2 possible rules.
+	if certain != 3 || possible != 2 {
+		t.Errorf("certain=%d possible=%d\n%v", certain, possible, rules)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tbl := toyTable(t)
+	attrs := tbl.Attributes
+	dec, certain := tbl.Classify(attrs, map[string]string{"headache": "yes", "temp": "high"})
+	if !certain || len(dec) != 1 || dec[0] != "flu" {
+		t.Errorf("classify crisp = %v certain=%v", dec, certain)
+	}
+	dec, certain = tbl.Classify(attrs, map[string]string{"headache": "no", "temp": "high"})
+	if certain || len(dec) != 2 {
+		t.Errorf("classify boundary = %v certain=%v", dec, certain)
+	}
+	dec, certain = tbl.Classify(attrs, map[string]string{"headache": "maybe", "temp": "zero"})
+	if dec != nil || certain {
+		t.Errorf("classify unknown = %v certain=%v", dec, certain)
+	}
+}
+
+// TestRiskDecisionTable reproduces the paper's use of RST on risk
+// evaluation (§V-A): a decision table of O-RA matrix cells where the Loss
+// Magnitude attribute is dropped becomes partially undecidable — the
+// boundary region exactly flags the (LEF) classes whose risk depends on
+// the missing factor, filtering spurious certainty.
+func TestRiskDecisionTable(t *testing.T) {
+	s := qual.FiveLevel()
+	var objects []Object
+	for lm := s.Min(); lm <= s.Max(); lm++ {
+		for lef := s.Min(); lef <= s.Max(); lef++ {
+			objects = append(objects, Object{
+				ID: "c" + s.Label(lm) + s.Label(lef),
+				Values: map[string]string{
+					"LM":  s.Label(lm),
+					"LEF": s.Label(lef),
+				},
+				Decision: s.Label(risk.ORARisk(lm, lef)),
+			})
+		}
+	}
+	tbl, err := NewTable([]string{"LM", "LEF"}, objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With both factors the table is crisp.
+	if dep := tbl.Dependency(tbl.Attributes); dep != 1.0 {
+		t.Fatalf("full dependency = %v", dep)
+	}
+	// Dropping LM: risk no longer determined -> dependency collapses and
+	// every VH-risk object lands outside the certain (positive) region
+	// unless its LEF column is constant.
+	dep := tbl.Dependency([]string{"LEF"})
+	if dep != 0 {
+		t.Errorf("LEF-only dependency = %v, want 0 (no column of Table I is constant)", dep)
+	}
+	ap := tbl.ApproximateDecision([]string{"LEF"}, "VH")
+	if len(ap.Lower) != 0 {
+		t.Errorf("nothing should be certainly VH without LM: %v", ap.Lower)
+	}
+	// VH risk is possible only in columns M..VH of Table I.
+	for _, id := range ap.Boundary {
+		if strings.HasSuffix(id, "VL") || strings.HasSuffix(id, "LL") {
+			// Column VL and L(only the exact suffix "L" for column L —
+			// checked below) never reach VH.
+			if strings.HasSuffix(id, "VL") {
+				t.Errorf("column VL cannot possibly be VH: %s", id)
+			}
+		}
+	}
+	// Both factors form the single reduct: each is indispensable.
+	reducts := tbl.Reducts()
+	if len(reducts) != 1 || len(reducts[0]) != 2 {
+		t.Errorf("reducts = %v", reducts)
+	}
+}
+
+func BenchmarkReducts(b *testing.B) {
+	s := qual.FiveLevel()
+	var objects []Object
+	for lm := s.Min(); lm <= s.Max(); lm++ {
+		for lef := s.Min(); lef <= s.Max(); lef++ {
+			objects = append(objects, Object{
+				ID: "c" + s.Label(lm) + "_" + s.Label(lef),
+				Values: map[string]string{
+					"LM": s.Label(lm), "LEF": s.Label(lef),
+					"noise1": s.Label(lm % 2), "noise2": s.Label(lef % 2),
+				},
+				Decision: s.Label(risk.ORARisk(lm, lef)),
+			})
+		}
+	}
+	tbl, err := NewTable([]string{"LM", "LEF", "noise1", "noise2"}, objects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tbl.Reducts(); len(got) == 0 {
+			b.Fatal("no reducts")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package sensitivity implements qualitative sensitivity analysis (paper
+// §V-A and §II-A): given uncertain qualitative factors with candidate
+// value ranges, it examines how the analysis output varies over them,
+// classifies each factor as sensitive or insensitive, ranks factors
+// tornado-style by output spread, and enumerates the joint solution space.
+// The framework uses it both to guide expert estimation ("if a factor of
+// the risk is sensitive, further evaluation is required") and to highlight
+// the critical modeling decisions during parametrization.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/qual"
+)
+
+// Factor is an uncertain input with its candidate levels (the uncertainty
+// range, e.g. LM ∈ {VL, L}).
+type Factor struct {
+	Name   string
+	Levels []qual.Level
+}
+
+// Assignment maps factor names to levels.
+type Assignment map[string]qual.Level
+
+// Output is the analyzed function: a qualitative output over a complete
+// assignment.
+type Output func(Assignment) qual.Level
+
+// FactorResult is the one-at-a-time sensitivity of a single factor.
+type FactorResult struct {
+	Name string
+	// Outputs are the distinct outputs observed while the factor sweeps
+	// its range (others fixed at the base assignment), sorted ascending.
+	Outputs []qual.Level
+	// Spread is max(Outputs) - min(Outputs) in levels.
+	Spread int
+	// Sensitive is true when more than one distinct output occurs.
+	Sensitive bool
+}
+
+// Analyze performs one-at-a-time sensitivity analysis over the factors,
+// holding all other inputs at base. Factors must be non-empty and have at
+// least one level; base must cover every factor the output reads.
+func Analyze(base Assignment, factors []Factor, f Output) ([]FactorResult, error) {
+	out := make([]FactorResult, 0, len(factors))
+	for _, factor := range factors {
+		if factor.Name == "" || len(factor.Levels) == 0 {
+			return nil, fmt.Errorf("sensitivity: factor %q has no levels", factor.Name)
+		}
+		seen := map[qual.Level]bool{}
+		for _, level := range factor.Levels {
+			trial := cloneAssignment(base)
+			trial[factor.Name] = level
+			seen[f(trial)] = true
+		}
+		levels := make([]qual.Level, 0, len(seen))
+		for l := range seen {
+			levels = append(levels, l)
+		}
+		sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+		fr := FactorResult{
+			Name:      factor.Name,
+			Outputs:   levels,
+			Sensitive: len(levels) > 1,
+		}
+		if len(levels) > 0 {
+			fr.Spread = int(levels[len(levels)-1] - levels[0])
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// Tornado ranks factor results by spread descending (ties by name) — the
+// classic tornado-diagram ordering highlighting the critical parameters.
+func Tornado(results []FactorResult) []FactorResult {
+	out := append([]FactorResult(nil), results...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Spread != out[j].Spread {
+			return out[i].Spread > out[j].Spread
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// JointResult is the exhaustive joint analysis over all uncertain factors.
+type JointResult struct {
+	// Outputs are the distinct outputs over the whole cartesian space.
+	Outputs []qual.Level
+	// Combinations is the size of the explored space.
+	Combinations int
+	// WorstCase / BestCase are the extreme outputs.
+	WorstCase qual.Level
+	BestCase  qual.Level
+}
+
+// Joint exhaustively enumerates the cartesian product of the factors'
+// ranges (the "estimation of the solution space" the paper attributes to
+// QR, §II-B) and reports the reachable outputs.
+func Joint(base Assignment, factors []Factor, f Output) (JointResult, error) {
+	for _, factor := range factors {
+		if factor.Name == "" || len(factor.Levels) == 0 {
+			return JointResult{}, fmt.Errorf("sensitivity: factor %q has no levels", factor.Name)
+		}
+	}
+	seen := map[qual.Level]bool{}
+	combos := 0
+	trial := cloneAssignment(base)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(factors) {
+			combos++
+			seen[f(trial)] = true
+			return
+		}
+		saved, had := trial[factors[i].Name]
+		for _, level := range factors[i].Levels {
+			trial[factors[i].Name] = level
+			rec(i + 1)
+		}
+		if had {
+			trial[factors[i].Name] = saved
+		} else {
+			delete(trial, factors[i].Name)
+		}
+	}
+	rec(0)
+	levels := make([]qual.Level, 0, len(seen))
+	for l := range seen {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	res := JointResult{Outputs: levels, Combinations: combos}
+	if len(levels) > 0 {
+		res.BestCase = levels[0]
+		res.WorstCase = levels[len(levels)-1]
+	}
+	return res, nil
+}
+
+func cloneAssignment(a Assignment) Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

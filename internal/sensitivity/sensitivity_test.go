@@ -1,0 +1,163 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+)
+
+// riskOutput evaluates the O-RA matrix over the LM/LEF assignment.
+func riskOutput(a Assignment) qual.Level {
+	return risk.ORARisk(a["LM"], a["LEF"])
+}
+
+// TestPaperSectionVAClaim reproduces the paper's §V-A worked example
+// verbatim: with LEF = L fixed, uncertainty LM ∈ {VL, L} leaves the risk
+// insensitive (VL either way), while LM ranging L..VH makes it sensitive.
+func TestPaperSectionVAClaim(t *testing.T) {
+	base := Assignment{"LEF": qual.Low, "LM": qual.Low}
+
+	narrow, err := Analyze(base, []Factor{
+		{Name: "LM", Levels: []qual.Level{qual.VeryLow, qual.Low}},
+	}, riskOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow[0].Sensitive {
+		t.Errorf("LM in {VL,L} at LEF=L must be insensitive: %+v", narrow[0])
+	}
+	if len(narrow[0].Outputs) != 1 || narrow[0].Outputs[0] != qual.VeryLow {
+		t.Errorf("risk must remain VL: %+v", narrow[0])
+	}
+
+	wide, err := Analyze(base, []Factor{
+		{Name: "LM", Levels: []qual.Level{qual.Low, qual.Medium, qual.High, qual.VeryHigh}},
+	}, riskOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wide[0].Sensitive {
+		t.Errorf("LM in L..VH at LEF=L must be sensitive: %+v", wide[0])
+	}
+}
+
+func TestAnalyzeMultipleFactors(t *testing.T) {
+	base := Assignment{"LM": qual.Medium, "LEF": qual.Medium}
+	results, err := Analyze(base, []Factor{
+		{Name: "LM", Levels: []qual.Level{qual.Low, qual.Medium, qual.High}},
+		{Name: "LEF", Levels: []qual.Level{qual.Medium}},
+	}, riskOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Sensitive || results[0].Spread != 2 {
+		t.Errorf("LM result = %+v", results[0])
+	}
+	if results[1].Sensitive || results[1].Spread != 0 {
+		t.Errorf("single-level factor must be insensitive: %+v", results[1])
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Assignment{}, []Factor{{Name: "x"}}, riskOutput); err == nil {
+		t.Error("empty level range must fail")
+	}
+	if _, err := Analyze(Assignment{}, []Factor{{Levels: []qual.Level{qual.Low}}}, riskOutput); err == nil {
+		t.Error("empty name must fail")
+	}
+}
+
+func TestAnalyzeDoesNotMutateBase(t *testing.T) {
+	base := Assignment{"LM": qual.Medium, "LEF": qual.Medium}
+	_, err := Analyze(base, []Factor{
+		{Name: "LM", Levels: []qual.Level{qual.VeryHigh}},
+	}, riskOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["LM"] != qual.Medium {
+		t.Error("Analyze mutated the base assignment")
+	}
+}
+
+func TestTornadoOrdering(t *testing.T) {
+	results := []FactorResult{
+		{Name: "b", Spread: 1},
+		{Name: "a", Spread: 1},
+		{Name: "c", Spread: 3},
+	}
+	ranked := Tornado(results)
+	if ranked[0].Name != "c" || ranked[1].Name != "a" || ranked[2].Name != "b" {
+		t.Errorf("tornado = %v", ranked)
+	}
+	if results[0].Name != "b" {
+		t.Error("Tornado mutated input")
+	}
+}
+
+func TestJointSolutionSpace(t *testing.T) {
+	base := Assignment{}
+	res, err := Joint(base, []Factor{
+		{Name: "LM", Levels: []qual.Level{qual.Low, qual.High}},
+		{Name: "LEF", Levels: []qual.Level{qual.Low, qual.Medium, qual.VeryHigh}},
+	}, riskOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combinations != 6 {
+		t.Errorf("combinations = %d", res.Combinations)
+	}
+	// Reachable risks: (L,L)=VL (L,M)=L (L,VH)=H (H,L)=M (H,M)=H (H,VH)=VH.
+	want := []qual.Level{qual.VeryLow, qual.Low, qual.Medium, qual.High, qual.VeryHigh}
+	if len(res.Outputs) != len(want) {
+		t.Fatalf("outputs = %v", res.Outputs)
+	}
+	for i := range want {
+		if res.Outputs[i] != want[i] {
+			t.Fatalf("outputs = %v, want %v", res.Outputs, want)
+		}
+	}
+	if res.BestCase != qual.VeryLow || res.WorstCase != qual.VeryHigh {
+		t.Errorf("best=%v worst=%v", res.BestCase, res.WorstCase)
+	}
+}
+
+func TestJointRestoresBase(t *testing.T) {
+	base := Assignment{"LM": qual.Medium}
+	if _, err := Joint(base, []Factor{
+		{Name: "LM", Levels: []qual.Level{qual.VeryHigh}},
+		{Name: "LEF", Levels: []qual.Level{qual.Low}},
+	}, riskOutput); err != nil {
+		t.Fatal(err)
+	}
+	if base["LM"] != qual.Medium {
+		t.Error("Joint mutated base")
+	}
+}
+
+func BenchmarkJointFiveFactors(b *testing.B) {
+	all := []qual.Level{qual.VeryLow, qual.Low, qual.Medium, qual.High, qual.VeryHigh}
+	factors := []Factor{
+		{Name: "cf", Levels: all},
+		{Name: "pa", Levels: all},
+		{Name: "tc", Levels: all},
+		{Name: "rs", Levels: all},
+		{Name: "pl", Levels: all},
+	}
+	out := func(a Assignment) qual.Level {
+		return risk.Derive(risk.Attributes{
+			ContactFrequency:    a["cf"],
+			ProbabilityOfAction: a["pa"],
+			ThreatCapability:    a["tc"],
+			ResistanceStrength:  a["rs"],
+			PrimaryLoss:         a["pl"],
+		}).Risk
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Joint(Assignment{}, factors, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

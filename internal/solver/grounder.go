@@ -1,0 +1,680 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpsrisk/internal/logic"
+)
+
+// Ground instantiates a logic program into a GroundProgram using semi-naive
+// bottom-up evaluation over the over-approximation of derivable atoms
+// (negative literals are ignored while computing possibility, so every atom
+// of every stable model is instantiated — the same guarantee clingo gives).
+func Ground(prog *logic.Program) (*GroundProgram, error) {
+	if err := prog.CheckSafety(); err != nil {
+		return nil, err
+	}
+	gr := &grounder{
+		out:      NewGroundProgram(),
+		possible: map[string][]logic.Atom{},
+		isPoss:   map[string]bool{},
+		seen:     map[string]bool{},
+	}
+	rules, err := expandIntervalFacts(prog.Rules)
+	if err != nil {
+		return nil, err
+	}
+	if err := gr.run(rules); err != nil {
+		return nil, err
+	}
+	if err := gr.groundMinimize(prog.Minimize); err != nil {
+		return nil, err
+	}
+	gr.simplifyNegatives()
+	return gr.out, nil
+}
+
+type grounder struct {
+	out      *GroundProgram
+	possible map[string][]logic.Atom // signature -> ground atoms
+	isPoss   map[string]bool         // atom key -> possible
+	delta    map[string][]logic.Atom // frontier of the current iteration
+	seen     map[string]bool         // rule-instantiation dedup keys
+	minGuard map[string]AtomID       // minimize (prio,weight,tuple) -> guard
+}
+
+func (gr *grounder) run(rules []logic.Rule) error {
+	// Fixpoint phase: compute the possible-atom set. Basic rules are also
+	// emitted here (their instantiation is fully determined by the body
+	// binding); choice rules only mark their heads possible, because the
+	// element conditions must be expanded over the *final* possible set.
+	//
+	// Iteration 0: all rules against the (initially empty) possible set;
+	// rules without positive body literals fire only here.
+	gr.delta = map[string][]logic.Atom{}
+	next := map[string][]logic.Atom{}
+	for ri, r := range rules {
+		if err := gr.groundRule(ri, r, -1, next, !r.Choice); err != nil {
+			return err
+		}
+	}
+	// Semi-naive iterations: re-ground rules requiring at least one
+	// positive body literal to match the frontier. Choice rules also
+	// re-run (with a full join) when an element-condition predicate grew.
+	for len(next) > 0 {
+		gr.delta = next
+		next = map[string][]logic.Atom{}
+		for ri, r := range rules {
+			for _, i := range positiveIndices(r.Body) {
+				if gr.deltaHas(r.Body[i].(logic.Literal).Atom) {
+					if err := gr.groundRule(ri, r, i, next, !r.Choice); err != nil {
+						return err
+					}
+				}
+			}
+			if r.Choice && gr.choiceCondInDelta(r) {
+				if err := gr.groundRule(ri, r, -1, next, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Emission phase for choice rules, over the stable possible set.
+	gr.delta = map[string][]logic.Atom{}
+	for ri, r := range rules {
+		if !r.Choice {
+			continue
+		}
+		if err := gr.groundRule(ri, r, -1, next, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (gr *grounder) choiceCondInDelta(r logic.Rule) bool {
+	for _, e := range r.Elems {
+		for _, c := range e.Cond {
+			if gr.deltaHas(c.Atom) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func positiveIndices(body []logic.BodyElem) []int {
+	var out []int
+	for i, b := range body {
+		if lit, ok := b.(logic.Literal); ok && !lit.Negated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (gr *grounder) deltaHas(a logic.Atom) bool {
+	return len(gr.delta[a.Signature()]) > 0
+}
+
+// groundRule enumerates instantiations of rule ri. If deltaIdx >= 0 that
+// positive body literal matches only frontier atoms (semi-naive join).
+// When emit is false (choice rules during the fixpoint phase) the
+// instantiation only marks head atoms possible.
+func (gr *grounder) groundRule(ri int, r logic.Rule, deltaIdx int, next map[string][]logic.Atom, emit bool) error {
+	handle := func(b logic.Bindings) error {
+		if !emit {
+			return gr.markChoiceHeads(r, b, next)
+		}
+		key := instKey(ri, r, b)
+		if gr.seen[key] {
+			return nil
+		}
+		gr.seen[key] = true
+		return gr.emitGround(r, b, next)
+	}
+	return gr.join(r.Body, deltaIdx, logic.Bindings{}, handle)
+}
+
+// markChoiceHeads expands choice elements under the current possible set
+// and marks head atoms possible without emitting rules.
+func (gr *grounder) markChoiceHeads(r logic.Rule, b logic.Bindings, next map[string][]logic.Atom) error {
+	for _, e := range r.Elems {
+		err := gr.expandChoiceElem(e, b, func(bb logic.Bindings) error {
+			h, err := e.Atom.Substitute(bb).Eval()
+			if err != nil {
+				return err
+			}
+			gr.markPossible(h, next)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instKey canonically identifies a rule instantiation.
+func instKey(ri int, r logic.Rule, b logic.Bindings) string {
+	vars := r.Vars()
+	sort.Strings(vars)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%d", ri)
+	prev := ""
+	for _, v := range vars {
+		if v == prev {
+			continue
+		}
+		prev = v
+		sb.WriteByte('|')
+		if t, ok := b[v]; ok {
+			sb.WriteString(t.String())
+		}
+	}
+	return sb.String()
+}
+
+// join enumerates bindings satisfying the body: positive literals match
+// possible atoms (structural unification), comparisons test or assign.
+// Negative literals are skipped here (handled at emission). Elements are
+// selected dynamically so arithmetic becomes evaluable as bindings grow.
+func (gr *grounder) join(body []logic.BodyElem, deltaIdx int, b logic.Bindings, emit func(logic.Bindings) error) error {
+	done := make([]bool, len(body))
+	return gr.joinStep(body, deltaIdx, done, b, emit)
+}
+
+func (gr *grounder) joinStep(body []logic.BodyElem, deltaIdx int, done []bool, b logic.Bindings, emit func(logic.Bindings) error) error {
+	// Pick the next ready element; prefer the delta literal first so the
+	// semi-naive restriction prunes early, then comparisons (cheap filters),
+	// then other positive literals.
+	idx := -1
+	// Selection order: ready comparisons (cheap filters), then the delta
+	// literal if its arithmetic arguments are evaluable, then any other
+	// ready positive literal, then unready positive literals as a last
+	// resort (their arithmetic arguments cannot match yet).
+	for i, e := range body {
+		if done[i] {
+			continue
+		}
+		if cmp, ok := e.(logic.Comparison); ok && cmpReady(cmp, b) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 && deltaIdx >= 0 && !done[deltaIdx] &&
+		litReady(body[deltaIdx].(logic.Literal), b) {
+		idx = deltaIdx
+	}
+	if idx < 0 {
+		for i, e := range body {
+			if done[i] {
+				continue
+			}
+			if lit, ok := e.(logic.Literal); ok && !lit.Negated && litReady(lit, b) {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 && deltaIdx >= 0 && !done[deltaIdx] {
+		idx = deltaIdx
+	}
+	if idx < 0 {
+		for i, e := range body {
+			if done[i] {
+				continue
+			}
+			if lit, ok := e.(logic.Literal); ok && !lit.Negated {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		// Only negative literals and (by safety) no unready comparisons
+		// remain — check that indeed nothing is pending.
+		for i, e := range body {
+			if done[i] {
+				continue
+			}
+			if cmp, ok := e.(logic.Comparison); ok {
+				return fmt.Errorf("solver: comparison %s has unbound variables after join", cmp.Substitute(b))
+			}
+		}
+		return emit(b)
+	}
+	done[idx] = true
+	defer func() { done[idx] = false }()
+
+	switch e := body[idx].(type) {
+	case logic.Comparison:
+		cmp := e.Substitute(b)
+		if v, t, ok := assignment(cmp); ok {
+			val, err := logic.Eval(t)
+			if err != nil {
+				return err
+			}
+			b[v] = val
+			err = gr.joinStep(body, deltaIdx, done, b, emit)
+			delete(b, v)
+			return err
+		}
+		holds, err := cmp.Holds()
+		if err != nil {
+			return err
+		}
+		if !holds {
+			return nil
+		}
+		return gr.joinStep(body, deltaIdx, done, b, emit)
+	case logic.Literal:
+		pool := gr.possible[e.Atom.Signature()]
+		if idx == deltaIdx {
+			pool = gr.delta[e.Atom.Signature()]
+		}
+		for _, cand := range pool {
+			bound, undo := unifyAtom(e.Atom, cand, b)
+			if bound {
+				if err := gr.joinStep(body, deltaIdx, done, b, emit); err != nil {
+					undo(b)
+					return err
+				}
+			}
+			undo(b)
+		}
+		return nil
+	default:
+		return fmt.Errorf("solver: unknown body element %T", e)
+	}
+}
+
+func cmpReady(c logic.Comparison, b logic.Bindings) bool {
+	sub := c.Substitute(b)
+	if _, _, ok := assignment(sub); ok {
+		return true
+	}
+	return sub.Left.Ground() && sub.Right.Ground()
+}
+
+// litReady reports whether all arithmetic sub-terms of the literal's
+// arguments are evaluable under b, so unification against ground atoms can
+// succeed. Plain variables and compounds of them are always matchable.
+func litReady(lit logic.Literal, b logic.Bindings) bool {
+	for _, arg := range lit.Atom.Args {
+		if !termMatchReady(arg.Substitute(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+func termMatchReady(t logic.Term) bool {
+	switch tt := t.(type) {
+	case logic.BinOp:
+		return tt.Ground()
+	case logic.Compound:
+		for _, a := range tt.Args {
+			if !termMatchReady(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// assignment recognizes V = expr / expr = V with a single unbound variable.
+func assignment(c logic.Comparison) (string, logic.Term, bool) {
+	if c.Op != logic.CmpEq {
+		return "", nil, false
+	}
+	if v, ok := c.Left.(logic.Variable); ok && c.Right.Ground() {
+		return v.Name, c.Right, true
+	}
+	if v, ok := c.Right.(logic.Variable); ok && c.Left.Ground() {
+		return v.Name, c.Left, true
+	}
+	return "", nil, false
+}
+
+// unifyAtom structurally unifies pattern (under bindings b) against a
+// ground atom, extending b in place. It returns whether unification
+// succeeded and an undo function restoring b.
+func unifyAtom(pattern, ground logic.Atom, b logic.Bindings) (bool, func(logic.Bindings)) {
+	if pattern.Pred != ground.Pred || len(pattern.Args) != len(ground.Args) {
+		return false, func(logic.Bindings) {}
+	}
+	var added []string
+	undo := func(bb logic.Bindings) {
+		for _, v := range added {
+			delete(bb, v)
+		}
+	}
+	for i := range pattern.Args {
+		ok, vs := unifyTerm(pattern.Args[i], ground.Args[i], b)
+		added = append(added, vs...)
+		if !ok {
+			return false, undo
+		}
+	}
+	return true, undo
+}
+
+func unifyTerm(pat logic.Term, ground logic.Term, b logic.Bindings) (bool, []string) {
+	switch p := pat.(type) {
+	case logic.Variable:
+		if bound, ok := b[p.Name]; ok {
+			return logic.Compare(bound, ground) == 0, nil
+		}
+		b[p.Name] = ground
+		return true, []string{p.Name}
+	case logic.Symbol, logic.Number:
+		return logic.Compare(pat, ground) == 0, nil
+	case logic.Compound:
+		g, ok := ground.(logic.Compound)
+		if !ok || g.Functor != p.Functor || len(g.Args) != len(p.Args) {
+			return false, nil
+		}
+		var added []string
+		for i := range p.Args {
+			ok, vs := unifyTerm(p.Args[i], g.Args[i], b)
+			added = append(added, vs...)
+			if !ok {
+				return false, added
+			}
+		}
+		return true, added
+	case logic.BinOp:
+		sub := p.Substitute(b)
+		if !sub.Ground() {
+			return false, nil
+		}
+		v, err := logic.Eval(sub)
+		if err != nil {
+			return false, nil
+		}
+		return logic.Compare(v, ground) == 0, nil
+	default:
+		return false, nil
+	}
+}
+
+// emitGround materializes one rule instantiation into the ground program
+// and records newly possible head atoms in next.
+func (gr *grounder) emitGround(r logic.Rule, b logic.Bindings, next map[string][]logic.Atom) error {
+	pos, neg, err := gr.groundBody(r.Body, b)
+	if err != nil {
+		return err
+	}
+	if r.Choice {
+		return gr.emitChoice(r, b, pos, neg, next)
+	}
+	var head AtomID
+	if r.Head != nil {
+		h, err := r.Head.Substitute(b).Eval()
+		if err != nil {
+			return err
+		}
+		head = gr.out.AtomIDFor(h.Key())
+		gr.markPossible(h, next)
+	}
+	gr.out.AddBasic(head, pos, neg)
+	return nil
+}
+
+func (gr *grounder) groundBody(body []logic.BodyElem, b logic.Bindings) (pos, neg []AtomID, err error) {
+	for _, e := range body {
+		lit, ok := e.(logic.Literal)
+		if !ok {
+			continue // comparisons already verified during the join
+		}
+		atom, err := lit.Atom.Substitute(b).Eval()
+		if err != nil {
+			return nil, nil, err
+		}
+		id := gr.out.AtomIDFor(atom.Key())
+		if lit.Negated {
+			neg = append(neg, id)
+		} else {
+			pos = append(pos, id)
+		}
+	}
+	return pos, neg, nil
+}
+
+func (gr *grounder) emitChoice(r logic.Rule, b logic.Bindings, pos, neg []AtomID, next map[string][]logic.Atom) error {
+	var heads, conds []AtomID
+	for _, e := range r.Elems {
+		for _, c := range e.Cond {
+			if c.Negated {
+				return fmt.Errorf("solver: negated choice-element condition %s is not supported", c)
+			}
+		}
+		err := gr.expandChoiceElem(e, b, func(bb logic.Bindings) error {
+			h, err := e.Atom.Substitute(bb).Eval()
+			if err != nil {
+				return err
+			}
+			hid := gr.out.AtomIDFor(h.Key())
+			gr.markPossible(h, next)
+			var guard AtomID
+			if len(e.Cond) > 0 {
+				guard, err = gr.condGuard(e.Cond, bb)
+				if err != nil {
+					return err
+				}
+			}
+			heads = append(heads, hid)
+			conds = append(conds, guard)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if len(heads) == 0 {
+		// An empty choice with a lower bound > 0 is unsatisfiable when the
+		// body holds.
+		if r.Lower != logic.Unbounded && r.Lower > 0 {
+			gr.out.AddConstraint(pos, neg)
+		}
+		return nil
+	}
+	gr.out.AddChoice(heads, conds, r.Lower, r.Upper, pos, neg)
+	return nil
+}
+
+// expandChoiceElem joins the element's positive conditions over possible
+// atoms, invoking fn per condition instantiation (once if no conditions).
+func (gr *grounder) expandChoiceElem(e logic.ChoiceElem, b logic.Bindings, fn func(logic.Bindings) error) error {
+	if len(e.Cond) == 0 {
+		return fn(b)
+	}
+	body := make([]logic.BodyElem, len(e.Cond))
+	for i, c := range e.Cond {
+		body[i] = c
+	}
+	return gr.join(body, -1, b, fn)
+}
+
+// condGuard interns a guard atom equivalent to the conjunction of the
+// (ground) condition literals. Single positive conditions reuse the
+// condition atom itself.
+func (gr *grounder) condGuard(cond []logic.Literal, b logic.Bindings) (AtomID, error) {
+	if len(cond) == 1 && !cond[0].Negated {
+		atom, err := cond[0].Atom.Substitute(b).Eval()
+		if err != nil {
+			return 0, err
+		}
+		return gr.out.AtomIDFor(atom.Key()), nil
+	}
+	var pos []AtomID
+	keys := make([]string, 0, len(cond))
+	for _, c := range cond {
+		atom, err := c.Atom.Substitute(b).Eval()
+		if err != nil {
+			return 0, err
+		}
+		pos = append(pos, gr.out.AtomIDFor(atom.Key()))
+		keys = append(keys, atom.Key())
+	}
+	guard := gr.out.AtomIDFor("__cond(" + strings.Join(keys, ",") + ")")
+	gr.out.internal[int(guard)-1] = true
+	gr.out.AddBasic(guard, pos, nil)
+	return guard, nil
+}
+
+func (gr *grounder) markPossible(a logic.Atom, next map[string][]logic.Atom) {
+	key := a.Key()
+	if gr.isPoss[key] {
+		return
+	}
+	gr.isPoss[key] = true
+	sig := a.Signature()
+	gr.possible[sig] = append(gr.possible[sig], a)
+	next[sig] = append(next[sig], a)
+}
+
+// groundMinimize instantiates #minimize elements. Each ground element gets
+// a guard atom derived from its condition; elements with equal
+// (priority, weight, tuple) share a guard (counted once, like clingo).
+func (gr *grounder) groundMinimize(elems []logic.MinimizeElem) error {
+	gr.minGuard = map[string]AtomID{}
+	for _, m := range elems {
+		body := m.Cond
+		emit := func(b logic.Bindings) error {
+			w, err := logic.EvalInt(m.Weight.Substitute(b))
+			if err != nil {
+				return err
+			}
+			tuple := make([]string, 0, len(m.Tuple))
+			for _, t := range m.Tuple {
+				et, err := logic.Eval(t.Substitute(b))
+				if err != nil {
+					return err
+				}
+				tuple = append(tuple, et.String())
+			}
+			tupleKey := strings.Join(tuple, ",")
+			pos, neg, err := gr.groundBody(body, b)
+			if err != nil {
+				return err
+			}
+			dedupKey := fmt.Sprintf("%d@%d[%s]", w, m.Priority, tupleKey)
+			guard, ok := gr.minGuard[dedupKey]
+			if !ok {
+				guard = gr.out.NewInternalAtom("min")
+				gr.minGuard[dedupKey] = guard
+				gr.out.Minimize = append(gr.out.Minimize, GroundMinimize{
+					Weight: w, Priority: m.Priority, Tuple: tupleKey, Guard: guard,
+				})
+			}
+			gr.out.AddBasic(guard, pos, neg)
+			return nil
+		}
+		if err := gr.join(body, -1, logic.Bindings{}, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simplifyNegatives drops negative body literals whose atom can never be
+// derived (not possible): such literals are trivially true.
+func (gr *grounder) simplifyNegatives() {
+	poss := make([]bool, gr.out.NumAtoms()+1)
+	for key, ok := range gr.isPoss {
+		if !ok {
+			continue
+		}
+		if id, found := gr.out.LookupAtom(key); found {
+			poss[id] = true
+		}
+	}
+	// Guard/internal atoms have rules; they are derivable.
+	for _, r := range gr.out.Rules {
+		if r.Kind == KindBasic && r.Head != 0 {
+			poss[r.Head] = true
+		}
+	}
+	for i := range gr.out.Rules {
+		r := &gr.out.Rules[i]
+		kept := r.Neg[:0]
+		for _, n := range r.Neg {
+			if poss[n] {
+				kept = append(kept, n)
+			}
+		}
+		r.Neg = kept
+	}
+}
+
+// expandIntervalFacts replaces facts whose head arguments contain intervals
+// with one fact per member of the cartesian product.
+func expandIntervalFacts(rules []logic.Rule) ([]logic.Rule, error) {
+	out := make([]logic.Rule, 0, len(rules))
+	for _, r := range rules {
+		if !r.IsFact() || !hasInterval(r.Head.Args) {
+			if r.Head != nil && hasInterval(r.Head.Args) {
+				return nil, fmt.Errorf("solver: interval in non-fact head of %s", r)
+			}
+			out = append(out, r)
+			continue
+		}
+		expanded, err := expandArgs(r.Head.Args)
+		if err != nil {
+			return nil, fmt.Errorf("solver: fact %s: %w", r, err)
+		}
+		for _, args := range expanded {
+			out = append(out, logic.Fact(logic.Atom{Pred: r.Head.Pred, Args: args}))
+		}
+	}
+	return out, nil
+}
+
+func hasInterval(args []logic.Term) bool {
+	for _, a := range args {
+		if _, ok := a.(logic.Interval); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func expandArgs(args []logic.Term) ([][]logic.Term, error) {
+	result := [][]logic.Term{{}}
+	for _, a := range args {
+		iv, ok := a.(logic.Interval)
+		if !ok {
+			for i := range result {
+				result[i] = append(result[i], a)
+			}
+			continue
+		}
+		lo, err := logic.EvalInt(iv.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := logic.EvalInt(iv.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("empty interval %d..%d", lo, hi)
+		}
+		grown := make([][]logic.Term, 0, len(result)*(hi-lo+1))
+		for _, prefix := range result {
+			for v := lo; v <= hi; v++ {
+				row := make([]logic.Term, len(prefix), len(prefix)+1)
+				copy(row, prefix)
+				grown = append(grown, append(row, logic.Num(v)))
+			}
+		}
+		result = grown
+	}
+	return result, nil
+}

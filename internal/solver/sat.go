@@ -1,0 +1,399 @@
+package solver
+
+import "fmt"
+
+// lit is a propositional literal: +v for the positive, -v for the negative
+// literal of variable v (v >= 1). litTrue is the pseudo-literal "constant
+// true" used in support bookkeeping (never appears inside clauses).
+type lit int
+
+const litTrue lit = 0
+
+func (l lit) variable() int { return abs(int(l)) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// watchIdx maps a literal to its watch-list slot: positive literals at 2v,
+// negative at 2v+1.
+func watchIdx(l lit) int {
+	v := l.variable()
+	if l > 0 {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// sat is a DPLL SAT engine with two-watched-literal propagation and
+// chronological backtracking. It supports adding clauses mid-search (used
+// for loop formulas, blocking clauses, and optimization bounds) and an
+// objective propagator for branch-and-bound.
+type sat struct {
+	nVars   int
+	clauses [][]lit
+	watches [][]int // watchIdx(lit) -> clause indices watching it
+
+	assign   []int8 // var -> 0 unknown, 1 true, -1 false
+	level    []int  // var -> decision level it was assigned at
+	trail    []lit
+	trailLim []int // decision-level start indices into trail
+	decided  []lit // the decision literal of each level
+	flipped  []bool
+
+	qhead int
+
+	// Objective propagator (branch and bound).
+	weight  []int64 // var -> objective weight of assigning true (0 if none)
+	curCost int64
+	bound   int64 // prune when curCost >= bound
+	pruning bool
+
+	// Statistics.
+	decisions, conflicts, propagations int64
+
+	order []int // static branching order of variables
+
+	unsatRoot bool // an empty clause was added: trivially unsatisfiable
+}
+
+func newSAT() *sat {
+	s := &sat{bound: 1 << 62}
+	s.newVar() // allocate var 0 placeholder so vars start at 1
+	return s
+}
+
+func (s *sat) newVar() int {
+	s.nVars++
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.weight = append(s.weight, 0)
+	s.watches = append(s.watches, nil, nil)
+	return s.nVars - 1
+}
+
+func (s *sat) value(l lit) int8 {
+	v := s.assign[l.variable()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s *sat) decisionLevel() int { return len(s.trailLim) }
+
+// addClause installs a clause. At decision level 0 it simplifies against
+// the fixed assignment; during search the caller must ensure the solver is
+// backtracked (via backtrackForClause) until the clause is not conflicting.
+func (s *sat) addClause(ls []lit) {
+	// Simplify: drop duplicate literals; detect tautologies.
+	seen := map[lit]bool{}
+	out := make([]lit, 0, len(ls))
+	for _, l := range ls {
+		if l == litTrue {
+			return // clause contains constant true: tautology
+		}
+		if seen[-l] {
+			return // l and ¬l: tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		s.unsatRoot = true
+		return
+	}
+	if len(out) == 1 {
+		// A unit clause holds in every model: restart to level 0 so the
+		// assignment persists for the rest of the search.
+		for s.decisionLevel() > 0 {
+			s.cancelLevel()
+		}
+		switch s.value(out[0]) {
+		case 1:
+			return
+		case -1:
+			s.unsatRoot = true
+			return
+		}
+		s.uncheckedEnqueue(out[0])
+		return
+	}
+	ci := len(s.clauses)
+	s.clauses = append(s.clauses, out)
+	// Watch two literals, preferring non-false ones so the invariant
+	// "a watched literal is false only if the other is true or the clause
+	// is unit/conflicting at the current level" holds after the caller's
+	// backtracking.
+	w1, w2 := s.pickWatches(out)
+	out[0], out[w1] = out[w1], out[0]
+	if w2 == 0 {
+		w2 = w1
+	}
+	out[1], out[w2] = out[w2], out[1]
+	s.watches[watchIdx(out[0])] = append(s.watches[watchIdx(out[0])], ci)
+	s.watches[watchIdx(out[1])] = append(s.watches[watchIdx(out[1])], ci)
+	// If unit under current assignment, enqueue.
+	if s.value(out[0]) == 0 && s.value(out[1]) == -1 && len(out) > 1 {
+		s.uncheckedEnqueue(out[0])
+	}
+}
+
+func (s *sat) pickWatches(c []lit) (int, int) {
+	w1, w2 := -1, -1
+	for i, l := range c {
+		if s.value(l) != -1 {
+			if w1 < 0 {
+				w1 = i
+			} else if w2 < 0 {
+				w2 = i
+				break
+			}
+		}
+	}
+	if w1 < 0 {
+		w1 = 0
+	}
+	if w2 < 0 {
+		for i := range c {
+			if i != w1 {
+				w2 = i
+				break
+			}
+		}
+	}
+	if w2 < 0 {
+		w2 = w1
+	}
+	return w1, w2
+}
+
+// clauseStatus returns 1 if satisfied, -1 if conflicting (all false),
+// 0 otherwise.
+func (s *sat) clauseStatus(c []lit) int {
+	allFalse := true
+	for _, l := range c {
+		switch s.value(l) {
+		case 1:
+			return 1
+		case 0:
+			allFalse = false
+		}
+	}
+	if allFalse {
+		return -1
+	}
+	return 0
+}
+
+func (s *sat) uncheckedEnqueue(l lit) {
+	v := l.variable()
+	if l > 0 {
+		s.assign[v] = 1
+		s.curCost += s.weight[v]
+	} else {
+		s.assign[v] = -1
+	}
+	s.level[v] = s.decisionLevel()
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns false on conflict
+// (including an objective-bound violation).
+func (s *sat) propagate() bool {
+	for s.qhead < len(s.trail) {
+		if s.pruning && s.curCost >= s.bound {
+			return false
+		}
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propagations++
+		// Visit clauses watching ¬p.
+		wi := watchIdx(-p)
+		ws := s.watches[wi]
+		kept := ws[:0]
+		for n := 0; n < len(ws); n++ {
+			ci := ws[n]
+			c := s.clauses[ci]
+			// Ensure c[0] is the other watch.
+			if c[0] == -p {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.value(c[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					s.watches[watchIdx(c[1])] = append(s.watches[watchIdx(c[1])], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, ci)
+			if s.value(c[0]) == -1 {
+				// Conflict: restore remaining watches and fail.
+				kept = append(kept, ws[n+1:]...)
+				s.watches[wi] = kept
+				return false
+			}
+			s.uncheckedEnqueue(c[0])
+		}
+		s.watches[wi] = kept
+	}
+	if s.pruning && s.curCost >= s.bound {
+		return false
+	}
+	return true
+}
+
+// decide starts a new decision level with literal l.
+func (s *sat) decide(l lit) {
+	s.decisions++
+	s.trailLim = append(s.trailLim, len(s.trail))
+	s.decided = append(s.decided, l)
+	s.flipped = append(s.flipped, false)
+	s.uncheckedEnqueue(l)
+}
+
+// cancelLevel undoes the topmost decision level.
+func (s *sat) cancelLevel() {
+	limit := s.trailLim[len(s.trailLim)-1]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l.variable()
+		if l > 0 {
+			s.curCost -= s.weight[v]
+		}
+		s.assign[v] = 0
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:len(s.trailLim)-1]
+	s.decided = s.decided[:len(s.decided)-1]
+	s.flipped = s.flipped[:len(s.flipped)-1]
+	if s.qhead > len(s.trail) {
+		s.qhead = len(s.trail)
+	}
+}
+
+// resolveConflict backtracks chronologically, flipping the deepest
+// unflipped decision. Returns false when the search space is exhausted.
+func (s *sat) resolveConflict() bool {
+	s.conflicts++
+	for len(s.trailLim) > 0 {
+		top := len(s.trailLim) - 1
+		wasFlipped := s.flipped[top]
+		l := s.decided[top]
+		s.cancelLevel()
+		if !wasFlipped {
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.decided = append(s.decided, -l)
+			s.flipped = append(s.flipped, true)
+			s.uncheckedEnqueue(-l)
+			return true
+		}
+	}
+	return false
+}
+
+// backtrackForClause backtracks until the given clause is no longer
+// conflicting (or level 0 is reached).
+func (s *sat) backtrackForClause(c []lit) {
+	for s.decisionLevel() > 0 && s.clauseStatus(c) == -1 {
+		top := len(s.trailLim) - 1
+		wasFlipped := s.flipped[top]
+		l := s.decided[top]
+		s.cancelLevel()
+		if !wasFlipped && s.clauseStatus(c) != -1 {
+			// Re-descend on the flipped branch later through normal search;
+			// here we only need the clause non-conflicting.
+			_ = l
+			return
+		}
+	}
+}
+
+// pickBranchVar returns the next unassigned variable in static order, or 0
+// when the assignment is total.
+func (s *sat) pickBranchVar() int {
+	for _, v := range s.order {
+		if s.assign[v] == 0 {
+			return v
+		}
+	}
+	for v := 1; v < s.nVars; v++ {
+		if s.assign[v] == 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// search runs DPLL until a total assignment satisfies all clauses, calling
+// onTotal. onTotal returns "accept": if false (model rejected, e.g. a loop
+// clause was added) the search continues from the (possibly backtracked)
+// state; if true the search also continues (enumeration) after the caller
+// installed a blocking clause. search returns when the space is exhausted
+// or onTotal signals stop via the returned stop flag.
+func (s *sat) search(onTotal func() (stop bool)) error {
+	if s.unsatRoot {
+		return nil
+	}
+	if !s.propagate() {
+		if !s.resolveConflict() {
+			return nil
+		}
+	}
+	for {
+		if s.unsatRoot {
+			return nil
+		}
+		if !s.propagate() {
+			if !s.resolveConflict() {
+				return nil
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			if s.unsatRoot {
+				return nil
+			}
+			if onTotal() {
+				return nil
+			}
+			if s.unsatRoot {
+				return nil
+			}
+			// Continue: the callback added clauses; if the current state is
+			// still total and consistent we must force progress.
+			if s.qhead == len(s.trail) && s.pickBranchVar() == 0 {
+				if !s.resolveConflict() {
+					return nil
+				}
+			}
+			continue
+		}
+		s.decide(lit(-v)) // prefer false: smaller answer sets first
+	}
+}
+
+func (s *sat) validateTotal() error {
+	for ci, c := range s.clauses {
+		if s.clauseStatus(c) != 1 {
+			return fmt.Errorf("solver: internal error: clause %d unsatisfied at total assignment", ci)
+		}
+	}
+	return nil
+}

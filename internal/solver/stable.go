@@ -1,0 +1,748 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsrisk/internal/logic"
+)
+
+// Options configures Solve.
+type Options struct {
+	// MaxModels bounds the number of returned models; 0 means all.
+	MaxModels int
+	// Optimize enables #minimize optimization: only optimal models are
+	// returned (ignored when the program has no minimize statements).
+	Optimize bool
+}
+
+// Model is one answer set.
+type Model struct {
+	// Atoms are the true, non-auxiliary ground atom keys, sorted.
+	Atoms []string
+	// Cost holds the objective per priority level for optimizing solves,
+	// highest priority first.
+	Cost []PriorityCost
+}
+
+// PriorityCost is the objective value at one priority level.
+type PriorityCost struct {
+	Priority int
+	Cost     int
+}
+
+// Contains reports whether the model contains the atom key.
+func (m *Model) Contains(key string) bool {
+	i := sort.SearchStrings(m.Atoms, key)
+	return i < len(m.Atoms) && m.Atoms[i] == key
+}
+
+// WithPredicate returns the atom keys of the model with the given
+// predicate name.
+func (m *Model) WithPredicate(pred string) []string {
+	var out []string
+	for _, a := range m.Atoms {
+		if len(a) >= len(pred) && a[:len(pred)] == pred &&
+			(len(a) == len(pred) || a[len(pred)] == '(') {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Stats reports solver effort.
+type Stats struct {
+	Atoms        int
+	GroundRules  int
+	Vars         int
+	Clauses      int
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64
+	LoopClauses  int64
+	StableChecks int64
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Satisfiable bool
+	Models      []Model
+	// Optimal is true when Models are proven optimal.
+	Optimal bool
+	Stats   Stats
+}
+
+// SolveProgram grounds and solves a logic program.
+func SolveProgram(prog *logic.Program, opts Options) (*Result, error) {
+	gp, err := Ground(prog)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(gp, opts)
+}
+
+// SolveSource parses, grounds, and solves program text.
+func SolveSource(src string, opts Options) (*Result, error) {
+	prog, err := logic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return SolveProgram(prog, opts)
+}
+
+// Solve computes stable models of a ground program.
+func Solve(gp *GroundProgram, opts Options) (*Result, error) {
+	tr, err := translate(gp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if opts.Optimize && len(gp.Minimize) > 0 {
+		if err := tr.solveOptimize(opts, res); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := tr.solveEnumerate(opts, res, -1); err != nil {
+			return nil, err
+		}
+	}
+	res.Satisfiable = len(res.Models) > 0
+	tr.fillStats(&res.Stats)
+	return res, nil
+}
+
+// derivRule is the reduct-derivation view of a ground rule: one entry per
+// basic rule head and per choice-rule head element (whose guard condition
+// counts as a positive dependency).
+type derivRule struct {
+	head    AtomID
+	pos     []AtomID
+	neg     []AtomID
+	choice  bool
+	support lit // body var (basic) or body∧cond var (choice)
+}
+
+type translation struct {
+	gp *GroundProgram
+	s  *sat
+
+	atomVar []int // AtomID -> sat var (0 = none)
+	vTrue   int   // var forced true
+
+	deriv  []derivRule
+	posOcc map[AtomID][]int // atom -> deriv rule indices with it in pos
+
+	bodyMemo map[string]lit
+	andMemo  map[[2]lit]lit
+
+	costOffset int64
+	loopAdds   int64
+	stableCks  int64
+}
+
+func translate(gp *GroundProgram) (*translation, error) {
+	tr := &translation{
+		gp:       gp,
+		s:        newSAT(),
+		atomVar:  make([]int, gp.NumAtoms()+1),
+		bodyMemo: map[string]lit{},
+		andMemo:  map[[2]lit]lit{},
+		posOcc:   map[AtomID][]int{},
+	}
+	tr.vTrue = tr.s.newVar()
+	tr.s.addClause([]lit{lit(tr.vTrue)})
+	for id := AtomID(1); id <= AtomID(gp.NumAtoms()); id++ {
+		tr.atomVar[id] = tr.s.newVar()
+	}
+
+	supports := make(map[AtomID][]lit)
+	factHead := make(map[AtomID]bool)
+
+	for _, r := range gp.Rules {
+		switch r.Kind {
+		case KindBasic:
+			if err := tr.translateBasic(r, supports, factHead); err != nil {
+				return nil, err
+			}
+		case KindChoice:
+			if err := tr.translateChoice(r, supports); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("solver: unknown ground rule kind %d", r.Kind)
+		}
+	}
+
+	// Completion support clauses: a true atom needs some support.
+	for id := AtomID(1); id <= AtomID(gp.NumAtoms()); id++ {
+		if factHead[id] {
+			continue
+		}
+		sup := supports[id]
+		clause := make([]lit, 0, len(sup)+1)
+		clause = append(clause, -tr.atomLit(id))
+		taut := false
+		for _, l := range sup {
+			if l == tr.trueLit() {
+				taut = true
+				break
+			}
+			clause = append(clause, l)
+		}
+		if !taut {
+			tr.s.addClause(clause)
+		}
+	}
+
+	if err := tr.translateObjective(); err != nil {
+		return nil, err
+	}
+	tr.buildOrder()
+	return tr, nil
+}
+
+func (tr *translation) trueLit() lit  { return lit(tr.vTrue) }
+func (tr *translation) falseLit() lit { return -lit(tr.vTrue) }
+
+func (tr *translation) atomLit(id AtomID) lit { return lit(tr.atomVar[id]) }
+
+func (tr *translation) translateBasic(r GroundRule, supports map[AtomID][]lit, factHead map[AtomID]bool) error {
+	beta := tr.bodyVar(r.Pos, r.Neg)
+	if r.Head == 0 {
+		// Integrity constraint: body must be false.
+		if beta == tr.trueLit() {
+			tr.s.unsatRoot = true
+			return nil
+		}
+		tr.s.addClause([]lit{-beta})
+		return nil
+	}
+	h := tr.atomLit(r.Head)
+	if beta == tr.trueLit() {
+		tr.s.addClause([]lit{h})
+		factHead[r.Head] = true
+	} else {
+		tr.s.addClause([]lit{-beta, h}) // forward: body -> head
+	}
+	supports[r.Head] = append(supports[r.Head], beta)
+	tr.addDeriv(derivRule{head: r.Head, pos: r.Pos, neg: r.Neg, support: beta})
+	return nil
+}
+
+func (tr *translation) translateChoice(r GroundRule, supports map[AtomID][]lit) error {
+	beta := tr.bodyVar(r.Pos, r.Neg)
+	n := len(r.Heads)
+	counted := make([]lit, 0, n)
+	for i, h := range r.Heads {
+		condLit := tr.trueLit()
+		var pos []AtomID
+		pos = append(pos, r.Pos...)
+		if r.Conds[i] != 0 {
+			condLit = tr.atomLit(r.Conds[i])
+			pos = append(pos, r.Conds[i])
+		}
+		sigma := tr.and(beta, condLit)
+		supports[h] = append(supports[h], sigma)
+		tr.addDeriv(derivRule{head: h, pos: pos, neg: r.Neg, choice: true, support: sigma})
+		counted = append(counted, tr.and(tr.atomLit(h), condLit))
+	}
+	lower, upper := r.Lower, r.Upper
+	if lower == logic.Unbounded {
+		lower = 0
+	}
+	if lower == 0 && (upper == logic.Unbounded || upper >= n) {
+		return nil // no cardinality constraint
+	}
+	if lower > n {
+		// Impossible bound: body must be false.
+		if beta == tr.trueLit() {
+			tr.s.unsatRoot = true
+			return nil
+		}
+		tr.s.addClause([]lit{-beta})
+		return nil
+	}
+	atLeast := tr.seqCounter(counted, maxBoundCol(lower, upper, n))
+	if lower > 0 {
+		tr.s.addClause([]lit{-beta, atLeast(lower)})
+	}
+	if upper != logic.Unbounded && upper < n {
+		tr.s.addClause([]lit{-beta, -atLeast(upper + 1)})
+	}
+	return nil
+}
+
+func maxBoundCol(lower, upper, n int) int {
+	k := lower
+	if upper != logic.Unbounded && upper+1 > k {
+		k = upper + 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+func (tr *translation) addDeriv(dr derivRule) {
+	idx := len(tr.deriv)
+	tr.deriv = append(tr.deriv, dr)
+	for _, p := range dr.pos {
+		tr.posOcc[p] = append(tr.posOcc[p], idx)
+	}
+}
+
+// bodyVar returns a literal equivalent to the conjunction of the body.
+func (tr *translation) bodyVar(pos, neg []AtomID) lit {
+	if len(pos) == 0 && len(neg) == 0 {
+		return tr.trueLit()
+	}
+	if len(pos) == 1 && len(neg) == 0 {
+		return tr.atomLit(pos[0])
+	}
+	if len(pos) == 0 && len(neg) == 1 {
+		return -tr.atomLit(neg[0])
+	}
+	key := bodyKey(pos, neg)
+	if b, ok := tr.bodyMemo[key]; ok {
+		return b
+	}
+	v := tr.s.newVar()
+	beta := lit(v)
+	long := make([]lit, 0, len(pos)+len(neg)+1)
+	long = append(long, beta)
+	for _, p := range pos {
+		l := tr.atomLit(p)
+		tr.s.addClause([]lit{-beta, l})
+		long = append(long, -l)
+	}
+	for _, n := range neg {
+		l := -tr.atomLit(n)
+		tr.s.addClause([]lit{-beta, l})
+		long = append(long, -l)
+	}
+	tr.s.addClause(long)
+	tr.bodyMemo[key] = beta
+	return beta
+}
+
+func bodyKey(pos, neg []AtomID) string {
+	ps := make([]int, len(pos))
+	for i, p := range pos {
+		ps[i] = int(p)
+	}
+	ns := make([]int, len(neg))
+	for i, n := range neg {
+		ns[i] = int(n)
+	}
+	sort.Ints(ps)
+	sort.Ints(ns)
+	return fmt.Sprint(ps, "~", ns)
+}
+
+// and returns a literal equivalent to a ∧ b.
+func (tr *translation) and(a, b lit) lit {
+	if a == tr.trueLit() {
+		return b
+	}
+	if b == tr.trueLit() {
+		return a
+	}
+	if a == tr.falseLit() || b == tr.falseLit() {
+		return tr.falseLit()
+	}
+	if a == b {
+		return a
+	}
+	if a == -b {
+		return tr.falseLit()
+	}
+	key := [2]lit{a, b}
+	if a > b {
+		key = [2]lit{b, a}
+	}
+	if x, ok := tr.andMemo[key]; ok {
+		return x
+	}
+	x := lit(tr.s.newVar())
+	tr.s.addClause([]lit{-x, a})
+	tr.s.addClause([]lit{-x, b})
+	tr.s.addClause([]lit{x, -a, -b})
+	tr.andMemo[key] = x
+	return x
+}
+
+// or returns a literal equivalent to a ∨ b.
+func (tr *translation) or(a, b lit) lit { return -tr.and(-a, -b) }
+
+// seqCounter builds a sequential cardinality counter over lits and returns
+// a function mapping k (1..maxK) to a literal equivalent to
+// "at least k of lits are true".
+func (tr *translation) seqCounter(lits []lit, maxK int) func(int) lit {
+	n := len(lits)
+	// prev[j] = at-least-j among first i literals.
+	prev := make([]lit, maxK+1)
+	prev[0] = tr.trueLit()
+	for j := 1; j <= maxK; j++ {
+		prev[j] = tr.falseLit()
+	}
+	for i := 1; i <= n; i++ {
+		cur := make([]lit, maxK+1)
+		cur[0] = tr.trueLit()
+		for j := 1; j <= maxK; j++ {
+			// cur[j] = prev[j] ∨ (lits[i-1] ∧ prev[j-1])
+			cur[j] = tr.or(prev[j], tr.and(lits[i-1], prev[j-1]))
+		}
+		prev = cur
+	}
+	return func(k int) lit {
+		if k <= 0 {
+			return tr.trueLit()
+		}
+		if k > maxK {
+			return tr.falseLit()
+		}
+		return prev[k]
+	}
+}
+
+// translateObjective folds multi-priority minimize elements into a single
+// nonnegative objective on sat variables (big-M combination of priorities;
+// negative weights are shifted through the complement literal).
+func (tr *translation) translateObjective() error {
+	if len(tr.gp.Minimize) == 0 {
+		return nil
+	}
+	// Per-priority sum of |weights| to size the scales.
+	sums := map[int]int64{}
+	prios := []int{}
+	for _, m := range tr.gp.Minimize {
+		if _, ok := sums[m.Priority]; !ok {
+			prios = append(prios, m.Priority)
+		}
+		w := int64(m.Weight)
+		if w < 0 {
+			w = -w
+		}
+		sums[m.Priority] += w
+	}
+	sort.Ints(prios) // ascending: lowest priority least significant
+	scale := map[int]int64{}
+	var acc int64 = 1
+	for _, p := range prios {
+		scale[p] = acc
+		next := acc * (sums[p] + 1)
+		if next < acc || next > 1<<60 {
+			return fmt.Errorf("solver: objective overflow combining priorities")
+		}
+		acc = next
+	}
+	for _, m := range tr.gp.Minimize {
+		g := tr.atomLit(m.Guard)
+		w := int64(m.Weight) * scale[m.Priority]
+		if w >= 0 {
+			tr.s.weight[g.variable()] += w
+			continue
+		}
+		// w*g == w + (-w)*(¬g): put -w on a complement variable.
+		x := tr.s.newVar()
+		tr.s.addClause([]lit{lit(x), g})
+		tr.s.addClause([]lit{-lit(x), -g})
+		tr.s.weight[x] += -w
+		tr.costOffset += w
+	}
+	return nil
+}
+
+// buildOrder prefers branching on choice-supported atoms (the generators),
+// then everything else in index order.
+func (tr *translation) buildOrder() {
+	choiceVars := map[int]bool{}
+	for _, dr := range tr.deriv {
+		if dr.choice {
+			choiceVars[tr.atomVar[dr.head]] = true
+		}
+	}
+	order := make([]int, 0, tr.s.nVars)
+	for v := 1; v < tr.s.nVars; v++ {
+		if choiceVars[v] {
+			order = append(order, v)
+		}
+	}
+	for v := 1; v < tr.s.nVars; v++ {
+		if !choiceVars[v] {
+			order = append(order, v)
+		}
+	}
+	tr.s.order = order
+}
+
+func (tr *translation) fillStats(st *Stats) {
+	st.Atoms = tr.gp.NumAtoms()
+	st.GroundRules = len(tr.gp.Rules)
+	st.Vars = tr.s.nVars - 1
+	st.Clauses = len(tr.s.clauses)
+	st.Decisions = tr.s.decisions
+	st.Conflicts = tr.s.conflicts
+	st.Propagations = tr.s.propagations
+	st.LoopClauses = tr.loopAdds
+	st.StableChecks = tr.stableCks
+}
+
+// atomTrue reports the truth of an atom in the current total assignment.
+func (tr *translation) atomTrue(id AtomID) bool {
+	return tr.s.assign[tr.atomVar[id]] == 1
+}
+
+// unfoundedSet returns the set of true-but-underivable atoms for the
+// current total assignment, or nil if the assignment is stable.
+func (tr *translation) unfoundedSet() []AtomID {
+	tr.stableCks++
+	derived := make([]bool, tr.gp.NumAtoms()+1)
+	remaining := make([]int, len(tr.deriv))
+	queue := make([]AtomID, 0, 64)
+
+	deriveAtom := func(id AtomID) {
+		if id != 0 && !derived[id] && tr.atomTrue(id) {
+			derived[id] = true
+			queue = append(queue, id)
+		}
+	}
+	fire := func(ri int) {
+		dr := &tr.deriv[ri]
+		for _, n := range dr.neg {
+			if tr.atomTrue(n) {
+				return
+			}
+		}
+		deriveAtom(dr.head)
+	}
+
+	for ri := range tr.deriv {
+		dr := &tr.deriv[ri]
+		cnt := 0
+		for _, p := range dr.pos {
+			if !derived[p] {
+				cnt++
+			}
+		}
+		remaining[ri] = cnt
+		if cnt == 0 {
+			fire(ri)
+		}
+	}
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ri := range tr.posOcc[a] {
+			dr := &tr.deriv[ri]
+			// Decrement once per occurrence of a in pos.
+			for _, p := range dr.pos {
+				if p == a {
+					remaining[ri]--
+				}
+			}
+			if remaining[ri] <= 0 {
+				// Fire only if truly all pos derived (duplicates handled by
+				// exact re-count).
+				ok := true
+				for _, p := range dr.pos {
+					if !derived[p] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					fire(ri)
+				}
+			}
+		}
+	}
+
+	var unfounded []AtomID
+	for id := AtomID(1); id <= AtomID(tr.gp.NumAtoms()); id++ {
+		if tr.atomTrue(id) && !derived[id] {
+			unfounded = append(unfounded, id)
+		}
+	}
+	return unfounded
+}
+
+// loopClause builds the loop formula for an unfounded set:
+// ⋁_{u∈U} ¬u  ∨  ⋁ external supports of U.
+func (tr *translation) loopClause(unfounded []AtomID) []lit {
+	inU := map[AtomID]bool{}
+	for _, u := range unfounded {
+		inU[u] = true
+	}
+	clause := make([]lit, 0, len(unfounded)+4)
+	for _, u := range unfounded {
+		clause = append(clause, -tr.atomLit(u))
+	}
+	seen := map[lit]bool{}
+	for _, dr := range tr.deriv {
+		if !inU[dr.head] {
+			continue
+		}
+		external := true
+		for _, p := range dr.pos {
+			if inU[p] {
+				external = false
+				break
+			}
+		}
+		if !external || dr.support == tr.trueLit() || seen[dr.support] {
+			continue
+		}
+		seen[dr.support] = true
+		clause = append(clause, dr.support)
+	}
+	return clause
+}
+
+func (tr *translation) addSearchClause(c []lit) {
+	tr.s.backtrackForClause(c)
+	if tr.s.clauseStatus(c) == -1 {
+		// Conflicting even at level 0: no further models exist.
+		tr.s.unsatRoot = true
+		return
+	}
+	tr.s.addClause(c)
+}
+
+// extractModel reads the current stable assignment into a Model.
+func (tr *translation) extractModel() Model {
+	atoms := make([]string, 0, 32)
+	for id := AtomID(1); id <= AtomID(tr.gp.NumAtoms()); id++ {
+		if tr.atomTrue(id) && !tr.gp.IsInternal(id) {
+			atoms = append(atoms, tr.gp.AtomName(id))
+		}
+	}
+	sort.Strings(atoms)
+	m := Model{Atoms: atoms}
+	if len(tr.gp.Minimize) > 0 {
+		m.Cost = tr.modelCosts()
+	}
+	return m
+}
+
+func (tr *translation) modelCosts() []PriorityCost {
+	per := map[int]int{}
+	prios := []int{}
+	for _, gm := range tr.gp.Minimize {
+		if _, ok := per[gm.Priority]; !ok {
+			prios = append(prios, gm.Priority)
+			per[gm.Priority] = 0
+		}
+		if tr.atomTrue(gm.Guard) {
+			per[gm.Priority] += gm.Weight
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	out := make([]PriorityCost, 0, len(prios))
+	for _, p := range prios {
+		out = append(out, PriorityCost{Priority: p, Cost: per[p]})
+	}
+	return out
+}
+
+// blockingClause excludes the current atom assignment.
+func (tr *translation) blockingClause() []lit {
+	clause := make([]lit, 0, tr.gp.NumAtoms())
+	for id := AtomID(1); id <= AtomID(tr.gp.NumAtoms()); id++ {
+		l := tr.atomLit(id)
+		if tr.s.assign[l.variable()] == 1 {
+			clause = append(clause, -l)
+		} else {
+			clause = append(clause, l)
+		}
+	}
+	return clause
+}
+
+// solveEnumerate enumerates stable models. If exactCost >= 0 only models
+// whose combined objective equals exactCost are kept (with pruning above
+// it).
+func (tr *translation) solveEnumerate(opts Options, res *Result, exactCost int64) error {
+	if exactCost >= 0 {
+		tr.s.pruning = true
+		tr.s.bound = exactCost + 1
+	}
+	var searchErr error
+	onTotal := func() bool {
+		if err := tr.s.validateTotal(); err != nil {
+			searchErr = err
+			return true
+		}
+		if u := tr.unfoundedSet(); len(u) > 0 {
+			tr.loopAdds++
+			tr.addSearchClause(tr.loopClause(u))
+			return false
+		}
+		if exactCost >= 0 && tr.s.curCost != exactCost {
+			tr.addSearchClause(tr.blockingClause())
+			return false
+		}
+		res.Models = append(res.Models, tr.extractModel())
+		if opts.MaxModels > 0 && len(res.Models) >= opts.MaxModels {
+			return true
+		}
+		tr.addSearchClause(tr.blockingClause())
+		return false
+	}
+	if err := tr.s.search(onTotal); err != nil {
+		return err
+	}
+	return searchErr
+}
+
+// solveOptimize runs branch-and-bound to the optimum, then re-enumerates
+// the optimal models.
+func (tr *translation) solveOptimize(opts Options, res *Result) error {
+	tr.s.pruning = true
+	tr.s.bound = 1 << 62
+	var best int64 = -1
+	found := false
+	var searchErr error
+	onTotal := func() bool {
+		if err := tr.s.validateTotal(); err != nil {
+			searchErr = err
+			return true
+		}
+		if u := tr.unfoundedSet(); len(u) > 0 {
+			tr.loopAdds++
+			tr.addSearchClause(tr.loopClause(u))
+			return false
+		}
+		found = true
+		best = tr.s.curCost
+		tr.s.bound = best // require strictly better from now on
+		return false
+	}
+	if err := tr.s.search(onTotal); err != nil {
+		return err
+	}
+	if searchErr != nil {
+		return searchErr
+	}
+	if !found {
+		return nil
+	}
+	// Re-enumerate models at exactly the optimal cost on a fresh engine
+	// (the first pass consumed the search space).
+	tr2, err := translate(tr.gp)
+	if err != nil {
+		return err
+	}
+	tr2.s.pruning = true
+	if err := tr2.solveEnumerate(opts, res, best); err != nil {
+		return err
+	}
+	res.Optimal = true
+	// Merge stats from both passes.
+	tr.loopAdds += tr2.loopAdds
+	tr.stableCks += tr2.stableCks
+	tr.s.decisions += tr2.s.decisions
+	tr.s.conflicts += tr2.s.conflicts
+	tr.s.propagations += tr2.s.propagations
+	return nil
+}

@@ -1,0 +1,84 @@
+package sysmodel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the model as a GraphViz digraph: components as nodes
+// grouped per layer, signal flows as solid directed edges, shared-quantity
+// flows as dashed bidirectional edges, composites as double-bordered
+// nodes. Output is deterministic (sorted) so it can be golden-tested and
+// diffed across model revisions.
+func (m *Model) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph \"")
+	sb.WriteString(escapeDOT(m.Name))
+	sb.WriteString("\" {\n  rankdir=LR;\n  node [shape=box];\n")
+
+	byLayer := map[string][]*Component{}
+	var layers []string
+	for _, c := range m.Components {
+		layer := c.Layer
+		if layer == "" {
+			layer = "unlayered"
+		}
+		if _, ok := byLayer[layer]; !ok {
+			layers = append(layers, layer)
+		}
+		byLayer[layer] = append(byLayer[layer], c)
+	}
+	sort.Strings(layers)
+	for i, layer := range layers {
+		comps := byLayer[layer]
+		sort.Slice(comps, func(a, b int) bool { return comps[a].ID < comps[b].ID })
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"%s\";\n", i, escapeDOT(layer))
+		for _, c := range comps {
+			label := c.ID
+			if c.Name != "" {
+				label = c.Name
+			}
+			attrs := fmt.Sprintf("label=\"%s\\n(%s)\"", escapeDOT(label), escapeDOT(c.Type))
+			if c.IsComposite() {
+				attrs += " peripheries=2"
+			}
+			if c.Attr("exposure") == "public" {
+				attrs += " style=filled fillcolor=lightcoral"
+			} else if crit := c.Attr("criticality"); crit == "H" || crit == "VH" {
+				attrs += " style=filled fillcolor=lightgoldenrod"
+			}
+			fmt.Fprintf(&sb, "    \"%s\" [%s];\n", escapeDOT(c.ID), attrs)
+		}
+		sb.WriteString("  }\n")
+	}
+
+	edges := make([]string, 0, len(m.Connections))
+	for _, conn := range m.Connections {
+		attrs := fmt.Sprintf("label=\"%s\"", escapeDOT(conn.From.Port+">"+conn.To.Port))
+		if conn.Flow == QuantityFlow {
+			attrs += " dir=both style=dashed"
+		}
+		if conn.Label != "" {
+			attrs = fmt.Sprintf("label=\"%s\"", escapeDOT(conn.Label))
+			if conn.Flow == QuantityFlow {
+				attrs += " dir=both style=dashed"
+			}
+		}
+		edges = append(edges, fmt.Sprintf("  \"%s\" -> \"%s\" [%s];\n",
+			escapeDOT(conn.From.Component), escapeDOT(conn.To.Component), attrs))
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		sb.WriteString(e)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,68 @@
+package sysmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	m, _ := testModel(t)
+	ls, _ := m.Component("ls")
+	ls.Layer = "physical"
+	ls.SetAttr("exposure", "public")
+	tank, _ := m.Component("tank")
+	tank.Layer = "physical"
+	tank.SetAttr("criticality", "VH")
+
+	var buf bytes.Buffer
+	if err := m.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"mini-plant\"",
+		"subgraph cluster_",
+		"\"ls\" ->",
+		"dir=both style=dashed", // quantity flows
+		"fillcolor=lightcoral",  // exposure highlight
+		"fillcolor=lightgoldenrod",
+		"rankdir=LR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic rendering.
+	var buf2 bytes.Buffer
+	if err := m.WriteDOT(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestWriteDOTComposite(t *testing.T) {
+	m := NewModel("h")
+	m.MustAddComponent(compositeWorkstation())
+	var buf bytes.Buffer
+	if err := m.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "peripheries=2") {
+		t.Error("composite marker missing")
+	}
+}
+
+func TestEscapeDOT(t *testing.T) {
+	m := NewModel(`quo"ted`)
+	m.MustAddComponent(&Component{ID: "a", Type: "t", Name: `we"ird`})
+	var buf bytes.Buffer
+	if err := m.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `we"ird`) {
+		t.Error("unescaped quote in DOT output")
+	}
+}

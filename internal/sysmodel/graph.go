@@ -1,0 +1,158 @@
+package sysmodel
+
+import "sort"
+
+// Graph is the component-level propagation view of a model: signal flows
+// induce directed edges, shared-quantity flows induce edges in both
+// directions (errors in a conserved quantity propagate to every sharer).
+type Graph struct {
+	succ map[string][]string
+	pred map[string][]string
+	ids  []string
+}
+
+// BuildGraph derives the propagation graph of the model.
+func (m *Model) BuildGraph() *Graph {
+	g := &Graph{
+		succ: make(map[string][]string, len(m.Components)),
+		pred: make(map[string][]string, len(m.Components)),
+	}
+	for _, c := range m.Components {
+		g.ids = append(g.ids, c.ID)
+	}
+	sort.Strings(g.ids)
+	add := func(from, to string) {
+		g.succ[from] = appendUnique(g.succ[from], to)
+		g.pred[to] = appendUnique(g.pred[to], from)
+	}
+	for _, conn := range m.Connections {
+		add(conn.From.Component, conn.To.Component)
+		if conn.Flow == QuantityFlow {
+			add(conn.To.Component, conn.From.Component)
+		}
+	}
+	return g
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// IDs returns the node IDs, sorted.
+func (g *Graph) IDs() []string {
+	out := make([]string, len(g.ids))
+	copy(out, g.ids)
+	return out
+}
+
+// Successors returns the direct propagation successors of id, sorted.
+func (g *Graph) Successors(id string) []string {
+	out := append([]string(nil), g.succ[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// Predecessors returns the direct propagation predecessors of id, sorted.
+func (g *Graph) Predecessors(id string) []string {
+	out := append([]string(nil), g.pred[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// Reachable returns every node reachable from the seeds (including the
+// seeds themselves), sorted.
+func (g *Graph) Reachable(seeds ...string) []string {
+	seen := map[string]bool{}
+	queue := append([]string(nil), seeds...)
+	for _, s := range seeds {
+		seen[s] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.succ[cur] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasCycle reports whether the directed propagation graph has a cycle
+// (physical quantity loops always do; the EPA fixpoint must therefore be
+// cycle-safe).
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, s := range g.succ[n] {
+			switch color[s] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, id := range g.ids {
+		if color[id] == white && visit(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShortestPath returns a shortest hop path from one node to another, or
+// nil if unreachable.
+func (g *Graph) ShortestPath(from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.succ[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []string
+				for n := to; n != from; n = prev[n] {
+					path = append(path, n)
+				}
+				path = append(path, from)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package sysmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalJSON customizes nothing at the Model level but repopulates the
+// index on round trips; kept here so the exchange format stays in one
+// place. Flow kinds and directions serialize as their string names.
+
+// flowNames maps between FlowKind and the exchange format.
+var flowNames = map[FlowKind]string{SignalFlow: "signal", QuantityFlow: "quantity"}
+
+// MarshalJSON implements json.Marshaler.
+func (f FlowKind) MarshalJSON() ([]byte, error) {
+	name, ok := flowNames[f]
+	if !ok {
+		return nil, fmt.Errorf("sysmodel: cannot marshal flow kind %d", int(f))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *FlowKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for k, name := range flowNames {
+		if name == s {
+			*f = k
+			return nil
+		}
+	}
+	return fmt.Errorf("sysmodel: unknown flow kind %q", s)
+}
+
+var dirNames = map[PortDir]string{In: "in", Out: "out", InOut: "inout"}
+
+// MarshalJSON implements json.Marshaler.
+func (d PortDir) MarshalJSON() ([]byte, error) {
+	name, ok := dirNames[d]
+	if !ok {
+		return nil, fmt.Errorf("sysmodel: cannot marshal port dir %d", int(d))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *PortDir) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for k, name := range dirNames {
+		if name == s {
+			*d = k
+			return nil
+		}
+	}
+	return fmt.Errorf("sysmodel: unknown port dir %q", s)
+}
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON deserializes a model and rebuilds internal indexes.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("sysmodel: decode model: %w", err)
+	}
+	m.rebuildIndexes()
+	if err := m.checkUniqueIDs(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (m *Model) rebuildIndexes() {
+	m.index = nil
+	m.ensureIndex()
+	for _, c := range m.Components {
+		if c.Sub != nil {
+			c.Sub.rebuildIndexes()
+		}
+	}
+}
+
+func (m *Model) checkUniqueIDs() error {
+	seen := map[string]bool{}
+	for _, c := range m.Components {
+		if c.ID == "" {
+			return fmt.Errorf("sysmodel: component with empty ID in model %q", m.Name)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("sysmodel: duplicate component ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Sub != nil {
+			if err := c.Sub.checkUniqueIDs(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TypesJSON (de)serializes a type library as a JSON array.
+func (l *TypeLibrary) WriteJSON(w io.Writer) error {
+	types := make([]*ComponentType, 0, len(l.order))
+	for _, name := range l.order {
+		types = append(types, l.types[name])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(types)
+}
+
+// ReadTypesJSON loads a type library from a JSON array.
+func ReadTypesJSON(r io.Reader) (*TypeLibrary, error) {
+	var types []*ComponentType
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&types); err != nil {
+		return nil, fmt.Errorf("sysmodel: decode type library: %w", err)
+	}
+	lib := NewTypeLibrary()
+	for _, ct := range types {
+		if err := lib.Add(ct); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}

@@ -1,0 +1,287 @@
+package sysmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is a system model: components, connections, and requirements,
+// validated against a component-type library.
+type Model struct {
+	Name         string        `json:"name"`
+	Components   []*Component  `json:"components"`
+	Connections  []Connection  `json:"connections"`
+	Requirements []Requirement `json:"requirements,omitempty"`
+
+	index map[string]*Component
+}
+
+// NewModel creates an empty model.
+func NewModel(name string) *Model {
+	return &Model{Name: name, index: map[string]*Component{}}
+}
+
+// AddComponent adds a component instance; duplicate IDs are an error.
+func (m *Model) AddComponent(c *Component) error {
+	if c.ID == "" {
+		return fmt.Errorf("sysmodel: component with empty ID in model %q", m.Name)
+	}
+	m.ensureIndex()
+	if _, dup := m.index[c.ID]; dup {
+		return fmt.Errorf("sysmodel: duplicate component ID %q", c.ID)
+	}
+	m.Components = append(m.Components, c)
+	m.index[c.ID] = c
+	return nil
+}
+
+// MustAddComponent panics on error; for static model builders.
+func (m *Model) MustAddComponent(c *Component) {
+	if err := m.AddComponent(c); err != nil {
+		panic(err)
+	}
+}
+
+// Component looks up a component by ID.
+func (m *Model) Component(id string) (*Component, bool) {
+	m.ensureIndex()
+	c, ok := m.index[id]
+	return c, ok
+}
+
+func (m *Model) ensureIndex() {
+	if m.index != nil {
+		return
+	}
+	m.index = make(map[string]*Component, len(m.Components))
+	for _, c := range m.Components {
+		m.index[c.ID] = c
+	}
+}
+
+// Connect adds a connection between two ports.
+func (m *Model) Connect(fromComp, fromPort, toComp, toPort string, flow FlowKind) {
+	m.Connections = append(m.Connections, Connection{
+		From: PortRef{Component: fromComp, Port: fromPort},
+		To:   PortRef{Component: toComp, Port: toPort},
+		Flow: flow,
+	})
+}
+
+// AddRequirement appends a requirement.
+func (m *Model) AddRequirement(r Requirement) {
+	m.Requirements = append(m.Requirements, r)
+}
+
+// ComponentIDs returns all component IDs, sorted.
+func (m *Model) ComponentIDs() []string {
+	out := make([]string, 0, len(m.Components))
+	for _, c := range m.Components {
+		out = append(out, c.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	out := NewModel(m.Name)
+	for _, c := range m.Components {
+		out.MustAddComponent(cloneComponent(c))
+	}
+	out.Connections = append([]Connection(nil), m.Connections...)
+	out.Requirements = append([]Requirement(nil), m.Requirements...)
+	return out
+}
+
+func cloneComponent(c *Component) *Component {
+	out := &Component{ID: c.ID, Name: c.Name, Type: c.Type, Layer: c.Layer}
+	if c.Attrs != nil {
+		out.Attrs = make(map[string]string, len(c.Attrs))
+		for k, v := range c.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	if c.Sub != nil {
+		out.Sub = c.Sub.Clone()
+	}
+	if c.Bindings != nil {
+		out.Bindings = make(map[string]PortRef, len(c.Bindings))
+		for k, v := range c.Bindings {
+			out.Bindings[k] = v
+		}
+	}
+	return out
+}
+
+// Merge unions aspect models into one (paper Fig. 1: "merging the different
+// aspect models ... into a single model"). Component IDs shared between
+// aspects must agree on the type; attributes are unioned with
+// last-writer-wins on conflicts reported as errors.
+func Merge(name string, aspects ...*Model) (*Model, error) {
+	out := NewModel(name)
+	for _, a := range aspects {
+		for _, c := range a.Components {
+			existing, ok := out.Component(c.ID)
+			if !ok {
+				out.MustAddComponent(cloneComponent(c))
+				continue
+			}
+			if existing.Type != c.Type {
+				return nil, fmt.Errorf("sysmodel: aspect conflict on %q: type %q vs %q",
+					c.ID, existing.Type, c.Type)
+			}
+			for k, v := range c.Attrs {
+				if old, dup := existing.Attrs[k]; dup && old != v {
+					return nil, fmt.Errorf("sysmodel: aspect conflict on %q attr %q: %q vs %q",
+						c.ID, k, old, v)
+				}
+				existing.SetAttr(k, v)
+			}
+			if c.Sub != nil && existing.Sub == nil {
+				existing.Sub = c.Sub.Clone()
+				existing.Bindings = c.Bindings
+			}
+		}
+		out.Connections = append(out.Connections, a.Connections...)
+		out.Requirements = append(out.Requirements, a.Requirements...)
+	}
+	out.dedupeConnections()
+	return out, nil
+}
+
+func (m *Model) dedupeConnections() {
+	seen := map[string]bool{}
+	kept := m.Connections[:0]
+	for _, c := range m.Connections {
+		key := c.From.String() + ">" + c.To.String() + "#" + c.Flow.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, c)
+	}
+	m.Connections = kept
+}
+
+// Validate checks model well-formedness against the library:
+// component types exist, connection endpoints exist with compatible
+// directions and flow kinds, composite bindings resolve, and requirement
+// IDs are unique. Composite inner models are validated recursively.
+func (m *Model) Validate(lib *TypeLibrary) error {
+	m.ensureIndex()
+	for _, c := range m.Components {
+		ct, ok := lib.Get(c.Type)
+		if !ok {
+			return fmt.Errorf("sysmodel: component %q has unknown type %q", c.ID, c.Type)
+		}
+		if c.Sub != nil {
+			if err := c.Sub.Validate(lib); err != nil {
+				return fmt.Errorf("composite %q: %w", c.ID, err)
+			}
+			for outer, inner := range c.Bindings {
+				if _, ok := ct.Port(outer); !ok {
+					return fmt.Errorf("sysmodel: composite %q binds unknown outer port %q", c.ID, outer)
+				}
+				if err := c.Sub.checkPort(lib, inner, 0); err != nil {
+					return fmt.Errorf("composite %q binding %q: %w", c.ID, outer, err)
+				}
+			}
+		}
+	}
+	for i, conn := range m.Connections {
+		fromSpec, err := m.portSpec(lib, conn.From)
+		if err != nil {
+			return fmt.Errorf("connection %d: %w", i, err)
+		}
+		toSpec, err := m.portSpec(lib, conn.To)
+		if err != nil {
+			return fmt.Errorf("connection %d: %w", i, err)
+		}
+		if fromSpec.Flow != conn.Flow || toSpec.Flow != conn.Flow {
+			return fmt.Errorf("connection %d (%s -> %s): flow mismatch (%s port vs %s connection)",
+				i, conn.From, conn.To, fromSpec.Flow, conn.Flow)
+		}
+		switch conn.Flow {
+		case SignalFlow:
+			if fromSpec.Dir != Out || toSpec.Dir != In {
+				return fmt.Errorf("connection %d (%s -> %s): signal flows must go out -> in, got %s -> %s",
+					i, conn.From, conn.To, fromSpec.Dir, toSpec.Dir)
+			}
+		case QuantityFlow:
+			if fromSpec.Dir != InOut || toSpec.Dir != InOut {
+				return fmt.Errorf("connection %d (%s -> %s): quantity flows need inout ports, got %s -> %s",
+					i, conn.From, conn.To, fromSpec.Dir, toSpec.Dir)
+			}
+		default:
+			return fmt.Errorf("connection %d: unknown flow kind", i)
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range m.Requirements {
+		if r.ID == "" {
+			return fmt.Errorf("sysmodel: requirement with empty ID")
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("sysmodel: duplicate requirement ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}
+
+func (m *Model) portSpec(lib *TypeLibrary, ref PortRef) (PortSpec, error) {
+	c, ok := m.Component(ref.Component)
+	if !ok {
+		return PortSpec{}, fmt.Errorf("unknown component %q", ref.Component)
+	}
+	ct, ok := lib.Get(c.Type)
+	if !ok {
+		return PortSpec{}, fmt.Errorf("component %q has unknown type %q", ref.Component, c.Type)
+	}
+	spec, ok := ct.Port(ref.Port)
+	if !ok {
+		return PortSpec{}, fmt.Errorf("component %q (type %q) has no port %q", ref.Component, c.Type, ref.Port)
+	}
+	return spec, nil
+}
+
+const maxBindingDepth = 32
+
+func (m *Model) checkPort(lib *TypeLibrary, ref PortRef, depth int) error {
+	if depth > maxBindingDepth {
+		return fmt.Errorf("binding nesting exceeds %d", maxBindingDepth)
+	}
+	_, err := m.portSpec(lib, ref)
+	return err
+}
+
+// Stats summarizes model size for reports.
+type Stats struct {
+	Components  int
+	Composites  int
+	Connections int
+	// Depth is the maximum composite nesting depth.
+	Depth int
+}
+
+// Stats computes model statistics (recursively counting inner models).
+func (m *Model) Stats() Stats {
+	st := Stats{Connections: len(m.Connections)}
+	maxDepth := 0
+	for _, c := range m.Components {
+		st.Components++
+		if c.Sub != nil {
+			st.Composites++
+			inner := c.Sub.Stats()
+			st.Components += inner.Components
+			st.Composites += inner.Composites
+			st.Connections += inner.Connections
+			if inner.Depth+1 > maxDepth {
+				maxDepth = inner.Depth + 1
+			}
+		}
+	}
+	st.Depth = maxDepth
+	return st
+}

@@ -1,0 +1,425 @@
+package sysmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testLib builds a small library: a sensor (signal out), a controller
+// (signal in/out), a valve (signal in, quantity inout), a tank (quantity
+// inout x2), and a composite-capable workstation.
+func testLib(t testing.TB) *TypeLibrary {
+	lib := NewTypeLibrary()
+	for _, ct := range []*ComponentType{
+		{
+			Name:  "sensor",
+			Layer: "physical",
+			Ports: []PortSpec{
+				{Name: "measure", Dir: InOut, Flow: QuantityFlow},
+				{Name: "reading", Dir: Out, Flow: SignalFlow},
+			},
+			FaultModes: []FaultModeSpec{{Name: "no_signal", Likelihood: "L"}},
+		},
+		{
+			Name:  "controller",
+			Layer: "technology",
+			Ports: []PortSpec{
+				{Name: "in", Dir: In, Flow: SignalFlow},
+				{Name: "out", Dir: Out, Flow: SignalFlow},
+			},
+			FaultModes: []FaultModeSpec{{Name: "crash", Likelihood: "VL"}},
+		},
+		{
+			Name:  "valve",
+			Layer: "physical",
+			Ports: []PortSpec{
+				{Name: "cmd", Dir: In, Flow: SignalFlow},
+				{Name: "pipe", Dir: InOut, Flow: QuantityFlow},
+			},
+			FaultModes: []FaultModeSpec{
+				{Name: "stuck_at_open", Likelihood: "L"},
+				{Name: "stuck_at_closed", Likelihood: "L"},
+			},
+		},
+		{
+			Name:  "tank",
+			Layer: "physical",
+			Ports: []PortSpec{
+				{Name: "inflow", Dir: InOut, Flow: QuantityFlow},
+				{Name: "outflow", Dir: InOut, Flow: QuantityFlow},
+			},
+		},
+		{
+			Name:  "workstation",
+			Layer: "application",
+			Ports: []PortSpec{
+				{Name: "net", Dir: Out, Flow: SignalFlow},
+			},
+			FaultModes: []FaultModeSpec{{Name: "infected", Likelihood: "M"}},
+		},
+		{
+			Name:  "app",
+			Layer: "application",
+			Ports: []PortSpec{
+				{Name: "out", Dir: Out, Flow: SignalFlow},
+				{Name: "in", Dir: In, Flow: SignalFlow},
+			},
+		},
+	} {
+		lib.MustAdd(ct)
+	}
+	return lib
+}
+
+// testModel wires sensor -> controller -> valve -> tank.
+func testModel(t testing.TB) (*Model, *TypeLibrary) {
+	lib := testLib(t)
+	m := NewModel("mini-plant")
+	m.MustAddComponent(&Component{ID: "ls", Type: "sensor"})
+	m.MustAddComponent(&Component{ID: "ctrl", Type: "controller"})
+	m.MustAddComponent(&Component{ID: "valve", Type: "valve"})
+	m.MustAddComponent(&Component{ID: "tank", Type: "tank"})
+	m.Connect("ls", "reading", "ctrl", "in", SignalFlow)
+	m.Connect("ctrl", "out", "valve", "cmd", SignalFlow)
+	m.Connect("valve", "pipe", "tank", "inflow", QuantityFlow)
+	m.Connect("ls", "measure", "tank", "outflow", QuantityFlow)
+	m.AddRequirement(Requirement{ID: "R1", Formula: "G !state(tank,overflow)", Severity: "H"})
+	return m, lib
+}
+
+func TestValidateOK(t *testing.T) {
+	m, lib := testModel(t)
+	if err := m.Validate(lib); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+		substr string
+	}{
+		{"unknown type", func(m *Model) { m.Components[0].Type = "ghost" }, "unknown type"},
+		{"unknown component", func(m *Model) { m.Connections[0].To.Component = "ghost" }, "unknown component"},
+		{"unknown port", func(m *Model) { m.Connections[0].From.Port = "ghost" }, "no port"},
+		{"flow mismatch", func(m *Model) { m.Connections[0].Flow = QuantityFlow }, "flow mismatch"},
+		{"signal direction", func(m *Model) {
+			m.Connections[0] = Connection{
+				From: PortRef{"ctrl", "in"}, To: PortRef{"ls", "reading"}, Flow: SignalFlow}
+		}, "out -> in"},
+		{"dup requirement", func(m *Model) {
+			m.AddRequirement(Requirement{ID: "R1", Formula: "true"})
+		}, "duplicate requirement"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, lib := testModel(t)
+			tt.mutate(m)
+			err := m.Validate(lib)
+			if err == nil || !strings.Contains(err.Error(), tt.substr) {
+				t.Fatalf("err = %v, want substring %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestDuplicateComponentID(t *testing.T) {
+	m := NewModel("x")
+	m.MustAddComponent(&Component{ID: "a", Type: "tank"})
+	if err := m.AddComponent(&Component{ID: "a", Type: "tank"}); err == nil {
+		t.Fatal("duplicate ID must fail")
+	}
+}
+
+func TestTypeLibrary(t *testing.T) {
+	lib := testLib(t)
+	if _, ok := lib.Get("valve"); !ok {
+		t.Fatal("valve missing")
+	}
+	ct, _ := lib.Get("valve")
+	if _, ok := ct.Port("pipe"); !ok {
+		t.Error("pipe port missing")
+	}
+	if _, ok := ct.FaultMode("stuck_at_open"); !ok {
+		t.Error("fault mode missing")
+	}
+	if err := lib.Add(&ComponentType{Name: "valve"}); err == nil {
+		t.Error("duplicate type must fail")
+	}
+	other := NewTypeLibrary()
+	other.MustAdd(&ComponentType{Name: "hmi"})
+	if err := lib.Merge(other); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if _, ok := lib.Get("hmi"); !ok {
+		t.Error("merged type missing")
+	}
+}
+
+func TestGraphPropagation(t *testing.T) {
+	m, _ := testModel(t)
+	g := m.BuildGraph()
+	// Signal edges directed; quantity edges bidirectional.
+	succ := g.Successors("valve")
+	if len(succ) != 1 || succ[0] != "tank" {
+		t.Errorf("valve successors = %v", succ)
+	}
+	succ = g.Successors("tank")
+	// tank shares quantity flows with valve and ls.
+	if len(succ) != 2 || succ[0] != "ls" || succ[1] != "valve" {
+		t.Errorf("tank successors = %v", succ)
+	}
+	if got := g.Predecessors("ctrl"); len(got) != 1 || got[0] != "ls" {
+		t.Errorf("ctrl preds = %v", got)
+	}
+}
+
+func TestGraphReachable(t *testing.T) {
+	m, _ := testModel(t)
+	g := m.BuildGraph()
+	reach := g.Reachable("ctrl")
+	// ctrl -> valve -> tank <-> ls -> ctrl: everything reachable.
+	if len(reach) != 4 {
+		t.Errorf("reachable from ctrl = %v", reach)
+	}
+	if !g.HasCycle() {
+		t.Error("quantity loop should create a cycle")
+	}
+}
+
+func TestGraphShortestPath(t *testing.T) {
+	m, _ := testModel(t)
+	g := m.BuildGraph()
+	path := g.ShortestPath("ctrl", "ls")
+	want := []string{"ctrl", "valve", "tank", "ls"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if got := g.ShortestPath("tank", "tank"); len(got) != 1 {
+		t.Errorf("self path = %v", got)
+	}
+	m2 := NewModel("disconnected")
+	m2.MustAddComponent(&Component{ID: "a", Type: "tank"})
+	m2.MustAddComponent(&Component{ID: "b", Type: "tank"})
+	if got := m2.BuildGraph().ShortestPath("a", "b"); got != nil {
+		t.Errorf("unreachable path = %v", got)
+	}
+}
+
+func compositeWorkstation() *Component {
+	inner := NewModel("ws-inner")
+	inner.MustAddComponent(&Component{ID: "email", Type: "app"})
+	inner.MustAddComponent(&Component{ID: "browser", Type: "app"})
+	inner.Connect("email", "out", "browser", "in", SignalFlow)
+	return &Component{
+		ID:   "ews",
+		Type: "workstation",
+		Sub:  inner,
+		Bindings: map[string]PortRef{
+			"net": {Component: "browser", Port: "out"},
+		},
+	}
+}
+
+func TestRefineComponent(t *testing.T) {
+	lib := testLib(t)
+	m := NewModel("plant")
+	m.MustAddComponent(compositeWorkstation())
+	m.MustAddComponent(&Component{ID: "ctrl", Type: "controller"})
+	m.Connect("ews", "net", "ctrl", "in", SignalFlow)
+	if err := m.Validate(lib); err != nil {
+		t.Fatalf("pre-refine validate: %v", err)
+	}
+
+	if err := m.RefineComponent("ews"); err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	if err := m.Validate(lib); err != nil {
+		t.Fatalf("post-refine validate: %v", err)
+	}
+	if _, ok := m.Component("ews"); ok {
+		t.Error("composite must be removed")
+	}
+	if _, ok := m.Component("ews.email"); !ok {
+		t.Error("namespaced inner component missing")
+	}
+	// The outer connection must now come from ews.browser.out.
+	found := false
+	for _, c := range m.Connections {
+		if c.From.Component == "ews.browser" && c.To.Component == "ctrl" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rewired connection missing: %v", m.Connections)
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	m, _ := testModel(t)
+	if err := m.RefineComponent("ghost"); err == nil {
+		t.Error("unknown component must fail")
+	}
+	if err := m.RefineComponent("tank"); err == nil {
+		t.Error("non-composite must fail")
+	}
+	// Missing binding for a connected port.
+	m2 := NewModel("x")
+	ws := compositeWorkstation()
+	ws.Bindings = nil
+	m2.MustAddComponent(ws)
+	m2.MustAddComponent(&Component{ID: "ctrl", Type: "controller"})
+	m2.Connect("ews", "net", "ctrl", "in", SignalFlow)
+	if err := m2.RefineComponent("ews"); err == nil || !strings.Contains(err.Error(), "binding") {
+		t.Errorf("missing binding error = %v", err)
+	}
+}
+
+func TestRefineAllAndStats(t *testing.T) {
+	m := NewModel("plant")
+	m.MustAddComponent(compositeWorkstation())
+	m.MustAddComponent(&Component{ID: "ctrl", Type: "controller"})
+	st := m.Stats()
+	if st.Components != 4 || st.Composites != 1 || st.Depth != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := m.RefineAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Composites()) != 0 {
+		t.Error("composites remain after RefineAll")
+	}
+	st = m.Stats()
+	if st.Components != 3 || st.Depth != 0 {
+		t.Errorf("flattened stats = %+v", st)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, _ := testModel(t)
+	m.Components[0].SetAttr("exposure", "internal")
+	c := m.Clone()
+	c.Components[0].SetAttr("exposure", "public")
+	if m.Components[0].Attr("exposure") != "internal" {
+		t.Error("clone shares attrs")
+	}
+	c.Connect("tank", "inflow", "tank", "outflow", QuantityFlow)
+	if len(m.Connections) == len(c.Connections) {
+		t.Error("clone shares connections")
+	}
+}
+
+func TestMergeAspects(t *testing.T) {
+	arch := NewModel("architecture")
+	arch.MustAddComponent(&Component{ID: "ctrl", Type: "controller"})
+	arch.MustAddComponent(&Component{ID: "valve", Type: "valve"})
+	arch.Connect("ctrl", "out", "valve", "cmd", SignalFlow)
+
+	deploy := NewModel("deployment")
+	deploy.MustAddComponent(&Component{ID: "ctrl", Type: "controller",
+		Attrs: map[string]string{"deployedOn": "plc1"}})
+
+	sec := NewModel("security")
+	sec.MustAddComponent(&Component{ID: "ctrl", Type: "controller",
+		Attrs: map[string]string{"exposure": "internal"}})
+	sec.AddRequirement(Requirement{ID: "R1", Formula: "true"})
+
+	merged, err := Merge("system", arch, deploy, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, _ := merged.Component("ctrl")
+	if ctrl.Attr("deployedOn") != "plc1" || ctrl.Attr("exposure") != "internal" {
+		t.Errorf("merged attrs = %v", ctrl.Attrs)
+	}
+	if len(merged.Requirements) != 1 {
+		t.Errorf("requirements = %v", merged.Requirements)
+	}
+	if len(merged.Components) != 2 || len(merged.Connections) != 1 {
+		t.Errorf("merged size = %d comps %d conns", len(merged.Components), len(merged.Connections))
+	}
+}
+
+func TestMergeConflicts(t *testing.T) {
+	a := NewModel("a")
+	a.MustAddComponent(&Component{ID: "x", Type: "controller"})
+	b := NewModel("b")
+	b.MustAddComponent(&Component{ID: "x", Type: "valve"})
+	if _, err := Merge("m", a, b); err == nil {
+		t.Error("type conflict must fail")
+	}
+
+	c := NewModel("c")
+	c.MustAddComponent(&Component{ID: "x", Type: "controller",
+		Attrs: map[string]string{"exposure": "public"}})
+	d := NewModel("d")
+	d.MustAddComponent(&Component{ID: "x", Type: "controller",
+		Attrs: map[string]string{"exposure": "internal"}})
+	if _, err := Merge("m", c, d); err == nil {
+		t.Error("attr conflict must fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, lib := testModel(t)
+	m.Components[0].SetAttr("exposure", "internal")
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Validate(lib); err != nil {
+		t.Fatalf("round-tripped model invalid: %v", err)
+	}
+	if len(m2.Components) != len(m.Components) || len(m2.Connections) != len(m.Connections) {
+		t.Error("round trip lost elements")
+	}
+	c, ok := m2.Component("ls")
+	if !ok || c.Attr("exposure") != "internal" {
+		t.Error("round trip lost attributes")
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","components":[{"id":"a","type":"t"},{"id":"a","type":"t"}],"connections":[]}`)); err == nil {
+		t.Error("duplicate IDs must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Error("unknown fields must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("syntax error must fail")
+	}
+}
+
+func TestTypeLibraryJSONRoundTrip(t *testing.T) {
+	lib := testLib(t)
+	var buf bytes.Buffer
+	if err := lib.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := ReadTypesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib2.Names()) != len(lib.Names()) {
+		t.Errorf("round trip: %v vs %v", lib2.Names(), lib.Names())
+	}
+	ct, ok := lib2.Get("valve")
+	if !ok {
+		t.Fatal("valve lost")
+	}
+	if p, _ := ct.Port("pipe"); p.Flow != QuantityFlow || p.Dir != InOut {
+		t.Errorf("valve pipe spec = %+v", p)
+	}
+}

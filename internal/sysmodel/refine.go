@@ -1,0 +1,109 @@
+package sysmodel
+
+import (
+	"fmt"
+)
+
+// RefineComponent replaces a composite component with its inner model
+// (paper Fig. 4 asset refinement: the Engineering Workstation expands into
+// e-mail client, browser, infected computer...). Inner component IDs are
+// namespaced as "<outer>.<inner>"; connections touching the composite's
+// outer ports are rewired through the port bindings. The receiver is
+// modified in place; use Clone first to keep the abstract model.
+func (m *Model) RefineComponent(id string) error {
+	comp, ok := m.Component(id)
+	if !ok {
+		return fmt.Errorf("sysmodel: refine: unknown component %q", id)
+	}
+	if !comp.IsComposite() {
+		return fmt.Errorf("sysmodel: refine: component %q is not composite", id)
+	}
+	sub := comp.Sub
+	prefix := id + "."
+
+	// Remove the composite from the model.
+	kept := m.Components[:0]
+	for _, c := range m.Components {
+		if c.ID != id {
+			kept = append(kept, c)
+		}
+	}
+	m.Components = kept
+	m.index = nil
+
+	// Insert namespaced inner components.
+	for _, inner := range sub.Components {
+		clone := cloneComponent(inner)
+		clone.ID = prefix + inner.ID
+		if err := m.AddComponent(clone); err != nil {
+			return err
+		}
+	}
+	// Inner connections, namespaced.
+	for _, conn := range sub.Connections {
+		m.Connections = append(m.Connections, Connection{
+			From:  PortRef{Component: prefix + conn.From.Component, Port: conn.From.Port},
+			To:    PortRef{Component: prefix + conn.To.Component, Port: conn.To.Port},
+			Flow:  conn.Flow,
+			Label: conn.Label,
+		})
+	}
+	// Rewire outer connections through bindings.
+	for i := range m.Connections {
+		conn := &m.Connections[i]
+		if conn.From.Component == id {
+			ref, err := resolveBinding(comp, conn.From.Port, prefix)
+			if err != nil {
+				return err
+			}
+			conn.From = ref
+		}
+		if conn.To.Component == id {
+			ref, err := resolveBinding(comp, conn.To.Port, prefix)
+			if err != nil {
+				return err
+			}
+			conn.To = ref
+		}
+	}
+	// Inner requirements propagate up (IDs must stay unique).
+	m.Requirements = append(m.Requirements, sub.Requirements...)
+	return nil
+}
+
+func resolveBinding(comp *Component, outerPort, prefix string) (PortRef, error) {
+	inner, ok := comp.Bindings[outerPort]
+	if !ok {
+		return PortRef{}, fmt.Errorf("sysmodel: refine: composite %q has no binding for connected port %q",
+			comp.ID, outerPort)
+	}
+	return PortRef{Component: prefix + inner.Component, Port: inner.Port}, nil
+}
+
+// Composites lists the IDs of composite components.
+func (m *Model) Composites() []string {
+	var out []string
+	for _, c := range m.Components {
+		if c.IsComposite() {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// RefineAll fully flattens the model by refining composites until none
+// remain.
+func (m *Model) RefineAll() error {
+	for guard := 0; guard <= maxBindingDepth; guard++ {
+		comps := m.Composites()
+		if len(comps) == 0 {
+			return nil
+		}
+		for _, id := range comps {
+			if err := m.RefineComponent(id); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("sysmodel: refine: nesting deeper than %d", maxBindingDepth)
+}

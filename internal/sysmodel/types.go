@@ -1,0 +1,237 @@
+// Package sysmodel implements the IT/OT system model of the framework
+// (paper Fig. 1, step 1): typed components with ports, directed signal-flow
+// connections for the IT part and undirected shared-quantity connections
+// for the physical part (§II-B), composite components for hierarchical
+// refinement (§VI), component-type libraries for reuse, aspect merging, and
+// JSON model exchange.
+package sysmodel
+
+import (
+	"fmt"
+)
+
+// FlowKind distinguishes the two interconnection semantics of a CPS
+// (paper §II-B).
+type FlowKind int
+
+// Flow kinds.
+const (
+	// SignalFlow is a directed data flow between an output and an input of
+	// IT components.
+	SignalFlow FlowKind = iota + 1
+	// QuantityFlow is an undirected shared physical quantity governed by a
+	// conservation law (modeled through in-out ports).
+	QuantityFlow
+)
+
+// String implements fmt.Stringer.
+func (f FlowKind) String() string {
+	switch f {
+	case SignalFlow:
+		return "signal"
+	case QuantityFlow:
+		return "quantity"
+	default:
+		return "unknown-flow"
+	}
+}
+
+// PortDir is a port direction.
+type PortDir int
+
+// Port directions.
+const (
+	In PortDir = iota + 1
+	Out
+	InOut
+)
+
+// String implements fmt.Stringer.
+func (d PortDir) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return "unknown-dir"
+	}
+}
+
+// PortSpec declares a port on a component type.
+type PortSpec struct {
+	Name string   `json:"name"`
+	Dir  PortDir  `json:"dir"`
+	Flow FlowKind `json:"flow"`
+}
+
+// FaultModeSpec declares a fault mode a component type can exhibit
+// (paper §IV-A step 2: "identify fault modes of components").
+type FaultModeSpec struct {
+	// Name identifies the fault mode, e.g. "stuck_at_open", "no_signal".
+	Name string `json:"name"`
+	// Description is a human explanation.
+	Description string `json:"description,omitempty"`
+	// Likelihood is a qualitative O-RA label (VL..VH) of spontaneous
+	// occurrence; attack-induced activation is modeled separately.
+	Likelihood string `json:"likelihood,omitempty"`
+	// AttackOnly marks modes that never occur spontaneously: they are
+	// declared so vulnerabilities and techniques can inject them, but the
+	// candidate generator does not create a spontaneous mutation (and
+	// mitigation blocking therefore fully covers them).
+	AttackOnly bool `json:"attackOnly,omitempty"`
+}
+
+// ComponentType is a reusable library entry (paper: "component-type
+// libraries support reusing already existing sub-models").
+type ComponentType struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description,omitempty"`
+	Layer       string          `json:"layer,omitempty"` // default layer
+	Ports       []PortSpec      `json:"ports,omitempty"`
+	FaultModes  []FaultModeSpec `json:"faultModes,omitempty"`
+}
+
+// Port returns the port spec with the given name.
+func (ct *ComponentType) Port(name string) (PortSpec, bool) {
+	for _, p := range ct.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PortSpec{}, false
+}
+
+// FaultMode returns the named fault mode spec.
+func (ct *ComponentType) FaultMode(name string) (FaultModeSpec, bool) {
+	for _, fm := range ct.FaultModes {
+		if fm.Name == name {
+			return fm, true
+		}
+	}
+	return FaultModeSpec{}, false
+}
+
+// TypeLibrary is a collection of component types.
+type TypeLibrary struct {
+	types map[string]*ComponentType
+	order []string
+}
+
+// NewTypeLibrary builds an empty library.
+func NewTypeLibrary() *TypeLibrary {
+	return &TypeLibrary{types: map[string]*ComponentType{}}
+}
+
+// Add registers a type; duplicate names are an error.
+func (l *TypeLibrary) Add(ct *ComponentType) error {
+	if ct.Name == "" {
+		return fmt.Errorf("sysmodel: component type with empty name")
+	}
+	if _, dup := l.types[ct.Name]; dup {
+		return fmt.Errorf("sysmodel: duplicate component type %q", ct.Name)
+	}
+	l.types[ct.Name] = ct
+	l.order = append(l.order, ct.Name)
+	return nil
+}
+
+// MustAdd is Add that panics; for static libraries.
+func (l *TypeLibrary) MustAdd(ct *ComponentType) {
+	if err := l.Add(ct); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks up a type by name.
+func (l *TypeLibrary) Get(name string) (*ComponentType, bool) {
+	ct, ok := l.types[name]
+	return ct, ok
+}
+
+// Names returns the registered type names in insertion order.
+func (l *TypeLibrary) Names() []string {
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// Merge adds all types of other; duplicates are an error.
+func (l *TypeLibrary) Merge(other *TypeLibrary) error {
+	for _, name := range other.order {
+		if err := l.Add(other.types[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PortRef addresses a port of a component instance.
+type PortRef struct {
+	Component string `json:"component"`
+	Port      string `json:"port"`
+}
+
+// String implements fmt.Stringer.
+func (p PortRef) String() string { return p.Component + "." + p.Port }
+
+// Connection links two ports. Signal flows connect an Out to an In port;
+// quantity flows connect two InOut ports and are semantically undirected.
+type Connection struct {
+	From PortRef  `json:"from"`
+	To   PortRef  `json:"to"`
+	Flow FlowKind `json:"flow"`
+	// Label is an optional human annotation, e.g. "control message".
+	Label string `json:"label,omitempty"`
+}
+
+// Component is a component instance in a model.
+type Component struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Type string `json:"type"`
+	// Layer overrides the type's default layer (ArchiMate-style:
+	// business / application / technology / physical).
+	Layer string `json:"layer,omitempty"`
+	// Attrs carries security and deployment metadata: exposure
+	// ("public"/"internal"), software version, deployedOn, criticality...
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Sub is the inner model of a composite component, used by
+	// hierarchical asset refinement (paper §VI, Fig. 4).
+	Sub *Model `json:"sub,omitempty"`
+	// Bindings map the composite's outer port names to inner ports.
+	Bindings map[string]PortRef `json:"bindings,omitempty"`
+}
+
+// Attr returns the attribute value or "".
+func (c *Component) Attr(key string) string {
+	if c.Attrs == nil {
+		return ""
+	}
+	return c.Attrs[key]
+}
+
+// SetAttr sets an attribute, allocating the map on first use.
+func (c *Component) SetAttr(key, value string) {
+	if c.Attrs == nil {
+		c.Attrs = map[string]string{}
+	}
+	c.Attrs[key] = value
+}
+
+// IsComposite reports whether the component has an inner model.
+func (c *Component) IsComposite() bool { return c.Sub != nil }
+
+// Requirement is a system requirement: an LTLf formula over qualitative
+// state propositions (paper §VII: R1, R2).
+type Requirement struct {
+	ID          string `json:"id"`
+	Description string `json:"description,omitempty"`
+	// Formula is LTLf surface syntax, e.g. "G !state(tank,overflow)".
+	Formula string `json:"formula"`
+	// Severity is the qualitative loss magnitude (VL..VH) of violating
+	// this requirement, feeding the risk quantization step.
+	Severity string `json:"severity,omitempty"`
+}

@@ -1,0 +1,356 @@
+// Package temporal implements linear temporal logic over finite traces
+// (LTLf): the requirement-specification language of the framework. It is
+// the substitute for Telingo's temporal extension of ASP: formulas can be
+// evaluated directly over recorded qualitative traces, or unrolled over a
+// bounded horizon into ASP rules for exhaustive model checking by the
+// solver (paper §II-C).
+package temporal
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/logic"
+)
+
+// Formula is an LTLf formula.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Truth constants.
+type (
+	// TrueF is the constant true formula.
+	TrueF struct{}
+	// FalseF is the constant false formula.
+	FalseF struct{}
+)
+
+// Prop is an atomic proposition, a ground logic atom such as
+// state(tank,overflow).
+type Prop struct{ Atom logic.Atom }
+
+// Unary connectives and temporal operators.
+type (
+	// NotF is logical negation.
+	NotF struct{ Sub Formula }
+	// NextF is the strong next operator: there is a next state and Sub
+	// holds there.
+	NextF struct{ Sub Formula }
+	// WeakNextF holds if there is no next state, or Sub holds there.
+	WeakNextF struct{ Sub Formula }
+	// FinallyF is the eventually operator.
+	FinallyF struct{ Sub Formula }
+	// GloballyF is the always operator.
+	GloballyF struct{ Sub Formula }
+)
+
+// Binary connectives and temporal operators.
+type (
+	// AndF is conjunction.
+	AndF struct{ L, R Formula }
+	// OrF is disjunction.
+	OrF struct{ L, R Formula }
+	// ImpliesF is implication.
+	ImpliesF struct{ L, R Formula }
+	// UntilF is the (strong) until operator.
+	UntilF struct{ L, R Formula }
+	// ReleaseF is the release operator.
+	ReleaseF struct{ L, R Formula }
+)
+
+func (TrueF) isFormula()     {}
+func (FalseF) isFormula()    {}
+func (Prop) isFormula()      {}
+func (NotF) isFormula()      {}
+func (NextF) isFormula()     {}
+func (WeakNextF) isFormula() {}
+func (FinallyF) isFormula()  {}
+func (GloballyF) isFormula() {}
+func (AndF) isFormula()      {}
+func (OrF) isFormula()       {}
+func (ImpliesF) isFormula()  {}
+func (UntilF) isFormula()    {}
+func (ReleaseF) isFormula()  {}
+
+// Constructor helpers.
+
+// T returns the true formula.
+func T() Formula { return TrueF{} }
+
+// F returns the false formula.
+func F() Formula { return FalseF{} }
+
+// P builds an atomic proposition.
+func P(pred string, args ...logic.Term) Formula {
+	return Prop{Atom: logic.A(pred, args...)}
+}
+
+// PAtom wraps an existing atom as a proposition.
+func PAtom(a logic.Atom) Formula { return Prop{Atom: a} }
+
+// Not negates a formula.
+func Not(f Formula) Formula { return NotF{Sub: f} }
+
+// Next is the strong next operator.
+func Next(f Formula) Formula { return NextF{Sub: f} }
+
+// WeakNext is the weak next operator.
+func WeakNext(f Formula) Formula { return WeakNextF{Sub: f} }
+
+// Finally is the eventually operator.
+func Finally(f Formula) Formula { return FinallyF{Sub: f} }
+
+// Globally is the always operator.
+func Globally(f Formula) Formula { return GloballyF{Sub: f} }
+
+// And builds the conjunction of one or more formulas.
+func And(fs ...Formula) Formula { return fold(fs, func(l, r Formula) Formula { return AndF{l, r} }) }
+
+// Or builds the disjunction of one or more formulas.
+func Or(fs ...Formula) Formula { return fold(fs, func(l, r Formula) Formula { return OrF{l, r} }) }
+
+func fold(fs []Formula, join func(l, r Formula) Formula) Formula {
+	switch len(fs) {
+	case 0:
+		return TrueF{}
+	case 1:
+		return fs[0]
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = join(out, f)
+	}
+	return out
+}
+
+// Implies builds l -> r.
+func Implies(l, r Formula) Formula { return ImpliesF{L: l, R: r} }
+
+// Until builds l U r.
+func Until(l, r Formula) Formula { return UntilF{L: l, R: r} }
+
+// Release builds l R r.
+func Release(l, r Formula) Formula { return ReleaseF{L: l, R: r} }
+
+// String implementations render in the parseable surface syntax.
+
+// String implements fmt.Stringer.
+func (TrueF) String() string { return "true" }
+
+// String implements fmt.Stringer.
+func (FalseF) String() string { return "false" }
+
+// String implements fmt.Stringer.
+func (p Prop) String() string { return p.Atom.String() }
+
+// String implements fmt.Stringer.
+func (f NotF) String() string { return "!" + paren(f.Sub) }
+
+// String implements fmt.Stringer.
+func (f NextF) String() string { return "X " + paren(f.Sub) }
+
+// String implements fmt.Stringer.
+func (f WeakNextF) String() string { return "WX " + paren(f.Sub) }
+
+// String implements fmt.Stringer.
+func (f FinallyF) String() string { return "F " + paren(f.Sub) }
+
+// String implements fmt.Stringer.
+func (f GloballyF) String() string { return "G " + paren(f.Sub) }
+
+// String implements fmt.Stringer.
+func (f AndF) String() string { return paren(f.L) + " & " + paren(f.R) }
+
+// String implements fmt.Stringer.
+func (f OrF) String() string { return paren(f.L) + " | " + paren(f.R) }
+
+// String implements fmt.Stringer.
+func (f ImpliesF) String() string { return paren(f.L) + " -> " + paren(f.R) }
+
+// String implements fmt.Stringer.
+func (f UntilF) String() string { return paren(f.L) + " U " + paren(f.R) }
+
+// String implements fmt.Stringer.
+func (f ReleaseF) String() string { return paren(f.L) + " R " + paren(f.R) }
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case TrueF, FalseF, Prop, NotF:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Props returns the distinct atomic propositions of the formula in
+// first-appearance order.
+func Props(f Formula) []logic.Atom {
+	var out []logic.Atom
+	seen := map[string]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch ff := f.(type) {
+		case Prop:
+			k := ff.Atom.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, ff.Atom)
+			}
+		case NotF:
+			walk(ff.Sub)
+		case NextF:
+			walk(ff.Sub)
+		case WeakNextF:
+			walk(ff.Sub)
+		case FinallyF:
+			walk(ff.Sub)
+		case GloballyF:
+			walk(ff.Sub)
+		case AndF:
+			walk(ff.L)
+			walk(ff.R)
+		case OrF:
+			walk(ff.L)
+			walk(ff.R)
+		case ImpliesF:
+			walk(ff.L)
+			walk(ff.R)
+		case UntilF:
+			walk(ff.L)
+			walk(ff.R)
+		case ReleaseF:
+			walk(ff.L)
+			walk(ff.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// State is a single trace state: the set of true proposition keys.
+type State map[string]bool
+
+// Trace is a finite sequence of states.
+type Trace []State
+
+// TraceFromKeys builds a trace from per-step lists of true atom keys.
+func TraceFromKeys(steps ...[]string) Trace {
+	tr := make(Trace, len(steps))
+	for i, step := range steps {
+		st := make(State, len(step))
+		for _, k := range step {
+			st[k] = true
+		}
+		tr[i] = st
+	}
+	return tr
+}
+
+// Eval checks whether the trace satisfies the formula at position 0.
+// An empty trace satisfies no strong-next/prop obligations (vacuous
+// semantics: G φ holds, F φ fails).
+func Eval(f Formula, tr Trace) bool { return evalAt(f, tr, 0) }
+
+// EvalAt checks satisfaction at position i.
+func EvalAt(f Formula, tr Trace, i int) bool { return evalAt(f, tr, i) }
+
+func evalAt(f Formula, tr Trace, i int) bool {
+	n := len(tr)
+	if i >= n {
+		// Past the end: only formulas vacuously true on the empty suffix.
+		switch ff := f.(type) {
+		case TrueF:
+			return true
+		case GloballyF, WeakNextF:
+			return true
+		case NotF:
+			return !evalAt(ff.Sub, tr, i)
+		case AndF:
+			return evalAt(ff.L, tr, i) && evalAt(ff.R, tr, i)
+		case OrF:
+			return evalAt(ff.L, tr, i) || evalAt(ff.R, tr, i)
+		case ImpliesF:
+			return !evalAt(ff.L, tr, i) || evalAt(ff.R, tr, i)
+		case ReleaseF:
+			return true
+		default:
+			return false
+		}
+	}
+	switch ff := f.(type) {
+	case TrueF:
+		return true
+	case FalseF:
+		return false
+	case Prop:
+		return tr[i][ff.Atom.Key()]
+	case NotF:
+		return !evalAt(ff.Sub, tr, i)
+	case NextF:
+		return i+1 < n && evalAt(ff.Sub, tr, i+1)
+	case WeakNextF:
+		return i+1 >= n || evalAt(ff.Sub, tr, i+1)
+	case FinallyF:
+		for j := i; j < n; j++ {
+			if evalAt(ff.Sub, tr, j) {
+				return true
+			}
+		}
+		return false
+	case GloballyF:
+		for j := i; j < n; j++ {
+			if !evalAt(ff.Sub, tr, j) {
+				return false
+			}
+		}
+		return true
+	case AndF:
+		return evalAt(ff.L, tr, i) && evalAt(ff.R, tr, i)
+	case OrF:
+		return evalAt(ff.L, tr, i) || evalAt(ff.R, tr, i)
+	case ImpliesF:
+		return !evalAt(ff.L, tr, i) || evalAt(ff.R, tr, i)
+	case UntilF:
+		for j := i; j < n; j++ {
+			if evalAt(ff.R, tr, j) {
+				return true
+			}
+			if !evalAt(ff.L, tr, j) {
+				return false
+			}
+		}
+		return false
+	case ReleaseF:
+		for j := i; j < n; j++ {
+			if !evalAt(ff.R, tr, j) {
+				return false
+			}
+			if evalAt(ff.L, tr, j) {
+				return true
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// describe renders a compact human explanation of the formula class, used
+// in reports.
+func describe(f Formula) string {
+	switch f.(type) {
+	case GloballyF:
+		return "invariant"
+	case FinallyF:
+		return "liveness"
+	case ImpliesF:
+		return "conditional"
+	default:
+		return "property"
+	}
+}
+
+// Kind classifies a requirement formula for reporting ("invariant",
+// "liveness", "conditional", "property").
+func Kind(f Formula) string { return describe(f) }

@@ -1,0 +1,194 @@
+package temporal
+
+import (
+	"testing"
+
+	"cpsrisk/internal/logic"
+)
+
+// Convenience: a trace over propositions "a" and "b" given as strings like
+// "ab", "a", "", "b".
+func mkTrace(steps ...string) Trace {
+	tr := make(Trace, len(steps))
+	for i, s := range steps {
+		st := State{}
+		for _, c := range s {
+			st[string(c)] = true
+		}
+		tr[i] = st
+	}
+	return tr
+}
+
+func TestEvalBasics(t *testing.T) {
+	a, b := P("a"), P("b")
+	tests := []struct {
+		name string
+		f    Formula
+		tr   Trace
+		want bool
+	}{
+		{"prop holds", a, mkTrace("a"), true},
+		{"prop fails", a, mkTrace("b"), false},
+		{"true", T(), mkTrace(""), true},
+		{"false", F(), mkTrace("a"), false},
+		{"not", Not(a), mkTrace("b"), true},
+		{"and", And(a, b), mkTrace("ab"), true},
+		{"and fails", And(a, b), mkTrace("a"), false},
+		{"or", Or(a, b), mkTrace("b"), true},
+		{"implies vacuous", Implies(a, b), mkTrace("b"), true},
+		{"implies holds", Implies(a, b), mkTrace("ab"), true},
+		{"implies fails", Implies(a, b), mkTrace("a"), false},
+		{"next", Next(a), mkTrace("b", "a"), true},
+		{"next at end fails", Next(a), mkTrace("a"), false},
+		{"weak next at end holds", WeakNext(a), mkTrace("a"), true},
+		{"weak next holds", WeakNext(a), mkTrace("b", "a"), true},
+		{"weak next fails", WeakNext(a), mkTrace("b", "b"), false},
+		{"finally", Finally(a), mkTrace("", "", "a"), true},
+		{"finally fails", Finally(a), mkTrace("", "", ""), false},
+		{"globally", Globally(a), mkTrace("a", "a", "a"), true},
+		{"globally fails", Globally(a), mkTrace("a", "", "a"), false},
+		{"until", Until(a, b), mkTrace("a", "a", "b"), true},
+		{"until immediate", Until(a, b), mkTrace("b"), true},
+		{"until gap fails", Until(a, b), mkTrace("a", "", "b"), false},
+		{"until never fails", Until(a, b), mkTrace("a", "a", "a"), false},
+		{"release held", Release(a, b), mkTrace("b", "b", "b"), true},
+		{"release released", Release(a, b), mkTrace("b", "ab", ""), true},
+		{"release fails", Release(a, b), mkTrace("b", "", ""), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Eval(tt.f, tt.tr); got != tt.want {
+				t.Errorf("Eval(%s, %v) = %v, want %v", tt.f, tt.tr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEmptyTraceSemantics(t *testing.T) {
+	a := P("a")
+	if !Eval(Globally(a), Trace{}) {
+		t.Error("G a must hold on the empty trace")
+	}
+	if Eval(Finally(a), Trace{}) {
+		t.Error("F a must fail on the empty trace")
+	}
+	if Eval(a, Trace{}) {
+		t.Error("a must fail on the empty trace")
+	}
+	if !Eval(WeakNext(a), Trace{}) {
+		t.Error("WX a must hold on the empty trace")
+	}
+	if !Eval(Release(a, a), Trace{}) {
+		t.Error("a R a must hold on the empty trace")
+	}
+}
+
+func TestPaperRequirements(t *testing.T) {
+	// R1: the water tank should not overflow: G !overflow
+	// R2: alert must be sent in case of overflow: G(overflow -> F alerted)
+	r1 := Globally(Not(P("overflow")))
+	r2 := Globally(Implies(P("overflow"), Finally(P("alerted"))))
+
+	safe := TraceFromKeys([]string{}, []string{}, []string{})
+	overflowAlert := TraceFromKeys([]string{}, []string{"overflow"}, []string{"overflow", "alerted"})
+	overflowSilent := TraceFromKeys([]string{}, []string{"overflow"}, []string{"overflow"})
+
+	if !Eval(r1, safe) || !Eval(r2, safe) {
+		t.Error("safe trace must satisfy R1 and R2")
+	}
+	if Eval(r1, overflowAlert) {
+		t.Error("R1 must be violated on overflow")
+	}
+	if !Eval(r2, overflowAlert) {
+		t.Error("R2 must hold when the alert arrives")
+	}
+	if Eval(r2, overflowSilent) {
+		t.Error("R2 must be violated when no alert ever arrives")
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"a", "a"},
+		{"!a", "!a"},
+		{"a & b", "a & b"},
+		{"a | b & c", "a | (b & c)"},
+		{"a -> b -> c", "a -> (b -> c)"},
+		{"G !overflow", "G !overflow"},
+		{"G(overflow -> F alerted)", "G (overflow -> (F alerted))"},
+		{"a U b", "a U b"},
+		{"a R b", "a R b"},
+		{"X a & WX b", "(X a) & (WX b)"},
+		{"state(tank,high)", "state(tank,high)"},
+		{"true & false", "true & false"},
+		{"a U b U c", "a U (b U c)"},
+	}
+	for _, tt := range tests {
+		f, err := ParseFormula(tt.src)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", tt.src, err)
+			continue
+		}
+		if got := f.String(); got != tt.want {
+			t.Errorf("ParseFormula(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseFormulaRoundTrip(t *testing.T) {
+	srcs := []string{
+		"G (state(tank,overflow) -> F alerted(operator))",
+		"!(a & b) | (X c U d)",
+		"(a R b) & WX (c | !d)",
+	}
+	for _, src := range srcs {
+		f1, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		f2, err := ParseFormula(f1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", f1.String(), err)
+		}
+		if f1.String() != f2.String() {
+			t.Errorf("round trip %q -> %q -> %q", src, f1, f2)
+		}
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	for _, src := range []string{"", "(a", "a &", "& a", "a b", "G", "state(tank,X)", "a )"} {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("ParseFormula(%q) expected error", src)
+		}
+	}
+}
+
+func TestProps(t *testing.T) {
+	f := MustParseFormula("G(overflow -> F alerted) & X overflow")
+	ps := Props(f)
+	if len(ps) != 2 || ps[0].Pred != "overflow" || ps[1].Pred != "alerted" {
+		t.Errorf("Props = %v", ps)
+	}
+}
+
+func TestKind(t *testing.T) {
+	if Kind(MustParseFormula("G !overflow")) != "invariant" {
+		t.Error("G is invariant")
+	}
+	if Kind(MustParseFormula("F done")) != "liveness" {
+		t.Error("F is liveness")
+	}
+}
+
+func TestPropWithTerms(t *testing.T) {
+	f := P("state", logic.Sym("tank"), logic.Sym("high"))
+	tr := TraceFromKeys([]string{"state(tank,high)"})
+	if !Eval(f, tr) {
+		t.Error("compound prop evaluation failed")
+	}
+}

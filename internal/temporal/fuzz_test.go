@@ -1,0 +1,36 @@
+package temporal
+
+import "testing"
+
+// FuzzParseFormula: the LTL parser must never panic, and accepted input
+// must round-trip through String with a stable fixpoint.
+func FuzzParseFormula(f *testing.F) {
+	seeds := []string{
+		"a",
+		"G !overflow",
+		"G(state(tank,overflow) -> F alerted(operator))",
+		"a U b R c",
+		"X a & WX !b | true",
+		"!(a & b)",
+		"((a))",
+		"F F F a",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseFormula(src)
+		if err != nil {
+			return
+		}
+		text := formula.String()
+		formula2, err := ParseFormula(text)
+		if err != nil {
+			t.Fatalf("rendered formula fails to re-parse: %v\noriginal: %q\nrendered: %q",
+				err, src, text)
+		}
+		if formula2.String() != text {
+			t.Fatalf("rendering not a fixpoint: %q vs %q", text, formula2.String())
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package temporal
+
+// NNF rewrites a formula into negation normal form: negations are pushed
+// inward to atomic propositions using the finite-trace LTL dualities
+//
+//	!!φ        ≡ φ
+//	!(φ & ψ)   ≡ !φ | !ψ
+//	!(φ | ψ)   ≡ !φ & !ψ
+//	!(φ -> ψ)  ≡ φ & !ψ
+//	!X φ       ≡ WX !φ        (strong/weak next are duals on finite traces)
+//	!WX φ      ≡ X !φ
+//	!F φ       ≡ G !φ
+//	!G φ       ≡ F !φ
+//	!(φ U ψ)   ≡ !φ R !ψ
+//	!(φ R ψ)   ≡ !φ U !ψ
+//
+// and implications are expanded to !φ | ψ. The result contains Not only
+// directly above propositions (or constants, which are flipped).
+func NNF(f Formula) Formula { return nnf(f, false) }
+
+func nnf(f Formula, negated bool) Formula {
+	switch ff := f.(type) {
+	case TrueF:
+		if negated {
+			return FalseF{}
+		}
+		return ff
+	case FalseF:
+		if negated {
+			return TrueF{}
+		}
+		return ff
+	case Prop:
+		if negated {
+			return NotF{Sub: ff}
+		}
+		return ff
+	case NotF:
+		return nnf(ff.Sub, !negated)
+	case AndF:
+		if negated {
+			return OrF{L: nnf(ff.L, true), R: nnf(ff.R, true)}
+		}
+		return AndF{L: nnf(ff.L, false), R: nnf(ff.R, false)}
+	case OrF:
+		if negated {
+			return AndF{L: nnf(ff.L, true), R: nnf(ff.R, true)}
+		}
+		return OrF{L: nnf(ff.L, false), R: nnf(ff.R, false)}
+	case ImpliesF:
+		if negated {
+			return AndF{L: nnf(ff.L, false), R: nnf(ff.R, true)}
+		}
+		return OrF{L: nnf(ff.L, true), R: nnf(ff.R, false)}
+	case NextF:
+		if negated {
+			return WeakNextF{Sub: nnf(ff.Sub, true)}
+		}
+		return NextF{Sub: nnf(ff.Sub, false)}
+	case WeakNextF:
+		if negated {
+			return NextF{Sub: nnf(ff.Sub, true)}
+		}
+		return WeakNextF{Sub: nnf(ff.Sub, false)}
+	case FinallyF:
+		if negated {
+			return GloballyF{Sub: nnf(ff.Sub, true)}
+		}
+		return FinallyF{Sub: nnf(ff.Sub, false)}
+	case GloballyF:
+		if negated {
+			return FinallyF{Sub: nnf(ff.Sub, true)}
+		}
+		return GloballyF{Sub: nnf(ff.Sub, false)}
+	case UntilF:
+		if negated {
+			return ReleaseF{L: nnf(ff.L, true), R: nnf(ff.R, true)}
+		}
+		return UntilF{L: nnf(ff.L, false), R: nnf(ff.R, false)}
+	case ReleaseF:
+		if negated {
+			return UntilF{L: nnf(ff.L, true), R: nnf(ff.R, true)}
+		}
+		return ReleaseF{L: nnf(ff.L, false), R: nnf(ff.R, false)}
+	default:
+		return f
+	}
+}
+
+// IsNNF reports whether negation appears only directly above propositions.
+func IsNNF(f Formula) bool {
+	switch ff := f.(type) {
+	case TrueF, FalseF, Prop:
+		return true
+	case NotF:
+		_, isProp := ff.Sub.(Prop)
+		return isProp
+	case NextF:
+		return IsNNF(ff.Sub)
+	case WeakNextF:
+		return IsNNF(ff.Sub)
+	case FinallyF:
+		return IsNNF(ff.Sub)
+	case GloballyF:
+		return IsNNF(ff.Sub)
+	case AndF:
+		return IsNNF(ff.L) && IsNNF(ff.R)
+	case OrF:
+		return IsNNF(ff.L) && IsNNF(ff.R)
+	case ImpliesF:
+		return false // implications are expanded away by NNF
+	case UntilF:
+		return IsNNF(ff.L) && IsNNF(ff.R)
+	case ReleaseF:
+		return IsNNF(ff.L) && IsNNF(ff.R)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,142 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randFormula generates a random formula of bounded depth over props a, b.
+func randFormula(rng *rand.Rand, depth int) Formula {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return P("a")
+		case 1:
+			return P("b")
+		case 2:
+			return TrueF{}
+		default:
+			return FalseF{}
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return Not(randFormula(rng, depth-1))
+	case 1:
+		return Next(randFormula(rng, depth-1))
+	case 2:
+		return WeakNext(randFormula(rng, depth-1))
+	case 3:
+		return Finally(randFormula(rng, depth-1))
+	case 4:
+		return Globally(randFormula(rng, depth-1))
+	case 5:
+		return And(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 6:
+		return Or(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 7:
+		return Implies(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 8:
+		return Until(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	default:
+		return Release(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	}
+}
+
+// allTraces enumerates every trace of length n over props a, b.
+func allTraces(n int) []Trace {
+	var out []Trace
+	total := 1 << uint(2*n)
+	for mask := 0; mask < total; mask++ {
+		tr := make(Trace, n)
+		for i := 0; i < n; i++ {
+			st := State{}
+			if mask>>(2*i)&1 == 1 {
+				st["a"] = true
+			}
+			if mask>>(2*i+1)&1 == 1 {
+				st["b"] = true
+			}
+			tr[i] = st
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// TestNNFPreservesSemantics: NNF(f) ≡ f on every trace of length 0..3 for
+// 300 random formulas — validating all the finite-trace dualities at once.
+func TestNNFPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var traces []Trace
+	traces = append(traces, Trace{})
+	for n := 1; n <= 3; n++ {
+		traces = append(traces, allTraces(n)...)
+	}
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(rng, 3)
+		g := NNF(f)
+		if !IsNNF(g) {
+			t.Fatalf("trial %d: NNF(%s) = %s is not in NNF", trial, f, g)
+		}
+		for _, tr := range traces {
+			if Eval(f, tr) != Eval(g, tr) {
+				t.Fatalf("trial %d: %s vs NNF %s differ on %v", trial, f, g, tr)
+			}
+		}
+	}
+}
+
+func TestNNFIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		f := randFormula(rng, 3)
+		once := NNF(f)
+		twice := NNF(once)
+		if once.String() != twice.String() {
+			t.Fatalf("NNF not idempotent: %s -> %s -> %s", f, once, twice)
+		}
+	}
+}
+
+func TestNNFSpecificDualities(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"!!a", "a"},
+		{"!(a & b)", "!a | !b"},
+		{"!(a | b)", "!a & !b"},
+		{"!X a", "WX !a"},
+		{"!WX a", "X !a"},
+		{"!F a", "G !a"},
+		{"!G a", "F !a"},
+		{"!(a U b)", "!a R !b"},
+		{"!(a R b)", "!a U !b"},
+		{"a -> b", "!a | b"},
+		{"!(a -> b)", "a & !b"},
+		{"!true", "false"},
+		{"!false", "true"},
+	}
+	for _, tt := range tests {
+		f := MustParseFormula(tt.in)
+		want := MustParseFormula(tt.want)
+		if got := NNF(f); got.String() != want.String() {
+			t.Errorf("NNF(%s) = %s, want %s", tt.in, got, want)
+		}
+	}
+}
+
+// The unroller accepts NNF formulas identically (regression against
+// requirement-library rewrites).
+func TestUnrollNNFAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		f := randFormula(rng, 2)
+		g := NNF(f)
+		for _, tr := range allTraces(2) {
+			if holdsViaASP(t, f, tr) != holdsViaASP(t, g, tr) {
+				t.Fatalf("trial %d: ASP unrolling differs between %s and %s", trial, f, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package temporal
+
+import (
+	"fmt"
+	"strings"
+
+	"cpsrisk/internal/logic"
+)
+
+// ParseFormula parses an LTLf formula:
+//
+//	G(state(tank,overflow) -> F alerted(operator))
+//	!overflow U alarm
+//	X p & WX q
+//
+// Grammar (loosest to tightest): "->" (right-assoc) < "|" < "&" <
+// "U"/"R" (right-assoc) < unary ("!", "X", "WX", "F", "G") < atoms.
+// Atomic propositions are ground logic atoms; "true"/"false" are
+// constants. The unary operator names are reserved words.
+func ParseFormula(src string) (Formula, error) {
+	p := &fparser{src: src}
+	p.skipWS()
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("temporal: trailing input %q", p.src[p.pos:])
+	}
+	return f, nil
+}
+
+// MustParseFormula panics on error; for static requirement libraries.
+func MustParseFormula(src string) Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type fparser struct {
+	src string
+	pos int
+}
+
+func (p *fparser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fparser) peek(tok string) bool {
+	p.skipWS()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return false
+	}
+	// Word tokens must not swallow identifier prefixes (e.g. "U" in
+	// "Until" or "G" in "Gate" — but our props are lowercase; operators are
+	// uppercase or symbols. Still guard against identifier continuation).
+	if isWordTok(tok) {
+		end := p.pos + len(tok)
+		if end < len(p.src) && isIdentChar(p.src[end]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isWordTok(tok string) bool {
+	c := tok[0]
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z'
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func (p *fparser) accept(tok string) bool {
+	if p.peek(tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *fparser) parseImplies() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		r, err := p.parseImplies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return ImpliesF{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *fparser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("|") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = OrF{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) parseAnd() (Formula, error) {
+	l, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&") {
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		l = AndF{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) parseUntil() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("U"):
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		return UntilF{L: l, R: r}, nil
+	case p.accept("R"):
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		return ReleaseF{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *fparser) parseUnary() (Formula, error) {
+	switch {
+	case p.accept("!"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotF{Sub: f}, nil
+	case p.accept("WX"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return WeakNextF{Sub: f}, nil
+	case p.accept("X"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NextF{Sub: f}, nil
+	case p.accept("F"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return FinallyF{Sub: f}, nil
+	case p.accept("G"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return GloballyF{Sub: f}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *fparser) parsePrimary() (Formula, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("temporal: unexpected end of formula")
+	}
+	if p.accept("(") {
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if !p.accept(")") {
+			return nil, fmt.Errorf("temporal: missing ) at offset %d", p.pos)
+		}
+		return f, nil
+	}
+	if p.accept("true") {
+		return TrueF{}, nil
+	}
+	if p.accept("false") {
+		return FalseF{}, nil
+	}
+	// Atomic proposition: identifier with optional balanced-paren argument
+	// list, delegated to the logic parser.
+	start := p.pos
+	c := p.src[p.pos]
+	if !(c == '_' || c >= 'a' && c <= 'z') {
+		return nil, fmt.Errorf("temporal: unexpected %q at offset %d", c, p.pos)
+	}
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		depth := 0
+		for p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			p.pos++
+			if depth == 0 {
+				break
+			}
+		}
+		if depth != 0 {
+			return nil, fmt.Errorf("temporal: unbalanced parentheses in proposition")
+		}
+	}
+	text := p.src[start:p.pos]
+	prog, err := logic.Parse(text + ".")
+	if err != nil {
+		return nil, fmt.Errorf("temporal: invalid proposition %q: %w", text, err)
+	}
+	atom := *prog.Rules[0].Head
+	if !atom.Ground() {
+		return nil, fmt.Errorf("temporal: proposition %q must be ground", text)
+	}
+	return Prop{Atom: atom}, nil
+}

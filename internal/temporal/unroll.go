@@ -1,0 +1,220 @@
+package temporal
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/logic"
+)
+
+// PropMapper maps an atomic proposition and a time term to the timed ASP
+// atom representing "the proposition holds at that step". The default
+// appends the time term as the last argument: p(a,b) at T -> p(a,b,T).
+type PropMapper func(a logic.Atom, t logic.Term) logic.Atom
+
+// DefaultPropMap appends the time term as the final argument.
+func DefaultPropMap(a logic.Atom, t logic.Term) logic.Atom {
+	args := make([]logic.Term, 0, len(a.Args)+1)
+	args = append(args, a.Args...)
+	args = append(args, t)
+	return logic.Atom{Pred: a.Pred, Args: args}
+}
+
+// Unroller compiles LTLf formulas into ASP rules over a bounded horizon of
+// states 0..Horizon-1 — the framework's substitute for Telingo. The
+// encoding is the standard fixpoint characterization of LTLf: one fresh
+// predicate per subformula, defined backwards from the last state, with
+// stratified default negation for !.
+type Unroller struct {
+	// Horizon is the number of trace states (>= 1).
+	Horizon int
+	// TimePred names the step-domain predicate (default "time").
+	TimePred string
+	// PropMap maps propositions to timed atoms (default DefaultPropMap).
+	PropMap PropMapper
+
+	counter int
+	memo    map[string]string // formula text -> compiled predicate
+}
+
+// NewUnroller builds an unroller for the given horizon.
+func NewUnroller(horizon int) *Unroller {
+	return &Unroller{
+		Horizon:  horizon,
+		TimePred: "time",
+		PropMap:  DefaultPropMap,
+		memo:     map[string]string{},
+	}
+}
+
+// EnsureTime adds the step-domain facts time(0..H-1).
+func (u *Unroller) EnsureTime(prog *logic.Program) {
+	prog.AddFact(logic.A(u.TimePred, logic.Interval{Lo: logic.Num(0), Hi: logic.Num(u.Horizon - 1)}))
+}
+
+// Compile adds rules defining pred(T) <-> "f holds at state T" and returns
+// the fresh predicate name.
+func (u *Unroller) Compile(prog *logic.Program, f Formula) (string, error) {
+	if u.Horizon < 1 {
+		return "", fmt.Errorf("temporal: horizon %d < 1", u.Horizon)
+	}
+	return u.compile(prog, f)
+}
+
+// Require adds the integrity constraint that f must hold at state 0.
+func (u *Unroller) Require(prog *logic.Program, f Formula) error {
+	pred, err := u.Compile(prog, f)
+	if err != nil {
+		return err
+	}
+	prog.AddRule(logic.Constraint(logic.Not(logic.A(pred, logic.Num(0)))))
+	return nil
+}
+
+// Violation adds a rule deriving violated(name) when f does NOT hold at
+// state 0 — the paper's requirement-violation vector entries.
+func (u *Unroller) Violation(prog *logic.Program, name string, f Formula) error {
+	pred, err := u.Compile(prog, f)
+	if err != nil {
+		return err
+	}
+	prog.AddRule(logic.NormalRule(
+		logic.A("violated", logic.Sym(name)),
+		logic.Not(logic.A(pred, logic.Num(0))),
+	))
+	return nil
+}
+
+func (u *Unroller) fresh() string {
+	u.counter++
+	return fmt.Sprintf("tl%d", u.counter)
+}
+
+var varT = logic.Var("T")
+
+func (u *Unroller) timeLit() logic.BodyElem {
+	return logic.Pos(logic.A(u.TimePred, varT))
+}
+
+func (u *Unroller) at(pred string, t logic.Term) logic.Atom {
+	return logic.A(pred, t)
+}
+
+func tPlus1() logic.Term {
+	return logic.BinOp{Op: logic.OpAdd, Left: varT, Right: logic.Num(1)}
+}
+
+func (u *Unroller) compile(prog *logic.Program, f Formula) (string, error) {
+	key := f.String()
+	if p, ok := u.memo[key]; ok {
+		return p, nil
+	}
+	p := u.fresh()
+	u.memo[key] = p
+	last := logic.Num(u.Horizon - 1)
+
+	switch ff := f.(type) {
+	case TrueF:
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit()))
+	case FalseF:
+		// No rules: never derivable.
+	case Prop:
+		timed := u.PropMap(ff.Atom, varT)
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit(), logic.Pos(timed)))
+	case NotF:
+		s, err := u.compile(prog, ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit(), logic.Not(u.at(s, varT))))
+	case NextF:
+		s, err := u.compile(prog, ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit(), logic.Pos(u.at(s, tPlus1()))))
+	case WeakNextF:
+		s, err := u.compile(prog, ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit(), logic.Pos(u.at(s, tPlus1()))))
+		prog.AddFact(u.at(p, last))
+	case FinallyF:
+		s, err := u.compile(prog, ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), logic.Pos(u.at(s, varT))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit(), logic.Pos(u.at(p, tPlus1()))))
+	case GloballyF:
+		s, err := u.compile(prog, ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, last), logic.Pos(u.at(s, last))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT),
+			logic.Pos(u.at(s, varT)), logic.Pos(u.at(p, tPlus1()))))
+	case AndF:
+		l, err := u.compile(prog, ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := u.compile(prog, ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT),
+			logic.Pos(u.at(l, varT)), logic.Pos(u.at(r, varT))))
+	case OrF:
+		l, err := u.compile(prog, ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := u.compile(prog, ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), logic.Pos(u.at(l, varT))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT), logic.Pos(u.at(r, varT))))
+	case ImpliesF:
+		l, err := u.compile(prog, ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := u.compile(prog, ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), u.timeLit(), logic.Not(u.at(l, varT))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT), logic.Pos(u.at(r, varT))))
+	case UntilF:
+		l, err := u.compile(prog, ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := u.compile(prog, ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, varT), logic.Pos(u.at(r, varT))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT),
+			logic.Pos(u.at(l, varT)), logic.Pos(u.at(p, tPlus1()))))
+	case ReleaseF:
+		l, err := u.compile(prog, ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := u.compile(prog, ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(u.at(p, last), logic.Pos(u.at(r, last))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT),
+			logic.Pos(u.at(r, varT)), logic.Pos(u.at(l, varT))))
+		prog.AddRule(logic.NormalRule(u.at(p, varT),
+			logic.Pos(u.at(r, varT)), logic.Pos(u.at(p, tPlus1()))))
+	default:
+		return "", fmt.Errorf("temporal: cannot compile %T", f)
+	}
+	return p, nil
+}

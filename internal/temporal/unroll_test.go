@@ -1,0 +1,222 @@
+package temporal
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"testing"
+
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/solver"
+)
+
+// traceProgram encodes a concrete trace of propositions a/b as timed facts.
+func traceProgram(tr Trace) *logic.Program {
+	prog := &logic.Program{}
+	for t, st := range tr {
+		for key := range st {
+			prog.AddFact(logic.A(key, logic.Num(t)))
+		}
+	}
+	return prog
+}
+
+// holdsViaASP compiles f over the horizon, adds the trace facts, solves,
+// and reports whether the root predicate holds at state 0.
+func holdsViaASP(t *testing.T, f Formula, tr Trace) bool {
+	t.Helper()
+	prog := traceProgram(tr)
+	u := NewUnroller(len(tr))
+	u.EnsureTime(prog)
+	pred, err := u.Compile(prog, f)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{MaxModels: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(res.Models) != 1 {
+		t.Fatalf("deterministic trace program must have exactly 1 model, got %d", len(res.Models))
+	}
+	return res.Models[0].Contains(pred + "(0)")
+}
+
+// TestUnrollAgreesWithEval exhaustively cross-checks the ASP unrolling
+// against the native evaluator on all traces of length 1..3 over {a,b} for
+// a battery of formulas. This is the key soundness property of the Telingo
+// substitute.
+func TestUnrollAgreesWithEval(t *testing.T) {
+	formulas := []Formula{
+		P("a"),
+		Not(P("a")),
+		And(P("a"), P("b")),
+		Or(P("a"), P("b")),
+		Implies(P("a"), P("b")),
+		Next(P("a")),
+		WeakNext(P("a")),
+		Finally(P("a")),
+		Globally(P("a")),
+		Until(P("a"), P("b")),
+		Release(P("a"), P("b")),
+		Globally(Implies(P("a"), Finally(P("b")))),
+		Finally(And(P("a"), Next(P("b")))),
+		Not(Until(P("a"), P("b"))),
+		Globally(Not(P("a"))),
+		And(Globally(P("a")), Finally(P("b"))),
+	}
+	for _, n := range []int{1, 2, 3} {
+		// Each state is 2 bits: a present, b present.
+		total := 1 << uint(2*n)
+		for mask := 0; mask < total; mask++ {
+			tr := make(Trace, n)
+			for i := 0; i < n; i++ {
+				st := State{}
+				if mask>>(2*i)&1 == 1 {
+					st["a"] = true
+				}
+				if mask>>(2*i+1)&1 == 1 {
+					st["b"] = true
+				}
+				tr[i] = st
+			}
+			for fi, f := range formulas {
+				want := Eval(f, tr)
+				got := holdsViaASP(t, f, tr)
+				if got != want {
+					t.Fatalf("formula %d (%s) on trace %v (n=%d mask=%b): ASP=%v eval=%v",
+						fi, f, tr, n, mask, got, want)
+				}
+			}
+		}
+	}
+	_ = bits.OnesCount // keep math/bits for potential debugging
+}
+
+func TestRequireConstrainsModels(t *testing.T) {
+	// Choice of when (if ever) to raise "p" over 3 steps; require F p.
+	prog := logic.MustParse(`{ p(T) : time(T) }.`)
+	u := NewUnroller(3)
+	u.EnsureTime(prog)
+	if err := u.Require(prog, Finally(P("p"))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^3 subsets minus the empty one.
+	if len(res.Models) != 7 {
+		t.Fatalf("models = %d, want 7", len(res.Models))
+	}
+}
+
+func TestViolationAtom(t *testing.T) {
+	// p never holds -> violated(r1) derived.
+	prog := &logic.Program{}
+	u := NewUnroller(2)
+	u.EnsureTime(prog)
+	if err := u.Violation(prog, "r1", Globally(P("p"))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 1 || !res.Models[0].Contains("violated(r1)") {
+		t.Fatalf("models = %v", res.Models)
+	}
+
+	// p always holds -> no violation.
+	prog2 := logic.MustParse(`p(0). p(1).`)
+	u2 := NewUnroller(2)
+	u2.EnsureTime(prog2)
+	if err := u2.Violation(prog2, "r1", Globally(P("p"))); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := solver.SolveProgram(prog2, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Models[0].Contains("violated(r1)") {
+		t.Fatalf("unexpected violation: %v", res2.Models[0].Atoms)
+	}
+}
+
+func TestUnrollMemoReusesSubformulas(t *testing.T) {
+	prog := &logic.Program{}
+	u := NewUnroller(2)
+	u.EnsureTime(prog)
+	f := And(Finally(P("a")), Finally(P("a")))
+	if _, err := u.Compile(prog, f); err != nil {
+		t.Fatal(err)
+	}
+	// F a compiled once: predicates tl1 (root or sub) count must be 3
+	// distinct predicates at most (and, Fa, a-prop).
+	preds := map[string]bool{}
+	for _, r := range prog.Rules {
+		if r.Head != nil {
+			preds[r.Head.Pred] = true
+		}
+	}
+	delete(preds, "time")
+	if len(preds) != 3 {
+		t.Errorf("distinct aux predicates = %d, want 3 (memoized)", len(preds))
+	}
+}
+
+func TestUnrollHorizonValidation(t *testing.T) {
+	u := NewUnroller(0)
+	if _, err := u.Compile(&logic.Program{}, P("a")); err == nil {
+		t.Error("horizon 0 must be rejected")
+	}
+}
+
+func TestCustomPropMap(t *testing.T) {
+	// Map proposition p to holds(p, T).
+	prog := logic.MustParse(`holds(p, 0).`)
+	u := NewUnroller(1)
+	u.PropMap = func(a logic.Atom, tm logic.Term) logic.Atom {
+		return logic.A("holds", logic.Sym(a.Pred), tm)
+	}
+	u.EnsureTime(prog)
+	pred, err := u.Compile(prog, P("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.SolveProgram(prog, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Models[0].Contains(pred + "(0)") {
+		t.Errorf("custom prop map failed: %v", res.Models[0].Atoms)
+	}
+}
+
+func BenchmarkUnrollAndSolve(b *testing.B) {
+	f := Globally(Implies(P("overflow"), Finally(P("alerted"))))
+	for _, h := range []int{5, 10, 20} {
+		b.Run("h="+strconv.Itoa(h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog := &logic.Program{}
+				for t := 0; t < h; t++ {
+					if t%3 == 1 {
+						prog.AddFact(logic.A("overflow", logic.Num(t)))
+					}
+					if t%3 == 2 {
+						prog.AddFact(logic.A("alerted", logic.Num(t)))
+					}
+				}
+				u := NewUnroller(h)
+				u.EnsureTime(prog)
+				if err := u.Require(prog, f); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := solver.SolveProgram(prog, solver.Options{MaxModels: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	_ = fmt.Sprint
+}

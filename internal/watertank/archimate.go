@@ -1,0 +1,81 @@
+package watertank
+
+import (
+	"cpsrisk/internal/archimate"
+	"cpsrisk/internal/plant"
+	"cpsrisk/internal/sysmodel"
+)
+
+// ArchimateView builds the engineering-facing ArchiMate model of the case
+// study (paper §VII: "We used Archimate to model the system and the
+// corresponding metadata, and then we transformed the model to Answer Set
+// Programming"). Equipment and the shared water quantity live in the
+// physical layer; controllers and the PLC-like valve controllers in the
+// technology layer; the HMI and the Engineering Workstation (composed of
+// e-mail client, browser, and OS) in the application layer. Lowering the
+// view yields a component graph with the same IT-to-OT propagation shape
+// as the hand-built sysmodel.
+func ArchimateView() *archimate.Model {
+	m := &archimate.Model{Name: "water-tank-architecture"}
+	el := func(id, name string, t archimate.ElementType, props map[string]string) {
+		m.AddElement(archimate.Element{ID: id, Name: name, Type: t, Props: props})
+	}
+	el(plant.CompTank, "Water Tank", archimate.Equipment,
+		map[string]string{"criticality": "VH"})
+	el(plant.CompInValve, "Input Valve", archimate.Equipment, nil)
+	el(plant.CompOutValve, "Output Valve", archimate.Equipment, nil)
+	el(plant.CompLevelSensor, "Water Level Sensor", archimate.Device, nil)
+	el(plant.CompController, "Water Tank Controller", archimate.Device, nil)
+	el(plant.CompInValveCtl, "Input Valve Controller", archimate.Device, nil)
+	el(plant.CompOutValveCtl, "Output Valve Controller", archimate.Device, nil)
+	el(plant.CompHMI, "Human-Machine Interface", archimate.ApplicationComponent,
+		map[string]string{"criticality": "H"})
+	el(plant.CompEWS, "Engineering Workstation", archimate.ApplicationComponent,
+		map[string]string{"exposure": "public", "version": "10"})
+	el("email_client", "E-mail Client", archimate.ApplicationService,
+		map[string]string{"exposure": "public"})
+	el("browser", "Browser", archimate.ApplicationService,
+		map[string]string{"exposure": "public", "version": "11.2"})
+	el("os", "Operating System", archimate.SystemSoftware,
+		map[string]string{"version": "10"})
+
+	flow := func(from, to, label string) {
+		m.AddRelation(archimate.Relation{Type: archimate.Flow, From: from, To: to, Label: label})
+	}
+	qty := func(from, to string) {
+		m.AddRelation(archimate.Relation{Type: archimate.Association, From: from, To: to,
+			Props: map[string]string{"quantity": "true"}})
+	}
+	qty(plant.CompInValve, plant.CompTank)
+	qty(plant.CompOutValve, plant.CompTank)
+	qty(plant.CompLevelSensor, plant.CompTank)
+	flow(plant.CompLevelSensor, plant.CompController, "water level")
+	flow(plant.CompController, plant.CompInValveCtl, "control message")
+	flow(plant.CompController, plant.CompOutValveCtl, "control message")
+	flow(plant.CompInValveCtl, plant.CompInValve, "actuate")
+	flow(plant.CompOutValveCtl, plant.CompOutValve, "actuate")
+	flow(plant.CompController, plant.CompHMI, "alert")
+	flow(plant.CompEWS, plant.CompInValveCtl, "reconfigure")
+	flow(plant.CompEWS, plant.CompOutValveCtl, "reconfigure")
+	flow(plant.CompEWS, plant.CompHMI, "manage")
+
+	// Fig. 4: the workstation decomposes into the infection chain.
+	comp := func(parent, child string) {
+		m.AddRelation(archimate.Relation{Type: archimate.Composition, From: parent, To: child})
+	}
+	comp(plant.CompEWS, "email_client")
+	comp(plant.CompEWS, "browser")
+	comp(plant.CompEWS, "os")
+	flow("email_client", "browser", "open link")
+	flow("browser", "os", "download malware")
+
+	m.Reqs = append(m.Reqs,
+		sysmodel.Requirement{ID: "R1",
+			Description: "the water tank should not overflow",
+			Formula:     "G !state(tank,overflow)", Severity: "H"},
+		sysmodel.Requirement{ID: "R2",
+			Description: "an alert must be sent to the operator in case of overflow",
+			Formula:     "G (state(tank,overflow) -> F alerted(operator))", Severity: "H"},
+	)
+	return m
+}

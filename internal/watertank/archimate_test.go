@@ -1,0 +1,103 @@
+package watertank
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpsrisk/internal/archimate"
+	"cpsrisk/internal/hierarchy"
+	"cpsrisk/internal/plant"
+)
+
+func TestArchimateViewValidatesAndLowers(t *testing.T) {
+	view := ArchimateView()
+	if err := view.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lowered, lib, err := view.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lowered.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	// Composite workstation with the three-stage infection chain.
+	ews, ok := lowered.Component(plant.CompEWS)
+	if !ok || !ews.IsComposite() {
+		t.Fatalf("ews = %+v", ews)
+	}
+	if got := len(ews.Sub.Components); got != 3 {
+		t.Errorf("inner components = %d", got)
+	}
+	if ews.Attr("exposure") != "public" {
+		t.Error("security metadata lost in lowering")
+	}
+	if len(lowered.Requirements) != 2 {
+		t.Errorf("requirements = %v", lowered.Requirements)
+	}
+}
+
+// The lowered ArchiMate view has the same IT-to-OT propagation shape as
+// the hand-built sysmodel: the workstation reaches the tank, the HMI is a
+// sink, and the sensor loop closes the cycle.
+func TestArchimateViewMatchesTopology(t *testing.T) {
+	view := ArchimateView()
+	lowered, _, err := view.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaArchimate := lowered.BuildGraph()
+	viaSysmodel := Model().BuildGraph()
+
+	for _, from := range []string{plant.CompEWS, plant.CompController, plant.CompHMI} {
+		a := viaArchimate.Reachable(from)
+		s := viaSysmodel.Reachable(from)
+		if strings.Join(a, ",") != strings.Join(s, ",") {
+			t.Errorf("reachability from %s differs:\narchimate: %v\nsysmodel:  %v", from, a, s)
+		}
+	}
+	if !viaArchimate.HasCycle() {
+		t.Error("physical quantity loop must create a cycle")
+	}
+}
+
+// Topology-based preliminary analysis works directly on the lowered view
+// — the paper's entry workflow: ArchiMate model in, hazards out.
+func TestArchimateViewPreliminaryAnalysis(t *testing.T) {
+	lowered, _, err := ArchimateView().Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := hierarchy.Topology(lowered, []string{plant.CompEWS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTank := false
+	for _, c := range topo[0].Critical {
+		if c == plant.CompTank {
+			foundTank = true
+		}
+	}
+	if !foundTank {
+		t.Errorf("workstation must reach the critical tank: %+v", topo[0])
+	}
+	if plan := hierarchy.RefinementPlan(lowered, topo); len(plan) != 1 || plan[0] != plant.CompEWS {
+		t.Errorf("refinement plan = %v", plan)
+	}
+}
+
+func TestArchimateViewJSONRoundTrip(t *testing.T) {
+	view := ArchimateView()
+	var buf bytes.Buffer
+	if err := view.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	view2, err := archimate.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := view2.Lower(); err != nil {
+		t.Fatalf("round-tripped view fails to lower: %v", err)
+	}
+}

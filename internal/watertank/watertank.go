@@ -1,0 +1,392 @@
+// Package watertank builds the paper's §VII case study: the water-tank
+// CPS (inspired by the Tennessee Eastman Process benchmark) with input and
+// output valve actuators and their controllers, a water-level sensor, a
+// hysteresis tank controller, an HMI, and an Engineering Workstation whose
+// compromise can reconfigure the actuators and silence the HMI (fault F4
+// causing F1/F2/F3 effects). It provides the system model, the EPA
+// behaviour library, the safety requirements R1/R2 with their qualitative
+// violation conditions, the paper's candidate fault set F1..F4, and the
+// Fig. 4 hierarchical variant with a composite workstation.
+//
+// Component and fault names are shared with package plant, whose simulator
+// is the concrete oracle for this model.
+package watertank
+
+import (
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/plant"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/sysmodel"
+)
+
+// Component type names.
+const (
+	TypeTank       = "tank"
+	TypeValve      = "valve"
+	TypeValveCtl   = "valve_controller"
+	TypeSensor     = "sensor"
+	TypeController = "controller"
+	TypeHMI        = "hmi"
+	TypeWS         = "workstation"
+	// Inner types of the refined workstation (paper Fig. 4).
+	TypeEmail   = "email_client"
+	TypeBrowser = "browser"
+	TypeOS      = "os"
+)
+
+// Types returns the component-type library of the case study.
+func Types() *sysmodel.TypeLibrary {
+	lib := sysmodel.NewTypeLibrary()
+	sig := func(n string, d sysmodel.PortDir) sysmodel.PortSpec {
+		return sysmodel.PortSpec{Name: n, Dir: d, Flow: sysmodel.SignalFlow}
+	}
+	qty := func(n string) sysmodel.PortSpec {
+		return sysmodel.PortSpec{Name: n, Dir: sysmodel.InOut, Flow: sysmodel.QuantityFlow}
+	}
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeTank, Layer: "physical",
+		Ports: []sysmodel.PortSpec{qty("in_pipe"), qty("out_pipe"), qty("surface")},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeValve, Layer: "physical",
+		Ports: []sysmodel.PortSpec{sig("cmd", sysmodel.In), qty("pipe")},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultStuckOpen, Likelihood: "L",
+				Description: "valve stuck in the open position"},
+			{Name: plant.FaultStuckClosed, Likelihood: "L",
+				Description: "valve stuck in the closed position"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeValveCtl, Layer: "technology",
+		Ports: []sysmodel.PortSpec{
+			sig("ctl", sysmodel.In), sig("cfg", sysmodel.In), sig("cmd", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultBadCommand, Likelihood: "VL", AttackOnly: true,
+				Description: "controller issues wrong actuator commands"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeSensor, Layer: "physical",
+		Ports: []sysmodel.PortSpec{qty("measure"), sig("reading", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultNoSignal, Likelihood: "L",
+				Description: "sensor stops reporting"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeController, Layer: "technology",
+		Ports: []sysmodel.PortSpec{
+			sig("reading", sysmodel.In),
+			sig("cmd_in", sysmodel.Out), sig("cmd_out", sysmodel.Out),
+			sig("alert", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "crash", Likelihood: "VL", Description: "controller halts"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeHMI, Layer: "application",
+		Ports: []sysmodel.PortSpec{
+			sig("alert", sysmodel.In), sig("mgmt", sysmodel.In), sig("display", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultNoSignal, Likelihood: "L",
+				Description: "HMI loses operator alerts"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeWS, Layer: "application",
+		Ports: []sysmodel.PortSpec{
+			sig("cfg_in", sysmodel.Out), sig("cfg_out", sysmodel.Out), sig("mgmt", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultCompromised, Likelihood: "M", AttackOnly: true,
+				Description: "attacker controls the engineering workstation"},
+		},
+	})
+	// Inner workstation components for the Fig. 4 refinement.
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeEmail, Layer: "application",
+		Ports: []sysmodel.PortSpec{sig("link", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultCompromised, Likelihood: "M", AttackOnly: true,
+				Description: "user opened a malicious link"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeBrowser, Layer: "application",
+		Ports: []sysmodel.PortSpec{sig("link", sysmodel.In), sig("download", sysmodel.Out)},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultCompromised, Likelihood: "M", AttackOnly: true,
+				Description: "drive-by download executed"},
+		},
+	})
+	lib.MustAdd(&sysmodel.ComponentType{
+		Name: TypeOS, Layer: "application",
+		Ports: []sysmodel.PortSpec{
+			sig("download", sysmodel.In),
+			sig("cfg_in", sysmodel.Out), sig("cfg_out", sysmodel.Out), sig("mgmt", sysmodel.Out),
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: plant.FaultCompromised, Likelihood: "M", AttackOnly: true,
+				Description: "malware controls the operating system"},
+		},
+	})
+	return lib
+}
+
+// Model builds the flat case-study model with requirements R1 and R2.
+func Model() *sysmodel.Model {
+	m := sysmodel.NewModel("water-tank")
+	add := func(id, typ string, attrs map[string]string) {
+		m.MustAddComponent(&sysmodel.Component{ID: id, Type: typ, Attrs: attrs})
+	}
+	add(plant.CompTank, TypeTank, nil)
+	add(plant.CompInValve, TypeValve, nil)
+	add(plant.CompOutValve, TypeValve, nil)
+	add(plant.CompInValveCtl, TypeValveCtl, nil)
+	add(plant.CompOutValveCtl, TypeValveCtl, nil)
+	add(plant.CompLevelSensor, TypeSensor, nil)
+	add(plant.CompController, TypeController, nil)
+	add(plant.CompHMI, TypeHMI, nil)
+	add(plant.CompEWS, TypeWS, map[string]string{"exposure": "public", "version": "10"})
+
+	q, s := sysmodel.QuantityFlow, sysmodel.SignalFlow
+	m.Connect(plant.CompInValve, "pipe", plant.CompTank, "in_pipe", q)
+	m.Connect(plant.CompOutValve, "pipe", plant.CompTank, "out_pipe", q)
+	m.Connect(plant.CompLevelSensor, "measure", plant.CompTank, "surface", q)
+	m.Connect(plant.CompLevelSensor, "reading", plant.CompController, "reading", s)
+	m.Connect(plant.CompController, "cmd_in", plant.CompInValveCtl, "ctl", s)
+	m.Connect(plant.CompController, "cmd_out", plant.CompOutValveCtl, "ctl", s)
+	m.Connect(plant.CompInValveCtl, "cmd", plant.CompInValve, "cmd", s)
+	m.Connect(plant.CompOutValveCtl, "cmd", plant.CompOutValve, "cmd", s)
+	m.Connect(plant.CompController, "alert", plant.CompHMI, "alert", s)
+	m.Connect(plant.CompEWS, "cfg_in", plant.CompInValveCtl, "cfg", s)
+	m.Connect(plant.CompEWS, "cfg_out", plant.CompOutValveCtl, "cfg", s)
+	m.Connect(plant.CompEWS, "mgmt", plant.CompHMI, "mgmt", s)
+
+	m.AddRequirement(sysmodel.Requirement{
+		ID: "R1", Description: "the water tank should not overflow",
+		Formula: "G !state(tank,overflow)", Severity: "H",
+	})
+	m.AddRequirement(sysmodel.Requirement{
+		ID: "R2", Description: "an alert must be sent to the operator in case of overflow",
+		Formula: "G (state(tank,overflow) -> F alerted(operator))", Severity: "H",
+	})
+	return m
+}
+
+// HierarchicalModel is the Fig. 4 variant: the Engineering Workstation is
+// a composite of e-mail client -> browser -> OS (the spam-link -> malware
+// -> infection chain), with the outer configuration/management ports bound
+// to the OS.
+func HierarchicalModel() *sysmodel.Model {
+	m := Model()
+	ews, _ := m.Component(plant.CompEWS)
+
+	inner := sysmodel.NewModel("ews-inner")
+	inner.MustAddComponent(&sysmodel.Component{ID: "email_client", Type: TypeEmail,
+		Attrs: map[string]string{"exposure": "public"}})
+	inner.MustAddComponent(&sysmodel.Component{ID: "browser", Type: TypeBrowser,
+		Attrs: map[string]string{"exposure": "public", "version": "11.2"}})
+	inner.MustAddComponent(&sysmodel.Component{ID: "os", Type: TypeOS, Attrs: map[string]string{"version": "10"}})
+	inner.Connect("email_client", "link", "browser", "link", sysmodel.SignalFlow)
+	inner.Connect("browser", "download", "os", "download", sysmodel.SignalFlow)
+
+	ews.Sub = inner
+	ews.Bindings = map[string]sysmodel.PortRef{
+		"cfg_in":  {Component: "os", Port: "cfg_in"},
+		"cfg_out": {Component: "os", Port: "cfg_out"},
+		"mgmt":    {Component: "os", Port: "mgmt"},
+	}
+	return m
+}
+
+// Behaviors returns the EPA behaviour library of the case study. The
+// modeling choices follow the paper's analysis results (Table II):
+//
+//   - valves: stuck-at faults emit wrong-flow values on the pipe; any
+//     command error yields a wrong flow;
+//   - valve controllers: attacker configuration (compromise on cfg) or a
+//     bad_command fault yields wrong actuator commands;
+//   - sensor: loss of signal emits omission on the reading;
+//   - tank controller: reading errors corrupt both valve commands; a
+//     missing or wrong reading may lose the alert;
+//   - HMI: no_signal or a compromised management channel loses alerts;
+//   - workstation (or its OS after refinement): compromise emits
+//     attacker-controlled traffic on every output;
+//   - tank: measurements reflect the true level, so level deviations do
+//     not propagate as data errors through the correcting control loop
+//     (this is what keeps F1 alone non-hazardous, matching row S3).
+func Behaviors(types *sysmodel.TypeLibrary) *epa.BehaviorLibrary {
+	lib := epa.NewBehaviorLibrary(types)
+	valueErr := epa.StateOf(epa.ErrValue)
+	omission := epa.StateOf(epa.ErrOmission)
+	compromise := epa.StateOf(epa.ErrCompromise)
+	anyCmdErr := epa.StateOf(epa.ErrValue, epa.ErrOmission, epa.ErrCompromise)
+
+	lib.MustRegister(&epa.TypeBehavior{Type: TypeTank})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeValve,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultStuckOpen, Port: "pipe", Emit: valueErr},
+			{Fault: plant.FaultStuckClosed, Port: "pipe", Emit: valueErr},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "cmd", Match: anyCmdErr, To: "pipe", Emit: valueErr},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeValveCtl,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultBadCommand, Port: "cmd", Emit: valueErr},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "ctl", Match: valueErr, To: "cmd", Emit: valueErr},
+			{From: "ctl", Match: omission, To: "cmd", Emit: omission},
+			{From: "cfg", Match: compromise, To: "cmd",
+				Emit: epa.StateOf(epa.ErrValue, epa.ErrCompromise)},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeSensor,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultNoSignal, Port: "reading", Emit: omission},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "measure", Match: valueErr, To: "reading", Emit: valueErr},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeController,
+		Effects: []epa.FaultEffect{
+			{Fault: "crash", Emit: omission},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "reading", Match: valueErr, To: "cmd_in", Emit: valueErr},
+			{From: "reading", Match: valueErr, To: "cmd_out", Emit: valueErr},
+			{From: "reading", Match: omission, To: "cmd_in", Emit: omission},
+			{From: "reading", Match: omission, To: "cmd_out", Emit: omission},
+			{From: "reading", Match: epa.StateOf(epa.ErrValue, epa.ErrOmission),
+				To: "alert", Emit: omission},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeHMI,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultNoSignal, Port: "display", Emit: omission},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "alert", Match: omission, To: "display", Emit: omission},
+			{From: "alert", Match: valueErr, To: "display", Emit: valueErr},
+			{From: "mgmt", Match: compromise, To: "display", Emit: omission},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeWS,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultCompromised, Emit: compromise},
+		},
+	})
+	// Inner workstation chain: a compromised stage compromises the next.
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeEmail,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultCompromised, Port: "link", Emit: compromise},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeBrowser,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultCompromised, Port: "download", Emit: compromise},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "link", Match: compromise, To: "download", Emit: compromise},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: TypeOS,
+		Effects: []epa.FaultEffect{
+			{Fault: plant.FaultCompromised, Emit: compromise},
+		},
+		Transfers: []epa.TransferRule{
+			{From: "download", Match: compromise, To: "cfg_in", Emit: compromise},
+			{From: "download", Match: compromise, To: "cfg_out", Emit: compromise},
+			{From: "download", Match: compromise, To: "mgmt", Emit: compromise},
+		},
+	})
+	return lib
+}
+
+// overflowCondition is the qualitative R1-violation condition: the tank
+// can overflow when the draining capability is lost — the output valve is
+// stuck closed, its command channel carries wrong or attacker-controlled
+// values, or the controller is blind (missing level reading while the
+// inflow may run).
+func overflowCondition() hazard.Condition {
+	return hazard.Any(
+		hazard.Fault(plant.CompOutValve, plant.FaultStuckClosed),
+		hazard.Port(plant.CompOutValve, "cmd", epa.ErrValue),
+		hazard.Port(plant.CompOutValve, "cmd", epa.ErrCompromise),
+		hazard.Port(plant.CompController, "reading", epa.ErrOmission),
+	)
+}
+
+// alertLostCondition holds when operator alerts can be lost: the HMI
+// display carries an omission.
+func alertLostCondition() hazard.Condition {
+	return hazard.Port(plant.CompHMI, "display", epa.ErrOmission)
+}
+
+// Requirements returns R1 and R2 with their violation conditions:
+// R1 is violated when overflow is reachable; R2 when overflow is reachable
+// and the alert can be lost.
+func Requirements() []hazard.Requirement {
+	return []hazard.Requirement{
+		{
+			ID:          "R1",
+			Description: "the water tank should not overflow",
+			Severity:    qual.High,
+			Condition:   overflowCondition(),
+		},
+		{
+			ID:          "R2",
+			Description: "an alert must be sent to the operator in case of overflow",
+			Severity:    qual.High,
+			Condition:   hazard.All(overflowCondition(), alertLostCondition()),
+		},
+	}
+}
+
+// PaperCandidates returns the paper's candidate fault set F1..F4 in table
+// order. These are the mutations Table II is computed over.
+func PaperCandidates() []faults.Mutation {
+	return []faults.Mutation{
+		{Activation: epa.Activation{Component: plant.CompInValve, Fault: plant.FaultStuckOpen},
+			Sources: []string{"fault_mode"}, Likelihood: qual.Low}, // F1
+		{Activation: epa.Activation{Component: plant.CompOutValve, Fault: plant.FaultStuckClosed},
+			Sources: []string{"fault_mode"}, Likelihood: qual.Low}, // F2
+		{Activation: epa.Activation{Component: plant.CompHMI, Fault: plant.FaultNoSignal},
+			Sources: []string{"fault_mode"}, Likelihood: qual.Low}, // F3
+		{Activation: epa.Activation{Component: plant.CompEWS, Fault: plant.FaultCompromised},
+			Sources: []string{"T-1566", "T-1189"}, Likelihood: qual.Medium}, // F4
+	}
+}
+
+// FaultLabels maps the paper's F1..F4 labels to activations.
+var FaultLabels = map[string]epa.Activation{
+	"F1": {Component: plant.CompInValve, Fault: plant.FaultStuckOpen},
+	"F2": {Component: plant.CompOutValve, Fault: plant.FaultStuckClosed},
+	"F3": {Component: plant.CompHMI, Fault: plant.FaultNoSignal},
+	"F4": {Component: plant.CompEWS, Fault: plant.FaultCompromised},
+}
+
+// Engine builds a ready EPA engine over the flat model.
+func Engine() (*epa.Engine, error) {
+	types := Types()
+	return epa.NewEngine(Model(), Behaviors(types))
+}
