@@ -1,0 +1,20 @@
+.PHONY: check test build vet fuzz
+
+# check is the canonical verification target: vet + build + race tests +
+# short fuzz runs. Set FUZZTIME to change the per-target fuzz duration.
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+fuzz:
+	go test -run='^$$' -fuzz=FuzzParse -fuzztime=$${FUZZTIME:-5s} ./internal/logic
+	go test -run='^$$' -fuzz=FuzzParseFormula -fuzztime=$${FUZZTIME:-5s} ./internal/temporal
+	go test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$${FUZZTIME:-5s} ./internal/sysmodel

@@ -9,18 +9,25 @@
 //
 //	riskassess -model model.json -types types.json [-maxcard 2] [-asp]
 //	           [-optimize] [-budget N] [-mitigations M-0917,M-0949]
+//	           [-timeout 30s] [-max-decisions N] [-max-scenarios N] [-top N]
 //
 // Requirements in the model file carry LTLf formulas for documentation;
 // the generic violation condition used here flags a requirement when any
 // component marked criticality H/VH exhibits any error mode.
+//
+// The resource flags make the run an anytime computation: when the
+// timeout or a cap fires, the tool reports the partial results it
+// completed plus a degradation summary saying exactly what was cut short.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/core"
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
@@ -32,23 +39,27 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "riskassess:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("riskassess", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "system model JSON (required)")
 	typesPath := fs.String("types", "", "component-type library JSON (required)")
 	maxCard := fs.Int("maxcard", 2, "maximum simultaneous activations (-1 = unbounded)")
 	useASP := fs.Bool("asp", false, "use the ASP engine for hazard identification")
 	doOpt := fs.Bool("optimize", false, "run mitigation cost-benefit optimization")
-	budget := fs.Int("budget", -1, "mitigation budget (-1 = unlimited)")
+	mitBudget := fs.Int("budget", -1, "mitigation budget (-1 = unlimited)")
 	mitigations := fs.String("mitigations", "", "comma-separated active mitigation IDs")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON summary instead of text")
 	dotPath := fs.String("dot", "", "also write the model as GraphViz DOT to this file")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none); partial results on expiry")
+	maxDecisions := fs.Int64("max-decisions", 0, "cap on ASP solver branching decisions (0 = unlimited)")
+	maxScenarios := fs.Int("max-scenarios", 0, "cap on analyzed scenarios (0 = unlimited)")
+	topN := fs.Int("top", 20, "ranked scenarios to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +97,12 @@ func run(args []string) error {
 		MaxCardinality:    *maxCard,
 		UseASP:            *useASP,
 		Optimize:          *doOpt,
-		Budget:            *budget,
+		Budget:            *mitBudget,
+		Resources: budget.Limits{
+			Timeout:      *timeout,
+			MaxDecisions: *maxDecisions,
+			MaxScenarios: *maxScenarios,
+		},
 	})
 	if err != nil {
 		return err
@@ -106,16 +122,20 @@ func run(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return a.WriteJSON(os.Stdout)
+		return a.WriteJSON(stdout)
 	}
-	fmt.Print(a.Render())
-	fmt.Println()
-	fmt.Println("== Risk-prioritized scenarios ==")
+	fmt.Fprint(stdout, a.Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "== Risk-prioritized scenarios ==")
 	limit := a.Ranked
-	if len(limit) > 20 {
-		limit = limit[:20]
+	if *topN > 0 && len(limit) > *topN {
+		limit = limit[:*topN]
 	}
-	fmt.Println(report.Ranked(limit))
+	fmt.Fprintln(stdout, report.Ranked(limit))
+	if a.Degradation.Degraded() {
+		fmt.Fprintln(stdout, "== Degraded results ==")
+		fmt.Fprintln(stdout, a.Degradation.Summary())
+	}
 	return nil
 }
 

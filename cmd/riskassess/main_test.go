@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunOnSampleModel(t *testing.T) {
@@ -12,7 +17,7 @@ func TestRunOnSampleModel(t *testing.T) {
 		"-types", "../../models/types.json",
 		"-optimize",
 		"-maxcard", "1",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,20 +29,20 @@ func TestRunWithMitigations(t *testing.T) {
 		"-types", "../../models/types.json",
 		"-mitigations", "M-0917,M-0949,M-0932",
 		"-maxcard", "1",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingArgs(t *testing.T) {
-	if err := run(nil); err == nil || !strings.Contains(err.Error(), "required") {
+	if err := run(nil, io.Discard); err == nil || !strings.Contains(err.Error(), "required") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunMissingFiles(t *testing.T) {
-	if err := run([]string{"-model", "nope.json", "-types", "nope.json"}); err == nil {
+	if err := run([]string{"-model", "nope.json", "-types", "nope.json"}, io.Discard); err == nil {
 		t.Fatal("expected file error")
 	}
 }
@@ -50,7 +55,7 @@ func TestRunJSONAndDot(t *testing.T) {
 		"-maxcard", "1",
 		"-json",
 		"-dot", dot,
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,5 +65,140 @@ func TestRunJSONAndDot(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "digraph") {
 		t.Errorf("dot output = %q", data)
+	}
+}
+
+// rankedCount counts data rows ("<rank> S<id> ...") in the
+// "Risk-prioritized scenarios" table.
+func rankedCount(out string) int {
+	_, tail, ok := strings.Cut(out, "== Risk-prioritized scenarios ==")
+	if !ok {
+		return -1
+	}
+	n := 0
+	for _, line := range strings.Split(tail, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 2 || !strings.HasPrefix(f[1], "S") {
+			continue
+		}
+		if _, err := strconv.Atoi(f[0]); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRunTopFlagLimitsRanking(t *testing.T) {
+	base := []string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "2",
+	}
+	var all, top5 bytes.Buffer
+	if err := run(append(base, "-top", "0"), &all); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-top", "5"), &top5); err != nil {
+		t.Fatal(err)
+	}
+	nAll, n5 := rankedCount(all.String()), rankedCount(top5.String())
+	if n5 != 5 {
+		t.Errorf("-top 5 printed %d scenarios", n5)
+	}
+	if nAll <= 20 {
+		t.Fatalf("fixture too small to exercise -top 0: %d scenarios", nAll)
+	}
+}
+
+func TestRunTimeoutDegradesGracefully(t *testing.T) {
+	const timeout = 50 * time.Millisecond
+	var out bytes.Buffer
+	start := time.Now()
+	// The decision cap guarantees the ASP search is interrupted even on a
+	// machine fast enough to finish inside the deadline; the deadline
+	// bounds the wall clock either way.
+	err := run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "-1",
+		"-asp",
+		"-timeout", timeout.String(),
+		"-max-decisions", "50",
+	}, &out)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2x the deadline plus scheduling slack: budget polls sit between
+	// units of work, not inside them.
+	if elapsed > 2*timeout+2*time.Second {
+		t.Errorf("run took %v with -timeout %v", elapsed, timeout)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== Degraded results ==") {
+		t.Fatalf("no degradation summary in output:\n%s", text)
+	}
+	// The completed ranked scenarios must still be reported.
+	if !strings.Contains(text, "== Risk-prioritized scenarios ==") {
+		t.Error("ranked scenarios missing from degraded output")
+	}
+}
+
+func TestRunJSONCarriesSolverStatsAndDegradation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "1",
+		"-asp",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Solver *struct {
+			Decisions  int64 `json:"decisions"`
+			Restarts   int64 `json:"restarts"`
+			DurationMS int64 `json:"durationMs"`
+		} `json:"solver"`
+		Degradation []struct {
+			Stage  string `json:"stage"`
+			Reason string `json:"reason"`
+		} `json:"degradation"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Solver == nil {
+		t.Fatal("no solver stats in -asp -json output")
+	}
+	if sum.Solver.Decisions <= 0 {
+		t.Errorf("solver stats = %+v", sum.Solver)
+	}
+	if len(sum.Degradation) != 0 {
+		t.Errorf("unexpected degradation: %+v", sum.Degradation)
+	}
+
+	// A scenario cap must surface in the JSON degradation list.
+	out.Reset()
+	err = run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "2",
+		"-max-scenarios", "3",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Degradation) == 0 {
+		t.Fatal("scenario cap not reported in JSON degradation")
+	}
+	if sum.Degradation[0].Reason != "scenario-cap" {
+		t.Errorf("degradation = %+v", sum.Degradation)
 	}
 }

@@ -1,0 +1,199 @@
+// Package budget implements resource governance for the assessment
+// pipeline: wall-clock deadlines plus effort caps (solver decisions and
+// conflicts, grounding-rule instantiations, scenario count), and the
+// Degradation report recording exactly which stage was truncated and how.
+//
+// The design goal is *anytime* answers: a preliminary assessment run by an
+// SME must be bounded, interruptible, and able to return a useful partial
+// result instead of hanging on a combinatorial blowup. Every governed
+// stage checks its Budget at loop granularity and, on exhaustion, either
+// returns what it completed so far (recording a Truncation) or aborts
+// with an *ExhaustedError when a partial result would be unsound.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Canonical truncation/exhaustion reasons.
+const (
+	ReasonDeadline    = "deadline"
+	ReasonCancelled   = "cancelled"
+	ReasonDecisions   = "decision-cap"
+	ReasonConflicts   = "conflict-cap"
+	ReasonGroundRules = "ground-rule-cap"
+	ReasonScenarios   = "scenario-cap"
+)
+
+// Limits is the declarative cap set for one pipeline run. The zero value
+// means "unlimited" for every resource.
+type Limits struct {
+	// Timeout bounds the wall clock of the whole run (0 = none).
+	Timeout time.Duration
+	// MaxDecisions caps solver branching decisions (0 = unlimited).
+	MaxDecisions int64
+	// MaxConflicts caps solver conflicts (0 = unlimited).
+	MaxConflicts int64
+	// MaxGroundRules caps emitted ground-rule instantiations
+	// (0 = unlimited).
+	MaxGroundRules int
+	// MaxScenarios caps the number of analyzed scenarios (0 = unlimited).
+	MaxScenarios int
+}
+
+// IsZero reports whether no limit is set.
+func (l Limits) IsZero() bool { return l == Limits{} }
+
+// Budget is a live resource account: limits plus the context carrying
+// cancellation and the deadline. A nil *Budget is valid and unlimited —
+// every method is nil-receiver safe.
+type Budget struct {
+	ctx    context.Context
+	limits Limits
+}
+
+// New binds limits to a context. The Timeout field is NOT applied here;
+// use WithTimeout when the budget should install its own deadline.
+func New(ctx context.Context, l Limits) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Budget{ctx: ctx, limits: l}
+}
+
+// WithTimeout derives a budget whose context enforces l.Timeout (when
+// non-zero) on top of ctx. The caller must call the returned cancel
+// function to release the timer.
+func WithTimeout(ctx context.Context, l Limits) (*Budget, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if l.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, l.Timeout)
+	}
+	return New(ctx, l), cancel
+}
+
+// Context returns the governing context (context.Background for a nil
+// budget).
+func (b *Budget) Context() context.Context {
+	if b == nil || b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
+// Limits returns the cap set (the zero value for a nil budget).
+func (b *Budget) Limits() Limits {
+	if b == nil {
+		return Limits{}
+	}
+	return b.limits
+}
+
+// Err reports the context state as an *ExhaustedError attributed to the
+// given stage ("deadline" or "cancelled"), or nil while time remains.
+func (b *Budget) Err(stage string) error {
+	if b == nil || b.ctx == nil {
+		return nil
+	}
+	if err := b.ctx.Err(); err != nil {
+		return &ExhaustedError{Stage: stage, Reason: ctxReason(err)}
+	}
+	return nil
+}
+
+func ctxReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ReasonDeadline
+	}
+	return ReasonCancelled
+}
+
+// ExhaustedError reports that a resource cap aborted a stage entirely
+// (as opposed to truncating it with partial results).
+type ExhaustedError struct {
+	Stage  string // pipeline stage, e.g. "solve", "ground", "hazard"
+	Reason string // one of the Reason* constants
+	Detail string // optional human-readable context
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	msg := fmt.Sprintf("budget: %s exhausted in stage %q", e.Reason, e.Stage)
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// Exhausted unwraps err as an *ExhaustedError.
+func Exhausted(err error) (*ExhaustedError, bool) {
+	var e *ExhaustedError
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// Truncation records one stage that was cut short: which stage, why, and
+// what the partial result covers.
+type Truncation struct {
+	Stage  string `json:"stage"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// String implements fmt.Stringer.
+func (t Truncation) String() string {
+	if t.Detail == "" {
+		return t.Stage + ": " + t.Reason
+	}
+	return t.Stage + ": " + t.Reason + " — " + t.Detail
+}
+
+// Degradation is the run-level record of every truncation. A run with an
+// empty Degradation completed exactly; otherwise the report tells the
+// user which results are partial and how to interpret them.
+type Degradation struct {
+	Truncations []Truncation `json:"truncations,omitempty"`
+}
+
+// Degraded reports whether anything was truncated.
+func (d *Degradation) Degraded() bool { return d != nil && len(d.Truncations) > 0 }
+
+// Add appends a truncation.
+func (d *Degradation) Add(stage, reason, detail string) {
+	d.Truncations = append(d.Truncations, Truncation{Stage: stage, Reason: reason, Detail: detail})
+}
+
+// Record appends an existing truncation.
+func (d *Degradation) Record(t Truncation) { d.Truncations = append(d.Truncations, t) }
+
+// RecordError records err when it is an *ExhaustedError and reports
+// whether it was one (callers re-raise other errors).
+func (d *Degradation) RecordError(err error) bool {
+	e, ok := Exhausted(err)
+	if !ok {
+		return false
+	}
+	d.Truncations = append(d.Truncations, Truncation{Stage: e.Stage, Reason: e.Reason, Detail: e.Detail})
+	return true
+}
+
+// Summary renders one line per truncation, empty string when complete.
+func (d *Degradation) Summary() string {
+	if !d.Degraded() {
+		return ""
+	}
+	lines := make([]string, len(d.Truncations))
+	for i, t := range d.Truncations {
+		lines[i] = t.String()
+	}
+	return strings.Join(lines, "\n")
+}

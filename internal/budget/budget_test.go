@@ -1,0 +1,118 @@
+package budget
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Err("any"); err != nil {
+		t.Fatalf("nil budget Err = %v", err)
+	}
+	if got := b.Limits(); !got.IsZero() {
+		t.Fatalf("nil budget limits = %+v", got)
+	}
+	if b.Context() == nil {
+		t.Fatal("nil budget context must not be nil")
+	}
+}
+
+func TestErrOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := New(ctx, Limits{})
+	err := b.Err("solve")
+	if err == nil {
+		t.Fatal("expected error for cancelled context")
+	}
+	e, ok := Exhausted(err)
+	if !ok {
+		t.Fatalf("not an ExhaustedError: %v", err)
+	}
+	if e.Stage != "solve" || e.Reason != ReasonCancelled {
+		t.Errorf("e = %+v", e)
+	}
+}
+
+func TestWithTimeoutInstallsDeadline(t *testing.T) {
+	b, cancel := WithTimeout(context.Background(), Limits{Timeout: time.Nanosecond})
+	defer cancel()
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if b.Err("hazard") != nil {
+			break
+		}
+	}
+	err := b.Err("hazard")
+	if e, ok := Exhausted(err); !ok || e.Reason != ReasonDeadline {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWithTimeoutZeroIsUnbounded(t *testing.T) {
+	b, cancel := WithTimeout(context.Background(), Limits{})
+	defer cancel()
+	if err := b.Err("x"); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExhaustedErrorMessage(t *testing.T) {
+	e := &ExhaustedError{Stage: "ground", Reason: ReasonGroundRules, Detail: "10000 rules"}
+	msg := e.Error()
+	for _, want := range []string{"ground", ReasonGroundRules, "10000 rules"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q misses %q", msg, want)
+		}
+	}
+	if _, ok := Exhausted(fmt.Errorf("wrap: %w", e)); !ok {
+		t.Error("Exhausted must unwrap wrapped errors")
+	}
+	if _, ok := Exhausted(fmt.Errorf("plain")); ok {
+		t.Error("plain error must not match")
+	}
+}
+
+func TestDegradationReport(t *testing.T) {
+	d := &Degradation{}
+	if d.Degraded() {
+		t.Fatal("fresh report must not be degraded")
+	}
+	if d.Summary() != "" {
+		t.Fatalf("summary = %q", d.Summary())
+	}
+	d.Add("hazard", ReasonDeadline, "completed cardinality <= 1")
+	d.Record(Truncation{Stage: "solve", Reason: ReasonDecisions})
+	if !d.RecordError(&ExhaustedError{Stage: "ground", Reason: ReasonGroundRules}) {
+		t.Fatal("RecordError must accept ExhaustedError")
+	}
+	if d.RecordError(fmt.Errorf("not a budget error")) {
+		t.Fatal("RecordError must reject other errors")
+	}
+	if len(d.Truncations) != 3 {
+		t.Fatalf("truncations = %+v", d.Truncations)
+	}
+	sum := d.Summary()
+	for _, want := range []string{"hazard", "deadline", "cardinality", "solve", "ground"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q misses %q", sum, want)
+		}
+	}
+	if lines := strings.Split(sum, "\n"); len(lines) != 3 {
+		t.Errorf("summary lines = %d", len(lines))
+	}
+}
+
+func TestDegradedNilReceiver(t *testing.T) {
+	var d *Degradation
+	if d.Degraded() {
+		t.Fatal("nil report must not be degraded")
+	}
+	if d.Summary() != "" {
+		t.Fatal("nil summary must be empty")
+	}
+}

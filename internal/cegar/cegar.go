@@ -11,6 +11,7 @@ package cegar
 import (
 	"fmt"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
@@ -88,6 +89,10 @@ type Result struct {
 	// PerLevelFindings records how many findings each level produced
 	// (shrinking counts show the refinement working).
 	PerLevelFindings []int
+	// Truncations records budget exhaustions hit during the loop: a
+	// truncated hazard analysis, or validation cut short (remaining
+	// findings routed to Undetermined).
+	Truncations []budget.Truncation
 }
 
 // Confirmed lists confirmed findings.
@@ -114,21 +119,54 @@ func (r *Result) filter(v Verdict) []Judged {
 // move to the next level and re-analyze. The final level's findings are
 // returned with their verdicts. maxCard bounds scenario cardinality.
 func Run(levels []Level, oracle Oracle, maxCard int) (*Result, error) {
+	return RunBudget(levels, oracle, maxCard, nil)
+}
+
+// RunBudget is Run under a resource budget. Each level's hazard analysis
+// degrades as hazard.AnalyzeBudget does (truncations are collected on the
+// result); the budget is also polled between oracle calls — concrete
+// validation can dominate wall-clock time — and on exhaustion every
+// not-yet-validated finding of the current level is routed to
+// Undetermined (expert review), matching the paper's handling of
+// undecidable counterexamples. A nil budget is unlimited.
+func RunBudget(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget) (*Result, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("cegar: no abstraction levels")
 	}
 	res := &Result{}
 	for li, level := range levels {
 		res.Iterations++
-		analysis, err := hazard.Analyze(level.Engine, level.Mutations, maxCard, level.Requirements)
+		analysis, err := hazard.AnalyzeBudget(level.Engine, level.Mutations, maxCard, level.Requirements, bud)
 		if err != nil {
 			return nil, fmt.Errorf("cegar: level %q: %w", level.Name, err)
 		}
+		if analysis.Truncation != nil {
+			t := *analysis.Truncation
+			t.Stage = "cegar/" + level.Name + "/" + t.Stage
+			res.Truncations = append(res.Truncations, t)
+		}
 		var judged []Judged
 		anySpurious := false
+		exhausted := false
 		for _, s := range analysis.Hazards() {
 			for _, reqID := range s.Violated {
 				f := Finding{Scenario: s.Scenario, ReqID: reqID}
+				if !exhausted {
+					if budErr := bud.Err("cegar"); budErr != nil {
+						exhausted = true
+						if ex, ok := budget.Exhausted(budErr); ok {
+							res.Truncations = append(res.Truncations, budget.Truncation{
+								Stage:  "cegar/" + level.Name + "/validate",
+								Reason: ex.Reason,
+								Detail: fmt.Sprintf("%d findings validated before exhaustion; the rest need expert review", len(judged)),
+							})
+						}
+					}
+				}
+				if exhausted {
+					judged = append(judged, Judged{Finding: f, Verdict: Undetermined, Level: level.Name})
+					continue
+				}
 				verdict, err := oracle.Check(f)
 				if err != nil {
 					return nil, fmt.Errorf("cegar: oracle on %s: %w", f, err)
@@ -141,7 +179,7 @@ func Run(levels []Level, oracle Oracle, maxCard int) (*Result, error) {
 		}
 		res.PerLevelFindings = append(res.PerLevelFindings, len(judged))
 		res.Findings = judged
-		if !anySpurious || li == len(levels)-1 {
+		if exhausted || !anySpurious || li == len(levels)-1 {
 			return res, nil
 		}
 		// Spurious findings remain: refine (continue with the next finer

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsrisk/internal/budget"
+	"cpsrisk/internal/cegar"
+)
+
+func TestRunCtxCancelledContextDegradesInsteadOfHanging(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := caseStudyConfig()
+	cfg.MaxCardinality = -1
+	start := time.Now()
+	a, err := RunCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancelled run did not return promptly")
+	}
+	if a.Degradation == nil || !a.Degradation.Degraded() {
+		t.Fatalf("degradation = %+v", a.Degradation)
+	}
+	reasonSeen := false
+	for _, tr := range a.Degradation.Truncations {
+		if tr.Reason == budget.ReasonCancelled {
+			reasonSeen = true
+		}
+	}
+	if !reasonSeen {
+		t.Errorf("no cancellation truncation: %s", a.Degradation.Summary())
+	}
+	if a.Analysis == nil {
+		t.Fatal("degraded run must still return an analysis")
+	}
+}
+
+func TestRunCtxScenarioCapKeepsCompletedCardinality(t *testing.T) {
+	cfg := caseStudyConfig()
+	cfg.MaxCardinality = -1
+	// 4 candidates: 1 + 4 + 6 + 4 + 1 = 16 scenarios; cap at 7 lands
+	// inside cardinality 2 -> fall back to cardinality <= 1 (5 scenarios).
+	cfg.Resources = budget.Limits{MaxScenarios: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degradation.Degraded() {
+		t.Fatal("expected degradation")
+	}
+	if len(a.Analysis.Scenarios) != 5 {
+		t.Errorf("scenarios = %d, want 5", len(a.Analysis.Scenarios))
+	}
+	if len(a.Ranked) != len(a.Analysis.Scenarios) {
+		t.Error("ranking must cover the partial result")
+	}
+	if !strings.Contains(a.Degradation.Summary(), budget.ReasonScenarios) {
+		t.Errorf("summary = %q", a.Degradation.Summary())
+	}
+}
+
+func TestRunCtxASPFallsBackToNativeEngine(t *testing.T) {
+	cfg := caseStudyConfig()
+	cfg.UseASP = true
+	cfg.Resources = budget.Limits{MaxGroundRules: 10}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := false
+	for _, tr := range a.Degradation.Truncations {
+		if tr.Stage == "hazard-asp" && tr.Reason == budget.ReasonGroundRules {
+			fallback = true
+		}
+	}
+	if !fallback {
+		t.Fatalf("no ASP fallback recorded: %s", a.Degradation.Summary())
+	}
+	// The native engine completed the identification exactly.
+	if a.Analysis == nil || a.Analysis.Truncation != nil {
+		t.Errorf("analysis = %+v", a.Analysis)
+	}
+	if a.Analysis.SolverStats != nil {
+		t.Error("native fallback must not carry ASP solver stats")
+	}
+	if len(a.Analysis.Scenarios) != 11 {
+		t.Errorf("scenarios = %d", len(a.Analysis.Scenarios))
+	}
+}
+
+func TestRunCtxExhaustedBudgetSkipsOptimization(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := caseStudyConfig()
+	cfg.Optimize = true
+	cfg.Budget = -1
+	a, err := RunCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Plan.Selected) != 0 {
+		t.Errorf("optimization ran on an exhausted budget: %+v", a.Plan)
+	}
+	skipped := false
+	for _, tr := range a.Degradation.Truncations {
+		if tr.Stage == "optimize" {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Errorf("no optimize truncation: %s", a.Degradation.Summary())
+	}
+}
+
+func TestRunCompleteRunReportsNoDegradation(t *testing.T) {
+	a, err := Run(caseStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Degradation == nil {
+		t.Fatal("Degradation must always be non-nil")
+	}
+	if a.Degradation.Degraded() {
+		t.Errorf("unexpected degradation: %s", a.Degradation.Summary())
+	}
+}
+
+// panickyOracle stands in for user-supplied validation code that blows up.
+type panickyOracle struct{}
+
+func (panickyOracle) Check(f cegar.Finding) (cegar.Verdict, error) {
+	panic("oracle exploded on " + f.String())
+}
+
+func TestRunPanicInStageBecomesError(t *testing.T) {
+	cfg := caseStudyConfig()
+	cfg.Oracle = panickyOracle{}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+	if !strings.Contains(err.Error(), `stage "validate" panicked`) {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "oracle exploded") {
+		t.Errorf("err = %v", err)
+	}
+}

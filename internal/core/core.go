@@ -6,9 +6,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cpsrisk/internal/attack"
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/cegar"
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
@@ -55,6 +57,11 @@ type Config struct {
 	// Oracle enables CEGAR validation of the findings when non-nil,
 	// classifying hazards as confirmed/spurious/undetermined.
 	Oracle cegar.Oracle
+	// Resources governs computational effort: wall-clock timeout, solver
+	// decision/conflict caps, grounding and scenario caps. The zero value
+	// is unlimited. When a cap fires the run degrades gracefully — partial
+	// results plus a Degradation report — instead of erroring out.
+	Resources budget.Limits
 }
 
 // Assessment is the pipeline output.
@@ -79,87 +86,184 @@ type Assessment struct {
 	Phases []optimize.Phase
 	// Refinement is the CEGAR outcome (Oracle only).
 	Refinement *cegar.Result
+	// Degradation records every resource-driven truncation of the run.
+	// Always non-nil; empty when the assessment completed exactly.
+	Degradation *budget.Degradation
 }
 
-// Run executes the pipeline.
+// runStage executes one pipeline stage with a panic guard: a panic inside
+// any stage (a malformed behaviour library, a bad custom Condition, a
+// solver bug) becomes an error naming the stage instead of crashing the
+// embedding tool. Regular errors pass through unwrapped.
+func runStage(name string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: stage %q panicked: %v", name, r)
+		}
+	}()
+	return f()
+}
+
+// Run executes the pipeline without external cancellation. Resource
+// limits from cfg.Resources still apply.
 func Run(cfg Config) (*Assessment, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the pipeline under ctx and cfg.Resources. Exhausting
+// the budget is not an error: the assessment degrades stage by stage —
+// hazard identification falls back to the largest fully-analyzed
+// cardinality, the ASP path falls back to the native fixpoint engine,
+// validation and optimization are skipped when no time remains — and
+// every truncation is recorded in Assessment.Degradation.
+func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	if cfg.Model == nil || cfg.Types == nil {
 		return nil, fmt.Errorf("core: model and type library are required")
 	}
 	if len(cfg.Requirements) == 0 {
 		return nil, fmt.Errorf("core: at least one requirement is required")
 	}
-	model := cfg.Model.Clone()
-	if err := model.RefineAll(); err != nil {
-		return nil, fmt.Errorf("core: refine: %w", err)
+	bud, cancel := budget.WithTimeout(ctx, cfg.Resources)
+	defer cancel()
+
+	out := &Assessment{Degradation: &budget.Degradation{}}
+
+	var (
+		model     *sysmodel.Model
+		behaviors *epa.BehaviorLibrary
+		eng       *epa.Engine
+		muts      []faults.Mutation
+		analyzed  []faults.Mutation
+	)
+	err := runStage("model", func() error {
+		model = cfg.Model.Clone()
+		if err := model.RefineAll(); err != nil {
+			return fmt.Errorf("core: refine: %w", err)
+		}
+		if err := model.Validate(cfg.Types); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		behaviors = cfg.Behaviors
+		if behaviors == nil {
+			behaviors = epa.NewBehaviorLibrary(cfg.Types)
+		}
+		out.ModelStats = model.Stats()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := model.Validate(cfg.Types); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	behaviors := cfg.Behaviors
-	if behaviors == nil {
-		behaviors = epa.NewBehaviorLibrary(cfg.Types)
-	}
-	out := &Assessment{ModelStats: model.Stats()}
 
 	// Step 2: candidate system mutations.
-	muts, err := faults.Candidates(model, cfg.Types, cfg.KB, cfg.MutationSources)
-	if err != nil {
-		return nil, err
-	}
-	muts = mergeMutations(muts, cfg.ExtraMutations)
-	out.Candidates = muts
-
-	if cfg.KB != nil {
-		g, err := attack.Build(model, cfg.Types, cfg.KB, attack.Options{
-			ActiveMitigations: cfg.ActiveMitigations,
-		})
+	err = runStage("candidates", func() error {
+		var err error
+		muts, err = faults.Candidates(model, cfg.Types, cfg.KB, cfg.MutationSources)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Compromisable = g.Compromisable()
-	}
+		muts = mergeMutations(muts, cfg.ExtraMutations)
+		out.Candidates = muts
 
-	analyzed := muts
-	if cfg.KB != nil && len(cfg.ActiveMitigations) > 0 {
-		analyzed = mitigation.Filter(cfg.KB, muts, cfg.ActiveMitigations)
-	}
-	out.Analyzed = analyzed
+		if cfg.KB != nil {
+			g, err := attack.Build(model, cfg.Types, cfg.KB, attack.Options{
+				ActiveMitigations: cfg.ActiveMitigations,
+			})
+			if err != nil {
+				return err
+			}
+			out.Compromisable = g.Compromisable()
+		}
 
-	// Steps 3-4: reasoning and hazard identification.
-	eng, err := epa.NewEngine(model, behaviors)
+		analyzed = muts
+		if cfg.KB != nil && len(cfg.ActiveMitigations) > 0 {
+			analyzed = mitigation.Filter(cfg.KB, muts, cfg.ActiveMitigations)
+		}
+		out.Analyzed = analyzed
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.UseASP {
-		out.Analysis, err = hazard.AnalyzeASP(eng, analyzed, cfg.MaxCardinality, cfg.Requirements)
-	} else {
-		out.Analysis, err = hazard.Analyze(eng, analyzed, cfg.MaxCardinality, cfg.Requirements)
-	}
+
+	// Steps 3-4: reasoning and hazard identification. The ASP path can
+	// abort wholesale (grounding or solving exhausted); when it does, the
+	// native fixpoint engine takes over — it degrades per scenario rather
+	// than per answer set, so a partial result is always available.
+	err = runStage("hazard", func() error {
+		var err error
+		eng, err = epa.NewEngine(model, behaviors)
+		if err != nil {
+			return err
+		}
+		if cfg.UseASP {
+			out.Analysis, err = hazard.AnalyzeASPBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud)
+			if ex, ok := budget.Exhausted(err); ok {
+				out.Degradation.Add("hazard-asp", ex.Reason,
+					"ASP identification aborted; falling back to the native fixpoint engine")
+				out.Analysis, err = hazard.AnalyzeBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud)
+			}
+		} else {
+			out.Analysis, err = hazard.AnalyzeBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud)
+		}
+		if err != nil {
+			return err
+		}
+		if out.Analysis.Truncation != nil {
+			out.Degradation.Record(*out.Analysis.Truncation)
+		}
+		out.Ranked = out.Analysis.Ranked()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.Ranked = out.Analysis.Ranked()
 
 	// Step 5: CEGAR-styled validation (single-level loop against the
 	// configured oracle; multi-level refinement is driven via the cegar
-	// package directly).
+	// package directly). Skipped entirely when the budget is already
+	// spent — validating against a concrete oracle is the most expensive
+	// stage and partial hazard results are still worth reporting.
 	if cfg.Oracle != nil {
-		out.Refinement, err = cegar.Run([]cegar.Level{{
-			Name:         "assessment",
-			Engine:       eng,
-			Mutations:    analyzed,
-			Requirements: cfg.Requirements,
-		}}, cfg.Oracle, cfg.MaxCardinality)
-		if err != nil {
-			return nil, err
+		if budErr := bud.Err("validate"); budErr != nil {
+			if !out.Degradation.RecordError(budErr) {
+				return nil, budErr
+			}
+		} else {
+			err = runStage("validate", func() error {
+				ref, err := cegar.RunBudget([]cegar.Level{{
+					Name:         "assessment",
+					Engine:       eng,
+					Mutations:    analyzed,
+					Requirements: cfg.Requirements,
+				}}, cfg.Oracle, cfg.MaxCardinality, bud)
+				if err != nil {
+					return err
+				}
+				out.Refinement = ref
+				for _, t := range ref.Truncations {
+					out.Degradation.Record(t)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	// Steps 6-7: mitigation space and cost-benefit optimization.
 	if cfg.KB != nil {
-		out.RelevantMitigations = mitigation.Relevant(cfg.KB, muts)
-		if cfg.Optimize {
+		err = runStage("mitigation", func() error {
+			out.RelevantMitigations = mitigation.Relevant(cfg.KB, muts)
+			if !cfg.Optimize {
+				return nil
+			}
+			if budErr := bud.Err("optimize"); budErr != nil {
+				if !out.Degradation.RecordError(budErr) {
+					return budErr
+				}
+				return nil
+			}
 			problem := &optimize.Problem{Budget: cfg.Budget}
 			for _, m := range out.RelevantMitigations {
 				problem.Options = append(problem.Options, optimize.Option{
@@ -167,14 +271,16 @@ func Run(cfg Config) (*Assessment, error) {
 				})
 			}
 			problem.Scenarios = mitigation.PrepareLosses(cfg.KB, out.Analysis, muts)
+			var err error
 			out.Plan, err = problem.Optimal()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out.Phases, _, err = problem.MultiPhase()
-			if err != nil {
-				return nil, err
-			}
+			return err
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

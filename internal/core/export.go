@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/qual"
 	"cpsrisk/internal/risk"
 )
@@ -20,6 +21,24 @@ type Summary struct {
 	Scenarios     []ScenarioSummary  `json:"scenarios"`
 	Plan          *PlanSummary       `json:"plan,omitempty"`
 	Refinement    *CEGARSummary      `json:"refinement,omitempty"`
+	// Degradation lists resource-budget truncations; absent when the run
+	// completed exactly.
+	Degradation []budget.Truncation `json:"degradation,omitempty"`
+	// Solver carries search statistics when the ASP path ran.
+	Solver *SolverSummary `json:"solver,omitempty"`
+}
+
+// SolverSummary is the ASP solver's search effort for the run.
+type SolverSummary struct {
+	Atoms        int   `json:"atoms"`
+	GroundRules  int   `json:"groundRules"`
+	Vars         int   `json:"vars"`
+	Clauses      int   `json:"clauses"`
+	Decisions    int64 `json:"decisions"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+	DurationMS   int64 `json:"durationMs"`
 }
 
 // CandidateSummary is one candidate mutation.
@@ -108,6 +127,23 @@ func (a *Assessment) Summarize() *Summary {
 			c.Undetermined = append(c.Undetermined, j.Finding.String())
 		}
 		out.Refinement = c
+	}
+	if a.Degradation.Degraded() {
+		out.Degradation = a.Degradation.Truncations
+	}
+	if a.Analysis != nil && a.Analysis.SolverStats != nil {
+		st := a.Analysis.SolverStats
+		out.Solver = &SolverSummary{
+			Atoms:        st.Atoms,
+			GroundRules:  st.GroundRules,
+			Vars:         st.Vars,
+			Clauses:      st.Clauses,
+			Decisions:    st.Decisions,
+			Conflicts:    st.Conflicts,
+			Propagations: st.Propagations,
+			Restarts:     st.Restarts,
+			DurationMS:   st.Duration.Milliseconds(),
+		}
 	}
 	return out
 }

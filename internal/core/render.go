@@ -40,6 +40,15 @@ func (a *Assessment) Render() string {
 	fmt.Fprintf(&sb, "HAZARD IDENTIFICATION\n  %d scenarios analyzed, %d hazardous\n\n",
 		len(a.Analysis.Scenarios), len(hazards))
 
+	if a.Degradation.Degraded() {
+		fmt.Fprintf(&sb, "DEGRADED RESULTS\n")
+		fmt.Fprintf(&sb, "  the resource budget interrupted the run; results below are partial:\n")
+		for _, t := range a.Degradation.Truncations {
+			fmt.Fprintf(&sb, "    %s\n", t)
+		}
+		sb.WriteString("\n")
+	}
+
 	fmt.Fprintf(&sb, "PRIORITIZED FINDINGS\n")
 	shown := 0
 	for _, sc := range a.Ranked {

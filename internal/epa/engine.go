@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/sysmodel"
 )
 
@@ -168,6 +169,15 @@ func (e *Engine) Model() *sysmodel.Model { return e.model }
 // activations (component or fault not in the model/type) are an error —
 // scenario construction bugs must not silently under-approximate.
 func (e *Engine) Run(scenario Scenario) (*Result, error) {
+	return e.RunBudget(scenario, nil)
+}
+
+// RunBudget is Run with cancellation: the budget context is polled once
+// per fixpoint iteration and exhaustion aborts with an
+// *budget.ExhaustedError (stage "epa"). A partial fixpoint would
+// under-approximate the propagation, so there is no partial-result mode
+// at this granularity — callers degrade at the scenario level instead.
+func (e *Engine) RunBudget(scenario Scenario, bud *budget.Budget) (*Result, error) {
 	res := &Result{
 		ports:  make(map[PortKey]ErrState, len(e.ports)),
 		causes: map[causeKey]Cause{},
@@ -200,6 +210,9 @@ func (e *Engine) Run(scenario Scenario) (*Result, error) {
 	// monotonically, so this terminates.
 	for changed := true; changed; {
 		changed = false
+		if err := bud.Err("epa"); err != nil {
+			return nil, err
+		}
 		// Connections.
 		for to, sources := range e.incoming {
 			for _, from := range sources {

@@ -189,33 +189,58 @@ func SpaceSize(n, maxCard int) int {
 // deterministic order: by cardinality, then lexicographically by candidate
 // index. The empty scenario comes first — the paper's Table II includes
 // the fault-free row S1.
+//
+// The full list is materialized; for large spaces prefer EnumerateStream,
+// which produces the same order lazily and can be stopped early.
 func Enumerate(muts []Mutation, maxCard int) []epa.Scenario {
+	var out []epa.Scenario
+	EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+		out = append(out, sc)
+		return true
+	})
+	return out
+}
+
+// EnumerateStream yields the same scenarios as Enumerate, in the same
+// order (cardinality ascending, then lexicographic candidate order), but
+// one at a time without materializing the space: resource-governed
+// consumers can stop at any point by returning false from yield. This is
+// what keeps an unbounded-cardinality analysis interruptible — 2^n
+// scenarios never exist in memory at once.
+func EnumerateStream(muts []Mutation, maxCard int, yield func(epa.Scenario) bool) {
 	n := len(muts)
 	if maxCard < 0 || maxCard > n {
 		maxCard = n
 	}
-	var out []epa.Scenario
 	idx := make([]int, 0, maxCard)
-	var rec func(start, remaining int)
-	rec = func(start, remaining int) {
-		sc := make(epa.Scenario, len(idx))
-		for i, j := range idx {
-			sc[i] = muts[j].Activation
+	stopped := false
+	// Per-cardinality streaming: combinations of each size in
+	// lexicographic index order reproduce Enumerate's sorted order.
+	for card := 0; card <= maxCard && !stopped; card++ {
+		idx = idx[:0]
+		var combo func(start, remaining int)
+		combo = func(start, remaining int) {
+			if stopped {
+				return
+			}
+			if remaining == 0 {
+				sc := make(epa.Scenario, len(idx))
+				for i, j := range idx {
+					sc[i] = muts[j].Activation
+				}
+				if !yield(sc) {
+					stopped = true
+				}
+				return
+			}
+			for j := start; j <= n-remaining && !stopped; j++ {
+				idx = append(idx, j)
+				combo(j+1, remaining-1)
+				idx = idx[:len(idx)-1]
+			}
 		}
-		out = append(out, sc)
-		if remaining == 0 {
-			return
-		}
-		for j := start; j < n; j++ {
-			idx = append(idx, j)
-			rec(j+1, remaining-1)
-			idx = idx[:len(idx)-1]
-		}
+		combo(0, card)
 	}
-	rec(0, maxCard)
-	// Order by cardinality then lexicographic candidate order.
-	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
-	return out
 }
 
 // EncodeChoice adds the scenario space to an ASP program as candidate

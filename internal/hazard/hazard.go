@@ -2,9 +2,11 @@ package hazard
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/logic"
@@ -51,6 +53,13 @@ func (s ScenarioResult) Violates(reqID string) bool {
 type Analysis struct {
 	Requirements []Requirement
 	Scenarios    []ScenarioResult
+	// Truncation is set when resource governance cut the analysis short.
+	// The degradation policy keeps the answer interpretable: Scenarios
+	// then holds every fully completed cardinality (partial cardinalities
+	// are dropped) and the truncation records the skipped frontier.
+	Truncation *budget.Truncation
+	// SolverStats reports ASP-path solver effort (nil on the native path).
+	SolverStats *solver.Stats
 }
 
 // Analyze enumerates the scenario space (cardinality <= maxCard, negative
@@ -58,19 +67,49 @@ type Analysis struct {
 // native EPA engine, scoring scenario risk from the mutation likelihoods
 // and requirement severities.
 func Analyze(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement) (*Analysis, error) {
+	return AnalyzeBudget(eng, muts, maxCard, reqs, nil)
+}
+
+// AnalyzeBudget is Analyze under resource governance. Scenarios stream in
+// cardinality order and the budget is checked per scenario; when the
+// deadline, a cancellation, or the scenario cap trips, the analysis falls
+// back to the largest fully completed cardinality: results of the
+// in-flight cardinality are dropped (they would silently bias the ranking
+// toward lexicographically early candidates) and the skipped frontier is
+// reported in Analysis.Truncation.
+func AnalyzeBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, bud *budget.Budget) (*Analysis, error) {
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
 	}
 	likelihoods := faults.LikelihoodIndex(muts)
-	scenarios := faults.Enumerate(muts, maxCard)
+	limits := bud.Limits()
 	out := &Analysis{Requirements: reqs}
-	for i, sc := range scenarios {
-		res, err := eng.Run(sc)
-		if err != nil {
-			return nil, err
+
+	var trunc *budget.Truncation
+	var runErr error
+	processed := 0
+	faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+		if limits.MaxScenarios > 0 && processed >= limits.MaxScenarios {
+			trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
+			return false
 		}
+		if err := bud.Err("hazard"); err != nil {
+			ex, _ := budget.Exhausted(err)
+			trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+			return false
+		}
+		res, err := eng.RunBudget(sc, bud)
+		if err != nil {
+			if ex, ok := budget.Exhausted(err); ok {
+				trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+				return false
+			}
+			runErr = err
+			return false
+		}
+		processed++
 		sr := ScenarioResult{
-			ID:       fmt.Sprintf("S%d", i+1),
+			ID:       fmt.Sprintf("S%d", processed),
 			Scenario: sc,
 		}
 		var severities []qual.Level
@@ -87,8 +126,82 @@ func Analyze(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requir
 			ViolatedSeverities: severities,
 		})
 		out.Scenarios = append(out.Scenarios, sr)
+		return true
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	if trunc != nil {
+		out.Truncation = trunc
+		out.truncateToCompletedCardinality(muts, maxCard)
 	}
 	return out, nil
+}
+
+// truncateToCompletedCardinality implements the graceful-degradation
+// policy after an interruption: drop results of the cardinality that was
+// in flight (it is only partially covered) and describe the kept frontier
+// in the truncation detail.
+func (a *Analysis) truncateToCompletedCardinality(muts []faults.Mutation, maxCard int) {
+	n := len(muts)
+	if maxCard < 0 || maxCard > n {
+		maxCard = n
+	}
+	kept := len(a.Scenarios)
+	completed := -1
+	if kept > 0 {
+		// The stream is cardinality-ordered, so cardinality c is complete
+		// iff all C(n, c) scenarios of that size were produced.
+		count := 0
+		last := 0
+		for _, s := range a.Scenarios {
+			if len(s.Scenario) != last {
+				count = 0
+				last = len(s.Scenario)
+			}
+			count++
+		}
+		completed = last
+		if count < binomialSat(n, last) {
+			completed = last - 1
+			for kept > 0 && len(a.Scenarios[kept-1].Scenario) > completed {
+				kept--
+			}
+			a.Scenarios = a.Scenarios[:kept]
+		}
+	}
+	total := faults.SpaceSize(n, maxCard)
+	var detail string
+	if completed < 0 {
+		detail = "no cardinality completed"
+	} else {
+		detail = fmt.Sprintf("completed cardinality <= %d of %d", completed, maxCard)
+	}
+	if total >= 0 {
+		detail += fmt.Sprintf("; analyzed %d of %d scenarios", kept, total)
+	} else {
+		detail += fmt.Sprintf("; analyzed %d scenarios of an overflowing space", kept)
+	}
+	a.Truncation.Detail = detail
+}
+
+// binomialSat computes C(n, k), saturating at math.MaxInt/2 (enough for
+// completion checks: a partial prefix is always strictly smaller).
+func binomialSat(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		if c > math.MaxInt/64 {
+			return math.MaxInt / 2
+		}
+		c = c * (n - i) / (i + 1)
+	}
+	return c
 }
 
 func validateReqs(reqs []Requirement) error {
@@ -126,6 +239,15 @@ func scenarioLikelihoods(sc epa.Scenario, idx map[epa.Activation]qual.Level) []q
 // assigned after sorting models into the native enumeration order so the
 // two paths are directly comparable.
 func AnalyzeASP(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement) (*Analysis, error) {
+	return AnalyzeASPBudget(eng, muts, maxCard, reqs, nil)
+}
+
+// AnalyzeASPBudget is AnalyzeASP under resource governance. The budget
+// caps grounding (aborting with *budget.ExhaustedError — callers fall
+// back to the native engine) and the answer-set search (returning the
+// answer sets found so far with Analysis.Truncation set). MaxScenarios
+// bounds the number of enumerated answer sets.
+func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, bud *budget.Budget) (*Analysis, error) {
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
 	}
@@ -139,7 +261,11 @@ func AnalyzeASP(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Req
 			return nil, err
 		}
 	}
-	res, err := solver.SolveProgram(prog, solver.Options{})
+	opts := solver.Options{Budget: bud}
+	if maxScen := bud.Limits().MaxScenarios; maxScen > 0 {
+		opts.MaxModels = maxScen
+	}
+	res, err := solver.SolveProgram(prog, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +306,21 @@ func AnalyzeASP(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Req
 			ViolatedSeverities: severities,
 		})
 	}
-	return &Analysis{Requirements: reqs, Scenarios: results}, nil
+	out := &Analysis{Requirements: reqs, Scenarios: results}
+	out.SolverStats = &res.Stats
+	switch {
+	case res.Interrupted:
+		out.Truncation = &budget.Truncation{
+			Stage: "hazard-asp", Reason: res.InterruptReason,
+			Detail: fmt.Sprintf("%d answer sets enumerated before interruption", len(res.Models)),
+		}
+	case opts.MaxModels > 0 && len(res.Models) >= opts.MaxModels:
+		out.Truncation = &budget.Truncation{
+			Stage: "hazard-asp", Reason: budget.ReasonScenarios,
+			Detail: fmt.Sprintf("first %d answer sets kept", len(res.Models)),
+		}
+	}
+	return out, nil
 }
 
 func scenarioFromModel(m *solver.Model, muts []faults.Mutation) epa.Scenario {

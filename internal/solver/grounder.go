@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/logic"
 )
 
@@ -13,6 +14,16 @@ import (
 // (negative literals are ignored while computing possibility, so every atom
 // of every stable model is instantiated — the same guarantee clingo gives).
 func Ground(prog *logic.Program) (*GroundProgram, error) {
+	return GroundBudget(prog, nil)
+}
+
+// GroundBudget grounds with resource governance: the context is polled
+// periodically during instantiation and MaxGroundRules bounds the emitted
+// ground rules. Exceeding either aborts with an *budget.ExhaustedError
+// (stage "ground") — a partially grounded program would be unsound to
+// solve, so grounding has no partial-result mode; callers degrade by
+// switching engine instead.
+func GroundBudget(prog *logic.Program, bud *budget.Budget) (*GroundProgram, error) {
 	if err := prog.CheckSafety(); err != nil {
 		return nil, err
 	}
@@ -21,6 +32,7 @@ func Ground(prog *logic.Program) (*GroundProgram, error) {
 		possible: map[string][]logic.Atom{},
 		isPoss:   map[string]bool{},
 		seen:     map[string]bool{},
+		bud:      bud,
 	}
 	rules, err := expandIntervalFacts(prog.Rules)
 	if err != nil {
@@ -43,6 +55,31 @@ type grounder struct {
 	delta    map[string][]logic.Atom // frontier of the current iteration
 	seen     map[string]bool         // rule-instantiation dedup keys
 	minGuard map[string]AtomID       // minimize (prio,weight,tuple) -> guard
+
+	bud      *budget.Budget
+	ctxPolls int
+}
+
+// checkBudget enforces the grounding-rule cap and polls the context every
+// ctxPollInterval instantiations.
+func (gr *grounder) checkBudget() error {
+	if gr.bud == nil {
+		return nil
+	}
+	if maxRules := gr.bud.Limits().MaxGroundRules; maxRules > 0 && len(gr.out.Rules) >= maxRules {
+		return &budget.ExhaustedError{
+			Stage: "ground", Reason: budget.ReasonGroundRules,
+			Detail: fmt.Sprintf("%d ground rules", len(gr.out.Rules)),
+		}
+	}
+	gr.ctxPolls++
+	if gr.ctxPolls >= ctxPollInterval {
+		gr.ctxPolls = 0
+		if err := gr.bud.Err("ground"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (gr *grounder) run(rules []logic.Rule) error {
@@ -125,6 +162,9 @@ func (gr *grounder) deltaHas(a logic.Atom) bool {
 // instantiation only marks head atoms possible.
 func (gr *grounder) groundRule(ri int, r logic.Rule, deltaIdx int, next map[string][]logic.Atom, emit bool) error {
 	handle := func(b logic.Bindings) error {
+		if err := gr.checkBudget(); err != nil {
+			return err
+		}
 		if !emit {
 			return gr.markChoiceHeads(r, b, next)
 		}

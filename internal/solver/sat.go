@@ -1,6 +1,11 @@
 package solver
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"cpsrisk/internal/budget"
+)
 
 // lit is a propositional literal: +v for the positive, -v for the negative
 // literal of variable v (v >= 1). litTrue is the pseudo-literal "constant
@@ -53,11 +58,62 @@ type sat struct {
 	pruning bool
 
 	// Statistics.
-	decisions, conflicts, propagations int64
+	decisions, conflicts, propagations, restarts int64
 
 	order []int // static branching order of variables
 
 	unsatRoot bool // an empty clause was added: trivially unsatisfiable
+
+	// Resource governance: zero caps mean unlimited, nil ctx means no
+	// cancellation. The context is polled every ctxPollInterval budget
+	// checks to keep the hot loop cheap.
+	maxDecisions, maxConflicts int64
+	ctx                        context.Context
+	ctxPolls                   int
+}
+
+// ctxPollInterval is how many search-loop iterations pass between
+// context polls.
+const ctxPollInterval = 64
+
+// checkBudget reports why the search must stop now (as an
+// *budget.ExhaustedError with stage "solve"), or nil.
+func (s *sat) checkBudget() error {
+	if s.maxDecisions > 0 && s.decisions >= s.maxDecisions {
+		return &budget.ExhaustedError{
+			Stage: "solve", Reason: budget.ReasonDecisions,
+			Detail: fmt.Sprintf("%d decisions", s.decisions),
+		}
+	}
+	if s.maxConflicts > 0 && s.conflicts >= s.maxConflicts {
+		return &budget.ExhaustedError{
+			Stage: "solve", Reason: budget.ReasonConflicts,
+			Detail: fmt.Sprintf("%d conflicts", s.conflicts),
+		}
+	}
+	if s.ctx != nil {
+		s.ctxPolls++
+		if s.ctxPolls >= ctxPollInterval {
+			s.ctxPolls = 0
+			if err := s.ctx.Err(); err != nil {
+				return budget.New(s.ctx, budget.Limits{}).Err("solve")
+			}
+		}
+	}
+	return nil
+}
+
+// applyBudget installs the caps of a budget (nil = unlimited) and
+// forces an immediate context poll on the first check.
+func (s *sat) applyBudget(b *budget.Budget) {
+	if b == nil {
+		return
+	}
+	l := b.Limits()
+	s.maxDecisions = l.MaxDecisions
+	s.maxConflicts = l.MaxConflicts
+	s.ctx = b.Context()
+	s.ctxPolls = ctxPollInterval
 }
 
 func newSAT() *sat {
@@ -111,6 +167,9 @@ func (s *sat) addClause(ls []lit) {
 	if len(out) == 1 {
 		// A unit clause holds in every model: restart to level 0 so the
 		// assignment persists for the rest of the search.
+		if s.decisionLevel() > 0 {
+			s.restarts++
+		}
 		for s.decisionLevel() > 0 {
 			s.cancelLevel()
 		}
@@ -345,7 +404,10 @@ func (s *sat) pickBranchVar() int {
 // clause was added) the search continues from the (possibly backtracked)
 // state; if true the search also continues (enumeration) after the caller
 // installed a blocking clause. search returns when the space is exhausted
-// or onTotal signals stop via the returned stop flag.
+// or onTotal signals stop via the returned stop flag. A budget cap or
+// cancellation aborts the search with an *budget.ExhaustedError; the
+// caller decides whether models found so far constitute a usable partial
+// answer.
 func (s *sat) search(onTotal func() (stop bool)) error {
 	if s.unsatRoot {
 		return nil
@@ -358,6 +420,9 @@ func (s *sat) search(onTotal func() (stop bool)) error {
 	for {
 		if s.unsatRoot {
 			return nil
+		}
+		if err := s.checkBudget(); err != nil {
+			return err
 		}
 		if !s.propagate() {
 			if !s.resolveConflict() {

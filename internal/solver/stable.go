@@ -3,7 +3,9 @@ package solver
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/logic"
 )
 
@@ -14,6 +16,12 @@ type Options struct {
 	// Optimize enables #minimize optimization: only optimal models are
 	// returned (ignored when the program has no minimize statements).
 	Optimize bool
+	// Budget governs solver effort: context cancellation/deadline plus
+	// decision and conflict caps (and, via SolveProgram, the grounding
+	// cap). Nil means unlimited. When the budget trips mid-search, Solve
+	// returns the models found so far with Result.Interrupted set instead
+	// of an error.
+	Budget *budget.Budget
 }
 
 // Model is one answer set.
@@ -61,6 +69,12 @@ type Stats struct {
 	Propagations int64
 	LoopClauses  int64
 	StableChecks int64
+	// Restarts counts level-0 restarts: unit clauses learned mid-search
+	// plus the optimization re-enumeration pass.
+	Restarts int64
+	// Duration is the wall-clock time spent in Solve (translation plus
+	// search).
+	Duration time.Duration
 }
 
 // Result is the outcome of a Solve call.
@@ -69,12 +83,21 @@ type Result struct {
 	Models      []Model
 	// Optimal is true when Models are proven optimal.
 	Optimal bool
-	Stats   Stats
+	// Interrupted is true when the search stopped on budget exhaustion:
+	// Models holds whatever was found up to that point (for optimizing
+	// solves, the best model known so far) and InterruptReason says why
+	// ("deadline", "cancelled", "decision-cap", "conflict-cap").
+	Interrupted     bool
+	InterruptReason string
+	Stats           Stats
 }
 
-// SolveProgram grounds and solves a logic program.
+// SolveProgram grounds and solves a logic program. Grounding is governed
+// by opts.Budget too: exceeding the grounding-rule cap (or the deadline
+// during grounding) aborts with an *budget.ExhaustedError, because a
+// partially grounded program would be unsound to solve.
 func SolveProgram(prog *logic.Program, opts Options) (*Result, error) {
-	gp, err := Ground(prog)
+	gp, err := GroundBudget(prog, opts.Budget)
 	if err != nil {
 		return nil, err
 	}
@@ -90,12 +113,16 @@ func SolveSource(src string, opts Options) (*Result, error) {
 	return SolveProgram(prog, opts)
 }
 
-// Solve computes stable models of a ground program.
+// Solve computes stable models of a ground program. With a budget in
+// opts, an exhausted cap does not error: the models found so far are
+// returned with Result.Interrupted set and the final Stats filled in.
 func Solve(gp *GroundProgram, opts Options) (*Result, error) {
+	start := time.Now()
 	tr, err := translate(gp)
 	if err != nil {
 		return nil, err
 	}
+	tr.s.applyBudget(opts.Budget)
 	res := &Result{}
 	if opts.Optimize && len(gp.Minimize) > 0 {
 		if err := tr.solveOptimize(opts, res); err != nil {
@@ -108,6 +135,7 @@ func Solve(gp *GroundProgram, opts Options) (*Result, error) {
 	}
 	res.Satisfiable = len(res.Models) > 0
 	tr.fillStats(&res.Stats)
+	res.Stats.Duration = time.Since(start)
 	return res, nil
 }
 
@@ -486,6 +514,7 @@ func (tr *translation) fillStats(st *Stats) {
 	st.Propagations = tr.s.propagations
 	st.LoopClauses = tr.loopAdds
 	st.StableChecks = tr.stableCks
+	st.Restarts = tr.s.restarts
 }
 
 // atomTrue reports the truth of an atom in the current total assignment.
@@ -689,18 +718,27 @@ func (tr *translation) solveEnumerate(opts Options, res *Result, exactCost int64
 		tr.addSearchClause(tr.blockingClause())
 		return false
 	}
-	if err := tr.s.search(onTotal); err != nil {
+	err := tr.s.search(onTotal)
+	if ex, ok := budget.Exhausted(err); ok {
+		res.Interrupted = true
+		res.InterruptReason = ex.Reason
+		err = nil
+	}
+	if err != nil {
 		return err
 	}
 	return searchErr
 }
 
 // solveOptimize runs branch-and-bound to the optimum, then re-enumerates
-// the optimal models.
+// the optimal models. On budget exhaustion the best model found so far
+// is returned with Interrupted set (anytime optimization): it is the
+// incumbent of the interrupted branch-and-bound, not a proven optimum.
 func (tr *translation) solveOptimize(opts Options, res *Result) error {
 	tr.s.pruning = true
 	tr.s.bound = 1 << 62
 	var best int64 = -1
+	var incumbent Model
 	found := false
 	var searchErr error
 	onTotal := func() bool {
@@ -715,10 +753,20 @@ func (tr *translation) solveOptimize(opts Options, res *Result) error {
 		}
 		found = true
 		best = tr.s.curCost
+		incumbent = tr.extractModel()
 		tr.s.bound = best // require strictly better from now on
 		return false
 	}
-	if err := tr.s.search(onTotal); err != nil {
+	err := tr.s.search(onTotal)
+	if ex, ok := budget.Exhausted(err); ok {
+		res.Interrupted = true
+		res.InterruptReason = ex.Reason
+		if found {
+			res.Models = []Model{incumbent}
+		}
+		return nil
+	}
+	if err != nil {
 		return err
 	}
 	if searchErr != nil {
@@ -728,21 +776,44 @@ func (tr *translation) solveOptimize(opts Options, res *Result) error {
 		return nil
 	}
 	// Re-enumerate models at exactly the optimal cost on a fresh engine
-	// (the first pass consumed the search space).
+	// (the first pass consumed the search space). The second pass runs
+	// under whatever decision/conflict budget the first pass left over.
 	tr2, err := translate(tr.gp)
 	if err != nil {
 		return err
 	}
 	tr2.s.pruning = true
+	tr2.s.ctx = tr.s.ctx
+	tr2.s.ctxPolls = ctxPollInterval
+	tr2.s.maxDecisions = remainingCap(tr.s.maxDecisions, tr.s.decisions)
+	tr2.s.maxConflicts = remainingCap(tr.s.maxConflicts, tr.s.conflicts)
 	if err := tr2.solveEnumerate(opts, res, best); err != nil {
 		return err
 	}
-	res.Optimal = true
-	// Merge stats from both passes.
+	if res.Interrupted && len(res.Models) == 0 {
+		// Enumeration could not rediscover the optimum in the leftover
+		// budget: fall back to the incumbent from the first pass.
+		res.Models = []Model{incumbent}
+	}
+	res.Optimal = !res.Interrupted
+	// Merge stats from both passes; the re-enumeration is one restart.
 	tr.loopAdds += tr2.loopAdds
 	tr.stableCks += tr2.stableCks
 	tr.s.decisions += tr2.s.decisions
 	tr.s.conflicts += tr2.s.conflicts
 	tr.s.propagations += tr2.s.propagations
+	tr.s.restarts += tr2.s.restarts + 1
 	return nil
+}
+
+// remainingCap returns the unspent part of a cap (minimum 1 so a capped
+// second pass still terminates immediately rather than running free).
+func remainingCap(limit, spent int64) int64 {
+	if limit <= 0 {
+		return 0
+	}
+	if left := limit - spent; left > 1 {
+		return left
+	}
+	return 1
 }

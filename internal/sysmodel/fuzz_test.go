@@ -1,0 +1,47 @@
+package sysmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: the model reader must never panic on arbitrary input, and
+// any model it accepts must survive a write/read round trip.
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"name":"m","components":[]}`,
+		`{"name":"m","components":[{"id":"a","type":"t"}]}`,
+		`{"name":"m","components":[{"id":"a","type":"t","attrs":{"criticality":"VH"}}],
+		  "connections":[{"from":{"component":"a","port":"o"},"to":{"component":"a","port":"i"},"flow":"signal"}]}`,
+		`{"components":[{"id":"outer","type":"composite",
+		  "sub":{"name":"inner","components":[{"id":"leaf","type":"t"}]}}]}`,
+		`{"requirements":[{"id":"R1","description":"d","formula":"G !bad","severity":"H"}]}`,
+		`{"components":[{"id":"a","type":"t"},{"id":"a","type":"t"}]}`,
+		`{"components":[{"id":"","type":"t"}]}`,
+		`{"connections":[{"flow":"quantity"}]}`,
+		`{"connections":[{"flow":"bogus"}]}`,
+		`[1,2,3]`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			// Unrepresentable zero values (e.g. a flow kind that was
+			// never set) legitimately refuse to marshal.
+			return
+		}
+		if _, err := ReadJSON(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("accepted model fails round trip: %v\ninput: %q\nrendered: %s",
+				err, src, buf.Bytes())
+		}
+	})
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh is the canonical pre-merge verification: static checks, the
+# full test suite under the race detector, and a short run of every
+# native fuzz target. CI and `make check` both run exactly this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fuzztime="${FUZZTIME:-5s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz (${fuzztime} each) =="
+go test -run='^$' -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/logic
+go test -run='^$' -fuzz=FuzzParseFormula -fuzztime="$fuzztime" ./internal/temporal
+go test -run='^$' -fuzz=FuzzReadJSON -fuzztime="$fuzztime" ./internal/sysmodel
+
+echo "OK"
