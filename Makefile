@@ -1,4 +1,4 @@
-.PHONY: check test build vet fuzz
+.PHONY: check test build vet fuzz bench
 
 # check is the canonical verification target: vet + build + race tests +
 # short fuzz runs. Set FUZZTIME to change the per-target fuzz duration.
@@ -13,6 +13,11 @@ test:
 
 vet:
 	go vet ./...
+
+# bench runs the perf-tracked suite (S1-S3, Fig. 1) and files the numbers
+# into BENCH_PR2.json. Set BENCH_LABEL/BENCHTIME to override defaults.
+bench:
+	./scripts/bench.sh
 
 fuzz:
 	go test -run='^$$' -fuzz=FuzzParse -fuzztime=$${FUZZTIME:-5s} ./internal/logic

@@ -346,16 +346,46 @@ func BenchmarkS2_EPAScaling(b *testing.B) {
 }
 
 // BenchmarkS3_ScenarioSpace enumerates k-of-n scenario spaces and checks
-// the combinatorial growth (experiment S3).
+// the combinatorial growth, then sweeps each space through the EPA engine
+// sequentially and with the worker pool (experiment S3). sweep-par uses
+// GOMAXPROCS workers, so the speedup over sweep-seq shows only on
+// multi-core hardware; results are identical either way.
 func BenchmarkS3_ScenarioSpace(b *testing.B) {
-	_, muts := epaChain(b, 18)
+	eng, muts := epaChain(b, 18)
+	reqs := []hazard.Requirement{{
+		ID:        "R-S3",
+		Severity:  qual.High,
+		Condition: hazard.Comp("n17", epa.ErrValue),
+	}}
 	for _, k := range []int{1, 2, 3} {
-		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+		b.Run(fmt.Sprintf("k=%d/enumerate", k), func(b *testing.B) {
 			want := faults.SpaceSize(len(muts), k)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if got := faults.Enumerate(muts, k); len(got) != want {
 					b.Fatal("size mismatch")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/sweep-seq", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := hazard.AnalyzeParallel(eng, muts, k, reqs, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(a.Hazards()) == 0 {
+					b.Fatal("no hazards")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/sweep-par", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := hazard.AnalyzeParallel(eng, muts, k, reqs, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(a.Hazards()) == 0 {
+					b.Fatal("no hazards")
 				}
 			}
 		})

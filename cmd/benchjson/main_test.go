@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkS2_EPAScaling/chain10-8     	  331498	      3482 ns/op	    1296 B/op	       9 allocs/op
+BenchmarkS3_ScenarioSpace/k=1/enumerate-8 	   51862	     23434 ns/op
+PASS
+`
+
+func TestParseStripsProcsSuffixAndCapturesMem(t *testing.T) {
+	entries, err := parse(strings.NewReader(sample), new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := entries["BenchmarkS2_EPAScaling/chain10"]
+	if !ok || e.NsPerOp != 3482 || e.BytesPerOp != 1296 || e.AllocsPerOp != 9 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if e, ok := entries["BenchmarkS3_ScenarioSpace/k=1/enumerate"]; !ok || e.NsPerOp != 23434 || e.BytesPerOp != 0 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestRunMergesLabelsAndReplacesOnRerun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sample), new(bytes.Buffer), "before", out); err != nil {
+		t.Fatal(err)
+	}
+	after := strings.ReplaceAll(sample, "3482", "1000")
+	if err := run(strings.NewReader(after), new(bytes.Buffer), "after", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledger map[string]map[string]Entry
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		t.Fatal(err)
+	}
+	if ledger["before"]["BenchmarkS2_EPAScaling/chain10"].NsPerOp != 3482 {
+		t.Errorf("before lost: %+v", ledger["before"])
+	}
+	if ledger["after"]["BenchmarkS2_EPAScaling/chain10"].NsPerOp != 1000 {
+		t.Errorf("after wrong: %+v", ledger["after"])
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader("no benchmarks here\n"), new(bytes.Buffer), "x", out); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

@@ -9,7 +9,8 @@
 //
 //	riskassess -model model.json -types types.json [-maxcard 2] [-asp]
 //	           [-optimize] [-budget N] [-mitigations M-0917,M-0949]
-//	           [-timeout 30s] [-max-decisions N] [-max-scenarios N] [-top N]
+//	           [-timeout 30s] [-max-decisions N] [-max-scenarios N]
+//	           [-parallel N] [-top N]
 //
 // Requirements in the model file carry LTLf formulas for documentation;
 // the generic violation condition used here flags a requirement when any
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"cpsrisk/internal/budget"
@@ -59,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none); partial results on expiry")
 	maxDecisions := fs.Int64("max-decisions", 0, "cap on ASP solver branching decisions (0 = unlimited)")
 	maxScenarios := fs.Int("max-scenarios", 0, "cap on analyzed scenarios (0 = unlimited)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "scenario-sweep workers (1 = sequential; results are identical)")
 	topN := fs.Int("top", 20, "ranked scenarios to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +101,7 @@ func run(args []string, stdout io.Writer) error {
 		UseASP:            *useASP,
 		Optimize:          *doOpt,
 		Budget:            *mitBudget,
+		Parallelism:       *parallel,
 		Resources: budget.Limits{
 			Timeout:      *timeout,
 			MaxDecisions: *maxDecisions,

@@ -202,3 +202,49 @@ func TestRunJSONCarriesSolverStatsAndDegradation(t *testing.T) {
 		t.Errorf("degradation = %+v", sum.Degradation)
 	}
 }
+
+func TestRunParallelFlagIsDeterministic(t *testing.T) {
+	base := []string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "2",
+	}
+	var seq, par bytes.Buffer
+	if err := run(append(base, "-parallel", "1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-parallel", "4"), &par); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the throughput line: it carries wall-clock numbers.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "sweep:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Error("-parallel 4 output differs from -parallel 1")
+	}
+
+	var out bytes.Buffer
+	if err := run(append(base, "-parallel", "4", "-json"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Sweep *struct {
+			Workers   int `json:"workers"`
+			Scenarios int `json:"scenarios"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sweep == nil || sum.Sweep.Workers != 4 || sum.Sweep.Scenarios == 0 {
+		t.Errorf("sweep stats = %+v", sum.Sweep)
+	}
+}

@@ -10,6 +10,7 @@ package cegar
 
 import (
 	"fmt"
+	"sync"
 
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
@@ -57,6 +58,11 @@ func (v Verdict) String() string {
 }
 
 // Oracle validates an abstract counterexample concretely.
+//
+// When the refinement loop runs with parallelism > 1 (RunParallel),
+// Check is called from multiple goroutines concurrently and the
+// implementation must be safe for that. PlantOracle is: a check only
+// reads the configuration and simulates a private plant instance.
 type Oracle interface {
 	// Check returns the verdict for a finding.
 	Check(f Finding) (Verdict, error)
@@ -130,13 +136,25 @@ func Run(levels []Level, oracle Oracle, maxCard int) (*Result, error) {
 // Undetermined (expert review), matching the paper's handling of
 // undecidable counterexamples. A nil budget is unlimited.
 func RunBudget(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget) (*Result, error) {
+	return RunParallel(levels, oracle, maxCard, bud, 1)
+}
+
+// RunParallel is RunBudget with a worker pool: each level's hazard
+// analysis uses the parallel scenario sweep and its abstract
+// counterexamples are validated against the oracle concurrently (the
+// oracle must be safe for concurrent Check calls). parallelism <= 0
+// picks GOMAXPROCS, 1 is exactly the sequential loop. Verdicts are
+// deterministic and ordered as sequentially; only the point at which a
+// wall-clock exhaustion cuts validation over to Undetermined can vary,
+// exactly as it does sequentially.
+func RunParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget, parallelism int) (*Result, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("cegar: no abstraction levels")
 	}
 	res := &Result{}
 	for li, level := range levels {
 		res.Iterations++
-		analysis, err := hazard.AnalyzeBudget(level.Engine, level.Mutations, maxCard, level.Requirements, bud)
+		analysis, err := hazard.AnalyzeParallelBudget(level.Engine, level.Mutations, maxCard, level.Requirements, bud, parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("cegar: level %q: %w", level.Name, err)
 		}
@@ -145,47 +163,115 @@ func RunBudget(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget) (
 			t.Stage = "cegar/" + level.Name + "/" + t.Stage
 			res.Truncations = append(res.Truncations, t)
 		}
-		var judged []Judged
-		anySpurious := false
-		exhausted := false
+		var findings []Finding
 		for _, s := range analysis.Hazards() {
 			for _, reqID := range s.Violated {
-				f := Finding{Scenario: s.Scenario, ReqID: reqID}
-				if !exhausted {
-					if budErr := bud.Err("cegar"); budErr != nil {
-						exhausted = true
-						if ex, ok := budget.Exhausted(budErr); ok {
-							res.Truncations = append(res.Truncations, budget.Truncation{
-								Stage:  "cegar/" + level.Name + "/validate",
-								Reason: ex.Reason,
-								Detail: fmt.Sprintf("%d findings validated before exhaustion; the rest need expert review", len(judged)),
-							})
-						}
-					}
-				}
-				if exhausted {
-					judged = append(judged, Judged{Finding: f, Verdict: Undetermined, Level: level.Name})
-					continue
-				}
-				verdict, err := oracle.Check(f)
-				if err != nil {
-					return nil, fmt.Errorf("cegar: oracle on %s: %w", f, err)
-				}
-				if verdict == Spurious {
-					anySpurious = true
-				}
-				judged = append(judged, Judged{Finding: f, Verdict: verdict, Level: level.Name})
+				findings = append(findings, Finding{Scenario: s.Scenario, ReqID: reqID})
+			}
+		}
+		judged, trunc, err := validateFindings(level.Name, findings, oracle, bud, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		if trunc != nil {
+			res.Truncations = append(res.Truncations, *trunc)
+		}
+		anySpurious := false
+		for _, j := range judged {
+			if j.Verdict == Spurious {
+				anySpurious = true
+				break
 			}
 		}
 		res.PerLevelFindings = append(res.PerLevelFindings, len(judged))
 		res.Findings = judged
-		if exhausted || !anySpurious || li == len(levels)-1 {
+		if trunc != nil || !anySpurious || li == len(levels)-1 {
 			return res, nil
 		}
 		// Spurious findings remain: refine (continue with the next finer
 		// level) and re-analyze.
 	}
 	return res, nil
+}
+
+// validateFindings runs the oracle over one level's findings, polling
+// the budget before every check; once it trips, the remaining findings
+// are routed to Undetermined and a single truncation reports how many
+// were validated. With parallelism > 1 the checks fan out to a worker
+// pool; verdict order is preserved by index.
+func validateFindings(levelName string, findings []Finding, oracle Oracle, bud *budget.Budget, parallelism int) ([]Judged, *budget.Truncation, error) {
+	if parallelism > len(findings) {
+		parallelism = len(findings)
+	}
+	judged := make([]Judged, len(findings))
+	checked := make([]bool, len(findings))
+	errs := make([]error, len(findings))
+	exhaustedReason := make([]string, len(findings))
+
+	check := func(i int) {
+		f := findings[i]
+		if budErr := bud.Err("cegar"); budErr != nil {
+			judged[i] = Judged{Finding: f, Verdict: Undetermined, Level: levelName}
+			if ex, ok := budget.Exhausted(budErr); ok {
+				exhaustedReason[i] = ex.Reason
+			}
+			return
+		}
+		verdict, err := oracle.Check(f)
+		if err != nil {
+			errs[i] = fmt.Errorf("cegar: oracle on %s: %w", f, err)
+			return
+		}
+		judged[i] = Judged{Finding: f, Verdict: verdict, Level: levelName}
+		checked[i] = true
+	}
+
+	if parallelism <= 1 {
+		for i := range findings {
+			check(i)
+		}
+	} else {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					check(i)
+				}
+			}()
+		}
+		for i := range findings {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	validated := 0
+	for _, ok := range checked {
+		if ok {
+			validated++
+		}
+	}
+	var trunc *budget.Truncation
+	for _, reason := range exhaustedReason {
+		if reason != "" {
+			trunc = &budget.Truncation{
+				Stage:  "cegar/" + levelName + "/validate",
+				Reason: reason,
+				Detail: fmt.Sprintf("%d findings validated before exhaustion; the rest need expert review", validated),
+			}
+			break
+		}
+	}
+	return judged, trunc, nil
 }
 
 // PlantOracle validates water-tank findings by simulating the concrete

@@ -1,0 +1,54 @@
+package cegar
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"cpsrisk/internal/budget"
+)
+
+// TestRunParallelMatchesSequential validates that the concurrent
+// counterexample validation produces exactly the sequential verdicts, in
+// the same order, on the two-level case-study loop.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	want, err := Run(levels(t), NewPlantOracle(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, runtime.NumCPU() + 1} {
+		got, err := RunParallel(levels(t), NewPlantOracle(), -1, nil, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(got.Findings, want.Findings) {
+			t.Errorf("parallelism %d: findings differ:\n%v\nvs\n%v", par, got.Findings, want.Findings)
+		}
+		if got.Iterations != want.Iterations ||
+			!reflect.DeepEqual(got.PerLevelFindings, want.PerLevelFindings) {
+			t.Errorf("parallelism %d: loop shape differs: %+v vs %+v", par, got, want)
+		}
+	}
+}
+
+// TestRunParallelExhaustionRoutesToUndetermined: a pre-cancelled budget
+// must route every finding of the first level to expert review, under
+// any parallelism, without hanging.
+func TestRunParallelExhaustionRoutesToUndetermined(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bud := budget.New(ctx, budget.Limits{})
+	res, err := RunParallel(levels(t), NewPlantOracle(), -1, bud, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Findings {
+		if j.Verdict != Undetermined {
+			t.Errorf("finding %v: verdict %v, want undetermined under exhausted budget", j.Finding, j.Verdict)
+		}
+	}
+	if len(res.Truncations) == 0 {
+		t.Error("expected truncations to be recorded")
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// is unlimited. When a cap fires the run degrades gracefully — partial
 	// results plus a Degradation report — instead of erroring out.
 	Resources budget.Limits
+	// Parallelism is the worker-pool size for the native scenario sweep
+	// and for CEGAR counterexample validation: 0 picks GOMAXPROCS, 1
+	// forces the sequential path. The results are identical either way;
+	// only wall-clock time changes. When an Oracle is configured with
+	// Parallelism != 1 it must be safe for concurrent Check calls.
+	Parallelism int
 }
 
 // Assessment is the pipeline output.
@@ -200,10 +206,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			if ex, ok := budget.Exhausted(err); ok {
 				out.Degradation.Add("hazard-asp", ex.Reason,
 					"ASP identification aborted; falling back to the native fixpoint engine")
-				out.Analysis, err = hazard.AnalyzeBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud)
+				out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud, cfg.Parallelism)
 			}
 		} else {
-			out.Analysis, err = hazard.AnalyzeBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud)
+			out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud, cfg.Parallelism)
 		}
 		if err != nil {
 			return err
@@ -230,12 +236,12 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			}
 		} else {
 			err = runStage("validate", func() error {
-				ref, err := cegar.RunBudget([]cegar.Level{{
+				ref, err := cegar.RunParallel([]cegar.Level{{
 					Name:         "assessment",
 					Engine:       eng,
 					Mutations:    analyzed,
 					Requirements: cfg.Requirements,
-				}}, cfg.Oracle, cfg.MaxCardinality, bud)
+				}}, cfg.Oracle, cfg.MaxCardinality, bud, cfg.Parallelism)
 				if err != nil {
 					return err
 				}

@@ -26,6 +26,15 @@ type Summary struct {
 	Degradation []budget.Truncation `json:"degradation,omitempty"`
 	// Solver carries search statistics when the ASP path ran.
 	Solver *SolverSummary `json:"solver,omitempty"`
+	// Sweep carries scenario-sweep statistics when the native engine ran.
+	Sweep *SweepSummary `json:"sweep,omitempty"`
+}
+
+// SweepSummary is the native scenario sweep's effort for the run.
+type SweepSummary struct {
+	Workers    int   `json:"workers"`
+	Scenarios  int   `json:"scenarios"`
+	DurationMS int64 `json:"durationMs"`
 }
 
 // SolverSummary is the ASP solver's search effort for the run.
@@ -130,6 +139,14 @@ func (a *Assessment) Summarize() *Summary {
 	}
 	if a.Degradation.Degraded() {
 		out.Degradation = a.Degradation.Truncations
+	}
+	if a.Analysis != nil && a.Analysis.Sweep != nil {
+		sw := a.Analysis.Sweep
+		out.Sweep = &SweepSummary{
+			Workers:    sw.Workers,
+			Scenarios:  sw.Scenarios,
+			DurationMS: sw.Duration.Milliseconds(),
+		}
 	}
 	if a.Analysis != nil && a.Analysis.SolverStats != nil {
 		st := a.Analysis.SolverStats

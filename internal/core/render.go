@@ -37,8 +37,12 @@ func (a *Assessment) Render() string {
 	sb.WriteString("\n")
 
 	hazards := a.Analysis.Hazards()
-	fmt.Fprintf(&sb, "HAZARD IDENTIFICATION\n  %d scenarios analyzed, %d hazardous\n\n",
+	fmt.Fprintf(&sb, "HAZARD IDENTIFICATION\n  %d scenarios analyzed, %d hazardous\n",
 		len(a.Analysis.Scenarios), len(hazards))
+	if sw := a.Analysis.Sweep; sw != nil {
+		fmt.Fprintf(&sb, "  sweep: %d worker(s), %.0f scenarios/s\n", sw.Workers, sw.Throughput())
+	}
+	sb.WriteString("\n")
 
 	if a.Degradation.Degraded() {
 		fmt.Fprintf(&sb, "DEGRADED RESULTS\n")

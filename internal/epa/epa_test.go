@@ -83,8 +83,8 @@ func TestChainPropagation(t *testing.T) {
 	for _, pk := range []PortKey{
 		{"src", "out"}, {"mid", "in"}, {"mid", "out"}, {"dst", "in"},
 	} {
-		if !res.ports[pk].Has(ErrValue) {
-			t.Errorf("port %v missing value error: %v", pk, res.ports[pk])
+		if st := res.PortState(pk.Component, pk.Port); !st.Has(ErrValue) {
+			t.Errorf("port %v missing value error: %v", pk, st)
 		}
 	}
 	// Nothing flows upstream.
@@ -292,8 +292,9 @@ func TestMonotoneInScenario(t *testing.T) {
 	rs, _ := eng.Run(small)
 	rl, _ := eng.Run(large)
 	for _, pk := range eng.ports {
-		if !rs.ports[pk].Leq(rl.ports[pk]) {
-			t.Errorf("port %v: %v not <= %v", pk, rs.ports[pk], rl.ports[pk])
+		ss, sl := rs.PortState(pk.Component, pk.Port), rl.PortState(pk.Component, pk.Port)
+		if !ss.Leq(sl) {
+			t.Errorf("port %v: %v not <= %v", pk, ss, sl)
 		}
 	}
 }
@@ -414,7 +415,7 @@ func TestASPAgreesWithNative(t *testing.T) {
 			for _, mode := range AllModes {
 				key := ErrAtom(pk.Component, pk.Port, mode).Key()
 				aspHas := model.Contains(key)
-				nativeHas := native.ports[pk].Has(mode)
+				nativeHas := native.PortState(pk.Component, pk.Port).Has(mode)
 				if aspHas != nativeHas {
 					t.Fatalf("trial %d scenario %v port %v mode %v: asp=%v native=%v",
 						trial, sc, pk, mode, aspHas, nativeHas)

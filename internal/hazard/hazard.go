@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
@@ -39,14 +40,13 @@ type ScenarioResult struct {
 // IsHazardous reports whether any requirement is violated.
 func (s ScenarioResult) IsHazardous() bool { return len(s.Violated) > 0 }
 
-// Violates reports whether the given requirement is violated.
+// Violates reports whether the given requirement is violated. Violated
+// is sorted by construction (both analysis paths sort it), so this is a
+// binary search — it sits inside every per-requirement loop over the
+// scenario space (Summary, MinimalCuts, mitigation loss preparation).
 func (s ScenarioResult) Violates(reqID string) bool {
-	for _, v := range s.Violated {
-		if v == reqID {
-			return true
-		}
-	}
-	return false
+	i := sort.SearchStrings(s.Violated, reqID)
+	return i < len(s.Violated) && s.Violated[i] == reqID
 }
 
 // Analysis is the outcome of exhaustive hazard identification.
@@ -60,6 +60,28 @@ type Analysis struct {
 	Truncation *budget.Truncation
 	// SolverStats reports ASP-path solver effort (nil on the native path).
 	SolverStats *solver.Stats
+	// Sweep reports how the native scenario sweep executed (nil on the
+	// ASP path). Duration is wall clock and therefore not deterministic;
+	// everything else in the Analysis is.
+	Sweep *SweepStats
+}
+
+// SweepStats describes the execution of one native scenario sweep.
+type SweepStats struct {
+	// Workers is the worker-pool size (1 = sequential).
+	Workers int
+	// Scenarios counts the scenario results kept in the analysis.
+	Scenarios int
+	// Duration is the sweep wall-clock time.
+	Duration time.Duration
+}
+
+// Throughput returns scenarios per second (0 for an instant sweep).
+func (s *SweepStats) Throughput() float64 {
+	if s == nil || s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Scenarios) / s.Duration.Seconds()
 }
 
 // Analyze enumerates the scenario space (cardinality <= maxCard, negative
@@ -81,6 +103,7 @@ func AnalyzeBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	likelihoods := faults.LikelihoodIndex(muts)
 	limits := bud.Limits()
 	out := &Analysis{Requirements: reqs}
@@ -107,25 +130,10 @@ func AnalyzeBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []
 			runErr = err
 			return false
 		}
+		// The stream never skips, so the 1-based scenario ID is the
+		// stream position — the invariant the parallel sweep relies on.
+		out.Scenarios = append(out.Scenarios, scoreResult(processed, sc, res, reqs, likelihoods))
 		processed++
-		sr := ScenarioResult{
-			ID:       fmt.Sprintf("S%d", processed),
-			Scenario: sc,
-		}
-		var severities []qual.Level
-		for _, r := range reqs {
-			if Eval(r.Condition, sc, res) {
-				sr.Violated = append(sr.Violated, r.ID)
-				severities = append(severities, r.Severity)
-			}
-		}
-		sort.Strings(sr.Violated)
-		sr.Risk = risk.ScoreScenario(risk.ScenarioInput{
-			ID:                 sr.ID,
-			FaultLikelihoods:   scenarioLikelihoods(sc, likelihoods),
-			ViolatedSeverities: severities,
-		})
-		out.Scenarios = append(out.Scenarios, sr)
 		return true
 	})
 	if runErr != nil {
@@ -135,7 +143,33 @@ func AnalyzeBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []
 		out.Truncation = trunc
 		out.truncateToCompletedCardinality(muts, maxCard)
 	}
+	out.Sweep = &SweepStats{Workers: 1, Scenarios: len(out.Scenarios), Duration: time.Since(start)}
 	return out, nil
+}
+
+// scoreResult evaluates every requirement on one EPA outcome and scores
+// the scenario risk. seq is the 0-based enumeration position; the
+// scenario ID is S<seq+1> (S1 = fault-free), identical for the
+// sequential and parallel sweeps.
+func scoreResult(seq int, sc epa.Scenario, res *epa.Result, reqs []Requirement, likelihoods map[epa.Activation]qual.Level) ScenarioResult {
+	sr := ScenarioResult{
+		ID:       fmt.Sprintf("S%d", seq+1),
+		Scenario: sc,
+	}
+	var severities []qual.Level
+	for _, r := range reqs {
+		if Eval(r.Condition, sc, res) {
+			sr.Violated = append(sr.Violated, r.ID)
+			severities = append(severities, r.Severity)
+		}
+	}
+	sort.Strings(sr.Violated)
+	sr.Risk = risk.ScoreScenario(risk.ScenarioInput{
+		ID:                 sr.ID,
+		FaultLikelihoods:   scenarioLikelihoods(sc, likelihoods),
+		ViolatedSeverities: severities,
+	})
+	return sr
 }
 
 // truncateToCompletedCardinality implements the graceful-degradation

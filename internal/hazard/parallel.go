@@ -1,0 +1,187 @@
+package hazard
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"cpsrisk/internal/budget"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+)
+
+// The parallel sweep fans the scenario stream out to a worker pool and
+// merges per-scenario results back in enumeration order. It is
+// observably identical to the sequential AnalyzeBudget — same S<n> IDs,
+// same ordering, same risks, same budget and truncation semantics
+// (largest fully-completed cardinality) — because:
+//
+//   - the producer assigns each scenario its 0-based stream position
+//     (seq) before fan-out, and IDs derive from seq alone;
+//   - the MaxScenarios cap is enforced by the producer, so exactly the
+//     same prefix of the stream is analyzed as sequentially;
+//   - the merge keeps only the contiguous prefix of completed scenarios
+//     below the earliest failure/exhaustion, then applies the same
+//     completed-cardinality fallback.
+//
+// Only the epa.Engine is shared between workers; it is immutable after
+// construction and documented safe for concurrent Run calls.
+
+// sweepJob is one scenario with its stream position.
+type sweepJob struct {
+	seq int
+	sc  epa.Scenario
+}
+
+// sweepOutcome is one worker's verdict on a job: a scored result, a
+// budget truncation, or a hard error.
+type sweepOutcome struct {
+	seq   int
+	sr    ScenarioResult
+	trunc *budget.Truncation
+	err   error
+}
+
+// producerOutcome reports how enumeration ended: how many jobs were
+// emitted and whether a cap or the budget stopped the stream.
+type producerOutcome struct {
+	emitted int
+	trunc   *budget.Truncation
+}
+
+// AnalyzeParallel is Analyze with a worker pool of the given size
+// sweeping the scenario space. parallelism <= 0 uses
+// runtime.GOMAXPROCS(0); parallelism == 1 is exactly the sequential
+// path. The output is deterministic and identical to Analyze.
+func AnalyzeParallel(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, parallelism int) (*Analysis, error) {
+	return AnalyzeParallelBudget(eng, muts, maxCard, reqs, nil, parallelism)
+}
+
+// AnalyzeParallelBudget is AnalyzeParallel under resource governance,
+// with AnalyzeBudget's degradation semantics: the budget is polled per
+// scenario (producer and workers), exhaustion truncates to the largest
+// fully completed cardinality, and MaxScenarios caps the analyzed
+// prefix deterministically.
+func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, bud *budget.Budget, parallelism int) (*Analysis, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism == 1 {
+		return AnalyzeBudget(eng, muts, maxCard, reqs, bud)
+	}
+	if err := validateReqs(reqs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	likelihoods := faults.LikelihoodIndex(muts)
+	limits := bud.Limits()
+
+	jobs := make(chan sweepJob, parallelism*4)
+	outcomes := make(chan sweepOutcome, parallelism*4)
+	produced := make(chan producerOutcome, 1)
+
+	// Producer: enumerate in order, tagging each scenario with its
+	// stream position. Budget poll and scenario cap live here so the
+	// analyzed prefix matches the sequential sweep exactly.
+	go func() {
+		defer close(jobs)
+		seq := 0
+		var trunc *budget.Truncation
+		faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+			if limits.MaxScenarios > 0 && seq >= limits.MaxScenarios {
+				trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
+				return false
+			}
+			if err := bud.Err("hazard"); err != nil {
+				ex, _ := budget.Exhausted(err)
+				trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+				return false
+			}
+			jobs <- sweepJob{seq: seq, sc: sc}
+			seq++
+			return true
+		})
+		produced <- producerOutcome{emitted: seq, trunc: trunc}
+	}()
+
+	// Workers: one EPA run plus requirement evaluation per scenario,
+	// against the shared immutable engine.
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				if err := bud.Err("hazard"); err != nil {
+					ex, _ := budget.Exhausted(err)
+					outcomes <- sweepOutcome{seq: jb.seq, trunc: &budget.Truncation{Stage: "hazard", Reason: ex.Reason}}
+					continue
+				}
+				res, err := eng.RunBudget(jb.sc, bud)
+				if err != nil {
+					if ex, ok := budget.Exhausted(err); ok {
+						outcomes <- sweepOutcome{seq: jb.seq, trunc: &budget.Truncation{Stage: "hazard", Reason: ex.Reason}}
+					} else {
+						outcomes <- sweepOutcome{seq: jb.seq, err: err}
+					}
+					continue
+				}
+				outcomes <- sweepOutcome{seq: jb.seq, sr: scoreResult(jb.seq, jb.sc, res, reqs, likelihoods)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Merge: collect everything, then keep the contiguous prefix below
+	// the earliest failure. Memory matches the sequential sweep, which
+	// also materializes every kept result.
+	completed := map[int]ScenarioResult{}
+	firstBad := math.MaxInt
+	var badTrunc *budget.Truncation
+	var badErr error
+	for o := range outcomes {
+		switch {
+		case o.err != nil || o.trunc != nil:
+			if o.seq < firstBad {
+				firstBad = o.seq
+				badTrunc, badErr = o.trunc, o.err
+			}
+		default:
+			completed[o.seq] = o.sr
+		}
+	}
+	prod := <-produced
+
+	cut := prod.emitted
+	trunc := prod.trunc
+	if firstBad < cut {
+		cut = firstBad
+		trunc = badTrunc
+		if badErr != nil {
+			// Earliest event is a hard error: fail like the sequential
+			// sweep would on that scenario.
+			return nil, badErr
+		}
+	}
+	out := &Analysis{Requirements: reqs}
+	for seq := 0; seq < cut; seq++ {
+		sr, ok := completed[seq]
+		if !ok {
+			// Defensive: a hole below the cut means a worker died
+			// without reporting; treat the prefix up to it as the
+			// result rather than mislabeling later scenarios.
+			break
+		}
+		out.Scenarios = append(out.Scenarios, sr)
+	}
+	if trunc != nil {
+		out.Truncation = trunc
+		out.truncateToCompletedCardinality(muts, maxCard)
+	}
+	out.Sweep = &SweepStats{Workers: parallelism, Scenarios: len(out.Scenarios), Duration: time.Since(start)}
+	return out, nil
+}

@@ -17,6 +17,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The engine and the sweep are documented safe for concurrent use; hammer
+# them under the race detector at both ends of the parallelism range.
+echo "== go test -race -cpu=1,4 (epa, hazard) =="
+go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard
+
 echo "== fuzz (${fuzztime} each) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/logic
 go test -run='^$' -fuzz=FuzzParseFormula -fuzztime="$fuzztime" ./internal/temporal
