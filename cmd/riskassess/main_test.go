@@ -176,6 +176,13 @@ func TestRunJSONCarriesSolverStatsAndDegradation(t *testing.T) {
 	if sum.Solver.Decisions <= 0 {
 		t.Errorf("solver stats = %+v", sum.Solver)
 	}
+	// The CDCL counters must be present as JSON keys even when zero for
+	// this small model.
+	for _, key := range []string{`"learnedClauses"`, `"backjumps"`, `"dbReductions"`, `"restarts"`} {
+		if !bytes.Contains(out.Bytes(), []byte(key)) {
+			t.Errorf("solver summary missing %s key:\n%s", key, out.String())
+		}
+	}
 	if len(sum.Degradation) != 0 {
 		t.Errorf("unexpected degradation: %+v", sum.Degradation)
 	}

@@ -39,15 +39,18 @@ type SweepSummary struct {
 
 // SolverSummary is the ASP solver's search effort for the run.
 type SolverSummary struct {
-	Atoms        int   `json:"atoms"`
-	GroundRules  int   `json:"groundRules"`
-	Vars         int   `json:"vars"`
-	Clauses      int   `json:"clauses"`
-	Decisions    int64 `json:"decisions"`
-	Conflicts    int64 `json:"conflicts"`
-	Propagations int64 `json:"propagations"`
-	Restarts     int64 `json:"restarts"`
-	DurationMS   int64 `json:"durationMs"`
+	Atoms          int   `json:"atoms"`
+	GroundRules    int   `json:"groundRules"`
+	Vars           int   `json:"vars"`
+	Clauses        int   `json:"clauses"`
+	Decisions      int64 `json:"decisions"`
+	Conflicts      int64 `json:"conflicts"`
+	Propagations   int64 `json:"propagations"`
+	Restarts       int64 `json:"restarts"`
+	LearnedClauses int64 `json:"learnedClauses"`
+	Backjumps      int64 `json:"backjumps"`
+	DBReductions   int64 `json:"dbReductions"`
+	DurationMS     int64 `json:"durationMs"`
 }
 
 // CandidateSummary is one candidate mutation.
@@ -151,15 +154,18 @@ func (a *Assessment) Summarize() *Summary {
 	if a.Analysis != nil && a.Analysis.SolverStats != nil {
 		st := a.Analysis.SolverStats
 		out.Solver = &SolverSummary{
-			Atoms:        st.Atoms,
-			GroundRules:  st.GroundRules,
-			Vars:         st.Vars,
-			Clauses:      st.Clauses,
-			Decisions:    st.Decisions,
-			Conflicts:    st.Conflicts,
-			Propagations: st.Propagations,
-			Restarts:     st.Restarts,
-			DurationMS:   st.Duration.Milliseconds(),
+			Atoms:          st.Atoms,
+			GroundRules:    st.GroundRules,
+			Vars:           st.Vars,
+			Clauses:        st.Clauses,
+			Decisions:      st.Decisions,
+			Conflicts:      st.Conflicts,
+			Propagations:   st.Propagations,
+			Restarts:       st.Restarts,
+			LearnedClauses: st.LearnedClauses,
+			Backjumps:      st.Backjumps,
+			DBReductions:   st.DBReductions,
+			DurationMS:     st.Duration.Milliseconds(),
 		}
 	}
 	return out

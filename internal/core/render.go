@@ -42,6 +42,10 @@ func (a *Assessment) Render() string {
 	if sw := a.Analysis.Sweep; sw != nil {
 		fmt.Fprintf(&sb, "  sweep: %d worker(s), %.0f scenarios/s\n", sw.Workers, sw.Throughput())
 	}
+	if st := a.Analysis.SolverStats; st != nil {
+		fmt.Fprintf(&sb, "  solver: %d decisions, %d conflicts, %d learned, %d backjumps, %d restarts, %d db-reductions\n",
+			st.Decisions, st.Conflicts, st.LearnedClauses, st.Backjumps, st.Restarts, st.DBReductions)
+	}
 	sb.WriteString("\n")
 
 	if a.Degradation.Degraded() {

@@ -28,19 +28,30 @@ import (
 // Only the epa.Engine is shared between workers; it is immutable after
 // construction and documented safe for concurrent Run calls.
 
-// sweepJob is one scenario with its stream position.
-type sweepJob struct {
-	seq int
-	sc  epa.Scenario
+// sweepChunkSize is how many scenarios ride one channel send. Scenario
+// analyses are individually cheap (microseconds on small plants), so
+// per-scenario channel operations dominated the parallel sweep and made
+// it slower than sequential at high scenario counts; chunking amortizes
+// the synchronization without changing which scenarios are analyzed or
+// in what order they are merged.
+const sweepChunkSize = 32
+
+// sweepChunk is a contiguous run of scenarios starting at stream
+// position baseSeq.
+type sweepChunk struct {
+	baseSeq int
+	scs     []epa.Scenario
 }
 
-// sweepOutcome is one worker's verdict on a job: a scored result, a
-// budget truncation, or a hard error.
+// sweepOutcome is one worker's verdict on a chunk: the results of the
+// completed prefix, plus — if the chunk stopped early — the stream
+// position of the first failed scenario with its truncation or error.
 type sweepOutcome struct {
-	seq   int
-	sr    ScenarioResult
-	trunc *budget.Truncation
-	err   error
+	baseSeq int
+	srs     []ScenarioResult
+	badSeq  int // first failed seq in the chunk, or -1
+	trunc   *budget.Truncation
+	err     error
 }
 
 // producerOutcome reports how enumeration ended: how many jobs were
@@ -77,17 +88,25 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	likelihoods := faults.LikelihoodIndex(muts)
 	limits := bud.Limits()
 
-	jobs := make(chan sweepJob, parallelism*4)
+	jobs := make(chan sweepChunk, parallelism*4)
 	outcomes := make(chan sweepOutcome, parallelism*4)
 	produced := make(chan producerOutcome, 1)
 
-	// Producer: enumerate in order, tagging each scenario with its
-	// stream position. Budget poll and scenario cap live here so the
-	// analyzed prefix matches the sequential sweep exactly.
+	// Producer: enumerate in order, batching scenarios into chunks tagged
+	// with their starting stream position. Budget poll and scenario cap
+	// live here, per scenario, so the analyzed prefix matches the
+	// sequential sweep exactly.
 	go func() {
 		defer close(jobs)
 		seq := 0
 		var trunc *budget.Truncation
+		chunk := sweepChunk{}
+		flush := func() {
+			if len(chunk.scs) > 0 {
+				jobs <- chunk
+				chunk = sweepChunk{}
+			}
+		}
 		faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
 			if limits.MaxScenarios > 0 && seq >= limits.MaxScenarios {
 				trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
@@ -98,36 +117,53 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 				trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
 				return false
 			}
-			jobs <- sweepJob{seq: seq, sc: sc}
+			if len(chunk.scs) == 0 {
+				chunk.baseSeq = seq
+				chunk.scs = make([]epa.Scenario, 0, sweepChunkSize)
+			}
+			chunk.scs = append(chunk.scs, sc)
+			if len(chunk.scs) == sweepChunkSize {
+				flush()
+			}
 			seq++
 			return true
 		})
+		flush()
 		produced <- producerOutcome{emitted: seq, trunc: trunc}
 	}()
 
 	// Workers: one EPA run plus requirement evaluation per scenario,
-	// against the shared immutable engine.
+	// against the shared immutable engine. A chunk stops at its first
+	// failure — everything after it would be discarded by the merge
+	// anyway.
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for jb := range jobs {
-				if err := bud.Err("hazard"); err != nil {
-					ex, _ := budget.Exhausted(err)
-					outcomes <- sweepOutcome{seq: jb.seq, trunc: &budget.Truncation{Stage: "hazard", Reason: ex.Reason}}
-					continue
-				}
-				res, err := eng.RunBudget(jb.sc, bud)
-				if err != nil {
-					if ex, ok := budget.Exhausted(err); ok {
-						outcomes <- sweepOutcome{seq: jb.seq, trunc: &budget.Truncation{Stage: "hazard", Reason: ex.Reason}}
-					} else {
-						outcomes <- sweepOutcome{seq: jb.seq, err: err}
+				o := sweepOutcome{baseSeq: jb.baseSeq, badSeq: -1}
+				for i, sc := range jb.scs {
+					seq := jb.baseSeq + i
+					if err := bud.Err("hazard"); err != nil {
+						ex, _ := budget.Exhausted(err)
+						o.badSeq = seq
+						o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+						break
 					}
-					continue
+					res, err := eng.RunBudget(sc, bud)
+					if err != nil {
+						o.badSeq = seq
+						if ex, ok := budget.Exhausted(err); ok {
+							o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+						} else {
+							o.err = err
+						}
+						break
+					}
+					o.srs = append(o.srs, scoreResult(seq, sc, res, reqs, likelihoods))
 				}
-				outcomes <- sweepOutcome{seq: jb.seq, sr: scoreResult(jb.seq, jb.sc, res, reqs, likelihoods)}
+				outcomes <- o
 			}
 		}()
 	}
@@ -139,19 +175,17 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	// Merge: collect everything, then keep the contiguous prefix below
 	// the earliest failure. Memory matches the sequential sweep, which
 	// also materializes every kept result.
-	completed := map[int]ScenarioResult{}
+	completed := map[int][]ScenarioResult{}
 	firstBad := math.MaxInt
 	var badTrunc *budget.Truncation
 	var badErr error
 	for o := range outcomes {
-		switch {
-		case o.err != nil || o.trunc != nil:
-			if o.seq < firstBad {
-				firstBad = o.seq
-				badTrunc, badErr = o.trunc, o.err
-			}
-		default:
-			completed[o.seq] = o.sr
+		if len(o.srs) > 0 {
+			completed[o.baseSeq] = o.srs
+		}
+		if o.badSeq >= 0 && o.badSeq < firstBad {
+			firstBad = o.badSeq
+			badTrunc, badErr = o.trunc, o.err
 		}
 	}
 	prod := <-produced
@@ -168,15 +202,22 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 		}
 	}
 	out := &Analysis{Requirements: reqs}
-	for seq := 0; seq < cut; seq++ {
-		sr, ok := completed[seq]
+merge:
+	for seq := 0; seq < cut; {
+		srs, ok := completed[seq]
 		if !ok {
 			// Defensive: a hole below the cut means a worker died
 			// without reporting; treat the prefix up to it as the
 			// result rather than mislabeling later scenarios.
 			break
 		}
-		out.Scenarios = append(out.Scenarios, sr)
+		for _, sr := range srs {
+			if seq >= cut {
+				break merge
+			}
+			out.Scenarios = append(out.Scenarios, sr)
+			seq++
+		}
 	}
 	if trunc != nil {
 		out.Truncation = trunc

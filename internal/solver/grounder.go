@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,9 +30,11 @@ func GroundBudget(prog *logic.Program, bud *budget.Budget) (*GroundProgram, erro
 	}
 	gr := &grounder{
 		out:      NewGroundProgram(),
-		possible: map[string][]logic.Atom{},
+		possible: map[string]*atomPool{},
 		isPoss:   map[string]bool{},
 		seen:     map[string]bool{},
+		symIDs:   map[string]int32{},
+		termIDs:  map[string]int32{},
 		bud:      bud,
 	}
 	rules, err := expandIntervalFacts(prog.Rules)
@@ -48,13 +51,45 @@ func GroundBudget(prog *logic.Program, bud *budget.Budget) (*GroundProgram, erro
 	return gr.out, nil
 }
 
+// atomPool holds the possible ground atoms of one predicate signature in
+// insertion order, plus lazily built per-argument-position indexes
+// mapping a ground argument value (its canonical string) to the
+// positions of the atoms carrying it. Index lists preserve insertion
+// order, so an indexed scan visits atoms in the same order a linear
+// scan would — grounding output stays byte-identical.
+type atomPool struct {
+	atoms []logic.Atom
+	index []map[string][]int32 // per arg position; nil until first used
+}
+
+// indexThreshold is the pool size below which a linear scan beats
+// building and probing an argument index.
+const indexThreshold = 8
+
+func (p *atomPool) buildIndex(i int) {
+	idx := make(map[string][]int32, len(p.atoms))
+	for pi, a := range p.atoms {
+		k := a.Args[i].String()
+		idx[k] = append(idx[k], int32(pi))
+	}
+	p.index[i] = idx
+}
+
 type grounder struct {
 	out      *GroundProgram
-	possible map[string][]logic.Atom // signature -> ground atoms
+	possible map[string]*atomPool    // signature -> possible-atom pool
 	isPoss   map[string]bool         // atom key -> possible
 	delta    map[string][]logic.Atom // frontier of the current iteration
 	seen     map[string]bool         // rule-instantiation dedup keys
 	minGuard map[string]AtomID       // minimize (prio,weight,tuple) -> guard
+
+	// Instantiation-key interning: per-rule sorted unique variables,
+	// symbol/term id tables, and a reusable key buffer so the dedup
+	// lookup in the hot instantiation path does not allocate.
+	ruleVars [][]string
+	symIDs   map[string]int32
+	termIDs  map[string]int32
+	keyBuf   []byte
 
 	bud      *budget.Budget
 	ctxPolls int
@@ -90,6 +125,20 @@ func (gr *grounder) run(rules []logic.Rule) error {
 	//
 	// Iteration 0: all rules against the (initially empty) possible set;
 	// rules without positive body literals fire only here.
+	gr.ruleVars = make([][]string, len(rules))
+	for ri, r := range rules {
+		vs := r.Vars()
+		sort.Strings(vs)
+		uniq := vs[:0]
+		prev := ""
+		for _, v := range vs {
+			if v != prev {
+				uniq = append(uniq, v)
+				prev = v
+			}
+		}
+		gr.ruleVars[ri] = uniq
+	}
 	gr.delta = map[string][]logic.Atom{}
 	next := map[string][]logic.Atom{}
 	for ri, r := range rules {
@@ -168,11 +217,9 @@ func (gr *grounder) groundRule(ri int, r logic.Rule, deltaIdx int, next map[stri
 		if !emit {
 			return gr.markChoiceHeads(r, b, next)
 		}
-		key := instKey(ri, r, b)
-		if gr.seen[key] {
+		if gr.instSeen(ri, b) {
 			return nil
 		}
-		gr.seen[key] = true
 		return gr.emitGround(r, b, next)
 	}
 	return gr.join(r.Body, deltaIdx, logic.Bindings{}, handle)
@@ -197,24 +244,46 @@ func (gr *grounder) markChoiceHeads(r logic.Rule, b logic.Bindings, next map[str
 	return nil
 }
 
-// instKey canonically identifies a rule instantiation.
-func instKey(ri int, r logic.Rule, b logic.Bindings) string {
-	vars := r.Vars()
-	sort.Strings(vars)
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "r%d", ri)
-	prev := ""
-	for _, v := range vars {
-		if v == prev {
+// instSeen canonically identifies a rule instantiation by (rule index,
+// interned binding tuple) and records it, reporting whether it was seen
+// before. The key is built as binary ids in a reused buffer, so the
+// lookup on the already-seen path is allocation-free.
+func (gr *grounder) instSeen(ri int, b logic.Bindings) bool {
+	buf := gr.keyBuf[:0]
+	buf = binary.AppendUvarint(buf, uint64(ri))
+	for _, v := range gr.ruleVars[ri] {
+		t, ok := b[v]
+		if !ok {
+			buf = append(buf, 0)
 			continue
 		}
-		prev = v
-		sb.WriteByte('|')
-		if t, ok := b[v]; ok {
-			sb.WriteString(t.String())
+		switch tt := t.(type) {
+		case logic.Number:
+			buf = append(buf, 1)
+			buf = binary.AppendVarint(buf, int64(tt.Value))
+		case logic.Symbol:
+			buf = append(buf, 2)
+			buf = binary.AppendUvarint(buf, uint64(internID(gr.symIDs, tt.Name)))
+		default:
+			buf = append(buf, 3)
+			buf = binary.AppendUvarint(buf, uint64(internID(gr.termIDs, t.String())))
 		}
 	}
-	return sb.String()
+	gr.keyBuf = buf
+	if gr.seen[string(buf)] {
+		return true
+	}
+	gr.seen[string(buf)] = true
+	return false
+}
+
+func internID(tab map[string]int32, key string) int32 {
+	if id, ok := tab[key]; ok {
+		return id
+	}
+	id := int32(len(tab) + 1)
+	tab[key] = id
+	return id
 }
 
 // join enumerates bindings satisfying the body: positive literals match
@@ -311,11 +380,7 @@ func (gr *grounder) joinStep(body []logic.BodyElem, deltaIdx int, done []bool, b
 		}
 		return gr.joinStep(body, deltaIdx, done, b, emit)
 	case logic.Literal:
-		pool := gr.possible[e.Atom.Signature()]
-		if idx == deltaIdx {
-			pool = gr.delta[e.Atom.Signature()]
-		}
-		for _, cand := range pool {
+		step := func(cand logic.Atom) error {
 			bound, undo := unifyAtom(e.Atom, cand, b)
 			if bound {
 				if err := gr.joinStep(body, deltaIdx, done, b, emit); err != nil {
@@ -324,11 +389,75 @@ func (gr *grounder) joinStep(body []logic.BodyElem, deltaIdx int, done []bool, b
 				}
 			}
 			undo(b)
+			return nil
+		}
+		if idx == deltaIdx {
+			// Delta frontiers are small: always scan linearly.
+			for _, cand := range gr.delta[e.Atom.Signature()] {
+				if err := step(cand); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		p := gr.possible[e.Atom.Signature()]
+		if p == nil {
+			return nil
+		}
+		if cands, ok := gr.poolCandidates(p, e.Atom, b); ok {
+			for _, pi := range cands {
+				if err := step(p.atoms[pi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, cand := range p.atoms {
+			if err := step(cand); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:
 		return fmt.Errorf("solver: unknown body element %T", e)
 	}
+}
+
+// poolCandidates narrows a possible-atom pool using the argument indexes:
+// every pattern argument that is ground under b probes its position
+// index, and the shortest candidate list wins. It reports ok=false when
+// no argument is ground (or the pool is too small to bother), in which
+// case the caller falls back to a linear scan. Candidate lists are in
+// insertion order, so the visit order matches the linear scan exactly.
+func (gr *grounder) poolCandidates(p *atomPool, pattern logic.Atom, b logic.Bindings) ([]int32, bool) {
+	if len(p.atoms) < indexThreshold {
+		return nil, false
+	}
+	var best []int32
+	found := false
+	for i, arg := range pattern.Args {
+		sub := arg.Substitute(b)
+		if !sub.Ground() {
+			continue
+		}
+		ev, err := logic.Eval(sub)
+		if err != nil {
+			// Unevaluable ground argument (e.g. an interval): unification
+			// rejects every candidate, so there is nothing to visit.
+			return nil, true
+		}
+		if p.index[i] == nil {
+			p.buildIndex(i)
+		}
+		cands := p.index[i][ev.String()]
+		if !found || len(cands) < len(best) {
+			best, found = cands, true
+		}
+		if len(best) == 0 {
+			break
+		}
+	}
+	return best, found
 }
 
 func cmpReady(c logic.Comparison, b logic.Bindings) bool {
@@ -575,7 +704,19 @@ func (gr *grounder) markPossible(a logic.Atom, next map[string][]logic.Atom) {
 	}
 	gr.isPoss[key] = true
 	sig := a.Signature()
-	gr.possible[sig] = append(gr.possible[sig], a)
+	p := gr.possible[sig]
+	if p == nil {
+		p = &atomPool{index: make([]map[string][]int32, len(a.Args))}
+		gr.possible[sig] = p
+	}
+	pi := int32(len(p.atoms))
+	p.atoms = append(p.atoms, a)
+	// Keep any already-built argument indexes current.
+	for i, idx := range p.index {
+		if idx != nil {
+			idx[a.Args[i].String()] = append(idx[a.Args[i].String()], pi)
+		}
+	}
 	next[sig] = append(next[sig], a)
 }
 

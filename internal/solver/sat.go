@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"cpsrisk/internal/budget"
 )
@@ -33,23 +34,59 @@ func watchIdx(l lit) int {
 	return 2*v + 1
 }
 
-// sat is a DPLL SAT engine with two-watched-literal propagation and
-// chronological backtracking. It supports adding clauses mid-search (used
-// for loop formulas, blocking clauses, and optimization bounds) and an
-// objective propagator for branch-and-bound.
+// clause is one disjunction of literals; lits[0] and lits[1] are the
+// watched literals. Learned clauses additionally carry an activity score
+// driving learned-DB reduction.
+type clause struct {
+	lits   []lit
+	act    float64
+	learnt bool
+}
+
+// sat is a CDCL SAT engine: two-watched-literal propagation, first-UIP
+// conflict analysis with clause learning and non-chronological
+// backjumping, EVSIDS activity-based branching with phase saving, Luby
+// restarts, and activity-driven learned-clause DB reduction. It supports
+// adding clauses mid-search (used for loop formulas, blocking clauses,
+// and optimization bounds) and an objective propagator for
+// branch-and-bound.
 type sat struct {
 	nVars   int
-	clauses [][]lit
-	watches [][]int // watchIdx(lit) -> clause indices watching it
+	clauses []*clause // problem clauses: permanent, incl. mid-search additions
+	learnts []*clause // conflict-learned clauses, subject to DB reduction
+	watches [][]*clause
 
-	assign   []int8 // var -> 0 unknown, 1 true, -1 false
-	level    []int  // var -> decision level it was assigned at
-	trail    []lit
+	assign []int8    // var -> 0 unknown, 1 true, -1 false
+	level  []int     // var -> decision level it was assigned at
+	reason []*clause // var -> implying clause (nil: decision or unassigned)
+	trail  []lit
 	trailLim []int // decision-level start indices into trail
-	decided  []lit // the decision literal of each level
-	flipped  []bool
 
 	qhead int
+
+	// EVSIDS branching: a max-heap of variables ordered by activity,
+	// ties broken by variable index for determinism. phase saves the
+	// last polarity of each variable (-1 initially: prefer false, so
+	// smaller answer sets are found first).
+	activity []float64
+	varInc   float64
+	phase    []int8
+	heap     []int
+	heapPos  []int // var -> heap slot, -1 when absent
+
+	claInc float64
+
+	// Luby restart schedule (units of restartBase conflicts).
+	lubySeq      int
+	sinceRestart int64
+	restartLimit int64
+
+	// Learned-DB reduction threshold; 0 until the first search fixes it.
+	maxLearnts int
+
+	// Conflict-analysis scratch.
+	seen     []bool
+	markBuf  []int8 // clause-simplification stamps: 0 none, 1 pos, 2 neg
 
 	// Objective propagator (branch and bound).
 	weight  []int64 // var -> objective weight of assigning true (0 if none)
@@ -59,8 +96,7 @@ type sat struct {
 
 	// Statistics.
 	decisions, conflicts, propagations, restarts int64
-
-	order []int // static branching order of variables
+	learned, backjumps, dbReductions             int64
 
 	unsatRoot bool // an empty clause was added: trivially unsatisfiable
 
@@ -75,6 +111,9 @@ type sat struct {
 // ctxPollInterval is how many search-loop iterations pass between
 // context polls.
 const ctxPollInterval = 64
+
+// restartBase is the Luby restart unit, in conflicts.
+const restartBase = 100
 
 // checkBudget reports why the search must stop now (as an
 // *budget.ExhaustedError with stage "solve"), or nil.
@@ -117,18 +156,33 @@ func (s *sat) applyBudget(b *budget.Budget) {
 }
 
 func newSAT() *sat {
-	s := &sat{bound: 1 << 62}
+	s := &sat{
+		bound:        1 << 62,
+		varInc:       1,
+		claInc:       1,
+		restartLimit: restartBase,
+	}
 	s.newVar() // allocate var 0 placeholder so vars start at 1
 	return s
 }
 
 func (s *sat) newVar() int {
+	v := s.nVars
 	s.nVars++
 	s.assign = append(s.assign, 0)
 	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
 	s.weight = append(s.weight, 0)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, -1)
+	s.seen = append(s.seen, false)
+	s.markBuf = append(s.markBuf, 0)
+	s.heapPos = append(s.heapPos, -1)
 	s.watches = append(s.watches, nil, nil)
-	return s.nVars - 1
+	if v > 0 {
+		s.heapInsert(v)
+	}
+	return v
 }
 
 func (s *sat) value(l lit) int8 {
@@ -141,24 +195,178 @@ func (s *sat) value(l lit) int8 {
 
 func (s *sat) decisionLevel() int { return len(s.trailLim) }
 
-// addClause installs a clause. At decision level 0 it simplifies against
-// the fixed assignment; during search the caller must ensure the solver is
-// backtracked (via backtrackForClause) until the clause is not conflicting.
+// ---- branching heap -------------------------------------------------
+
+func (s *sat) varLess(a, b int) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (s *sat) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.varLess(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heapPos[s.heap[i]] = i
+		i = p
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *sat) heapDown(i int) {
+	v := s.heap[i]
+	n := len(s.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.varLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.varLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapPos[s.heap[i]] = i
+		i = c
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *sat) heapInsert(v int) {
+	if s.heapPos[v] >= 0 {
+		return
+	}
+	s.heap = append(s.heap, v)
+	s.heapPos[v] = len(s.heap) - 1
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *sat) heapPop() int {
+	v := s.heap[0]
+	s.heapPos[v] = -1
+	last := len(s.heap) - 1
+	if last > 0 {
+		s.heap[0] = s.heap[last]
+		s.heapPos[s.heap[0]] = 0
+	}
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *sat) varBump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+func (s *sat) varDecay() { s.varInc *= 1 / 0.95 }
+
+func (s *sat) claBump(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *sat) claDecay() { s.claInc *= 1 / 0.999 }
+
+// seedActivities installs the initial branching preference: earlier
+// variables in order get infinitesimally higher starting activity, so the
+// first decisions follow it until conflict-driven bumps take over.
+func (s *sat) seedActivities(order []int) {
+	const eps = 1e-9
+	for i, v := range order {
+		s.activity[v] = eps * float64(len(order)-i)
+	}
+	// Rebuild the heap under the new activities.
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.heapDown(i)
+	}
+}
+
+// ---- clause management ----------------------------------------------
+
+// attach installs watches on lits[0] and lits[1].
+func (s *sat) attach(c *clause) {
+	s.watches[watchIdx(c.lits[0])] = append(s.watches[watchIdx(c.lits[0])], c)
+	s.watches[watchIdx(c.lits[1])] = append(s.watches[watchIdx(c.lits[1])], c)
+}
+
+// detach removes the clause from its two watch lists.
+func (s *sat) detach(c *clause) {
+	for _, l := range c.lits[:2] {
+		ws := s.watches[watchIdx(l)]
+		for i, wc := range ws {
+			if wc == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[watchIdx(l)] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// addClause installs a problem clause. At decision level 0 it simplifies
+// against the fixed assignment; during search the caller must ensure the
+// solver is backtracked (via backtrackForClause) until the clause is not
+// conflicting.
 func (s *sat) addClause(ls []lit) {
-	// Simplify: drop duplicate literals; detect tautologies.
-	seen := map[lit]bool{}
-	out := make([]lit, 0, len(ls))
+	// Simplify: drop duplicate literals; detect tautologies. markBuf
+	// stamps variables with the polarity seen (1 pos, 2 neg). The input
+	// slice is filtered in place and retained; callers always pass fresh
+	// slices.
+	out := ls[:0]
+	taut := false
 	for _, l := range ls {
 		if l == litTrue {
-			return // clause contains constant true: tautology
+			taut = true // clause contains constant true
+			break
 		}
-		if seen[-l] {
-			return // l and ¬l: tautology
+		v := l.variable()
+		stamp := int8(1)
+		if l < 0 {
+			stamp = 2
 		}
-		if !seen[l] {
-			seen[l] = true
+		switch s.markBuf[v] {
+		case 0:
+			s.markBuf[v] = stamp
 			out = append(out, l)
+		case stamp:
+			// duplicate literal
+		default:
+			taut = true // l and ¬l
 		}
+		if taut {
+			break
+		}
+	}
+	for _, l := range out {
+		s.markBuf[l.variable()] = 0
+	}
+	if taut {
+		return
 	}
 	if len(out) == 0 {
 		s.unsatRoot = true
@@ -169,9 +377,7 @@ func (s *sat) addClause(ls []lit) {
 		// assignment persists for the rest of the search.
 		if s.decisionLevel() > 0 {
 			s.restarts++
-		}
-		for s.decisionLevel() > 0 {
-			s.cancelLevel()
+			s.cancelUntil(0)
 		}
 		switch s.value(out[0]) {
 		case 1:
@@ -180,54 +386,44 @@ func (s *sat) addClause(ls []lit) {
 			s.unsatRoot = true
 			return
 		}
-		s.uncheckedEnqueue(out[0])
+		s.uncheckedEnqueue(out[0], nil)
 		return
 	}
-	ci := len(s.clauses)
-	s.clauses = append(s.clauses, out)
-	// Watch two literals, preferring non-false ones so the invariant
-	// "a watched literal is false only if the other is true or the clause
-	// is unit/conflicting at the current level" holds after the caller's
-	// backtracking.
 	w1, w2 := s.pickWatches(out)
 	out[0], out[w1] = out[w1], out[0]
 	if w2 == 0 {
 		w2 = w1
 	}
 	out[1], out[w2] = out[w2], out[1]
-	s.watches[watchIdx(out[0])] = append(s.watches[watchIdx(out[0])], ci)
-	s.watches[watchIdx(out[1])] = append(s.watches[watchIdx(out[1])], ci)
-	// If unit under current assignment, enqueue.
-	if s.value(out[0]) == 0 && s.value(out[1]) == -1 && len(out) > 1 {
-		s.uncheckedEnqueue(out[0])
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	// If unit under the current assignment, enqueue with the clause as
+	// reason.
+	if s.value(out[0]) == 0 && s.value(out[1]) == -1 {
+		s.uncheckedEnqueue(out[0], c)
 	}
 }
 
+// pickWatches selects two watch positions: non-false literals first, then
+// false literals assigned at the deepest levels (so the watches are the
+// last to be unassigned on backtracking).
 func (s *sat) pickWatches(c []lit) (int, int) {
 	w1, w2 := -1, -1
-	for i, l := range c {
-		if s.value(l) != -1 {
-			if w1 < 0 {
-				w1 = i
-			} else if w2 < 0 {
-				w2 = i
-				break
-			}
+	rank := func(i int) int {
+		if s.value(c[i]) != -1 {
+			return 1 << 30
 		}
+		return s.level[c[i].variable()]
 	}
-	if w1 < 0 {
-		w1 = 0
-	}
-	if w2 < 0 {
-		for i := range c {
-			if i != w1 {
-				w2 = i
-				break
-			}
+	for i := range c {
+		switch {
+		case w1 < 0 || rank(i) > rank(w1):
+			w2 = w1
+			w1 = i
+		case w2 < 0 || rank(i) > rank(w2):
+			w2 = i
 		}
-	}
-	if w2 < 0 {
-		w2 = w1
 	}
 	return w1, w2
 }
@@ -250,7 +446,7 @@ func (s *sat) clauseStatus(c []lit) int {
 	return 0
 }
 
-func (s *sat) uncheckedEnqueue(l lit) {
+func (s *sat) uncheckedEnqueue(l lit, from *clause) {
 	v := l.variable()
 	if l > 0 {
 		s.assign[v] = 1
@@ -259,16 +455,14 @@ func (s *sat) uncheckedEnqueue(l lit) {
 		s.assign[v] = -1
 	}
 	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation; it returns false on conflict
-// (including an objective-bound violation).
-func (s *sat) propagate() bool {
+// propagate performs unit propagation; it returns the conflicting clause,
+// or nil when a fixpoint is reached.
+func (s *sat) propagate() *clause {
 	for s.qhead < len(s.trail) {
-		if s.pruning && s.curCost >= s.bound {
-			return false
-		}
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.propagations++
@@ -277,22 +471,22 @@ func (s *sat) propagate() bool {
 		ws := s.watches[wi]
 		kept := ws[:0]
 		for n := 0; n < len(ws); n++ {
-			ci := ws[n]
-			c := s.clauses[ci]
-			// Ensure c[0] is the other watch.
-			if c[0] == -p {
-				c[0], c[1] = c[1], c[0]
+			c := ws[n]
+			li := c.lits
+			// Ensure li[0] is the other watch.
+			if li[0] == -p {
+				li[0], li[1] = li[1], li[0]
 			}
-			if s.value(c[0]) == 1 {
-				kept = append(kept, ci)
+			if s.value(li[0]) == 1 {
+				kept = append(kept, c)
 				continue
 			}
 			// Find a new watch.
 			found := false
-			for k := 2; k < len(c); k++ {
-				if s.value(c[k]) != -1 {
-					c[1], c[k] = c[k], c[1]
-					s.watches[watchIdx(c[1])] = append(s.watches[watchIdx(c[1])], ci)
+			for k := 2; k < len(li); k++ {
+				if s.value(li[k]) != -1 {
+					li[1], li[k] = li[k], li[1]
+					s.watches[watchIdx(li[1])] = append(s.watches[watchIdx(li[1])], c)
 					found = true
 					break
 				}
@@ -300,98 +494,285 @@ func (s *sat) propagate() bool {
 			if found {
 				continue
 			}
-			kept = append(kept, ci)
-			if s.value(c[0]) == -1 {
+			kept = append(kept, c)
+			if s.value(li[0]) == -1 {
 				// Conflict: restore remaining watches and fail.
 				kept = append(kept, ws[n+1:]...)
 				s.watches[wi] = kept
-				return false
+				return c
 			}
-			s.uncheckedEnqueue(c[0])
+			s.uncheckedEnqueue(li[0], c)
 		}
 		s.watches[wi] = kept
 	}
-	if s.pruning && s.curCost >= s.bound {
-		return false
-	}
-	return true
+	return nil
 }
 
 // decide starts a new decision level with literal l.
 func (s *sat) decide(l lit) {
 	s.decisions++
 	s.trailLim = append(s.trailLim, len(s.trail))
-	s.decided = append(s.decided, l)
-	s.flipped = append(s.flipped, false)
-	s.uncheckedEnqueue(l)
+	s.uncheckedEnqueue(l, nil)
 }
 
-// cancelLevel undoes the topmost decision level.
-func (s *sat) cancelLevel() {
-	limit := s.trailLim[len(s.trailLim)-1]
+// cancelUntil undoes all decision levels above lvl, saving phases and
+// restoring unassigned variables to the branching heap.
+func (s *sat) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	limit := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= limit; i-- {
 		l := s.trail[i]
 		v := l.variable()
 		if l > 0 {
 			s.curCost -= s.weight[v]
 		}
+		s.phase[v] = s.assign[v]
 		s.assign[v] = 0
+		s.reason[v] = nil
+		s.heapInsert(v)
 	}
 	s.trail = s.trail[:limit]
-	s.trailLim = s.trailLim[:len(s.trailLim)-1]
-	s.decided = s.decided[:len(s.decided)-1]
-	s.flipped = s.flipped[:len(s.flipped)-1]
-	if s.qhead > len(s.trail) {
-		s.qhead = len(s.trail)
-	}
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = limit
 }
 
-// resolveConflict backtracks chronologically, flipping the deepest
-// unflipped decision. Returns false when the search space is exhausted.
-func (s *sat) resolveConflict() bool {
-	s.conflicts++
-	for len(s.trailLim) > 0 {
-		top := len(s.trailLim) - 1
-		wasFlipped := s.flipped[top]
-		l := s.decided[top]
-		s.cancelLevel()
-		if !wasFlipped {
-			s.trailLim = append(s.trailLim, len(s.trail))
-			s.decided = append(s.decided, -l)
-			s.flipped = append(s.flipped, true)
-			s.uncheckedEnqueue(-l)
-			return true
+// analyze performs first-UIP conflict analysis. The conflicting clause
+// must be falsified with at least one literal at the current decision
+// level. It returns the learned clause (asserting literal first, a
+// deepest-level literal second) and the backjump level.
+func (s *sat) analyze(confl *clause) ([]lit, int) {
+	learnt := make([]lit, 1, 8)
+	counter := 0
+	p := litTrue
+	idx := len(s.trail) - 1
+	for {
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		for _, q := range confl.lits {
+			if q == p {
+				continue
+			}
+			v := q.variable()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.varBump(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Walk back to the next marked trail literal.
+		for !s.seen[s.trail[idx].variable()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.variable()
+		s.seen[v] = false
+		counter--
+		if counter <= 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	learnt[0] = -p
+
+	// Cheap self-subsumption minimization: a lower-level literal is
+	// redundant when its reason is covered by the learned clause.
+	clearVars := make([]int, 0, len(learnt))
+	for _, l := range learnt[1:] {
+		clearVars = append(clearVars, l.variable())
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].variable()
+		r := s.reason[v]
+		redundant := r != nil
+		if r != nil {
+			for _, q := range r.lits {
+				qv := q.variable()
+				if qv == v {
+					continue
+				}
+				if !s.seen[qv] && s.level[qv] > 0 {
+					redundant = false
+					break
+				}
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
 		}
 	}
-	return false
+	learnt = learnt[:j]
+	for _, v := range clearVars {
+		s.seen[v] = false
+	}
+
+	// Backjump level: the deepest level among the non-asserting
+	// literals; move one such literal to the second watch slot.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].variable()] > s.level[learnt[maxI].variable()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].variable()]
+	}
+	return learnt, bt
 }
 
-// backtrackForClause backtracks until the given clause is no longer
-// conflicting (or level 0 is reached).
+// record installs a learned clause after backjumping and enqueues its
+// asserting literal.
+func (s *sat) record(learnt []lit) {
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: learnt, learnt: true, act: s.claInc}
+	s.learnts = append(s.learnts, c)
+	s.learned++
+	s.attach(c)
+	s.uncheckedEnqueue(learnt[0], c)
+}
+
+// handleConflict runs conflict analysis and backjumps. It returns false
+// when the conflict proves the remaining space empty (conflict at level
+// 0).
+func (s *sat) handleConflict(confl *clause) bool {
+	s.conflicts++
+	s.sinceRestart++
+	// Mid-search clause additions can surface conflicts below the
+	// current decision level: drop to the deepest falsified level first
+	// so first-UIP analysis sees a current-level literal.
+	ml := 0
+	for _, l := range confl.lits {
+		if lv := s.level[l.variable()]; lv > ml {
+			ml = lv
+		}
+	}
+	if ml == 0 {
+		return false
+	}
+	s.cancelUntil(ml)
+	learnt, bt := s.analyze(confl)
+	if s.decisionLevel()-bt > 1 {
+		s.backjumps++
+	}
+	s.cancelUntil(bt)
+	s.record(learnt)
+	s.varDecay()
+	s.claDecay()
+	return true
+}
+
+// costConflict handles an objective-bound violation (curCost >= bound)
+// as a conflict on the clause "some currently true weighted literal must
+// be false". The clause is valid for the rest of the search because the
+// bound only ever decreases. It returns false when no improving
+// assignment exists.
+func (s *sat) costConflict() bool {
+	var c clause
+	ml := 0
+	for v := 1; v < s.nVars; v++ {
+		if s.weight[v] > 0 && s.assign[v] == 1 {
+			c.lits = append(c.lits, lit(-v))
+			if lv := s.level[v]; lv > ml {
+				ml = lv
+			}
+		}
+	}
+	if len(c.lits) == 0 || ml == 0 {
+		// The bound is beaten by level-0 cost alone: nothing better
+		// exists anywhere in the space.
+		return false
+	}
+	s.cancelUntil(ml)
+	return s.handleConflict(&c)
+}
+
+// restart abandons the current assignment (keeping level 0 and all
+// learned clauses) and bumps the Luby schedule.
+func (s *sat) restart() {
+	s.restarts++
+	s.cancelUntil(0)
+	s.sinceRestart = 0
+	s.lubySeq++
+	s.restartLimit = restartBase * luby(s.lubySeq)
+}
+
+// luby returns the i-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int) int64 {
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i %= size
+	}
+	return int64(1) << seq
+}
+
+// reduceDB removes the less active half of the learned clauses, keeping
+// binary clauses and clauses that are the reason of a current assignment.
+func (s *sat) reduceDB() {
+	s.dbReductions++
+	sort.SliceStable(s.learnts, func(i, j int) bool {
+		return s.learnts[i].act < s.learnts[j].act
+	})
+	half := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		if i < half && len(c.lits) > 2 && !s.locked(c) {
+			s.detach(c)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+func (s *sat) locked(c *clause) bool {
+	v := c.lits[0].variable()
+	return s.assign[v] != 0 && s.reason[v] == c
+}
+
+// backtrackForClause backjumps until the given clause is no longer
+// conflicting (or level 0 is reached while still conflicting; the caller
+// then declares root unsatisfiability).
 func (s *sat) backtrackForClause(c []lit) {
 	for s.decisionLevel() > 0 && s.clauseStatus(c) == -1 {
-		top := len(s.trailLim) - 1
-		wasFlipped := s.flipped[top]
-		l := s.decided[top]
-		s.cancelLevel()
-		if !wasFlipped && s.clauseStatus(c) != -1 {
-			// Re-descend on the flipped branch later through normal search;
-			// here we only need the clause non-conflicting.
-			_ = l
+		ml := 0
+		for _, l := range c {
+			if lv := s.level[l.variable()]; lv > ml {
+				ml = lv
+			}
+		}
+		if ml == 0 {
 			return
 		}
+		s.cancelUntil(ml - 1)
 	}
 }
 
-// pickBranchVar returns the next unassigned variable in static order, or 0
-// when the assignment is total.
+// pickBranchVar returns the unassigned variable with the highest
+// activity, or 0 when the assignment is total.
 func (s *sat) pickBranchVar() int {
-	for _, v := range s.order {
-		if s.assign[v] == 0 {
-			return v
-		}
-	}
-	for v := 1; v < s.nVars; v++ {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
 		if s.assign[v] == 0 {
 			return v
 		}
@@ -399,23 +780,18 @@ func (s *sat) pickBranchVar() int {
 	return 0
 }
 
-// search runs DPLL until a total assignment satisfies all clauses, calling
-// onTotal. onTotal returns "accept": if false (model rejected, e.g. a loop
-// clause was added) the search continues from the (possibly backtracked)
-// state; if true the search also continues (enumeration) after the caller
-// installed a blocking clause. search returns when the space is exhausted
-// or onTotal signals stop via the returned stop flag. A budget cap or
-// cancellation aborts the search with an *budget.ExhaustedError; the
-// caller decides whether models found so far constitute a usable partial
-// answer.
+// search runs CDCL until a total assignment satisfies all clauses,
+// calling onTotal. onTotal returns "accept": if false (model rejected,
+// e.g. a loop clause was added) the search continues from the (possibly
+// backjumped) state; if true the search also continues (enumeration)
+// after the caller installed a blocking clause. search returns when the
+// space is exhausted or onTotal signals stop via the returned stop flag.
+// A budget cap or cancellation aborts the search with an
+// *budget.ExhaustedError; the caller decides whether models found so far
+// constitute a usable partial answer.
 func (s *sat) search(onTotal func() (stop bool)) error {
-	if s.unsatRoot {
-		return nil
-	}
-	if !s.propagate() {
-		if !s.resolveConflict() {
-			return nil
-		}
+	if s.maxLearnts == 0 {
+		s.maxLearnts = 300 + len(s.clauses)/3
 	}
 	for {
 		if s.unsatRoot {
@@ -424,39 +800,54 @@ func (s *sat) search(onTotal func() (stop bool)) error {
 		if err := s.checkBudget(); err != nil {
 			return err
 		}
-		if !s.propagate() {
-			if !s.resolveConflict() {
+		if confl := s.propagate(); confl != nil {
+			if !s.handleConflict(confl) {
 				return nil
 			}
 			continue
 		}
-		v := s.pickBranchVar()
-		if v == 0 {
-			if s.unsatRoot {
+		if s.pruning && s.curCost >= s.bound {
+			if !s.costConflict() {
 				return nil
 			}
+			continue
+		}
+		if s.sinceRestart >= s.restartLimit && s.decisionLevel() > 0 {
+			s.restart()
+			continue
+		}
+		if len(s.learnts) >= s.maxLearnts {
+			s.reduceDB()
+			s.maxLearnts += s.maxLearnts / 10
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
 			if onTotal() {
 				return nil
 			}
 			if s.unsatRoot {
 				return nil
 			}
-			// Continue: the callback added clauses; if the current state is
-			// still total and consistent we must force progress.
-			if s.qhead == len(s.trail) && s.pickBranchVar() == 0 {
-				if !s.resolveConflict() {
-					return nil
-				}
+			// Continue: the callback added clauses or tightened the
+			// bound; if the state is unchanged, total, and consistent
+			// there is no way to force progress — the space is done.
+			if s.qhead == len(s.trail) && len(s.heap) == 0 &&
+				!(s.pruning && s.curCost >= s.bound) {
+				return nil
 			}
 			continue
 		}
-		s.decide(lit(-v)) // prefer false: smaller answer sets first
+		if s.phase[v] > 0 {
+			s.decide(lit(v))
+		} else {
+			s.decide(lit(-v))
+		}
 	}
 }
 
 func (s *sat) validateTotal() error {
 	for ci, c := range s.clauses {
-		if s.clauseStatus(c) != 1 {
+		if s.clauseStatus(c.lits) != 1 {
 			return fmt.Errorf("solver: internal error: clause %d unsatisfied at total assignment", ci)
 		}
 	}

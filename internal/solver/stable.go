@@ -69,9 +69,18 @@ type Stats struct {
 	Propagations int64
 	LoopClauses  int64
 	StableChecks int64
-	// Restarts counts level-0 restarts: unit clauses learned mid-search
-	// plus the optimization re-enumeration pass.
+	// Restarts counts level-0 restarts: Luby scheduled restarts, unit
+	// clauses learned mid-search, plus the optimization re-enumeration
+	// pass.
 	Restarts int64
+	// LearnedClauses counts clauses learned from first-UIP conflict
+	// analysis (units excluded).
+	LearnedClauses int64
+	// Backjumps counts non-chronological backtracks: conflicts whose
+	// backjump skipped more than one decision level.
+	Backjumps int64
+	// DBReductions counts learned-clause database reductions.
+	DBReductions int64
 	// Duration is the wall-clock time spent in Solve (translation plus
 	// search).
 	Duration time.Duration
@@ -158,7 +167,7 @@ type translation struct {
 	vTrue   int   // var forced true
 
 	deriv  []derivRule
-	posOcc map[AtomID][]int // atom -> deriv rule indices with it in pos
+	posOcc [][]int32 // atom -> deriv rule indices with it in pos
 
 	bodyMemo map[string]lit
 	andMemo  map[[2]lit]lit
@@ -166,6 +175,20 @@ type translation struct {
 	costOffset int64
 	loopAdds   int64
 	stableCks  int64
+
+	// tight is true when the positive dependency graph is acyclic: then
+	// the Clark completion is exact, every model of the completion is
+	// stable, and the unfounded-set check short-circuits.
+	tight bool
+
+	// sortedExt caches the non-internal atom IDs in name order so model
+	// extraction avoids a per-model string sort.
+	sortedExt []AtomID
+
+	// unfounded-set scratch buffers, reused across stability checks.
+	ufDerived   []bool
+	ufRemaining []int
+	ufQueue     []AtomID
 }
 
 func translate(gp *GroundProgram) (*translation, error) {
@@ -175,7 +198,7 @@ func translate(gp *GroundProgram) (*translation, error) {
 		atomVar:  make([]int, gp.NumAtoms()+1),
 		bodyMemo: map[string]lit{},
 		andMemo:  map[[2]lit]lit{},
-		posOcc:   map[AtomID][]int{},
+		posOcc:   make([][]int32, gp.NumAtoms()+1),
 	}
 	tr.vTrue = tr.s.newVar()
 	tr.s.addClause([]lit{lit(tr.vTrue)})
@@ -225,8 +248,70 @@ func translate(gp *GroundProgram) (*translation, error) {
 	if err := tr.translateObjective(); err != nil {
 		return nil, err
 	}
+	tr.tight = tr.detectTight()
 	tr.buildOrder()
 	return tr, nil
+}
+
+// detectTight reports whether the positive dependency graph (head ->
+// positive body atoms over all derivation rules) is acyclic. Tight
+// programs need no loop formulas: the completion already characterizes
+// the stable models (Fages' theorem).
+func (tr *translation) detectTight() bool {
+	n := tr.gp.NumAtoms()
+	// color: 0 unvisited, 1 on stack, 2 done.
+	color := make([]int8, n+1)
+	type frame struct {
+		id AtomID
+		ri int // next posOcc-rule index to expand (rules with id in head)
+		pi int // next pos-atom index within that rule
+	}
+	// Successor edges: head -> pos. Build head -> rule indices.
+	headRules := make([][]int32, n+1)
+	for ri := range tr.deriv {
+		h := tr.deriv[ri].head
+		if h != 0 {
+			headRules[h] = append(headRules[h], int32(ri))
+		}
+	}
+	var stack []frame
+	for start := AtomID(1); start <= AtomID(n); start++ {
+		if color[start] != 0 {
+			continue
+		}
+		color[start] = 1
+		stack = append(stack[:0], frame{id: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.ri < len(headRules[f.id]) {
+				pos := tr.deriv[headRules[f.id][f.ri]].pos
+				if f.pi >= len(pos) {
+					f.ri++
+					f.pi = 0
+					continue
+				}
+				next := pos[f.pi]
+				f.pi++
+				switch color[next] {
+				case 1:
+					return false // positive cycle
+				case 0:
+					color[next] = 1
+					stack = append(stack, frame{id: next})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				color[f.id] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
 }
 
 func (tr *translation) trueLit() lit  { return lit(tr.vTrue) }
@@ -312,7 +397,7 @@ func maxBoundCol(lower, upper, n int) int {
 }
 
 func (tr *translation) addDeriv(dr derivRule) {
-	idx := len(tr.deriv)
+	idx := int32(len(tr.deriv))
 	tr.deriv = append(tr.deriv, dr)
 	for _, p := range dr.pos {
 		tr.posOcc[p] = append(tr.posOcc[p], idx)
@@ -481,8 +566,9 @@ func (tr *translation) translateObjective() error {
 	return nil
 }
 
-// buildOrder prefers branching on choice-supported atoms (the generators),
-// then everything else in index order.
+// buildOrder seeds the branching activities so choice-supported atoms
+// (the generators) are tried first, then everything else in index order,
+// until conflict-driven bumps take over.
 func (tr *translation) buildOrder() {
 	choiceVars := map[int]bool{}
 	for _, dr := range tr.deriv {
@@ -501,7 +587,7 @@ func (tr *translation) buildOrder() {
 			order = append(order, v)
 		}
 	}
-	tr.s.order = order
+	tr.s.seedActivities(order)
 }
 
 func (tr *translation) fillStats(st *Stats) {
@@ -515,6 +601,9 @@ func (tr *translation) fillStats(st *Stats) {
 	st.LoopClauses = tr.loopAdds
 	st.StableChecks = tr.stableCks
 	st.Restarts = tr.s.restarts
+	st.LearnedClauses = tr.s.learned
+	st.Backjumps = tr.s.backjumps
+	st.DBReductions = tr.s.dbReductions
 }
 
 // atomTrue reports the truth of an atom in the current total assignment.
@@ -526,9 +615,21 @@ func (tr *translation) atomTrue(id AtomID) bool {
 // current total assignment, or nil if the assignment is stable.
 func (tr *translation) unfoundedSet() []AtomID {
 	tr.stableCks++
-	derived := make([]bool, tr.gp.NumAtoms()+1)
-	remaining := make([]int, len(tr.deriv))
-	queue := make([]AtomID, 0, 64)
+	if tr.tight {
+		return nil
+	}
+	if tr.ufDerived == nil {
+		tr.ufDerived = make([]bool, tr.gp.NumAtoms()+1)
+		tr.ufRemaining = make([]int, len(tr.deriv))
+		tr.ufQueue = make([]AtomID, 0, 64)
+	} else {
+		for i := range tr.ufDerived {
+			tr.ufDerived[i] = false
+		}
+	}
+	derived := tr.ufDerived
+	remaining := tr.ufRemaining
+	queue := tr.ufQueue[:0]
 
 	deriveAtom := func(id AtomID) {
 		if id != 0 && !derived[id] && tr.atomTrue(id) {
@@ -563,6 +664,7 @@ func (tr *translation) unfoundedSet() []AtomID {
 		a := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		for _, ri := range tr.posOcc[a] {
+			ri := int(ri)
 			dr := &tr.deriv[ri]
 			// Decrement once per occurrence of a in pos.
 			for _, p := range dr.pos {
@@ -586,6 +688,8 @@ func (tr *translation) unfoundedSet() []AtomID {
 			}
 		}
 	}
+
+	tr.ufQueue = queue[:0]
 
 	var unfounded []AtomID
 	for id := AtomID(1); id <= AtomID(tr.gp.NumAtoms()); id++ {
@@ -638,15 +742,32 @@ func (tr *translation) addSearchClause(c []lit) {
 	tr.s.addClause(c)
 }
 
+// sortedExternal returns (and caches) the non-internal atom IDs sorted
+// by atom name.
+func (tr *translation) sortedExternal() []AtomID {
+	if tr.sortedExt == nil {
+		ids := make([]AtomID, 0, tr.gp.NumAtoms())
+		for id := AtomID(1); id <= AtomID(tr.gp.NumAtoms()); id++ {
+			if !tr.gp.IsInternal(id) {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			return tr.gp.AtomName(ids[i]) < tr.gp.AtomName(ids[j])
+		})
+		tr.sortedExt = ids
+	}
+	return tr.sortedExt
+}
+
 // extractModel reads the current stable assignment into a Model.
 func (tr *translation) extractModel() Model {
-	atoms := make([]string, 0, 32)
-	for id := AtomID(1); id <= AtomID(tr.gp.NumAtoms()); id++ {
-		if tr.atomTrue(id) && !tr.gp.IsInternal(id) {
+	atoms := make([]string, 0, len(tr.sortedExternal()))
+	for _, id := range tr.sortedExternal() {
+		if tr.atomTrue(id) {
 			atoms = append(atoms, tr.gp.AtomName(id))
 		}
 	}
-	sort.Strings(atoms)
 	m := Model{Atoms: atoms}
 	if len(tr.gp.Minimize) > 0 {
 		m.Cost = tr.modelCosts()
@@ -803,6 +924,9 @@ func (tr *translation) solveOptimize(opts Options, res *Result) error {
 	tr.s.conflicts += tr2.s.conflicts
 	tr.s.propagations += tr2.s.propagations
 	tr.s.restarts += tr2.s.restarts + 1
+	tr.s.learned += tr2.s.learned
+	tr.s.backjumps += tr2.s.backjumps
+	tr.s.dbReductions += tr2.s.dbReductions
 	return nil
 }
 

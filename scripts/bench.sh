@@ -1,19 +1,21 @@
 #!/bin/sh
 # bench.sh runs the perf-tracked benchmark suite (the scalability sweeps
 # S1-S3 and the Fig. 1 end-to-end pipeline) with -benchmem and files the
-# numbers into the BENCH_PR2.json ledger via cmd/benchjson. CI and
+# numbers into the BENCH_PR3.json ledger via cmd/benchjson. CI and
 # `make bench` both run exactly this script.
 #
-#   BENCH_LABEL=after ./scripts/bench.sh     # label in the ledger (default: after)
-#   BENCHTIME=2s ./scripts/bench.sh          # per-benchmark time (default: 1s)
+#   BENCH_LABEL=after ./scripts/bench.sh         # label in the ledger (default: after)
+#   BENCH_OUT=BENCH_PR3.json ./scripts/bench.sh  # ledger file (default: BENCH_PR3.json)
+#   BENCHTIME=2s ./scripts/bench.sh              # per-benchmark time (default: 1s)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 label="${BENCH_LABEL:-after}"
+out="${BENCH_OUT:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-1s}"
 pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkFig1_PipelineEndToEnd'
 
-echo "== bench (${benchtime} each) -> BENCH_PR2.json [${label}] =="
+echo "== bench (${benchtime} each) -> ${out} [${label}] =="
 go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . \
-  | go run ./cmd/benchjson -label "$label" -out BENCH_PR2.json
+  | go run ./cmd/benchjson -label "$label" -out "$out"

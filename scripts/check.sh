@@ -22,6 +22,11 @@ go test -race ./...
 echo "== go test -race -cpu=1,4 (epa, hazard) =="
 go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard
 
+# Differential check: CDCL answer sets vs a brute-force stable-model
+# enumerator over a seeded random program battery, always re-run fresh.
+echo "== go test -run TestDifferential (solver) =="
+go test -run TestDifferential -count=1 ./internal/solver
+
 echo "== fuzz (${fuzztime} each) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/logic
 go test -run='^$' -fuzz=FuzzParseFormula -fuzztime="$fuzztime" ./internal/temporal
