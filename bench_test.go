@@ -18,6 +18,7 @@ import (
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/hierarchy"
 	"cpsrisk/internal/kb"
+	"cpsrisk/internal/logic"
 	"cpsrisk/internal/mitigation"
 	"cpsrisk/internal/optimize"
 	"cpsrisk/internal/plant"
@@ -28,6 +29,7 @@ import (
 	"cpsrisk/internal/sensitivity"
 	"cpsrisk/internal/solver"
 	"cpsrisk/internal/sysmodel"
+	"cpsrisk/internal/temporal"
 	"cpsrisk/internal/watertank"
 )
 
@@ -426,6 +428,225 @@ func epaChain(b *testing.B, n int) (*epa.Engine, []faults.Mutation) {
 		b.Fatal(err)
 	}
 	return eng, muts
+}
+
+// guardedChain builds src -> g1 -> ... -> gk -> sink where every guard
+// can corrupt its output or (under a bypass fault) pass corruption
+// through. Minimal cuts for "sink sees a corrupt value" then span k+1
+// cardinality levels — {gk:corrupt}, {g(k-1):corrupt, gk:bypass}, ...,
+// {src:corrupt, g1..gk:bypass} — so the enumeration climbs one
+// optimization round per level, the workload experiment S4 measures.
+func guardedChain(b *testing.B, k int) (*epa.Engine, []faults.Mutation, hazard.Requirement) {
+	b.Helper()
+	types := sysmodel.NewTypeLibrary()
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "node",
+		Ports: []sysmodel.PortSpec{
+			{Name: "in", Dir: sysmodel.In, Flow: sysmodel.SignalFlow},
+			{Name: "out", Dir: sysmodel.Out, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "corrupt", Likelihood: "M"},
+			{Name: "bypass", Likelihood: "L"},
+		},
+	})
+	m := sysmodel.NewModel("guarded-chain")
+	ids := []string{"src"}
+	for i := 1; i <= k; i++ {
+		ids = append(ids, fmt.Sprintf("g%d", i))
+	}
+	ids = append(ids, "sink")
+	for _, id := range ids {
+		m.MustAddComponent(&sysmodel.Component{ID: id, Type: "node"})
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		m.Connect(ids[i], "out", ids[i+1], "in", sysmodel.SignalFlow)
+	}
+	lib := epa.NewBehaviorLibrary(types)
+	lib.MustRegister(&epa.TypeBehavior{
+		Type:    "node",
+		Effects: []epa.FaultEffect{{Fault: "corrupt", Port: "out", Emit: epa.StateOf(epa.ErrValue)}},
+		Transfers: []epa.TransferRule{
+			{From: "in", Match: epa.StateOf(epa.ErrValue), To: "out",
+				Emit: epa.StateOf(epa.ErrValue), WhenFault: "bypass"},
+		},
+	})
+	eng, err := epa.NewEngine(m, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	muts := []faults.Mutation{{
+		Activation: epa.Activation{Component: "src", Fault: "corrupt"},
+		Likelihood: qual.Medium, Sources: []string{"fault_mode"},
+	}}
+	for i := 1; i <= k; i++ {
+		g := fmt.Sprintf("g%d", i)
+		muts = append(muts,
+			faults.Mutation{Activation: epa.Activation{Component: g, Fault: "corrupt"},
+				Likelihood: qual.Medium, Sources: []string{"fault_mode"}},
+			faults.Mutation{Activation: epa.Activation{Component: g, Fault: "bypass"},
+				Likelihood: qual.Low, Sources: []string{"fault_mode"}})
+	}
+	req := hazard.Requirement{
+		ID: "S4", Severity: qual.High,
+		Condition: hazard.Comp("sink", epa.ErrValue),
+	}
+	return eng, muts, req
+}
+
+// BenchmarkS4_MultiShot contrasts persistent solver sessions with their
+// single-shot equivalents (experiment S4). The cuts pair enumerates the
+// guarded chain's minimal cut sets: the single-shot arm re-grounds the
+// EPA encoding on every optimization round, the incremental arm grounds
+// once and streams blocking constraints into the live session. The
+// horizon pair checks a bounded-liveness property at growing horizons:
+// the rebuild arm recompiles and re-grounds the unrolling per horizon,
+// the incremental arm extends one session with only the new time steps.
+func BenchmarkS4_MultiShot(b *testing.B) {
+	const guards = 6
+	eng, muts, req := guardedChain(b, guards)
+	b.Run("cuts/incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cuts, err := hazard.MinimalCutsASP(eng, muts, req, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(cuts) != guards+1 {
+				b.Fatalf("cuts = %d, want %d", len(cuts), guards+1)
+			}
+		}
+	})
+	b.Run("cuts/single-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cuts, err := hazard.MinimalCutsASPSingleShot(eng, muts, req, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(cuts) != guards+1 {
+				b.Fatalf("cuts = %d, want %d", len(cuts), guards+1)
+			}
+		}
+	})
+
+	// A requirement suite over the tank events, checked at every horizon:
+	// the per-horizon work is dominated by compiling and grounding the
+	// formula encodings, which the incremental arm does exactly once.
+	suite := []temporal.Formula{
+		temporal.Globally(temporal.Implies(temporal.P("overflow"), temporal.Finally(temporal.P("alerted")))),
+		temporal.Finally(temporal.P("overflow")),
+		temporal.Globally(temporal.Not(temporal.And(temporal.P("overflow"), temporal.P("alerted")))),
+		temporal.Until(temporal.Not(temporal.P("alerted")), temporal.P("overflow")),
+		temporal.Release(temporal.P("overflow"), temporal.Not(temporal.P("alerted"))),
+		temporal.Finally(temporal.And(temporal.P("overflow"), temporal.Next(temporal.P("alerted")))),
+		temporal.Globally(temporal.Or(temporal.P("overflow"), temporal.WeakNext(temporal.P("alerted")))),
+		temporal.Implies(temporal.Finally(temporal.P("alerted")), temporal.Finally(temporal.P("overflow"))),
+	}
+	horizons := []int{5, 10, 15, 20}
+	tick := func(prog *logic.Program, t int) {
+		if t%3 == 1 {
+			prog.AddFact(logic.A("overflow", logic.Num(t)))
+		}
+		if t%3 == 2 {
+			prog.AddFact(logic.A("alerted", logic.Num(t)))
+		}
+	}
+	// Ground truth per horizon from the native evaluator.
+	want := map[int][]bool{}
+	for _, h := range horizons {
+		tr := make(temporal.Trace, h)
+		for t := 0; t < h; t++ {
+			st := temporal.State{}
+			if t%3 == 1 {
+				st["overflow"] = true
+			}
+			if t%3 == 2 {
+				st["alerted"] = true
+			}
+			tr[t] = st
+		}
+		for _, f := range suite {
+			want[h] = append(want[h], temporal.Eval(f, tr))
+		}
+	}
+	check := func(b *testing.B, h int, m solver.Model, preds []string) {
+		b.Helper()
+		for fi, pred := range preds {
+			if m.Contains(pred+"(0)") != want[h][fi] {
+				b.Fatalf("h=%d formula %d: wrong verdict", h, fi)
+			}
+		}
+	}
+	b.Run("horizon/incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inc, err := temporal.NewIncremental(horizons[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			preds := make([]string, len(suite))
+			for fi, f := range suite {
+				if preds[fi], err = inc.Compile(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			next := 0
+			for hi, h := range horizons {
+				if h > inc.Horizon() {
+					if err := inc.Extend(h - inc.Horizon()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				facts := &logic.Program{}
+				for ; next < h; next++ {
+					tick(facts, next)
+				}
+				if err := inc.Add(facts); err != nil {
+					b.Fatal(err)
+				}
+				// Re-verify the suite at every tracked horizon — the single
+				// grounding answers each bound by one assumption flip.
+				for _, q := range horizons[:hi+1] {
+					res, err := inc.Solve(q, nil, solver.Options{MaxModels: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Models) != 1 {
+						b.Fatalf("h=%d: %d models", q, len(res.Models))
+					}
+					check(b, q, res.Models[0], preds)
+				}
+			}
+			inc.Close()
+		}
+	})
+	b.Run("horizon/rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for hi := range horizons {
+				for _, q := range horizons[:hi+1] {
+					prog := &logic.Program{}
+					for t := 0; t < q; t++ {
+						tick(prog, t)
+					}
+					u := temporal.NewUnroller(q)
+					u.EnsureTime(prog)
+					preds := make([]string, len(suite))
+					var err error
+					for fi, f := range suite {
+						if preds[fi], err = u.Compile(prog, f); err != nil {
+							b.Fatal(err)
+						}
+					}
+					res, err := solver.SolveProgram(prog, solver.Options{MaxModels: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Models) != 1 {
+						b.Fatalf("h=%d: %d models", q, len(res.Models))
+					}
+					check(b, q, res.Models[0], preds)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAblation_Abstraction contrasts the two abstraction levels of

@@ -161,6 +161,8 @@ func TestRunJSONCarriesSolverStatsAndDegradation(t *testing.T) {
 			Decisions  int64 `json:"decisions"`
 			Restarts   int64 `json:"restarts"`
 			DurationMS int64 `json:"durationMs"`
+			Sessions   int64 `json:"sessions"`
+			Queries    int64 `json:"queries"`
 		} `json:"solver"`
 		Degradation []struct {
 			Stage  string `json:"stage"`
@@ -175,6 +177,11 @@ func TestRunJSONCarriesSolverStatsAndDegradation(t *testing.T) {
 	}
 	if sum.Solver.Decisions <= 0 {
 		t.Errorf("solver stats = %+v", sum.Solver)
+	}
+	// The ASP path is multi-shot: one session answering one query per
+	// cardinality level (0 and 1 with -maxcard 1).
+	if sum.Solver.Sessions != 1 || sum.Solver.Queries != 2 {
+		t.Errorf("multi-shot counters sessions=%d queries=%d, want 1/2", sum.Solver.Sessions, sum.Solver.Queries)
 	}
 	// The CDCL counters must be present as JSON keys even when zero for
 	// this small model.

@@ -16,7 +16,9 @@ import (
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/logic"
 	"cpsrisk/internal/plant"
+	"cpsrisk/internal/solver"
 )
 
 // Finding is one abstract counterexample: a scenario flagged as violating
@@ -95,6 +97,9 @@ type Result struct {
 	// PerLevelFindings records how many findings each level produced
 	// (shrinking counts show the refinement working).
 	PerLevelFindings []int
+	// PerLevelScreened records, per level, how many findings the formal
+	// re-check session resolved without a concrete oracle call.
+	PerLevelScreened []int
 	// Truncations records budget exhaustions hit during the loop: a
 	// truncated hazard analysis, or validation cut short (remaining
 	// findings routed to Undetermined).
@@ -148,6 +153,22 @@ func RunBudget(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget) (
 // wall-clock exhaustion cuts validation over to Undetermined can vary,
 // exactly as it does sequentially.
 func RunParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget, parallelism int) (*Result, error) {
+	return runParallel(levels, oracle, maxCard, bud, parallelism, false)
+}
+
+// RunParallelScreened is RunParallel with the formal re-check screen: one
+// persistent solver session per level answers an assumption query for
+// every abstract counterexample before the oracle sees it, so findings
+// the level's own formal model refutes never pay for a concrete check.
+// Grounding the screen costs one ASP encoding per level — worth it when
+// the oracle is expensive (simulation, test rigs) or the findings come
+// from an engine other than the screen's encoding; the plain RunParallel
+// stays oracle-only for cheap-oracle pipelines.
+func RunParallelScreened(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget, parallelism int) (*Result, error) {
+	return runParallel(levels, oracle, maxCard, bud, parallelism, true)
+}
+
+func runParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget, parallelism int, screen bool) (*Result, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("cegar: no abstraction levels")
 	}
@@ -169,7 +190,20 @@ func RunParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget,
 				findings = append(findings, Finding{Scenario: s.Scenario, ReqID: reqID})
 			}
 		}
-		judged, trunc, err := validateFindings(level.Name, findings, oracle, bud, parallelism)
+		var screened []Verdict
+		if screen {
+			if screened, err = screenFindings(level, findings, bud); err != nil {
+				return nil, fmt.Errorf("cegar: level %q re-check: %w", level.Name, err)
+			}
+		}
+		nScreened := 0
+		for _, v := range screened {
+			if v != 0 {
+				nScreened++
+			}
+		}
+		res.PerLevelScreened = append(res.PerLevelScreened, nScreened)
+		judged, trunc, err := validateFindings(level.Name, findings, screened, oracle, bud, parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -194,12 +228,75 @@ func RunParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget,
 	return res, nil
 }
 
+// screenFindings formally re-checks one level's abstract counterexamples
+// before any concrete oracle runs: one persistent multi-shot solver
+// session over the level's ASP encoding answers one assumption query per
+// finding, pinning the exact scenario (every listed activation true, the
+// total activation count capped at the scenario size) and requiring the
+// requirement's violation atom. A finding the formal model refutes is
+// spurious at the abstract level itself and never reaches the oracle —
+// concrete simulation is the expensive step the session amortizes away.
+//
+// The returned slice is indexed like findings; 0 means "needs concrete
+// validation". Sessions are single-goroutine, so the screen runs on the
+// calling goroutine and only the surviving findings fan out to the
+// oracle worker pool. If the budget cannot afford grounding the screen,
+// every finding falls through to concrete validation.
+func screenFindings(level Level, findings []Finding, bud *budget.Budget) ([]Verdict, error) {
+	if len(findings) == 0 {
+		return nil, nil
+	}
+	prog, err := level.Engine.EncodeASP()
+	if err != nil {
+		return nil, err
+	}
+	faults.EncodeChoice(prog, level.Mutations, -1)
+	for _, r := range level.Requirements {
+		if err := hazard.EncodeViolation(prog, r.ID, r.Condition); err != nil {
+			return nil, err
+		}
+	}
+	verdicts := make([]Verdict, len(findings))
+	sess, err := solver.NewSession(prog, solver.Options{Budget: bud})
+	if err != nil {
+		if _, ok := budget.Exhausted(err); ok {
+			return verdicts, nil
+		}
+		return nil, err
+	}
+	defer sess.Close()
+	for i, f := range findings {
+		assumps := make([]solver.Assumption, 0, len(f.Scenario)+2)
+		for _, a := range f.Scenario {
+			assumps = append(assumps, solver.AssumeTrue(epa.ActiveAtom(a.Component, a.Fault).Key()))
+		}
+		assumps = append(assumps,
+			solver.AssumeCountLT("active", len(f.Scenario)+1),
+			solver.AssumeTrue(logic.A("violated", logic.Sym(f.ReqID)).Key()))
+		res, err := sess.SolveAssuming(assumps, solver.Options{MaxModels: 1, Budget: bud})
+		if err != nil {
+			return nil, err
+		}
+		if res.Interrupted {
+			// Budget gone mid-screen: the rest validates concretely (and
+			// the concrete stage routes them onward as it sees fit).
+			break
+		}
+		if !res.Satisfiable {
+			verdicts[i] = Spurious
+		}
+	}
+	return verdicts, nil
+}
+
 // validateFindings runs the oracle over one level's findings, polling
 // the budget before every check; once it trips, the remaining findings
 // are routed to Undetermined and a single truncation reports how many
-// were validated. With parallelism > 1 the checks fan out to a worker
-// pool; verdict order is preserved by index.
-func validateFindings(levelName string, findings []Finding, oracle Oracle, bud *budget.Budget, parallelism int) ([]Judged, *budget.Truncation, error) {
+// were validated. Findings the formal screen already resolved (screened
+// verdict != 0) are recorded without an oracle call. With parallelism > 1
+// the checks fan out to a worker pool; verdict order is preserved by
+// index.
+func validateFindings(levelName string, findings []Finding, screened []Verdict, oracle Oracle, bud *budget.Budget, parallelism int) ([]Judged, *budget.Truncation, error) {
 	if parallelism > len(findings) {
 		parallelism = len(findings)
 	}
@@ -210,6 +307,11 @@ func validateFindings(levelName string, findings []Finding, oracle Oracle, bud *
 
 	check := func(i int) {
 		f := findings[i]
+		if screened != nil && screened[i] != 0 {
+			judged[i] = Judged{Finding: f, Verdict: screened[i], Level: levelName}
+			checked[i] = true
+			return
+		}
 		if budErr := bud.Err("cegar"); budErr != nil {
 			judged[i] = Judged{Finding: f, Verdict: Undetermined, Level: levelName}
 			if ex, ok := budget.Exhausted(budErr); ok {

@@ -169,6 +169,60 @@ func TestOracleProbesTiming(t *testing.T) {
 	}
 }
 
+// The formal re-check screen must agree with the native analysis that
+// produced the findings (it refutes nothing on the case study), and it
+// must refute a fabricated counterexample the formal model rejects —
+// without involving any oracle.
+func TestScreenFindings(t *testing.T) {
+	fine := levels(t)[1]
+	genuine := Finding{
+		Scenario: epa.Scenario{{Component: plant.CompEWS, Fault: plant.FaultCompromised}},
+		ReqID:    "R1",
+	}
+	fabricated := Finding{Scenario: nil, ReqID: "R1"} // fault-free run violates nothing
+	verdicts, err := screenFindings(fine, []Finding{genuine, fabricated}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdicts[0] != 0 {
+		t.Errorf("genuine finding screened as %v, want pass-through", verdicts[0])
+	}
+	if verdicts[1] != Spurious {
+		t.Errorf("fabricated finding screened as %v, want spurious", verdicts[1])
+	}
+}
+
+// On the case study the screen and the native analysis agree exactly, so
+// every finding must reach the oracle (the screen only guards drift),
+// and the screened loop must classify identically to the plain one.
+func TestScreenAgreesWithNativeOnCaseStudy(t *testing.T) {
+	res, err := RunParallelScreened(levels(t), NewPlantOracle(), -1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerLevelScreened) != res.Iterations {
+		t.Fatalf("screen counts = %v for %d iterations", res.PerLevelScreened, res.Iterations)
+	}
+	for li, n := range res.PerLevelScreened {
+		if n != 0 {
+			t.Errorf("level %d: screen refuted %d findings the native analysis produced", li, n)
+		}
+	}
+	plain, err := Run(levels(t), NewPlantOracle(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Findings) != len(res.Findings) {
+		t.Fatalf("screened loop found %d findings, plain %d", len(res.Findings), len(plain.Findings))
+	}
+	for i := range plain.Findings {
+		p, s := plain.Findings[i], res.Findings[i]
+		if p.Finding.String() != s.Finding.String() || p.Verdict != s.Verdict || p.Level != s.Level {
+			t.Errorf("finding %d: screened %+v != plain %+v", i, s, p)
+		}
+	}
+}
+
 func TestVerdictStrings(t *testing.T) {
 	for _, v := range []Verdict{Confirmed, Spurious, Undetermined} {
 		if v.String() == "" || v.String() == "unknown-verdict" {

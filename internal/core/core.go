@@ -236,7 +236,15 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			}
 		} else {
 			err = runStage("validate", func() error {
-				ref, err := cegar.RunParallel([]cegar.Level{{
+				// On the ASP path the formal encoding is already the source
+				// of truth, so the screened loop pre-filters counterexamples
+				// through a per-level solver session before the oracle runs;
+				// the native path keeps the oracle-only loop.
+				loop := cegar.RunParallel
+				if cfg.UseASP {
+					loop = cegar.RunParallelScreened
+				}
+				ref, err := loop([]cegar.Level{{
 					Name:         "assessment",
 					Engine:       eng,
 					Mutations:    analyzed,

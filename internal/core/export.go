@@ -51,6 +51,12 @@ type SolverSummary struct {
 	Backjumps      int64 `json:"backjumps"`
 	DBReductions   int64 `json:"dbReductions"`
 	DurationMS     int64 `json:"durationMs"`
+	// Multi-shot counters (zero on single-shot runs).
+	Sessions          int64 `json:"sessions,omitempty"`
+	Queries           int64 `json:"queries,omitempty"`
+	Adds              int64 `json:"adds,omitempty"`
+	GroundAtomsReused int64 `json:"groundAtomsReused,omitempty"`
+	LearnedReused     int64 `json:"learnedReused,omitempty"`
 }
 
 // CandidateSummary is one candidate mutation.
@@ -166,6 +172,12 @@ func (a *Assessment) Summarize() *Summary {
 			Backjumps:      st.Backjumps,
 			DBReductions:   st.DBReductions,
 			DurationMS:     st.Duration.Milliseconds(),
+
+			Sessions:          st.Sessions,
+			Queries:           st.Queries,
+			Adds:              st.Adds,
+			GroundAtomsReused: st.GroundAtomsReused,
+			LearnedReused:     st.LearnedReused,
 		}
 	}
 	return out

@@ -45,6 +45,10 @@ func (a *Assessment) Render() string {
 	if st := a.Analysis.SolverStats; st != nil {
 		fmt.Fprintf(&sb, "  solver: %d decisions, %d conflicts, %d learned, %d backjumps, %d restarts, %d db-reductions\n",
 			st.Decisions, st.Conflicts, st.LearnedClauses, st.Backjumps, st.Restarts, st.DBReductions)
+		if st.Sessions > 0 {
+			fmt.Fprintf(&sb, "  multi-shot: %d session(s), %d queries, %d incremental adds, %d ground atoms reused, %d learned clauses retained\n",
+				st.Sessions, st.Queries, st.Adds, st.GroundAtomsReused, st.LearnedReused)
+		}
 	}
 	sb.WriteString("\n")
 

@@ -69,6 +69,26 @@ func TestAssessmentRenderMinimal(t *testing.T) {
 	}
 }
 
+func TestAssessmentRenderMultiShotCounters(t *testing.T) {
+	types := watertank.Types()
+	a, err := core.Run(core.Config{
+		Model:          watertank.Model(),
+		Types:          types,
+		Behaviors:      watertank.Behaviors(types),
+		Requirements:   watertank.Requirements(),
+		ExtraMutations: watertank.PaperCandidates(),
+		MaxCardinality: -1,
+		UseASP:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	if !strings.Contains(out, "multi-shot: 1 session(s)") {
+		t.Errorf("ASP report missing the multi-shot solver line:\n%s", out)
+	}
+}
+
 func TestAssessmentSummaryJSON(t *testing.T) {
 	types := watertank.Types()
 	a, err := core.Run(core.Config{

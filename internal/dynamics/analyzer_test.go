@@ -1,0 +1,77 @@
+package dynamics
+
+import (
+	"testing"
+)
+
+// One Analyzer answers synthesis, confirmation, and what-if probes from
+// the same grounding: the multi-shot path of the dynamics layer.
+func TestAnalyzerSharedSession(t *testing.T) {
+	sys := WaterTank()
+	a, err := NewAnalyzer(sys, 12, []string{KeyF1, KeyF2, KeyF3, KeyF4}, -1, reqR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	schedule, ok, err := a.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(schedule) != 1 || schedule[0].Key != KeyF4 {
+		t.Fatalf("schedule = %v ok=%v, want single F4 injection", schedule, ok)
+	}
+	// Consistency re-check of the synthesized schedule on the same session.
+	violates, err := a.ConfirmAttack(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violates {
+		t.Fatal("synthesized schedule must confirm as an attack")
+	}
+	// A benign schedule is refuted: F2 alone is compensated by control.
+	violates, err = a.ConfirmAttack(Schedule{{Key: KeyF2, AtStep: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violates {
+		t.Fatal("F2 alone must not violate R1 under the controlled dynamics")
+	}
+	// Mitigation probe: with F4 excluded the minimum attack is the pair.
+	schedule, ok, err = a.SynthesizeAvoiding([]string{KeyF4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, inj := range schedule {
+		keys[inj.Key] = true
+	}
+	if !ok || len(schedule) != 2 || !keys[KeyF1] || !keys[KeyF2] {
+		t.Fatalf("schedule = %v ok=%v, want the F1+F2 pair", schedule, ok)
+	}
+	// Excluding both pair members and F4 leaves no attack.
+	_, ok, err = a.SynthesizeAvoiding([]string{KeyF4, KeyF1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("excluding F4 and F1 must prove bounded safety")
+	}
+
+	st := a.Stats()
+	if st.Sessions != 1 || st.Queries != 5 || st.Adds != 0 {
+		t.Fatalf("stats sessions=%d queries=%d adds=%d, want 1/5/0", st.Sessions, st.Queries, st.Adds)
+	}
+}
+
+func TestAnalyzerRejectsOutOfHorizonSchedule(t *testing.T) {
+	sys := WaterTank()
+	a, err := NewAnalyzer(sys, 10, []string{KeyF4}, 1, reqR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.ConfirmAttack(Schedule{{Key: KeyF4, AtStep: 10}}); err == nil {
+		t.Fatal("out-of-horizon injection must error")
+	}
+}

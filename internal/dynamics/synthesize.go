@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"cpsrisk/internal/logic"
-	"cpsrisk/internal/solver"
 	"cpsrisk/internal/temporal"
 )
 
@@ -41,71 +39,15 @@ func (s Schedule) Key() string {
 // candidate set.
 //
 // Requirement propositions are holds(var, val) atoms, e.g.
-// "G !holds(level,overflow)".
+// "G !holds(level,overflow)". For a stream of related queries (what-if
+// probes, attack confirmation) use NewAnalyzer, which grounds this
+// encoding once into a persistent session.
 func Synthesize(sys *System, horizon int, candidates []string, maxActive int,
 	requirement temporal.Formula) (Schedule, bool, error) {
-	if len(candidates) == 0 {
-		return nil, false, fmt.Errorf("dynamics: no candidate faults")
-	}
-	prog, err := sys.Encode(horizon, nil)
+	a, err := NewAnalyzer(sys, horizon, candidates, maxActive, requirement)
 	if err != nil {
 		return nil, false, err
 	}
-	// Attack-schedule choice: each candidate picks at most one start step;
-	// at most maxActive candidates start at all.
-	for _, key := range candidates {
-		prog.AddFact(logic.A("candidate", logic.Sym(key)))
-	}
-	upper := logic.Unbounded
-	if maxActive >= 0 {
-		upper = maxActive
-	}
-	prog.AddRule(logic.ChoiceRule(logic.Unbounded, upper, []logic.ChoiceElem{{
-		Atom: logic.A("starts", logic.Var("K"), logic.Var("T")),
-		Cond: []logic.Literal{
-			logic.Pos(logic.A("candidate", logic.Var("K"))),
-			logic.Pos(logic.A("time", logic.Var("T"))),
-		},
-	}}))
-	scheduled, err := logic.Parse(`
-		scheduled(K) :- starts(K, T).
-		:- starts(K, T1), starts(K, T2), T1 < T2.
-		dyn_active(K, T2) :- starts(K, T1), time(T2), T2 >= T1.
-	`)
-	if err != nil {
-		return nil, false, err
-	}
-	prog.Extend(scheduled)
-	// The requirement must FAIL: require its negation at step 0.
-	u := temporal.NewUnroller(horizon)
-	if err := u.Require(prog, temporal.Not(requirement)); err != nil {
-		return nil, false, err
-	}
-	// Prefer the least intrusive attack: fewest scheduled faults, then
-	// latest possible... keep it simple: minimize the schedule size.
-	prog.AddMinimize(logic.MinimizeElem{
-		Weight:   logic.Num(1),
-		Priority: 1,
-		Tuple:    []logic.Term{logic.Var("K")},
-		Cond:     []logic.BodyElem{logic.Pos(logic.A("scheduled", logic.Var("K")))},
-	})
-
-	res, err := solver.SolveProgram(prog, solver.Options{Optimize: true, MaxModels: 1})
-	if err != nil {
-		return nil, false, err
-	}
-	if len(res.Models) == 0 {
-		return nil, false, nil
-	}
-	m := res.Models[0]
-	var schedule Schedule
-	for _, key := range candidates {
-		for t := 0; t < horizon; t++ {
-			atom := logic.A("starts", logic.Sym(key), logic.Num(t))
-			if m.Contains(atom.Key()) {
-				schedule = append(schedule, Injection{Key: key, AtStep: t})
-			}
-		}
-	}
-	return schedule, true, nil
+	defer a.Close()
+	return a.Synthesize()
 }

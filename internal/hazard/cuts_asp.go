@@ -2,12 +2,26 @@ package hazard
 
 import (
 	"fmt"
+	"sort"
 
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/logic"
 	"cpsrisk/internal/solver"
 )
+
+// maxCutRoundsCap bounds the defensive round limit when the caller passes
+// maxRounds <= 0: 2^n rounds is the natural ceiling for n mutation
+// candidates, but the shift overflows for n >= 63, so large candidate
+// sets clamp to a fixed cap instead.
+const maxCutRoundsCap = 1 << 20
+
+func defaultCutRounds(n int) int {
+	if n >= 20 {
+		return maxCutRoundsCap
+	}
+	return 1 << n
+}
 
 // MinimalCutsASP enumerates the minimal fault combinations violating one
 // requirement through the embedded formal method: the EPA encoding plus
@@ -19,9 +33,83 @@ import (
 // the qualitative analogue of FTA minimal cut sets computed by the
 // reasoner itself (§III-A, §IV-D "the engine selects the active faults").
 //
+// The enumeration is multi-shot: one persistent solver session grounds
+// the encoding once, each round re-queries it with retained learned
+// clauses and heuristics, and every found cut lands as an incremental
+// blocking constraint through the solver's backjump-then-add path.
+//
 // maxRounds bounds the iteration defensively; the space of minimal cuts
 // over n candidates is finite, so the loop always terminates on its own.
 func MinimalCutsASP(eng *epa.Engine, muts []faults.Mutation, req Requirement, maxRounds int) ([]epa.Scenario, error) {
+	base, err := cutsBase(eng, muts, req)
+	if err != nil {
+		return nil, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = defaultCutRounds(len(muts))
+	}
+	sess, err := solver.NewSession(base, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	var cuts []epa.Scenario
+	for round := 0; round < maxRounds; round++ {
+		res, err := sess.SolveAssuming(nil, solver.Options{Optimize: true})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Models) == 0 {
+			return cuts, nil // space exhausted
+		}
+		batch := cutBatch(res.Models, muts)
+		cuts = append(cuts, batch...)
+		block := &logic.Program{}
+		for _, cut := range batch {
+			block.AddRule(blockCut(cut))
+		}
+		if err := sess.Add(block); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("hazard: minimal-cut enumeration exceeded %d rounds", maxRounds)
+}
+
+// MinimalCutsASPSingleShot is the pre-session reference implementation:
+// every round rebuilds the program with all blocking constraints and
+// re-grounds and re-solves it from scratch. It is exported for the
+// differential equality test and the S4 incremental-vs-single-shot
+// benchmark; production callers should use MinimalCutsASP.
+func MinimalCutsASPSingleShot(eng *epa.Engine, muts []faults.Mutation, req Requirement, maxRounds int) ([]epa.Scenario, error) {
+	base, err := cutsBase(eng, muts, req)
+	if err != nil {
+		return nil, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = defaultCutRounds(len(muts))
+	}
+	var cuts []epa.Scenario
+	for round := 0; round < maxRounds; round++ {
+		prog := &logic.Program{}
+		prog.Extend(base)
+		for _, cut := range cuts {
+			prog.AddRule(blockCut(cut))
+		}
+		res, err := solver.SolveProgram(prog, solver.Options{Optimize: true})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Models) == 0 {
+			return cuts, nil // space exhausted
+		}
+		cuts = append(cuts, cutBatch(res.Models, muts)...)
+	}
+	return nil, fmt.Errorf("hazard: minimal-cut enumeration exceeded %d rounds", maxRounds)
+}
+
+// cutsBase builds the shared encoding: EPA semantics, the unbounded fault
+// choice, the violation condition, and the cardinality objective.
+func cutsBase(eng *epa.Engine, muts []faults.Mutation, req Requirement) (*logic.Program, error) {
 	if err := validateReqs([]Requirement{req}); err != nil {
 		return nil, err
 	}
@@ -42,41 +130,34 @@ func MinimalCutsASP(eng *epa.Engine, muts []faults.Mutation, req Requirement, ma
 			logic.Pos(logic.A("active", logic.Var("C"), logic.Var("F"))),
 		},
 	})
+	return base, nil
+}
 
-	var cuts []epa.Scenario
-	if maxRounds <= 0 {
-		maxRounds = 1 << len(muts)
-	}
-	for round := 0; round < maxRounds; round++ {
-		prog := &logic.Program{}
-		prog.Extend(base)
-		// Block supersets of every found cut.
-		for _, cut := range cuts {
-			body := make([]logic.BodyElem, 0, len(cut))
-			for _, a := range cut {
-				body = append(body, logic.Pos(epa.ActiveAtom(a.Component, a.Fault)))
+// cutBatch extracts one round's cuts from its optimal models, sorted by
+// scenario key so both enumeration strategies emit identical output.
+// All optimal models of a round share the minimum cardinality: each is a
+// minimal cut (no proper subset violates, or it would have been optimal
+// in an earlier round or this one).
+func cutBatch(models []solver.Model, muts []faults.Mutation) []epa.Scenario {
+	batch := make([]epa.Scenario, 0, len(models))
+	for _, m := range models {
+		var cut epa.Scenario
+		for _, mu := range muts {
+			if m.Contains(epa.ActiveAtom(mu.Component, mu.Fault).Key()) {
+				cut = append(cut, mu.Activation)
 			}
-			prog.AddRule(logic.Constraint(body...))
 		}
-		res, err := solver.SolveProgram(prog, solver.Options{Optimize: true})
-		if err != nil {
-			return nil, err
-		}
-		if len(res.Models) == 0 {
-			return cuts, nil // space exhausted
-		}
-		// All optimal models of this round share the minimum cardinality:
-		// each is a minimal cut (no proper subset violates, or it would
-		// have been optimal in an earlier round or this one).
-		for _, m := range res.Models {
-			var cut epa.Scenario
-			for _, mu := range muts {
-				if m.Contains(epa.ActiveAtom(mu.Component, mu.Fault).Key()) {
-					cut = append(cut, mu.Activation)
-				}
-			}
-			cuts = append(cuts, cut)
-		}
+		batch = append(batch, cut)
 	}
-	return nil, fmt.Errorf("hazard: minimal-cut enumeration exceeded %d rounds", maxRounds)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Key() < batch[j].Key() })
+	return batch
+}
+
+// blockCut forbids supersets of a found cut.
+func blockCut(cut epa.Scenario) logic.Rule {
+	body := make([]logic.BodyElem, 0, len(cut))
+	for _, a := range cut {
+		body = append(body, logic.Pos(epa.ActiveAtom(a.Component, a.Fault)))
+	}
+	return logic.Constraint(body...)
 }

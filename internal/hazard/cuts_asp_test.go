@@ -78,3 +78,45 @@ func BenchmarkMinimalCutsASP(b *testing.B) {
 		}
 	}
 }
+
+// The multi-shot enumeration must be byte-identical to the single-shot
+// reference: same cuts, same order (both sort each round's batch by key,
+// and round membership is determined by the program alone).
+func TestMinimalCutsASPIncrementalMatchesSingleShot(t *testing.T) {
+	eng, muts, reqs := setup(t)
+	for _, req := range reqs {
+		inc, err := MinimalCutsASP(eng, muts, req, 0)
+		if err != nil {
+			t.Fatalf("%s incremental: %v", req.ID, err)
+		}
+		ss, err := MinimalCutsASPSingleShot(eng, muts, req, 0)
+		if err != nil {
+			t.Fatalf("%s single-shot: %v", req.ID, err)
+		}
+		ordered := func(cuts []epa.Scenario) string {
+			keys := make([]string, 0, len(cuts))
+			for _, c := range cuts {
+				keys = append(keys, c.Key())
+			}
+			return strings.Join(keys, "|")
+		}
+		if got, want := ordered(inc), ordered(ss); got != want {
+			t.Errorf("%s: incremental cuts %q != single-shot %q", req.ID, got, want)
+		}
+	}
+}
+
+// maxRounds <= 0 must clamp instead of overflowing 1 << len(muts) for
+// large candidate sets (>= 63 mutations used to shift to zero and abort
+// immediately with the exceeded-rounds error).
+func TestMinimalCutsDefaultRoundsClamp(t *testing.T) {
+	if got := defaultCutRounds(64); got != maxCutRoundsCap {
+		t.Errorf("defaultCutRounds(64) = %d, want clamp %d", got, maxCutRoundsCap)
+	}
+	if got := defaultCutRounds(70); got <= 0 {
+		t.Errorf("defaultCutRounds(70) = %d, overflowed", got)
+	}
+	if got := defaultCutRounds(3); got != 8 {
+		t.Errorf("defaultCutRounds(3) = %d, want 8", got)
+	}
+}

@@ -281,6 +281,15 @@ func AnalyzeASP(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Req
 // back to the native engine) and the answer-set search (returning the
 // answer sets found so far with Analysis.Truncation set). MaxScenarios
 // bounds the number of enumerated answer sets.
+//
+// The analysis is multi-shot: the encoding is grounded once with an
+// unbounded fault choice, then one persistent solver session sweeps the
+// cardinality levels 0..maxCard, each level selected by exactly-k count
+// assumptions on the active/2 predicate. Assumptions only filter stable
+// models, so the union over the sweep equals the single bounded solve it
+// replaces, while learned clauses and branching heuristics carry from one
+// cardinality to the next and an interruption keeps a clean
+// cardinality-ordered prefix.
 func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, bud *budget.Budget) (*Analysis, error) {
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
@@ -289,28 +298,63 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 	if err != nil {
 		return nil, err
 	}
-	faults.EncodeChoice(prog, muts, maxCard)
+	faults.EncodeChoice(prog, muts, -1)
 	for _, r := range reqs {
 		if err := EncodeViolation(prog, r.ID, r.Condition); err != nil {
 			return nil, err
 		}
 	}
-	opts := solver.Options{Budget: bud}
-	if maxScen := bud.Limits().MaxScenarios; maxScen > 0 {
-		opts.MaxModels = maxScen
-	}
-	res, err := solver.SolveProgram(prog, opts)
+	start := time.Now()
+	sess, err := solver.NewSession(prog, solver.Options{Budget: bud})
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
+
+	kmax := maxCard
+	if kmax < 0 || kmax > len(muts) {
+		kmax = len(muts)
+	}
+	maxScen := bud.Limits().MaxScenarios
+	var models []solver.Model
+	var trunc *budget.Truncation
+	for k := 0; k <= kmax; k++ {
+		opts := solver.Options{Budget: bud}
+		if maxScen > 0 {
+			opts.MaxModels = maxScen - len(models)
+		}
+		res, err := sess.SolveAssuming([]solver.Assumption{
+			solver.AssumeCountGE("active", k),
+			solver.AssumeCountLT("active", k+1),
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, res.Models...)
+		if res.Interrupted {
+			trunc = &budget.Truncation{
+				Stage: "hazard-asp", Reason: res.InterruptReason,
+				Detail: fmt.Sprintf("%d answer sets enumerated before interruption", len(models)),
+			}
+			break
+		}
+		if maxScen > 0 && len(models) >= maxScen {
+			trunc = &budget.Truncation{
+				Stage: "hazard-asp", Reason: budget.ReasonScenarios,
+				Detail: fmt.Sprintf("first %d answer sets kept", len(models)),
+			}
+			break
+		}
+	}
+
 	likelihoods := faults.LikelihoodIndex(muts)
 	sevByID := map[string]qual.Level{}
 	for _, r := range reqs {
 		sevByID[r.ID] = r.Severity
 	}
 
-	results := make([]ScenarioResult, 0, len(res.Models))
-	for _, m := range res.Models {
+	results := make([]ScenarioResult, 0, len(models))
+	for _, m := range models {
 		sc := scenarioFromModel(&m, muts)
 		sr := ScenarioResult{Scenario: sc}
 		for _, r := range reqs {
@@ -340,20 +384,10 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 			ViolatedSeverities: severities,
 		})
 	}
-	out := &Analysis{Requirements: reqs, Scenarios: results}
-	out.SolverStats = &res.Stats
-	switch {
-	case res.Interrupted:
-		out.Truncation = &budget.Truncation{
-			Stage: "hazard-asp", Reason: res.InterruptReason,
-			Detail: fmt.Sprintf("%d answer sets enumerated before interruption", len(res.Models)),
-		}
-	case opts.MaxModels > 0 && len(res.Models) >= opts.MaxModels:
-		out.Truncation = &budget.Truncation{
-			Stage: "hazard-asp", Reason: budget.ReasonScenarios,
-			Detail: fmt.Sprintf("first %d answer sets kept", len(res.Models)),
-		}
-	}
+	out := &Analysis{Requirements: reqs, Scenarios: results, Truncation: trunc}
+	st := sess.Stats()
+	st.Duration = time.Since(start)
+	out.SolverStats = &st
 	return out, nil
 }
 

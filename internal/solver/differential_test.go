@@ -293,3 +293,110 @@ func randomFirstOrderProgram(rng *rand.Rand) string {
 	}
 	return sb.String()
 }
+
+// TestDifferentialIncrementalVsSingleShot cross-checks multi-shot
+// Sessions against fresh single-shot solves: each seeded program is split
+// into a random base plus 1-3 deltas, fed to one Session through
+// Add/SolveAssuming sequences with randomized atom assumptions, and after
+// every step the answer sets must match a single-shot SolveProgram call
+// on the equivalent flattened program (assumptions encoded as integrity
+// constraints: a=true ≡ ":- not a."; a=false ≡ ":- a."). This drives all
+// three Add classifications — constraints-only, fresh-heads, and the
+// retraction/rebuild slow path via choice-element growth — plus query
+// guard retirement (every step queries twice).
+func TestDifferentialIncrementalVsSingleShot(t *testing.T) {
+	const programs = 300
+
+	rng := rand.New(rand.NewSource(20260807))
+	checked := 0
+	for i := 0; i < programs; i++ {
+		src := randomDiffProgram(rng, i)
+		prog, err := logic.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: generated unparsable source:\n%s\n%v", i, src, err)
+		}
+		atomPool := []string{"a", "b", "c", "d", "e"}
+		if i%4 == 3 {
+			atomPool = []string{"pick(1)", "pick(2)", "q(1)", "q(2)"}
+		}
+
+		// Random partition of the rules into base + deltas. Per-rule
+		// safety means every partition is itself a valid program.
+		chunks := make([]*logic.Program, 1+1+rng.Intn(3))
+		for c := range chunks {
+			chunks[c] = &logic.Program{}
+		}
+		for _, r := range prog.Rules {
+			chunks[rng.Intn(len(chunks))].AddRule(r)
+		}
+
+		sess, err := NewSession(chunks[0], Options{})
+		if err != nil {
+			t.Fatalf("program %d: NewSession: %v\n%s", i, err, src)
+		}
+		flat := &logic.Program{}
+		flat.Extend(chunks[0])
+		for step := 1; ; step++ {
+			var assumps []Assumption
+			var constraints []logic.Rule
+			for n := rng.Intn(3); n > 0; n-- {
+				atom := atomPool[rng.Intn(len(atomPool))]
+				var csrc string
+				if rng.Intn(2) == 0 {
+					assumps = append(assumps, AssumeTrue(atom))
+					csrc = ":- not " + atom + "."
+				} else {
+					assumps = append(assumps, AssumeFalse(atom))
+					csrc = ":- " + atom + "."
+				}
+				cprog, err := logic.Parse(csrc)
+				if err != nil {
+					t.Fatalf("program %d: parse constraint %q: %v", i, csrc, err)
+				}
+				constraints = append(constraints, cprog.Rules...)
+			}
+			want := solveFlattened(t, i, flat, constraints)
+			for q := 0; q < 2; q++ { // twice: exercises guard retirement
+				res, err := sess.SolveAssuming(assumps, Options{})
+				if err != nil {
+					t.Fatalf("program %d step %d: SolveAssuming: %v\n%s", i, step, err, src)
+				}
+				got := renderModelSet(res.Models)
+				if !equalStringSets(got, want) {
+					t.Fatalf("program %d step %d query %d: answer sets disagree\nprogram:\n%s\nbase+deltas:\n%s\nassumptions: %v\nsession (%d): %v\nsingle-shot (%d): %v",
+						i, step, q, src, flat, assumps, len(got), got, len(want), want)
+				}
+				if res.Satisfiable != (len(want) > 0) {
+					t.Fatalf("program %d step %d: Satisfiable=%v, want %v", i, step, res.Satisfiable, len(want) > 0)
+				}
+			}
+			if step >= len(chunks) {
+				break
+			}
+			if err := sess.Add(chunks[step]); err != nil {
+				t.Fatalf("program %d step %d: Add: %v\n%s", i, step, err, src)
+			}
+			flat.Extend(chunks[step])
+		}
+		sess.Close()
+		checked++
+	}
+	if checked < 250 {
+		t.Fatalf("only %d programs checked, want >= 250", checked)
+	}
+}
+
+// solveFlattened single-shot-solves base plus assumption constraints.
+func solveFlattened(t *testing.T, i int, base *logic.Program, constraints []logic.Rule) []string {
+	t.Helper()
+	full := &logic.Program{}
+	full.Extend(base)
+	for _, c := range constraints {
+		full.AddRule(c)
+	}
+	res, err := SolveProgram(full, Options{})
+	if err != nil {
+		t.Fatalf("program %d: single-shot solve: %v", i, err)
+	}
+	return renderModelSet(res.Models)
+}

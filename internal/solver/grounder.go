@@ -91,8 +91,213 @@ type grounder struct {
 	termIDs  map[string]int32
 	keyBuf   []byte
 
+	// Incremental (multi-shot session) state: the full rule list persists
+	// across addRules calls so old rules re-ground against new frontier
+	// atoms; choiceInst maps a choice-rule instantiation key to its
+	// emitted rule index so a later delta that grows the possible set can
+	// re-emit the instantiation with the full element set and retract the
+	// stale one; numPossible counts pool atoms for the reuse statistics.
+	incremental bool
+	rules       []logic.Rule
+	choiceInst  map[string]int
+	condSeen    map[AtomID]bool
+	retracted   []int
+	numPossible int64
+
 	bud      *budget.Budget
 	ctxPolls int
+}
+
+// newSessionGrounder creates a persistent grounder for a multi-shot
+// session: rules accumulate across addRules calls and choice
+// instantiations are tracked for growth-driven re-emission.
+func newSessionGrounder(bud *budget.Budget) *grounder {
+	return &grounder{
+		out:         NewGroundProgram(),
+		possible:    map[string]*atomPool{},
+		isPoss:      map[string]bool{},
+		seen:        map[string]bool{},
+		symIDs:      map[string]int32{},
+		termIDs:     map[string]int32{},
+		choiceInst:  map[string]int{},
+		condSeen:    map[AtomID]bool{},
+		incremental: true,
+		bud:         bud,
+	}
+}
+
+// addRules incrementally grounds newRules against the persistent possible
+// set: iteration 0 runs only the new rules (against the full pool), then
+// the usual semi-naive loop re-grounds ALL rules against the new frontier,
+// then choice rules are (re-)emitted — old choice rules only when the pool
+// grew, and an instantiation whose element set grew is retracted and
+// re-emitted in full. Reports whether any rule was retracted (the caller
+// must then rebuild its translation; retracted rules have already been
+// compacted away). Unlike single-shot grounding, never-possible negative
+// body literals are NOT simplified away: a later delta could make the atom
+// possible, and the completion already pins underivable atoms false.
+func (gr *grounder) addRules(newRules []logic.Rule) (retractedAny bool, err error) {
+	newRules, err = expandIntervalFacts(newRules)
+	if err != nil {
+		return false, err
+	}
+	base := len(gr.rules)
+	gr.rules = append(gr.rules, newRules...)
+	for _, r := range newRules {
+		vs := r.Vars()
+		sort.Strings(vs)
+		uniq := vs[:0]
+		prev := ""
+		for _, v := range vs {
+			if v != prev {
+				uniq = append(uniq, v)
+				prev = v
+			}
+		}
+		gr.ruleVars = append(gr.ruleVars, uniq)
+	}
+	poolBefore := gr.numPossible
+	// Iteration 0: the new rules against the full current possible set.
+	gr.delta = map[string][]logic.Atom{}
+	next := map[string][]logic.Atom{}
+	for i, r := range newRules {
+		if err := gr.groundRule(base+i, r, -1, next, !r.Choice); err != nil {
+			return false, err
+		}
+	}
+	// Semi-naive iterations over all rules with the new frontier; old
+	// rules re-fire only for instantiations touching frontier atoms, and
+	// instSeen dedup keeps previously emitted instantiations out.
+	for len(next) > 0 {
+		gr.delta = next
+		next = map[string][]logic.Atom{}
+		for ri, r := range gr.rules {
+			for _, i := range positiveIndices(r.Body) {
+				if gr.deltaHas(r.Body[i].(logic.Literal).Atom) {
+					if err := gr.groundRule(ri, r, i, next, !r.Choice); err != nil {
+						return false, err
+					}
+				}
+			}
+			if r.Choice && gr.choiceCondInDelta(r) {
+				if err := gr.groundRule(ri, r, -1, next, false); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	// Choice emission over the stable possible set: new choice rules
+	// always; old ones only if the pool grew (their instantiation and
+	// element sets are otherwise unchanged).
+	gr.delta = map[string][]logic.Atom{}
+	poolGrew := gr.numPossible > poolBefore
+	for ri, r := range gr.rules {
+		if !r.Choice || (ri < base && !poolGrew) {
+			continue
+		}
+		if err := gr.groundChoiceIncremental(ri, r); err != nil {
+			return false, err
+		}
+	}
+	if len(gr.retracted) > 0 {
+		gr.compactRules()
+		return true, nil
+	}
+	return false, nil
+}
+
+// groundChoiceIncremental enumerates a choice rule's body instantiations
+// and reconciles each against the previously emitted ground rule (if any)
+// via choiceInst — bypassing instSeen, which would hide instantiations
+// whose element sets may have grown.
+func (gr *grounder) groundChoiceIncremental(ri int, r logic.Rule) error {
+	next := map[string][]logic.Atom{}
+	handle := func(b logic.Bindings) error {
+		if err := gr.checkBudget(); err != nil {
+			return err
+		}
+		return gr.emitChoiceInc(ri, r, b, next)
+	}
+	return gr.join(r.Body, -1, logic.Bindings{}, handle)
+}
+
+func (gr *grounder) emitChoiceInc(ri int, r logic.Rule, b logic.Bindings, next map[string][]logic.Atom) error {
+	key := string(gr.instKey(ri, b))
+	if oldIdx, ok := gr.choiceInst[key]; ok {
+		n, err := gr.countChoiceInsts(r, b)
+		if err != nil {
+			return err
+		}
+		if n == len(gr.out.Rules[oldIdx].Heads) {
+			return nil // element set unchanged; the emitted rule stands
+		}
+		// The possible set grew under this instantiation: retract the
+		// stale rule (or empty-choice bound constraint) and re-emit with
+		// the full element set. Possible sets only grow, so a changed
+		// element count always means growth.
+		gr.retracted = append(gr.retracted, oldIdx)
+	}
+	pos, neg, err := gr.groundBody(r.Body, b)
+	if err != nil {
+		return err
+	}
+	before := len(gr.out.Rules)
+	if err := gr.emitChoice(r, b, pos, neg, next); err != nil {
+		return err
+	}
+	if len(gr.out.Rules) > before {
+		// The choice rule (or its bound constraint) is always emitted
+		// last, after any condition-guard support rules.
+		gr.choiceInst[key] = len(gr.out.Rules) - 1
+	}
+	return nil
+}
+
+// countChoiceInsts counts the element instantiations of a choice rule
+// body instantiation under the current possible set, with no side effects.
+func (gr *grounder) countChoiceInsts(r logic.Rule, b logic.Bindings) (int, error) {
+	n := 0
+	for _, e := range r.Elems {
+		err := gr.expandChoiceElem(e, b, func(logic.Bindings) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// compactRules splices retracted rules out of the ground program and
+// remaps choiceInst indexes. Only called when retractions happened, which
+// forces the owning session to rebuild its translation anyway.
+func (gr *grounder) compactRules() {
+	dead := make(map[int]bool, len(gr.retracted))
+	for _, i := range gr.retracted {
+		dead[i] = true
+	}
+	remap := make([]int, len(gr.out.Rules))
+	kept := gr.out.Rules[:0]
+	for i, r := range gr.out.Rules {
+		if dead[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		kept = append(kept, r)
+	}
+	gr.out.Rules = kept
+	for k, v := range gr.choiceInst {
+		// Retracted entries were overwritten by their re-emission, so no
+		// live entry maps to -1; guard anyway.
+		if nv := remap[v]; nv >= 0 {
+			gr.choiceInst[k] = nv
+		} else {
+			delete(gr.choiceInst, k)
+		}
+	}
+	gr.retracted = gr.retracted[:0]
 }
 
 // checkBudget enforces the grounding-rule cap and polls the context every
@@ -249,6 +454,18 @@ func (gr *grounder) markChoiceHeads(r logic.Rule, b logic.Bindings, next map[str
 // before. The key is built as binary ids in a reused buffer, so the
 // lookup on the already-seen path is allocation-free.
 func (gr *grounder) instSeen(ri int, b logic.Bindings) bool {
+	buf := gr.instKey(ri, b)
+	if gr.seen[string(buf)] {
+		return true
+	}
+	gr.seen[string(buf)] = true
+	return false
+}
+
+// instKey builds the canonical (rule index, interned binding tuple) key in
+// the reused buffer and returns it; the buffer is invalidated by the next
+// instKey call.
+func (gr *grounder) instKey(ri int, b logic.Bindings) []byte {
 	buf := gr.keyBuf[:0]
 	buf = binary.AppendUvarint(buf, uint64(ri))
 	for _, v := range gr.ruleVars[ri] {
@@ -270,11 +487,7 @@ func (gr *grounder) instSeen(ri int, b logic.Bindings) bool {
 		}
 	}
 	gr.keyBuf = buf
-	if gr.seen[string(buf)] {
-		return true
-	}
-	gr.seen[string(buf)] = true
-	return false
+	return buf
 }
 
 func internID(tab map[string]int32, key string) int32 {
@@ -693,6 +906,15 @@ func (gr *grounder) condGuard(cond []logic.Literal, b logic.Bindings) (AtomID, e
 	}
 	guard := gr.out.AtomIDFor("__cond(" + strings.Join(keys, ",") + ")")
 	gr.out.internal[int(guard)-1] = true
+	if gr.incremental {
+		// Re-emission after choice growth revisits old elements; the
+		// guard's support rule is identical (the key encodes the
+		// conjunction), so emit it once per session.
+		if gr.condSeen[guard] {
+			return guard, nil
+		}
+		gr.condSeen[guard] = true
+	}
 	gr.out.AddBasic(guard, pos, nil)
 	return guard, nil
 }
@@ -703,6 +925,7 @@ func (gr *grounder) markPossible(a logic.Atom, next map[string][]logic.Atom) {
 		return
 	}
 	gr.isPoss[key] = true
+	gr.numPossible++
 	sig := a.Signature()
 	p := gr.possible[sig]
 	if p == nil {

@@ -56,10 +56,10 @@ type sat struct {
 	learnts []*clause // conflict-learned clauses, subject to DB reduction
 	watches [][]*clause
 
-	assign []int8    // var -> 0 unknown, 1 true, -1 false
-	level  []int     // var -> decision level it was assigned at
-	reason []*clause // var -> implying clause (nil: decision or unassigned)
-	trail  []lit
+	assign   []int8    // var -> 0 unknown, 1 true, -1 false
+	level    []int     // var -> decision level it was assigned at
+	reason   []*clause // var -> implying clause (nil: decision or unassigned)
+	trail    []lit
 	trailLim []int // decision-level start indices into trail
 
 	qhead int
@@ -85,14 +85,28 @@ type sat struct {
 	maxLearnts int
 
 	// Conflict-analysis scratch.
-	seen     []bool
-	markBuf  []int8 // clause-simplification stamps: 0 none, 1 pos, 2 neg
+	seen    []bool
+	markBuf []int8 // clause-simplification stamps: 0 none, 1 pos, 2 neg
 
 	// Objective propagator (branch and bound).
 	weight  []int64 // var -> objective weight of assigning true (0 if none)
 	curCost int64
 	bound   int64 // prune when curCost >= bound
 	pruning bool
+
+	// Assumption-based solving (multi-shot sessions): assumps are asserted
+	// as pseudo-decisions at successive levels before any branching; a
+	// falsified assumption ends the search with assumpFailed set and the
+	// responsible assumption subset in finalCore (final-conflict analysis).
+	assumps      []lit
+	assumpFailed bool
+	finalCore    []lit
+
+	// costGuard, when nonzero, is appended to every objective-bound
+	// conflict clause so the clause can be retired after the query (the
+	// bound is query-local in a session; the guard literal is assumed
+	// false during the query and asserted true afterwards).
+	costGuard lit
 
 	// Statistics.
 	decisions, conflicts, propagations, restarts int64
@@ -631,6 +645,39 @@ func (s *sat) analyze(confl *clause) ([]lit, int) {
 	return learnt, bt
 }
 
+// analyzeFinal computes the subset of the assumption set responsible for
+// falsifying assumption p (the unsat core): it walks the implication
+// graph backwards from ¬p, collecting every assumption decision reached.
+// At the moment a falsified assumption is detected, all decisions on the
+// trail are assumptions (branching only starts after the full assumption
+// prefix is asserted), so reason-less marked trail literals are exactly
+// the core members.
+func (s *sat) analyzeFinal(p lit) []lit {
+	core := []lit{p}
+	if s.decisionLevel() == 0 {
+		return core
+	}
+	s.seen[p.variable()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].variable()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			core = append(core, s.trail[i])
+		} else {
+			for _, q := range r.lits {
+				if s.level[q.variable()] > 0 {
+					s.seen[q.variable()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.variable()] = false
+	return core
+}
+
 // record installs a learned clause after backjumping and enqueues its
 // asserting literal.
 func (s *sat) record(learnt []lit) {
@@ -689,6 +736,14 @@ func (s *sat) costConflict() bool {
 			if lv := s.level[v]; lv > ml {
 				ml = lv
 			}
+		}
+	}
+	if s.costGuard != 0 {
+		// Session query: the bound clause is only valid while this query's
+		// guard is assumed false; the guard literal makes it retirable.
+		c.lits = append(c.lits, s.costGuard)
+		if lv := s.level[s.costGuard.variable()]; lv > ml {
+			ml = lv
 		}
 	}
 	if len(c.lits) == 0 || ml == 0 {
@@ -802,6 +857,12 @@ func (s *sat) search(onTotal func() (stop bool)) error {
 		}
 		if confl := s.propagate(); confl != nil {
 			if !s.handleConflict(confl) {
+				// A propagation conflict at level 0 refutes the permanent
+				// clause DB itself (query-guarded clauses cannot be
+				// falsified at level 0 unless their guard is a level-0
+				// consequence, which likewise refutes the unguarded DB),
+				// so later session queries can short-circuit.
+				s.unsatRoot = true
 				return nil
 			}
 			continue
@@ -819,6 +880,27 @@ func (s *sat) search(onTotal func() (stop bool)) error {
 		if len(s.learnts) >= s.maxLearnts {
 			s.reduceDB()
 			s.maxLearnts += s.maxLearnts / 10
+		}
+		// Assert pending assumptions as pseudo-decisions at successive
+		// levels before any branching. Restarts and backjumps may cancel
+		// them; they are simply re-asserted here. A falsified assumption
+		// means the space under the assumption set is exhausted: final-
+		// conflict analysis extracts the responsible subset (unsat core).
+		if s.decisionLevel() < len(s.assumps) {
+			p := s.assumps[s.decisionLevel()]
+			switch s.value(p) {
+			case 1:
+				// Already implied: open a dummy level so deeper
+				// backjumps cannot remove it without re-assertion.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case -1:
+				s.finalCore = s.analyzeFinal(p)
+				s.assumpFailed = true
+				return nil
+			default:
+				s.decide(p)
+			}
+			continue
 		}
 		v := s.pickBranchVar()
 		if v == 0 {

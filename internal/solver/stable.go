@@ -84,6 +84,21 @@ type Stats struct {
 	// Duration is the wall-clock time spent in Solve (translation plus
 	// search).
 	Duration time.Duration
+
+	// Multi-shot counters, zero for single-shot solves. Sessions counts
+	// persistent solver sessions opened; Queries counts SolveAssuming
+	// calls answered across them; Adds counts incremental program deltas
+	// grounded into live sessions.
+	Sessions int64
+	Queries  int64
+	Adds     int64
+	// GroundAtomsReused counts possible ground atoms already present in a
+	// session's atom pool when an incremental Add ran — grounding work
+	// amortized instead of redone.
+	GroundAtomsReused int64
+	// LearnedReused counts learned clauses carried into a query from
+	// earlier queries of the same session instead of being rediscovered.
+	LearnedReused int64
 }
 
 // Result is the outcome of a Solve call.
@@ -98,7 +113,13 @@ type Result struct {
 	// ("deadline", "cancelled", "decision-cap", "conflict-cap").
 	Interrupted     bool
 	InterruptReason string
-	Stats           Stats
+	// Core names the assumptions responsible for unsatisfiability, in
+	// sorted order, when a Session.SolveAssuming query fails: a (non-
+	// minimal but conflict-directed) unsat core from final-conflict
+	// analysis. Nil for satisfiable queries and for programs that are
+	// unsatisfiable regardless of assumptions.
+	Core  []string
+	Stats Stats
 }
 
 // SolveProgram grounds and solves a logic program. Grounding is governed
@@ -189,6 +210,16 @@ type translation struct {
 	ufDerived   []bool
 	ufRemaining []int
 	ufQueue     []AtomID
+
+	// Incremental extension state (multi-shot sessions): supports and
+	// factHead persist so completion clauses for atoms introduced by a
+	// later Add can be emitted against the full support picture;
+	// translatedRules and knownAtoms record how far translation has
+	// progressed into gp.
+	supports        map[AtomID][]lit
+	factHead        map[AtomID]bool
+	translatedRules int
+	knownAtoms      int
 }
 
 func translate(gp *GroundProgram) (*translation, error) {
@@ -206,17 +237,17 @@ func translate(gp *GroundProgram) (*translation, error) {
 		tr.atomVar[id] = tr.s.newVar()
 	}
 
-	supports := make(map[AtomID][]lit)
-	factHead := make(map[AtomID]bool)
+	tr.supports = make(map[AtomID][]lit)
+	tr.factHead = make(map[AtomID]bool)
 
 	for _, r := range gp.Rules {
 		switch r.Kind {
 		case KindBasic:
-			if err := tr.translateBasic(r, supports, factHead); err != nil {
+			if err := tr.translateBasic(r, tr.supports, tr.factHead); err != nil {
 				return nil, err
 			}
 		case KindChoice:
-			if err := tr.translateChoice(r, supports); err != nil {
+			if err := tr.translateChoice(r, tr.supports); err != nil {
 				return nil, err
 			}
 		default:
@@ -226,23 +257,7 @@ func translate(gp *GroundProgram) (*translation, error) {
 
 	// Completion support clauses: a true atom needs some support.
 	for id := AtomID(1); id <= AtomID(gp.NumAtoms()); id++ {
-		if factHead[id] {
-			continue
-		}
-		sup := supports[id]
-		clause := make([]lit, 0, len(sup)+1)
-		clause = append(clause, -tr.atomLit(id))
-		taut := false
-		for _, l := range sup {
-			if l == tr.trueLit() {
-				taut = true
-				break
-			}
-			clause = append(clause, l)
-		}
-		if !taut {
-			tr.s.addClause(clause)
-		}
+		tr.emitCompletion(id)
 	}
 
 	if err := tr.translateObjective(); err != nil {
@@ -250,7 +265,115 @@ func translate(gp *GroundProgram) (*translation, error) {
 	}
 	tr.tight = tr.detectTight()
 	tr.buildOrder()
+	tr.translatedRules = len(gp.Rules)
+	tr.knownAtoms = gp.NumAtoms()
 	return tr, nil
+}
+
+// emitCompletion adds the support clause of one atom: a true atom needs
+// some support (¬a ∨ sup1 ∨ ... ∨ supK). Fact heads and tautological
+// supports skip the clause.
+func (tr *translation) emitCompletion(id AtomID) {
+	if tr.factHead[id] {
+		return
+	}
+	sup := tr.supports[id]
+	clause := make([]lit, 0, len(sup)+1)
+	clause = append(clause, -tr.atomLit(id))
+	for _, l := range sup {
+		if l == tr.trueLit() {
+			return
+		}
+		clause = append(clause, l)
+	}
+	tr.s.addClause(clause)
+}
+
+// growAtoms allocates solver variables (and completion clauses, when
+// emitNewCompletions is set) for atoms interned into gp since the last
+// translation pass.
+func (tr *translation) growAtoms(emitNewCompletions bool) {
+	gp := tr.gp
+	if gp.NumAtoms() <= tr.knownAtoms {
+		return
+	}
+	first := AtomID(tr.knownAtoms + 1)
+	for id := first; id <= AtomID(gp.NumAtoms()); id++ {
+		tr.atomVar = append(tr.atomVar, tr.s.newVar())
+		tr.posOcc = append(tr.posOcc, nil)
+	}
+	if emitNewCompletions {
+		for id := first; id <= AtomID(gp.NumAtoms()); id++ {
+			tr.emitCompletion(id)
+		}
+	}
+	tr.knownAtoms = gp.NumAtoms()
+	tr.sortedExt = nil
+	tr.ufDerived = nil // forces the unfounded-set scratch to resize
+}
+
+// extendTranslation incorporates the rules appended to gp since the last
+// translation pass. Precondition (enforced by Session.Add): every new
+// rule head is an atom first interned by this delta, so no existing
+// completion clause loses exactness — all previously learned clauses
+// remain logical consequences of the extended program. Must run at
+// decision level 0; a level-0 propagation conflict afterwards proves the
+// extended program unsatisfiable.
+func (tr *translation) extendTranslation() error {
+	gp := tr.gp
+	firstNew := AtomID(tr.knownAtoms + 1)
+	tr.growAtoms(false)
+	for _, r := range gp.Rules[tr.translatedRules:] {
+		switch r.Kind {
+		case KindBasic:
+			if err := tr.translateBasic(r, tr.supports, tr.factHead); err != nil {
+				return err
+			}
+		case KindChoice:
+			if err := tr.translateChoice(r, tr.supports); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("solver: unknown ground rule kind %d", r.Kind)
+		}
+	}
+	for id := firstNew; id <= AtomID(gp.NumAtoms()); id++ {
+		tr.emitCompletion(id)
+	}
+	tr.translatedRules = len(gp.Rules)
+	tr.tight = tr.detectTight()
+	if !tr.s.unsatRoot {
+		if confl := tr.s.propagate(); confl != nil {
+			tr.s.unsatRoot = true
+		}
+	}
+	return nil
+}
+
+// addConstraintsInSearch injects a constraints-only delta into a live
+// search through the backjump-then-add path, preserving the search state
+// (learned clauses, activities, phases, and the trail above the deepest
+// conflicting level). This is the hot path of iterated enumeration:
+// blocking constraints land as single clauses, no restart. Atoms first
+// interned by the delta head no rule anywhere, so they are pinned false
+// by their (empty-support) completion unit.
+func (tr *translation) addConstraintsInSearch() {
+	gp := tr.gp
+	tr.growAtoms(true)
+	for _, r := range gp.Rules[tr.translatedRules:] {
+		clause := make([]lit, 0, len(r.Pos)+len(r.Neg))
+		for _, p := range r.Pos {
+			clause = append(clause, -tr.atomLit(p))
+		}
+		for _, n := range r.Neg {
+			clause = append(clause, tr.atomLit(n))
+		}
+		tr.addSearchClause(clause)
+		if tr.s.unsatRoot {
+			break
+		}
+	}
+	tr.translatedRules = len(gp.Rules)
 }
 
 // detectTight reports whether the positive dependency graph (head ->

@@ -1,0 +1,323 @@
+package temporal
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/solver"
+)
+
+// Incremental is the multi-shot counterpart of Unroller: it compiles LTLf
+// formulas into a horizon-INDEPENDENT encoding, holds one persistent
+// solver session over it, and extends the horizon by streaming only the
+// new time steps into the session — the clingo "#program step(t)" pattern.
+//
+// Where Unroller bakes Horizon-1 into the rules for W/G/R (so growing the
+// bound means recompiling and re-grounding everything), Incremental
+// marks the end of the trace with a chosen tl_last(T) atom and guards the
+// fixpoint rules with the derived in-trace predicate:
+//
+//	{ tl_last(T) } :- time(T).
+//	:- tl_last(T), tl_in(T+1), time(T).
+//	tl_in(T) :- tl_last(T).
+//	tl_in(T) :- tl_in(T+1), time(T).
+//
+// Each query pins tl_last to one step by assumption, so a single
+// grounding answers queries at ANY horizon up to the current bound, and
+// Extend(k) adds only k new time facts. The extension re-instantiates
+// recursive rules over the new frontier (new supports for old atoms land
+// on the session's rebuild path, which keeps branching activities and
+// phases but drops learned clauses); the amortized win is the grounding
+// and translation reuse, not clause retention across extensions.
+//
+// Like solver.Session, an Incremental is strictly single-goroutine.
+type Incremental struct {
+	// PropMap maps propositions to timed atoms (default DefaultPropMap).
+	// Set it before the first Compile.
+	PropMap PropMapper
+
+	horizon int
+	counter int
+	memo    map[string]string
+	pending *logic.Program
+	sess    *solver.Session
+	err     error
+}
+
+// scaffold is the horizon-independent trace skeleton. The step-domain
+// predicate is fixed to "time"; tl_last and tl_in are reserved. The
+// middle constraint enforces at most one trace end in O(h) ground
+// instances: a second, earlier end T1 < T2 sees tl_in(T1+1) through the
+// downward closure from T2 and is rejected.
+const scaffold = `
+	{ tl_last(T) } :- time(T).
+	:- tl_last(T), tl_in(T+1), time(T).
+	tl_in(T) :- tl_last(T).
+	tl_in(T) :- tl_in(T+1), time(T).
+`
+
+// NewIncremental builds an incremental unroller with time steps
+// 0..horizon-1 (horizon >= 1).
+func NewIncremental(horizon int) (*Incremental, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("temporal: horizon %d < 1", horizon)
+	}
+	pending, err := logic.Parse(scaffold)
+	if err != nil {
+		return nil, err
+	}
+	pending.AddFact(logic.A("time", logic.Interval{Lo: logic.Num(0), Hi: logic.Num(horizon - 1)}))
+	return &Incremental{
+		PropMap: DefaultPropMap,
+		horizon: horizon,
+		memo:    map[string]string{},
+		pending: pending,
+	}, nil
+}
+
+// Horizon returns the current bound (number of trace states).
+func (inc *Incremental) Horizon() int { return inc.horizon }
+
+// Close releases the underlying session, if one was started.
+func (inc *Incremental) Close() {
+	if inc.sess != nil {
+		inc.sess.Close()
+		inc.sess = nil
+	}
+}
+
+// Add merges caller rules and facts (e.g. trace facts, system dynamics)
+// into the encoding. Before the first Solve they join the base grounding;
+// afterwards they are streamed into the live session.
+func (inc *Incremental) Add(prog *logic.Program) error {
+	if inc.err != nil {
+		return inc.err
+	}
+	inc.pending.Extend(prog)
+	return nil
+}
+
+// Extend grows the horizon by k steps, adding only the new time facts.
+func (inc *Incremental) Extend(k int) error {
+	if inc.err != nil {
+		return inc.err
+	}
+	if k < 1 {
+		return fmt.Errorf("temporal: extend by %d < 1", k)
+	}
+	inc.pending.AddFact(logic.A("time",
+		logic.Interval{Lo: logic.Num(inc.horizon), Hi: logic.Num(inc.horizon + k - 1)}))
+	inc.horizon += k
+	return nil
+}
+
+// Assumptions returns the assumption set pinning the trace end to state
+// h-1 (h defaults to the current horizon when <= 0), for combining with
+// caller assumptions in Solve.
+func (inc *Incremental) Assumptions(h int) []solver.Assumption {
+	if h <= 0 {
+		h = inc.horizon
+	}
+	// The scaffold's at-most-one constraint makes the single positive
+	// assumption pin tl_last exactly.
+	return []solver.Assumption{solver.AssumeTrue(fmt.Sprintf("tl_last(%d)", h-1))}
+}
+
+// Compile adds rules defining pred(T) <-> "f holds at state T of the
+// trace ending at the pinned tl_last" and returns the predicate name.
+func (inc *Incremental) Compile(f Formula) (string, error) {
+	if inc.err != nil {
+		return "", inc.err
+	}
+	return inc.compile(f)
+}
+
+// Solve answers one query at horizon h (<= the current bound; <= 0 means
+// the current bound): any pending compile output, trace facts, and time
+// extensions are flushed into the session first, then the query runs
+// under the trace-end assumptions plus the extras.
+func (inc *Incremental) Solve(h int, extra []solver.Assumption, opts solver.Options) (*solver.Result, error) {
+	if inc.err != nil {
+		return nil, inc.err
+	}
+	if h <= 0 {
+		h = inc.horizon
+	}
+	if h > inc.horizon {
+		return nil, fmt.Errorf("temporal: query horizon %d beyond bound %d", h, inc.horizon)
+	}
+	if err := inc.flush(opts); err != nil {
+		return nil, err
+	}
+	return inc.sess.SolveAssuming(append(inc.Assumptions(h), extra...), opts)
+}
+
+// Stats returns the session's cumulative solver effort (zero before the
+// first Solve).
+func (inc *Incremental) Stats() solver.Stats {
+	if inc.sess == nil {
+		return solver.Stats{}
+	}
+	return inc.sess.Stats()
+}
+
+func (inc *Incremental) flush(opts solver.Options) error {
+	if inc.sess == nil {
+		sess, err := solver.NewSession(inc.pending, solver.Options{Budget: opts.Budget})
+		if err != nil {
+			inc.err = err
+			return err
+		}
+		inc.sess = sess
+		inc.pending = &logic.Program{}
+		return nil
+	}
+	if len(inc.pending.Rules) == 0 {
+		return nil
+	}
+	if err := inc.sess.Add(inc.pending); err != nil {
+		inc.err = err
+		return err
+	}
+	inc.pending = &logic.Program{}
+	return nil
+}
+
+func (inc *Incremental) fresh() string {
+	inc.counter++
+	return fmt.Sprintf("tl%d", inc.counter)
+}
+
+func (inc *Incremental) timeLit() logic.BodyElem {
+	return logic.Pos(logic.A("time", varT))
+}
+
+func (inc *Incremental) inTrace(t logic.Term) logic.BodyElem {
+	return logic.Pos(logic.A("tl_in", t))
+}
+
+func (inc *Incremental) lastLit() logic.BodyElem {
+	return logic.Pos(logic.A("tl_last", varT))
+}
+
+// compile mirrors Unroller.compile with the horizon-dependence replaced
+// by tl_last/tl_in guards. Invariant: every compiled predicate is only
+// derivable inside the pinned trace (p(T) implies tl_in(T)), so positive
+// subformula literals need no extra guard, while rules whose body is
+// negative or empty re-assert the guard explicitly.
+func (inc *Incremental) compile(f Formula) (string, error) {
+	key := f.String()
+	if p, ok := inc.memo[key]; ok {
+		return p, nil
+	}
+	p := inc.fresh()
+	inc.memo[key] = p
+	prog := inc.pending
+	at := func(pred string, t logic.Term) logic.Atom { return logic.A(pred, t) }
+
+	switch ff := f.(type) {
+	case TrueF:
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.inTrace(varT)))
+	case FalseF:
+		// No rules: never derivable.
+	case Prop:
+		timed := inc.PropMap(ff.Atom, varT)
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.inTrace(varT), logic.Pos(timed)))
+	case NotF:
+		s, err := inc.compile(ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.inTrace(varT), logic.Not(at(s, varT))))
+	case NextF:
+		s, err := inc.compile(ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.timeLit(), logic.Pos(at(s, tPlus1()))))
+	case WeakNextF:
+		s, err := inc.compile(ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.timeLit(), logic.Pos(at(s, tPlus1()))))
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.lastLit()))
+	case FinallyF:
+		s, err := inc.compile(ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), logic.Pos(at(s, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.timeLit(), logic.Pos(at(p, tPlus1()))))
+	case GloballyF:
+		s, err := inc.compile(ff.Sub)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.lastLit(), logic.Pos(at(s, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT),
+			logic.Pos(at(s, varT)), logic.Pos(at(p, tPlus1()))))
+	case AndF:
+		l, err := inc.compile(ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := inc.compile(ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT),
+			logic.Pos(at(l, varT)), logic.Pos(at(r, varT))))
+	case OrF:
+		l, err := inc.compile(ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := inc.compile(ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), logic.Pos(at(l, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT), logic.Pos(at(r, varT))))
+	case ImpliesF:
+		l, err := inc.compile(ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := inc.compile(ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.inTrace(varT), logic.Not(at(l, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT), logic.Pos(at(r, varT))))
+	case UntilF:
+		l, err := inc.compile(ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := inc.compile(ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), logic.Pos(at(r, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT),
+			logic.Pos(at(l, varT)), logic.Pos(at(p, tPlus1()))))
+	case ReleaseF:
+		l, err := inc.compile(ff.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := inc.compile(ff.R)
+		if err != nil {
+			return "", err
+		}
+		prog.AddRule(logic.NormalRule(at(p, varT), inc.lastLit(), logic.Pos(at(r, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT),
+			logic.Pos(at(r, varT)), logic.Pos(at(l, varT))))
+		prog.AddRule(logic.NormalRule(at(p, varT),
+			logic.Pos(at(r, varT)), logic.Pos(at(p, tPlus1()))))
+	default:
+		return "", fmt.Errorf("temporal: cannot compile %T", f)
+	}
+	return p, nil
+}

@@ -1,0 +1,197 @@
+package temporal
+
+import (
+	"testing"
+
+	"cpsrisk/internal/logic"
+	"cpsrisk/internal/solver"
+)
+
+// TestIncrementalAgreesWithEval is the incremental counterpart of
+// TestUnrollAgreesWithEval: one Incremental per trace is compiled at
+// horizon 1 and grown one state at a time with Extend; after every
+// extension the query at the current horizon must agree with the native
+// evaluator on the trace prefix — and queries at EARLIER horizons (a
+// single grounding serves all bounds) must agree with the corresponding
+// prefix too.
+func TestIncrementalAgreesWithEval(t *testing.T) {
+	formulas := []Formula{
+		P("a"),
+		Not(P("a")),
+		And(P("a"), P("b")),
+		Or(P("a"), P("b")),
+		Implies(P("a"), P("b")),
+		Next(P("a")),
+		WeakNext(P("a")),
+		Finally(P("a")),
+		Globally(P("a")),
+		Until(P("a"), P("b")),
+		Release(P("a"), P("b")),
+		Globally(Implies(P("a"), Finally(P("b")))),
+		Finally(And(P("a"), Next(P("b")))),
+		Not(Until(P("a"), P("b"))),
+		Globally(Not(P("a"))),
+		And(Globally(P("a")), Finally(P("b"))),
+	}
+	const n = 3
+	total := 1 << uint(2*n)
+	for mask := 0; mask < total; mask++ {
+		tr := make(Trace, n)
+		for i := 0; i < n; i++ {
+			st := State{}
+			if mask>>(2*i)&1 == 1 {
+				st["a"] = true
+			}
+			if mask>>(2*i+1)&1 == 1 {
+				st["b"] = true
+			}
+			tr[i] = st
+		}
+		inc, err := NewIncremental(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := make([]string, len(formulas))
+		for fi, f := range formulas {
+			if preds[fi], err = inc.Compile(f); err != nil {
+				t.Fatalf("Compile %s: %v", f, err)
+			}
+		}
+		for h := 1; h <= n; h++ {
+			if h > 1 {
+				if err := inc.Extend(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Stream in the new state's facts.
+			facts := &logic.Program{}
+			for key := range tr[h-1] {
+				facts.AddFact(logic.A(key, logic.Num(h-1)))
+			}
+			if err := inc.Add(facts); err != nil {
+				t.Fatal(err)
+			}
+			// Check the current horizon and every earlier one.
+			for q := 1; q <= h; q++ {
+				res, err := inc.Solve(q, nil, solver.Options{MaxModels: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Models) != 1 {
+					t.Fatalf("trace %b h=%d q=%d: %d models, want 1", mask, h, q, len(res.Models))
+				}
+				for fi, f := range formulas {
+					want := Eval(f, tr[:q])
+					got := res.Models[0].Contains(preds[fi] + "(0)")
+					if got != want {
+						t.Fatalf("formula %s on trace %v prefix %d (grown to %d): ASP=%v eval=%v",
+							f, tr[:h], q, h, got, want)
+					}
+				}
+			}
+		}
+		inc.Close()
+	}
+}
+
+// TestIncrementalExtendReusesGrounding verifies the multi-shot counters:
+// repeated Extend+Solve on one Incremental runs one session, one query
+// per horizon, and reuses the already-ground atom pool on each extension.
+func TestIncrementalExtendReusesGrounding(t *testing.T) {
+	inc, err := NewIncremental(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	pred, err := inc.Compile(Globally(Implies(P("req"), Finally(P("grant")))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := logic.MustParse(`req(1). grant(2).`)
+	if err := inc.Add(facts); err != nil {
+		t.Fatal(err)
+	}
+	const extensions = 4
+	for i := 0; i < extensions; i++ {
+		res, err := inc.Solve(0, nil, solver.Options{MaxModels: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Models) != 1 || !res.Models[0].Contains(pred+"(0)") {
+			t.Fatalf("extension %d: formula must hold, models=%d", i, len(res.Models))
+		}
+		if err := inc.Extend(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Horizon() != 4+2*extensions {
+		t.Fatalf("horizon = %d", inc.Horizon())
+	}
+	st := inc.Stats()
+	if st.Sessions != 1 || st.Queries != extensions || st.Adds != extensions-1 {
+		t.Fatalf("sessions=%d queries=%d adds=%d, want 1/%d/%d",
+			st.Sessions, st.Queries, st.Adds, extensions, extensions-1)
+	}
+	if st.GroundAtomsReused == 0 {
+		t.Fatal("extensions must reuse the existing ground atom pool")
+	}
+}
+
+// An unsatisfied requirement at one horizon can become satisfied at a
+// longer one — the bounded-liveness pattern Extend exists for.
+func TestIncrementalLivenessAcrossExtension(t *testing.T) {
+	inc, err := NewIncremental(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	pred, err := inc.Compile(Finally(P("goal")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(logic.MustParse(`goal(3).`)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := inc.Solve(0, nil, solver.Options{MaxModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Models[0].Contains(pred + "(0)") {
+		t.Fatal("goal at step 3 must be invisible at horizon 2")
+	}
+	if err := inc.Extend(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err = inc.Solve(0, nil, solver.Options{MaxModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Models[0].Contains(pred + "(0)") {
+		t.Fatal("goal at step 3 must be reached at horizon 4")
+	}
+	// The earlier horizon still answers "no" from the same grounding.
+	res, err = inc.Solve(2, nil, solver.Options{MaxModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Models[0].Contains(pred + "(0)") {
+		t.Fatal("horizon-2 query must still miss the late goal")
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, err := NewIncremental(0); err == nil {
+		t.Error("horizon 0 must be rejected")
+	}
+	inc, err := NewIncremental(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	if err := inc.Extend(0); err == nil {
+		t.Error("extend by 0 must be rejected")
+	}
+	if _, err := inc.Solve(5, nil, solver.Options{}); err == nil {
+		t.Error("query beyond the bound must be rejected")
+	}
+}

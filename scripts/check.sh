@@ -24,6 +24,9 @@ go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard
 
 # Differential check: CDCL answer sets vs a brute-force stable-model
 # enumerator over a seeded random program battery, always re-run fresh.
+# The battery covers both the single-shot entry point and the incremental
+# Session arm (assumption queries and incremental Add against fresh
+# ground-truth re-solves).
 echo "== go test -run TestDifferential (solver) =="
 go test -run TestDifferential -count=1 ./internal/solver
 
