@@ -1,4 +1,4 @@
-.PHONY: check test build vet fuzz bench
+.PHONY: check test build vet fuzz bench profile
 
 # check is the canonical verification target: vet + build + race tests +
 # short fuzz runs. Set FUZZTIME to change the per-target fuzz duration.
@@ -14,10 +14,23 @@ test:
 vet:
 	go vet ./...
 
-# bench runs the perf-tracked suite (S1-S3, Fig. 1) and files the numbers
-# into BENCH_PR2.json. Set BENCH_LABEL/BENCHTIME to override defaults.
+# bench runs the perf-tracked suite (S1-S4, Fig. 1, obs overhead) and
+# files the numbers into BENCH_PR5.json. Set BENCH_LABEL/BENCHTIME to
+# override defaults.
 bench:
 	./scripts/bench.sh
+
+# profile assesses the sample plant with CPU/heap profiling and tracing
+# enabled; artifacts (pprof profiles, Chrome trace, report) land in
+# ./profile. Inspect with `go tool pprof profile/cpu.pprof` or by loading
+# profile/trace.json into chrome://tracing / Perfetto.
+profile:
+	mkdir -p profile
+	go run ./cmd/riskassess -model models/sme-plant.json -types models/types.json \
+	  -optimize -trace profile/trace.json \
+	  -cpuprofile profile/cpu.pprof -memprofile profile/mem.pprof > profile/report.txt
+	go run ./cmd/tracecheck profile/trace.json
+	@echo "profile artifacts in ./profile"
 
 fuzz:
 	go test -run='^$$' -fuzz=FuzzParse -fuzztime=$${FUZZTIME:-5s} ./internal/logic

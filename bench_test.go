@@ -20,6 +20,7 @@ import (
 	"cpsrisk/internal/kb"
 	"cpsrisk/internal/logic"
 	"cpsrisk/internal/mitigation"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/optimize"
 	"cpsrisk/internal/plant"
 	"cpsrisk/internal/qual"
@@ -88,6 +89,49 @@ func BenchmarkFig1_PipelineEndToEnd(b *testing.B) {
 			b.Fatal("no hazards")
 		}
 	}
+}
+
+// BenchmarkObsOverhead measures the observability tax on the Fig. 1
+// pipeline: "off" runs with no trace or metrics configured — the hot
+// paths must collapse to one nil pointer check each — while "on"
+// attaches a span tree and metrics registry and snapshots both. The
+// pair is the evidence behind the overhead contract (disabled tracing
+// regresses the tracked suite by <= 2%).
+func BenchmarkObsOverhead(b *testing.B) {
+	types := watertank.Types()
+	base := core.Config{
+		Model:          watertank.Model(),
+		Types:          types,
+		Behaviors:      watertank.Behaviors(types),
+		KB:             kb.MustDefaultKB(),
+		Requirements:   watertank.Requirements(),
+		ExtraMutations: watertank.PaperCandidates(),
+		MaxCardinality: -1,
+		Optimize:       true,
+		Budget:         -1,
+		Oracle:         cegar.NewPlantOracle(),
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Trace = obs.New("assessment")
+			cfg.Metrics = obs.NewRegistry()
+			a, err := core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Trace == nil || a.Trace.Count("hazard") != 1 || a.Metrics == nil {
+				b.Fatal("observability output missing")
+			}
+		}
+	})
 }
 
 // BenchmarkFig2_RiskAttributeTree sweeps the O-RA attribute tree

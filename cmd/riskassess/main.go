@@ -10,7 +10,8 @@
 //	riskassess -model model.json -types types.json [-maxcard 2] [-asp]
 //	           [-optimize] [-budget N] [-mitigations M-0917,M-0949]
 //	           [-timeout 30s] [-max-decisions N] [-max-scenarios N]
-//	           [-parallel N] [-top N]
+//	           [-parallel N] [-top N] [-trace out.json]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Requirements in the model file carry LTLf formulas for documentation;
 // the generic violation condition used here flags a requirement when any
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cpsrisk/internal/budget"
@@ -35,6 +37,7 @@ import (
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/kb"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/qual"
 	"cpsrisk/internal/report"
 	"cpsrisk/internal/sysmodel"
@@ -63,12 +66,54 @@ func run(args []string, stdout io.Writer) error {
 	maxScenarios := fs.Int("max-scenarios", 0, "cap on analyzed scenarios (0 = unlimited)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "scenario-sweep workers (1 = sequential; results are identical)")
 	topN := fs.Int("top", 20, "ranked scenarios to print (0 = all)")
+	tracePath := fs.String("trace", "", "trace the run and write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelPath == "" || *typesPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-model and -types are required")
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "riskassess: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "riskassess: memprofile:", err)
+			}
+		}()
+	}
+
+	// Tracing is opt-in: untraced runs keep the nil-check-only overhead
+	// contract; traced runs also collect the metrics registry and show
+	// TIMING/METRICS report sections.
+	var trace *obs.Trace
+	var metrics *obs.Registry
+	if *tracePath != "" {
+		trace = obs.New("assessment")
+		metrics = obs.NewRegistry()
 	}
 
 	model, err := loadModel(*modelPath)
@@ -102,6 +147,8 @@ func run(args []string, stdout io.Writer) error {
 		Optimize:          *doOpt,
 		Budget:            *mitBudget,
 		Parallelism:       *parallel,
+		Trace:             trace,
+		Metrics:           metrics,
 		Resources: budget.Limits{
 			Timeout:      *timeout,
 			MaxDecisions: *maxDecisions,
@@ -110,6 +157,20 @@ func run(args []string, stdout io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTraceSnapshot(f, a.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	if *dotPath != "" {

@@ -230,11 +230,12 @@ func TestRunParallelFlagIsDeterministic(t *testing.T) {
 	if err := run(append(base, "-parallel", "4"), &par); err != nil {
 		t.Fatal(err)
 	}
-	// Strip the throughput line: it carries wall-clock numbers.
+	// Strip the throughput and duration lines: they carry wall-clock
+	// numbers.
 	strip := func(s string) string {
 		var keep []string
 		for _, line := range strings.Split(s, "\n") {
-			if strings.Contains(line, "sweep:") {
+			if strings.Contains(line, "sweep:") || strings.Contains(line, "assessed in") {
 				continue
 			}
 			keep = append(keep, line)

@@ -1,0 +1,103 @@
+// Command tracecheck validates a Chrome trace_event JSON file as emitted
+// by riskassess -trace: well-formed envelope, known phases, per-lane
+// timestamps sorted, and every duration-begin event matched by a
+// stack-ordered end event. It exits non-zero on the first violation —
+// the CI teeth behind the trace exporter.
+//
+// Usage:
+//
+//	tracecheck [-require span,span,...] trace.json
+//
+// -require lists span names that must each appear at least once in the
+// trace (e.g. the pipeline stage names).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cpsrisk/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	require := fs.String("require", "", "comma-separated span names that must appear in the trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one trace file required")
+	}
+	path := fs.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pairs, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("%s: no complete spans in trace", path)
+	}
+
+	if *require != "" {
+		names, err := spanNames(path)
+		if err != nil {
+			return err
+		}
+		var missing []string
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !names[want] {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("%s: required spans missing: %s", path, strings.Join(missing, ", "))
+		}
+	}
+
+	fmt.Printf("%s: ok (%d spans)\n", path, pairs)
+	return nil
+}
+
+// spanNames collects the names of begin events in the trace, accepting
+// both the {"traceEvents": [...]} envelope and a bare event array.
+func spanNames(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var envelope struct {
+		TraceEvents []obs.ChromeEvent `json:"traceEvents"`
+	}
+	events := envelope.TraceEvents
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.TraceEvents == nil {
+		if err := json.Unmarshal(data, &events); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		events = envelope.TraceEvents
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		if ev.Ph == "B" || ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	return names, nil
+}

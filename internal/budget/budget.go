@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"cpsrisk/internal/obs"
 )
 
 // Canonical truncation/exhaustion reasons.
@@ -142,19 +144,49 @@ func Exhausted(err error) (*ExhaustedError, bool) {
 }
 
 // Truncation records one stage that was cut short: which stage, why, and
-// what the partial result covers.
+// what the partial result covers. When the run is traced, Span and
+// ElapsedMS pin down *where in the pipeline and when* the budget tripped
+// — the innermost active span and the wall time since the run started —
+// so a degraded report says not just that a stage was skipped but at
+// which point the resources ran out.
 type Truncation struct {
 	Stage  string `json:"stage"`
 	Reason string `json:"reason"`
 	Detail string `json:"detail,omitempty"`
+	// Span is the path of the innermost tracing span active at the trip
+	// (empty when the run was not traced).
+	Span string `json:"span,omitempty"`
+	// ElapsedMS is the wall time from the start of the traced run to the
+	// trip, in milliseconds (0 when the run was not traced).
+	ElapsedMS int64 `json:"elapsedMs,omitempty"`
+}
+
+// Stamp fills Span/ElapsedMS from the tracing span carried by ctx, when
+// one is present and the truncation is not already stamped. Creation
+// sites call this with the governing budget's context at the moment the
+// cap fires.
+func (t *Truncation) Stamp(ctx context.Context) {
+	if t.Span != "" {
+		return
+	}
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	t.Span = sp.Path()
+	t.ElapsedMS = sp.TraceElapsed().Milliseconds()
 }
 
 // String implements fmt.Stringer.
 func (t Truncation) String() string {
-	if t.Detail == "" {
-		return t.Stage + ": " + t.Reason
+	s := t.Stage + ": " + t.Reason
+	if t.Detail != "" {
+		s += " — " + t.Detail
 	}
-	return t.Stage + ": " + t.Reason + " — " + t.Detail
+	if t.Span != "" {
+		s += fmt.Sprintf(" (at %s, %dms in)", t.Span, t.ElapsedMS)
+	}
+	return s
 }
 
 // Degradation is the run-level record of every truncation. A run with an

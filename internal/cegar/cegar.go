@@ -17,6 +17,7 @@ import (
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/logic"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/plant"
 	"cpsrisk/internal/solver"
 )
@@ -173,11 +174,22 @@ func runParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget,
 		return nil, fmt.Errorf("cegar: no abstraction levels")
 	}
 	res := &Result{}
+	reg := obs.RegistryFromContext(bud.Context())
 	for li, level := range levels {
 		res.Iterations++
-		analysis, err := hazard.AnalyzeParallelBudget(level.Engine, level.Mutations, maxCard, level.Requirements, bud, parallelism)
+		// Each refinement level gets its own span; the level's hazard
+		// re-analysis, formal screen, and oracle validation nest under it
+		// through the derived budget.
+		lctx, lspan := obs.StartSpan(bud.Context(), "level["+level.Name+"]")
+		lbud := bud
+		if lspan != nil {
+			lbud = budget.New(lctx, bud.Limits())
+		}
+		endLevel := func(err error) error { lspan.End(); return err }
+		reg.Counter("cegar.levels").Inc()
+		analysis, err := hazard.AnalyzeParallelBudget(level.Engine, level.Mutations, maxCard, level.Requirements, lbud, parallelism)
 		if err != nil {
-			return nil, fmt.Errorf("cegar: level %q: %w", level.Name, err)
+			return nil, endLevel(fmt.Errorf("cegar: level %q: %w", level.Name, err))
 		}
 		if analysis.Truncation != nil {
 			t := *analysis.Truncation
@@ -190,10 +202,11 @@ func runParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget,
 				findings = append(findings, Finding{Scenario: s.Scenario, ReqID: reqID})
 			}
 		}
+		reg.Counter("cegar.findings").Add(int64(len(findings)))
 		var screened []Verdict
 		if screen {
-			if screened, err = screenFindings(level, findings, bud); err != nil {
-				return nil, fmt.Errorf("cegar: level %q re-check: %w", level.Name, err)
+			if screened, err = screenFindings(level, findings, lbud); err != nil {
+				return nil, endLevel(fmt.Errorf("cegar: level %q re-check: %w", level.Name, err))
 			}
 		}
 		nScreened := 0
@@ -203,22 +216,25 @@ func runParallel(levels []Level, oracle Oracle, maxCard int, bud *budget.Budget,
 			}
 		}
 		res.PerLevelScreened = append(res.PerLevelScreened, nScreened)
-		judged, trunc, err := validateFindings(level.Name, findings, screened, oracle, bud, parallelism)
+		reg.Counter("cegar.screened_out").Add(int64(nScreened))
+		judged, trunc, err := validateFindings(level.Name, findings, screened, oracle, lbud, parallelism)
 		if err != nil {
-			return nil, err
+			return nil, endLevel(err)
 		}
 		if trunc != nil {
+			trunc.Stamp(lctx)
 			res.Truncations = append(res.Truncations, *trunc)
 		}
 		anySpurious := false
 		for _, j := range judged {
+			reg.Counter("cegar.verdict." + j.Verdict.String()).Inc()
 			if j.Verdict == Spurious {
 				anySpurious = true
-				break
 			}
 		}
 		res.PerLevelFindings = append(res.PerLevelFindings, len(judged))
 		res.Findings = judged
+		endLevel(nil)
 		if trunc != nil || !anySpurious || li == len(levels)-1 {
 			return res, nil
 		}
@@ -305,6 +321,8 @@ func validateFindings(levelName string, findings []Finding, screened []Verdict, 
 	errs := make([]error, len(findings))
 	exhaustedReason := make([]string, len(findings))
 
+	parentSpan := obs.SpanFromContext(bud.Context())
+	cOracle := obs.RegistryFromContext(bud.Context()).Counter("cegar.oracle_checks")
 	check := func(i int) {
 		f := findings[i]
 		if screened != nil && screened[i] != 0 {
@@ -319,7 +337,13 @@ func validateFindings(levelName string, findings []Finding, screened []Verdict, 
 			}
 			return
 		}
+		var sp *obs.Span
+		if parentSpan != nil {
+			sp = parentSpan.StartChild(fmt.Sprintf("oracle#%d", i))
+		}
+		cOracle.Inc()
 		verdict, err := oracle.Check(f)
+		sp.End()
 		if err != nil {
 			errs[i] = fmt.Errorf("cegar: oracle on %s: %w", f, err)
 			return

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cpsrisk/internal/attack"
 	"cpsrisk/internal/budget"
@@ -17,6 +18,7 @@ import (
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/kb"
 	"cpsrisk/internal/mitigation"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/optimize"
 	"cpsrisk/internal/sysmodel"
 )
@@ -68,6 +70,15 @@ type Config struct {
 	// only wall-clock time changes. When an Oracle is configured with
 	// Parallelism != 1 it must be safe for concurrent Check calls.
 	Parallelism int
+	// Trace, when non-nil, collects a hierarchical span tree of the run
+	// (stage -> sub-stage -> per-worker/per-chunk/per-query), snapshotted
+	// into Assessment.Trace. Nil disables tracing at the cost of one
+	// pointer check per instrumentation site.
+	Trace *obs.Trace
+	// Metrics, when non-nil, aggregates pipeline counters and histograms
+	// (sweep throughput, solver effort, CEGAR verdicts), snapshotted into
+	// Assessment.Metrics. Nil disables metrics collection.
+	Metrics *obs.Registry
 }
 
 // Assessment is the pipeline output.
@@ -95,6 +106,16 @@ type Assessment struct {
 	// Degradation records every resource-driven truncation of the run.
 	// Always non-nil; empty when the assessment completed exactly.
 	Degradation *budget.Degradation
+	// Duration is the wall-clock time of the whole pipeline run, taken
+	// from the root span when tracing is on and measured directly
+	// otherwise. Always populated.
+	Duration time.Duration
+	// Trace is the span-tree snapshot of the run (nil unless Config.Trace
+	// was set).
+	Trace *obs.SpanSnapshot
+	// Metrics is the metrics snapshot of the run (nil unless
+	// Config.Metrics was set).
+	Metrics *obs.MetricsSnapshot
 }
 
 // runStage executes one pipeline stage with a panic guard: a panic inside
@@ -134,6 +155,42 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 
 	out := &Assessment{Degradation: &budget.Degradation{}}
 
+	// Observability rides the budget's context: every stage derives a
+	// budget whose context carries the stage span (and the metrics
+	// registry), so worker pools and solver sessions downstream attach
+	// sub-spans without any API changes. With tracing and metrics off the
+	// derived budget is bud itself and nothing is paid.
+	start := time.Now()
+	root := cfg.Trace.Root()
+	baseCtx := obs.ContextWithRegistry(bud.Context(), cfg.Metrics)
+	baseCtx = obs.ContextWithSpan(baseCtx, root)
+	obsBud := bud
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		obsBud = budget.New(baseCtx, bud.Limits())
+	}
+	stageBud := func(sp *obs.Span) *budget.Budget {
+		if sp == nil {
+			return obsBud
+		}
+		return budget.New(obs.ContextWithSpan(baseCtx, sp), bud.Limits())
+	}
+	stage := func(name string, f func(b *budget.Budget) error) error {
+		sp := root.StartChild(name)
+		defer sp.End()
+		return runStage(name, func() error { return f(stageBud(sp)) })
+	}
+	finish := func() {
+		out.Duration = time.Since(start)
+		if cfg.Trace != nil {
+			cfg.Trace.Finish()
+			out.Duration = root.Duration()
+			out.Trace = cfg.Trace.Snapshot()
+		}
+		if cfg.Metrics != nil {
+			out.Metrics = cfg.Metrics.Snapshot()
+		}
+	}
+
 	var (
 		model     *sysmodel.Model
 		behaviors *epa.BehaviorLibrary
@@ -141,7 +198,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 		muts      []faults.Mutation
 		analyzed  []faults.Mutation
 	)
-	err := runStage("model", func() error {
+	err := stage("model", func(_ *budget.Budget) error {
 		model = cfg.Model.Clone()
 		if err := model.RefineAll(); err != nil {
 			return fmt.Errorf("core: refine: %w", err)
@@ -161,7 +218,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	}
 
 	// Step 2: candidate system mutations.
-	err = runStage("candidates", func() error {
+	err = stage("candidates", func(_ *budget.Budget) error {
 		var err error
 		muts, err = faults.Candidates(model, cfg.Types, cfg.KB, cfg.MutationSources)
 		if err != nil {
@@ -195,21 +252,23 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	// abort wholesale (grounding or solving exhausted); when it does, the
 	// native fixpoint engine takes over — it degrades per scenario rather
 	// than per answer set, so a partial result is always available.
-	err = runStage("hazard", func() error {
+	err = stage("hazard", func(b *budget.Budget) error {
 		var err error
 		eng, err = epa.NewEngine(model, behaviors)
 		if err != nil {
 			return err
 		}
 		if cfg.UseASP {
-			out.Analysis, err = hazard.AnalyzeASPBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud)
+			out.Analysis, err = hazard.AnalyzeASPBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b)
 			if ex, ok := budget.Exhausted(err); ok {
-				out.Degradation.Add("hazard-asp", ex.Reason,
-					"ASP identification aborted; falling back to the native fixpoint engine")
-				out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud, cfg.Parallelism)
+				t := budget.Truncation{Stage: "hazard-asp", Reason: ex.Reason,
+					Detail: "ASP identification aborted; falling back to the native fixpoint engine"}
+				t.Stamp(b.Context())
+				out.Degradation.Record(t)
+				out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b, cfg.Parallelism)
 			}
 		} else {
-			out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, bud, cfg.Parallelism)
+			out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b, cfg.Parallelism)
 		}
 		if err != nil {
 			return err
@@ -234,8 +293,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			if !out.Degradation.RecordError(budErr) {
 				return nil, budErr
 			}
+			stampLast(out.Degradation, baseCtx)
 		} else {
-			err = runStage("validate", func() error {
+			err = stage("validate", func(b *budget.Budget) error {
 				// On the ASP path the formal encoding is already the source
 				// of truth, so the screened loop pre-filters counterexamples
 				// through a per-level solver session before the oracle runs;
@@ -249,7 +309,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 					Engine:       eng,
 					Mutations:    analyzed,
 					Requirements: cfg.Requirements,
-				}}, cfg.Oracle, cfg.MaxCardinality, bud, cfg.Parallelism)
+				}}, cfg.Oracle, cfg.MaxCardinality, b, cfg.Parallelism)
 				if err != nil {
 					return err
 				}
@@ -267,15 +327,16 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 
 	// Steps 6-7: mitigation space and cost-benefit optimization.
 	if cfg.KB != nil {
-		err = runStage("mitigation", func() error {
+		err = stage("mitigation", func(b *budget.Budget) error {
 			out.RelevantMitigations = mitigation.Relevant(cfg.KB, muts)
 			if !cfg.Optimize {
 				return nil
 			}
-			if budErr := bud.Err("optimize"); budErr != nil {
+			if budErr := b.Err("optimize"); budErr != nil {
 				if !out.Degradation.RecordError(budErr) {
 					return budErr
 				}
+				stampLast(out.Degradation, b.Context())
 				return nil
 			}
 			problem := &optimize.Problem{Budget: cfg.Budget}
@@ -297,7 +358,16 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			return nil, err
 		}
 	}
+	finish()
 	return out, nil
+}
+
+// stampLast annotates the most recent degradation entry with the span
+// and elapsed time from ctx (no-op when untraced or empty).
+func stampLast(d *budget.Degradation, ctx context.Context) {
+	if n := len(d.Truncations); n > 0 {
+		d.Truncations[n-1].Stamp(ctx)
+	}
 }
 
 // mergeMutations unions the extra candidates into the generated set,

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cpsrisk/internal/budget"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/qual"
 	"cpsrisk/internal/risk"
 )
@@ -28,6 +29,14 @@ type Summary struct {
 	Solver *SolverSummary `json:"solver,omitempty"`
 	// Sweep carries scenario-sweep statistics when the native engine ran.
 	Sweep *SweepSummary `json:"sweep,omitempty"`
+	// DurationMS is wall-clock time for the whole assessment.
+	DurationMS int64 `json:"durationMs,omitempty"`
+	// Trace is the span tree of the run; present only when the assessment
+	// was configured with a trace.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
+	// Metrics is the metrics-registry snapshot; present only when the
+	// assessment was configured with a registry.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // SweepSummary is the native scenario sweep's effort for the run.
@@ -180,6 +189,9 @@ func (a *Assessment) Summarize() *Summary {
 			LearnedReused:     st.LearnedReused,
 		}
 	}
+	out.DurationMS = a.Duration.Milliseconds()
+	out.Trace = a.Trace
+	out.Metrics = a.Metrics
 	return out
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"cpsrisk/internal/qual"
 	"cpsrisk/internal/risk"
@@ -21,6 +22,9 @@ func (a *Assessment) Render() string {
 		a.ModelStats.Components, a.ModelStats.Connections)
 	if a.ModelStats.Composites > 0 {
 		fmt.Fprintf(&sb, " (%d composite, depth %d)", a.ModelStats.Composites, a.ModelStats.Depth)
+	}
+	if a.Duration > 0 {
+		fmt.Fprintf(&sb, "\n  assessed in %s", a.Duration.Round(time.Microsecond))
 	}
 	sb.WriteString("\n\n")
 
@@ -108,6 +112,17 @@ func (a *Assessment) Render() string {
 			strings.Join(a.Plan.Selected, ", "), a.Plan.Cost, a.Plan.ResidualLoss, a.Plan.Total)
 		if len(a.Plan.Blocked) > 0 {
 			fmt.Fprintf(&sb, "  blocked scenarios: %s\n", strings.Join(a.Plan.Blocked, ", "))
+		}
+	}
+
+	if a.Trace != nil {
+		sb.WriteString("\nTIMING\n")
+		sb.WriteString(a.Trace.Tree())
+	}
+	if a.Metrics != nil {
+		if body := a.Metrics.Render(); body != "" {
+			sb.WriteString("\nMETRICS\n")
+			sb.WriteString(body)
 		}
 	}
 	return sb.String()

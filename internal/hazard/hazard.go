@@ -11,6 +11,7 @@ import (
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/logic"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/qual"
 	"cpsrisk/internal/risk"
 	"cpsrisk/internal/solver"
@@ -108,23 +109,32 @@ func AnalyzeBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []
 	limits := bud.Limits()
 	out := &Analysis{Requirements: reqs}
 
+	// Observability: one span around the whole sweep, counters batched
+	// after the loop — the per-scenario hot path is untouched.
+	obsCtx, sweepSpan := obs.StartSpan(bud.Context(), "sweep")
+	defer sweepSpan.End()
+	reg := obs.RegistryFromContext(obsCtx)
+
 	var trunc *budget.Truncation
 	var runErr error
 	processed := 0
 	faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
 		if limits.MaxScenarios > 0 && processed >= limits.MaxScenarios {
 			trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
+			trunc.Stamp(obsCtx)
 			return false
 		}
 		if err := bud.Err("hazard"); err != nil {
 			ex, _ := budget.Exhausted(err)
 			trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+			trunc.Stamp(obsCtx)
 			return false
 		}
 		res, err := eng.RunBudget(sc, bud)
 		if err != nil {
 			if ex, ok := budget.Exhausted(err); ok {
 				trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+				trunc.Stamp(obsCtx)
 				return false
 			}
 			runErr = err
@@ -144,7 +154,20 @@ func AnalyzeBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []
 		out.truncateToCompletedCardinality(muts, maxCard)
 	}
 	out.Sweep = &SweepStats{Workers: 1, Scenarios: len(out.Scenarios), Duration: time.Since(start)}
+	publishSweep(reg, out.Sweep, processed)
 	return out, nil
+}
+
+// publishSweep files one sweep's effort onto the metrics registry
+// (no-op without a registry).
+func publishSweep(reg *obs.Registry, sw *SweepStats, epaRuns int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("sweep.scenarios").Add(int64(sw.Scenarios))
+	reg.Counter("epa.runs").Add(int64(epaRuns))
+	reg.Gauge("sweep.workers").Set(int64(sw.Workers))
+	reg.Histogram("sweep.duration_us").Observe(sw.Duration.Microseconds())
 }
 
 // scoreResult evaluates every requirement on one EPA outcome and scores
@@ -305,7 +328,15 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 		}
 	}
 	start := time.Now()
-	sess, err := solver.NewSession(prog, solver.Options{Budget: bud})
+	// One span wraps the whole multi-shot analysis; the session attaches
+	// its grounding and per-query sub-spans through the derived budget.
+	obsCtx, aspSpan := obs.StartSpan(bud.Context(), "asp")
+	defer aspSpan.End()
+	abud := bud
+	if aspSpan != nil {
+		abud = budget.New(obsCtx, bud.Limits())
+	}
+	sess, err := solver.NewSession(prog, solver.Options{Budget: abud})
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +350,7 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 	var models []solver.Model
 	var trunc *budget.Truncation
 	for k := 0; k <= kmax; k++ {
-		opts := solver.Options{Budget: bud}
+		opts := solver.Options{Budget: abud}
 		if maxScen > 0 {
 			opts.MaxModels = maxScen - len(models)
 		}
@@ -336,6 +367,7 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 				Stage: "hazard-asp", Reason: res.InterruptReason,
 				Detail: fmt.Sprintf("%d answer sets enumerated before interruption", len(models)),
 			}
+			trunc.Stamp(obsCtx)
 			break
 		}
 		if maxScen > 0 && len(models) >= maxScen {
@@ -343,6 +375,7 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 				Stage: "hazard-asp", Reason: budget.ReasonScenarios,
 				Detail: fmt.Sprintf("first %d answer sets kept", len(models)),
 			}
+			trunc.Stamp(obsCtx)
 			break
 		}
 	}
@@ -388,6 +421,7 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 	st := sess.Stats()
 	st.Duration = time.Since(start)
 	out.SolverStats = &st
+	solver.PublishStats(obs.RegistryFromContext(obsCtx), &st)
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package hazard
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faults"
+	"cpsrisk/internal/obs"
 )
 
 // The parallel sweep fans the scenario stream out to a worker pool and
@@ -88,6 +90,16 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	likelihoods := faults.LikelihoodIndex(muts)
 	limits := bud.Limits()
 
+	// Observability: one span per sweep and per worker, one span per
+	// chunk when traced; metrics instruments are resolved once here and
+	// updated at chunk granularity from the workers — the race test
+	// hammers exactly this path. Untraced runs pay a nil check per chunk.
+	obsCtx, sweepSpan := obs.StartSpan(bud.Context(), "sweep")
+	defer sweepSpan.End()
+	reg := obs.RegistryFromContext(obsCtx)
+	cChunks := reg.Counter("sweep.chunks")
+	hChunk := reg.Histogram("sweep.chunk_us")
+
 	jobs := make(chan sweepChunk, parallelism*4)
 	outcomes := make(chan sweepOutcome, parallelism*4)
 	produced := make(chan producerOutcome, 1)
@@ -110,11 +122,13 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 		faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
 			if limits.MaxScenarios > 0 && seq >= limits.MaxScenarios {
 				trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
+				trunc.Stamp(obsCtx)
 				return false
 			}
 			if err := bud.Err("hazard"); err != nil {
 				ex, _ := budget.Exhausted(err)
 				trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+				trunc.Stamp(obsCtx)
 				return false
 			}
 			if len(chunk.scs) == 0 {
@@ -139,9 +153,21 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var wSpan *obs.Span
+			wCtx := obsCtx
+			if sweepSpan != nil {
+				wSpan = sweepSpan.StartChild(fmt.Sprintf("worker#%d", w))
+				wCtx = obs.ContextWithSpan(obsCtx, wSpan)
+			}
+			defer wSpan.End()
 			for jb := range jobs {
+				var cSpan *obs.Span
+				if wSpan != nil {
+					cSpan = wSpan.StartChild(fmt.Sprintf("chunk[%d+%d]", jb.baseSeq, len(jb.scs)))
+				}
+				chunkStart := time.Now()
 				o := sweepOutcome{baseSeq: jb.baseSeq, badSeq: -1}
 				for i, sc := range jb.scs {
 					seq := jb.baseSeq + i
@@ -149,6 +175,7 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 						ex, _ := budget.Exhausted(err)
 						o.badSeq = seq
 						o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+						o.trunc.Stamp(wCtx)
 						break
 					}
 					res, err := eng.RunBudget(sc, bud)
@@ -156,6 +183,7 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 						o.badSeq = seq
 						if ex, ok := budget.Exhausted(err); ok {
 							o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+							o.trunc.Stamp(wCtx)
 						} else {
 							o.err = err
 						}
@@ -163,9 +191,12 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 					}
 					o.srs = append(o.srs, scoreResult(seq, sc, res, reqs, likelihoods))
 				}
+				cChunks.Inc()
+				hChunk.Observe(time.Since(chunkStart).Microseconds())
+				cSpan.End()
 				outcomes <- o
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -224,5 +255,6 @@ merge:
 		out.truncateToCompletedCardinality(muts, maxCard)
 	}
 	out.Sweep = &SweepStats{Workers: parallelism, Scenarios: len(out.Scenarios), Duration: time.Since(start)}
+	publishSweep(reg, out.Sweep, prod.emitted)
 	return out, nil
 }

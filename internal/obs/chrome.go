@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the span tree becomes duration-event (B/E)
+// pairs loadable in about:tracing / Perfetto / chrome://tracing.
+//
+// The format requires events within one (pid, tid) track to be properly
+// nested with non-decreasing timestamps, but our span tree has genuinely
+// concurrent siblings (sweep workers, CEGAR checks). The exporter
+// therefore assigns each span a *lane* (rendered as a tid): a child
+// shares its parent's lane while it doesn't overlap the sibling placed
+// there before it, and overlapping siblings spill into auxiliary lanes
+// reused greedily once free. Within every lane the emitted B/E stream is
+// time-sorted and stack-matched by construction, which is exactly what
+// ValidateChromeTrace (and scripts/check.sh) verifies.
+
+// ChromeEvent is one trace_event entry.
+type ChromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"` // microseconds
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	Args any    `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object envelope form of the format.
+type chromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace writes the trace's span tree (snapshotted now) as
+// Chrome trace_event JSON. A nil or empty trace writes a valid file with
+// no duration events.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	return WriteChromeTraceSnapshot(w, t.Snapshot())
+}
+
+// WriteChromeTraceSnapshot writes an already-captured span tree.
+func WriteChromeTraceSnapshot(w io.Writer, root *SpanSnapshot) error {
+	file := chromeFile{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
+	if root != nil {
+		lanes := chromeLanes(root)
+		for tid, events := range lanes {
+			for _, ev := range events {
+				ev.PID = 1
+				ev.TID = tid
+				file.TraceEvents = append(file.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// chromeLanes flattens the tree into per-lane B/E event streams. Each
+// span is placed at its interval clamped into its parent's: microsecond
+// truncation and End-ordering races between concurrent spans can push a
+// child's nominal interval a tick past its parent's, which would break
+// the format's nesting invariant.
+func chromeLanes(root *SpanSnapshot) [][]ChromeEvent {
+	lanes := [][]ChromeEvent{nil} // lane 0 = the root's lane
+	// laneFree[l] is when auxiliary lane l (l >= 1) is free again; lane 0
+	// availability is tracked recursively by the cursor below.
+	laneFree := []int64{0}
+
+	var place func(s *SpanSnapshot, lane int, start, end int64)
+	place = func(s *SpanSnapshot, lane int, start, end int64) {
+		lanes[lane] = append(lanes[lane], ChromeEvent{Name: s.Name, Ph: "B", TS: start})
+		cursor := start
+		children := append([]*SpanSnapshot(nil), s.Children...)
+		sort.SliceStable(children, func(i, j int) bool { return children[i].StartUS < children[j].StartUS })
+		for _, c := range children {
+			cs, ce := c.StartUS, c.StartUS+c.DurUS
+			if cs < start {
+				cs = start
+			}
+			if cs > end {
+				cs = end
+			}
+			if ce > end {
+				ce = end
+			}
+			if ce < cs {
+				ce = cs
+			}
+			if cs >= cursor {
+				// Fits after the previous sibling in this lane: nests
+				// inside the parent, stays time-sorted.
+				place(c, lane, cs, ce)
+				cursor = ce
+				continue
+			}
+			// Overlaps: spill into the first free auxiliary lane.
+			aux := -1
+			for l := 1; l < len(laneFree); l++ {
+				if laneFree[l] <= cs {
+					aux = l
+					break
+				}
+			}
+			if aux == -1 {
+				aux = len(laneFree)
+				laneFree = append(laneFree, 0)
+				lanes = append(lanes, nil)
+			}
+			laneFree[aux] = ce
+			place(c, aux, cs, ce)
+		}
+		lanes[lane] = append(lanes[lane], ChromeEvent{Name: s.Name, Ph: "E", TS: end})
+	}
+	place(root, 0, root.StartUS, root.StartUS+root.DurUS)
+	return lanes
+}
+
+// ValidateChromeTrace checks a trace_event JSON stream (object envelope
+// or bare event array) for structural validity: every event carries a
+// name and a known phase, and within each (pid, tid) track timestamps
+// are non-decreasing and B/E events are stack-matched with matching
+// names. Returns the number of duration-event pairs on success.
+func ValidateChromeTrace(r io.Reader) (pairs int, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	var file chromeFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		// Bare-array form.
+		if arrErr := json.Unmarshal(data, &file.TraceEvents); arrErr != nil {
+			return 0, fmt.Errorf("trace: not a trace_event file: %w", err)
+		}
+	}
+	type track struct{ pid, tid int }
+	lastTS := map[track]int64{}
+	stacks := map[track][]ChromeEvent{}
+	for i, ev := range file.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "M": // metadata: no timestamp ordering requirements
+			continue
+		case "B", "E", "X", "C", "i", "I":
+		default:
+			return 0, fmt.Errorf("trace: event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		tk := track{ev.PID, ev.TID}
+		if prev, ok := lastTS[tk]; ok && ev.TS < prev {
+			return 0, fmt.Errorf("trace: event %d (%s) goes back in time on tid %d: %d < %d",
+				i, ev.Name, ev.TID, ev.TS, prev)
+		}
+		lastTS[tk] = ev.TS
+		switch ev.Ph {
+		case "B":
+			stacks[tk] = append(stacks[tk], ev)
+		case "E":
+			st := stacks[tk]
+			if len(st) == 0 {
+				return 0, fmt.Errorf("trace: event %d: E %q on tid %d without open B", i, ev.Name, ev.TID)
+			}
+			open := st[len(st)-1]
+			if open.Name != ev.Name {
+				return 0, fmt.Errorf("trace: event %d: E %q does not match open B %q on tid %d",
+					i, ev.Name, open.Name, ev.TID)
+			}
+			stacks[tk] = st[:len(st)-1]
+			pairs++
+		}
+	}
+	for tk, st := range stacks {
+		if len(st) > 0 {
+			return 0, fmt.Errorf("trace: tid %d ends with unclosed span %q", tk.tid, st[len(st)-1].Name)
+		}
+	}
+	return pairs, nil
+}

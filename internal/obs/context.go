@@ -1,0 +1,66 @@
+package obs
+
+import "context"
+
+// The pipeline threads observability through context.Context — the same
+// channel the resource budget already rides — so stages, worker pools,
+// and solver sessions attach spans and metrics without API churn: a
+// stage derives a context carrying its span, rebinds it into the budget
+// it passes down, and every callee picks the span up with SpanFromContext.
+// Lookups happen once per stage/worker/query (call boundaries), never in
+// inner loops; inner loops hold the resolved *Span / *Counter and pay
+// one nil check.
+
+type spanKey struct{}
+type registryKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when ctx carries none
+// (including a nil ctx).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of ctx's current span and returns a context
+// carrying it. Without a span in ctx this is a no-op returning (ctx,
+// nil); the nil span is safe to End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	return context.WithValue(ctx, spanKey{}, c), c
+}
+
+// ContextWithRegistry returns ctx carrying the metrics registry. A nil
+// registry returns ctx unchanged.
+func ContextWithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// RegistryFromContext returns the registry, or nil when ctx carries none
+// (including a nil ctx). All Registry methods are nil-safe, so callers
+// use the result unconditionally.
+func RegistryFromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a race-safe registry of named counters, gauges, and
+// histograms — the single aggregation surface that replaces per-package
+// Stats plumbing. Instruments are created on first use and live for the
+// registry's lifetime; looking one up is a lock + map hit, so hot paths
+// resolve their instruments once and then pay a single atomic per
+// update. A nil *Registry hands out nil instruments whose methods are
+// one-pointer-check no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil for a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil for a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil
+// for a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing race-safe counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by 1 (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a race-safe last-write-wins value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the stored value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket 0
+// holds observations <= 0, bucket i (i >= 1) holds values in
+// [2^(i-1), 2^i), and the last bucket absorbs everything beyond. Fixed
+// log-scale buckets keep Observe allocation-free and snapshots mergeable
+// across runs.
+const histBuckets = 64
+
+// Histogram is a race-safe fixed-log-bucket histogram of int64
+// observations (typically microseconds or counts).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0; stored as seen
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its log2 bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v)) // floor(log2(v)) + 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	if h.count.Add(1) == 1 {
+		// First observation seeds min/max; races with concurrent first
+		// observations are resolved by the CAS loops below.
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketCount is one non-empty histogram bucket: observations v with
+// Lo <= v < Hi (Lo is math.MinInt64 for the underflow bucket).
+type BucketCount struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is an immutable histogram copy.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// MetricsSnapshot is a point-in-time copy of every instrument, ready for
+// JSON export.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument. Nil-safe (returns nil). Concurrent
+// updates during the copy land in either the snapshot or the next one;
+// each individual instrument read is atomic.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &MetricsSnapshot{}
+	if len(r.counters) > 0 {
+		out.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			out.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			out.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+			if hs.Count > 0 {
+				hs.Min = h.min.Load()
+				hs.Max = h.max.Load()
+			}
+			for i := range h.buckets {
+				n := h.buckets[i].Load()
+				if n == 0 {
+					continue
+				}
+				b := BucketCount{Count: n}
+				if i == 0 {
+					b.Lo, b.Hi = math.MinInt64, 1
+				} else {
+					b.Lo = int64(1) << uint(i-1)
+					if i == histBuckets-1 {
+						b.Hi = math.MaxInt64
+					} else {
+						b.Hi = int64(1) << uint(i)
+					}
+				}
+				hs.Buckets = append(hs.Buckets, b)
+			}
+			out.Histograms[name] = hs
+		}
+	}
+	return out
+}
+
+// Render writes the snapshot as sorted "name value" lines, histograms as
+// count/mean/min/max — the text-report projection.
+func (m *MetricsSnapshot) Render() string {
+	if m == nil {
+		return ""
+	}
+	var sb strings.Builder
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-36s %d\n", n, m.Counters[n])
+	}
+	names = names[:0]
+	for n := range m.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-36s %d\n", n, m.Gauges[n])
+	}
+	names = names[:0]
+	for n := range m.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := m.Histograms[n]
+		fmt.Fprintf(&sb, "  %-36s n=%d mean=%.1f min=%d max=%d\n",
+			n, h.Count, h.Mean(), h.Min, h.Max)
+	}
+	return sb.String()
+}

@@ -1,0 +1,327 @@
+// Package obs is the pipeline's observability layer: a hierarchical span
+// tracer, a race-safe metrics registry, and exporters (timing tree,
+// Chrome trace_event JSON).
+//
+// Design contract — overhead safety: every method on a nil *Trace, nil
+// *Span, nil *Registry, nil *Counter, nil *Gauge, and nil *Histogram is a
+// no-op costing one pointer check, so hot paths hold possibly-nil
+// handles resolved once outside their loops instead of branching on a
+// "tracing enabled" flag. Disabled observability is therefore free at
+// loop granularity and unmeasurable at stage granularity.
+//
+// Spans form a tree rooted at the trace: stage -> sub-stage ->
+// per-worker/per-chunk/per-query. Starting children of the same parent
+// from concurrent goroutines is safe (the trace serializes tree
+// mutation); a single span's End must be called exactly once by the
+// goroutine that started it (idempotent Ends are tolerated).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Hook observes span lifecycle events. Hooks run outside the trace lock
+// on the goroutine that started/ended the span, so implementations used
+// with parallel stages must be safe for concurrent calls.
+type Hook interface {
+	// SpanStart fires after the span started. The span's Name and Path
+	// are safe to read; its duration is not yet defined.
+	SpanStart(s *Span)
+	// SpanEnd fires after the span ended; Duration is final.
+	SpanEnd(s *Span)
+}
+
+// Trace is one assessment's span tree. Create with New, which also
+// starts the root span; Finish ends the root and returns the wall time.
+type Trace struct {
+	mu    sync.Mutex
+	root  *Span
+	hooks []Hook
+	start time.Time
+}
+
+// New starts a trace whose root span has the given name.
+func New(rootName string) *Trace {
+	t := &Trace{start: time.Now()}
+	t.root = &Span{t: t, name: rootName, start: t.start}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// AddHook subscribes h to span events. Not safe to call concurrently
+// with running spans; install hooks before handing the trace out.
+func (t *Trace) AddHook(h Hook) {
+	if t == nil || h == nil {
+		return
+	}
+	t.hooks = append(t.hooks, h)
+}
+
+// Elapsed is the wall time since the trace started (0 for nil).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Finish ends the root span (idempotent) and returns its duration.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.root.End()
+	return t.root.Duration()
+}
+
+// Span is one timed node of the trace tree.
+type Span struct {
+	t        *Trace
+	parent   *Span
+	name     string
+	start    time.Time
+	end      time.Time // zero while open
+	children []*Span
+}
+
+// StartChild starts a sub-span. Safe to call from concurrent goroutines
+// on the same parent; returns nil on a nil span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	c := &Span{t: t, parent: s, name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	t.mu.Unlock()
+	for _, h := range t.hooks {
+		h.SpanStart(c)
+	}
+	return c
+}
+
+// End closes the span. No-op on nil; idempotent (the first End wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	ended := !s.end.IsZero()
+	if !ended {
+		s.end = time.Now()
+	}
+	t.mu.Unlock()
+	if ended {
+		return
+	}
+	for _, h := range t.hooks {
+		h.SpanEnd(s)
+	}
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Path returns the slash-joined span path from the root, e.g.
+// "assessment/hazard/sweep" ("" for nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	if s.parent == nil {
+		return s.name
+	}
+	return s.parent.Path() + "/" + s.name
+}
+
+// Duration is the span's wall time: end-start once ended, time since
+// start while open, 0 for nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	end := s.end
+	s.t.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// TraceElapsed is the wall time from the trace start to now (0 for nil):
+// the "when did this happen" stamp attached to degradation entries.
+func (s *Span) TraceElapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.t.start)
+}
+
+// SpanSnapshot is an immutable copy of one span for export: offsets are
+// microseconds relative to the trace start, so the tree is
+// self-contained and stable under JSON round-trips.
+type SpanSnapshot struct {
+	Name     string          `json:"name"`
+	StartUS  int64           `json:"startUs"`
+	DurUS    int64           `json:"durUs"`
+	Children []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the span tree. Open spans are snapshotted as if they
+// ended now. Nil-safe.
+func (t *Trace) Snapshot() *SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	return snapshotSpan(t.root, t.start, now)
+}
+
+func snapshotSpan(s *Span, origin, now time.Time) *SpanSnapshot {
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	out := &SpanSnapshot{
+		Name:    s.name,
+		StartUS: s.start.Sub(origin).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, snapshotSpan(c, origin, now))
+	}
+	// Concurrent children are appended in lock order, which matches start
+	// order; keep the invariant explicit for exporters.
+	sort.SliceStable(out.Children, func(i, j int) bool {
+		return out.Children[i].StartUS < out.Children[j].StartUS
+	})
+	return out
+}
+
+// Walk visits the snapshot tree depth-first, parents before children.
+func (s *SpanSnapshot) Walk(f func(s *SpanSnapshot, depth int)) {
+	if s == nil {
+		return
+	}
+	var rec func(n *SpanSnapshot, d int)
+	rec = func(n *SpanSnapshot, d int) {
+		f(n, d)
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	rec(s, 0)
+}
+
+// Tree renders the snapshot as an indented timing tree with one line per
+// span: duration, share of the root, and name. Sibling spans repeated
+// many times (per-chunk, per-query) are folded into one "name ×N" line
+// carrying their summed duration, keeping the report readable on runs
+// with thousands of spans.
+func (s *SpanSnapshot) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var sb strings.Builder
+	rootDur := s.DurUS
+	if rootDur <= 0 {
+		rootDur = 1
+	}
+	var rec func(n *SpanSnapshot, depth int)
+	rec = func(n *SpanSnapshot, depth int) {
+		fmt.Fprintf(&sb, "  %s%-*s %9s  %5.1f%%\n",
+			strings.Repeat("  ", depth), 32-2*depth, n.Name,
+			time.Duration(n.DurUS)*time.Microsecond,
+			100*float64(n.DurUS)/float64(rootDur))
+		for _, g := range foldChildren(n.Children) {
+			if g.n == 1 {
+				rec(g.first, depth+1)
+				continue
+			}
+			fmt.Fprintf(&sb, "  %s%-*s %9s  %5.1f%%\n",
+				strings.Repeat("  ", depth+1), 32-2*(depth+1),
+				fmt.Sprintf("%s ×%d", g.base, g.n),
+				time.Duration(g.durUS)*time.Microsecond,
+				100*float64(g.durUS)/float64(rootDur))
+		}
+	}
+	rec(s, 0)
+	return sb.String()
+}
+
+type spanGroup struct {
+	base  string
+	n     int
+	durUS int64
+	first *SpanSnapshot
+}
+
+// foldChildren groups sibling spans by base name (the part before the
+// first '[', '#', or '=' marker), preserving first-seen order.
+func foldChildren(children []*SpanSnapshot) []spanGroup {
+	var out []spanGroup
+	idx := map[string]int{}
+	for _, c := range children {
+		base := baseName(c.Name)
+		i, ok := idx[base]
+		if !ok {
+			i = len(out)
+			idx[base] = i
+			out = append(out, spanGroup{base: base, first: c})
+		}
+		out[i].n++
+		out[i].durUS += c.DurUS
+	}
+	return out
+}
+
+func baseName(name string) string {
+	if i := strings.IndexAny(name, "[#="); i > 0 {
+		return strings.TrimRight(name[:i], " ")
+	}
+	return name
+}
+
+// Find returns the first span with the given name in depth-first order,
+// or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	var found *SpanSnapshot
+	s.Walk(func(n *SpanSnapshot, _ int) {
+		if found == nil && n.Name == name {
+			found = n
+		}
+	})
+	return found
+}
+
+// Count returns how many spans in the tree carry the given name.
+func (s *SpanSnapshot) Count(name string) int {
+	n := 0
+	s.Walk(func(sp *SpanSnapshot, _ int) {
+		if sp.Name == name {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New("root")
+	a := tr.Root().StartChild("a")
+	a1 := a.StartChild("a1")
+	a1.End()
+	a.End()
+	b := tr.Root().StartChild("b")
+	b.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Name != "root" || len(snap.Children) != 2 {
+		t.Fatalf("bad tree: %+v", snap)
+	}
+	if snap.Children[0].Name != "a" || snap.Children[1].Name != "b" {
+		t.Errorf("children out of order: %s, %s", snap.Children[0].Name, snap.Children[1].Name)
+	}
+	if snap.Count("a1") != 1 || snap.Find("a1") == nil {
+		t.Error("a1 missing")
+	}
+	if snap.Children[0].Children[0].Name != "a1" {
+		t.Error("a1 not under a")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	var sp *Span
+	var reg *Registry
+	sp = tr.Root().StartChild("x")
+	sp.End()
+	if sp != nil || tr.Snapshot() != nil || tr.Finish() != 0 {
+		t.Error("nil trace must be inert")
+	}
+	if sp.Name() != "" || sp.Path() != "" || sp.Duration() != 0 || sp.TraceElapsed() != 0 {
+		t.Error("nil span accessors must return zero values")
+	}
+	reg.Counter("c").Add(3)
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h").Observe(3)
+	if reg.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+	ctx := ContextWithSpan(context.Background(), nil)
+	ctx = ContextWithRegistry(ctx, nil)
+	ctx2, s := StartSpan(ctx, "y")
+	if s != nil || ctx2 != ctx {
+		t.Error("StartSpan without a trace must be a no-op")
+	}
+	if SpanFromContext(nil) != nil || RegistryFromContext(nil) != nil {
+		t.Error("nil context lookups must return nil")
+	}
+}
+
+func TestContextCarrying(t *testing.T) {
+	tr := New("root")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	ctx, sp := StartSpan(ctx, "stage")
+	if sp == nil || SpanFromContext(ctx) != sp {
+		t.Fatal("span not carried")
+	}
+	_, sub := StartSpan(ctx, "sub")
+	if sub.Path() != "root/stage/sub" {
+		t.Errorf("path = %q", sub.Path())
+	}
+	sub.End()
+	sp.End()
+
+	reg := NewRegistry()
+	ctx = ContextWithRegistry(ctx, reg)
+	RegistryFromContext(ctx).Counter("hits").Inc()
+	if reg.Counter("hits").Value() != 1 {
+		t.Error("registry not carried")
+	}
+}
+
+func TestIdempotentEnd(t *testing.T) {
+	tr := New("root")
+	sp := tr.Root().StartChild("s")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End() // second End must not move the end time
+	if sp.Duration() != d {
+		t.Error("End not idempotent")
+	}
+}
+
+type recordingHook struct {
+	mu      sync.Mutex
+	started []string
+	ended   []string
+}
+
+func (h *recordingHook) SpanStart(s *Span) {
+	h.mu.Lock()
+	h.started = append(h.started, s.Name())
+	h.mu.Unlock()
+}
+func (h *recordingHook) SpanEnd(s *Span) {
+	h.mu.Lock()
+	h.ended = append(h.ended, s.Name())
+	h.mu.Unlock()
+}
+
+func TestHooks(t *testing.T) {
+	tr := New("root")
+	h := &recordingHook{}
+	tr.AddHook(h)
+	a := tr.Root().StartChild("a")
+	b := a.StartChild("b")
+	b.End()
+	a.End()
+	if strings.Join(h.started, ",") != "a,b" {
+		t.Errorf("started = %v", h.started)
+	}
+	if strings.Join(h.ended, ",") != "b,a" {
+		t.Errorf("ended = %v", h.ended)
+	}
+}
+
+func TestConcurrentSpansAndMetrics(t *testing.T) {
+	tr := New("root")
+	reg := NewRegistry()
+	parent := tr.Root().StartChild("parallel")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			h := reg.Histogram("obs")
+			for i := 0; i < 200; i++ {
+				sp := parent.StartChild("work")
+				c.Inc()
+				h.Observe(int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	parent.End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if got := snap.Count("work"); got != 1600 {
+		t.Errorf("work spans = %d", got)
+	}
+	ms := reg.Snapshot()
+	if ms.Counters["shared"] != 1600 {
+		t.Errorf("counter = %d", ms.Counters["shared"])
+	}
+	hs := ms.Histograms["obs"]
+	if hs.Count != 1600 || hs.Min != 0 || hs.Max != 199 {
+		t.Errorf("histogram = %+v", hs)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, -5, 1, 2, 3, 4, 1000, 1 << 62} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var total int64
+	r := NewRegistry()
+	hh := r.Histogram("x")
+	for _, v := range []int64{0, -5, 1, 2, 3, 4, 1000, 1 << 62} {
+		hh.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["x"]
+	for _, b := range hs.Buckets {
+		if b.Lo >= b.Hi {
+			t.Errorf("bad bucket bounds [%d,%d)", b.Lo, b.Hi)
+		}
+		total += b.Count
+	}
+	if total != 8 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+	if hs.Min != -5 || hs.Max != 1<<62 {
+		t.Errorf("min/max = %d/%d", hs.Min, hs.Max)
+	}
+}
+
+func TestTreeRenderFoldsRepeats(t *testing.T) {
+	tr := New("root")
+	st := tr.Root().StartChild("stage")
+	for i := 0; i < 5; i++ {
+		st.StartChild("chunk[0+32]").End()
+	}
+	st.End()
+	tr.Finish()
+	out := tr.Snapshot().Tree()
+	if !strings.Contains(out, "chunk ×5") {
+		t.Errorf("repeated spans not folded:\n%s", out)
+	}
+	if !strings.Contains(out, "root") || !strings.Contains(out, "stage") {
+		t.Errorf("tree missing nodes:\n%s", out)
+	}
+}
+
+func TestChromeExportRoundTrip(t *testing.T) {
+	tr := New("root")
+	st := tr.Root().StartChild("stage")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := st.StartChild("worker")
+			time.Sleep(time.Millisecond)
+			sp.StartChild("inner").End()
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	st.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("invalid chrome trace: %v\n%s", err, buf.String())
+	}
+	// root + stage + 4 workers + 4 inners
+	if pairs != 10 {
+		t.Errorf("pairs = %d", pairs)
+	}
+}
+
+func TestChromeExportSyntheticOverlap(t *testing.T) {
+	// Hand-built snapshot with heavy sibling overlap, exercising the lane
+	// spiller deterministically.
+	root := &SpanSnapshot{Name: "r", StartUS: 0, DurUS: 100, Children: []*SpanSnapshot{
+		{Name: "a", StartUS: 0, DurUS: 60, Children: []*SpanSnapshot{
+			{Name: "a1", StartUS: 5, DurUS: 20},
+			{Name: "a2", StartUS: 10, DurUS: 30}, // overlaps a1
+			{Name: "a3", StartUS: 15, DurUS: 40}, // overlaps a1 and a2
+		}},
+		{Name: "b", StartUS: 30, DurUS: 50}, // overlaps a
+		{Name: "c", StartUS: 70, DurUS: 20}, // fits after a in lane 0
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceSnapshot(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ValidateChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if pairs != 7 {
+		t.Errorf("pairs = %d", pairs)
+	}
+}
+
+func TestValidateChromeTraceRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"unmatched E":    `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"name mismatch":  `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1},{"name":"y","ph":"E","ts":2,"pid":1,"tid":1}]}`,
+		"unclosed B":     `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]}`,
+		"time reversal":  `{"traceEvents":[{"name":"x","ph":"B","ts":5,"pid":1,"tid":1},{"name":"x","ph":"E","ts":3,"pid":1,"tid":1}]}`,
+		"unknown phase":  `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":1}]}`,
+		"missing name":   `{"traceEvents":[{"ph":"B","ts":1,"pid":1,"tid":1}]}`,
+		"not trace json": `"hello"`,
+	}
+	for label, src := range cases {
+		if _, err := ValidateChromeTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+	// Bare-array form is accepted.
+	if _, err := ValidateChromeTrace(strings.NewReader(
+		`[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1},{"name":"x","ph":"E","ts":2,"pid":1,"tid":1}]`)); err != nil {
+		t.Errorf("bare array rejected: %v", err)
+	}
+}

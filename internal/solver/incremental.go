@@ -8,6 +8,7 @@ import (
 
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/logic"
+	"cpsrisk/internal/obs"
 )
 
 // Session is a persistent multi-shot solver, the clingo-style counterpart
@@ -99,6 +100,8 @@ func NewSession(prog *logic.Program, opts Options) (*Session, error) {
 	if err := prog.CheckSafety(); err != nil {
 		return nil, err
 	}
+	sp := startSpan(opts.Budget, "session-ground")
+	defer sp.End()
 	gr := newSessionGrounder(opts.Budget)
 	if _, err := gr.addRules(prog.Rules); err != nil {
 		return nil, err
@@ -176,6 +179,8 @@ func (s *Session) Add(prog *logic.Program) error {
 		return err
 	}
 	s.adds++
+	asp := startSpan(s.opts.Budget, "add#%d", s.adds)
+	defer asp.End()
 	s.groundReused += s.gr.numPossible
 	prevKnown := s.tr.knownAtoms
 	retracted, err := s.gr.addRules(prog.Rules)
@@ -344,6 +349,12 @@ func (s *Session) SolveAssuming(assumptions []Assumption, opts Options) (*Result
 	st := s.tr.s
 	st.applyBudget(opts.Budget)
 	s.queries++
+	qsp := startSpan(opts.Budget, "query#%d", s.queries)
+	defer qsp.End()
+	defer func() {
+		obs.RegistryFromContext(opts.Budget.Context()).
+			Histogram("solver.query_us").Observe(time.Since(start).Microseconds())
+	}()
 	s.learnedReused += int64(len(st.learnts))
 	res := &Result{}
 	if st.unsatRoot {

@@ -7,6 +7,7 @@ import (
 
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/logic"
+	"cpsrisk/internal/obs"
 )
 
 // Options configures Solve.
@@ -166,6 +167,7 @@ func Solve(gp *GroundProgram, opts Options) (*Result, error) {
 	res.Satisfiable = len(res.Models) > 0
 	tr.fillStats(&res.Stats)
 	res.Stats.Duration = time.Since(start)
+	PublishStats(obs.RegistryFromContext(opts.Budget.Context()), &res.Stats)
 	return res, nil
 }
 

@@ -3,7 +3,9 @@ package temporal
 import (
 	"fmt"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/logic"
+	"cpsrisk/internal/obs"
 	"cpsrisk/internal/solver"
 )
 
@@ -145,6 +147,14 @@ func (inc *Incremental) Solve(h int, extra []solver.Assumption, opts solver.Opti
 	}
 	if h > inc.horizon {
 		return nil, fmt.Errorf("temporal: query horizon %d beyond bound %d", h, inc.horizon)
+	}
+	// When the budget carries a trace, group this query's session spans
+	// (flush grounding + solve) under one tl-solve span at the queried
+	// horizon. Untraced callers pay a single nil check.
+	if parent := obs.SpanFromContext(opts.Budget.Context()); parent != nil {
+		sp := parent.StartChild(fmt.Sprintf("tl-solve@h=%d", h))
+		defer sp.End()
+		opts.Budget = budget.New(obs.ContextWithSpan(opts.Budget.Context(), sp), opts.Budget.Limits())
 	}
 	if err := inc.flush(opts); err != nil {
 		return nil, err

@@ -1,21 +1,21 @@
 #!/bin/sh
 # bench.sh runs the perf-tracked benchmark suite (the scalability sweeps
 # S1-S3, the multi-shot solving pair S4, and the Fig. 1 end-to-end
-# pipeline) with -benchmem and files the numbers into the BENCH_PR4.json
-# ledger via cmd/benchjson. CI and `make bench` both run exactly this
-# script.
+# pipeline, plus the observability on/off overhead pair) with -benchmem
+# and files the numbers into the BENCH_PR5.json ledger via cmd/benchjson.
+# CI and `make bench` both run exactly this script.
 #
 #   BENCH_LABEL=after ./scripts/bench.sh         # label in the ledger (default: after)
-#   BENCH_OUT=BENCH_PR4.json ./scripts/bench.sh  # ledger file (default: BENCH_PR4.json)
+#   BENCH_OUT=BENCH_PR5.json ./scripts/bench.sh  # ledger file (default: BENCH_PR5.json)
 #   BENCHTIME=2s ./scripts/bench.sh              # per-benchmark time (default: 1s)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 label="${BENCH_LABEL:-after}"
-out="${BENCH_OUT:-BENCH_PR4.json}"
+out="${BENCH_OUT:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkS4_MultiShot|BenchmarkFig1_PipelineEndToEnd'
+pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkS4_MultiShot|BenchmarkFig1_PipelineEndToEnd|BenchmarkObsOverhead'
 
 echo "== bench (${benchtime} each) -> ${out} [${label}] =="
 go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . \

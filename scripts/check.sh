@@ -30,6 +30,17 @@ go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard
 echo "== go test -run TestDifferential (solver) =="
 go test -run TestDifferential -count=1 ./internal/solver
 
+# Trace exporter end-to-end: assess the sample plant with tracing on and
+# validate the emitted Chrome trace (sorted timestamps, matched B/E
+# pairs, every executed pipeline stage present).
+echo "== trace exporter (riskassess -trace + tracecheck) =="
+trace_out="$(mktemp)"
+go run ./cmd/riskassess -model models/sme-plant.json -types models/types.json \
+  -maxcard 1 -optimize -trace "$trace_out" >/dev/null
+go run ./cmd/tracecheck \
+  -require assessment,model,candidates,hazard,sweep,mitigation "$trace_out"
+rm -f "$trace_out"
+
 echo "== fuzz (${fuzztime} each) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/logic
 go test -run='^$' -fuzz=FuzzParseFormula -fuzztime="$fuzztime" ./internal/temporal
