@@ -1,4 +1,4 @@
-.PHONY: check test build vet fuzz bench profile
+.PHONY: check test build vet fuzz bench profile chaos
 
 # check is the canonical verification target: vet + build + race tests +
 # short fuzz runs. Set FUZZTIME to change the per-target fuzz duration.
@@ -36,3 +36,11 @@ fuzz:
 	go test -run='^$$' -fuzz=FuzzParse -fuzztime=$${FUZZTIME:-5s} ./internal/logic
 	go test -run='^$$' -fuzz=FuzzParseFormula -fuzztime=$${FUZZTIME:-5s} ./internal/temporal
 	go test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$${FUZZTIME:-5s} ./internal/sysmodel
+	go test -run='^$$' -fuzz=FuzzCacheRecord -fuzztime=$${FUZZTIME:-5s} ./internal/store
+	go test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=$${FUZZTIME:-5s} ./internal/hazard
+
+# chaos runs the crash-safety battery with a fixed seed set: fault
+# injection at every site, store corruption/self-heal, the crash matrix
+# under -race -cpu=1,4, and a real kill-and-resume of the CLI binary.
+chaos:
+	./scripts/chaos.sh

@@ -11,6 +11,7 @@
 //	           [-optimize] [-budget N] [-mitigations M-0917,M-0949]
 //	           [-timeout 30s] [-max-decisions N] [-max-scenarios N]
 //	           [-parallel N] [-top N] [-trace out.json]
+//	           [-checkpoint dir] [-cache dir]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Requirements in the model file carry LTLf formulas for documentation;
@@ -34,6 +35,7 @@ import (
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/core"
 	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/kb"
@@ -66,6 +68,8 @@ func run(args []string, stdout io.Writer) error {
 	maxScenarios := fs.Int("max-scenarios", 0, "cap on analyzed scenarios (0 = unlimited)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "scenario-sweep workers (1 = sequential; results are identical)")
 	topN := fs.Int("top", 20, "ranked scenarios to print (0 = all)")
+	checkpointDir := fs.String("checkpoint", "", "persist sweep checkpoints (and the result cache) in this directory; an interrupted run resumes from it")
+	cacheDir := fs.String("cache", "", "persist the EPA result cache in this directory (defaults to <checkpoint>/cache when -checkpoint is set)")
 	tracePath := fs.String("trace", "", "trace the run and write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -116,6 +120,15 @@ func run(args []string, stdout io.Writer) error {
 		metrics = obs.NewRegistry()
 	}
 
+	// Fault injection is armed exclusively from the environment
+	// (CPSRISK_FAULTS / CPSRISK_FAULT_SEED) so production invocations
+	// can't trip it by flag typo; unset env means a nil injector and
+	// nil-check-only overhead.
+	injector, err := faultinject.FromEnv()
+	if err != nil {
+		return err
+	}
+
 	model, err := loadModel(*modelPath)
 	if err != nil {
 		return err
@@ -149,6 +162,9 @@ func run(args []string, stdout io.Writer) error {
 		Parallelism:       *parallel,
 		Trace:             trace,
 		Metrics:           metrics,
+		CheckpointDir:     *checkpointDir,
+		CacheDir:          *cacheDir,
+		Faults:            injector,
 		Resources: budget.Limits{
 			Timeout:      *timeout,
 			MaxDecisions: *maxDecisions,

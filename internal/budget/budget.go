@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/obs"
 )
 
@@ -56,15 +57,19 @@ func (l Limits) IsZero() bool { return l == Limits{} }
 type Budget struct {
 	ctx    context.Context
 	limits Limits
+	inj    *faultinject.Injector
 }
 
 // New binds limits to a context. The Timeout field is NOT applied here;
 // use WithTimeout when the budget should install its own deadline.
+// Like the tracing span and the metrics registry, a fault injector
+// carried by ctx is captured once here, so hot paths read it back with a
+// field access instead of a context walk.
 func New(ctx context.Context, l Limits) *Budget {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Budget{ctx: ctx, limits: l}
+	return &Budget{ctx: ctx, limits: l, inj: faultinject.FromContext(ctx)}
 }
 
 // WithTimeout derives a budget whose context enforces l.Timeout (when
@@ -88,6 +93,16 @@ func (b *Budget) Context() context.Context {
 		return context.Background()
 	}
 	return b.ctx
+}
+
+// Injector returns the fault injector captured from the budget's context
+// (nil for a nil budget or an uninstrumented run). Callers pay one nil
+// check when injection is off.
+func (b *Budget) Injector() *faultinject.Injector {
+	if b == nil {
+		return nil
+	}
+	return b.inj
 }
 
 // Limits returns the cap set (the zero value for a nil budget).

@@ -11,9 +11,11 @@ package cegar
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/logic"
@@ -323,6 +325,7 @@ func validateFindings(levelName string, findings []Finding, screened []Verdict, 
 
 	parentSpan := obs.SpanFromContext(bud.Context())
 	cOracle := obs.RegistryFromContext(bud.Context()).Counter("cegar.oracle_checks")
+	inj := bud.Injector()
 	check := func(i int) {
 		f := findings[i]
 		if screened != nil && screened[i] != 0 {
@@ -341,8 +344,23 @@ func validateFindings(levelName string, findings []Finding, screened []Verdict, 
 		if parentSpan != nil {
 			sp = parentSpan.StartChild(fmt.Sprintf("oracle#%d", i))
 		}
-		cOracle.Inc()
-		verdict, err := oracle.Check(f)
+		// A flaky oracle (or an injected transient) is retried with
+		// backoff before the finding is abandoned — refinement loops are
+		// long-lived and one transient must not void a whole level.
+		var verdict Verdict
+		err := faultinject.Retry(bud.Context(), 2, time.Millisecond, func() error {
+			if inj != nil {
+				if ferr := inj.Fire(faultinject.SiteOracle); ferr != nil {
+					return ferr
+				}
+			}
+			cOracle.Inc()
+			v, cerr := oracle.Check(f)
+			if cerr == nil {
+				verdict = v
+			}
+			return cerr
+		})
 		sp.End()
 		if err != nil {
 			errs[i] = fmt.Errorf("cegar: oracle on %s: %w", f, err)

@@ -8,18 +8,21 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"cpsrisk/internal/attack"
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/cegar"
 	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/kb"
 	"cpsrisk/internal/mitigation"
 	"cpsrisk/internal/obs"
 	"cpsrisk/internal/optimize"
+	"cpsrisk/internal/store"
 	"cpsrisk/internal/sysmodel"
 )
 
@@ -79,6 +82,24 @@ type Config struct {
 	// (sweep throughput, solver effort, CEGAR verdicts), snapshotted into
 	// Assessment.Metrics. Nil disables metrics collection.
 	Metrics *obs.Registry
+	// CacheDir, when set, persists EPA results across runs: the scenario
+	// sweep memoizes state vectors keyed by (engine hash, scenario), so a
+	// repeated assessment of the same plant skips completed propagation
+	// work. Corrupt cache state is quarantined and recomputed, never
+	// trusted and never fatal.
+	CacheDir string
+	// CheckpointDir, when set, makes the sweep crash-safe: the completion
+	// frontier is persisted there and the next run over identical inputs
+	// resumes instead of starting over, producing the identical report.
+	// Unless CacheDir is also set, the result cache lives under
+	// CheckpointDir/cache (resume requires the cache to restore results).
+	CheckpointDir string
+	// Faults arms the deterministic fault-injection harness: injected
+	// panics, I/O errors, torn writes and cancellations at the registered
+	// sites (see faultinject). Nil — the default — costs one pointer
+	// check per site. Production code never sets this; the chaos suite
+	// and the CPSRISK_FAULTS env knob do.
+	Faults *faultinject.Injector
 }
 
 // Assessment is the pipeline output.
@@ -150,6 +171,16 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	if len(cfg.Requirements) == 0 {
 		return nil, fmt.Errorf("core: at least one requirement is required")
 	}
+	// The fault injector rides the context like the tracing span does, so
+	// every governed stage downstream reaches it through its budget. Its
+	// cancel action is bound to a real cancellation of this run.
+	if cfg.Faults != nil {
+		var cancelInj context.CancelFunc
+		ctx, cancelInj = context.WithCancel(ctx)
+		defer cancelInj()
+		cfg.Faults.BindCancel(cancelInj)
+		ctx = faultinject.ContextWith(ctx, cfg.Faults)
+	}
 	bud, cancel := budget.WithTimeout(ctx, cfg.Resources)
 	defer cancel()
 
@@ -177,7 +208,20 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	stage := func(name string, f func(b *budget.Budget) error) error {
 		sp := root.StartChild(name)
 		defer sp.End()
-		return runStage(name, func() error { return f(stageBud(sp)) })
+		return runStage(name, func() error {
+			b := stageBud(sp)
+			// Stage boundaries are fault-injection sites, and transient
+			// stage failures get one retry cycle — the harness's proof
+			// that the pipeline shell recovers from recoverable faults.
+			return faultinject.Retry(b.Context(), 2, time.Millisecond, func() error {
+				if inj := b.Injector(); inj != nil {
+					if err := inj.Fire(faultinject.SiteStagePrefix + name); err != nil {
+						return err
+					}
+				}
+				return f(b)
+			})
+		})
 	}
 	finish := func() {
 		out.Duration = time.Since(start)
@@ -258,6 +302,35 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 		if err != nil {
 			return err
 		}
+		// Durability machinery: the persistent result cache and the sweep
+		// checkpoint. Both are best-effort — an unopenable directory
+		// degrades the run (recorded, sweep proceeds in-memory) rather
+		// than failing an otherwise sound assessment.
+		sweepCfg := hazard.SweepConfig{Budget: b, Parallelism: cfg.Parallelism}
+		cacheDir := cfg.CacheDir
+		if cacheDir == "" && cfg.CheckpointDir != "" {
+			cacheDir = filepath.Join(cfg.CheckpointDir, "cache")
+		}
+		if cacheDir != "" {
+			cache, cerr := store.Open(cacheDir, hazard.SweepNamespace(eng, analyzed), store.Options{
+				Registry: cfg.Metrics,
+				Injector: b.Injector(),
+			})
+			if cerr != nil {
+				out.Degradation.Add("hazard", "cache-unavailable", cerr.Error())
+			} else {
+				defer cache.Close()
+				sweepCfg.Cache = cache
+			}
+		}
+		if cfg.CheckpointDir != "" {
+			ck, kerr := hazard.OpenCheckpoint(cfg.CheckpointDir, 0)
+			if kerr != nil {
+				out.Degradation.Add("hazard", "checkpoint-unavailable", kerr.Error())
+			} else {
+				sweepCfg.Checkpoint = ck
+			}
+		}
 		if cfg.UseASP {
 			out.Analysis, err = hazard.AnalyzeASPBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b)
 			if ex, ok := budget.Exhausted(err); ok {
@@ -265,10 +338,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 					Detail: "ASP identification aborted; falling back to the native fixpoint engine"}
 				t.Stamp(b.Context())
 				out.Degradation.Record(t)
-				out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b, cfg.Parallelism)
+				out.Analysis, err = hazard.AnalyzeSweep(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, sweepCfg)
 			}
 		} else {
-			out.Analysis, err = hazard.AnalyzeParallelBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b, cfg.Parallelism)
+			out.Analysis, err = hazard.AnalyzeSweep(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, sweepCfg)
 		}
 		if err != nil {
 			return err

@@ -44,6 +44,15 @@ type SweepSummary struct {
 	Workers    int   `json:"workers"`
 	Scenarios  int   `json:"scenarios"`
 	DurationMS int64 `json:"durationMs"`
+	// CacheHits/CacheMisses report persistent result-cache traffic
+	// (omitted when the sweep ran without a cache).
+	CacheHits   int64 `json:"cacheHits,omitempty"`
+	CacheMisses int64 `json:"cacheMisses,omitempty"`
+	// Retries counts transient failures recovered in flight.
+	Retries int64 `json:"retries,omitempty"`
+	// ResumedFromRank is the checkpoint frontier the sweep resumed from
+	// (absent for a fresh sweep) — resume provenance for tooling.
+	ResumedFromRank int `json:"resumedFromRank,omitempty"`
 }
 
 // SolverSummary is the ASP solver's search effort for the run.
@@ -161,9 +170,15 @@ func (a *Assessment) Summarize() *Summary {
 	if a.Analysis != nil && a.Analysis.Sweep != nil {
 		sw := a.Analysis.Sweep
 		out.Sweep = &SweepSummary{
-			Workers:    sw.Workers,
-			Scenarios:  sw.Scenarios,
-			DurationMS: sw.Duration.Milliseconds(),
+			Workers:     sw.Workers,
+			Scenarios:   sw.Scenarios,
+			DurationMS:  sw.Duration.Milliseconds(),
+			CacheHits:   sw.CacheHits,
+			CacheMisses: sw.CacheMisses,
+			Retries:     sw.Retries,
+		}
+		if a.Analysis.Resume != nil {
+			out.Sweep.ResumedFromRank = a.Analysis.Resume.FromRank
 		}
 	}
 	if a.Analysis != nil && a.Analysis.SolverStats != nil {

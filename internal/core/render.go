@@ -45,6 +45,15 @@ func (a *Assessment) Render() string {
 		len(a.Analysis.Scenarios), len(hazards))
 	if sw := a.Analysis.Sweep; sw != nil {
 		fmt.Fprintf(&sb, "  sweep: %d worker(s), %.0f scenarios/s\n", sw.Workers, sw.Throughput())
+		if sw.CacheHits+sw.CacheMisses > 0 {
+			fmt.Fprintf(&sb, "  cache: %d hits, %d misses\n", sw.CacheHits, sw.CacheMisses)
+		}
+		if sw.Retries > 0 {
+			fmt.Fprintf(&sb, "  retries: %d transient failure(s) recovered\n", sw.Retries)
+		}
+	}
+	if r := a.Analysis.Resume; r != nil {
+		fmt.Fprintf(&sb, "  resumed from checkpoint at rank %d\n", r.FromRank)
 	}
 	if st := a.Analysis.SolverStats; st != nil {
 		fmt.Fprintf(&sb, "  solver: %d decisions, %d conflicts, %d learned, %d backjumps, %d restarts, %d db-reductions\n",

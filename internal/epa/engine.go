@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cpsrisk/internal/budget"
+	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/sysmodel"
 )
 
@@ -296,6 +297,13 @@ const budgetPollInterval = 64
 func (e *Engine) RunBudget(scenario Scenario, bud *budget.Budget) (*Result, error) {
 	if err := bud.Err("epa"); err != nil {
 		return nil, err
+	}
+	// Chaos hook: one nil check per run when injection is off. Transient
+	// injected failures here exercise the sweep's retry-with-backoff.
+	if inj := bud.Injector(); inj != nil {
+		if err := inj.Fire(faultinject.SiteEPARun); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{
 		eng:    e,

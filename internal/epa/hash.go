@@ -1,0 +1,118 @@
+package epa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Hash returns a stable FNV-1a fingerprint of the compiled engine: the
+// interned port table, connection fan-out, transfer rules, fault seeds,
+// and the declared activation set. Two engines built from semantically
+// identical model + behaviour inputs hash identically, so the hash keys
+// the persistent EPA result cache — a model or behaviour edit changes
+// the hash and quietly invalidates every cached result.
+func (e *Engine) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	num := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	str("ports")
+	for _, p := range e.ports {
+		str(p.Component)
+		str(p.Port)
+	}
+	str("connections")
+	for from, tos := range e.outgoing {
+		num(int64(from))
+		for _, to := range tos {
+			num(int64(to))
+		}
+	}
+	str("transfers")
+	for from, trs := range e.transfers {
+		num(int64(from))
+		for _, tr := range trs {
+			num(int64(tr.to))
+			num(int64(tr.match))
+			num(int64(tr.emit))
+			str(tr.component)
+			str(tr.whenFault)
+			str(tr.unlessFault)
+		}
+	}
+	str("seeds")
+	acts := make([]Activation, 0, len(e.seeds))
+	for act := range e.seeds {
+		acts = append(acts, act)
+	}
+	sortActivations(acts)
+	for _, act := range acts {
+		str(act.Component)
+		str(act.Fault)
+		for _, s := range e.seeds[act] {
+			num(int64(s.port))
+			num(int64(s.emit))
+		}
+	}
+	str("valid")
+	acts = acts[:0]
+	for act := range e.valid {
+		acts = append(acts, act)
+	}
+	sortActivations(acts)
+	for _, act := range acts {
+		str(act.Component)
+		str(act.Fault)
+	}
+	return h.Sum64()
+}
+
+func sortActivations(acts []Activation) {
+	sort.Slice(acts, func(i, j int) bool {
+		if acts[i].Component != acts[j].Component {
+			return acts[i].Component < acts[j].Component
+		}
+		return acts[i].Fault < acts[j].Fault
+	})
+}
+
+// StateVector serializes the result's per-port error states in the
+// engine's port-table order — one byte per port, the compact durable
+// form the persistent cache stores.
+func (r *Result) StateVector() []byte {
+	out := make([]byte, len(r.states))
+	for i, s := range r.states {
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// ResultFromStates rebuilds a Result from a cached state vector. The
+// vector must be exactly one byte per engine port (a mismatch means the
+// cache entry belongs to a different engine compilation and is rejected).
+// Restored results answer every state query (PortState, ComponentState,
+// Affected, requirement conditions) identically to a fresh run; only the
+// propagation provenance is gone — Path returns nil, since causes are
+// recomputed, not cached.
+func (e *Engine) ResultFromStates(v []byte) (*Result, error) {
+	if len(v) != len(e.ports) {
+		return nil, fmt.Errorf("epa: state vector has %d ports, engine has %d", len(v), len(e.ports))
+	}
+	states := make([]ErrState, len(v))
+	for i, b := range v {
+		st := ErrState(b)
+		if !st.Leq(AnyError) {
+			return nil, fmt.Errorf("epa: state vector byte %d holds invalid state %#x", i, b)
+		}
+		states[i] = st
+	}
+	return &Result{eng: e, states: states}, nil
+}

@@ -1,0 +1,296 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewEmptySpecIsInert(t *testing.T) {
+	inj, err := New(1, "")
+	if err != nil || inj != nil {
+		t.Fatalf("New(empty) = %v, %v; want nil, nil", inj, err)
+	}
+	// Nil injector: every method is a safe no-op.
+	if err := inj.Fire("anything"); err != nil {
+		t.Fatalf("nil Fire = %v", err)
+	}
+	inj.BindCancel(func() {})
+	if inj.Fired("x") != 0 || inj.Counts() != nil {
+		t.Fatal("nil injector should report nothing")
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"site=err",          // missing @arrival
+		"site=bogus@1",      // unknown action
+		"site=err@0",        // arrival must be >= 1
+		"site=err@-3",       //
+		"site=err@x",        //
+		"site=err@r0",       // random bound must be >= 1
+		"a=err@1,a=panic@2", // duplicate site
+		"=err@1",            // empty site
+	} {
+		if _, err := New(1, spec); err == nil {
+			t.Errorf("New(%q): want error", spec)
+		}
+	}
+}
+
+func TestFireOnNthArrival(t *testing.T) {
+	inj, err := New(1, "s=err@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		err := inj.Fire("s")
+		if (n == 3) != (err != nil) {
+			t.Fatalf("arrival %d: err = %v", n, err)
+		}
+		if n == 3 {
+			ie, ok := IsInjected(err)
+			if !ok || ie.Site != "s" || ie.Arrival != 3 || ie.Torn {
+				t.Fatalf("injected = %+v", ie)
+			}
+			if IsTransient(err) {
+				t.Fatal("err action must not be transient")
+			}
+		}
+	}
+	if inj.Fired("s") != 1 {
+		t.Fatalf("fired = %d", inj.Fired("s"))
+	}
+}
+
+func TestFireEveryArrival(t *testing.T) {
+	inj, err := New(1, "s=transient@*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		if err := inj.Fire("s"); !IsTransient(err) {
+			t.Fatalf("arrival %d: %v", n, err)
+		}
+	}
+}
+
+func TestSeededArrivalDeterministic(t *testing.T) {
+	pick := func(seed int64) int64 {
+		inj, err := New(seed, "s=err@r10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := int64(1); n <= 10; n++ {
+			if inj.Fire("s") != nil {
+				return n
+			}
+		}
+		t.Fatal("never fired within bound")
+		return 0
+	}
+	a, b := pick(7), pick(7)
+	if a != b {
+		t.Fatalf("same seed, different arrivals: %d vs %d", a, b)
+	}
+	// Different sites under the same seed should not all collapse onto
+	// the same arrival (spread check over a handful of sites).
+	inj, err := New(7, "a=err@r1000,b=err@r1000,c=err@r1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := map[int64]bool{}
+	for _, site := range []string{"a", "b", "c"} {
+		arrivals[inj.rules[site].at] = true
+	}
+	if len(arrivals) < 2 {
+		t.Fatalf("sites all armed at the same arrival: %v", arrivals)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	inj, err := New(1, "s=panic@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	inj.Fire("s")
+}
+
+func TestCancelAction(t *testing.T) {
+	inj, err := New(1, "s=cancel@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := false
+	inj.BindCancel(func() { cancelled = true })
+	if err := inj.Fire("s"); err != nil || cancelled {
+		t.Fatalf("arrival 1: err=%v cancelled=%v", err, cancelled)
+	}
+	if err := inj.Fire("s"); err != nil || !cancelled {
+		t.Fatalf("arrival 2: err=%v cancelled=%v", err, cancelled)
+	}
+	// Unbound cancel is a no-op, not a crash.
+	inj2, _ := New(1, "s=cancel@1")
+	if err := inj2.Fire("s"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornAction(t *testing.T) {
+	inj, err := New(1, "s=torn@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = inj.Fire("s")
+	if !IsTorn(err) {
+		t.Fatalf("want torn, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("torn is not transient")
+	}
+}
+
+func TestConcurrentFireCountsEveryArrival(t *testing.T) {
+	inj, err := New(1, "s=err@64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fired int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 16; n++ {
+				if inj.Fire("s") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 || inj.Fired("s") != 1 {
+		t.Fatalf("fired %d times (counter %d), want exactly 1", fired, inj.Fired("s"))
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	inj, err := New(1, "s=err@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ContextWith(context.Background(), inj)
+	if FromContext(ctx) != inj {
+		t.Fatal("injector did not ride the context")
+	}
+	if FromContext(context.Background()) != nil || FromContext(nil) != nil {
+		t.Fatal("missing injector must read as nil")
+	}
+	if got := ContextWith(context.Background(), nil); FromContext(got) != nil {
+		t.Fatal("nil injector must not be installed")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvSpec, "")
+	inj, err := FromEnv()
+	if inj != nil || err != nil {
+		t.Fatalf("unset env: %v, %v", inj, err)
+	}
+	t.Setenv(EnvSpec, "s=err@2")
+	t.Setenv(EnvSeed, "42")
+	inj, err = FromEnv()
+	if err != nil || inj == nil || inj.Seed() != 42 {
+		t.Fatalf("FromEnv = %v, %v", inj, err)
+	}
+	t.Setenv(EnvSeed, "notanumber")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("bad seed must error")
+	}
+	t.Setenv(EnvSeed, "")
+	t.Setenv(EnvSpec, "bogus")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("bad spec must error")
+	}
+}
+
+func TestTransientWrapping(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must stay nil")
+	}
+	base := errors.New("boom")
+	err := Transient(base)
+	if !IsTransient(err) || !errors.Is(err, base) {
+		t.Fatalf("wrapping broken: %v", err)
+	}
+	if IsTransient(base) {
+		t.Fatal("unwrapped error must not read transient")
+	}
+	wrapped := fmt.Errorf("stage: %w", err)
+	if !IsTransient(wrapped) {
+		t.Fatal("IsTransient must see through wrapping")
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 3, 0, func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Retry(context.Background(), 5, 0, func() error { calls++; return perm })
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 2, 0, func() error {
+		calls++
+		return Transient(errors.New("always"))
+	})
+	if !IsTransient(err) || calls != 3 { // initial + 2 retries
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	start := time.Now()
+	err := Retry(ctx, 10, time.Hour, func() error {
+		calls++
+		return Transient(errors.New("never"))
+	})
+	if !IsTransient(err) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled retry must not sleep out its backoff")
+	}
+}

@@ -1,0 +1,63 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// transientError marks a failure as retryable. Both injected transient
+// faults and real-world transient conditions (a cache segment that could
+// not be written, a flaky oracle) wear this wrapper so the pipeline's
+// retry sites treat them uniformly.
+type transientError struct{ err error }
+
+// Error implements error.
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as retryable (nil stays nil).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Retry runs fn and retries it while it fails transiently, sleeping
+// base<<attempt between tries (exponential backoff) and giving up after
+// `retries` additional attempts, on a non-transient error, or when ctx is
+// done. It returns fn's last error. Permanent errors are never retried —
+// retry is for failures that a second attempt can plausibly clear, not
+// for masking bugs.
+func Retry(ctx context.Context, retries int, base time.Duration, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !IsTransient(err) || attempt >= retries {
+			return err
+		}
+		if d := base << uint(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return err
+		}
+	}
+}

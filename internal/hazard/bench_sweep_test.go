@@ -1,0 +1,79 @@
+package hazard
+
+import (
+	"context"
+	"testing"
+
+	"cpsrisk/internal/budget"
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faultinject"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/store"
+)
+
+func benchBudget(b *testing.B, inj *faultinject.Injector) *budget.Budget {
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	inj.BindCancel(cancel)
+	return budget.New(faultinject.ContextWith(ctx, inj), budget.Limits{})
+}
+
+func benchCache(b *testing.B, eng *epa.Engine, muts []faults.Mutation) *store.Cache {
+	cache, err := store.Open(b.TempDir(), SweepNamespace(eng, muts), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cache.Close() })
+	return cache
+}
+
+// The crash-safety machinery advertises a nil-check-only cost when
+// disabled: a sweep with no cache, no checkpoint, and no injector must
+// run at the same speed it did before the machinery existed. These
+// benchmarks pin the three rungs of that ladder — compare
+// BenchmarkSweepPlain against BenchmarkSweepInjectorArmed to see the
+// armed-but-missing cost, and against BenchmarkSweepCached to see what
+// a warm persistent cache buys.
+
+func benchSweep(b *testing.B, cfg SweepConfig) {
+	eng, muts, reqs := setupWide(b, 8) // 256 scenarios
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeSweep(eng, muts, -1, reqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepPlain is the disabled fault path: zero SweepConfig,
+// exactly what every caller ran before this machinery existed.
+func BenchmarkSweepPlain(b *testing.B) {
+	benchSweep(b, SweepConfig{Parallelism: 4})
+}
+
+// BenchmarkSweepInjectorArmed runs with an injector armed on a site the
+// sweep never fires, so every Fire call takes the full miss path.
+func BenchmarkSweepInjectorArmed(b *testing.B) {
+	inj, err := faultinject.New(1, "never.fires=err@1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSweep(b, SweepConfig{Parallelism: 4, Budget: benchBudget(b, inj)})
+}
+
+// BenchmarkSweepCached sweeps against a warm persistent cache: every
+// scenario is a hit, so this bounds the best-case resume cost.
+func BenchmarkSweepCached(b *testing.B) {
+	eng, muts, reqs := setupWide(b, 8)
+	cache := benchCache(b, eng, muts)
+	cfg := SweepConfig{Parallelism: 4, Cache: cache}
+	if _, err := AnalyzeSweep(eng, muts, -1, reqs, cfg); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeSweep(eng, muts, -1, reqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package hazard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzCheckpoint drives the checkpoint decoder with arbitrary bytes: it
+// guards the trust boundary between on-disk state and the sweep, so it
+// must never panic, and any state it accepts must survive a
+// re-encode/decode cycle unchanged (no two frontiers aliasing).
+func FuzzCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(ckptMagic))
+	f.Add([]byte(ckptMagic + "crc:00000000\n"))
+	f.Add(encodeCheckpoint(ckptState{Version: ckptVersion, Frontier: 5}))
+	f.Add(encodeCheckpoint(ckptState{
+		Version: ckptVersion, EngineHash: "ab", MutsHash: "cd", ReqsHash: "ef",
+		MaxCard: 2, Frontier: 17, Complete: true,
+		Ranges: []CardRange{{Card: 0, Upto: 1, Total: 1}},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := decodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if st.Frontier < 0 {
+			t.Fatalf("accepted negative frontier: %+v", st)
+		}
+		again, err := decodeCheckpoint(encodeCheckpoint(st))
+		if err != nil {
+			t.Fatalf("re-encode rejected: %v", err)
+		}
+		if !reflect.DeepEqual(again, st) {
+			t.Fatalf("unstable roundtrip:\n%+v\n%+v", again, st)
+		}
+	})
+}

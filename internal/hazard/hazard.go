@@ -65,6 +65,17 @@ type Analysis struct {
 	// ASP path). Duration is wall clock and therefore not deterministic;
 	// everything else in the Analysis is.
 	Sweep *SweepStats
+	// Resume is set when the sweep restarted from a persisted checkpoint
+	// — provenance for the report, not a change in the results: a resumed
+	// sweep produces exactly the Analysis an uninterrupted run would.
+	Resume *ResumeInfo
+}
+
+// ResumeInfo records that a sweep continued from a checkpoint.
+type ResumeInfo struct {
+	// FromRank is the stream rank the checkpoint certified complete;
+	// ranks below it were restored through the result cache.
+	FromRank int `json:"fromRank"`
 }
 
 // SweepStats describes the execution of one native scenario sweep.
@@ -75,6 +86,15 @@ type SweepStats struct {
 	Scenarios int
 	// Duration is the sweep wall-clock time.
 	Duration time.Duration
+	// CacheHits / CacheMisses count persistent result-cache lookups
+	// (both zero when the sweep ran without a cache).
+	CacheHits, CacheMisses int64
+	// Retries counts transient per-scenario failures recovered by the
+	// retry-with-backoff path.
+	Retries int64
+	// Restored is the checkpoint frontier the sweep resumed from
+	// (0 = fresh sweep).
+	Restored int
 }
 
 // Throughput returns scenarios per second (0 for an instant sweep).
@@ -168,6 +188,12 @@ func publishSweep(reg *obs.Registry, sw *SweepStats, epaRuns int) {
 	reg.Counter("epa.runs").Add(int64(epaRuns))
 	reg.Gauge("sweep.workers").Set(int64(sw.Workers))
 	reg.Histogram("sweep.duration_us").Observe(sw.Duration.Microseconds())
+	if sw.Retries > 0 {
+		reg.Counter("sweep.retries").Add(sw.Retries)
+	}
+	if sw.Restored > 0 {
+		reg.Counter("sweep.restored").Add(int64(sw.Restored))
+	}
 }
 
 // scoreResult evaluates every requirement on one EPA outcome and scores

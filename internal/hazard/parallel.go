@@ -1,16 +1,20 @@
 package hazard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/obs"
+	"cpsrisk/internal/store"
 )
 
 // The parallel sweep fans the scenario stream out to a worker pool and
@@ -29,6 +33,13 @@ import (
 //
 // Only the epa.Engine is shared between workers; it is immutable after
 // construction and documented safe for concurrent Run calls.
+//
+// With a SweepConfig the sweep additionally becomes crash-safe: EPA
+// results are memoized in a persistent store.Cache keyed by (engine
+// hash, scenario bitmask), the contiguous completion frontier is
+// checkpointed (cache flushed first — write-ahead), transient failures
+// are retried with backoff, and a worker panic degrades to a truncation
+// boundary instead of taking the process down.
 
 // sweepChunkSize is how many scenarios ride one channel send. Scenario
 // analyses are individually cheap (microseconds on small plants), so
@@ -37,6 +48,24 @@ import (
 // the synchronization without changing which scenarios are analyzed or
 // in what order they are merged.
 const sweepChunkSize = 32
+
+// sweepRetries bounds the retry-with-backoff attempts for transient
+// per-scenario failures before the failure is treated as real.
+const sweepRetries = 3
+
+// SweepConfig bundles the optional machinery around a sweep. The zero
+// value is a plain in-memory sweep with default parallelism.
+type SweepConfig struct {
+	// Budget governs the sweep (nil = unlimited).
+	Budget *budget.Budget
+	// Parallelism sizes the worker pool (<= 0 = GOMAXPROCS).
+	Parallelism int
+	// Cache, when set, memoizes EPA state vectors across runs.
+	Cache *store.Cache
+	// Checkpoint, when set, persists the completion frontier and arms
+	// resume-from-checkpoint on the next run over the same inputs.
+	Checkpoint *Checkpoint
+}
 
 // sweepChunk is a contiguous run of scenarios starting at stream
 // position baseSeq.
@@ -48,8 +77,11 @@ type sweepChunk struct {
 // sweepOutcome is one worker's verdict on a chunk: the results of the
 // completed prefix, plus — if the chunk stopped early — the stream
 // position of the first failed scenario with its truncation or error.
+// n is the chunk length, which the merge needs to advance the
+// completion frontier past fully-completed chunks.
 type sweepOutcome struct {
 	baseSeq int
+	n       int
 	srs     []ScenarioResult
 	badSeq  int // first failed seq in the chunk, or -1
 	trunc   *budget.Truncation
@@ -77,10 +109,21 @@ func AnalyzeParallel(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs 
 // fully completed cardinality, and MaxScenarios caps the analyzed
 // prefix deterministically.
 func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, bud *budget.Budget, parallelism int) (*Analysis, error) {
+	return AnalyzeSweep(eng, muts, maxCard, reqs, SweepConfig{Budget: bud, Parallelism: parallelism})
+}
+
+// AnalyzeSweep is the full sweep engine: AnalyzeParallelBudget plus the
+// optional persistent result cache and checkpoint/resume. A resumed
+// sweep replays enumeration from rank 0 — cached scenarios become
+// lookups, uncached ones recompute — so the final Analysis is identical
+// to an uninterrupted run; Analysis.Resume records the provenance.
+func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, cfg SweepConfig) (*Analysis, error) {
+	parallelism := cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism == 1 {
+	bud := cfg.Budget
+	if parallelism == 1 && cfg.Cache == nil && cfg.Checkpoint == nil {
 		return AnalyzeBudget(eng, muts, maxCard, reqs, bud)
 	}
 	if err := validateReqs(reqs); err != nil {
@@ -89,6 +132,21 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	start := time.Now()
 	likelihoods := faults.LikelihoodIndex(muts)
 	limits := bud.Limits()
+	inj := bud.Injector()
+	cfg.Checkpoint.SetInjector(inj)
+
+	// Resume: a checkpoint whose hashes match this exact sweep yields the
+	// frontier rank below which scenarios are already paid for — they are
+	// replayed through the cache but exempt from the MaxScenarios cap.
+	resumeFrom := cfg.Checkpoint.Resume(eng.Hash(), hashMuts(muts), hashReqs(reqs), maxCard)
+
+	// Cache keys are bitmasks over the candidate-set index; the candidate
+	// set is part of the cache namespace, so the index is stable.
+	mutIdx := make(map[epa.Activation]int, len(muts))
+	for i, m := range muts {
+		mutIdx[m.Activation] = i
+	}
+	maskLen := (len(muts) + 7) / 8
 
 	// Observability: one span per sweep and per worker, one span per
 	// chunk when traced; metrics instruments are resolved once here and
@@ -107,7 +165,8 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	// Producer: enumerate in order, batching scenarios into chunks tagged
 	// with their starting stream position. Budget poll and scenario cap
 	// live here, per scenario, so the analyzed prefix matches the
-	// sequential sweep exactly.
+	// sequential sweep exactly. Ranks below the resume frontier are
+	// emitted (the report needs their rows) but not charged to the cap.
 	go func() {
 		defer close(jobs)
 		seq := 0
@@ -120,7 +179,8 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 			}
 		}
 		faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
-			if limits.MaxScenarios > 0 && seq >= limits.MaxScenarios {
+			charged := seq - resumeFrom
+			if limits.MaxScenarios > 0 && charged >= limits.MaxScenarios {
 				trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
 				trunc.Stamp(obsCtx)
 				return false
@@ -146,10 +206,88 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 		produced <- producerOutcome{emitted: seq, trunc: trunc}
 	}()
 
-	// Workers: one EPA run plus requirement evaluation per scenario,
-	// against the shared immutable engine. A chunk stops at its first
-	// failure — everything after it would be discarded by the merge
-	// anyway.
+	// Workers: one EPA run (or cache lookup) plus requirement evaluation
+	// per scenario, against the shared immutable engine. A chunk stops at
+	// its first failure — everything after it would be discarded by the
+	// merge anyway. A panic anywhere in the chunk (including injected
+	// ones) is recovered into a chunk failure at the first unprocessed
+	// rank, so one poisoned scenario degrades the sweep instead of
+	// killing the process.
+	var cacheHits, cacheMisses, retries atomic.Int64
+	runChunk := func(jb sweepChunk, wCtx context.Context) (o sweepOutcome) {
+		o = sweepOutcome{baseSeq: jb.baseSeq, n: len(jb.scs), badSeq: -1}
+		defer func() {
+			if r := recover(); r != nil {
+				o.badSeq = jb.baseSeq + len(o.srs)
+				o.err = fmt.Errorf("hazard: sweep worker panic: %v", r)
+			}
+		}()
+		if inj != nil {
+			if err := inj.Fire(faultinject.SiteSweepChunk); err != nil {
+				// Chunk-level faults (transient or not) surface as a
+				// failure at the chunk head; a resume replays the chunk.
+				o.badSeq = jb.baseSeq
+				o.err = err
+				return o
+			}
+		}
+		for i, sc := range jb.scs {
+			seq := jb.baseSeq + i
+			if err := bud.Err("hazard"); err != nil {
+				ex, _ := budget.Exhausted(err)
+				o.badSeq = seq
+				o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+				o.trunc.Stamp(wCtx)
+				return o
+			}
+			var res *epa.Result
+			var mask []byte
+			if cfg.Cache != nil {
+				mask = scenarioMask(sc, mutIdx, maskLen)
+			}
+			if mask != nil {
+				if v, ok := cfg.Cache.Get(mask); ok {
+					if r, err := eng.ResultFromStates(v); err == nil {
+						res = r
+						cacheHits.Add(1)
+					}
+					// A shape mismatch means the entry belongs to another
+					// compilation; fall through and recompute.
+				}
+			}
+			if res == nil {
+				if mask != nil {
+					cacheMisses.Add(1)
+				}
+				attempts := 0
+				err := faultinject.Retry(bud.Context(), sweepRetries, time.Millisecond, func() error {
+					attempts++
+					r, rerr := eng.RunBudget(sc, bud)
+					if rerr == nil {
+						res = r
+					}
+					return rerr
+				})
+				retries.Add(int64(attempts - 1))
+				if err != nil {
+					o.badSeq = seq
+					if ex, ok := budget.Exhausted(err); ok {
+						o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
+						o.trunc.Stamp(wCtx)
+					} else {
+						o.err = err
+					}
+					return o
+				}
+				if mask != nil {
+					cfg.Cache.Put(mask, res.StateVector())
+				}
+			}
+			o.srs = append(o.srs, scoreResult(seq, sc, res, reqs, likelihoods))
+		}
+		return o
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -168,29 +306,7 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 					cSpan = wSpan.StartChild(fmt.Sprintf("chunk[%d+%d]", jb.baseSeq, len(jb.scs)))
 				}
 				chunkStart := time.Now()
-				o := sweepOutcome{baseSeq: jb.baseSeq, badSeq: -1}
-				for i, sc := range jb.scs {
-					seq := jb.baseSeq + i
-					if err := bud.Err("hazard"); err != nil {
-						ex, _ := budget.Exhausted(err)
-						o.badSeq = seq
-						o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
-						o.trunc.Stamp(wCtx)
-						break
-					}
-					res, err := eng.RunBudget(sc, bud)
-					if err != nil {
-						o.badSeq = seq
-						if ex, ok := budget.Exhausted(err); ok {
-							o.trunc = &budget.Truncation{Stage: "hazard", Reason: ex.Reason}
-							o.trunc.Stamp(wCtx)
-						} else {
-							o.err = err
-						}
-						break
-					}
-					o.srs = append(o.srs, scoreResult(seq, sc, res, reqs, likelihoods))
-				}
+				o := runChunk(jb, wCtx)
 				cChunks.Inc()
 				hChunk.Observe(time.Since(chunkStart).Microseconds())
 				cSpan.End()
@@ -203,20 +319,65 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 		close(outcomes)
 	}()
 
-	// Merge: collect everything, then keep the contiguous prefix below
-	// the earliest failure. Memory matches the sequential sweep, which
-	// also materializes every kept result.
-	completed := map[int][]ScenarioResult{}
+	// Merge: collect chunk outcomes, advancing the contiguous completion
+	// frontier online. Every checkpoint interval the result cache is
+	// flushed and THEN the frontier persisted — write-ahead ordering, so
+	// a crash between the two leaves a frontier that under-promises.
+	chunks := map[int]sweepOutcome{}
+	frontier := 0
+	lastSaved := -1
+	saveFrontier := func(complete bool) {
+		if cfg.Checkpoint == nil || frontier == lastSaved && !complete {
+			return
+		}
+		if err := cfg.Cache.Flush(); err != nil {
+			// An unflushed cache makes the frontier a lie; keep the old
+			// checkpoint rather than persisting an over-promise.
+			return
+		}
+		st := ckptState{
+			Version:    ckptVersion,
+			EngineHash: fmt.Sprintf("%016x", eng.Hash()),
+			MutsHash:   fmt.Sprintf("%016x", hashMuts(muts)),
+			ReqsHash:   fmt.Sprintf("%016x", hashReqs(reqs)),
+			MaxCard:    maxCard,
+			Frontier:   frontier,
+			Ranges:     frontierRanges(len(muts), maxCard, frontier),
+			Complete:   complete,
+		}
+		if err := cfg.Checkpoint.save(st); err == nil {
+			lastSaved = frontier
+		}
+	}
+	advance := func() {
+		for {
+			o, ok := chunks[frontier]
+			if !ok {
+				return
+			}
+			frontier += len(o.srs)
+			if len(o.srs) < o.n {
+				return // partial chunk: the gap never closes this run
+			}
+		}
+	}
+
 	firstBad := math.MaxInt
 	var badTrunc *budget.Truncation
 	var badErr error
+	every := 0
+	if cfg.Checkpoint != nil {
+		every = cfg.Checkpoint.every
+	}
 	for o := range outcomes {
-		if len(o.srs) > 0 {
-			completed[o.baseSeq] = o.srs
-		}
+		chunks[o.baseSeq] = o
 		if o.badSeq >= 0 && o.badSeq < firstBad {
 			firstBad = o.badSeq
 			badTrunc, badErr = o.trunc, o.err
+		}
+		advance()
+		if every > 0 && frontier-max(lastSaved, 0) >= every {
+			saveFrontier(false)
 		}
 	}
 	prod := <-produced
@@ -226,35 +387,76 @@ func AnalyzeParallelBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int,
 	if firstBad < cut {
 		cut = firstBad
 		trunc = badTrunc
-		if badErr != nil {
-			// Earliest event is a hard error: fail like the sequential
-			// sweep would on that scenario.
-			return nil, badErr
-		}
+	}
+	if frontier > cut {
+		frontier = cut
+	}
+	// Persist the final frontier before any return — including the hard
+	// error below: the process is about to report failure, and the whole
+	// point of the checkpoint is surviving exactly that.
+	complete := trunc == nil && badErr == nil && firstBad == math.MaxInt
+	saveFrontier(complete)
+	if firstBad < prod.emitted && badErr != nil {
+		// Earliest event is a hard error: fail like the sequential sweep
+		// would on that scenario. The checkpoint above makes the failure
+		// resumable.
+		return nil, badErr
 	}
 	out := &Analysis{Requirements: reqs}
+	if resumeFrom > 0 {
+		out.Resume = &ResumeInfo{FromRank: resumeFrom}
+	}
 merge:
 	for seq := 0; seq < cut; {
-		srs, ok := completed[seq]
+		o, ok := chunks[seq]
 		if !ok {
 			// Defensive: a hole below the cut means a worker died
 			// without reporting; treat the prefix up to it as the
 			// result rather than mislabeling later scenarios.
 			break
 		}
-		for _, sr := range srs {
+		for _, sr := range o.srs {
 			if seq >= cut {
 				break merge
 			}
 			out.Scenarios = append(out.Scenarios, sr)
 			seq++
 		}
+		if len(o.srs) == 0 {
+			break
+		}
 	}
 	if trunc != nil {
 		out.Truncation = trunc
 		out.truncateToCompletedCardinality(muts, maxCard)
+		if resumeFrom > 0 {
+			out.Truncation.Detail += fmt.Sprintf("; resumed from checkpoint at rank %d", resumeFrom)
+		}
 	}
-	out.Sweep = &SweepStats{Workers: parallelism, Scenarios: len(out.Scenarios), Duration: time.Since(start)}
+	out.Sweep = &SweepStats{
+		Workers:     parallelism,
+		Scenarios:   len(out.Scenarios),
+		Duration:    time.Since(start),
+		CacheHits:   cacheHits.Load(),
+		CacheMisses: cacheMisses.Load(),
+		Retries:     retries.Load(),
+		Restored:    resumeFrom,
+	}
 	publishSweep(reg, out.Sweep, prod.emitted)
 	return out, nil
+}
+
+// scenarioMask renders a scenario as a bitmask over the candidate-set
+// index — the persistent cache key. Returns nil (uncacheable) if any
+// activation is outside the candidate set.
+func scenarioMask(sc epa.Scenario, idx map[epa.Activation]int, maskLen int) []byte {
+	mask := make([]byte, maskLen)
+	for _, a := range sc {
+		i, ok := idx[a]
+		if !ok {
+			return nil
+		}
+		mask[i/8] |= 1 << (i % 8)
+	}
+	return mask
 }

@@ -1,0 +1,36 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCacheRecord drives the record decoder with arbitrary bytes. The
+// decoder guards the trust boundary between on-disk state and the
+// assessment: it must never panic or over-allocate, and anything it
+// accepts must re-encode to the exact bytes it consumed (no two inputs
+// silently aliasing to one record).
+func FuzzCacheRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{recMagic})
+	f.Add(appendRecord(nil, []byte("key"), []byte("value")))
+	f.Add(appendRecord(nil, nil, nil))
+	f.Add(appendRecord(appendRecord(nil, []byte("a"), []byte("1")), []byte("b"), []byte("2")))
+	// Length fields claiming more bytes than exist.
+	f.Add([]byte{recMagic, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, val, rest, err := decodeRecord(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatal("rest grew beyond input")
+		}
+		consumed := data[:len(data)-len(rest)]
+		re := appendRecord(nil, key, val)
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", consumed, re)
+		}
+	})
+}

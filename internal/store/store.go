@@ -1,0 +1,463 @@
+// Package store implements the crash-safe persistent EPA result cache
+// (ROADMAP item 2c): an on-disk memo of scenario -> error-state vectors
+// keyed by (engine hash, scenario bitmask), so repeated assessments of
+// the same plant — resumed sweeps, the future service workload — skip
+// completed propagation work.
+//
+// Durability model. The cache is a set of immutable append-only segment
+// files under <dir>/<namespace>/. A segment is only ever published by
+// writing a temp file in the same directory, fsyncing it, and renaming
+// it into place (rename is atomic on POSIX filesystems), so a reader
+// never observes a half-written segment under normal operation. Against
+// abnormal operation — a torn write from a crashed process, bit rot, a
+// truncated file — every record carries a CRC-32 checksum and the loader
+// verifies it: a segment that fails verification is quarantined (moved
+// aside, never deleted) and the records that validated before the
+// corruption are kept, so one bad byte costs at most the tail of one
+// segment and never fails the run. Lost entries are transparently
+// recomputed and re-persisted by the sweep — the cache self-heals.
+//
+// A Cache is safe for concurrent use: lookups take a read lock, inserts
+// a write lock. Hit/miss/heal counters are published to the metrics
+// registry when one is configured.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"cpsrisk/internal/faultinject"
+	"cpsrisk/internal/obs"
+)
+
+const (
+	// segMagic heads every segment file; a file without it was never a
+	// complete header write and is quarantined wholesale.
+	segMagic = "CPSCACHE1\n"
+	// recMagic heads every record inside a segment.
+	recMagic = 0x43
+	// quarantineDir collects segments that failed verification.
+	quarantineDir = "quarantine"
+	// tmpSuffix marks in-flight segment writes; the janitor removes
+	// leftovers at Open/Close.
+	tmpSuffix = ".tmp"
+	// DefaultFlushEvery is how many pending records trigger an automatic
+	// segment flush.
+	DefaultFlushEvery = 256
+)
+
+// Options configures a Cache.
+type Options struct {
+	// FlushEvery publishes a new segment after this many pending Puts
+	// (0 = DefaultFlushEvery, negative = only on Flush/Close).
+	FlushEvery int
+	// Registry receives store.* counters (nil = no metrics).
+	Registry *obs.Registry
+	// Injector arms the store.write / store.read chaos sites (nil = off).
+	Injector *faultinject.Injector
+}
+
+// Stats is the cache's life-to-date effort accounting.
+type Stats struct {
+	// Hits / Misses count Get outcomes.
+	Hits, Misses int64
+	// Puts counts records accepted (deduplicated Puts excluded).
+	Puts int64
+	// Flushes counts published segments.
+	Flushes int64
+	// RecordsLoaded / SegmentsLoaded describe the state found at Open.
+	RecordsLoaded, SegmentsLoaded int64
+	// Quarantined counts segments moved aside for failed verification.
+	Quarantined int64
+	// HealedRecords counts records salvaged from quarantined segments
+	// (the valid prefix before the corruption).
+	HealedRecords int64
+}
+
+// Cache is one open (directory, namespace) result cache.
+type Cache struct {
+	dir  string // namespace directory
+	opts Options
+
+	mu      sync.RWMutex
+	mem     map[string][]byte
+	pending []pendingRec
+	nextSeg int
+	stats   Stats
+	closed  bool
+
+	cHits, cMisses, cPuts, cFlushes, cQuarantined, cHealed *obs.Counter
+}
+
+type pendingRec struct{ key, val []byte }
+
+// Open loads (or creates) the cache for one namespace — callers derive
+// the namespace from the engine hash and the candidate-mutation set, so
+// incompatible results can never collide. Corrupt segments found during
+// the load are quarantined, their valid prefixes salvaged, and the open
+// still succeeds; only a genuinely unusable directory (permissions, not
+// a directory) is an error.
+func Open(dir string, namespace uint64, opts Options) (*Cache, error) {
+	nsDir := filepath.Join(dir, fmt.Sprintf("%016x", namespace))
+	if err := os.MkdirAll(nsDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	c := &Cache{
+		dir:  nsDir,
+		opts: opts,
+		mem:  map[string][]byte{},
+
+		cHits:        opts.Registry.Counter("store.hits"),
+		cMisses:      opts.Registry.Counter("store.misses"),
+		cPuts:        opts.Registry.Counter("store.puts"),
+		cFlushes:     opts.Registry.Counter("store.flushes"),
+		cQuarantined: opts.Registry.Counter("store.quarantined"),
+		cHealed:      opts.Registry.Counter("store.healed_records"),
+	}
+	if c.opts.FlushEvery == 0 {
+		c.opts.FlushEvery = DefaultFlushEvery
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// load scans the namespace directory: removes stale temp files (the
+// janitor half of the atomic-write protocol), reads every segment in
+// name order, and quarantines the ones that fail verification.
+func (c *Cache) load() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A crash mid-write left its temp file; it was never
+			// published, so removing it loses nothing.
+			os.Remove(filepath.Join(c.dir, name))
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".rec"):
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	for _, name := range segs {
+		path := filepath.Join(c.dir, name)
+		var n int
+		if _, err := fmt.Sscanf(name, "seg-%06d.rec", &n); err == nil && n >= c.nextSeg {
+			c.nextSeg = n + 1
+		}
+		recs, corrupt := loadSegment(path)
+		if corrupt != nil {
+			if err := c.quarantine(path); err != nil {
+				return err
+			}
+			c.stats.Quarantined++
+			c.cQuarantined.Inc()
+			c.stats.HealedRecords += int64(len(recs))
+			c.cHealed.Add(int64(len(recs)))
+			// Salvaged records go back to pending so the next flush
+			// re-persists them into a clean segment — the self-heal.
+			for _, r := range recs {
+				if _, dup := c.mem[string(r.key)]; !dup {
+					c.pending = append(c.pending, r)
+				}
+			}
+		} else {
+			c.stats.SegmentsLoaded++
+		}
+		for _, r := range recs {
+			c.mem[string(r.key)] = r.val
+		}
+		c.stats.RecordsLoaded += int64(len(recs))
+	}
+	return nil
+}
+
+// quarantine moves a failed segment aside, keeping the evidence for a
+// post-mortem instead of deleting it.
+func (c *Cache) quarantine(path string) error {
+	qdir := filepath.Join(c.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: quarantine: %w", err)
+	}
+	dst := filepath.Join(qdir, filepath.Base(path)+".quarantined")
+	if err := os.Rename(path, dst); err != nil {
+		return fmt.Errorf("store: quarantine: %w", err)
+	}
+	return nil
+}
+
+// Get looks the key up, reporting a copy-free view of the cached value.
+// The returned slice must not be modified.
+func (c *Cache) Get(key []byte) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if inj := c.opts.Injector; inj != nil {
+		if err := inj.Fire(faultinject.SiteStoreRead); err != nil {
+			// An injected read failure degrades to a miss — exactly what
+			// a real unreadable entry does.
+			c.mu.Lock()
+			c.stats.Misses++
+			c.mu.Unlock()
+			c.cMisses.Inc()
+			return nil, false
+		}
+	}
+	c.mu.RLock()
+	v, ok := c.mem[string(key)]
+	c.mu.RUnlock()
+	c.mu.Lock()
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		c.cHits.Inc()
+	} else {
+		c.cMisses.Inc()
+	}
+	return v, ok
+}
+
+// Put records a key/value pair and schedules it for durable publication.
+// Re-putting an existing key is a no-op (values are deterministic
+// functions of the key). Put never fails: durability errors surface on
+// Flush/Close, and an unflushed record still serves in-memory hits.
+func (c *Cache) Put(key, val []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, dup := c.mem[string(key)]; dup {
+		c.mu.Unlock()
+		return
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), val...)
+	c.mem[string(k)] = v
+	c.pending = append(c.pending, pendingRec{key: k, val: v})
+	c.stats.Puts++
+	doFlush := c.opts.FlushEvery > 0 && len(c.pending) >= c.opts.FlushEvery
+	var err error
+	if doFlush {
+		err = c.flushLocked()
+	}
+	c.mu.Unlock()
+	c.cPuts.Inc()
+	_ = err // auto-flush failures surface on the explicit Flush/Close
+}
+
+// Flush publishes the pending records as one new segment (no-op when
+// nothing is pending). On failure the records stay pending — a later
+// Flush retries into a fresh segment.
+func (c *Cache) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Cache) flushLocked() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	buf := []byte(segMagic)
+	for _, r := range c.pending {
+		buf = appendRecord(buf, r.key, r.val)
+	}
+	seg := filepath.Join(c.dir, fmt.Sprintf("seg-%06d.rec", c.nextSeg))
+	c.nextSeg++ // never reuse a name, even after a failed write
+	if inj := c.opts.Injector; inj != nil {
+		if err := inj.Fire(faultinject.SiteStoreWrite); err != nil {
+			if faultinject.IsTorn(err) {
+				// Simulate a crash mid-write of a non-atomic writer: half
+				// a segment lands at the final path. The next Open must
+				// quarantine it and salvage the valid prefix.
+				_ = os.WriteFile(seg, buf[:len(buf)/2], 0o644)
+			}
+			return faultinject.Transient(fmt.Errorf("store: flush %s: %w", filepath.Base(seg), err))
+		}
+	}
+	if err := atomicWrite(seg, buf); err != nil {
+		return faultinject.Transient(fmt.Errorf("store: flush: %w", err))
+	}
+	c.pending = nil
+	c.stats.Flushes++
+	c.cFlushes.Inc()
+	return nil
+}
+
+// Close flushes pending records and sweeps leftover temp files. The
+// cache must not be used afterwards.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.flushLocked()
+	if entries, derr := os.ReadDir(c.dir); derr == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), tmpSuffix) {
+				os.Remove(filepath.Join(c.dir, e.Name()))
+			}
+		}
+	}
+	return err
+}
+
+// Stats returns a snapshot of the effort counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// Len reports the number of cached entries (memory view).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+// atomicWrite publishes data at path via the temp-file + fsync + rename
+// protocol. The deferred remove is the janitor: on any failure (or a
+// panic unwinding through) the temp file disappears; after a successful
+// rename it is a no-op.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Persist the rename itself: fsync the directory. Best-effort — some
+	// filesystems refuse directory fsync; the rename is still atomic.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// AtomicWrite is the exported temp-file+fsync+rename protocol, shared by
+// the sweep checkpoint writer so every durable artifact in the pipeline
+// has identical crash semantics.
+func AtomicWrite(path string, data []byte) error { return atomicWrite(path, data) }
+
+// appendRecord encodes one record:
+//
+//	0x43 | uvarint keyLen | key | uvarint valLen | val | crc32(all prior) LE
+func appendRecord(buf, key, val []byte) []byte {
+	start := len(buf)
+	buf = append(buf, recMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(val)))
+	buf = append(buf, val...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// decodeRecord parses one record off the front of data, returning the
+// key, value, and remaining bytes. Length fields are validated against
+// the available bytes before any slicing, so arbitrary (fuzzed or
+// corrupt) input fails cleanly instead of panicking or over-allocating.
+func decodeRecord(data []byte) (key, val, rest []byte, err error) {
+	if len(data) == 0 {
+		return nil, nil, nil, fmt.Errorf("store: empty record")
+	}
+	if data[0] != recMagic {
+		return nil, nil, nil, fmt.Errorf("store: bad record magic %#x", data[0])
+	}
+	p := 1
+	keyLen, n := binary.Uvarint(data[p:])
+	if n <= 0 || keyLen > uint64(len(data)-p-n) {
+		return nil, nil, nil, fmt.Errorf("store: bad key length")
+	}
+	p += n
+	key = data[p : p+int(keyLen)]
+	p += int(keyLen)
+	valLen, n := binary.Uvarint(data[p:])
+	if n <= 0 || valLen > uint64(len(data)-p-n) {
+		return nil, nil, nil, fmt.Errorf("store: bad value length")
+	}
+	p += n
+	val = data[p : p+int(valLen)]
+	p += int(valLen)
+	if len(data)-p < 4 {
+		return nil, nil, nil, fmt.Errorf("store: record truncated before checksum")
+	}
+	want := binary.LittleEndian.Uint32(data[p : p+4])
+	if got := crc32.ChecksumIEEE(data[:p]); got != want {
+		return nil, nil, nil, fmt.Errorf("store: checksum mismatch: %08x != %08x", got, want)
+	}
+	return key, val, data[p+4:], nil
+}
+
+// loadSegment reads one segment, returning every record that verified
+// and a non-nil error describing the first corruption (nil for a clean
+// segment). The valid prefix before a corruption is always returned —
+// that is what self-healing salvages.
+func loadSegment(path string) (recs []pendingRec, corrupt error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(string(data), segMagic) {
+		return nil, fmt.Errorf("store: %s: bad segment header", filepath.Base(path))
+	}
+	rest := data[len(segMagic):]
+	for len(rest) > 0 {
+		key, val, next, err := decodeRecord(rest)
+		if err != nil {
+			return recs, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+		}
+		recs = append(recs, pendingRec{
+			key: append([]byte(nil), key...),
+			val: append([]byte(nil), val...),
+		})
+		rest = next
+	}
+	return recs, nil
+}

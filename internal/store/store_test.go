@@ -1,0 +1,417 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cpsrisk/internal/faultinject"
+	"cpsrisk/internal/obs"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Cache {
+	t.Helper()
+	c, err := Open(dir, 0xabcd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundtripInMemory(t *testing.T) {
+	c := openT(t, t.TempDir(), Options{})
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put([]byte("k"), []byte("v"))
+	got, ok := c.Get([]byte("k"))
+	if !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Duplicate Put is a no-op, not a second pending record.
+	c.Put([]byte("k"), []byte("other"))
+	if got, _ := c.Get([]byte("k")); !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("dup Put overwrote: %q", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		c.Put([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openT(t, dir, Options{})
+	defer c2.Close()
+	if c2.Len() != 10 {
+		t.Fatalf("reloaded %d entries, want 10", c2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := c2.Get([]byte(fmt.Sprintf("key-%d", i)))
+		if !ok || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key-%d: %q, %v", i, got, ok)
+		}
+	}
+	st := c2.Stats()
+	if st.SegmentsLoaded != 1 || st.RecordsLoaded != 10 || st.Quarantined != 0 {
+		t.Fatalf("load stats = %+v", st)
+	}
+}
+
+func TestNamespacesIsolate(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put([]byte("k"), []byte("va"))
+	if _, ok := b.Get([]byte("k")); ok {
+		t.Fatal("namespaces must not share entries")
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestAutoFlushAtThreshold(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{FlushEvery: 4})
+	for i := 0; i < 9; i++ {
+		c.Put([]byte{byte(i)}, []byte{byte(i)})
+	}
+	// 9 puts at FlushEvery=4 -> two auto-flushed segments, one pending.
+	if st := c.Stats(); st.Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2", st.Flushes)
+	}
+	c.Close()
+	segs, _ := filepath.Glob(filepath.Join(c.dir, "seg-*.rec"))
+	if len(segs) != 3 {
+		t.Fatalf("segments on disk = %d, want 3", len(segs))
+	}
+}
+
+// TestCorruptByteQuarantine is the satellite table test: flipping any
+// single byte of a segment must be detected, quarantined, and survived —
+// never a crash, never silently-wrong data.
+func TestCorruptByteQuarantine(t *testing.T) {
+	build := func(t *testing.T) (dir, seg string) {
+		dir = t.TempDir()
+		c := openT(t, dir, Options{})
+		for i := 0; i < 5; i++ {
+			c.Put([]byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte{byte(i)}, 8))
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := filepath.Glob(filepath.Join(c.dir, "seg-*.rec"))
+		if len(segs) != 1 {
+			t.Fatalf("segments = %d", len(segs))
+		}
+		return dir, segs[0]
+	}
+
+	clean, cleanSeg := build(t)
+	_ = clean
+	data, err := os.ReadFile(cleanSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		clean  bool // a header-only segment is legal: zero records, no quarantine
+	}{
+		{name: "header byte", mutate: func(d []byte) []byte { d[0] ^= 0xff; return d }},
+		{name: "first record magic", mutate: func(d []byte) []byte { d[len(segMagic)] ^= 0xff; return d }},
+		{name: "mid-segment byte", mutate: func(d []byte) []byte { d[len(d)/2] ^= 0x01; return d }},
+		{name: "last checksum byte", mutate: func(d []byte) []byte { d[len(d)-1] ^= 0x01; return d }},
+		{name: "truncated tail", mutate: func(d []byte) []byte { return d[:len(d)-3] }},
+		{name: "truncated to header", mutate: func(d []byte) []byte { return d[:len(segMagic)] }, clean: true},
+		{name: "empty file", mutate: func(d []byte) []byte { return nil }},
+		{name: "trailing garbage", mutate: func(d []byte) []byte { return append(d, 0xde, 0xad) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, seg := build(t)
+			mutated := tc.mutate(append([]byte(nil), data...))
+			if err := os.WriteFile(seg, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c, err := Open(dir, 0xabcd, Options{})
+			if err != nil {
+				t.Fatalf("Open after corruption must succeed, got %v", err)
+			}
+			defer c.Close()
+			st := c.Stats()
+			if tc.clean {
+				if st.Quarantined != 0 || c.Len() != 0 {
+					t.Fatalf("header-only segment: stats %+v len %d", st, c.Len())
+				}
+				return
+			}
+			if st.Quarantined != 1 {
+				t.Fatalf("quarantined = %d, want 1 (stats %+v)", st.Quarantined, st)
+			}
+			if _, err := os.Stat(seg); !os.IsNotExist(err) {
+				t.Fatal("corrupt segment must be moved out of the live set")
+			}
+			q, _ := filepath.Glob(filepath.Join(c.dir, quarantineDir, "*.quarantined"))
+			if len(q) != 1 {
+				t.Fatalf("quarantine dir holds %d files, want 1", len(q))
+			}
+			// Healed records must still answer correctly; every surviving
+			// entry must be byte-exact, never garbage.
+			for i := 0; i < 5; i++ {
+				got, ok := c.Get([]byte(fmt.Sprintf("key-%d", i)))
+				if ok && !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 8)) {
+					t.Fatalf("key-%d healed to wrong value %q", i, got)
+				}
+			}
+			if int64(c.Len()) != st.HealedRecords {
+				t.Fatalf("len %d != healed %d", c.Len(), st.HealedRecords)
+			}
+		})
+	}
+}
+
+// TestSelfHealRepersists proves the heal cycle closes: salvaged records
+// from a quarantined segment are re-flushed into a clean segment, so a
+// third Open sees them without any quarantine.
+func TestSelfHealRepersists(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		c.Put([]byte(fmt.Sprintf("key-%d", i)), []byte{byte(i)})
+	}
+	c.Close()
+	segs, _ := filepath.Glob(filepath.Join(c.dir, "seg-*.rec"))
+	data, _ := os.ReadFile(segs[0])
+	// Corrupt the tail: valid prefix survives, tail is lost.
+	if err := os.WriteFile(segs[0], data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openT(t, dir, Options{})
+	healed := c2.Stats().HealedRecords
+	if healed == 0 || healed >= 5 {
+		t.Fatalf("healed = %d, want partial salvage", healed)
+	}
+	c2.Close() // flush re-persists the salvaged prefix
+
+	c3 := openT(t, dir, Options{})
+	defer c3.Close()
+	st := c3.Stats()
+	if st.Quarantined != 0 {
+		t.Fatalf("after heal cycle, quarantined = %d, want 0", st.Quarantined)
+	}
+	if int64(c3.Len()) != healed {
+		t.Fatalf("len = %d, want %d healed records", c3.Len(), healed)
+	}
+}
+
+func TestJanitorRemovesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	c.Put([]byte("k"), []byte("v"))
+	c.Close()
+	// A crash mid-write leaves a temp file behind...
+	stray := filepath.Join(c.dir, "seg-000099.rec.12345"+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ...which the next Open's janitor removes without loading it.
+	c2 := openT(t, dir, Options{})
+	defer c2.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("janitor left the stray temp file")
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("len = %d", c2.Len())
+	}
+}
+
+func TestSegmentNamesNeverReused(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	c.Put([]byte("a"), []byte("1"))
+	c.Flush()
+	c.Put([]byte("b"), []byte("2"))
+	c.Flush()
+	c.Close()
+
+	c2 := openT(t, dir, Options{})
+	c2.Put([]byte("c"), []byte("3"))
+	c2.Close()
+	segs, _ := filepath.Glob(filepath.Join(c2.dir, "seg-*.rec"))
+	if len(segs) != 3 {
+		t.Fatalf("segments = %v, want 3 distinct", segs)
+	}
+}
+
+func TestInjectedWriteFaults(t *testing.T) {
+	t.Run("transient error keeps records pending", func(t *testing.T) {
+		inj, err := faultinject.New(1, faultinject.SiteStoreWrite+"=transient@1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		c := openT(t, dir, Options{Injector: inj})
+		c.Put([]byte("k"), []byte("v"))
+		if err := c.Flush(); !faultinject.IsTransient(err) {
+			t.Fatalf("want transient flush error, got %v", err)
+		}
+		// Retry succeeds: records were kept pending.
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		c2 := openT(t, dir, Options{})
+		defer c2.Close()
+		if _, ok := c2.Get([]byte("k")); !ok {
+			t.Fatal("record lost across injected transient")
+		}
+	})
+
+	t.Run("torn write quarantined on next open", func(t *testing.T) {
+		inj, err := faultinject.New(1, faultinject.SiteStoreWrite+"=torn@1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		c := openT(t, dir, Options{Injector: inj})
+		for i := 0; i < 8; i++ {
+			c.Put([]byte{byte(i)}, []byte{byte(i)})
+		}
+		if err := c.Flush(); err == nil {
+			t.Fatal("torn flush must report an error")
+		}
+		// The torn half-segment is on disk at the final path — exactly a
+		// crashed non-atomic writer. Close flushes the still-pending
+		// records into a clean follow-up segment.
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		c2 := openT(t, dir, Options{})
+		defer c2.Close()
+		st := c2.Stats()
+		if st.Quarantined != 1 {
+			t.Fatalf("quarantined = %d, want 1 (%+v)", st.Quarantined, st)
+		}
+		for i := 0; i < 8; i++ {
+			if got, ok := c2.Get([]byte{byte(i)}); !ok || !bytes.Equal(got, []byte{byte(i)}) {
+				t.Fatalf("record %d lost after torn write: %q, %v", i, got, ok)
+			}
+		}
+	})
+
+	t.Run("injected read degrades to miss", func(t *testing.T) {
+		inj, err := faultinject.New(1, faultinject.SiteStoreRead+"=err@2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := openT(t, t.TempDir(), Options{Injector: inj})
+		defer c.Close()
+		c.Put([]byte("k"), []byte("v"))
+		if _, ok := c.Get([]byte("k")); !ok {
+			t.Fatal("arrival 1 should hit")
+		}
+		if _, ok := c.Get([]byte("k")); ok {
+			t.Fatal("injected read fault must read as a miss")
+		}
+		if _, ok := c.Get([]byte("k")); !ok {
+			t.Fatal("arrival 3 should hit again")
+		}
+	})
+}
+
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := openT(t, t.TempDir(), Options{Registry: reg})
+	defer c.Close()
+	c.Put([]byte("k"), []byte("v"))
+	c.Get([]byte("k"))
+	c.Get([]byte("zzz"))
+	c.Flush()
+	snap := reg.Snapshot().Counters
+	if snap["store.puts"] != 1 || snap["store.hits"] != 1 || snap["store.misses"] != 1 || snap["store.flushes"] != 1 {
+		t.Fatalf("registry snapshot = %v", snap)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := openT(t, t.TempDir(), Options{FlushEvery: 16})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := []byte(fmt.Sprintf("k-%d", i%64))
+				if v, ok := c.Get(key); ok {
+					if !strings.HasPrefix(string(v), "v-") {
+						t.Errorf("garbage value %q", v)
+						return
+					}
+				} else {
+					c.Put(key, []byte(fmt.Sprintf("v-%d", i%64)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 64 {
+		t.Fatalf("len = %d, want 64", c.Len())
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Fatal("nil Get must miss")
+	}
+	c.Put([]byte("k"), []byte("v"))
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || (c.Stats() != Stats{}) {
+		t.Fatal("nil cache must report nothing")
+	}
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	var buf []byte
+	buf = appendRecord(buf, []byte("key"), []byte("value"))
+	buf = appendRecord(buf, nil, nil) // empty key/val are legal
+	k, v, rest, err := decodeRecord(buf)
+	if err != nil || string(k) != "key" || string(v) != "value" {
+		t.Fatalf("decode 1: %q %q %v", k, v, err)
+	}
+	k, v, rest, err = decodeRecord(rest)
+	if err != nil || len(k) != 0 || len(v) != 0 || len(rest) != 0 {
+		t.Fatalf("decode 2: %q %q rest=%d %v", k, v, len(rest), err)
+	}
+}

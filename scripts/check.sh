@@ -17,10 +17,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-# The engine and the sweep are documented safe for concurrent use; hammer
-# them under the race detector at both ends of the parallelism range.
-echo "== go test -race -cpu=1,4 (epa, hazard) =="
-go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard
+# The engine, the sweep, and the result cache are documented safe for
+# concurrent use; hammer them under the race detector at both ends of
+# the parallelism range.
+echo "== go test -race -cpu=1,4 (epa, hazard, store) =="
+go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/store
 
 # Differential check: CDCL answer sets vs a brute-force stable-model
 # enumerator over a seeded random program battery, always re-run fresh.
@@ -41,9 +42,16 @@ go run ./cmd/tracecheck \
   -require assessment,model,candidates,hazard,sweep,mitigation "$trace_out"
 rm -f "$trace_out"
 
+# Crash-safety battery: fault injection, corruption/self-heal, the
+# crash matrix, and a real kill-and-resume of the CLI (fixed seeds).
+echo "== chaos (scripts/chaos.sh) =="
+./scripts/chaos.sh
+
 echo "== fuzz (${fuzztime} each) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/logic
 go test -run='^$' -fuzz=FuzzParseFormula -fuzztime="$fuzztime" ./internal/temporal
 go test -run='^$' -fuzz=FuzzReadJSON -fuzztime="$fuzztime" ./internal/sysmodel
+go test -run='^$' -fuzz=FuzzCacheRecord -fuzztime="$fuzztime" ./internal/store
+go test -run='^$' -fuzz=FuzzCheckpoint -fuzztime="$fuzztime" ./internal/hazard
 
 echo "OK"
