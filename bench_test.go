@@ -6,10 +6,13 @@
 package cpsrisk
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
+	"cpsrisk/internal/budget"
 	"cpsrisk/internal/cegar"
 	"cpsrisk/internal/core"
 	"cpsrisk/internal/dynamics"
@@ -691,6 +694,144 @@ func BenchmarkS4_MultiShot(b *testing.B) {
 			}
 		}
 	})
+}
+
+// redundantCutsProgram encodes minimal-cut enumeration over a
+// defense-in-depth architecture: the system is violated only when every
+// one of `groups` defensive layers is breached, and a layer is breached
+// when any of its `size` (randomly shared) elements is compromised. A
+// minimal cut is then a minimum hitting set over the layers — the
+// NP-hard core of minimal-cut analysis that the EPA chain models never
+// reach (their OR-only propagation keeps cuts propagation-easy). The
+// fixed seed makes the instance reproducible across runs and arms.
+func redundantCutsProgram(elems, groups, size int, seed int64) *logic.Program {
+	rng := rand.New(rand.NewSource(seed))
+	prog := &logic.Program{}
+	name := func(e int) logic.Term { return logic.Sym(fmt.Sprintf("e%02d", e)) }
+	for i := 0; i < elems; i++ {
+		prog.AddFact(logic.A("elem", name(i)))
+	}
+	prog.AddRule(logic.ChoiceRule(logic.Unbounded, logic.Unbounded, []logic.ChoiceElem{{
+		Atom: logic.A("active", logic.Var("E")),
+		Cond: []logic.Literal{logic.Pos(logic.A("elem", logic.Var("E")))},
+	}}))
+	var all []logic.BodyElem
+	for g := 0; g < groups; g++ {
+		breached := logic.A("breached", logic.Num(g))
+		seen := map[int]bool{}
+		for len(seen) < size {
+			e := rng.Intn(elems)
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			prog.AddRule(logic.NormalRule(breached, logic.Pos(logic.A("active", name(e)))))
+		}
+		all = append(all, logic.Pos(breached))
+	}
+	prog.AddRule(logic.NormalRule(logic.A("violated"), all...))
+	prog.AddRule(logic.Constraint(logic.Not(logic.A("violated"))))
+	prog.AddMinimize(logic.MinimizeElem{
+		Weight: logic.Num(1), Priority: 1,
+		Tuple: []logic.Term{logic.Var("E")},
+		Cond:  []logic.BodyElem{logic.Pos(logic.A("active", logic.Var("E")))},
+	})
+	return prog
+}
+
+// enumerateRedundantCuts runs the deep cut-enumeration loop on one
+// session: each round proves the current cardinality level optimal,
+// collects its complete cut batch, blocks every cut, and re-queries the
+// retained session — the MinimalCutsASP loop at the solver level. A nil
+// bud leaves the worker pool ungoverned (helpers always launch).
+func enumerateRedundantCuts(prog *logic.Program, workers, rounds int, bud *budget.Budget) (int, error) {
+	sess, err := solver.NewSession(prog, solver.Options{Workers: workers, Budget: bud})
+	if err != nil {
+		return 0, err
+	}
+	defer sess.Close()
+	cuts := 0
+	for r := 0; r < rounds; r++ {
+		res, err := sess.SolveAssuming(nil, solver.Options{Optimize: true})
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Models) == 0 {
+			break
+		}
+		cuts += len(res.Models)
+		block := &logic.Program{}
+		for _, m := range res.Models {
+			var body []logic.BodyElem
+			for _, atom := range m.WithPredicate("active") {
+				elem := strings.TrimSuffix(strings.TrimPrefix(atom, "active("), ")")
+				body = append(body, logic.Pos(logic.A("active", logic.Sym(elem))))
+			}
+			block.AddRule(logic.Constraint(body...))
+		}
+		if err := sess.Add(block); err != nil {
+			return 0, err
+		}
+	}
+	return cuts, nil
+}
+
+// BenchmarkS5_PortfolioCuts races the solver portfolio against the
+// single engine on the hardest ASP workload in the suite: deep
+// minimal-cut enumeration over a redundant defense-in-depth instance
+// (experiment S5). The optimization round proves the cardinality level
+// optimal before enumerating its cuts, so search dominates grounding;
+// the portfolio arms race diversified engines, sharing learned clauses
+// and `#minimize` bounds. Three arms:
+//
+//   - workers=1 is byte-for-byte the pre-portfolio code path — its
+//     number doubles as the regression baseline;
+//   - workers=4 is the raw portfolio: on multi-core hardware the race
+//     wins wall-clock, on a single core it pays the time-sharing tax
+//     (all engines share one CPU), which this arm bounds;
+//   - workers=4-governed is the production wiring: a worker-pool
+//     governor sized by GOMAXPROCS grants helpers only when cores
+//     exist, so the arm matches workers=4 on multi-core and collapses
+//     to the workers=1 baseline on one core.
+//
+// Run with -cpu=1,4 to see the governed arm flip between the two
+// behaviors.
+func BenchmarkS5_PortfolioCuts(b *testing.B) {
+	const (
+		elems  = 36
+		groups = 80
+		size   = 3
+		seed   = 7
+		rounds = 1
+	)
+	prog := redundantCutsProgram(elems, groups, size, seed)
+	want, err := enumerateRedundantCuts(prog, 1, rounds, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if want == 0 {
+		b.Fatal("degenerate instance: no cuts")
+	}
+	run := func(b *testing.B, workers int, governed bool) {
+		for i := 0; i < b.N; i++ {
+			var bud *budget.Budget
+			if governed {
+				gov := budget.NewGovernor(0) // GOMAXPROCS-sized, as core.RunCtx wires it
+				ctx := budget.ContextWithGovernor(context.Background(), gov)
+				bud = budget.New(ctx, budget.Limits{})
+			}
+			got, err := enumerateRedundantCuts(prog, workers, rounds, bud)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != want {
+				b.Fatalf("cuts = %d, want %d", got, want)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1, false) })
+	b.Run("workers=4", func(b *testing.B) { run(b, 4, false) })
+	b.Run("workers=4-governed", func(b *testing.B) { run(b, 4, true) })
 }
 
 // BenchmarkAblation_Abstraction contrasts the two abstraction levels of

@@ -67,6 +67,8 @@ func run(args []string, stdout io.Writer) error {
 	maxDecisions := fs.Int64("max-decisions", 0, "cap on ASP solver branching decisions (0 = unlimited)")
 	maxScenarios := fs.Int("max-scenarios", 0, "cap on analyzed scenarios (0 = unlimited)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "scenario-sweep workers (1 = sequential; results are identical)")
+	solverWorkers := fs.Int("solver-workers", 1, "ASP portfolio engines per query (0 = derive from -parallel, 1 = single engine)")
+	solverDet := fs.Bool("solver-det", false, "deterministic ASP search: forces a single engine so reports are byte-identical across runs")
 	topN := fs.Int("top", 20, "ranked scenarios to print (0 = all)")
 	checkpointDir := fs.String("checkpoint", "", "persist sweep checkpoints (and the result cache) in this directory; an interrupted run resumes from it")
 	cacheDir := fs.String("cache", "", "persist the EPA result cache in this directory (defaults to <checkpoint>/cache when -checkpoint is set)")
@@ -149,22 +151,24 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	a, err := core.Run(core.Config{
-		Model:             model,
-		Types:             types,
-		KB:                kb.MustDefaultKB(),
-		Requirements:      reqs,
-		MutationSources:   faults.AllSources(),
-		ActiveMitigations: active,
-		MaxCardinality:    *maxCard,
-		UseASP:            *useASP,
-		Optimize:          *doOpt,
-		Budget:            *mitBudget,
-		Parallelism:       *parallel,
-		Trace:             trace,
-		Metrics:           metrics,
-		CheckpointDir:     *checkpointDir,
-		CacheDir:          *cacheDir,
-		Faults:            injector,
+		Model:               model,
+		Types:               types,
+		KB:                  kb.MustDefaultKB(),
+		Requirements:        reqs,
+		MutationSources:     faults.AllSources(),
+		ActiveMitigations:   active,
+		MaxCardinality:      *maxCard,
+		UseASP:              *useASP,
+		Optimize:            *doOpt,
+		Budget:              *mitBudget,
+		Parallelism:         *parallel,
+		SolverWorkers:       *solverWorkers,
+		SolverDeterministic: *solverDet,
+		Trace:               trace,
+		Metrics:             metrics,
+		CheckpointDir:       *checkpointDir,
+		CacheDir:            *cacheDir,
+		Faults:              injector,
 		Resources: budget.Limits{
 			Timeout:      *timeout,
 			MaxDecisions: *maxDecisions,

@@ -58,6 +58,7 @@ type Budget struct {
 	ctx    context.Context
 	limits Limits
 	inj    *faultinject.Injector
+	gov    *Governor
 }
 
 // New binds limits to a context. The Timeout field is NOT applied here;
@@ -69,7 +70,7 @@ func New(ctx context.Context, l Limits) *Budget {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Budget{ctx: ctx, limits: l, inj: faultinject.FromContext(ctx)}
+	return &Budget{ctx: ctx, limits: l, inj: faultinject.FromContext(ctx), gov: GovernorFromContext(ctx)}
 }
 
 // WithTimeout derives a budget whose context enforces l.Timeout (when

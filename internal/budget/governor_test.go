@@ -1,0 +1,115 @@
+package budget
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestGovernorNilIsUnlimited(t *testing.T) {
+	var g *Governor
+	if got := g.AcquireUpTo(7); got != 7 {
+		t.Fatalf("nil governor granted %d, want 7", got)
+	}
+	g.Release(7) // must not panic
+	if g.Capacity() != 0 || g.InUse() != 0 || g.Granted() != 0 || g.Denied() != 0 {
+		t.Fatalf("nil governor stats not zero")
+	}
+}
+
+func TestGovernorCapsGrants(t *testing.T) {
+	// A 4-worker budget yields a pool of 3 extras: each construct's own
+	// goroutine is the implicit first worker.
+	g := NewGovernor(4)
+	if g.Capacity() != 3 {
+		t.Fatalf("Capacity = %d, want 3 extras for limit 4", g.Capacity())
+	}
+	if got := g.AcquireUpTo(2); got != 2 {
+		t.Fatalf("first acquire got %d, want 2", got)
+	}
+	if got := g.AcquireUpTo(5); got != 1 {
+		t.Fatalf("second acquire got %d, want 1 (pool of 3)", got)
+	}
+	if got := g.AcquireUpTo(1); got != 0 {
+		t.Fatalf("third acquire got %d, want 0 (pool full)", got)
+	}
+	if g.InUse() != 3 {
+		t.Fatalf("InUse = %d, want 3", g.InUse())
+	}
+	g.Release(3)
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after release = %d, want 0", g.InUse())
+	}
+	if got := g.AcquireUpTo(3); got != 3 {
+		t.Fatalf("acquire after release got %d, want 3", got)
+	}
+	g.Release(3)
+	if g.Granted() != 6 {
+		t.Fatalf("Granted = %d, want 6", g.Granted())
+	}
+	if g.Denied() != 5 {
+		t.Fatalf("Denied = %d, want 5 (4 from second acquire, 1 from third)", g.Denied())
+	}
+}
+
+func TestGovernorDefaultsCapacity(t *testing.T) {
+	if NewGovernor(0).Capacity() < 0 {
+		t.Fatalf("zero-limit governor must default to GOMAXPROCS-1 extras")
+	}
+	// limit=1 (sequential run or single core) means an empty pool: every
+	// helper request is denied so constructs collapse to their sequential
+	// paths instead of time-sharing one core.
+	g := NewGovernor(1)
+	if g.Capacity() != 0 {
+		t.Fatalf("limit-1 governor capacity = %d, want 0", g.Capacity())
+	}
+	if got := g.AcquireUpTo(3); got != 0 {
+		t.Fatalf("limit-1 governor granted %d, want 0", got)
+	}
+	if g.Denied() != 3 {
+		t.Fatalf("Denied = %d, want 3", g.Denied())
+	}
+}
+
+func TestGovernorConcurrent(t *testing.T) {
+	g := NewGovernor(4) // pool of 3 extras
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				n := g.AcquireUpTo(3)
+				if u := g.InUse(); u > 3 {
+					t.Errorf("InUse = %d exceeds capacity 3", u)
+				}
+				g.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.InUse() != 0 {
+		t.Fatalf("InUse = %d after all released, want 0", g.InUse())
+	}
+	if g.Granted() == 0 {
+		t.Fatalf("expected some grants under contention")
+	}
+}
+
+func TestGovernorRidesBudgetContext(t *testing.T) {
+	g := NewGovernor(2)
+	ctx := ContextWithGovernor(context.Background(), g)
+	b := New(ctx, Limits{})
+	if b.Governor() != g {
+		t.Fatalf("budget did not capture the governor from its context")
+	}
+	// Derived budgets (stage budgets built from b.Context()) inherit it.
+	b2 := New(b.Context(), Limits{MaxScenarios: 1})
+	if b2.Governor() != g {
+		t.Fatalf("derived budget lost the governor")
+	}
+	var nilB *Budget
+	if nilB.Governor() != nil {
+		t.Fatalf("nil budget must return nil governor")
+	}
+}

@@ -318,6 +318,15 @@ func validateFindings(levelName string, findings []Finding, screened []Verdict, 
 	if parallelism > len(findings) {
 		parallelism = len(findings)
 	}
+	// Oracle workers beyond the first draw launch slots from the run-wide
+	// worker-pool governor when the budget carries one; zero grants
+	// degrade to the sequential loop, never to a stall.
+	if parallelism > 1 {
+		gov := bud.Governor()
+		granted := gov.AcquireUpTo(parallelism - 1)
+		defer gov.Release(granted)
+		parallelism = 1 + granted
+	}
 	judged := make([]Judged, len(findings))
 	checked := make([]bool, len(findings))
 	errs := make([]error, len(findings))

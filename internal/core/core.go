@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"cpsrisk/internal/attack"
@@ -72,7 +73,20 @@ type Config struct {
 	// forces the sequential path. The results are identical either way;
 	// only wall-clock time changes. When an Oracle is configured with
 	// Parallelism != 1 it must be safe for concurrent Check calls.
+	// It also sizes the run-wide worker-pool governor: sweep workers,
+	// oracle checks, and solver portfolio helpers beyond each construct's
+	// first all draw from one Parallelism-sized pool, so concurrent
+	// stages cannot multiply into oversubscription.
 	Parallelism int
+	// SolverWorkers is the portfolio width for ASP solving: N diversified
+	// CDCL engines race each query, sharing learned clauses. 0 derives a
+	// width from Parallelism (capped at 4), 1 — the default via the CLI —
+	// is exactly the single-engine solver. Only the ASP path (UseASP or
+	// ASP-screened validation) is affected.
+	SolverWorkers int
+	// SolverDeterministic forces single-engine search regardless of
+	// SolverWorkers, for byte-identical reports across runs.
+	SolverDeterministic bool
 	// Trace, when non-nil, collects a hierarchical span tree of the run
 	// (stage -> sub-stage -> per-worker/per-chunk/per-query), snapshotted
 	// into Assessment.Trace. Nil disables tracing at the cost of one
@@ -181,6 +195,13 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 		cfg.Faults.BindCancel(cancelInj)
 		ctx = faultinject.ContextWith(ctx, cfg.Faults)
 	}
+	// The worker-pool governor rides the context like the fault injector:
+	// every budget derived downstream captures it, and every parallel
+	// construct (sweep pool, oracle pool, solver portfolio) asks it for
+	// slots beyond its first worker. One pool for the whole run keeps
+	// concurrent stages from oversubscribing the machine.
+	gov := budget.NewGovernor(cfg.Parallelism)
+	ctx = budget.ContextWithGovernor(ctx, gov)
 	bud, cancel := budget.WithTimeout(ctx, cfg.Resources)
 	defer cancel()
 
@@ -225,6 +246,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	}
 	finish := func() {
 		out.Duration = time.Since(start)
+		if cfg.Metrics != nil {
+			cfg.Metrics.Gauge("governor.capacity").Set(int64(gov.Capacity()))
+			cfg.Metrics.Gauge("governor.granted").Set(gov.Granted())
+			cfg.Metrics.Gauge("governor.denied").Set(gov.Denied())
+		}
 		if cfg.Trace != nil {
 			cfg.Trace.Finish()
 			out.Duration = root.Duration()
@@ -332,7 +358,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			}
 		}
 		if cfg.UseASP {
-			out.Analysis, err = hazard.AnalyzeASPBudget(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, b)
+			out.Analysis, err = hazard.AnalyzeASPOpts(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, hazard.ASPOptions{
+				Budget:        b,
+				SolverWorkers: cfg.solverWorkers(),
+				Deterministic: cfg.SolverDeterministic,
+			})
 			if ex, ok := budget.Exhausted(err); ok {
 				t := budget.Truncation{Stage: "hazard-asp", Reason: ex.Reason,
 					Detail: "ASP identification aborted; falling back to the native fixpoint engine"}
@@ -433,6 +463,24 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	}
 	finish()
 	return out, nil
+}
+
+// solverWorkers resolves the effective portfolio width: the explicit
+// SolverWorkers value, or — when 0 — a width auto-derived from
+// Parallelism (GOMAXPROCS when that is 0 too), capped at 4 so the
+// per-engine memory cost stays bounded on wide machines.
+func (cfg Config) solverWorkers() int {
+	if cfg.SolverWorkers != 0 {
+		return cfg.SolverWorkers
+	}
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > 4 {
+		p = 4
+	}
+	return p
 }
 
 // stampLast annotates the most recent degradation entry with the span

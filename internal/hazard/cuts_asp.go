@@ -41,6 +41,16 @@ func defaultCutRounds(n int) int {
 // maxRounds bounds the iteration defensively; the space of minimal cuts
 // over n candidates is finite, so the loop always terminates on its own.
 func MinimalCutsASP(eng *epa.Engine, muts []faults.Mutation, req Requirement, maxRounds int) ([]epa.Scenario, error) {
+	return MinimalCutsASPOpts(eng, muts, req, maxRounds, ASPOptions{})
+}
+
+// MinimalCutsASPOpts is MinimalCutsASP with a budget and solver portfolio
+// control: with SolverWorkers > 1 every optimization round races that
+// many diversified engines, sharing learned clauses and racing the
+// cardinality bound. The enumerated cut set is identical for any worker
+// count (each round's optimum and its complete optimal model set are
+// unique); only wall-clock time changes.
+func MinimalCutsASPOpts(eng *epa.Engine, muts []faults.Mutation, req Requirement, maxRounds int, o ASPOptions) ([]epa.Scenario, error) {
 	base, err := cutsBase(eng, muts, req)
 	if err != nil {
 		return nil, err
@@ -48,7 +58,11 @@ func MinimalCutsASP(eng *epa.Engine, muts []faults.Mutation, req Requirement, ma
 	if maxRounds <= 0 {
 		maxRounds = defaultCutRounds(len(muts))
 	}
-	sess, err := solver.NewSession(base, solver.Options{})
+	sess, err := solver.NewSession(base, solver.Options{
+		Budget:        o.Budget,
+		Workers:       o.SolverWorkers,
+		Deterministic: o.Deterministic,
+	})
 	if err != nil {
 		return nil, err
 	}

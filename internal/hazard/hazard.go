@@ -340,6 +340,29 @@ func AnalyzeASP(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Req
 // cardinality to the next and an interruption keeps a clean
 // cardinality-ordered prefix.
 func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, bud *budget.Budget) (*Analysis, error) {
+	return AnalyzeASPOpts(eng, muts, maxCard, reqs, ASPOptions{Budget: bud})
+}
+
+// ASPOptions parameterizes the ASP analysis beyond the budget.
+type ASPOptions struct {
+	// Budget governs grounding and search effort (nil = unlimited).
+	Budget *budget.Budget
+	// SolverWorkers > 1 races that many diversified solver engines per
+	// query (portfolio search with clause sharing); <= 1 is the exact
+	// single-engine solver. Extra engines beyond the first draw launch
+	// slots from the budget's worker-pool governor when one is present.
+	SolverWorkers int
+	// Deterministic forces single-engine search regardless of
+	// SolverWorkers, for byte-identical reports across runs.
+	Deterministic bool
+}
+
+// AnalyzeASPOpts is AnalyzeASPBudget with solver portfolio control: the
+// multi-shot session races SolverWorkers diversified engines per
+// cardinality query. The answer-set union is identical for any worker
+// count; only wall-clock time changes.
+func AnalyzeASPOpts(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []Requirement, o ASPOptions) (*Analysis, error) {
+	bud := o.Budget
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
 	}
@@ -362,7 +385,11 @@ func AnalyzeASPBudget(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs
 	if aspSpan != nil {
 		abud = budget.New(obsCtx, bud.Limits())
 	}
-	sess, err := solver.NewSession(prog, solver.Options{Budget: abud})
+	sess, err := solver.NewSession(prog, solver.Options{
+		Budget:        abud,
+		Workers:       o.SolverWorkers,
+		Deterministic: o.Deterministic,
+	})
 	if err != nil {
 		return nil, err
 	}

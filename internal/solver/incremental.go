@@ -1,8 +1,10 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +23,14 @@ import (
 // A Session is strictly single-goroutine: concurrent use panics. Callers
 // that parallelize (hazard sweeps, CEGAR oracles) keep one session per
 // worker.
+//
+// With Options.Workers > 1 a session becomes a portfolio: it keeps
+// additional diversified engines in lockstep with the primary (same
+// deltas, same variable numbering) and races all of them on each query,
+// sharing learned clauses through the session's exchange ring. The first
+// engine to answer wins; the others are cancelled but keep whatever they
+// learned for the next query. The Session API is unchanged and remains
+// single-goroutine from the caller's perspective.
 type Session struct {
 	gr   *grounder
 	tr   *translation
@@ -35,11 +45,30 @@ type Session struct {
 	// emits non-constraint rules (the predicate's atom set may grow).
 	cardFns map[string]func(int) lit
 
+	// Portfolio state: helper engines kept in lockstep with the primary,
+	// the clause exchange they share, and cumulative race counters.
+	// helpers is empty for single-worker sessions.
+	helpers        []*sessHelper
+	exch           *exchange
+	helperLaunches int64
+	helperWins     int64
+	lastWinner     int
+
 	// Cumulative session counters and engine counters banked from
 	// translations discarded by slow-path rebuilds.
 	queries, adds               int64
 	groundReused, learnedReused int64
 	accum                       Stats
+}
+
+// sessHelper is one portfolio engine of a session: its translation plus
+// its own cardinality-circuit cache (circuits allocate variables, so each
+// engine builds its own, in lockstep with the primary to keep the
+// variable spaces aligned).
+type sessHelper struct {
+	id      int
+	tr      *translation
+	cardFns map[string]func(int) lit
 }
 
 // Assumption fixes a literal for the duration of one SolveAssuming call
@@ -113,12 +142,28 @@ func NewSession(prog *logic.Program, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	sess := &Session{
 		gr:      gr,
 		tr:      tr,
 		opts:    opts,
 		cardFns: map[string]func(int) lit{},
-	}, nil
+	}
+	if n := effectiveWorkers(opts); n > 1 {
+		sess.exch = newExchange(exchangeSlots)
+		wireWorker(tr.s, 0, sess.exch, nil)
+		for i := 1; i < n; i++ {
+			htr, err := translate(gr.out)
+			if err != nil {
+				return nil, err
+			}
+			diversify(htr.s, i, true)
+			wireWorker(htr.s, i, sess.exch, nil)
+			sess.helpers = append(sess.helpers, &sessHelper{
+				id: i, tr: htr, cardFns: map[string]func(int) lit{},
+			})
+		}
+	}
+	return sess, nil
 }
 
 func (s *Session) acquire() {
@@ -148,6 +193,8 @@ func (s *Session) Close() {
 	s.gr = nil
 	s.tr = nil
 	s.cardFns = nil
+	s.helpers = nil
+	s.exch = nil
 }
 
 // Add grounds a program delta into the live session. The delta is
@@ -189,7 +236,7 @@ func (s *Session) Add(prog *logic.Program) error {
 		return err
 	}
 	if retracted {
-		s.cardFns = map[string]func(int) lit{}
+		s.clearCardFns()
 		if err := s.rebuildTranslation(); err != nil {
 			s.fail(err)
 			return err
@@ -219,14 +266,24 @@ func (s *Session) Add(prog *logic.Program) error {
 	}
 	if constraintsOnly {
 		s.tr.addConstraintsInSearch()
+		for _, h := range s.helpers {
+			h.tr.addConstraintsInSearch()
+		}
 		return nil
 	}
-	s.cardFns = map[string]func(int) lit{}
+	s.clearCardFns()
 	if freshHeads {
 		s.tr.s.cancelUntil(0)
 		if err := s.tr.extendTranslation(); err != nil {
 			s.fail(err)
 			return err
+		}
+		for _, h := range s.helpers {
+			h.tr.s.cancelUntil(0)
+			if err := h.tr.extendTranslation(); err != nil {
+				s.fail(err)
+				return err
+			}
 		}
 		return nil
 	}
@@ -237,19 +294,55 @@ func (s *Session) Add(prog *logic.Program) error {
 	return nil
 }
 
+// clearCardFns drops every engine's cached cardinality circuits.
+func (s *Session) clearCardFns() {
+	s.cardFns = map[string]func(int) lit{}
+	for _, h := range s.helpers {
+		h.cardFns = map[string]func(int) lit{}
+	}
+}
+
 // rebuildTranslation retranslates the (compacted) ground program from
-// scratch, banking the old engine's statistics and carrying each atom's
-// branching activity and saved phase into the new engine. Learned clauses
-// are dropped: after a retraction they may no longer be consequences of
-// the program.
+// scratch, banking the old engines' statistics and carrying each atom's
+// branching activity and saved phase into the new engines. Learned
+// clauses are dropped: after a retraction they may no longer be
+// consequences of the program. In a portfolio session every engine is
+// rebuilt and the clause exchange is replaced wholesale — clauses learned
+// before the retraction are no longer safe to share either.
 func (s *Session) rebuildTranslation() error {
-	old := s.tr
+	ntr, err := s.rebuildOne(s.tr)
+	if err != nil {
+		return err
+	}
+	s.tr = ntr
+	if len(s.helpers) == 0 {
+		return nil
+	}
+	s.exch = newExchange(exchangeSlots)
+	wireWorker(s.tr.s, 0, s.exch, nil)
+	for _, h := range s.helpers {
+		nh, err := s.rebuildOne(h.tr)
+		if err != nil {
+			return err
+		}
+		h.tr = nh
+		// The carried phases already encode this engine's personality;
+		// re-apply only the search-schedule knobs.
+		diversify(nh.s, h.id, false)
+		wireWorker(nh.s, h.id, s.exch, nil)
+	}
+	return nil
+}
+
+// rebuildOne rebuilds a single engine, banking its statistics into the
+// session accumulator and carrying activities and phases across.
+func (s *Session) rebuildOne(old *translation) (*translation, error) {
 	var tmp Stats
 	old.fillStats(&tmp)
 	addEngineStats(&s.accum, &tmp)
 	ntr, err := translate(old.gp)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	oldS, newS := old.s, ntr.s
 	newS.varInc = oldS.varInc
@@ -266,8 +359,7 @@ func (s *Session) rebuildTranslation() error {
 	for i := len(newS.heap)/2 - 1; i >= 0; i-- {
 		newS.heapDown(i)
 	}
-	s.tr = ntr
-	return nil
+	return ntr, nil
 }
 
 func addEngineStats(dst, src *Stats) {
@@ -280,16 +372,24 @@ func addEngineStats(dst, src *Stats) {
 	dst.LearnedClauses += src.LearnedClauses
 	dst.Backjumps += src.Backjumps
 	dst.DBReductions += src.DBReductions
+	dst.ClausesExported += src.ClausesExported
+	dst.ClausesImported += src.ClausesImported
+	dst.ExchangeDrops += src.ExchangeDrops
 }
 
 // countFn returns (building and caching on first use) the at-least-k
 // literal function over the predicate's ground atoms, in atom-id order.
 // Must be called at decision level 0.
 func (s *Session) countFn(pred string) func(int) lit {
-	if fn, ok := s.cardFns[pred]; ok {
+	return countFnFor(s.tr, s.cardFns, pred)
+}
+
+// countFnFor is countFn against an explicit engine and circuit cache, so
+// portfolio helpers build their circuits in lockstep with the primary.
+func countFnFor(tr *translation, cache map[string]func(int) lit, pred string) func(int) lit {
+	if fn, ok := cache[pred]; ok {
 		return fn
 	}
-	tr := s.tr
 	gp := tr.gp
 	var lits []lit
 	for id := AtomID(1); id <= AtomID(gp.NumAtoms()); id++ {
@@ -303,7 +403,7 @@ func (s *Session) countFn(pred string) func(int) lit {
 		}
 	}
 	fn := tr.seqCounter(lits, len(lits))
-	s.cardFns[pred] = fn
+	cache[pred] = fn
 	return fn
 }
 
@@ -312,18 +412,22 @@ func (s *Session) countFn(pred string) func(int) lit {
 // such an atom is false in every answer set, so assuming it false is
 // vacuous and assuming it true is immediately unsatisfiable.
 func (s *Session) assumptionLit(a Assumption) (l lit, known bool) {
+	return assumptionLitFor(s.tr, s.cardFns, a)
+}
+
+func assumptionLitFor(tr *translation, cache map[string]func(int) lit, a Assumption) (l lit, known bool) {
 	if a.Count != "" {
-		l = s.countFn(a.Count)(a.K)
+		l = countFnFor(tr, cache, a.Count)(a.K)
 		if !a.True {
 			l = -l
 		}
 		return l, true
 	}
-	id, ok := s.tr.gp.LookupAtom(a.Atom)
+	id, ok := tr.gp.LookupAtom(a.Atom)
 	if !ok {
 		return 0, false
 	}
-	l = s.tr.atomLit(id)
+	l = tr.atomLit(id)
 	if !a.True {
 		l = -l
 	}
@@ -345,6 +449,9 @@ func (s *Session) SolveAssuming(assumptions []Assumption, opts Options) (*Result
 	start := time.Now()
 	if opts.Budget == nil {
 		opts.Budget = s.opts.Budget
+	}
+	if len(s.helpers) > 0 {
+		return s.solveAssumingPortfolio(assumptions, opts, start)
 	}
 	st := s.tr.s
 	st.applyBudget(opts.Budget)
@@ -422,11 +529,328 @@ func (s *Session) SolveAssuming(assumptions []Assumption, opts Options) (*Result
 	return res, nil
 }
 
+// queryPrep is one engine's per-query state: the query guard (and, for
+// optimizing queries, the pass-2 guard, pre-allocated so every engine's
+// variable space stays aligned whether or not it runs pass 2).
+type queryPrep struct {
+	qg, qg2 lit
+}
+
+// solveAssumingPortfolio is SolveAssuming for portfolio sessions: every
+// engine is prepared for the query in lockstep (cancel to level 0, build
+// assumption circuits, allocate guards), then the primary plus as many
+// helpers as the worker-pool governor grants race under a shared cancel.
+// The first engine to answer wins; the rest are cancelled but keep their
+// learned clauses, activities, and phases for the next query.
+func (s *Session) solveAssumingPortfolio(assumptions []Assumption, opts Options, start time.Time) (*Result, error) {
+	s.queries++
+	qsp := startSpan(opts.Budget, "query#%d", s.queries)
+	defer qsp.End()
+	defer func() {
+		obs.RegistryFromContext(opts.Budget.Context()).
+			Histogram("solver.query_us").Observe(time.Since(start).Microseconds())
+	}()
+
+	workers := make([]*sessHelper, 0, 1+len(s.helpers))
+	workers = append(workers, &sessHelper{id: 0, tr: s.tr, cardFns: s.cardFns})
+	workers = append(workers, s.helpers...)
+	for _, w := range workers {
+		s.learnedReused += int64(len(w.tr.s.learnts))
+	}
+
+	res := &Result{}
+	if s.tr.s.unsatRoot {
+		s.finishStats(res, start)
+		return res, nil
+	}
+	optimize := opts.Optimize && len(s.tr.gp.Minimize) > 0
+
+	// Per-engine query prep, in lockstep: assumption circuits and guard
+	// variables allocate in the same order everywhere, so the literals
+	// carry the same meaning in every engine (the basis for clause
+	// sharing and for reading any worker's unsat core).
+	for _, w := range workers {
+		w.tr.s.cancelUntil(0)
+	}
+	names := map[lit]string{}
+	rawLits := make([][]lit, len(workers))
+	for _, a := range assumptions {
+		l0, known := assumptionLitFor(workers[0].tr, workers[0].cardFns, a)
+		if !known {
+			// Unknown atoms allocate nothing anywhere, so the lockstep
+			// short-circuit keeps the var spaces aligned.
+			if a.True {
+				res.Core = []string{a.describe()}
+				s.finishStats(res, start)
+				return res, nil
+			}
+			continue
+		}
+		rawLits[0] = append(rawLits[0], l0)
+		if _, ok := names[l0]; !ok {
+			names[l0] = a.describe()
+		}
+		for i := 1; i < len(workers); i++ {
+			li, _ := assumptionLitFor(workers[i].tr, workers[i].cardFns, a)
+			rawLits[i] = append(rawLits[i], li)
+		}
+	}
+	preps := make([]queryPrep, len(workers))
+	for i, w := range workers {
+		st := w.tr.s
+		p := &preps[i]
+		p.qg = lit(st.newVar())
+		if optimize {
+			// The pass-2 guard rides the assumption prefix so it is never
+			// branched on while unused (a free variable would perturb the
+			// search and the model count).
+			p.qg2 = lit(st.newVar())
+			st.assumps = append([]lit{-p.qg, -p.qg2}, rawLits[i]...)
+		} else {
+			st.assumps = append([]lit{-p.qg}, rawLits[i]...)
+		}
+		st.assumpFailed = false
+		st.finalCore = nil
+	}
+	var shared *raceShared
+	if optimize {
+		shared = newRaceShared()
+	}
+	for _, w := range workers {
+		w.tr.shared = shared
+		if shared != nil {
+			w.tr.s.sharedBound = &shared.bound
+		} else {
+			w.tr.s.sharedBound = nil
+		}
+	}
+
+	// Race: the primary runs on the calling goroutine (progress is
+	// guaranteed even with zero governor grants); granted helpers race it.
+	gov := opts.Budget.Governor()
+	granted := gov.AcquireUpTo(len(s.helpers))
+	s.helperLaunches += int64(granted)
+	active := 1 + granted
+	raceCtx, cancelRace := context.WithCancel(opts.Budget.Context())
+	defer cancelRace()
+	limits := opts.Budget.Limits()
+
+	outs := make([]sessOutcome, active)
+	var winner atomic.Int32
+	winner.Store(-1)
+	finish := func(i int) {
+		out := &outs[i]
+		if out.err == nil && out.res != nil {
+			out.lost = raceLost(out.res, opts.Budget, raceCtx)
+			if !out.lost && winner.CompareAndSwap(-1, int32(i)) {
+				cancelRace()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < active; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = s.runQueryWorker(workers[i], preps[i], opts, budget.New(raceCtx, limits), optimize)
+			finish(i)
+		}(i)
+	}
+	outs[0] = s.runQueryWorker(workers[0], preps[0], opts, budget.New(raceCtx, limits), optimize)
+	finish(0)
+	wg.Wait()
+	gov.Release(granted)
+
+	for _, out := range outs {
+		if out.err != nil {
+			s.fail(out.err)
+			return nil, out.err
+		}
+	}
+	w := int(winner.Load())
+	if w < 0 {
+		w = 0
+	}
+	winSt := workers[w].tr.s
+	core, failed := winSt.finalCore, winSt.assumpFailed
+
+	// Wind every engine down — including helpers that were prepped but not
+	// granted a slot: the guards must be retired everywhere to keep the
+	// engines aligned and the enumeration space whole for later queries.
+	for i, wk := range workers {
+		st := wk.tr.s
+		st.assumps = nil
+		st.assumpFailed = false
+		st.finalCore = nil
+		st.pruning = false
+		st.bound = 1 << 62
+		st.costGuard = 0
+		st.sharedBound = nil
+		wk.tr.shared = nil
+		st.addClause([]lit{preps[i].qg})
+		if optimize {
+			st.addClause([]lit{preps[i].qg2})
+		}
+	}
+
+	res = outs[w].res
+	if w != 0 {
+		s.helperWins++
+	}
+	s.lastWinner = w
+	if len(res.Models) == 0 && failed {
+		for _, l := range core {
+			v := l.variable()
+			if v == preps[w].qg.variable() || (optimize && v == preps[w].qg2.variable()) {
+				continue
+			}
+			if n, ok := names[l]; ok {
+				res.Core = append(res.Core, n)
+			}
+		}
+		sort.Strings(res.Core)
+	}
+	res.Satisfiable = len(res.Models) > 0
+	s.finishStats(res, start)
+	return res, nil
+}
+
+// sessOutcome is one engine's result in a session query race.
+type sessOutcome struct {
+	res  *Result
+	err  error
+	lost bool
+}
+
+// runQueryWorker runs one engine's query under the race budget,
+// converting panics into errors; a panicked engine's clause database is
+// suspect, so the caller poisons the whole session.
+func (s *Session) runQueryWorker(w *sessHelper, p queryPrep, opts Options, bud *budget.Budget, optimize bool) (out sessOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("solver: portfolio worker %d panicked: %v", w.id, r)
+		}
+	}()
+	if err := bud.Injector().Fire("solver.worker"); err != nil {
+		out.err = err
+		return out
+	}
+	st := w.tr.s
+	st.applyBudget(bud)
+	res := &Result{}
+	if st.unsatRoot {
+		// Imports proved the program unsatisfiable outright.
+		out.res = res
+		return out
+	}
+	var err error
+	if optimize {
+		err = s.optimizeQueryWorker(w, p, opts, res)
+	} else {
+		err = enumerateOn(w.tr, opts, res, -1, p.qg)
+	}
+	out.res, out.err = res, err
+	return out
+}
+
+// optimizeQueryWorker is solveOptimizeSession for one racing engine:
+// branch-and-bound under the first guard, with incumbents published to
+// (and bounds adopted from) the race-wide shared state, then exact-cost
+// re-enumeration under the pre-allocated second guard. Pass-1 exhaustion
+// proves no model beats the final bound — even when that bound was
+// adopted from a peer — so the best incumbent race-wide at or below it is
+// the optimum.
+func (s *Session) optimizeQueryWorker(w *sessHelper, p queryPrep, opts Options, res *Result) error {
+	tr := w.tr
+	st := tr.s
+	st.pruning = true
+	st.bound = 1 << 62
+	st.costGuard = p.qg
+	var best int64
+	var incumbent Model
+	found := false
+	var searchErr error
+	onTotal := func() bool {
+		if err := st.validateTotal(); err != nil {
+			searchErr = err
+			return true
+		}
+		if u := tr.unfoundedSet(); len(u) > 0 {
+			tr.loopAdds++
+			tr.addSearchClause(tr.loopClause(u))
+			return false
+		}
+		found = true
+		best = st.curCost
+		incumbent = tr.extractModel()
+		st.bound = best // require strictly better from now on
+		if tr.shared != nil {
+			tr.shared.publish(best, incumbent)
+		}
+		return false
+	}
+	err := st.search(onTotal)
+	harvest := func() {
+		if m, c, ok := tr.harvestShared(); ok && (!found || c < best) {
+			found, best, incumbent = true, c, m
+		}
+	}
+	if ex, ok := budget.Exhausted(err); ok {
+		res.Interrupted = true
+		res.InterruptReason = ex.Reason
+		harvest()
+		if found {
+			res.Models = []Model{incumbent}
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if searchErr != nil {
+		return searchErr
+	}
+	harvest()
+	if !found {
+		// Unsatisfiable under the assumptions; finalCore (if any) is
+		// harvested by the caller.
+		return nil
+	}
+	// Optimum proven. Drop -qg from the assumption prefix BEFORE fixing qg
+	// true (the unit would conflict with the live assumption), retire pass
+	// 1's bound clauses, and re-enumerate at exactly the optimal cost.
+	st.pruning = false
+	st.costGuard = 0
+	st.bound = 1 << 62
+	st.sharedBound = nil // the exact cost is fixed; no more bound racing
+	st.assumps = append([]lit{-p.qg2}, st.assumps[2:]...)
+	st.assumpFailed = false
+	st.finalCore = nil
+	st.addClause([]lit{p.qg})
+	if err := enumerateOn(tr, opts, res, best, p.qg2); err != nil {
+		return err
+	}
+	if res.Interrupted && len(res.Models) == 0 {
+		// Enumeration could not rediscover the optimum in the leftover
+		// budget: fall back to the incumbent.
+		res.Models = []Model{incumbent}
+	}
+	res.Optimal = !res.Interrupted
+	return nil
+}
+
 // enumerate is the session counterpart of solveEnumerate: blocking
 // clauses (and, when exactCost >= 0, objective-bound clauses) carry the
 // query guard so they can be retired afterwards.
 func (s *Session) enumerate(opts Options, res *Result, exactCost int64, qg lit) error {
-	tr := s.tr
+	return enumerateOn(s.tr, opts, res, exactCost, qg)
+}
+
+// enumerateOn runs the guarded enumeration on one engine. Guarded
+// blocking clauses are engine-local: the guard variable is aligned across
+// portfolio workers, but the clause itself is a per-engine axiom, not a
+// program consequence, so it must never be exported.
+func enumerateOn(tr *translation, opts Options, res *Result, exactCost int64, qg lit) error {
 	st := tr.s
 	if exactCost >= 0 {
 		st.pruning = true
@@ -445,14 +869,14 @@ func (s *Session) enumerate(opts Options, res *Result, exactCost int64, qg lit) 
 			return false
 		}
 		if exactCost >= 0 && st.curCost != exactCost {
-			tr.addSearchClause(append(tr.blockingClause(), qg))
+			tr.addLocalSearchClause(append(tr.blockingClause(), qg))
 			return false
 		}
 		res.Models = append(res.Models, tr.extractModel())
 		if opts.MaxModels > 0 && len(res.Models) >= opts.MaxModels {
 			return true
 		}
-		tr.addSearchClause(append(tr.blockingClause(), qg))
+		tr.addLocalSearchClause(append(tr.blockingClause(), qg))
 		return false
 	}
 	err := st.search(onTotal)
@@ -543,12 +967,20 @@ func (s *Session) solveOptimizeSession(opts Options, res *Result, qg lit) (lit, 
 func (s *Session) finishStats(res *Result, start time.Time) {
 	s.tr.fillStats(&res.Stats)
 	addEngineStats(&res.Stats, &s.accum)
+	for _, h := range s.helpers {
+		var tmp Stats
+		h.tr.fillStats(&tmp)
+		addEngineStats(&res.Stats, &tmp)
+	}
 	res.Stats.Duration = time.Since(start)
 	res.Stats.Sessions = 1
 	res.Stats.Queries = s.queries
 	res.Stats.Adds = s.adds
 	res.Stats.GroundAtomsReused = s.groundReused
 	res.Stats.LearnedReused = s.learnedReused
+	res.Stats.PortfolioWorkers = s.helperLaunches
+	res.Stats.PortfolioWins = s.helperWins
+	res.Stats.PortfolioWinner = s.lastWinner
 }
 
 // Stats returns a cumulative snapshot of the session's effort counters.
@@ -560,10 +992,18 @@ func (s *Session) Stats() Stats {
 		s.tr.fillStats(&st)
 	}
 	addEngineStats(&st, &s.accum)
+	for _, h := range s.helpers {
+		var tmp Stats
+		h.tr.fillStats(&tmp)
+		addEngineStats(&st, &tmp)
+	}
 	st.Sessions = 1
 	st.Queries = s.queries
 	st.Adds = s.adds
 	st.GroundAtomsReused = s.groundReused
 	st.LearnedReused = s.learnedReused
+	st.PortfolioWorkers = s.helperLaunches
+	st.PortfolioWins = s.helperWins
+	st.PortfolioWinner = s.lastWinner
 	return st
 }

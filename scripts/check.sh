@@ -17,11 +17,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-# The engine, the sweep, and the result cache are documented safe for
-# concurrent use; hammer them under the race detector at both ends of
-# the parallelism range.
-echo "== go test -race -cpu=1,4 (epa, hazard, store) =="
-go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/store
+# The engine, the sweep, the result cache, and the solver portfolio are
+# documented safe for concurrent use; hammer them under the race
+# detector at both ends of the parallelism range.
+echo "== go test -race -cpu=1,4 (epa, hazard, store, solver) =="
+go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/store ./internal/solver
 
 # Differential check: CDCL answer sets vs a brute-force stable-model
 # enumerator over a seeded random program battery, always re-run fresh.
@@ -30,6 +30,13 @@ go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/stor
 # ground-truth re-solves).
 echo "== go test -run TestDifferential (solver) =="
 go test -run TestDifferential -count=1 ./internal/solver
+
+# Portfolio battery: the same differential generators race 4 diversified
+# engines against the sequential reference (models, costs, cores), plus
+# determinism-mode collapse, cancellation promptness, and panic
+# poisoning — under the race detector at both parallelism extremes.
+echo "== go test -race -cpu=1,4 -run TestPortfolio|TestSessionPortfolio (solver) =="
+go test -race -cpu=1,4 -count=1 -run 'TestPortfolio|TestSessionPortfolio' ./internal/solver
 
 # Trace exporter end-to-end: assess the sample plant with tracing on and
 # validate the emitted Chrome trace (sorted timestamps, matched B/E
