@@ -408,10 +408,10 @@ func BenchmarkS3_ScenarioSpace(b *testing.B) {
 	}}
 	for _, k := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("k=%d/enumerate", k), func(b *testing.B) {
-			want := faults.SpaceSize(len(muts), k)
+			want, _ := faults.SpaceSize(len(muts), k)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if got := faults.Enumerate(muts, k); len(got) != want {
+				if got := faults.Enumerate(muts, k); int64(len(got)) != want {
 					b.Fatal("size mismatch")
 				}
 			}
@@ -435,6 +435,122 @@ func BenchmarkS3_ScenarioSpace(b *testing.B) {
 				}
 				if len(a.Hazards()) == 0 {
 					b.Fatal("no hazards")
+				}
+			}
+		})
+	}
+}
+
+// redundantStar builds the pruning worst-case-turned-best-case: n
+// identical sensors (corrupt violates, stuck does not) feeding one hub
+// watched by the requirement. Dominance kills every superset of a
+// violating singleton and symmetry folds the sensors into one orbit
+// class, so the pruned sweep executes a tiny fraction of the space.
+func redundantStar(b *testing.B, n int) (*epa.Engine, []faults.Mutation, []hazard.Requirement) {
+	b.Helper()
+	types := sysmodel.NewTypeLibrary()
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "sensor",
+		Ports: []sysmodel.PortSpec{
+			{Name: "out", Dir: sysmodel.Out, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{
+			{Name: "corrupt", Likelihood: "M"}, {Name: "stuck", Likelihood: "L"},
+		},
+	})
+	types.MustAdd(&sysmodel.ComponentType{
+		Name: "hub",
+		Ports: []sysmodel.PortSpec{
+			{Name: "in", Dir: sysmodel.In, Flow: sysmodel.SignalFlow},
+			{Name: "out", Dir: sysmodel.Out, Flow: sysmodel.SignalFlow},
+		},
+		FaultModes: []sysmodel.FaultModeSpec{{Name: "crash", Likelihood: "L"}},
+	})
+	m := sysmodel.NewModel("redundant-star")
+	m.MustAddComponent(&sysmodel.Component{ID: "hub", Type: "hub"})
+	var muts []faults.Mutation
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		m.MustAddComponent(&sysmodel.Component{ID: id, Type: "sensor"})
+		m.Connect(id, "out", "hub", "in", sysmodel.SignalFlow)
+		muts = append(muts,
+			faults.Mutation{Activation: epa.Activation{Component: id, Fault: "corrupt"}, Likelihood: qual.Medium},
+			faults.Mutation{Activation: epa.Activation{Component: id, Fault: "stuck"}, Likelihood: qual.Low})
+	}
+	muts = append(muts, faults.Mutation{
+		Activation: epa.Activation{Component: "hub", Fault: "crash"}, Likelihood: qual.Low})
+	lib := epa.NewBehaviorLibrary(types)
+	lib.MustRegister(&epa.TypeBehavior{
+		Type: "sensor",
+		Effects: []epa.FaultEffect{
+			{Fault: "corrupt", Port: "out", Emit: epa.StateOf(epa.ErrValue)},
+			{Fault: "stuck", Port: "out", Emit: epa.StateOf(epa.ErrTiming)},
+		},
+	})
+	lib.MustRegister(&epa.TypeBehavior{
+		Type:      "hub",
+		Effects:   []epa.FaultEffect{{Fault: "crash", Port: "out", Emit: epa.StateOf(epa.ErrOmission)}},
+		Transfers: epa.IdentityTransfers("in", "out"),
+	})
+	eng, err := epa.NewEngine(m, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := []hazard.Requirement{{
+		ID: "R-HUB", Severity: qual.High, Condition: hazard.Comp("hub", epa.ErrValue),
+	}}
+	return eng, muts, reqs
+}
+
+// BenchmarkS3_PrunedSweep measures the tentpole of the pruning work
+// (experiment S3, pruned arms): the same redundant plant swept
+// exhaustively, with dominance + symmetry pruning, and as two
+// rank-range shards. The pruned arm asserts the >= 5x reduction in
+// executed scenarios that the report-identity tests license.
+func BenchmarkS3_PrunedSweep(b *testing.B) {
+	eng, muts, reqs := redundantStar(b, 12) // 25 candidates
+	for _, k := range []int{4, 5} {
+		total, ok := faults.SpaceSize(len(muts), k)
+		if !ok {
+			b.Fatal("space overflows")
+		}
+		b.Run(fmt.Sprintf("k=%d/exhaustive", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := hazard.AnalyzeSweep(eng, muts, k, reqs, hazard.SweepConfig{Parallelism: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if int64(len(a.Scenarios)) != total {
+					b.Fatal("short sweep")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/pruned", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := hazard.AnalyzeSweep(eng, muts, k, reqs, hazard.SweepConfig{Parallelism: 2, Prune: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if int64(len(a.Scenarios)) != total {
+					b.Fatal("short sweep")
+				}
+				if a.Sweep.Executed*5 > total {
+					b.Fatalf("pruning reduction < 5x: executed %d of %d", a.Sweep.Executed, total)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/sharded-2", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < 2; s++ {
+					a, err := hazard.AnalyzeSweep(eng, muts, k, reqs, hazard.SweepConfig{
+						Parallelism: 2, Prune: true, ShardIndex: s, ShardCount: 2,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(a.Scenarios) == 0 {
+						b.Fatal("empty shard")
+					}
 				}
 			}
 		})

@@ -30,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"cpsrisk/internal/budget"
@@ -70,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 	solverWorkers := fs.Int("solver-workers", 1, "ASP portfolio engines per query (0 = derive from -parallel, 1 = single engine)")
 	solverDet := fs.Bool("solver-det", false, "deterministic ASP search: forces a single engine so reports are byte-identical across runs")
 	topN := fs.Int("top", 20, "ranked scenarios to print (0 = all)")
+	noPrune := fs.Bool("no-prune", false, "disable sweep pruning (dominance skipping + symmetry orbits); every scenario runs through the EPA engine")
+	shard := fs.String("shard", "", "sweep one rank-range shard of the scenario space, as \"i/m\" (0-based index i of m shards); shards share -cache and merge via a final whole-space run")
 	checkpointDir := fs.String("checkpoint", "", "persist sweep checkpoints (and the result cache) in this directory; an interrupted run resumes from it")
 	cacheDir := fs.String("cache", "", "persist the EPA result cache in this directory (defaults to <checkpoint>/cache when -checkpoint is set)")
 	tracePath := fs.String("trace", "", "trace the run and write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
@@ -81,6 +84,10 @@ func run(args []string, stdout io.Writer) error {
 	if *modelPath == "" || *typesPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-model and -types are required")
+	}
+	shardIndex, shardCount, err := parseShard(*shard)
+	if err != nil {
+		return err
 	}
 
 	if *cpuProfile != "" {
@@ -168,6 +175,9 @@ func run(args []string, stdout io.Writer) error {
 		Metrics:             metrics,
 		CheckpointDir:       *checkpointDir,
 		CacheDir:            *cacheDir,
+		NoPrune:             *noPrune,
+		ShardIndex:          shardIndex,
+		ShardCount:          shardCount,
 		Faults:              injector,
 		Resources: budget.Limits{
 			Timeout:      *timeout,
@@ -222,6 +232,29 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, a.Degradation.Summary())
 	}
 	return nil
+}
+
+// parseShard parses the -shard flag ("" = whole space, "i/m" = shard i
+// of m, 0-based).
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/m\", e.g. 0/4", s)
+	}
+	index, err = strconv.Atoi(s[:i])
+	if err == nil {
+		count, err = strconv.Atoi(s[i+1:])
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/m\", e.g. 0/4", s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-shard %q: index must be in [0,%d)", s, count)
+	}
+	return index, count, nil
 }
 
 func loadModel(path string) (*sysmodel.Model, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -330,5 +331,117 @@ func TestRunParallelFlagIsDeterministic(t *testing.T) {
 	}
 	if sum.Sweep == nil || sum.Sweep.Workers != 4 || sum.Sweep.Scenarios == 0 {
 		t.Errorf("sweep stats = %+v", sum.Sweep)
+	}
+}
+
+// jsonRun executes the CLI with -json and decodes the summary fields the
+// pruning/sharding tests care about.
+func jsonRun(t *testing.T, extra ...string) (scenarios []json.RawMessage, sweep struct {
+	Executed     int64  `json:"executed"`
+	Pruned       int64  `json:"pruned"`
+	OrbitHits    int64  `json:"orbitHits"`
+	OrbitClasses int    `json:"orbitClasses"`
+	Shard        string `json:"shard"`
+	CacheHits    int64  `json:"cacheHits"`
+	CacheMisses  int64  `json:"cacheMisses"`
+}) {
+	t.Helper()
+	args := append([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-maxcard", "2",
+		"-parallel", "2", // force the sweep path even on 1-CPU machines
+		"-json",
+	}, extra...)
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Scenarios []json.RawMessage `json:"scenarios"`
+		Sweep     json.RawMessage   `json:"sweep"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sweep != nil {
+		if err := json.Unmarshal(sum.Sweep, &sweep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sum.Scenarios, sweep
+}
+
+// scenarioSet renders scenario rows for comparison. The JSON export
+// lists scenarios risk-ranked, so rows are sorted to compare runs that
+// cover the space in different shard orders.
+func scenarioSet(rows []json.RawMessage) string {
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		lines[i] = string(r)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestRunNoPruneFlag: pruning is on by default and never changes the
+// report; -no-prune forces every scenario through the engine.
+func TestRunNoPruneFlag(t *testing.T) {
+	prunedRows, pruned := jsonRun(t)
+	plainRows, plain := jsonRun(t, "-no-prune")
+	if scenarioSet(prunedRows) != scenarioSet(plainRows) {
+		t.Fatal("pruned and unpruned CLI runs disagree on scenarios")
+	}
+	if plain.Pruned != 0 || plain.OrbitHits != 0 {
+		t.Errorf("-no-prune still pruned: %+v", plain)
+	}
+	if plain.Executed != int64(len(plainRows)) {
+		t.Errorf("-no-prune executed %d of %d scenarios", plain.Executed, len(plainRows))
+	}
+	if pruned.Executed+pruned.Pruned+pruned.OrbitHits != int64(len(prunedRows)) {
+		t.Errorf("pruned-run accounting off: %+v over %d rows", pruned, len(prunedRows))
+	}
+}
+
+// TestRunShardFlag: two shard runs over a shared cache partition the
+// space, and a whole-space run merges them without recomputation.
+func TestRunShardFlag(t *testing.T) {
+	baseRows, _ := jsonRun(t)
+	cache := t.TempDir()
+	var shardRows []json.RawMessage
+	for i := 0; i < 2; i++ {
+		spec := strconv.Itoa(i) + "/2"
+		rows, sw := jsonRun(t, "-shard", spec, "-cache", cache)
+		if sw.Shard != spec {
+			t.Fatalf("sweep.shard = %q, want %q", sw.Shard, spec)
+		}
+		shardRows = append(shardRows, rows...)
+	}
+	if scenarioSet(shardRows) != scenarioSet(baseRows) {
+		t.Fatal("shard union diverged from the whole-space report")
+	}
+	mergedRows, merged := jsonRun(t, "-cache", cache)
+	if scenarioSet(mergedRows) != scenarioSet(baseRows) {
+		t.Fatal("merged run diverged from the whole-space report")
+	}
+	if merged.CacheHits == 0 || merged.CacheMisses != 0 {
+		t.Errorf("merge recomputed scenarios: %+v", merged)
+	}
+}
+
+// TestRunShardFlagValidation: malformed or out-of-range shard specs and
+// the ASP combination fail fast.
+func TestRunShardFlagValidation(t *testing.T) {
+	base := []string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+	}
+	for _, spec := range []string{"2/2", "-1/3", "x/y", "1", "1/0"} {
+		if err := run(append(base, "-shard", spec), io.Discard); err == nil {
+			t.Errorf("-shard %q accepted", spec)
+		}
+	}
+	if err := run(append(base, "-shard", "0/2", "-asp"), io.Discard); err == nil {
+		t.Error("-shard with -asp accepted")
 	}
 }

@@ -108,6 +108,19 @@ type Config struct {
 	// Unless CacheDir is also set, the result cache lives under
 	// CheckpointDir/cache (resume requires the cache to restore results).
 	CheckpointDir string
+	// NoPrune disables sweep pruning (dominance skipping and symmetry
+	// orbit replication). Pruning is on by default because it never
+	// changes the report — it only skips EPA runs whose outcome is
+	// already implied — but this switch forces every scenario through
+	// the engine, e.g. to cross-check the pruner itself.
+	NoPrune bool
+	// ShardIndex / ShardCount split the scenario space by global rank
+	// into ShardCount near-equal contiguous ranges and sweep only range
+	// ShardIndex (0-based). Shards share the result cache (and cache
+	// directory), so a final whole-space run merges their work without
+	// recomputation. ShardCount <= 1 sweeps the whole space. Sharding is
+	// a native-sweep feature and is rejected together with UseASP.
+	ShardIndex, ShardCount int
 	// Faults arms the deterministic fault-injection harness: injected
 	// panics, I/O errors, torn writes and cancellations at the registered
 	// sites (see faultinject). Nil — the default — costs one pointer
@@ -184,6 +197,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	}
 	if len(cfg.Requirements) == 0 {
 		return nil, fmt.Errorf("core: at least one requirement is required")
+	}
+	if cfg.ShardCount > 1 && cfg.UseASP {
+		return nil, fmt.Errorf("core: sharding is a native-sweep feature; it cannot be combined with the ASP path")
 	}
 	// The fault injector rides the context like the tracing span does, so
 	// every governed stage downstream reaches it through its budget. Its
@@ -332,7 +348,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 		// checkpoint. Both are best-effort — an unopenable directory
 		// degrades the run (recorded, sweep proceeds in-memory) rather
 		// than failing an otherwise sound assessment.
-		sweepCfg := hazard.SweepConfig{Budget: b, Parallelism: cfg.Parallelism}
+		sweepCfg := hazard.SweepConfig{
+			Budget: b, Parallelism: cfg.Parallelism,
+			Prune:      !cfg.NoPrune,
+			ShardIndex: cfg.ShardIndex, ShardCount: cfg.ShardCount,
+		}
 		cacheDir := cfg.CacheDir
 		if cacheDir == "" && cfg.CheckpointDir != "" {
 			cacheDir = filepath.Join(cfg.CheckpointDir, "cache")
@@ -350,7 +370,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			}
 		}
 		if cfg.CheckpointDir != "" {
-			ck, kerr := hazard.OpenCheckpoint(cfg.CheckpointDir, 0)
+			ck, kerr := hazard.OpenCheckpointShard(cfg.CheckpointDir, 0, cfg.ShardIndex, cfg.ShardCount)
 			if kerr != nil {
 				out.Degradation.Add("hazard", "checkpoint-unavailable", kerr.Error())
 			} else {

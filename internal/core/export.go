@@ -53,6 +53,18 @@ type SweepSummary struct {
 	// ResumedFromRank is the checkpoint frontier the sweep resumed from
 	// (absent for a fresh sweep) — resume provenance for tooling.
 	ResumedFromRank int `json:"resumedFromRank,omitempty"`
+	// Executed counts scenarios evaluated against a full EPA result;
+	// Pruned and OrbitHits count rows synthesized by dominance skipping
+	// and symmetry replication instead (absent on unpruned sweeps).
+	Executed  int64 `json:"executed,omitempty"`
+	Pruned    int64 `json:"pruned,omitempty"`
+	OrbitHits int64 `json:"orbitHits,omitempty"`
+	// OrbitClasses is the number of interchangeable-component classes
+	// the pruner detected (absent when none).
+	OrbitClasses int `json:"orbitClasses,omitempty"`
+	// Shard is "index/count" when the sweep covered one rank-range shard
+	// of the space (absent for whole-space sweeps).
+	Shard string `json:"shard,omitempty"`
 }
 
 // SolverSummary is the ASP solver's search effort for the run.
@@ -176,12 +188,17 @@ func (a *Assessment) Summarize() *Summary {
 	if a.Analysis != nil && a.Analysis.Sweep != nil {
 		sw := a.Analysis.Sweep
 		out.Sweep = &SweepSummary{
-			Workers:     sw.Workers,
-			Scenarios:   sw.Scenarios,
-			DurationMS:  sw.Duration.Milliseconds(),
-			CacheHits:   sw.CacheHits,
-			CacheMisses: sw.CacheMisses,
-			Retries:     sw.Retries,
+			Workers:      sw.Workers,
+			Scenarios:    sw.Scenarios,
+			DurationMS:   sw.Duration.Milliseconds(),
+			CacheHits:    sw.CacheHits,
+			CacheMisses:  sw.CacheMisses,
+			Retries:      sw.Retries,
+			Executed:     sw.Executed,
+			Pruned:       sw.Pruned,
+			OrbitHits:    sw.OrbitHits,
+			OrbitClasses: sw.OrbitClasses,
+			Shard:        sw.Shard,
 		}
 		if a.Analysis.Resume != nil {
 			out.Sweep.ResumedFromRank = a.Analysis.Resume.FromRank

@@ -44,7 +44,15 @@ func (a *Assessment) Render() string {
 	fmt.Fprintf(&sb, "HAZARD IDENTIFICATION\n  %d scenarios analyzed, %d hazardous\n",
 		len(a.Analysis.Scenarios), len(hazards))
 	if sw := a.Analysis.Sweep; sw != nil {
-		fmt.Fprintf(&sb, "  sweep: %d worker(s), %.0f scenarios/s\n", sw.Workers, sw.Throughput())
+		fmt.Fprintf(&sb, "  sweep: %d worker(s), %.0f scenarios/s", sw.Workers, sw.Throughput())
+		if sw.Shard != "" {
+			fmt.Fprintf(&sb, ", shard %s", sw.Shard)
+		}
+		if sw.Pruned+sw.OrbitHits > 0 {
+			fmt.Fprintf(&sb, ", %d executed, %d dominance-pruned, %d orbit-replicated (%d symmetry classes)",
+				sw.Executed, sw.Pruned, sw.OrbitHits, sw.OrbitClasses)
+		}
+		sb.WriteString("\n")
 		if sw.CacheHits+sw.CacheMisses > 0 {
 			fmt.Fprintf(&sb, "  cache: %d hits, %d misses\n", sw.CacheHits, sw.CacheMisses)
 		}

@@ -1,0 +1,254 @@
+package epa
+
+import (
+	"sort"
+	"strings"
+)
+
+// Monotone reports whether the compiled propagation is monotone in the
+// fault set: activating additional faults can only grow the reachable
+// error states, never remove one. The single non-monotone construct in
+// the behaviour language is UnlessFault (a transfer suppressed by an
+// activation), so the engine is monotone exactly when no compiled
+// transfer carries one. Dominance pruning in the hazard sweep is only
+// sound on monotone engines.
+func (e *Engine) Monotone() bool {
+	for _, bucket := range e.transfers {
+		for i := range bucket {
+			if bucket[i].unlessFault != "" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InterchangeableClasses partitions the model's components into classes
+// whose members are pairwise interchangeable: swapping any two members
+// (their ports matched by name) is an automorphism of the compiled
+// propagation tables, so every EPA result is equivariant under the swap.
+// Components in protected are never classed (callers exclude components
+// that are distinguished elsewhere, e.g. named in hazard conditions).
+//
+// Soundness: each candidate is verified against its class representative
+// by an exact transposition check over the compiled tables — connection
+// fan-out, transfer rules, fault seeds, and declared activations must
+// all be invariant as multisets. Signature bucketing (type + port
+// shape) is only a pre-filter; a bucket is split whenever the exact
+// check fails. Swap-vs-representative verification suffices for the
+// whole class: if σ_ar and σ_br are automorphisms then so is
+// σ_ab = σ_ar·σ_br·σ_ar, generating the full symmetric group.
+//
+// Only classes with two or more members are returned, each sorted by
+// component ID, the class list sorted by its first member.
+func (e *Engine) InterchangeableClasses(protected map[string]bool) [][]string {
+	// Pre-filter: bucket by (component type, sorted port-name shape).
+	buckets := map[string][]string{}
+	var order []string
+	for _, span := range e.compSpans {
+		id := span.component
+		if protected[id] {
+			continue
+		}
+		comp, ok := e.model.Component(id)
+		if !ok {
+			continue
+		}
+		names := make([]string, 0, span.end-span.start)
+		for _, p := range e.ports[span.start:span.end] {
+			names = append(names, p.Port)
+		}
+		sort.Strings(names)
+		sig := comp.Type + "\x00" + strings.Join(names, "\x00")
+		if _, seen := buckets[sig]; !seen {
+			order = append(order, sig)
+		}
+		buckets[sig] = append(buckets[sig], id)
+	}
+	var classes [][]string
+	for _, sig := range order {
+		ids := buckets[sig]
+		sort.Strings(ids)
+		var split [][]string
+		for _, id := range ids {
+			placed := false
+			for i := range split {
+				if e.isSwapAutomorphism(split[i][0], id) {
+					split[i] = append(split[i], id)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				split = append(split, []string{id})
+			}
+		}
+		for _, cl := range split {
+			if len(cl) > 1 {
+				classes = append(classes, cl)
+			}
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	return classes
+}
+
+// isSwapAutomorphism verifies that transposing components c1 and c2
+// (ports matched by name) leaves every compiled table invariant.
+func (e *Engine) isSwapAutomorphism(c1, c2 string) bool {
+	s1, ok1 := e.compRange[c1]
+	s2, ok2 := e.compRange[c2]
+	if !ok1 || !ok2 || s1.end-s1.start != s2.end-s2.start {
+		return false
+	}
+	// σ over port IDs: identity outside the two spans, name-matched swap
+	// inside them.
+	sigma := make([]portID, len(e.ports))
+	for i := range sigma {
+		sigma[i] = portID(i)
+	}
+	byName := make(map[string]portID, s2.end-s2.start)
+	for id := s2.start; id < s2.end; id++ {
+		byName[e.ports[id].Port] = id
+	}
+	for id := s1.start; id < s1.end; id++ {
+		other, ok := byName[e.ports[id].Port]
+		if !ok {
+			return false
+		}
+		sigma[id] = other
+		sigma[other] = id
+	}
+	swapComp := func(c string) string {
+		switch c {
+		case c1:
+			return c2
+		case c2:
+			return c1
+		}
+		return c
+	}
+	// Connection fan-out invariance: σ(outgoing[p]) == outgoing[σ(p)].
+	for p := range e.outgoing {
+		if !samePortSet(mapPorts(e.outgoing[p], sigma), e.outgoing[sigma[p]]) {
+			return false
+		}
+	}
+	// Transfer invariance, with the owning component renamed through σ so
+	// WhenFault/UnlessFault guards stay bound to the right activations.
+	for p := range e.transfers {
+		if !sameTransferSet(mapTransfers(e.transfers[p], sigma, swapComp), e.transfers[sigma[p]]) {
+			return false
+		}
+	}
+	// Declared activations and fault seeds must map onto each other.
+	for act := range e.valid {
+		if !e.valid[Activation{Component: swapComp(act.Component), Fault: act.Fault}] {
+			return false
+		}
+	}
+	for act, effs := range e.seeds {
+		mapped := Activation{Component: swapComp(act.Component), Fault: act.Fault}
+		if !sameSeedSet(mapSeeds(effs, sigma), e.seeds[mapped]) {
+			return false
+		}
+	}
+	return true
+}
+
+func mapPorts(in []portID, sigma []portID) []portID {
+	out := make([]portID, len(in))
+	for i, p := range in {
+		out[i] = sigma[p]
+	}
+	return out
+}
+
+func samePortSet(a, b []portID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := append([]portID(nil), b...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range a {
+		if a[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mapTransfers(in []compiledTransfer, sigma []portID, swapComp func(string) string) []compiledTransfer {
+	out := make([]compiledTransfer, len(in))
+	for i, tr := range in {
+		tr.to = sigma[tr.to]
+		tr.component = swapComp(tr.component)
+		out[i] = tr
+	}
+	return out
+}
+
+func transferLess(a, b compiledTransfer) bool {
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	if a.match != b.match {
+		return a.match < b.match
+	}
+	if a.emit != b.emit {
+		return a.emit < b.emit
+	}
+	if a.component != b.component {
+		return a.component < b.component
+	}
+	if a.whenFault != b.whenFault {
+		return a.whenFault < b.whenFault
+	}
+	return a.unlessFault < b.unlessFault
+}
+
+func sameTransferSet(a, b []compiledTransfer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := append([]compiledTransfer(nil), b...)
+	sort.Slice(a, func(i, j int) bool { return transferLess(a[i], a[j]) })
+	sort.Slice(bs, func(i, j int) bool { return transferLess(bs[i], bs[j]) })
+	for i := range a {
+		if a[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mapSeeds(in []seedEffect, sigma []portID) []seedEffect {
+	out := make([]seedEffect, len(in))
+	for i, s := range in {
+		s.port = sigma[s.port]
+		out[i] = s
+	}
+	return out
+}
+
+func sameSeedSet(a, b []seedEffect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := append([]seedEffect(nil), b...)
+	less := func(x, y seedEffect) bool {
+		if x.port != y.port {
+			return x.port < y.port
+		}
+		return x.emit < y.emit
+	}
+	sort.Slice(a, func(i, j int) bool { return less(a[i], a[j]) })
+	sort.Slice(bs, func(i, j int) bool { return less(bs[i], bs[j]) })
+	for i := range a {
+		if a[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

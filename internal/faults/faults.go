@@ -7,6 +7,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"cpsrisk/internal/epa"
@@ -159,29 +160,55 @@ func LikelihoodIndex(muts []Mutation) map[epa.Activation]qual.Level {
 	return out
 }
 
+// Binomial64 computes C(n, k) in int64. The second result is false when
+// the value overflows; it then saturates at math.MaxInt64 so comparisons
+// against real counts stay conservative.
+func Binomial64(n, k int) (int64, bool) {
+	if k < 0 || k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := int64(1)
+	for i := 0; i < k; i++ {
+		m, d := int64(n-i), int64(i+1)
+		// c*m/d with the division split out first so the intermediate
+		// product cannot overflow when the final value still fits:
+		// c*m/d = (c/d)*m + (c%d)*m/d, and d divides (c%d)*m exactly
+		// because d divides c*m.
+		q, rem := c/d, c%d
+		if q > math.MaxInt64/m || (rem != 0 && rem > math.MaxInt64/m) {
+			return math.MaxInt64, false
+		}
+		lo := rem * m / d
+		if q*m > math.MaxInt64-lo {
+			return math.MaxInt64, false
+		}
+		c = q*m + lo
+	}
+	return c, true
+}
+
 // SpaceSize returns the number of scenarios with at most maxCard
 // activations out of n candidates: sum of C(n, i) for i = 0..maxCard.
-// maxCard < 0 means unbounded (2^n). Returns -1 on overflow.
-func SpaceSize(n, maxCard int) int {
+// maxCard < 0 means unbounded (2^n). The second result is false when the
+// count overflows int64; the value then saturates at math.MaxInt64, so
+// k>=4 sweeps over large plants degrade to an explicit "space too large"
+// signal instead of silently wrapping negative.
+func SpaceSize(n, maxCard int) (int64, bool) {
 	if maxCard < 0 || maxCard > n {
 		maxCard = n
 	}
-	total := 0
-	c := 1 // C(n, 0)
+	var total int64
 	for i := 0; i <= maxCard; i++ {
+		c, ok := Binomial64(n, i)
+		if !ok || total > math.MaxInt64-c {
+			return math.MaxInt64, false
+		}
 		total += c
-		if total < 0 {
-			return -1
-		}
-		if i < n {
-			next := c * (n - i) / (i + 1)
-			if next < 0 {
-				return -1
-			}
-			c = next
-		}
 	}
-	return total
+	return total, true
 }
 
 // Enumerate yields every scenario (combination of candidate activations)
@@ -240,6 +267,125 @@ func EnumerateStream(muts []Mutation, maxCard int, yield func(epa.Scenario) bool
 			}
 		}
 		combo(0, card)
+	}
+}
+
+// comboRank returns the lexicographic rank of a strictly increasing
+// index combination idx over [0, n). It is the inverse of comboUnrank.
+func comboRank(n int, idx []int) int64 {
+	k := len(idx)
+	var rank int64
+	prev := -1
+	for i, v := range idx {
+		for j := prev + 1; j < v; j++ {
+			c, ok := Binomial64(n-1-j, k-1-i)
+			if !ok {
+				return math.MaxInt64
+			}
+			rank += c
+		}
+		prev = v
+	}
+	return rank
+}
+
+// comboUnrank writes the k-combination of [0, n) with the given
+// lexicographic rank into idx (which must have length k). rank must be
+// in [0, C(n, k)).
+func comboUnrank(n, k int, rank int64, idx []int) {
+	j := 0
+	for i := 0; i < k; i++ {
+		for {
+			c, _ := Binomial64(n-1-j, k-1-i)
+			if rank < c {
+				idx[i] = j
+				j++
+				break
+			}
+			rank -= c
+			j++
+		}
+	}
+}
+
+// nextCombo advances idx to the lexicographically next k-combination of
+// [0, n), reporting false from the last one.
+func nextCombo(n int, idx []int) bool {
+	k := len(idx)
+	i := k - 1
+	for i >= 0 && idx[i] == n-k+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	idx[i]++
+	for j := i + 1; j < k; j++ {
+		idx[j] = idx[j-1] + 1
+	}
+	return true
+}
+
+// EnumerateRange yields exactly the scenarios whose global stream rank —
+// the 0-based position in EnumerateStream's order (cardinality
+// ascending, lexicographic within a cardinality) — falls in [lo, hi).
+// hi < 0 means "to the end of the space". The first scenario yielded has
+// rank lo: shard i of m sweeps EnumerateRange over its slice of the
+// space and still sees globally consistent ranks, which is what keeps
+// scenario IDs and checkpoint frontiers shard-mergeable. yield may stop
+// the stream early by returning false.
+//
+// Seeking costs one combinatorial unrank per cardinality level touched;
+// iteration within the range is successor-based and allocation-light.
+func EnumerateRange(muts []Mutation, maxCard int, lo, hi int64, yield func(sc epa.Scenario) bool) {
+	n := len(muts)
+	if maxCard < 0 || maxCard > n {
+		maxCard = n
+	}
+	if hi < 0 {
+		hi = math.MaxInt64
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	var base int64
+	for card := 0; card <= maxCard; card++ {
+		size, ok := Binomial64(n, card)
+		if !ok {
+			// A level too large to count is too large to finish sweeping;
+			// the caller's budget will stop the walk long before then.
+			size = math.MaxInt64 - base
+		}
+		if base >= hi {
+			return
+		}
+		if lo >= base+size {
+			base += size
+			continue
+		}
+		localLo := int64(0)
+		if lo > base {
+			localLo = lo - base
+		}
+		localHi := size
+		if hi-base < localHi {
+			localHi = hi - base
+		}
+		idx := make([]int, card)
+		comboUnrank(n, card, localLo, idx)
+		for r := localLo; r < localHi; r++ {
+			sc := make(epa.Scenario, card)
+			for i, j := range idx {
+				sc[i] = muts[j].Activation
+			}
+			if !yield(sc) {
+				return
+			}
+			if r+1 < localHi && !nextCombo(n, idx) {
+				return // defensive: size said more ranks remain
+			}
+		}
+		base += size
 	}
 }
 

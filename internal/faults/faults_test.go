@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"cpsrisk/internal/epa"
@@ -123,7 +124,10 @@ func TestCandidatesUndeclaredVulnFaultFails(t *testing.T) {
 }
 
 func TestSpaceSize(t *testing.T) {
-	tests := []struct{ n, maxCard, want int }{
+	tests := []struct {
+		n, maxCard int
+		want       int64
+	}{
 		{4, 0, 1},
 		{4, 1, 5},
 		{4, 2, 11},
@@ -132,11 +136,36 @@ func TestSpaceSize(t *testing.T) {
 		{4, 9, 16},
 		{0, -1, 1},
 		{7, 3, 1 + 7 + 21 + 35},
+		{62, -1, 1 << 62},
 	}
 	for _, tt := range tests {
-		if got := SpaceSize(tt.n, tt.maxCard); got != tt.want {
-			t.Errorf("SpaceSize(%d,%d) = %d, want %d", tt.n, tt.maxCard, got, tt.want)
+		got, ok := SpaceSize(tt.n, tt.maxCard)
+		if got != tt.want || !ok {
+			t.Errorf("SpaceSize(%d,%d) = %d,%v, want %d,true", tt.n, tt.maxCard, got, ok, tt.want)
 		}
+	}
+	// Overflow saturates with an explicit flag instead of wrapping: 2^200
+	// scenarios do not fit an int64.
+	if got, ok := SpaceSize(200, -1); ok || got != math.MaxInt64 {
+		t.Errorf("SpaceSize(200,-1) = %d,%v, want saturated,false", got, ok)
+	}
+	if got, ok := SpaceSize(500, 80); ok || got != math.MaxInt64 {
+		t.Errorf("SpaceSize(500,80) = %d,%v, want saturated,false", got, ok)
+	}
+}
+
+func TestBinomial64(t *testing.T) {
+	if c, ok := Binomial64(52, 5); !ok || c != 2598960 {
+		t.Errorf("C(52,5) = %d,%v", c, ok)
+	}
+	if c, ok := Binomial64(10, 0); !ok || c != 1 {
+		t.Errorf("C(10,0) = %d,%v", c, ok)
+	}
+	if c, ok := Binomial64(10, 12); !ok || c != 0 {
+		t.Errorf("C(10,12) = %d,%v", c, ok)
+	}
+	if c, ok := Binomial64(200, 100); ok || c != math.MaxInt64 {
+		t.Errorf("C(200,100) = %d,%v, want saturated,false", c, ok)
 	}
 }
 
@@ -148,8 +177,8 @@ func TestEnumerateMatchesSpaceSize(t *testing.T) {
 	}
 	for _, maxCard := range []int{0, 1, 2, -1} {
 		scenarios := Enumerate(muts, maxCard)
-		want := SpaceSize(len(muts), maxCard)
-		if len(scenarios) != want {
+		want, _ := SpaceSize(len(muts), maxCard)
+		if int64(len(scenarios)) != want {
 			t.Errorf("maxCard=%d: enumerated %d, want %d", maxCard, len(scenarios), want)
 		}
 		// No duplicates; first is empty; cardinality respected and sorted.
@@ -193,8 +222,8 @@ func TestEncodeChoiceEnumeratesSpace(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := SpaceSize(len(muts), maxCard)
-		if len(res.Models) != want {
+		want, _ := SpaceSize(len(muts), maxCard)
+		if int64(len(res.Models)) != want {
 			t.Errorf("maxCard=%d: ASP models = %d, want %d", maxCard, len(res.Models), want)
 		}
 	}
@@ -208,8 +237,9 @@ func BenchmarkEnumerate(b *testing.B) {
 	}
 	for _, card := range []int{2, 3} {
 		b.Run(fmt.Sprintf("n=16,k=%d", card), func(b *testing.B) {
+			want, _ := SpaceSize(16, card)
 			for i := 0; i < b.N; i++ {
-				if got := Enumerate(muts, card); len(got) != SpaceSize(16, card) {
+				if got := Enumerate(muts, card); int64(len(got)) != want {
 					b.Fatal("size mismatch")
 				}
 			}

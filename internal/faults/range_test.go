@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"cpsrisk/internal/epa"
+)
+
+func rangeMuts(n int) []Mutation {
+	muts := make([]Mutation, n)
+	for i := range muts {
+		muts[i] = Mutation{Activation: epa.Activation{
+			Component: fmt.Sprintf("c%02d", i), Fault: "f"}}
+	}
+	return muts
+}
+
+func TestComboRankUnrankRoundTrip(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			total, _ := Binomial64(n, k)
+			idx := make([]int, k)
+			for r := int64(0); r < total; r++ {
+				comboUnrank(n, k, r, idx)
+				for i := 1; i < k; i++ {
+					if idx[i] <= idx[i-1] {
+						t.Fatalf("n=%d k=%d r=%d: not strictly increasing: %v", n, k, r, idx)
+					}
+				}
+				if got := comboRank(n, idx); got != r {
+					t.Fatalf("n=%d k=%d: rank(unrank(%d)) = %d", n, k, r, got)
+				}
+			}
+		}
+	}
+}
+
+// EnumerateRange(lo, hi) must be exactly the [lo, hi) slice of the
+// stream, for every split of the space.
+func TestEnumerateRangeMatchesStreamSlice(t *testing.T) {
+	muts := rangeMuts(7)
+	for _, maxCard := range []int{0, 1, 3, -1} {
+		var all []epa.Scenario
+		EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+			all = append(all, sc)
+			return true
+		})
+		total := int64(len(all))
+		for _, span := range [][2]int64{
+			{0, total}, {0, 0}, {0, 1}, {1, 5}, {total - 3, total},
+			{total / 2, total/2 + 7}, {total, total + 4}, {3, -1},
+		} {
+			lo, hi := span[0], span[1]
+			var got []epa.Scenario
+			EnumerateRange(muts, maxCard, lo, hi, func(sc epa.Scenario) bool {
+				got = append(got, sc)
+				return true
+			})
+			wantHi := hi
+			if wantHi < 0 || wantHi > total {
+				wantHi = total
+			}
+			wantLo := lo
+			if wantLo < 0 {
+				wantLo = 0
+			}
+			if wantLo > wantHi {
+				wantLo = wantHi
+			}
+			want := all[wantLo:wantHi]
+			if len(got) != len(want) {
+				t.Fatalf("maxCard=%d [%d,%d): got %d scenarios, want %d",
+					maxCard, lo, hi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Key() != want[i].Key() {
+					t.Fatalf("maxCard=%d [%d,%d) pos %d: %s != %s",
+						maxCard, lo, hi, i, got[i].Key(), want[i].Key())
+				}
+			}
+		}
+	}
+}
+
+// Contiguous shard ranges must partition the stream exactly.
+func TestEnumerateRangeShardsPartitionSpace(t *testing.T) {
+	muts := rangeMuts(8)
+	maxCard := 3
+	total, ok := SpaceSize(len(muts), maxCard)
+	if !ok {
+		t.Fatal("space overflow")
+	}
+	for _, m := range []int64{2, 3, 5} {
+		var union []string
+		for i := int64(0); i < m; i++ {
+			lo := i * (total / m)
+			if i < total%m {
+				lo += i
+			} else {
+				lo += total % m
+			}
+			hi := lo + total/m
+			if i < total%m {
+				hi++
+			}
+			EnumerateRange(muts, maxCard, lo, hi, func(sc epa.Scenario) bool {
+				union = append(union, sc.Key())
+				return true
+			})
+		}
+		if int64(len(union)) != total {
+			t.Fatalf("m=%d: union has %d scenarios, want %d", m, len(union), total)
+		}
+		pos := 0
+		EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+			if union[pos] != sc.Key() {
+				t.Fatalf("m=%d rank %d: %s != %s", m, pos, union[pos], sc.Key())
+			}
+			pos++
+			return true
+		})
+	}
+}
+
+func TestEnumerateRangeEarlyStop(t *testing.T) {
+	muts := rangeMuts(6)
+	count := 0
+	EnumerateRange(muts, -1, 2, 40, func(sc epa.Scenario) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("yield=false did not stop the range: %d", count)
+	}
+}
+
+// FuzzRankUnrank drives the combinatorial rank machinery with arbitrary
+// shapes: the rank<->combination round-trip must hold and
+// EnumerateRange(lo, hi) must equal the corresponding slice of
+// EnumerateStream for any (n, maxCard, lo, hi).
+func FuzzRankUnrank(f *testing.F) {
+	f.Add(uint8(5), int8(2), uint16(0), uint16(10))
+	f.Add(uint8(9), int8(-1), uint16(7), uint16(300))
+	f.Add(uint8(12), int8(4), uint16(100), uint16(90))
+	f.Add(uint8(0), int8(0), uint16(0), uint16(1))
+	f.Fuzz(func(t *testing.T, nRaw uint8, cardRaw int8, loRaw, hiRaw uint16) {
+		n := int(nRaw % 13) // keep the space enumerable in fuzz time
+		maxCard := int(cardRaw)
+		if maxCard > n {
+			maxCard = n
+		}
+		muts := rangeMuts(n)
+
+		var all []epa.Scenario
+		EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+			all = append(all, sc)
+			return true
+		})
+		total, ok := SpaceSize(n, maxCard)
+		if !ok || total != int64(len(all)) {
+			t.Fatalf("SpaceSize(%d,%d) = %d,%v but stream has %d", n, maxCard, total, ok, len(all))
+		}
+
+		// Round-trip every rank of a mid-size cardinality.
+		k := 0
+		if maxCard != 0 && n > 0 {
+			k = 2
+			if maxCard > 0 && k > maxCard {
+				k = maxCard
+			}
+			if k > n {
+				k = n
+			}
+		}
+		levels, _ := Binomial64(n, k)
+		idx := make([]int, k)
+		for r := int64(0); r < levels; r++ {
+			comboUnrank(n, k, r, idx)
+			if got := comboRank(n, idx); got != r {
+				t.Fatalf("rank(unrank(%d)) = %d (n=%d k=%d)", r, got, n, k)
+			}
+		}
+
+		lo := int64(loRaw) % (total + 1)
+		hi := int64(hiRaw) % (total + 2)
+		var got []epa.Scenario
+		EnumerateRange(muts, maxCard, lo, hi, func(sc epa.Scenario) bool {
+			got = append(got, sc)
+			return true
+		})
+		wantLo, wantHi := lo, hi
+		if wantHi > total {
+			wantHi = total
+		}
+		if wantLo > wantHi {
+			wantLo = wantHi
+		}
+		want := all[wantLo:wantHi]
+		if len(got) != len(want) {
+			t.Fatalf("range [%d,%d) of %d: got %d, want %d", lo, hi, total, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key() != want[i].Key() {
+				t.Fatalf("range [%d,%d) pos %d: %s != %s", lo, hi, i, got[i].Key(), want[i].Key())
+			}
+		}
+	})
+}

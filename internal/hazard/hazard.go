@@ -95,6 +95,25 @@ type SweepStats struct {
 	// Restored is the checkpoint frontier the sweep resumed from
 	// (0 = fresh sweep).
 	Restored int
+	// Executed counts scenarios evaluated against a full EPA result —
+	// an engine run or a cached state vector (0 on the sequential path,
+	// which neither caches nor prunes).
+	Executed int64
+	// Pruned counts rows synthesized by dominance: the scenario had a
+	// recorded violating subset for every requirement, so its outcome
+	// was implied without an EPA run. Includes synthesized-result
+	// records restored from the persistent cache.
+	Pruned int64
+	// OrbitHits counts rows replicated from a symmetry-orbit sibling
+	// (an interchangeable-component permutation of an evaluated
+	// scenario).
+	OrbitHits int64
+	// OrbitClasses is the number of refined interchangeable-component
+	// classes the sweep used (0 = no symmetry or pruning off).
+	OrbitClasses int
+	// Shard labels the rank range this sweep covered, as
+	// "index/count" ("" = the whole space).
+	Shard string
 }
 
 // Throughput returns scenarios per second (0 for an instant sweep).
@@ -194,6 +213,18 @@ func publishSweep(reg *obs.Registry, sw *SweepStats, epaRuns int) {
 	if sw.Restored > 0 {
 		reg.Counter("sweep.restored").Add(int64(sw.Restored))
 	}
+	if sw.Executed > 0 {
+		reg.Counter("sweep.executed").Add(sw.Executed)
+	}
+	if sw.Pruned > 0 {
+		reg.Counter("sweep.pruned").Add(sw.Pruned)
+	}
+	if sw.OrbitHits > 0 {
+		reg.Counter("sweep.orbit_hits").Add(sw.OrbitHits)
+	}
+	if sw.OrbitClasses > 0 {
+		reg.Gauge("sweep.orbit_classes").Set(int64(sw.OrbitClasses))
+	}
 }
 
 // scoreResult evaluates every requirement on one EPA outcome and scores
@@ -253,14 +284,14 @@ func (a *Analysis) truncateToCompletedCardinality(muts []faults.Mutation, maxCar
 			a.Scenarios = a.Scenarios[:kept]
 		}
 	}
-	total := faults.SpaceSize(n, maxCard)
+	total, totalOK := faults.SpaceSize(n, maxCard)
 	var detail string
 	if completed < 0 {
 		detail = "no cardinality completed"
 	} else {
 		detail = fmt.Sprintf("completed cardinality <= %d of %d", completed, maxCard)
 	}
-	if total >= 0 {
+	if totalOK {
 		detail += fmt.Sprintf("; analyzed %d of %d scenarios", kept, total)
 	} else {
 		detail += fmt.Sprintf("; analyzed %d scenarios of an overflowing space", kept)

@@ -65,6 +65,16 @@ type SweepConfig struct {
 	// Checkpoint, when set, persists the completion frontier and arms
 	// resume-from-checkpoint on the next run over the same inputs.
 	Checkpoint *Checkpoint
+	// Prune enables dominance pruning and symmetry-orbit replication
+	// (see prune.go). The reported Analysis is byte-identical with or
+	// without pruning; only the executed-scenario count changes.
+	Prune bool
+	// ShardIndex/ShardCount split the rank space into ShardCount
+	// contiguous balanced ranges; this sweep covers range ShardIndex
+	// (0-based). ShardCount <= 1 sweeps the whole space. Shards share a
+	// cache namespace, so a final whole-space run over the common cache
+	// directory merges their results without recomputation.
+	ShardIndex, ShardCount int
 }
 
 // sweepChunk is a contiguous run of scenarios starting at stream
@@ -123,11 +133,32 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	bud := cfg.Budget
-	if parallelism == 1 && cfg.Cache == nil && cfg.Checkpoint == nil {
+	if parallelism == 1 && cfg.Cache == nil && cfg.Checkpoint == nil &&
+		!cfg.Prune && cfg.ShardCount <= 1 {
 		return AnalyzeBudget(eng, muts, maxCard, reqs, bud)
 	}
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
+	}
+	// Shard range: absolute stream ranks, balanced split. Scenario IDs
+	// derive from the global rank, so shard reports merge coherently.
+	shardLo, shardHi := 0, math.MaxInt
+	sharded := cfg.ShardCount > 1
+	if sharded {
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("hazard: shard index %d outside [0,%d)", cfg.ShardIndex, cfg.ShardCount)
+		}
+		total, ok := faults.SpaceSize(len(muts), maxCard)
+		if !ok {
+			return nil, fmt.Errorf("hazard: scenario space overflows int64; cannot shard")
+		}
+		m, i := int64(cfg.ShardCount), int64(cfg.ShardIndex)
+		lo := i*(total/m) + min(i, total%m)
+		size := total / m
+		if i < total%m {
+			size++
+		}
+		shardLo, shardHi = int(lo), int(lo+size)
 	}
 	// Workers beyond the first draw launch slots from the run-wide
 	// worker-pool governor when the budget carries one, so a sweep racing
@@ -147,7 +178,8 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	// Resume: a checkpoint whose hashes match this exact sweep yields the
 	// frontier rank below which scenarios are already paid for — they are
 	// replayed through the cache but exempt from the MaxScenarios cap.
-	resumeFrom := cfg.Checkpoint.Resume(eng.Hash(), hashMuts(muts), hashReqs(reqs), maxCard)
+	// A shard's floor is its range start, checkpoint or not.
+	resumeFrom := max(cfg.Checkpoint.Resume(eng.Hash(), hashMuts(muts), hashReqs(reqs), maxCard), shardLo)
 
 	// Cache keys are bitmasks over the candidate-set index; the candidate
 	// set is part of the cache namespace, so the index is stable.
@@ -156,6 +188,13 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 		mutIdx[m.Activation] = i
 	}
 	maskLen := (len(muts) + 7) / 8
+
+	// Pruning state: dominance index, symmetry orbits, synthesized-result
+	// codec. nil when pruning is off — the hot path then pays nothing.
+	var pr *pruner
+	if cfg.Prune {
+		pr = newPruner(eng, muts, reqs)
+	}
 
 	// Observability: one span per sweep and per worker, one span per
 	// chunk when traced; metrics instruments are resolved once here and
@@ -178,7 +217,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	// emitted (the report needs their rows) but not charged to the cap.
 	go func() {
 		defer close(jobs)
-		seq := 0
+		seq := shardLo
 		var trunc *budget.Truncation
 		chunk := sweepChunk{}
 		flush := func() {
@@ -187,7 +226,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 				chunk = sweepChunk{}
 			}
 		}
-		faults.EnumerateStream(muts, maxCard, func(sc epa.Scenario) bool {
+		faults.EnumerateRange(muts, maxCard, int64(shardLo), int64(shardHi), func(sc epa.Scenario) bool {
 			charged := seq - resumeFrom
 			if limits.MaxScenarios > 0 && charged >= limits.MaxScenarios {
 				trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
@@ -223,6 +262,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	// rank, so one poisoned scenario degrades the sweep instead of
 	// killing the process.
 	var cacheHits, cacheMisses, retries atomic.Int64
+	var executed, prunedCnt, orbitHits atomic.Int64
 	runChunk := func(jb sweepChunk, wCtx context.Context) (o sweepOutcome) {
 		o = sweepOutcome{baseSeq: jb.baseSeq, n: len(jb.scs), badSeq: -1}
 		defer func() {
@@ -251,10 +291,39 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 			}
 			var res *epa.Result
 			var mask []byte
-			if cfg.Cache != nil {
+			if cfg.Cache != nil || pr != nil {
 				mask = scenarioMask(sc, mutIdx, maskLen)
 			}
-			if mask != nil {
+			// Pruning: synthesize the row when the outcome is already
+			// implied — by dominance, by a symmetry orbit sibling, or by a
+			// synthesized-result record persisted by an earlier run.
+			// Synthesized rows flow through the frontier and the merge
+			// exactly like executed ones.
+			if pr != nil && mask != nil {
+				var violated []string
+				var known bool
+				if violated, known = pr.tryDominate(mask); known {
+					prunedCnt.Add(1)
+				} else if violated, known = pr.tryOrbit(sc); known {
+					orbitHits.Add(1)
+				} else if cfg.Cache != nil {
+					if b, ok := cfg.Cache.Get(synthKey(mask)); ok {
+						if violated, known = pr.decodeSynth(b); known {
+							cacheHits.Add(1)
+							prunedCnt.Add(1)
+						}
+					}
+				}
+				if known {
+					pr.record(sc, mask, violated)
+					if cfg.Cache != nil {
+						cfg.Cache.Put(synthKey(mask), pr.encodeSynth(violated))
+					}
+					o.srs = append(o.srs, synthesizeResult(seq, sc, violated, reqs, likelihoods))
+					continue
+				}
+			}
+			if cfg.Cache != nil && mask != nil {
 				if v, ok := cfg.Cache.Get(mask); ok {
 					if r, err := eng.ResultFromStates(v); err == nil {
 						res = r
@@ -265,7 +334,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 				}
 			}
 			if res == nil {
-				if mask != nil {
+				if cfg.Cache != nil && mask != nil {
 					cacheMisses.Add(1)
 				}
 				attempts := 0
@@ -288,11 +357,16 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 					}
 					return o
 				}
-				if mask != nil {
+				if cfg.Cache != nil && mask != nil {
 					cfg.Cache.Put(mask, res.StateVector())
 				}
 			}
-			o.srs = append(o.srs, scoreResult(seq, sc, res, reqs, likelihoods))
+			executed.Add(1)
+			sr := scoreResult(seq, sc, res, reqs, likelihoods)
+			if pr != nil && mask != nil {
+				pr.record(sc, mask, sr.Violated)
+			}
+			o.srs = append(o.srs, sr)
 		}
 		return o
 	}
@@ -333,7 +407,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	// flushed and THEN the frontier persisted — write-ahead ordering, so
 	// a crash between the two leaves a frontier that under-promises.
 	chunks := map[int]sweepOutcome{}
-	frontier := 0
+	frontier := shardLo
 	lastSaved := -1
 	saveFrontier := func(complete bool) {
 		if cfg.Checkpoint == nil || frontier == lastSaved && !complete {
@@ -385,7 +459,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 			badTrunc, badErr = o.trunc, o.err
 		}
 		advance()
-		if every > 0 && frontier-max(lastSaved, 0) >= every {
+		if every > 0 && frontier-max(lastSaved, shardLo) >= every {
 			saveFrontier(false)
 		}
 	}
@@ -412,11 +486,11 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 		return nil, badErr
 	}
 	out := &Analysis{Requirements: reqs}
-	if resumeFrom > 0 {
+	if resumeFrom > shardLo {
 		out.Resume = &ResumeInfo{FromRank: resumeFrom}
 	}
 merge:
-	for seq := 0; seq < cut; {
+	for seq := shardLo; seq < cut; {
 		o, ok := chunks[seq]
 		if !ok {
 			// Defensive: a hole below the cut means a worker died
@@ -437,21 +511,46 @@ merge:
 	}
 	if trunc != nil {
 		out.Truncation = trunc
-		out.truncateToCompletedCardinality(muts, maxCard)
-		if resumeFrom > 0 {
+		if sharded {
+			// A shard covers an arbitrary rank slice, so the
+			// completed-cardinality policy does not apply; the contiguous
+			// completed prefix of the range is the answer.
+			out.Truncation.Detail = fmt.Sprintf("shard %d/%d analyzed %d scenarios of range [%d,%d)",
+				cfg.ShardIndex, cfg.ShardCount, len(out.Scenarios), shardLo, shardHi)
+		} else {
+			out.truncateToCompletedCardinality(muts, maxCard)
+		}
+		if resumeFrom > shardLo {
 			out.Truncation.Detail += fmt.Sprintf("; resumed from checkpoint at rank %d", resumeFrom)
 		}
 	}
-	out.Sweep = &SweepStats{
-		Workers:     parallelism,
-		Scenarios:   len(out.Scenarios),
-		Duration:    time.Since(start),
-		CacheHits:   cacheHits.Load(),
-		CacheMisses: cacheMisses.Load(),
-		Retries:     retries.Load(),
-		Restored:    resumeFrom,
+	restored := 0
+	if resumeFrom > shardLo {
+		restored = resumeFrom
 	}
-	publishSweep(reg, out.Sweep, prod.emitted)
+	shardTag := ""
+	if sharded {
+		shardTag = fmt.Sprintf("%d/%d", cfg.ShardIndex, cfg.ShardCount)
+	}
+	orbitClasses := 0
+	if pr != nil {
+		orbitClasses = pr.numClasses()
+	}
+	out.Sweep = &SweepStats{
+		Workers:      parallelism,
+		Scenarios:    len(out.Scenarios),
+		Duration:     time.Since(start),
+		CacheHits:    cacheHits.Load(),
+		CacheMisses:  cacheMisses.Load(),
+		Retries:      retries.Load(),
+		Restored:     restored,
+		Executed:     executed.Load(),
+		Pruned:       prunedCnt.Load(),
+		OrbitHits:    orbitHits.Load(),
+		OrbitClasses: orbitClasses,
+		Shard:        shardTag,
+	}
+	publishSweep(reg, out.Sweep, prod.emitted-shardLo)
 	return out, nil
 }
 

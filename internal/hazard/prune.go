@@ -1,0 +1,413 @@
+package hazard
+
+// Sweep pruning skips scenario executions whose outcome is already
+// implied, without changing a single reported byte:
+//
+//   - Dominance: on a monotone engine (no UnlessFault transfers — see
+//     epa.Engine.Monotone) with monotone conditions (no NotCond), fault
+//     activation only ever grows the reachable error states, so a
+//     superset of a scenario that violates requirement R also violates
+//     R. The pruner indexes the minimal violating bitmasks per
+//     requirement; a scenario whose mask has a recorded violating
+//     subset for EVERY requirement is known to violate all of them and
+//     its row is synthesized instead of simulated. Pruning only fires
+//     when all requirements are covered — a superset of a
+//     non-violating scenario may still violate (WhenFault can arm new
+//     propagation), so partial knowledge never skips work.
+//
+//   - Symmetry orbits: components verified interchangeable by
+//     epa.InterchangeableClasses (exact transposition automorphisms of
+//     the compiled tables) yield EPA results that are equivariant under
+//     member swaps. Classes are refined by mutation profile (same fault
+//     set with the same likelihoods) and exclude every component named
+//     in a requirement condition, so two scenarios in the same orbit
+//     have identical violation vectors AND identical risk scores. The
+//     first orbit member encountered executes; the rest replicate its
+//     violated set. Orbit replication is sound on any engine — it does
+//     not need monotonicity.
+//
+// Synthesized rows are also persisted to the result cache as
+// synthesized-result records (scenario mask + 'S' suffix, payload =
+// requirement-set hash + violated bitmap) so a resumed or re-run sweep
+// restores them as cache hits exactly like executed rows — checkpoint
+// frontier and cache semantics are identical for pruned and executed
+// ranks.
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+	"sync"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/risk"
+)
+
+// synthSuffix terminates a synthesized-result cache key. Scenario-mask
+// keys are exactly maskLen bytes, synthesized keys maskLen+1, so the two
+// record kinds cannot collide inside one namespace.
+const synthSuffix = byte('S')
+
+// pruner holds the in-memory pruning state of one sweep. All methods
+// are safe for concurrent use by the sweep workers.
+type pruner struct {
+	reqs        []Requirement
+	reqIdx      map[string]int
+	allViolated []string // every requirement ID, sorted
+	reqsHash    uint64
+
+	// dominance is armed only when both the engine and every condition
+	// are monotone.
+	dominance bool
+
+	classes []int // sizes only, for stats
+	classOf map[string]int
+
+	mu        sync.RWMutex
+	violating [][]string // per requirement: minimal violating masks
+	orbits    map[string][]string
+}
+
+// newPruner analyzes the engine and requirement set and builds the
+// pruning state. The returned pruner may have dominance disabled (and
+// possibly no symmetry classes) but is always safe to use.
+func newPruner(eng *epa.Engine, muts []faults.Mutation, reqs []Requirement) *pruner {
+	p := &pruner{
+		reqs:      reqs,
+		reqIdx:    make(map[string]int, len(reqs)),
+		reqsHash:  hashReqs(reqs),
+		dominance: eng.Monotone(),
+		classOf:   map[string]int{},
+		violating: make([][]string, len(reqs)),
+		orbits:    map[string][]string{},
+	}
+	for i, r := range reqs {
+		p.reqIdx[r.ID] = i
+		p.allViolated = append(p.allViolated, r.ID)
+		if !conditionMonotone(r.Condition) {
+			p.dominance = false
+		}
+	}
+	sort.Strings(p.allViolated)
+
+	// Symmetry classes: protected components (any component a condition
+	// can distinguish) never join a class, and engine-level classes are
+	// refined by mutation profile so orbit members carry identical
+	// likelihoods for identical fault sets.
+	protected := map[string]bool{}
+	for _, r := range reqs {
+		collectConditionComponents(r.Condition, protected)
+	}
+	profile := map[string][]string{}
+	for _, m := range muts {
+		profile[m.Component] = append(profile[m.Component],
+			m.Fault+"\x00"+itoa(int(m.Likelihood)))
+	}
+	for _, cl := range eng.InterchangeableClasses(protected) {
+		byProfile := map[string][]string{}
+		var order []string
+		for _, comp := range cl {
+			pr := append([]string(nil), profile[comp]...)
+			sort.Strings(pr)
+			key := strings.Join(pr, "\x01")
+			if _, seen := byProfile[key]; !seen {
+				order = append(order, key)
+			}
+			byProfile[key] = append(byProfile[key], comp)
+		}
+		for _, key := range order {
+			members := byProfile[key]
+			if len(members) < 2 {
+				continue
+			}
+			id := len(p.classes)
+			p.classes = append(p.classes, len(members))
+			for _, comp := range members {
+				p.classOf[comp] = id
+			}
+		}
+	}
+	return p
+}
+
+// conditionMonotone reports whether the condition is monotone in the
+// fault set: growing the scenario (and therefore, on a monotone engine,
+// the error states) can only turn it true, never false. NotCond is the
+// single non-monotone connective.
+func conditionMonotone(c Condition) bool {
+	switch cc := c.(type) {
+	case AndCond:
+		for _, s := range cc.Subs {
+			if !conditionMonotone(s) {
+				return false
+			}
+		}
+		return true
+	case OrCond:
+		for _, s := range cc.Subs {
+			if !conditionMonotone(s) {
+				return false
+			}
+		}
+		return true
+	case NotCond:
+		return false
+	default:
+		return true
+	}
+}
+
+// collectConditionComponents gathers every component a condition
+// references (including under negation) into out.
+func collectConditionComponents(c Condition, out map[string]bool) {
+	switch cc := c.(type) {
+	case CompErr:
+		out[cc.Component] = true
+	case PortErr:
+		out[cc.Component] = true
+	case ActiveFault:
+		out[cc.Component] = true
+	case AndCond:
+		for _, s := range cc.Subs {
+			collectConditionComponents(s, out)
+		}
+	case OrCond:
+		for _, s := range cc.Subs {
+			collectConditionComponents(s, out)
+		}
+	case NotCond:
+		collectConditionComponents(cc.Sub, out)
+	}
+}
+
+// numClasses reports how many refined symmetry classes the sweep uses.
+func (p *pruner) numClasses() int { return len(p.classes) }
+
+// tryDominate reports whether the scenario mask has a recorded
+// violating subset for every requirement; if so it returns the full
+// (sorted) requirement ID list — by monotonicity the scenario violates
+// everything.
+func (p *pruner) tryDominate(mask []byte) ([]string, bool) {
+	if !p.dominance || len(p.reqs) == 0 {
+		return nil, false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for i := range p.reqs {
+		if !hasViolatingSubset(p.violating[i], mask) {
+			return nil, false
+		}
+	}
+	return p.allViolated, true
+}
+
+// tryOrbit returns the memoized violated set of the scenario's symmetry
+// orbit, if another member of the orbit has already been evaluated.
+func (p *pruner) tryOrbit(sc epa.Scenario) ([]string, bool) {
+	key, ok := p.orbitKey(sc)
+	if !ok {
+		return nil, false
+	}
+	p.mu.RLock()
+	v, hit := p.orbits[key]
+	p.mu.RUnlock()
+	return v, hit
+}
+
+// record feeds one evaluated (or synthesized) scenario back into the
+// pruning state: its mask into the per-requirement dominance index when
+// it violates, and its violated set into the orbit memo.
+func (p *pruner) record(sc epa.Scenario, mask []byte, violated []string) {
+	key, hasOrbit := p.orbitKey(sc)
+	if !p.dominance && !hasOrbit {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dominance {
+		ms := string(mask)
+		for _, id := range violated {
+			i, ok := p.reqIdx[id]
+			if !ok {
+				continue
+			}
+			p.violating[i] = insertMinimalMask(p.violating[i], ms)
+		}
+	}
+	if hasOrbit {
+		if _, seen := p.orbits[key]; !seen {
+			// Copy: the caller's slice may alias a ScenarioResult.
+			p.orbits[key] = append([]string(nil), violated...)
+		}
+	}
+}
+
+// orbitKey canonicalizes a scenario under the symmetric groups of the
+// refined classes: activations on unclassed components stay literal,
+// activations on classed components collapse to the multiset of
+// per-member fault sets within each class. Two scenarios share a key
+// iff one is the image of the other under some verified automorphism.
+// ok is false when no classed component participates (singleton orbit —
+// nothing to memoize).
+func (p *pruner) orbitKey(sc epa.Scenario) (string, bool) {
+	if len(p.classes) == 0 {
+		return "", false
+	}
+	classed := false
+	var lines []string
+	perMember := map[string][]string{} // classed component -> faults
+	for _, a := range sc {
+		if _, ok := p.classOf[a.Component]; ok {
+			classed = true
+			perMember[a.Component] = append(perMember[a.Component], a.Fault)
+		} else {
+			lines = append(lines, "u\x00"+a.Component+"\x00"+a.Fault)
+		}
+	}
+	if !classed {
+		return "", false
+	}
+	perClass := map[int][]string{} // class -> member fault-set strings
+	for comp, fs := range perMember {
+		sort.Strings(fs)
+		cl := p.classOf[comp]
+		perClass[cl] = append(perClass[cl], strings.Join(fs, "+"))
+	}
+	for cl, sets := range perClass {
+		sort.Strings(sets)
+		lines = append(lines, "c\x00"+itoa(cl)+"\x00"+strings.Join(sets, "\x01"))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n"), true
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// hasViolatingSubset reports whether any recorded mask is a subset of m.
+func hasViolatingSubset(recorded []string, m []byte) bool {
+	for _, v := range recorded {
+		if isSubsetMask(v, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSubsetMask(sub string, super []byte) bool {
+	if len(sub) != len(super) {
+		return false
+	}
+	for i := 0; i < len(sub); i++ {
+		if sub[i]&^super[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maxViolatingMasks caps the per-requirement minimal-mask index. The
+// antichain stays tiny when small cut sets exist (they subsume their
+// supersets on insert), but a sweep that only ever sees high-cardinality
+// violations — a rank-range shard starting mid-space, say — would
+// otherwise accumulate thousands of incomparable masks and turn every
+// index scan quadratic. Dominance is an optimization: dropping masks
+// beyond the cap costs prune reach, never correctness.
+const maxViolatingMasks = 512
+
+// insertMinimalMask keeps the index antichain-minimal: a new mask with
+// an existing subset is redundant; an accepted mask evicts its
+// supersets. Minimality bounds the index and maximizes prune reach.
+func insertMinimalMask(recorded []string, m string) []string {
+	mb := []byte(m)
+	for _, v := range recorded {
+		if isSubsetMask(v, mb) {
+			return recorded
+		}
+	}
+	kept := recorded[:0]
+	for _, v := range recorded {
+		if !isSubsetMask(m, []byte(v)) {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) >= maxViolatingMasks {
+		return kept
+	}
+	return append(kept, m)
+}
+
+// synthKey derives the synthesized-result cache key from a scenario
+// mask.
+func synthKey(mask []byte) []byte {
+	return append(append(make([]byte, 0, len(mask)+1), mask...), synthSuffix)
+}
+
+// encodeSynth renders a synthesized-result payload: the requirement-set
+// hash (synthesized rows, unlike EPA state vectors, DO depend on the
+// requirements) followed by the violated bitmap in requirement order.
+func (p *pruner) encodeSynth(violated []string) []byte {
+	out := make([]byte, 8+(len(p.reqs)+7)/8)
+	binary.BigEndian.PutUint64(out, p.reqsHash)
+	for _, id := range violated {
+		if i, ok := p.reqIdx[id]; ok {
+			out[8+i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// decodeSynth parses a synthesized-result payload, rejecting records
+// written under a different requirement set.
+func (p *pruner) decodeSynth(b []byte) ([]string, bool) {
+	if len(b) != 8+(len(p.reqs)+7)/8 || binary.BigEndian.Uint64(b) != p.reqsHash {
+		return nil, false
+	}
+	var violated []string
+	for i, r := range p.reqs {
+		if b[8+i/8]&(1<<(i%8)) != 0 {
+			violated = append(violated, r.ID)
+		}
+	}
+	sort.Strings(violated)
+	return violated, true
+}
+
+// synthesizeResult builds the ScenarioResult a full evaluation would
+// have produced, from the known violated set. It mirrors scoreResult
+// exactly — same Violated content and order, same severity order, same
+// risk scoring — which is what makes pruned reports byte-identical.
+func synthesizeResult(seq int, sc epa.Scenario, violated []string, reqs []Requirement, likelihoods map[epa.Activation]qual.Level) ScenarioResult {
+	sr := ScenarioResult{
+		ID:       "S" + itoa(seq+1),
+		Scenario: sc,
+	}
+	var severities []qual.Level
+	for _, r := range reqs {
+		i := sort.SearchStrings(violated, r.ID)
+		if i < len(violated) && violated[i] == r.ID {
+			sr.Violated = append(sr.Violated, r.ID)
+			severities = append(severities, r.Severity)
+		}
+	}
+	sort.Strings(sr.Violated)
+	sr.Risk = risk.ScoreScenario(risk.ScenarioInput{
+		ID:                 sr.ID,
+		FaultLikelihoods:   scenarioLikelihoods(sc, likelihoods),
+		ViolatedSeverities: severities,
+	})
+	return sr
+}

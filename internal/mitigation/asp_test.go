@@ -84,8 +84,8 @@ func TestPotentialChoiceScenarioCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	remaining := mitigation.Filter(k, muts, selected)
-	want := faults.SpaceSize(len(remaining), -1)
-	if len(res.Models) != want {
+	want, _ := faults.SpaceSize(len(remaining), -1)
+	if int64(len(res.Models)) != want {
 		t.Fatalf("ASP scenarios = %d, want %d", len(res.Models), want)
 	}
 	for _, m := range res.Models {

@@ -3,7 +3,7 @@
 # S1-S3, the multi-shot solving pair S4, the portfolio hard-instance
 # race S5, and the Fig. 1 end-to-end pipeline, plus the observability
 # on/off overhead pair) with -benchmem and files the numbers into the
-# BENCH_PR7.json ledger via cmd/benchjson. CI and `make bench` both run
+# BENCH_PR8.json ledger via cmd/benchjson. CI and `make bench` both run
 # exactly this script.
 #
 # The S5 portfolio benchmark additionally runs pinned to -cpu=1 and
@@ -12,16 +12,16 @@
 # multi-core hardware.
 #
 #   BENCH_LABEL=after ./scripts/bench.sh         # label in the ledger (default: after)
-#   BENCH_OUT=BENCH_PR7.json ./scripts/bench.sh  # ledger file (default: BENCH_PR7.json)
+#   BENCH_OUT=BENCH_PR8.json ./scripts/bench.sh  # ledger file (default: BENCH_PR8.json)
 #   BENCHTIME=2s ./scripts/bench.sh              # per-benchmark time (default: 1s)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 label="${BENCH_LABEL:-after}"
-out="${BENCH_OUT:-BENCH_PR7.json}"
+out="${BENCH_OUT:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkS4_MultiShot|BenchmarkS5_PortfolioCuts|BenchmarkFig1_PipelineEndToEnd|BenchmarkObsOverhead'
+pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkS3_PrunedSweep|BenchmarkS4_MultiShot|BenchmarkS5_PortfolioCuts|BenchmarkFig1_PipelineEndToEnd|BenchmarkObsOverhead'
 
 echo "== bench (${benchtime} each) -> ${out} [${label}] =="
 go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . \

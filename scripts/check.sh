@@ -11,17 +11,28 @@ fuzztime="${FUZZTIME:-5s}"
 echo "== go vet =="
 go vet ./...
 
+# staticcheck is optional: offline builders don't have the module. Run
+# it whenever the module cache already holds honnef.co (dev machines, CI
+# images with a warm cache); skip with a notice otherwise.
+if [ -d "$(go env GOMODCACHE)/honnef.co" ]; then
+  echo "== staticcheck =="
+  go run honnef.co/go/tools/cmd/staticcheck@latest ./...
+else
+  echo "== staticcheck == (skipped: honnef.co not in the module cache)"
+fi
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 go test -race ./...
 
-# The engine, the sweep, the result cache, and the solver portfolio are
-# documented safe for concurrent use; hammer them under the race
-# detector at both ends of the parallelism range.
-echo "== go test -race -cpu=1,4 (epa, hazard, store, solver) =="
-go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/store ./internal/solver
+# The engine, the sweep, the result cache, the rank/unrank enumerator,
+# and the solver portfolio are documented safe for concurrent use;
+# hammer them under the race detector at both ends of the parallelism
+# range.
+echo "== go test -race -cpu=1,4 (epa, hazard, faults, store, solver) =="
+go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/faults ./internal/store ./internal/solver
 
 # Differential check: CDCL answer sets vs a brute-force stable-model
 # enumerator over a seeded random program battery, always re-run fresh.
@@ -60,5 +71,6 @@ go test -run='^$' -fuzz=FuzzParseFormula -fuzztime="$fuzztime" ./internal/tempor
 go test -run='^$' -fuzz=FuzzReadJSON -fuzztime="$fuzztime" ./internal/sysmodel
 go test -run='^$' -fuzz=FuzzCacheRecord -fuzztime="$fuzztime" ./internal/store
 go test -run='^$' -fuzz=FuzzCheckpoint -fuzztime="$fuzztime" ./internal/hazard
+go test -run='^$' -fuzz=FuzzRankUnrank -fuzztime="$fuzztime" ./internal/faults
 
 echo "OK"
