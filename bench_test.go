@@ -6,12 +6,17 @@
 package cpsrisk
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
+	"cpsrisk/internal/artifact"
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/cegar"
 	"cpsrisk/internal/core"
@@ -1004,6 +1009,173 @@ func BenchmarkAblation_MaxCardinality(b *testing.B) {
 				hazards = len(analysis.Hazards())
 			}
 			b.ReportMetric(float64(hazards), "hazards")
+		})
+	}
+}
+
+// s6Fixture builds the per-arm config factory for the delta
+// re-assessment benchmark: make(rev) returns a fresh Config whose model
+// carries a one-component metadata edit stamped rev ("" = the baseline
+// model). The libraries behind the config are constructed once and
+// shared — the artifact cache identifies them by pointer.
+type s6Fixture struct {
+	name string
+	make func(rev string) core.Config
+}
+
+func s6Fixtures(b *testing.B) []s6Fixture {
+	b.Helper()
+	// Fig. 1 case study over the full mutation surface: spontaneous and
+	// KB-derived candidates on top of the paper's scenario set, at
+	// cardinality 4.
+	wtTypes := watertank.Types()
+	wtBehaviors := watertank.Behaviors(wtTypes)
+	wtReqs := watertank.Requirements()
+	wtKB := kb.MustDefaultKB()
+	fig1 := func(rev string) core.Config {
+		m := watertank.Model()
+		if rev != "" {
+			c, _ := m.Component(plant.CompTank)
+			c.SetAttr("rev", rev)
+		}
+		return core.Config{
+			Model:           m,
+			Types:           wtTypes,
+			Behaviors:       wtBehaviors,
+			KB:              wtKB,
+			Requirements:    wtReqs,
+			ExtraMutations:  watertank.PaperCandidates(),
+			MutationSources: faults.AllSources(),
+			MaxCardinality:  4,
+		}
+	}
+
+	// The sme-plant model (models/sme-plant.json rebuilt in code — the
+	// benchmark measures re-assessment, not JSON decoding) at cardinality
+	// 3, mirroring the CLI's derived requirement over the criticality-VH
+	// press.
+	typesData, err := os.ReadFile("models/types.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	smeTypes, err := sysmodel.ReadTypesJSON(bytes.NewReader(typesData))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pressConds []hazard.Condition
+	for _, mode := range epa.AllModes {
+		pressConds = append(pressConds, hazard.Comp("press", mode))
+	}
+	smeReqs := []hazard.Requirement{{
+		ID: "RC", Severity: qual.High, Condition: hazard.Any(pressConds...),
+	}}
+	sme := func(rev string) core.Config {
+		m := sysmodel.NewModel("sme-plant")
+		m.MustAddComponent(&sysmodel.Component{ID: "office_ws", Type: "workstation",
+			Attrs: map[string]string{"exposure": "public", "version": "10"}})
+		m.MustAddComponent(&sysmodel.Component{ID: "scada", Type: "scada_server",
+			Attrs: map[string]string{"version": "5.0"}})
+		m.MustAddComponent(&sysmodel.Component{ID: "plc1", Type: "plc",
+			Attrs: map[string]string{"version": "fw2.3"}})
+		m.MustAddComponent(&sysmodel.Component{ID: "panel", Type: "hmi"})
+		m.MustAddComponent(&sysmodel.Component{ID: "press", Type: "actuator",
+			Attrs: map[string]string{"criticality": "VH"}})
+		m.Connect("office_ws", "net", "scada", "fromit", sysmodel.SignalFlow)
+		m.Connect("scada", "toplc", "plc1", "in", sysmodel.SignalFlow)
+		m.Connect("scada", "tohmi", "panel", "in", sysmodel.SignalFlow)
+		m.Connect("plc1", "cmd", "press", "cmd", sysmodel.SignalFlow)
+		if rev != "" {
+			c, _ := m.Component("panel")
+			c.SetAttr("rev", rev)
+		}
+		return core.Config{
+			Model:           m,
+			Types:           smeTypes,
+			KB:              wtKB,
+			Requirements:    smeReqs,
+			MutationSources: faults.AllSources(),
+			MaxCardinality:  3,
+		}
+	}
+	return []s6Fixture{{"fig1", fig1}, {"sme-plant", sme}}
+}
+
+// s6Canonical renders the report content that must match between a
+// delta re-assessment and a cold run (effort statistics and the
+// resolution stamp excluded).
+func s6Canonical(b *testing.B, a *core.Assessment) string {
+	b.Helper()
+	s := a.Summarize()
+	s.Sweep = nil
+	s.Solver = nil
+	s.Artifact = nil
+	s.DurationMS = 0
+	data, err := json.Marshal(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return string(data)
+}
+
+// BenchmarkS6_DeltaReassess measures the artifact cache's repeat-run
+// promise (experiment S6): assess a base model cold, then re-assess
+// after a one-component edit. The cold arm pays the full pipeline every
+// iteration; the warm-delta arm resolves against the cached parent and
+// re-executes only the invalidated scenario ranks — each iteration uses
+// a fresh edit stamp so it exercises the delta path, never the exact
+// warm hit. The warm-delta arm also asserts, outside the timed loop,
+// that the delta report is byte-identical to a cold run of the same
+// edited model.
+func BenchmarkS6_DeltaReassess(b *testing.B) {
+	for _, fx := range s6Fixtures(b) {
+		b.Run(fx.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := core.Run(fx.make(""))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(a.Analysis.Scenarios) == 0 {
+					b.Fatal("empty analysis")
+				}
+			}
+		})
+		b.Run(fx.name+"/warm-delta", func(b *testing.B) {
+			ac := artifact.New(0)
+			defer ac.Close()
+			seed := fx.make("")
+			seed.ArtifactCache = ac
+			if _, err := core.Run(seed); err != nil {
+				b.Fatal(err)
+			}
+			// Identity gate: delta report == cold report for one edit.
+			check := fx.make("identity-check")
+			check.ArtifactCache = ac
+			warm, err := core.Run(check)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if warm.Artifact == nil || warm.Artifact.Path != "delta" {
+				b.Fatalf("artifact = %+v, want delta", warm.Artifact)
+			}
+			cold, err := core.Run(fx.make("identity-check"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s6Canonical(b, warm) != s6Canonical(b, cold) {
+				b.Fatal("delta report diverged from cold run")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := fx.make("rev" + strconv.Itoa(i))
+				cfg.ArtifactCache = ac
+				a, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Artifact == nil || a.Artifact.Path != "delta" {
+					b.Fatalf("artifact = %+v, want delta", a.Artifact)
+				}
+			}
 		})
 	}
 }

@@ -72,7 +72,43 @@ func run(in io.Reader, echo io.Writer, label, outPath string) error {
 	}
 	sort.Strings(names)
 	fmt.Fprintf(echo, "benchjson: %d benchmarks -> %s under label %q\n", len(names), outPath, label)
+	if t := coldWarmTable(entries); t != "" {
+		fmt.Fprint(echo, t)
+	}
 	return nil
+}
+
+// coldWarmTable renders the repeat-run comparison for benchmarks that
+// come as `<base>/cold` + `<base>/warm-delta` sibling pairs (the
+// artifact-cache suite): per-op time of each arm and the cold/warm
+// speedup factor. Returns "" when the run holds no such pair.
+func coldWarmTable(entries map[string]Entry) string {
+	var bases []string
+	for name := range entries {
+		base, ok := strings.CutSuffix(name, "/cold")
+		if !ok {
+			continue
+		}
+		if _, ok := entries[base+"/warm-delta"]; ok {
+			bases = append(bases, base)
+		}
+	}
+	if len(bases) == 0 {
+		return ""
+	}
+	sort.Strings(bases)
+	var sb strings.Builder
+	sb.WriteString("benchjson: cold vs warm-delta\n")
+	for _, base := range bases {
+		cold, warm := entries[base+"/cold"], entries[base+"/warm-delta"]
+		speedup := 0.0
+		if warm.NsPerOp > 0 {
+			speedup = cold.NsPerOp / warm.NsPerOp
+		}
+		fmt.Fprintf(&sb, "  %-42s %11.0f ns cold %11.0f ns warm %6.1fx\n",
+			base, cold.NsPerOp, warm.NsPerOp, speedup)
+	}
+	return sb.String()
 }
 
 // parse extracts benchmark entries from go test output, echoing every

@@ -54,6 +54,37 @@ func TestRunMergesLabelsAndReplacesOnRerun(t *testing.T) {
 	}
 }
 
+func TestColdWarmTable(t *testing.T) {
+	const s6 = `goos: linux
+BenchmarkS6_DeltaReassess/fig1/cold-8         	    2102	    500000 ns/op
+BenchmarkS6_DeltaReassess/fig1/warm-delta-8   	   12916	     50000 ns/op
+BenchmarkS6_DeltaReassess/sme-plant/cold-8    	    4741	    300000 ns/op
+PASS
+`
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var echo bytes.Buffer
+	if err := run(strings.NewReader(s6), &echo, "after", out); err != nil {
+		t.Fatal(err)
+	}
+	got := echo.String()
+	if !strings.Contains(got, "cold vs warm-delta") {
+		t.Fatalf("comparison table missing:\n%s", got)
+	}
+	if !strings.Contains(got, "BenchmarkS6_DeltaReassess/fig1") || !strings.Contains(got, "10.0x") {
+		t.Fatalf("fig1 speedup row wrong:\n%s", got)
+	}
+	// sme-plant has no warm sibling in this run — it must not appear.
+	if strings.Contains(got, "sme-plant ") {
+		t.Fatalf("unpaired benchmark listed:\n%s", got)
+	}
+}
+
+func TestColdWarmTableAbsentWithoutPairs(t *testing.T) {
+	if tbl := coldWarmTable(map[string]Entry{"BenchmarkS1/x": {NsPerOp: 1}}); tbl != "" {
+		t.Fatalf("table for pairless entries: %q", tbl)
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	if err := run(strings.NewReader("no benchmarks here\n"), new(bytes.Buffer), "x", out); err == nil {

@@ -12,7 +12,14 @@
 //	           [-timeout 30s] [-max-decisions N] [-max-scenarios N]
 //	           [-parallel N] [-top N] [-trace out.json]
 //	           [-checkpoint dir] [-cache dir]
+//	           [-delta old.json] [-watch [-watch-interval d] [-watch-max N]]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Repeat runs: -delta old.json assesses the older model first to warm an
+// in-process artifact cache, then assesses -model incrementally — only
+// scenarios invalidated by the edit re-execute. -watch keeps the process
+// alive, re-assessing -model whenever the file changes; successive runs
+// resolve warm (unchanged) or delta (small edit) against the cache.
 //
 // Requirements in the model file carry LTLf formulas for documentation;
 // the generic violation condition used here flags a requirement when any
@@ -32,7 +39,9 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"cpsrisk/internal/artifact"
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/core"
 	"cpsrisk/internal/epa"
@@ -75,6 +84,10 @@ func run(args []string, stdout io.Writer) error {
 	shard := fs.String("shard", "", "sweep one rank-range shard of the scenario space, as \"i/m\" (0-based index i of m shards); shards share -cache and merge via a final whole-space run")
 	checkpointDir := fs.String("checkpoint", "", "persist sweep checkpoints (and the result cache) in this directory; an interrupted run resumes from it")
 	cacheDir := fs.String("cache", "", "persist the EPA result cache in this directory (defaults to <checkpoint>/cache when -checkpoint is set)")
+	deltaOld := fs.String("delta", "", "assess this older model first to warm the artifact cache, then assess -model incrementally against it")
+	watch := fs.Bool("watch", false, "keep running and re-assess -model whenever the file changes; repeat runs resolve warm or delta from the artifact cache")
+	watchInterval := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
+	watchMax := fs.Int("watch-max", 0, "stop -watch after this many assessments (0 = run until interrupted)")
 	tracePath := fs.String("trace", "", "trace the run and write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -119,16 +132,6 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
-	// Tracing is opt-in: untraced runs keep the nil-check-only overhead
-	// contract; traced runs also collect the metrics registry and show
-	// TIMING/METRICS report sections.
-	var trace *obs.Trace
-	var metrics *obs.Registry
-	if *tracePath != "" {
-		trace = obs.New("assessment")
-		metrics = obs.NewRegistry()
-	}
-
 	// Fault injection is armed exclusively from the environment
 	// (CPSRISK_FAULTS / CPSRISK_FAULT_SEED) so production invocations
 	// can't trip it by flag typo; unset env means a nil injector and
@@ -138,15 +141,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	model, err := loadModel(*modelPath)
-	if err != nil {
-		return err
-	}
 	types, err := loadTypes(*typesPath)
-	if err != nil {
-		return err
-	}
-	reqs, err := genericRequirements(model)
 	if err != nil {
 		return err
 	}
@@ -156,82 +151,159 @@ func run(args []string, stdout io.Writer) error {
 			active[strings.TrimSpace(id)] = true
 		}
 	}
+	knowledge := kb.MustDefaultKB()
 
-	a, err := core.Run(core.Config{
-		Model:               model,
-		Types:               types,
-		KB:                  kb.MustDefaultKB(),
-		Requirements:        reqs,
-		MutationSources:     faults.AllSources(),
-		ActiveMitigations:   active,
-		MaxCardinality:      *maxCard,
-		UseASP:              *useASP,
-		Optimize:            *doOpt,
-		Budget:              *mitBudget,
-		Parallelism:         *parallel,
-		SolverWorkers:       *solverWorkers,
-		SolverDeterministic: *solverDet,
-		Trace:               trace,
-		Metrics:             metrics,
-		CheckpointDir:       *checkpointDir,
-		CacheDir:            *cacheDir,
-		NoPrune:             *noPrune,
-		ShardIndex:          shardIndex,
-		ShardCount:          shardCount,
-		Faults:              injector,
-		Resources: budget.Limits{
-			Timeout:      *timeout,
-			MaxDecisions: *maxDecisions,
-			MaxScenarios: *maxScenarios,
-		},
-	})
+	// The artifact cache pays off only across runs inside one process, so
+	// it is armed exactly for the repeat-run modes.
+	var ac *artifact.Cache
+	if *watch || *deltaOld != "" {
+		ac = artifact.New(0)
+		defer ac.Close()
+	}
+
+	// assess loads and runs one model file. The type library and KB are
+	// shared across every run in this process — the artifact cache
+	// identifies them by pointer, so repeat runs must present the same
+	// instances to hash to the same configuration. Tracing is
+	// per-assessment: the trace file always holds the latest run.
+	assess := func(path string) (*core.Assessment, *sysmodel.Model, error) {
+		var trace *obs.Trace
+		var metrics *obs.Registry
+		if *tracePath != "" {
+			trace = obs.New("assessment")
+			metrics = obs.NewRegistry()
+		}
+		model, err := loadModel(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		reqs, err := genericRequirements(model)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := core.Run(core.Config{
+			Model:               model,
+			Types:               types,
+			KB:                  knowledge,
+			Requirements:        reqs,
+			MutationSources:     faults.AllSources(),
+			ActiveMitigations:   active,
+			MaxCardinality:      *maxCard,
+			UseASP:              *useASP,
+			Optimize:            *doOpt,
+			Budget:              *mitBudget,
+			Parallelism:         *parallel,
+			SolverWorkers:       *solverWorkers,
+			SolverDeterministic: *solverDet,
+			Trace:               trace,
+			Metrics:             metrics,
+			CheckpointDir:       *checkpointDir,
+			CacheDir:            *cacheDir,
+			NoPrune:             *noPrune,
+			ShardIndex:          shardIndex,
+			ShardCount:          shardCount,
+			Faults:              injector,
+			ArtifactCache:       ac,
+			Resources: budget.Limits{
+				Timeout:      *timeout,
+				MaxDecisions: *maxDecisions,
+				MaxScenarios: *maxScenarios,
+			},
+		})
+		return a, model, err
+	}
+
+	emit := func(a *core.Assessment, model *sysmodel.Model) error {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTraceSnapshot(f, a.Trace); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *dotPath != "" {
+			f, err := os.Create(*dotPath)
+			if err != nil {
+				return err
+			}
+			if err := model.WriteDOT(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			return a.WriteJSON(stdout)
+		}
+		fmt.Fprint(stdout, a.Render())
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "== Risk-prioritized scenarios ==")
+		limit := a.Ranked
+		if *topN > 0 && len(limit) > *topN {
+			limit = limit[:*topN]
+		}
+		fmt.Fprintln(stdout, report.Ranked(limit))
+		if a.Degradation.Degraded() {
+			fmt.Fprintln(stdout, "== Degraded results ==")
+			fmt.Fprintln(stdout, a.Degradation.Summary())
+		}
+		return nil
+	}
+
+	// -delta: warm the cache with the baseline model, discarding its
+	// report; the main assessment below then resolves incrementally.
+	if *deltaOld != "" {
+		if _, _, err := assess(*deltaOld); err != nil {
+			return fmt.Errorf("delta baseline %s: %v", *deltaOld, err)
+		}
+	}
+
+	if *watch {
+		runs := 0
+		var last time.Time
+		for {
+			st, err := os.Stat(*modelPath)
+			if err != nil {
+				return err
+			}
+			if st.ModTime().Equal(last) {
+				time.Sleep(*watchInterval)
+				continue
+			}
+			a, model, err := assess(*modelPath)
+			if err != nil {
+				// The file may be mid-write; report and retry next tick.
+				fmt.Fprintln(os.Stderr, "riskassess: watch:", err)
+				time.Sleep(*watchInterval)
+				continue
+			}
+			last = st.ModTime()
+			runs++
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "== watch run %d ==\n", runs)
+			}
+			if err := emit(a, model); err != nil {
+				return err
+			}
+			if *watchMax > 0 && runs >= *watchMax {
+				return nil
+			}
+		}
+	}
+
+	a, model, err := assess(*modelPath)
 	if err != nil {
 		return err
 	}
-
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return err
-		}
-		if err := obs.WriteChromeTraceSnapshot(f, a.Trace); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-
-	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			return err
-		}
-		if err := model.WriteDOT(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	if *jsonOut {
-		return a.WriteJSON(stdout)
-	}
-	fmt.Fprint(stdout, a.Render())
-	fmt.Fprintln(stdout)
-	fmt.Fprintln(stdout, "== Risk-prioritized scenarios ==")
-	limit := a.Ranked
-	if *topN > 0 && len(limit) > *topN {
-		limit = limit[:*topN]
-	}
-	fmt.Fprintln(stdout, report.Ranked(limit))
-	if a.Degradation.Degraded() {
-		fmt.Fprintln(stdout, "== Degraded results ==")
-		fmt.Fprintln(stdout, a.Degradation.Summary())
-	}
-	return nil
+	return emit(a, model)
 }
 
 // parseShard parses the -shard flag ("" = whole space, "i/m" = shard i

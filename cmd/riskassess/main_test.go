@@ -445,3 +445,143 @@ func TestRunShardFlagValidation(t *testing.T) {
 		t.Error("-shard with -asp accepted")
 	}
 }
+
+// editModel reads a model JSON, applies f to the decoded document, and
+// writes it to path.
+func editModel(t *testing.T, src, dst string, f func(map[string]any)) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		f(doc)
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// annotatePanel stamps a metadata-only attr on the panel component — an
+// edit the EPA engine cannot observe, so delta re-assessment reuses
+// every scenario row.
+func annotatePanel(note string) func(map[string]any) {
+	return func(doc map[string]any) {
+		for _, c := range doc["components"].([]any) {
+			comp := c.(map[string]any)
+			if comp["id"] == "panel" {
+				comp["attrs"] = map[string]any{"note": note}
+			}
+		}
+	}
+}
+
+// TestRunDeltaFlag: -delta warms the artifact cache with the baseline
+// model and the main assessment resolves incrementally, reporting the
+// same scenarios as a cold run of the edited model.
+func TestRunDeltaFlag(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.json", dir+"/new.json"
+	editModel(t, "../../models/sme-plant.json", oldPath, nil)
+	editModel(t, "../../models/sme-plant.json", newPath, annotatePanel("rewired cabinet"))
+
+	base := []string{"-types", "../../models/types.json", "-maxcard", "2", "-json"}
+	var deltaOut, coldOut bytes.Buffer
+	if err := run(append(base, "-model", newPath, "-delta", oldPath), &deltaOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-model", newPath), &coldOut); err != nil {
+		t.Fatal(err)
+	}
+
+	type summary struct {
+		Scenarios []json.RawMessage `json:"scenarios"`
+		Artifact  *struct {
+			Path      string `json:"path"`
+			ModelHash string `json:"modelHash"`
+		} `json:"artifact"`
+	}
+	var delta, cold summary
+	if err := json.Unmarshal(deltaOut.Bytes(), &delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(coldOut.Bytes(), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if delta.Artifact == nil || delta.Artifact.Path != "delta" {
+		t.Fatalf("artifact = %+v, want delta", delta.Artifact)
+	}
+	if delta.Artifact.ModelHash == "" {
+		t.Error("artifact lacks the model hash")
+	}
+	if cold.Artifact != nil {
+		t.Errorf("cold run without -delta stamped artifact %+v", cold.Artifact)
+	}
+	if scenarioSet(delta.Scenarios) != scenarioSet(cold.Scenarios) {
+		t.Fatal("-delta scenarios diverged from a cold run of the same model")
+	}
+}
+
+// TestRunDeltaFlagBadBaseline: an unreadable baseline fails fast.
+func TestRunDeltaFlagBadBaseline(t *testing.T) {
+	err := run([]string{
+		"-model", "../../models/sme-plant.json",
+		"-types", "../../models/types.json",
+		"-delta", "no-such-file.json",
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "delta baseline") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunWatchFlag: -watch re-assesses the model when the file changes;
+// the first run is cold and the re-run resolves against the cache.
+func TestRunWatchFlag(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := dir + "/plant.json"
+	editModel(t, "../../models/sme-plant.json", modelPath, nil)
+
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-model", modelPath,
+			"-types", "../../models/types.json",
+			"-maxcard", "1",
+			"-watch",
+			"-watch-interval", "20ms",
+			"-watch-max", "2",
+		}, &out)
+	}()
+
+	// Let the first assessment land, then edit the model to trigger the
+	// second; retry the edit until the watcher consumes it.
+	deadline := time.After(30 * time.Second)
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := out.String()
+			for _, want := range []string{"== watch run 1 ==", "== watch run 2 ==", "artifact: cold run", "artifact: delta run"} {
+				if !strings.Contains(text, want) {
+					t.Fatalf("watch output lacks %q:\n%s", want, text)
+				}
+			}
+			return
+		case <-deadline:
+			t.Fatal("watch did not complete two runs in 30s")
+		case <-time.After(100 * time.Millisecond):
+			editModel(t, "../../models/sme-plant.json", modelPath, annotatePanel("edit "+strconv.Itoa(i)))
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package artifact is the content-addressed cache of compiled pipeline
+// intermediates: the lowered (refined, validated) sysmodel, the compiled
+// EPA engine, the candidate-mutation set, the finished hazard analysis,
+// and — on the ASP path — a live multi-shot solver session with its
+// learning retained. Entries are keyed by the canonical model hash
+// (sysmodel.Model.Hash) plus a hash of every assessment-relevant
+// configuration input, so a warm lookup is sound by construction: equal
+// key means equal report.
+//
+// The cache also answers *nearest-parent* queries for delta
+// re-assessment: given the fingerprint of an edited model, Nearest
+// returns the completed entry under the same configuration whose
+// structural diff touches the fewest components. The caller re-runs only
+// the invalidated part of the scenario space against the parent's rows.
+//
+// Eviction is LRU with a fixed entry cap. Evicting an entry closes its
+// solver session (grounded state is unrecoverable once evicted — the
+// next run re-grounds). All methods are safe for concurrent use; the
+// session inside an entry keeps the solver package's single-goroutine
+// contract, guarded by the entry mutex.
+package artifact
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/faults"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/solver"
+	"cpsrisk/internal/sysmodel"
+)
+
+// Key addresses one cache entry: the canonical model content hash and
+// the configuration hash (requirements, type library, mutation sources,
+// mitigations, cardinality bound, deterministic budget caps — every
+// input that changes the report).
+type Key struct {
+	Model uint64
+	Cfg   uint64
+}
+
+// Entry holds the compiled artifacts of one completed (or partially
+// completed) assessment.
+type Entry struct {
+	// Fingerprint is the structural identity of Model — kept so Nearest
+	// can diff candidates without re-hashing.
+	Fingerprint *sysmodel.Fingerprint
+	// Model is the lowered model: cloned, composites refined, validated.
+	Model *sysmodel.Model
+	// Engine is the compiled EPA engine (immutable, concurrent-safe).
+	Engine *epa.Engine
+	// Candidates / Analyzed mirror the pipeline's candidate stage output.
+	Candidates []faults.Mutation
+	Analyzed   []faults.Mutation
+	// Compromisable is the attack-graph projection (nil without a KB).
+	Compromisable []string
+	// Analysis is the finished hazard identification. Its rows are the
+	// reuse substrate for delta re-assessment.
+	Analysis *hazard.Analysis
+	// Complete reports a degradation-free analysis: no truncation, no
+	// recorded degradations. Only complete entries are reused wholesale
+	// or served as delta parents — a truncated parent's missing rows
+	// would silently propagate into the child report.
+	Complete bool
+	// Pins holds configuration inputs the entry's key identifies by
+	// pointer (type library, behaviour library, KB). Keeping them
+	// reachable from the entry guarantees the addresses folded into the
+	// key cannot be recycled onto different objects while the entry is
+	// cached — pointer-keyed hashing stays unambiguous.
+	Pins []any
+
+	// mu serializes use of Session (the solver's single-goroutine
+	// contract) and the lazy ranked projection. Lock it around any
+	// Session call.
+	mu sync.Mutex
+	// ranked is the risk-ranked projection of Analysis, computed on first
+	// use so warm and zero-invalidation delta resolutions skip re-ranking.
+	ranked []hazard.ScenarioResult
+	// Session is a live multi-shot solver session grounded for this
+	// model (ASP path only; nil on the native path). Owned by the
+	// entry: eviction closes it.
+	Session *solver.Session
+}
+
+// Ranked returns the risk-ranked projection of the entry's analysis,
+// computing it on first use and reusing it afterwards. Callers must not
+// mutate the returned slice.
+func (e *Entry) Ranked() []hazard.ScenarioResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ranked == nil && e.Analysis != nil {
+		e.ranked = e.Analysis.Ranked()
+	}
+	return e.ranked
+}
+
+// SetRanked seeds the ranked projection (used when the caller already
+// computed it for its own report).
+func (e *Entry) SetRanked(r []hazard.ScenarioResult) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ranked = r
+}
+
+// LockSession acquires the entry's session guard and returns the session
+// (which may be nil) plus the unlock func.
+func (e *Entry) LockSession() (*solver.Session, func()) {
+	e.mu.Lock()
+	return e.Session, e.mu.Unlock
+}
+
+// TakeSession removes and returns the entry's session, transferring
+// ownership to the caller (nil when the entry holds none). Used by delta
+// re-assessment to migrate a still-valid grounded session from the
+// parent entry into the child instead of re-grounding.
+func (e *Entry) TakeSession() *solver.Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.Session
+	e.Session = nil
+	return s
+}
+
+// closeSession releases the entry's solver session, if any.
+func (e *Entry) closeSession() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.Session != nil {
+		e.Session.Close()
+		e.Session = nil
+	}
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Cache is a bounded LRU artifact cache.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *slot
+	entries map[Key]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+type slot struct {
+	key Key
+	e   *Entry
+}
+
+// DefaultCap is the entry cap used when New is given n <= 0. Entries
+// hold compiled engines and (on the ASP path) grounded solver sessions,
+// so the cap is deliberately small — this is a working set, not a store.
+const DefaultCap = 8
+
+// New creates a cache holding at most n entries (n <= 0 uses DefaultCap).
+func New(n int) *Cache {
+	if n <= 0 {
+		n = DefaultCap
+	}
+	return &Cache{cap: n, order: list.New(), entries: make(map[Key]*list.Element)}
+}
+
+// Get returns the entry for k, marking it most recently used. A nil
+// cache always misses.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*slot).e, true
+}
+
+// Nearest returns the complete entry with configuration hash cfg whose
+// model diffs against fp with the fewest touched components, along with
+// that delta. Entries whose diff changes the requirement set are not
+// eligible (requirement changes re-score every row — nothing to reuse).
+// Returns nil when no eligible parent exists. Does not update recency
+// and counts neither a hit nor a miss — the caller records the outcome
+// of the overall resolution instead.
+func (c *Cache) Nearest(cfg uint64, fp *sysmodel.Fingerprint) (*Entry, *sysmodel.Delta) {
+	if c == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var (
+		best  *Entry
+		bestD *sysmodel.Delta
+	)
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		s := el.Value.(*slot)
+		if s.key.Cfg != cfg || !s.e.Complete || s.e.Analysis == nil {
+			continue
+		}
+		d := s.e.Fingerprint.Diff(fp)
+		if d.RequirementsChanged {
+			continue
+		}
+		if best == nil || d.Touched() < bestD.Touched() {
+			best, bestD = s.e, d
+			// Stop scanning once the diff is a single component (or a
+			// connection-only edit, Touched 0): an identical model would
+			// have been an exact Get hit, so nothing meaningfully closer
+			// exists. The scan starts at the most recent entry, so an
+			// edit-after-edit workload stops on the first candidate.
+			if bestD.Touched() <= 1 {
+				break
+			}
+		}
+	}
+	return best, bestD
+}
+
+// Put inserts (or replaces) the entry for k and marks it most recently
+// used, evicting the least recently used entry beyond the cap. A
+// replaced or evicted entry has its solver session closed unless it is
+// the same entry being re-inserted. No-op on a nil cache.
+func (c *Cache) Put(k Key, e *Entry) {
+	if c == nil || e == nil {
+		return
+	}
+	var closing []*Entry
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		old := el.Value.(*slot).e
+		if old != e {
+			closing = append(closing, old)
+		}
+		el.Value.(*slot).e = e
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[k] = c.order.PushFront(&slot{key: k, e: e})
+		for c.order.Len() > c.cap {
+			back := c.order.Back()
+			s := back.Value.(*slot)
+			c.order.Remove(back)
+			delete(c.entries, s.key)
+			closing = append(closing, s.e)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	for _, old := range closing {
+		old.closeSession()
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
+}
+
+// Close evicts everything, closing all solver sessions.
+func (c *Cache) Close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	var all []*Entry
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*slot).e)
+	}
+	c.order.Init()
+	c.entries = make(map[Key]*list.Element)
+	c.mu.Unlock()
+	for _, e := range all {
+		e.closeSession()
+	}
+}

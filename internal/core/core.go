@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"cpsrisk/internal/artifact"
 	"cpsrisk/internal/attack"
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/cegar"
@@ -23,6 +24,7 @@ import (
 	"cpsrisk/internal/mitigation"
 	"cpsrisk/internal/obs"
 	"cpsrisk/internal/optimize"
+	"cpsrisk/internal/solver"
 	"cpsrisk/internal/store"
 	"cpsrisk/internal/sysmodel"
 )
@@ -121,6 +123,17 @@ type Config struct {
 	// recomputation. ShardCount <= 1 sweeps the whole space. Sharding is
 	// a native-sweep feature and is rejected together with UseASP.
 	ShardIndex, ShardCount int
+	// ArtifactCache, when non-nil, memoizes compiled pipeline artifacts
+	// (lowered model, EPA engine, finished analysis, grounded solver
+	// session) across runs in this process. A repeat run of an identical
+	// model+configuration returns the cached analysis without any EPA or
+	// solver work ("warm"); a run whose model differs from a cached one
+	// by at most MaxDeltaTouched components re-executes only the
+	// invalidated scenario ranks ("delta"); anything else runs cold. The
+	// resolution taken is stamped into Assessment.Artifact. The cache is
+	// safe for concurrent use and may be shared by many runs; runs with
+	// Faults armed bypass it entirely.
+	ArtifactCache *artifact.Cache
 	// Faults arms the deterministic fault-injection harness: injected
 	// panics, I/O errors, torn writes and cancellations at the registered
 	// sites (see faultinject). Nil — the default — costs one pointer
@@ -151,6 +164,9 @@ type Assessment struct {
 	Phases []optimize.Phase
 	// Refinement is the CEGAR outcome (Oracle only).
 	Refinement *cegar.Result
+	// Artifact records how the artifact cache resolved this run (nil
+	// unless Config.ArtifactCache was set and consulted).
+	Artifact *ArtifactInfo
 	// Degradation records every resource-driven truncation of the run.
 	// Always non-nil; empty when the assessment completed exactly.
 	Degradation *budget.Degradation
@@ -340,9 +356,81 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	// than per answer set, so a partial result is always available.
 	err = stage("hazard", func(b *budget.Budget) error {
 		var err error
-		eng, err = epa.NewEngine(model, behaviors)
-		if err != nil {
-			return err
+		// Artifact-cache resolution. An exact warm hit returns the cached
+		// engine and analysis with no compile, sweep, or solver work; a
+		// miss falls through, possibly arming delta re-assessment below.
+		ac := cfg.ArtifactCache
+		var (
+			fp    *sysmodel.Fingerprint
+			key   artifact.Key
+			entry *artifact.Entry
+		)
+		if ac != nil && cfg.Faults == nil {
+			fp = model.Fingerprint()
+			key = artifact.Key{Model: fp.ModelHash, Cfg: cfgHash(cfg)}
+			out.Artifact = &ArtifactInfo{Path: "cold", ModelHash: fmt.Sprintf("%016x", fp.ModelHash)}
+			if e, ok := ac.Get(key); ok && e.Complete {
+				out.Artifact.Path = "warm"
+				bump(cfg.Metrics, "artifact.hits")
+				eng = e.Engine
+				out.Analysis = e.Analysis
+				out.Ranked = e.Ranked()
+				return nil
+			}
+			bump(cfg.Metrics, "artifact.misses")
+			entry = &artifact.Entry{}
+		}
+		// Nearest-parent resolution for delta re-assessment: the closest
+		// complete entry under the same configuration, within the K gate.
+		var (
+			parent      *artifact.Entry
+			parentDelta *sysmodel.Delta
+		)
+		if entry != nil && cfg.ShardCount <= 1 {
+			if p, d := ac.Nearest(key.Cfg, fp); p != nil && d.Touched() <= MaxDeltaTouched {
+				parent, parentDelta = p, d
+			}
+		}
+		var affected map[string]bool
+		if parent != nil && !cfg.UseASP {
+			affected = affectedComponents(parent.Model, model, parentDelta)
+			if len(affected) == 0 && sameScoredMutations(parent.Analyzed, analyzed) {
+				// Zero-invalidation delta: the edit is invisible to the
+				// engine and the candidate scoring is identical, so the
+				// parent's analysis IS this run's analysis. Re-register it
+				// under the child hash so successive edits keep chaining.
+				out.Artifact.Path = "delta"
+				out.Artifact.Touched = parentDelta.Touched()
+				bump(cfg.Metrics, "artifact.delta_reassess")
+				eng = parent.Engine
+				out.Analysis = parent.Analysis
+				out.Ranked = parent.Ranked()
+				entry.Fingerprint = fp
+				entry.Model = model
+				entry.Engine = eng
+				entry.Candidates = out.Candidates
+				entry.Analyzed = analyzed
+				entry.Compromisable = out.Compromisable
+				entry.Analysis = out.Analysis
+				entry.SetRanked(out.Ranked)
+				entry.Complete = out.Analysis.Truncation == nil && !out.Degradation.Degraded()
+				entry.Pins = []any{cfg.Types, cfg.Behaviors, cfg.KB}
+				ac.Put(key, entry)
+				if cfg.Metrics != nil {
+					cfg.Metrics.Gauge("artifact.evictions").Set(ac.Stats().Evictions)
+				}
+				return nil
+			}
+		}
+		if parent != nil && behaviorallyEmpty(parentDelta) {
+			// A metadata-only diff compiles to an identical engine; skip
+			// the recompile.
+			eng = parent.Engine
+		} else {
+			eng, err = epa.NewEngine(model, behaviors)
+			if err != nil {
+				return err
+			}
 		}
 		// Durability machinery: the persistent result cache and the sweep
 		// checkpoint. Both are best-effort — an unopenable directory
@@ -377,12 +465,45 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 				sweepCfg.Checkpoint = ck
 			}
 		}
+		// Delta re-assessment (native sweep, whole space): the nearest
+		// complete parent under the same configuration supplies a reuse
+		// oracle, so only scenarios the edit could have changed execute.
+		if parent != nil && !cfg.UseASP {
+			sweepCfg.Reuse = deltaOracle(parent.Analysis, affected)
+			out.Artifact.Path = "delta"
+			out.Artifact.Touched = parentDelta.Touched()
+			out.Artifact.Affected = len(affected)
+			bump(cfg.Metrics, "artifact.delta_reassess")
+		}
 		if cfg.UseASP {
-			out.Analysis, err = hazard.AnalyzeASPOpts(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, hazard.ASPOptions{
+			aspOpts := hazard.ASPOptions{
 				Budget:        b,
 				SolverWorkers: cfg.solverWorkers(),
 				Deterministic: cfg.SolverDeterministic,
-			})
+			}
+			var migrated *solver.Session
+			if entry != nil {
+				// Retain the grounded session in the entry for future
+				// deltas; migrate the parent's session when the edit is
+				// invisible to the encoding (metadata-only diff, identical
+				// candidate activations) — no re-grounding, learning kept.
+				aspOpts.KeepSession = func(s *solver.Session) { entry.Session = s }
+				if parent != nil && behaviorallyEmpty(parentDelta) &&
+					sameActivations(parent.Analyzed, analyzed) {
+					if migrated = parent.TakeSession(); migrated != nil {
+						aspOpts.Session = migrated
+						out.Artifact.Path = "delta"
+						out.Artifact.Touched = parentDelta.Touched()
+						bump(cfg.Metrics, "artifact.delta_reassess")
+					}
+				}
+			}
+			out.Analysis, err = hazard.AnalyzeASPOpts(eng, analyzed, cfg.MaxCardinality, cfg.Requirements, aspOpts)
+			if migrated != nil && (entry == nil || entry.Session != migrated) {
+				// The analysis did not retain the migrated session (error
+				// or budget fallback below): it is ours to close.
+				migrated.Close()
+			}
 			if ex, ok := budget.Exhausted(err); ok {
 				t := budget.Truncation{Stage: "hazard-asp", Reason: ex.Reason,
 					Detail: "ASP identification aborted; falling back to the native fixpoint engine"}
@@ -400,6 +521,22 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 			out.Degradation.Record(*out.Analysis.Truncation)
 		}
 		out.Ranked = out.Analysis.Ranked()
+		if entry != nil {
+			entry.Fingerprint = fp
+			entry.Model = model
+			entry.Engine = eng
+			entry.Candidates = out.Candidates
+			entry.Analyzed = analyzed
+			entry.Compromisable = out.Compromisable
+			entry.Analysis = out.Analysis
+			entry.SetRanked(out.Ranked)
+			entry.Complete = out.Analysis.Truncation == nil && !out.Degradation.Degraded()
+			entry.Pins = []any{cfg.Types, cfg.Behaviors, cfg.KB}
+			ac.Put(key, entry)
+			if cfg.Metrics != nil {
+				cfg.Metrics.Gauge("artifact.evictions").Set(ac.Stats().Evictions)
+			}
+		}
 		return nil
 	})
 	if err != nil {

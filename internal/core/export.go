@@ -29,6 +29,9 @@ type Summary struct {
 	Solver *SolverSummary `json:"solver,omitempty"`
 	// Sweep carries scenario-sweep statistics when the native engine ran.
 	Sweep *SweepSummary `json:"sweep,omitempty"`
+	// Artifact reports the artifact-cache resolution (cold/warm/delta);
+	// absent when no artifact cache was configured.
+	Artifact *ArtifactSummary `json:"artifact,omitempty"`
 	// DurationMS is wall-clock time for the whole assessment.
 	DurationMS int64 `json:"durationMs,omitempty"`
 	// Trace is the span tree of the run; present only when the assessment
@@ -62,9 +65,25 @@ type SweepSummary struct {
 	// OrbitClasses is the number of interchangeable-component classes
 	// the pruner detected (absent when none).
 	OrbitClasses int `json:"orbitClasses,omitempty"`
+	// Reused counts rows answered by the delta-reuse oracle from a
+	// cached parent analysis instead of executing (absent outside delta
+	// re-assessment).
+	Reused int64 `json:"reused,omitempty"`
 	// Shard is "index/count" when the sweep covered one rank-range shard
 	// of the space (absent for whole-space sweeps).
 	Shard string `json:"shard,omitempty"`
+}
+
+// ArtifactSummary is the artifact-cache resolution of the run.
+type ArtifactSummary struct {
+	// Path is "cold", "warm", or "delta".
+	Path string `json:"path"`
+	// ModelHash is the canonical model content hash, in hex.
+	ModelHash string `json:"modelHash"`
+	// Touched / Affected describe the delta: components the edit touched
+	// and the size of the invalidated closure (absent outside delta).
+	Touched  int `json:"touched,omitempty"`
+	Affected int `json:"affected,omitempty"`
 }
 
 // SolverSummary is the ASP solver's search effort for the run.
@@ -198,10 +217,19 @@ func (a *Assessment) Summarize() *Summary {
 			Pruned:       sw.Pruned,
 			OrbitHits:    sw.OrbitHits,
 			OrbitClasses: sw.OrbitClasses,
+			Reused:       sw.Reused,
 			Shard:        sw.Shard,
 		}
 		if a.Analysis.Resume != nil {
 			out.Sweep.ResumedFromRank = a.Analysis.Resume.FromRank
+		}
+	}
+	if a.Artifact != nil {
+		out.Artifact = &ArtifactSummary{
+			Path:      a.Artifact.Path,
+			ModelHash: a.Artifact.ModelHash,
+			Touched:   a.Artifact.Touched,
+			Affected:  a.Artifact.Affected,
 		}
 	}
 	if a.Analysis != nil && a.Analysis.SolverStats != nil {

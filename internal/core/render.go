@@ -43,6 +43,13 @@ func (a *Assessment) Render() string {
 	hazards := a.Analysis.Hazards()
 	fmt.Fprintf(&sb, "HAZARD IDENTIFICATION\n  %d scenarios analyzed, %d hazardous\n",
 		len(a.Analysis.Scenarios), len(hazards))
+	if ar := a.Artifact; ar != nil {
+		fmt.Fprintf(&sb, "  artifact: %s run (model %s)", ar.Path, ar.ModelHash)
+		if ar.Path == "delta" {
+			fmt.Fprintf(&sb, ", %d component(s) touched, %d invalidated", ar.Touched, ar.Affected)
+		}
+		sb.WriteString("\n")
+	}
 	if sw := a.Analysis.Sweep; sw != nil {
 		fmt.Fprintf(&sb, "  sweep: %d worker(s), %.0f scenarios/s", sw.Workers, sw.Throughput())
 		if sw.Shard != "" {
@@ -51,6 +58,9 @@ func (a *Assessment) Render() string {
 		if sw.Pruned+sw.OrbitHits > 0 {
 			fmt.Fprintf(&sb, ", %d executed, %d dominance-pruned, %d orbit-replicated (%d symmetry classes)",
 				sw.Executed, sw.Pruned, sw.OrbitHits, sw.OrbitClasses)
+		}
+		if sw.Reused > 0 {
+			fmt.Fprintf(&sb, ", %d row(s) reused from the cached parent", sw.Reused)
 		}
 		sb.WriteString("\n")
 		if sw.CacheHits+sw.CacheMisses > 0 {

@@ -111,6 +111,10 @@ type SweepStats struct {
 	// OrbitClasses is the number of refined interchangeable-component
 	// classes the sweep used (0 = no symmetry or pruning off).
 	OrbitClasses int
+	// Reused counts rows answered by the delta re-assessment oracle
+	// (SweepConfig.Reuse): the violated set was carried over from a
+	// cached parent analysis without an EPA run.
+	Reused int64
 	// Shard labels the rank range this sweep covered, as
 	// "index/count" ("" = the whole space).
 	Shard string
@@ -221,6 +225,9 @@ func publishSweep(reg *obs.Registry, sw *SweepStats, epaRuns int) {
 	}
 	if sw.OrbitHits > 0 {
 		reg.Counter("sweep.orbit_hits").Add(sw.OrbitHits)
+	}
+	if sw.Reused > 0 {
+		reg.Counter("sweep.reused").Add(sw.Reused)
 	}
 	if sw.OrbitClasses > 0 {
 		reg.Gauge("sweep.orbit_classes").Set(int64(sw.OrbitClasses))
@@ -386,6 +393,20 @@ type ASPOptions struct {
 	// Deterministic forces single-engine search regardless of
 	// SolverWorkers, for byte-identical reports across runs.
 	Deterministic bool
+	// Session, when non-nil, is a live multi-shot session already
+	// grounded for exactly this engine + mutation set + requirement
+	// encoding (an artifact-cache holdover — the caller must guarantee
+	// the match, which the cache key's model and config hashes do). The
+	// analysis then skips encoding and grounding entirely and queries
+	// the session directly. Ownership stays with the caller unless
+	// KeepSession also fires.
+	Session *solver.Session
+	// KeepSession, when non-nil, receives the session the analysis used
+	// (freshly grounded or passed in) on success, instead of the session
+	// being closed on return — the artifact cache retains it, learning
+	// and all, for the next warm query. On error a session the analysis
+	// created is closed as usual.
+	KeepSession func(*solver.Session)
 }
 
 // AnalyzeASPOpts is AnalyzeASPBudget with solver portfolio control: the
@@ -397,16 +418,6 @@ func AnalyzeASPOpts(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs [
 	if err := validateReqs(reqs); err != nil {
 		return nil, err
 	}
-	prog, err := eng.EncodeASP()
-	if err != nil {
-		return nil, err
-	}
-	faults.EncodeChoice(prog, muts, -1)
-	for _, r := range reqs {
-		if err := EncodeViolation(prog, r.ID, r.Condition); err != nil {
-			return nil, err
-		}
-	}
 	start := time.Now()
 	// One span wraps the whole multi-shot analysis; the session attaches
 	// its grounding and per-query sub-spans through the derived budget.
@@ -416,15 +427,37 @@ func AnalyzeASPOpts(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs [
 	if aspSpan != nil {
 		abud = budget.New(obsCtx, bud.Limits())
 	}
-	sess, err := solver.NewSession(prog, solver.Options{
-		Budget:        abud,
-		Workers:       o.SolverWorkers,
-		Deterministic: o.Deterministic,
-	})
-	if err != nil {
-		return nil, err
+	sess := o.Session
+	if sess == nil {
+		prog, err := eng.EncodeASP()
+		if err != nil {
+			return nil, err
+		}
+		faults.EncodeChoice(prog, muts, -1)
+		for _, r := range reqs {
+			if err := EncodeViolation(prog, r.ID, r.Condition); err != nil {
+				return nil, err
+			}
+		}
+		sess, err = solver.NewSession(prog, solver.Options{
+			Budget:        abud,
+			Workers:       o.SolverWorkers,
+			Deterministic: o.Deterministic,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	defer sess.Close()
+	// Session lifetime: on success KeepSession (when set) takes
+	// ownership — the session outlives this analysis, warm for the next
+	// query stream. Otherwise a session this analysis grounded is closed
+	// here, and a caller-provided one is left alone.
+	kept := false
+	defer func() {
+		if !kept && o.Session == nil {
+			sess.Close()
+		}
+	}()
 
 	kmax := maxCard
 	if kmax < 0 || kmax > len(muts) {
@@ -506,6 +539,10 @@ func AnalyzeASPOpts(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs [
 	st.Duration = time.Since(start)
 	out.SolverStats = &st
 	solver.PublishStats(obs.RegistryFromContext(obsCtx), &st)
+	if o.KeepSession != nil {
+		kept = true
+		o.KeepSession(sess)
+	}
 	return out, nil
 }
 

@@ -75,6 +75,14 @@ type SweepConfig struct {
 	// cache namespace, so a final whole-space run over the common cache
 	// directory merges their results without recomputation.
 	ShardIndex, ShardCount int
+	// Reuse, when set, is the delta re-assessment oracle (see
+	// internal/artifact and core's delta path): it returns the known
+	// violated-requirement set for a scenario whose outcome is provably
+	// unchanged from a cached parent analysis. Rows it answers are
+	// synthesized without an EPA run and counted in SweepStats.Reused.
+	// The oracle must be deterministic for the duration of the sweep and
+	// safe for concurrent calls.
+	Reuse func(sc epa.Scenario) ([]string, bool)
 }
 
 // sweepChunk is a contiguous run of scenarios starting at stream
@@ -134,7 +142,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	}
 	bud := cfg.Budget
 	if parallelism == 1 && cfg.Cache == nil && cfg.Checkpoint == nil &&
-		!cfg.Prune && cfg.ShardCount <= 1 {
+		!cfg.Prune && cfg.ShardCount <= 1 && cfg.Reuse == nil {
 		return AnalyzeBudget(eng, muts, maxCard, reqs, bud)
 	}
 	if err := validateReqs(reqs); err != nil {
@@ -191,9 +199,45 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 
 	// Pruning state: dominance index, symmetry orbits, synthesized-result
 	// codec. nil when pruning is off — the hot path then pays nothing.
+	// With a persistent cache the dominance antichain and orbit memo are
+	// seeded from every record already on disk, so a shard starting
+	// mid-space (or any warm rerun) prunes from rank one instead of
+	// rediscovering its index from scratch.
 	var pr *pruner
 	if cfg.Prune {
 		pr = newPruner(eng, muts, reqs)
+		pr.seedFromCache(cfg.Cache, eng, muts, maskLen)
+	}
+
+	// MaxScenarios accounting. A plain sweep charges every emitted rank
+	// at the producer and stops at the cap, exactly like the sequential
+	// path. When pruning or reuse can synthesize rows, the cap must
+	// charge executed-equivalent work only — implied and reused rows are
+	// free, or a pruned run would truncate earlier than an exhaustive one
+	// despite doing less work. Which rows are implied is worker-timing-
+	// dependent, so the charge is decided by the merge instead: a shadow,
+	// UNSEEDED pruner replays the merged rows in contiguous rank order —
+	// the deterministic sequential-equivalent of the sweep — and the
+	// accountant raises the stop flag when the charge reaches the cap.
+	// The producer polls the flag; workers in flight overshoot by at most
+	// the pipeline depth, and the surplus rows fall above the
+	// accountant's truncation rank, which is deterministic across
+	// parallelism, cache state, and seeding.
+	var acct *capAccountant
+	var prodStop atomic.Bool
+	if limits.MaxScenarios > 0 && (cfg.Prune || cfg.Reuse != nil) {
+		acct = &capAccountant{
+			limit:      limits.MaxScenarios,
+			resumeFrom: resumeFrom,
+			reuse:      cfg.Reuse,
+			mutIdx:     mutIdx,
+			maskLen:    maskLen,
+			cut:        math.MaxInt,
+			stop:       &prodStop,
+		}
+		if cfg.Prune {
+			acct.shadow = newPruner(eng, muts, reqs)
+		}
 	}
 
 	// Observability: one span per sweep and per worker, one span per
@@ -227,10 +271,16 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 			}
 		}
 		faults.EnumerateRange(muts, maxCard, int64(shardLo), int64(shardHi), func(sc epa.Scenario) bool {
-			charged := seq - resumeFrom
-			if limits.MaxScenarios > 0 && charged >= limits.MaxScenarios {
-				trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
-				trunc.Stamp(obsCtx)
+			if acct == nil {
+				charged := seq - resumeFrom
+				if limits.MaxScenarios > 0 && charged >= limits.MaxScenarios {
+					trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
+					trunc.Stamp(obsCtx)
+					return false
+				}
+			} else if prodStop.Load() {
+				// The merge-side accountant reached the cap; its
+				// deterministic truncation rank defines the cut.
 				return false
 			}
 			if err := bud.Err("hazard"); err != nil {
@@ -262,7 +312,7 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	// rank, so one poisoned scenario degrades the sweep instead of
 	// killing the process.
 	var cacheHits, cacheMisses, retries atomic.Int64
-	var executed, prunedCnt, orbitHits atomic.Int64
+	var executed, prunedCnt, orbitHits, reused atomic.Int64
 	runChunk := func(jb sweepChunk, wCtx context.Context) (o sweepOutcome) {
 		o = sweepOutcome{baseSeq: jb.baseSeq, n: len(jb.scs), badSeq: -1}
 		defer func() {
@@ -293,6 +343,24 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 			var mask []byte
 			if cfg.Cache != nil || pr != nil {
 				mask = scenarioMask(sc, mutIdx, maskLen)
+			}
+			// Delta re-assessment: a row the oracle can answer is carried
+			// over from the cached parent analysis without touching the
+			// engine. Reused rows feed the pruner and the persistent cache
+			// like synthesized ones, so in-sweep dominance and future runs
+			// both benefit.
+			if cfg.Reuse != nil {
+				if violated, known := cfg.Reuse(sc); known {
+					reused.Add(1)
+					if pr != nil && mask != nil {
+						pr.record(sc, mask, violated)
+						if cfg.Cache != nil {
+							cfg.Cache.Put(synthKey(mask), pr.encodeSynth(violated))
+						}
+					}
+					o.srs = append(o.srs, synthesizeResult(seq, sc, violated, reqs, likelihoods))
+					continue
+				}
 			}
 			// Pruning: synthesize the row when the outcome is already
 			// implied — by dominance, by a symmetry orbit sibling, or by a
@@ -410,7 +478,15 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 	frontier := shardLo
 	lastSaved := -1
 	saveFrontier := func(complete bool) {
-		if cfg.Checkpoint == nil || frontier == lastSaved && !complete {
+		// The frontier persisted never exceeds the accountant's
+		// truncation rank: rows the overshooting pipeline completed above
+		// the cap are cut from this report, so promising them to a resume
+		// would let the resumed run report rows this run did not.
+		front := frontier
+		if acct != nil && acct.cut < front {
+			front = acct.cut
+		}
+		if cfg.Checkpoint == nil || front == lastSaved && !complete {
 			return
 		}
 		if err := cfg.Cache.Flush(); err != nil {
@@ -424,12 +500,12 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 			MutsHash:   fmt.Sprintf("%016x", hashMuts(muts)),
 			ReqsHash:   fmt.Sprintf("%016x", hashReqs(reqs)),
 			MaxCard:    maxCard,
-			Frontier:   frontier,
-			Ranges:     frontierRanges(len(muts), maxCard, frontier),
+			Frontier:   front,
+			Ranges:     frontierRanges(len(muts), maxCard, front),
 			Complete:   complete,
 		}
 		if err := cfg.Checkpoint.save(st); err == nil {
-			lastSaved = frontier
+			lastSaved = front
 		}
 	}
 	advance := func() {
@@ -437,6 +513,14 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 			o, ok := chunks[frontier]
 			if !ok {
 				return
+			}
+			// The accountant replays the contiguous row stream exactly
+			// once, here, in rank order — the only place rank order
+			// exists during a parallel sweep.
+			if acct != nil {
+				for i, sr := range o.srs {
+					acct.row(o.baseSeq+i, sr)
+				}
 			}
 			frontier += len(o.srs)
 			if len(o.srs) < o.n {
@@ -467,6 +551,11 @@ func AnalyzeSweep(eng *epa.Engine, muts []faults.Mutation, maxCard int, reqs []R
 
 	cut := prod.emitted
 	trunc := prod.trunc
+	if acct != nil && acct.cut < cut {
+		cut = acct.cut
+		trunc = &budget.Truncation{Stage: "hazard", Reason: budget.ReasonScenarios}
+		trunc.Stamp(obsCtx)
+	}
 	if firstBad < cut {
 		cut = firstBad
 		trunc = badTrunc
@@ -548,10 +637,67 @@ merge:
 		Pruned:       prunedCnt.Load(),
 		OrbitHits:    orbitHits.Load(),
 		OrbitClasses: orbitClasses,
+		Reused:       reused.Load(),
 		Shard:        shardTag,
 	}
 	publishSweep(reg, out.Sweep, prod.emitted-shardLo)
 	return out, nil
+}
+
+// capAccountant decides which rows the MaxScenarios cap charges when
+// synthesized rows are possible. It replays the merged row stream in
+// contiguous rank order — the merge guarantees that — through a shadow
+// pruner that starts empty, i.e. the deterministic accounting of the
+// equivalent sequential pruned sweep. A row is exempt (free) when it is
+// below the resume frontier, answered by the delta-reuse oracle, or
+// implied by earlier rows via shadow dominance or a shadow orbit
+// sibling; every other row charges one unit. The first charged row past
+// the limit fixes cut — the exclusive truncation rank — and raises the
+// producer stop flag. Because its inputs (row content, rank order, the
+// oracle) are deterministic, the cut is identical across parallelism,
+// cache warmth, and worker-pruner seeding.
+type capAccountant struct {
+	limit      int
+	resumeFrom int
+	reuse      func(sc epa.Scenario) ([]string, bool)
+	shadow     *pruner // nil when pruning is off (reuse-only accounting)
+	mutIdx     map[epa.Activation]int
+	maskLen    int
+	charged    int
+	cut        int // math.MaxInt until the cap is reached
+	stop       *atomic.Bool
+}
+
+func (a *capAccountant) row(seq int, sr ScenarioResult) {
+	if a.cut != math.MaxInt {
+		return
+	}
+	var mask []byte
+	if a.shadow != nil {
+		mask = scenarioMask(sr.Scenario, a.mutIdx, a.maskLen)
+	}
+	exempt := seq < a.resumeFrom
+	if !exempt && a.reuse != nil {
+		_, exempt = a.reuse(sr.Scenario)
+	}
+	if !exempt && a.shadow != nil && mask != nil {
+		if _, ok := a.shadow.tryDominate(mask); ok {
+			exempt = true
+		} else if _, ok := a.shadow.tryOrbit(sr.Scenario); ok {
+			exempt = true
+		}
+	}
+	if !exempt {
+		if a.charged >= a.limit {
+			a.cut = seq
+			a.stop.Store(true)
+			return
+		}
+		a.charged++
+	}
+	if a.shadow != nil && mask != nil {
+		a.shadow.record(sr.Scenario, mask, sr.Violated)
+	}
 }
 
 // scenarioMask renders a scenario as a bitmask over the candidate-set

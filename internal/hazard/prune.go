@@ -35,6 +35,7 @@ package hazard
 
 import (
 	"encoding/binary"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,7 @@ import (
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/qual"
 	"cpsrisk/internal/risk"
+	"cpsrisk/internal/store"
 )
 
 // synthSuffix terminates a synthesized-result cache key. Scenario-mask
@@ -242,6 +244,84 @@ func (p *pruner) record(sc epa.Scenario, mask []byte, violated []string) {
 			p.orbits[key] = append([]string(nil), violated...)
 		}
 	}
+}
+
+// seedFromCache warms the pruning state from every record already in
+// the persistent result cache: synthesized-result records decode to
+// their violated sets directly; state-vector records re-evaluate the
+// requirements against the restored EPA result. A rank-range shard
+// starting past the low-cardinality ranks thereby inherits the minimal
+// violating masks earlier shards (or runs) discovered, instead of
+// rediscovering nothing — the cross-shard dominance-starvation fix.
+// Seeding only ever adds facts that are true of this exact engine and
+// requirement set (the cache namespace binds the engine and candidate
+// set; synth payloads bind the requirement hash), so it cannot change a
+// reported byte — only how many scenarios execute. Returns the number
+// of records seeded.
+func (p *pruner) seedFromCache(c *store.Cache, eng *epa.Engine, muts []faults.Mutation, maskLen int) int {
+	if c == nil || maskLen == 0 {
+		return 0
+	}
+	seeded := 0
+	c.Range(func(k, v []byte) bool {
+		var mask []byte
+		var violated []string
+		switch len(k) {
+		case maskLen + 1: // synthesized-result record
+			if k[maskLen] != synthSuffix {
+				return true
+			}
+			var ok bool
+			if violated, ok = p.decodeSynth(v); !ok {
+				return true
+			}
+			mask = k[:maskLen]
+		case maskLen: // executed state-vector record
+			res, err := eng.ResultFromStates(v)
+			if err != nil {
+				return true
+			}
+			sc, ok := scenarioFromMask(k, muts)
+			if !ok {
+				return true
+			}
+			for _, r := range p.reqs {
+				if Eval(r.Condition, sc, res) {
+					violated = append(violated, r.ID)
+				}
+			}
+			sort.Strings(violated)
+			mask = k
+		default:
+			return true
+		}
+		sc, ok := scenarioFromMask(mask, muts)
+		if !ok {
+			return true
+		}
+		p.record(sc, mask, violated)
+		seeded++
+		return true
+	})
+	return seeded
+}
+
+// scenarioFromMask reconstructs the scenario a cache mask denotes: the
+// activations of the set bits in candidate-set order — exactly how the
+// enumerator builds it. ok is false when the mask has bits outside the
+// candidate set (a record from an incompatible writer).
+func scenarioFromMask(mask []byte, muts []faults.Mutation) (epa.Scenario, bool) {
+	sc := epa.Scenario{}
+	set := 0
+	for _, b := range mask {
+		set += bits.OnesCount8(b)
+	}
+	for i := range muts {
+		if mask[i/8]&(1<<(i%8)) != 0 {
+			sc = append(sc, muts[i].Activation)
+		}
+	}
+	return sc, len(sc) == set
 }
 
 // orbitKey canonicalizes a scenario under the symmetric groups of the

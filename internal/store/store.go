@@ -345,6 +345,30 @@ func (c *Cache) Len() int {
 	return len(c.mem)
 }
 
+// Range calls f for every record until f returns false. Iteration order
+// is unspecified. The key and value slices are snapshots the callback
+// may retain; counters are untouched (a scan is not a lookup). The
+// snapshot is taken under the read lock, so Range never observes a
+// half-applied Put; records added during the iteration may or may not
+// be visited. No-op on a nil cache.
+func (c *Cache) Range(f func(key, val []byte) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.RLock()
+	type rec struct{ k, v []byte }
+	recs := make([]rec, 0, len(c.mem))
+	for k, v := range c.mem {
+		recs = append(recs, rec{[]byte(k), v})
+	}
+	c.mu.RUnlock()
+	for _, r := range recs {
+		if !f(r.k, append([]byte(nil), r.v...)) {
+			return
+		}
+	}
+}
+
 // atomicWrite publishes data at path via the temp-file + fsync + rename
 // protocol. The deferred remove is the janitor: on any failure (or a
 // panic unwinding through) the temp file disappears; after a successful

@@ -34,6 +34,12 @@ go test -race ./...
 echo "== go test -race -cpu=1,4 (epa, hazard, faults, store, solver) =="
 go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/faults ./internal/store ./internal/solver
 
+# Differential corpus for delta re-assessment: ~20 scripted model edits,
+# each asserting the incremental report is byte-identical to a cold run
+# of the edited model, plus warm-hit and ASP session-migration checks.
+echo "== go test -race -cpu=1,4 -run TestDelta|TestArtifact (core) =="
+go test -race -cpu=1,4 -count=1 -run 'TestDelta|TestArtifact' ./internal/core
+
 # Differential check: CDCL answer sets vs a brute-force stable-model
 # enumerator over a seeded random program battery, always re-run fresh.
 # The battery covers both the single-shot entry point and the incremental
