@@ -10,11 +10,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"cpsrisk/internal/artifact"
 	"cpsrisk/internal/budget"
@@ -36,6 +40,7 @@ import (
 	"cpsrisk/internal/risk"
 	"cpsrisk/internal/rough"
 	"cpsrisk/internal/sensitivity"
+	"cpsrisk/internal/serve"
 	"cpsrisk/internal/solver"
 	"cpsrisk/internal/sysmodel"
 	"cpsrisk/internal/temporal"
@@ -1195,4 +1200,126 @@ func BenchmarkX6_DynamicTrajectory(b *testing.B) {
 			b.Fatal("no overflow")
 		}
 	}
+}
+
+// BenchmarkS7_ServedWarmPath compares the warm-path latency of the two
+// front-ends on the same model (experiment S7): "cli" is an in-process
+// core.Run resolving warm against the artifact cache — what a
+// riskassess -watch cycle pays — and "served" is the full service round
+// trip (HTTP submit, job queue, poll, report fetch) against a riskserve
+// instance whose cache is equally warm. The gap is the price of the
+// service envelope: HTTP, the async job model, and per-request
+// observability.
+func BenchmarkS7_ServedWarmPath(b *testing.B) {
+	modelBytes, err := os.ReadFile("models/sme-plant.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tf, err := os.Open("models/types.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	types, err := sysmodel.ReadTypesJSON(tf)
+	tf.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cli", func(b *testing.B) {
+		model, err := sysmodel.ReadJSON(bytes.NewReader(modelBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs, err := hazard.GenericRequirements(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ac := artifact.New(0)
+		defer ac.Close()
+		cfg := core.Config{
+			Model:           model,
+			Types:           types,
+			KB:              kb.MustDefaultKB(),
+			Requirements:    reqs,
+			MutationSources: faults.AllSources(),
+			MaxCardinality:  1,
+			Budget:          -1,
+			ArtifactCache:   ac,
+		}
+		if _, err := core.Run(cfg); err != nil { // cold fill
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Artifact == nil || a.Artifact.Path != "warm" {
+				b.Fatalf("artifact = %+v, want warm", a.Artifact)
+			}
+		}
+	})
+
+	b.Run("served", func(b *testing.B) {
+		s, err := serve.New(serve.Options{Types: types, MaxCardinality: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Drain(ctx)
+		}()
+		roundTrip := func() string {
+			req, err := http.NewRequest("POST", ts.URL+"/v1/assess", bytes.NewReader(modelBytes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st struct {
+				ID           string `json:"id"`
+				State        string `json:"state"`
+				ArtifactPath string `json:"artifactPath"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			for st.State != "done" && st.State != "failed" {
+				r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+					b.Fatal(err)
+				}
+				r.Body.Close()
+			}
+			if st.State != "done" {
+				b.Fatalf("job state %s", st.State)
+			}
+			r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/report")
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			return st.ArtifactPath
+		}
+		if path := roundTrip(); path != "cold" { // cold fill
+			b.Fatalf("first round trip resolved %q, want cold", path)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if path := roundTrip(); path != "warm" {
+				b.Fatalf("artifact %q, want warm", path)
+			}
+		}
+	})
 }

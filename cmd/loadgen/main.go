@@ -1,0 +1,197 @@
+// Command loadgen drives a running riskserve instance with a fixed,
+// deterministic request mix and asserts the service-level outcome: every
+// job completes, repeat submissions resolve warm from the per-tenant
+// artifact cache, the SLO journal stays empty, and /metrics exposes the
+// expected series. It exits non-zero on any violation — the CI teeth
+// behind the service mode.
+//
+// Usage:
+//
+//	loadgen -addr host:port -model model.json [-tenants 3] [-rounds 2]
+//	        [-timeout 120s]
+//
+// The mix is rounds × tenants submissions: every round submits the same
+// model once per tenant, so round 1 is all cold compiles and every later
+// round must hit each tenant's own warm cache entry.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type jobStatus struct {
+	ID           string `json:"id"`
+	TraceID      string `json:"traceId"`
+	State        string `json:"state"`
+	ArtifactPath string `json:"artifactPath"`
+	Error        string `json:"error"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "", "riskserve address, host:port (required)")
+	modelPath := fs.String("model", "", "model JSON to submit (required)")
+	tenants := fs.Int("tenants", 3, "distinct tenants in the mix")
+	rounds := fs.Int("rounds", 2, "submission rounds (round 1 cold, later rounds warm)")
+	timeout := fs.Duration("timeout", 120*time.Second, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" || *modelPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-addr and -model are required")
+	}
+	base := "http://" + *addr
+	model, err := os.ReadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(*timeout)
+
+	warm, cold := 0, 0
+	for round := 1; round <= *rounds; round++ {
+		// Submit the whole round before polling: the rounds exercise
+		// concurrent jobs from distinct tenants against the shared cache.
+		ids := make([]string, 0, *tenants)
+		for ten := 0; ten < *tenants; ten++ {
+			tenant := fmt.Sprintf("tenant-%d", ten)
+			traceID := fmt.Sprintf("load-r%d-%s", round, tenant)
+			st, err := submit(base, model, traceID, tenant)
+			if err != nil {
+				return fmt.Errorf("round %d %s: %w", round, tenant, err)
+			}
+			if st.TraceID != traceID {
+				return fmt.Errorf("round %d %s: trace ID %q not honored", round, tenant, st.TraceID)
+			}
+			ids = append(ids, st.ID)
+		}
+		for i, id := range ids {
+			st, err := await(base, id, deadline)
+			if err != nil {
+				return err
+			}
+			if st.State != "done" {
+				return fmt.Errorf("job %s: state %s (%s)", id, st.State, st.Error)
+			}
+			wantPath := "warm"
+			if round == 1 {
+				wantPath = "cold"
+			}
+			if st.ArtifactPath != wantPath {
+				return fmt.Errorf("round %d tenant-%d: artifact %q, want %q",
+					round, i, st.ArtifactPath, wantPath)
+			}
+			if st.ArtifactPath == "warm" {
+				warm++
+			} else {
+				cold++
+			}
+		}
+	}
+
+	// Service-level assertions: zero critical events, ready, and the
+	// exposition carries the job counters.
+	var slo struct {
+		Compliant   bool `json:"compliant"`
+		WindowCount int  `json:"windowCount"`
+	}
+	if err := getJSON(base+"/v1/slo", &slo); err != nil {
+		return err
+	}
+	if slo.WindowCount != 0 || !slo.Compliant {
+		return fmt.Errorf("SLO violated: %d critical event(s) in window", slo.WindowCount)
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/readyz = %d after a clean run", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	total := *rounds * *tenants
+	for _, want := range []string{
+		fmt.Sprintf("cpsrisk_jobs_completed %d", total),
+		fmt.Sprintf("cpsrisk_jobs_submitted %d", total),
+		"cpsrisk_jobs_duration_us_count",
+		"cpsrisk_http_requests_assess",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("/metrics lacks %q", want)
+		}
+	}
+
+	fmt.Printf("loadgen: ok — %d jobs (%d cold, %d warm), 0 critical events\n",
+		total, cold, warm)
+	return nil
+}
+
+func submit(base string, model []byte, traceID, tenant string) (*jobStatus, error) {
+	req, err := http.NewRequest("POST", base+"/v1/assess", bytes.NewReader(model))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Trace-Id", traceID)
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func await(base, id string, deadline time.Time) (*jobStatus, error) {
+	for time.Now().Before(deadline) {
+		var st jobStatus
+		if err := getJSON(base+"/v1/jobs/"+id, &st); err != nil {
+			return nil, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return &st, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %s: deadline exceeded", id)
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

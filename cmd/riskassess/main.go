@@ -31,9 +31,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,14 +46,12 @@ import (
 	"cpsrisk/internal/artifact"
 	"cpsrisk/internal/budget"
 	"cpsrisk/internal/core"
-	"cpsrisk/internal/epa"
 	"cpsrisk/internal/faultinject"
 	"cpsrisk/internal/faults"
 	"cpsrisk/internal/hazard"
 	"cpsrisk/internal/kb"
 	"cpsrisk/internal/obs"
-	"cpsrisk/internal/qual"
-	"cpsrisk/internal/report"
+	"cpsrisk/internal/serve"
 	"cpsrisk/internal/sysmodel"
 )
 
@@ -89,6 +89,8 @@ func run(args []string, stdout io.Writer) error {
 	watchInterval := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
 	watchMax := fs.Int("watch-max", 0, "stop -watch after this many assessments (0 = run until interrupted)")
 	tracePath := fs.String("trace", "", "trace the run and write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+	traceID := fs.String("trace-id", "", "correlation ID stamped into the report summary and the trace export")
+	artifactCache := fs.Bool("artifact-cache", false, "arm the in-process artifact cache even for a single run (the service default); the run reports its cold/warm/delta resolution")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -156,7 +158,7 @@ func run(args []string, stdout io.Writer) error {
 	// The artifact cache pays off only across runs inside one process, so
 	// it is armed exactly for the repeat-run modes.
 	var ac *artifact.Cache
-	if *watch || *deltaOld != "" {
+	if *watch || *deltaOld != "" || *artifactCache {
 		ac = artifact.New(0)
 		defer ac.Close()
 	}
@@ -177,7 +179,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return nil, nil, err
 		}
-		reqs, err := genericRequirements(model)
+		reqs, err := hazard.GenericRequirements(model)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -195,6 +197,7 @@ func run(args []string, stdout io.Writer) error {
 			Parallelism:         *parallel,
 			SolverWorkers:       *solverWorkers,
 			SolverDeterministic: *solverDet,
+			TraceID:             *traceID,
 			Trace:               trace,
 			Metrics:             metrics,
 			CheckpointDir:       *checkpointDir,
@@ -219,7 +222,13 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := obs.WriteChromeTraceSnapshot(f, a.Trace); err != nil {
+			// The correlation ID rides on the root span so downstream trace
+			// tooling can join the export against logs and reports.
+			var args map[string]any
+			if *traceID != "" {
+				args = map[string]any{"traceId": *traceID}
+			}
+			if err := obs.WriteChromeTraceSnapshotArgs(f, a.Trace, args); err != nil {
 				f.Close()
 				return err
 			}
@@ -243,18 +252,7 @@ func run(args []string, stdout io.Writer) error {
 		if *jsonOut {
 			return a.WriteJSON(stdout)
 		}
-		fmt.Fprint(stdout, a.Render())
-		fmt.Fprintln(stdout)
-		fmt.Fprintln(stdout, "== Risk-prioritized scenarios ==")
-		limit := a.Ranked
-		if *topN > 0 && len(limit) > *topN {
-			limit = limit[:*topN]
-		}
-		fmt.Fprintln(stdout, report.Ranked(limit))
-		if a.Degradation.Degraded() {
-			fmt.Fprintln(stdout, "== Degraded results ==")
-			fmt.Fprintln(stdout, a.Degradation.Summary())
-		}
+		fmt.Fprint(stdout, a.RenderFull(*topN))
 		return nil
 	}
 
@@ -267,6 +265,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *watch {
+		// Each re-assessment cycle logs one structured line to stderr
+		// (stdout stays the report stream), in the same JSON dialect the
+		// service emits, so a supervised watch process is grep- and
+		// dashboard-friendly.
+		wlog := serve.NewJSONLogger(os.Stderr)
 		runs := 0
 		var last time.Time
 		for {
@@ -278,6 +281,7 @@ func run(args []string, stdout io.Writer) error {
 				time.Sleep(*watchInterval)
 				continue
 			}
+			cycleStart := time.Now()
 			a, model, err := assess(*modelPath)
 			if err != nil {
 				// The file may be mid-write; report and retry next tick.
@@ -287,6 +291,17 @@ func run(args []string, stdout io.Writer) error {
 			}
 			last = st.ModTime()
 			runs++
+			artifactPath := ""
+			if a.Artifact != nil {
+				artifactPath = a.Artifact.Path
+			}
+			wlog.LogAttrs(context.Background(), slog.LevelInfo, "watch-cycle",
+				slog.Int("run", runs),
+				slog.String("model", *modelPath),
+				slog.Time("trigger", st.ModTime()),
+				slog.String("artifact", artifactPath),
+				slog.Int64("durationMs", time.Since(cycleStart).Milliseconds()),
+			)
 			if !*jsonOut {
 				fmt.Fprintf(stdout, "== watch run %d ==\n", runs)
 			}
@@ -345,51 +360,4 @@ func loadTypes(path string) (*sysmodel.TypeLibrary, error) {
 	}
 	defer f.Close()
 	return sysmodel.ReadTypesJSON(f)
-}
-
-// genericRequirements derives one hazard requirement per model
-// requirement: violated when any critical component (criticality H/VH)
-// exhibits any error mode. Models without explicit requirements get a
-// default integrity requirement over the critical assets.
-func genericRequirements(m *sysmodel.Model) ([]hazard.Requirement, error) {
-	var criticalConds []hazard.Condition
-	for _, c := range m.Components {
-		switch c.Attr("criticality") {
-		case "H", "VH":
-			for _, mode := range epa.AllModes {
-				criticalConds = append(criticalConds, hazard.Comp(c.ID, mode))
-			}
-		}
-	}
-	if len(criticalConds) == 0 {
-		return nil, fmt.Errorf("no component carries criticality H/VH; annotate the model")
-	}
-	cond := hazard.Any(criticalConds...)
-	if len(m.Requirements) == 0 {
-		return []hazard.Requirement{{
-			ID:          "RC",
-			Description: "critical assets must stay error free",
-			Severity:    qual.High,
-			Condition:   cond,
-		}}, nil
-	}
-	five := qual.FiveLevel()
-	out := make([]hazard.Requirement, 0, len(m.Requirements))
-	for _, r := range m.Requirements {
-		sev := qual.High
-		if r.Severity != "" {
-			l, err := five.Parse(r.Severity)
-			if err != nil {
-				return nil, fmt.Errorf("requirement %s: %w", r.ID, err)
-			}
-			sev = l
-		}
-		out = append(out, hazard.Requirement{
-			ID:          r.ID,
-			Description: r.Description,
-			Severity:    sev,
-			Condition:   cond,
-		})
-	}
-	return out, nil
 }

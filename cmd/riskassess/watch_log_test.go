@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunWatchStructuredLog: every -watch re-assessment cycle emits one
+// structured JSON line on stderr carrying the trigger mtime, the
+// artifact resolution, and the cycle duration — the supervised-process
+// contract shared with riskserve's logs.
+func TestRunWatchStructuredLog(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := dir + "/plant.json"
+	editModel(t, "../../models/sme-plant.json", modelPath, nil)
+
+	// Capture stderr for the duration of the watch run.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	restore := func() { os.Stderr = oldStderr }
+	defer restore()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-model", modelPath,
+			"-types", "../../models/types.json",
+			"-maxcard", "1",
+			"-watch",
+			"-watch-interval", "20ms",
+			"-watch-max", "2",
+		}, io.Discard)
+	}()
+
+	deadline := time.After(30 * time.Second)
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			restore()
+			w.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			captured, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertWatchLog(t, string(captured))
+			return
+		case <-deadline:
+			restore()
+			t.Fatal("watch did not complete two runs in 30s")
+		case <-time.After(100 * time.Millisecond):
+			editModel(t, "../../models/sme-plant.json", modelPath, annotatePanel("edit "+strconv.Itoa(i)))
+		}
+	}
+}
+
+func assertWatchLog(t *testing.T, captured string) {
+	t.Helper()
+	type cycle struct {
+		Msg        string `json:"msg"`
+		Run        int    `json:"run"`
+		Model      string `json:"model"`
+		Trigger    string `json:"trigger"`
+		Artifact   string `json:"artifact"`
+		DurationMS *int64 `json:"durationMs"`
+	}
+	var cycles []cycle
+	for _, line := range strings.Split(captured, "\n") {
+		if !strings.Contains(line, "watch-cycle") {
+			continue
+		}
+		var c cycle
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			t.Fatalf("watch-cycle line is not JSON: %q: %v", line, err)
+		}
+		cycles = append(cycles, c)
+	}
+	if len(cycles) != 2 {
+		t.Fatalf("captured %d watch-cycle lines, want 2:\n%s", len(cycles), captured)
+	}
+	for i, c := range cycles {
+		if c.Run != i+1 {
+			t.Errorf("cycle %d: run = %d", i, c.Run)
+		}
+		if c.Trigger == "" {
+			t.Errorf("cycle %d: no trigger mtime", i)
+		}
+		if c.DurationMS == nil {
+			t.Errorf("cycle %d: no durationMs", i)
+		}
+		if c.Model == "" {
+			t.Errorf("cycle %d: no model path", i)
+		}
+	}
+	// The first cycle compiles cold; the edited re-run resolves delta.
+	if cycles[0].Artifact != "cold" || cycles[1].Artifact != "delta" {
+		t.Errorf("artifact sequence = %q, %q; want cold, delta",
+			cycles[0].Artifact, cycles[1].Artifact)
+	}
+}

@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	tracecheck [-require span,span,...] trace.json
+//	tracecheck [-require span,span,...] [-trace-id id] trace.json
 //
 // -require lists span names that must each appear at least once in the
-// trace (e.g. the pipeline stage names).
+// trace (e.g. the pipeline stage names). -trace-id asserts that the
+// trace carries the given correlation ID in an event's args — the
+// contract that lets downstream tooling join a trace export against
+// the service's structured logs and report summaries.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
 	require := fs.String("require", "", "comma-separated span names that must appear in the trace")
+	wantTraceID := fs.String("trace-id", "", "correlation ID that must appear as a traceId arg in the trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,11 +58,12 @@ func run(args []string) error {
 		return fmt.Errorf("%s: no complete spans in trace", path)
 	}
 
-	if *require != "" {
-		names, err := spanNames(path)
+	if *require != "" || *wantTraceID != "" {
+		events, err := readEvents(path)
 		if err != nil {
 			return err
 		}
+		names := spanNames(events)
 		var missing []string
 		for _, want := range strings.Split(*require, ",") {
 			want = strings.TrimSpace(want)
@@ -69,15 +74,18 @@ func run(args []string) error {
 		if len(missing) > 0 {
 			return fmt.Errorf("%s: required spans missing: %s", path, strings.Join(missing, ", "))
 		}
+		if *wantTraceID != "" && !hasTraceID(events, *wantTraceID) {
+			return fmt.Errorf("%s: no event carries args.traceId == %q", path, *wantTraceID)
+		}
 	}
 
 	fmt.Printf("%s: ok (%d spans)\n", path, pairs)
 	return nil
 }
 
-// spanNames collects the names of begin events in the trace, accepting
-// both the {"traceEvents": [...]} envelope and a bare event array.
-func spanNames(path string) (map[string]bool, error) {
+// readEvents loads the trace's event list, accepting both the
+// {"traceEvents": [...]} envelope and a bare event array.
+func readEvents(path string) ([]obs.ChromeEvent, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -85,19 +93,36 @@ func spanNames(path string) (map[string]bool, error) {
 	var envelope struct {
 		TraceEvents []obs.ChromeEvent `json:"traceEvents"`
 	}
-	events := envelope.TraceEvents
-	if err := json.Unmarshal(data, &envelope); err != nil || envelope.TraceEvents == nil {
-		if err := json.Unmarshal(data, &events); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-	} else {
-		events = envelope.TraceEvents
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.TraceEvents != nil {
+		return envelope.TraceEvents, nil
 	}
+	var events []obs.ChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// spanNames collects the names of begin events in the trace.
+func spanNames(events []obs.ChromeEvent) map[string]bool {
 	names := map[string]bool{}
 	for _, ev := range events {
 		if ev.Ph == "B" || ev.Ph == "X" {
 			names[ev.Name] = true
 		}
 	}
-	return names, nil
+	return names
+}
+
+// hasTraceID reports whether any event's args object carries the given
+// traceId value.
+func hasTraceID(events []obs.ChromeEvent, id string) bool {
+	for _, ev := range events {
+		if args, ok := ev.Args.(map[string]any); ok {
+			if got, ok := args["traceId"].(string); ok && got == id {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -82,6 +82,11 @@ func cfgHash(cfg Config) uint64 {
 		h.Write(buf[:])
 	}
 	str(fmt.Sprintf("%p/%p/%p", cfg.Types, cfg.Behaviors, cfg.KB))
+	// Tenant scoping: folding the tenant into the configuration hash
+	// partitions the artifact cache per tenant — warm hits, delta parents,
+	// and session migration never cross tenants sharing one cache.
+	str("tenant")
+	str(cfg.Tenant)
 	str("reqs")
 	for _, r := range cfg.Requirements {
 		str(r.ID)

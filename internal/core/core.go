@@ -89,6 +89,16 @@ type Config struct {
 	// SolverDeterministic forces single-engine search regardless of
 	// SolverWorkers, for byte-identical reports across runs.
 	SolverDeterministic bool
+	// TraceID is an external correlation ID for the run — the assessment
+	// service stamps every request's trace ID here so logs, the JSON
+	// report, and the Chrome trace export all carry the same handle.
+	// Empty means unidentified; it never affects analysis results.
+	TraceID string
+	// Tenant scopes artifact-cache keys in multi-tenant service runs: it
+	// folds into the configuration hash, so two tenants submitting the
+	// same model never share warm/delta resolutions (cache isolation by
+	// construction). Empty — the CLI default — is itself one tenant.
+	Tenant string
 	// Trace, when non-nil, collects a hierarchical span tree of the run
 	// (stage -> sub-stage -> per-worker/per-chunk/per-query), snapshotted
 	// into Assessment.Trace. Nil disables tracing at the cost of one
@@ -144,6 +154,8 @@ type Config struct {
 
 // Assessment is the pipeline output.
 type Assessment struct {
+	// TraceID echoes Config.TraceID (empty when none was assigned).
+	TraceID string
 	// ModelStats describes the analyzed (flattened) model.
 	ModelStats sysmodel.Stats
 	// Candidates is the full candidate-mutation set before mitigation
@@ -231,13 +243,19 @@ func RunCtx(ctx context.Context, cfg Config) (*Assessment, error) {
 	// every budget derived downstream captures it, and every parallel
 	// construct (sweep pool, oracle pool, solver portfolio) asks it for
 	// slots beyond its first worker. One pool for the whole run keeps
-	// concurrent stages from oversubscribing the machine.
-	gov := budget.NewGovernor(cfg.Parallelism)
-	ctx = budget.ContextWithGovernor(ctx, gov)
+	// concurrent stages from oversubscribing the machine. A governor
+	// already installed in ctx is reused instead — that is how the
+	// assessment service meters many concurrent tenants' runs against
+	// one machine-wide pool.
+	gov := budget.GovernorFromContext(ctx)
+	if gov == nil {
+		gov = budget.NewGovernor(cfg.Parallelism)
+		ctx = budget.ContextWithGovernor(ctx, gov)
+	}
 	bud, cancel := budget.WithTimeout(ctx, cfg.Resources)
 	defer cancel()
 
-	out := &Assessment{Degradation: &budget.Degradation{}}
+	out := &Assessment{TraceID: cfg.TraceID, Degradation: &budget.Degradation{}}
 
 	// Observability rides the budget's context: every stage derives a
 	// budget whose context carries the stage span (and the metrics

@@ -13,7 +13,9 @@ import (
 // Summary is the machine-readable projection of an Assessment for
 // downstream tooling (dashboards, ticketing): plain data, no interfaces.
 type Summary struct {
-	Model struct {
+	// TraceID is the run's correlation ID (absent when none was set).
+	TraceID string `json:"traceId,omitempty"`
+	Model   struct {
 		Components  int `json:"components"`
 		Connections int `json:"connections"`
 	} `json:"model"`
@@ -153,7 +155,7 @@ type CEGARSummary struct {
 // order.
 func (a *Assessment) Summarize() *Summary {
 	s := qual.FiveLevel()
-	out := &Summary{}
+	out := &Summary{TraceID: a.TraceID}
 	out.Model.Components = a.ModelStats.Components
 	out.Model.Connections = a.ModelStats.Connections
 	for _, m := range a.Candidates {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cpsrisk/internal/qual"
+	"cpsrisk/internal/report"
 	"cpsrisk/internal/risk"
 )
 
@@ -155,6 +156,30 @@ func (a *Assessment) Render() string {
 			sb.WriteString("\nMETRICS\n")
 			sb.WriteString(body)
 		}
+	}
+	return sb.String()
+}
+
+// RenderFull is the complete text deliverable: the report body plus the
+// risk-prioritized scenario table (truncated to topN rows when topN > 0)
+// and the degradation summary. The CLI's default output and the
+// service's text report endpoint both print exactly this, so the two
+// front-ends stay byte-identical by construction.
+func (a *Assessment) RenderFull(topN int) string {
+	var sb strings.Builder
+	sb.WriteString(a.Render())
+	sb.WriteString("\n")
+	sb.WriteString("== Risk-prioritized scenarios ==\n")
+	limit := a.Ranked
+	if topN > 0 && len(limit) > topN {
+		limit = limit[:topN]
+	}
+	sb.WriteString(report.Ranked(limit))
+	sb.WriteString("\n")
+	if a.Degradation.Degraded() {
+		sb.WriteString("== Degraded results ==\n")
+		sb.WriteString(a.Degradation.Summary())
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }

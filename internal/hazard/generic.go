@@ -1,0 +1,59 @@
+package hazard
+
+import (
+	"fmt"
+
+	"cpsrisk/internal/epa"
+	"cpsrisk/internal/qual"
+	"cpsrisk/internal/sysmodel"
+)
+
+// GenericRequirements derives one hazard requirement per model
+// requirement: violated when any component marked criticality H/VH
+// exhibits any error mode. Models without explicit requirements get a
+// default integrity requirement over the critical assets. This is the
+// requirement derivation both riskassess and riskserve apply to
+// submitted models, kept in one place so the two front-ends assess
+// identical inputs identically.
+func GenericRequirements(m *sysmodel.Model) ([]Requirement, error) {
+	var criticalConds []Condition
+	for _, c := range m.Components {
+		switch c.Attr("criticality") {
+		case "H", "VH":
+			for _, mode := range epa.AllModes {
+				criticalConds = append(criticalConds, Comp(c.ID, mode))
+			}
+		}
+	}
+	if len(criticalConds) == 0 {
+		return nil, fmt.Errorf("no component carries criticality H/VH; annotate the model")
+	}
+	cond := Any(criticalConds...)
+	if len(m.Requirements) == 0 {
+		return []Requirement{{
+			ID:          "RC",
+			Description: "critical assets must stay error free",
+			Severity:    qual.High,
+			Condition:   cond,
+		}}, nil
+	}
+	five := qual.FiveLevel()
+	out := make([]Requirement, 0, len(m.Requirements))
+	for _, r := range m.Requirements {
+		sev := qual.High
+		if r.Severity != "" {
+			l, err := five.Parse(r.Severity)
+			if err != nil {
+				return nil, fmt.Errorf("requirement %s: %w", r.ID, err)
+			}
+			sev = l
+		}
+		out = append(out, Requirement{
+			ID:          r.ID,
+			Description: r.Description,
+			Severity:    sev,
+			Condition:   cond,
+		})
+	}
+	return out, nil
+}

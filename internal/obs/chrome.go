@@ -45,11 +45,23 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 
 // WriteChromeTraceSnapshot writes an already-captured span tree.
 func WriteChromeTraceSnapshot(w io.Writer, root *SpanSnapshot) error {
+	return WriteChromeTraceSnapshotArgs(w, root, nil)
+}
+
+// WriteChromeTraceSnapshotArgs writes an already-captured span tree,
+// attaching args to the root span's begin event — run-level metadata
+// (the per-request trace ID, the tenant) lands on the root so Perfetto
+// and tracecheck can find it without a side channel.
+func WriteChromeTraceSnapshotArgs(w io.Writer, root *SpanSnapshot, args map[string]any) error {
 	file := chromeFile{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
 	if root != nil {
 		lanes := chromeLanes(root)
 		for tid, events := range lanes {
-			for _, ev := range events {
+			for i, ev := range events {
+				if len(args) > 0 && tid == 0 && i == 0 && ev.Ph == "B" {
+					// Lane 0 opens with the root span's B event.
+					ev.Args = args
+				}
 				ev.PID = 1
 				ev.TID = tid
 				file.TraceEvents = append(file.TraceEvents, ev)

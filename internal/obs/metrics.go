@@ -202,12 +202,17 @@ type BucketCount struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is an immutable histogram copy.
+// HistogramSnapshot is an immutable histogram copy. P50/P95/P99 are
+// quantile estimates derived from the log2 buckets at snapshot time (see
+// Quantile); they are projections of Buckets, not extra state.
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     int64         `json:"sum"`
 	Min     int64         `json:"min"`
 	Max     int64         `json:"max"`
+	P50     int64         `json:"p50,omitempty"`
+	P95     int64         `json:"p95,omitempty"`
+	P99     int64         `json:"p99,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
@@ -217,6 +222,64 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the log2 buckets,
+// interpolating linearly inside the bucket holding the target rank and
+// clamping to the observed Min/Max so estimates never leave the data
+// range. The log2 scheme bounds the relative error of an interior
+// estimate by the bucket width (a factor of 2); Min/Max clamping makes
+// the extremes exact. Returns 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	// rank is the 1-based index of the target observation in sorted order.
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range h.Buckets {
+		if seen+b.Count < rank {
+			seen += b.Count
+			continue
+		}
+		lo, hi := b.Lo, b.Hi
+		if lo < h.Min {
+			lo = h.Min
+		}
+		if mx := h.Max; mx < math.MaxInt64 && hi > mx+1 {
+			hi = mx + 1
+		}
+		if hi <= lo {
+			return lo
+		}
+		// Position of the target rank inside this bucket, in (0, 1].
+		frac := float64(rank-seen) / float64(b.Count)
+		v := lo + int64(frac*float64(hi-lo))
+		if v >= hi {
+			v = hi - 1
+		}
+		return v
+	}
+	return h.Max
+}
+
+// quantiles fills the exported quantile estimates (snapshot time).
+func (h *HistogramSnapshot) quantiles() {
+	if h.Count == 0 {
+		return
+	}
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
 }
 
 // MetricsSnapshot is a point-in-time copy of every instrument, ready for
@@ -275,6 +338,7 @@ func (r *Registry) Snapshot() *MetricsSnapshot {
 				}
 				hs.Buckets = append(hs.Buckets, b)
 			}
+			hs.quantiles()
 			out.Histograms[name] = hs
 		}
 	}
@@ -311,8 +375,62 @@ func (m *MetricsSnapshot) Render() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := m.Histograms[n]
-		fmt.Fprintf(&sb, "  %-36s n=%d mean=%.1f min=%d max=%d\n",
-			n, h.Count, h.Mean(), h.Min, h.Max)
+		fmt.Fprintf(&sb, "  %-36s n=%d mean=%.1f min=%d max=%d p50=%d p95=%d p99=%d\n",
+			n, h.Count, h.Mean(), h.Min, h.Max, h.P50, h.P95, h.P99)
 	}
 	return sb.String()
+}
+
+// MergeSnapshot folds a snapshot into the registry: counters add, gauges
+// take the snapshot's value, histograms merge bucket-by-bucket (the
+// fixed log2 bucketing makes snapshots from different registries
+// mergeable by construction). The server uses this to aggregate each
+// job's private registry into the process-wide /metrics registry.
+// Nil-safe on both sides.
+func (r *Registry) MergeSnapshot(m *MetricsSnapshot) {
+	if r == nil || m == nil {
+		return
+	}
+	for name, v := range m.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range m.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range m.Histograms {
+		r.Histogram(name).merge(hs)
+	}
+}
+
+// merge folds a snapshot into the histogram. Bucket boundaries are
+// identical across all histograms (fixed log2 scheme), so counts map
+// back to bucket indexes exactly.
+func (h *Histogram) merge(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	for _, b := range s.Buckets {
+		idx := 0
+		if b.Lo > 0 {
+			idx = bucketIndex(b.Lo)
+		}
+		h.buckets[idx].Add(b.Count)
+	}
+	h.sum.Add(s.Sum)
+	if h.count.Add(s.Count) == s.Count {
+		h.min.Store(s.Min)
+		h.max.Store(s.Max)
+	}
+	for {
+		cur := h.min.Load()
+		if s.Min >= cur || h.min.CompareAndSwap(cur, s.Min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
 }

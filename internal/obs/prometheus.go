@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) rendered natively
+// from a metrics snapshot — no client library, no extra state. Counters
+// and gauges map 1:1; each 64-bucket log2 histogram becomes a cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`, and its
+// snapshot-time p50/p95/p99 estimates (the same numbers the METRICS
+// report section prints) are exposed as `<name>_quantile{quantile=...}`
+// gauges so dashboards get latency quantiles without running
+// histogram_quantile over sparse scrapes.
+//
+// Instrument names use dots as separators ("sweep.scenarios",
+// "http.latency_us.assess"); the exposition rewrites every character
+// outside [a-zA-Z0-9_:] to '_' and prefixes "cpsrisk_", so
+// "sweep.scenarios" scrapes as "cpsrisk_sweep_scenarios". Bucket `le`
+// boundaries are the inclusive integer bounds Hi-1 of the [Lo, Hi) log2
+// buckets; observations are integers, so v <= Hi-1 iff v < Hi and the
+// cumulative counts are exact and monotone at every emitted boundary.
+
+// promName sanitizes an instrument name into a legal Prometheus metric
+// name, prefixed with the exporter namespace.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("cpsrisk_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLe formats a bucket boundary for the `le` label: the inclusive
+// integer bound Hi-1 of a [Lo, Hi) bucket, so the cumulative count at
+// every emitted boundary is exact for integer observations.
+func promLe(hi int64) string {
+	if hi == math.MaxInt64 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", hi-1)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format: counters, gauges, histograms (cumulative buckets + sum +
+// count), and per-histogram quantile gauges. Families are emitted in
+// sorted instrument-name order so successive scrapes of an unchanged
+// registry are byte-identical. A nil snapshot writes nothing.
+func WritePrometheus(w io.Writer, m *MetricsSnapshot) error {
+	if m == nil {
+		return nil
+	}
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, n, pn, pn, m.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range m.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			pn, n, pn, pn, m.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range m.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := m.Histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", pn, n, pn); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			if b.Hi == math.MaxInt64 {
+				// The overflow bucket is covered by the final +Inf line.
+				continue
+			}
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promLe(b.Hi), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+		if h.Count > 0 {
+			if _, err := fmt.Fprintf(w, "# HELP %s_quantile %s quantile estimate\n# TYPE %s_quantile gauge\n", pn, n, pn); err != nil {
+				return err
+			}
+			for _, q := range [...]struct {
+				label string
+				v     int64
+			}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+				if _, err := fmt.Fprintf(w, "%s_quantile{quantile=\"%s\"} %d\n", pn, q.label, q.v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and writes the exposition —
+// the /metrics handler body. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePromText is a strict validator of the Prometheus text exposition
+// format subset the exporter emits: optional # HELP / # TYPE lines per
+// family, then `name{labels} value` samples. It checks lexical validity,
+// that every sample belongs to a declared family of a known type, and
+// that histogram bucket series are cumulative and monotone, ending at
+// +Inf with the _count value. Returns sample name -> value.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+|\+Inf|-Inf|NaN)$`)
+	types := map[string]string{}
+	samples := map[string]float64{}
+	var lastHist string
+	var lastCum float64
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
+			}
+			if !nameRe.MatchString(parts[2]) {
+				t.Fatalf("line %d: bad metric name %q", i+1, parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", i+1, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		val, err := strconv.ParseFloat(strings.TrimPrefix(valStr, "+"), 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("line %d: bad value %q: %v", i+1, valStr, err)
+		}
+		// Resolve the declaring family: histogram samples use the
+		// base name with _bucket/_sum/_count suffixes.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", i+1, name)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			if !strings.Contains(labels, `le="`) {
+				t.Fatalf("line %d: bucket sample without le label: %q", i+1, line)
+			}
+			if name != lastHist {
+				lastHist, lastCum = name, 0
+			}
+			if val < lastCum {
+				t.Fatalf("line %d: non-monotone bucket series %q: %v < %v", i+1, name, val, lastCum)
+			}
+			lastCum = val
+			if strings.Contains(labels, `le="+Inf"`) {
+				lastHist, lastCum = "", 0
+			}
+		}
+		samples[name+labels] = val
+	}
+	return samples
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sweep.scenarios").Add(42)
+	r.Counter("artifact.hits").Add(3)
+	r.Gauge("jobs.queue_depth").Set(7)
+	h := r.Histogram("http.latency_us.assess")
+	for _, v := range []int64{1, 3, 3, 100, 900, 1500, 1500, 1500, 7000, 100000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := parsePromText(t, text)
+
+	if got := samples["cpsrisk_sweep_scenarios"]; got != 42 {
+		t.Errorf("counter: got %v, want 42", got)
+	}
+	if got := samples["cpsrisk_jobs_queue_depth"]; got != 7 {
+		t.Errorf("gauge: got %v, want 7", got)
+	}
+	if got := samples["cpsrisk_http_latency_us_assess_count"]; got != 10 {
+		t.Errorf("hist count: got %v, want 10", got)
+	}
+	if got := samples["cpsrisk_http_latency_us_assess_sum"]; got != 112507 {
+		t.Errorf("hist sum: got %v, want 112507", got)
+	}
+	if got := samples[`cpsrisk_http_latency_us_assess_bucket{le="+Inf"}`]; got != 10 {
+		t.Errorf("hist +Inf bucket: got %v, want 10", got)
+	}
+	// Bucket [1,2) holds the single 1; le="1" is its inclusive bound.
+	if got := samples[`cpsrisk_http_latency_us_assess_bucket{le="1"}`]; got != 1 {
+		t.Errorf("hist le=1: got %v, want 1", got)
+	}
+	// Quantile gauges mirror the snapshot's estimates.
+	hs := r.Snapshot().Histograms["http.latency_us.assess"]
+	for q, want := range map[string]int64{"0.5": hs.P50, "0.95": hs.P95, "0.99": hs.P99} {
+		key := fmt.Sprintf(`cpsrisk_http_latency_us_assess_quantile{quantile="%s"}`, q)
+		if got := samples[key]; got != float64(want) {
+			t.Errorf("quantile %s: got %v, want %d", q, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicAndNil(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(5)
+	var one, two strings.Builder
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("successive expositions of an unchanged registry differ")
+	}
+	idx := strings.Index(one.String(), "cpsrisk_a")
+	idx2 := strings.Index(one.String(), "cpsrisk_b")
+	if idx < 0 || idx2 < 0 || idx > idx2 {
+		t.Error("counters not emitted in sorted order")
+	}
+	if err := WritePrometheus(&one, nil); err != nil {
+		t.Fatalf("nil snapshot: %v", err)
+	}
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&one); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+}
+
+func TestWritePrometheusOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wide")
+	h.Observe(math.MaxInt64) // lands in the overflow bucket
+	h.Observe(10)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Count(text, `le="+Inf"`) != 1 {
+		t.Fatalf("want exactly one +Inf bucket line:\n%s", text)
+	}
+	parsePromText(t, text)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	// 100 observations 1..100: exact quantiles are 50, 95, 99; log2
+	// interpolation must land within the enclosing bucket (factor 2).
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["q"]
+	if hs.P50 == 0 || hs.P95 == 0 || hs.P99 == 0 {
+		t.Fatalf("quantile fields not populated: %+v", hs)
+	}
+	checks := []struct {
+		q     float64
+		exact int64
+	}{{0.5, 50}, {0.95, 95}, {0.99, 99}}
+	for _, c := range checks {
+		got := hs.Quantile(c.q)
+		if got < c.exact/2 || got > c.exact*2 {
+			t.Errorf("Quantile(%v) = %d, want within [%d, %d]", c.q, got, c.exact/2, c.exact*2)
+		}
+	}
+	if got := hs.Quantile(0); got != hs.Min {
+		t.Errorf("Quantile(0) = %d, want Min %d", got, hs.Min)
+	}
+	if got := hs.Quantile(1); got != hs.Max {
+		t.Errorf("Quantile(1) = %d, want Max %d", got, hs.Max)
+	}
+	// Monotone in q.
+	prev := int64(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		v := hs.Quantile(q)
+		if v < prev {
+			t.Errorf("quantiles not monotone at q=%v: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+	// Empty histogram.
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// Single observation: every quantile is that value.
+	r2 := NewRegistry()
+	r2.Histogram("one").Observe(77)
+	one := r2.Snapshot().Histograms["one"]
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := one.Quantile(q); got != 77 {
+			t.Errorf("single-obs Quantile(%v) = %d, want 77", q, got)
+		}
+	}
+}
+
+func TestRegistryMergeSnapshot(t *testing.T) {
+	job := NewRegistry()
+	job.Counter("epa.runs").Add(10)
+	job.Gauge("governor.capacity").Set(3)
+	for _, v := range []int64{5, 50, 500} {
+		job.Histogram("chunk_us").Observe(v)
+	}
+	global := NewRegistry()
+	global.Counter("epa.runs").Add(2)
+	global.Histogram("chunk_us").Observe(7)
+
+	global.MergeSnapshot(job.Snapshot())
+
+	snap := global.Snapshot()
+	if got := snap.Counters["epa.runs"]; got != 12 {
+		t.Errorf("merged counter: got %d, want 12", got)
+	}
+	if got := snap.Gauges["governor.capacity"]; got != 3 {
+		t.Errorf("merged gauge: got %d, want 3", got)
+	}
+	h := snap.Histograms["chunk_us"]
+	if h.Count != 4 || h.Sum != 562 {
+		t.Errorf("merged histogram: count=%d sum=%d, want 4/562", h.Count, h.Sum)
+	}
+	if h.Min != 5 || h.Max != 500 {
+		t.Errorf("merged min/max: %d/%d, want 5/500", h.Min, h.Max)
+	}
+	// Bucket counts must match a histogram fed the union directly.
+	direct := NewRegistry()
+	for _, v := range []int64{5, 50, 500, 7} {
+		direct.Histogram("chunk_us").Observe(v)
+	}
+	want := direct.Snapshot().Histograms["chunk_us"]
+	if len(h.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets differ: %+v vs %+v", h.Buckets, want.Buckets)
+	}
+	for i := range h.Buckets {
+		if h.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d: %+v vs %+v", i, h.Buckets[i], want.Buckets[i])
+		}
+	}
+	// Merge into empty and nil safety.
+	empty := NewRegistry()
+	empty.MergeSnapshot(snap)
+	if empty.Snapshot().Histograms["chunk_us"].Count != 4 {
+		t.Error("merge into empty registry lost observations")
+	}
+	var nilReg *Registry
+	nilReg.MergeSnapshot(snap)
+	empty.MergeSnapshot(nil)
+}
+
+func TestRenderIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	for v := int64(1); v <= 32; v++ {
+		r.Histogram("lat").Observe(v)
+	}
+	out := r.Snapshot().Render()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p95=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("Render lacks quantile estimates:\n%s", out)
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"cpsrisk/internal/core"
+	"cpsrisk/internal/hazard"
+	"cpsrisk/internal/obs"
+	"cpsrisk/internal/sysmodel"
+)
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// job is one submitted assessment riding the queue. Fields under mu are
+// written by the accepting handler and the running worker and read by
+// the status/report/trace handlers.
+type job struct {
+	id      string
+	traceID string
+	tenant  string
+
+	model *sysmodel.Model
+	reqs  []hazard.Requirement
+
+	mu         sync.Mutex
+	state      string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	assessment *core.Assessment
+	traceSnap  *obs.SpanSnapshot
+	errMsg     string
+	cancel     func() // cancels the running assessment (drain deadline)
+	done       chan struct{}
+}
+
+// JobStatus is the GET /v1/jobs/{id} body (and the POST /v1/assess
+// acceptance body).
+type JobStatus struct {
+	ID        string `json:"id"`
+	TraceID   string `json:"traceId"`
+	Tenant    string `json:"tenant,omitempty"`
+	State     string `json:"state"`
+	Submitted string `json:"submitted"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	// DurationMS is the run's wall time once finished.
+	DurationMS int64 `json:"durationMs,omitempty"`
+	// ArtifactPath is the cache resolution the run took: "warm", "delta",
+	// or "cold" (absent until finished).
+	ArtifactPath string `json:"artifactPath,omitempty"`
+	// Degraded reports resource-budget truncations in the result.
+	Degraded bool `json:"degraded,omitempty"`
+	// Scenarios / Hazardous summarize the finished analysis.
+	Scenarios int    `json:"scenarios,omitempty"`
+	Hazardous int    `json:"hazardous,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// status snapshots the job into its wire form.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		TraceID:   j.traceID,
+		Tenant:    j.tenant,
+		State:     j.state,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		st.DurationMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if a := j.assessment; a != nil {
+		if a.Artifact != nil {
+			st.ArtifactPath = a.Artifact.Path
+		}
+		st.Degraded = a.Degradation.Degraded()
+		if a.Analysis != nil {
+			st.Scenarios = len(a.Analysis.Scenarios)
+			st.Hazardous = len(a.Analysis.Hazards())
+		}
+	}
+	return st
+}
+
+// result returns the terminal-state view used by the report and trace
+// handlers: the assessment (nil while running or on failure), the trace
+// snapshot, and whether the job reached a terminal state.
+func (j *job) result() (a *core.Assessment, trace *obs.SpanSnapshot, state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.assessment, j.traceSnap, j.state, j.errMsg
+}
+
+// newID returns "j<seq>-<random>" — monotonic for log ordering, random
+// so IDs are not guessable across restarts.
+func newID(seq int64) string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to sequence-only IDs; uniqueness within the process
+		// is all the job table needs.
+		return fmt.Sprintf("j%d", seq)
+	}
+	return fmt.Sprintf("j%d-%s", seq, hex.EncodeToString(b[:]))
+}
+
+// newTraceID returns a 16-hex-digit random trace ID.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeHeaderToken bounds and cleans an inbound correlation header
+// (trace ID, tenant): printable ASCII without spaces, at most 64 bytes.
+// Anything else is dropped (returns "").
+func sanitizeHeaderToken(s string) string {
+	if len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return s
+}

@@ -1,0 +1,21 @@
+// Package serve turns the one-shot assessment pipeline into a
+// long-running, multi-tenant HTTP/JSON service with service-grade
+// observability: an async job model over core.Run, a Prometheus
+// /metrics exposition of the obs registry, per-request trace IDs
+// carried through the span tree and the structured logs, and an SLO
+// critical-event monitor gating readiness.
+package serve
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewJSONLogger returns a structured logger writing one JSON object per
+// line to w — the service's request/job log and the CLI's -watch cycle
+// log share this constructor so every long-running mode of the tool
+// speaks the same log dialect (time, level, msg, then typed attrs such
+// as traceId, tenant, route, status, durationMs).
+func NewJSONLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}

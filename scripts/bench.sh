@@ -1,29 +1,29 @@
 #!/bin/sh
 # bench.sh runs the perf-tracked benchmark suite (the scalability sweeps
 # S1-S3, the multi-shot solving pair S4, the portfolio hard-instance
-# race S5, the artifact-cache delta re-assessment pair S6, and the
-# Fig. 1 end-to-end pipeline, plus the observability on/off overhead
-# pair) with -benchmem and files the numbers into the BENCH_PR9.json
-# ledger via cmd/benchjson. CI and `make bench` both run exactly this
-# script. benchjson prints the S6 cold-vs-warm speedup table after the
-# ledger write.
+# race S5, the artifact-cache delta re-assessment pair S6, the
+# served-vs-CLI warm-path pair S7, and the Fig. 1 end-to-end pipeline,
+# plus the observability on/off overhead pair) with -benchmem and files
+# the numbers into the BENCH_PR10.json ledger via cmd/benchjson. CI and
+# `make bench` both run exactly this script. benchjson prints the S6
+# cold-vs-warm speedup table after the ledger write.
 #
 # The S5 portfolio benchmark additionally runs pinned to -cpu=1 and
 # -cpu=4 (labels <label>-cpu1 / <label>-cpu4): cpu1 shows the governor
 # collapsing the portfolio on a single core, cpu4 shows the race on
 # multi-core hardware.
 #
-#   BENCH_LABEL=after ./scripts/bench.sh         # label in the ledger (default: after)
-#   BENCH_OUT=BENCH_PR9.json ./scripts/bench.sh  # ledger file (default: BENCH_PR9.json)
-#   BENCHTIME=2s ./scripts/bench.sh              # per-benchmark time (default: 1s)
+#   BENCH_LABEL=after ./scripts/bench.sh          # label in the ledger (default: after)
+#   BENCH_OUT=BENCH_PR10.json ./scripts/bench.sh  # ledger file (default: BENCH_PR10.json)
+#   BENCHTIME=2s ./scripts/bench.sh               # per-benchmark time (default: 1s)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 label="${BENCH_LABEL:-after}"
-out="${BENCH_OUT:-BENCH_PR9.json}"
+out="${BENCH_OUT:-BENCH_PR10.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkS3_PrunedSweep|BenchmarkS4_MultiShot|BenchmarkS5_PortfolioCuts|BenchmarkS6_DeltaReassess|BenchmarkFig1_PipelineEndToEnd|BenchmarkObsOverhead'
+pattern='BenchmarkS1_SolverScaling|BenchmarkS2_EPAScaling|BenchmarkS3_ScenarioSpace|BenchmarkS3_PrunedSweep|BenchmarkS4_MultiShot|BenchmarkS5_PortfolioCuts|BenchmarkS6_DeltaReassess|BenchmarkS7_ServedWarmPath|BenchmarkFig1_PipelineEndToEnd|BenchmarkObsOverhead'
 
 echo "== bench (${benchtime} each) -> ${out} [${label}] =="
 go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . \

@@ -31,8 +31,8 @@ go test -race ./...
 # and the solver portfolio are documented safe for concurrent use;
 # hammer them under the race detector at both ends of the parallelism
 # range.
-echo "== go test -race -cpu=1,4 (epa, hazard, faults, store, solver) =="
-go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/faults ./internal/store ./internal/solver
+echo "== go test -race -cpu=1,4 (epa, hazard, faults, store, solver, serve) =="
+go test -race -cpu=1,4 -count=1 ./internal/epa ./internal/hazard ./internal/faults ./internal/store ./internal/solver ./internal/serve
 
 # Differential corpus for delta re-assessment: ~20 scripted model edits,
 # each asserting the incremental report is byte-identical to a cold run
@@ -57,14 +57,26 @@ go test -race -cpu=1,4 -count=1 -run 'TestPortfolio|TestSessionPortfolio' ./inte
 
 # Trace exporter end-to-end: assess the sample plant with tracing on and
 # validate the emitted Chrome trace (sorted timestamps, matched B/E
-# pairs, every executed pipeline stage present).
-echo "== trace exporter (riskassess -trace + tracecheck) =="
+# pairs, every executed pipeline stage present, and the correlation ID
+# riding on the root span's args).
+echo "== trace exporter (riskassess -trace -trace-id + tracecheck) =="
 trace_out="$(mktemp)"
 go run ./cmd/riskassess -model models/sme-plant.json -types models/types.json \
-  -maxcard 1 -optimize -trace "$trace_out" >/dev/null
+  -maxcard 1 -optimize -trace "$trace_out" -trace-id check-e2e >/dev/null
 go run ./cmd/tracecheck \
-  -require assessment,model,candidates,hazard,sweep,mitigation "$trace_out"
+  -require assessment,model,candidates,hazard,sweep,mitigation \
+  -trace-id check-e2e "$trace_out"
 rm -f "$trace_out"
+
+# Service mode end-to-end: boot riskserve, drive a multi-tenant mix with
+# loadgen, assert zero critical events, drain on SIGTERM. Skipped in
+# short mode (CHECK_SHORT=1).
+if [ -z "${CHECK_SHORT:-}" ]; then
+  echo "== service loadtest (scripts/loadtest.sh) =="
+  ./scripts/loadtest.sh
+else
+  echo "== service loadtest == (skipped: CHECK_SHORT set)"
+fi
 
 # Crash-safety battery: fault injection, corruption/self-heal, the
 # crash matrix, and a real kill-and-resume of the CLI (fixed seeds).
